@@ -1,0 +1,173 @@
+//! The gateway-side AlphaWAN agent (§4.3.3, "Gateways"): receives
+//! channel-configuration commands from the server end, validates them
+//! against the local hardware, applies them (which reboots the radio),
+//! and reports back.
+//!
+//! "These AlphaWAN agents are implemented using application-layer
+//! scripts that execute in a sandbox environment to configure gateway
+//! devices" — here, a small typed state machine the capacity-upgrade
+//! orchestrator drives, with the reboot time surfaced so Fig. 17's
+//! accounting stays honest.
+
+use gateway::config::{ConfigError, GatewayConfig};
+use gateway::radio::Gateway;
+use lora_phy::channel::Channel;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A configuration command from the AlphaWAN server to one gateway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigCommand {
+    /// Monotonic command sequence number (stale commands are ignored).
+    pub sequence: u64,
+    pub channels: Vec<Channel>,
+}
+
+/// The agent's reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConfigAck {
+    /// Applied; the radio rebooted and is live on the new channels.
+    Applied {
+        sequence: u64,
+        reboot: Duration,
+    },
+    /// Ignored: the agent has already applied a newer command.
+    Stale { sequence: u64, current: u64 },
+    /// Rejected by hardware validation; the old config stays active.
+    Rejected { sequence: u64, reason: String },
+}
+
+/// Agent state riding alongside one gateway.
+#[derive(Debug)]
+pub struct GatewayAgent {
+    applied_sequence: u64,
+    reboots: u64,
+}
+
+impl GatewayAgent {
+    pub fn new() -> GatewayAgent {
+        GatewayAgent {
+            applied_sequence: 0,
+            reboots: 0,
+        }
+    }
+
+    /// Number of radio reboots this agent has performed.
+    pub fn reboots(&self) -> u64 {
+        self.reboots
+    }
+
+    /// Handle one command against the local gateway.
+    pub fn handle(&mut self, gateway: &mut Gateway, cmd: &ConfigCommand) -> ConfigAck {
+        if cmd.sequence <= self.applied_sequence {
+            return ConfigAck::Stale {
+                sequence: cmd.sequence,
+                current: self.applied_sequence,
+            };
+        }
+        match GatewayConfig::new(gateway.profile(), cmd.channels.clone()) {
+            Ok(config) => {
+                gateway.reconfigure(config);
+                self.applied_sequence = cmd.sequence;
+                self.reboots += 1;
+                ConfigAck::Applied {
+                    sequence: cmd.sequence,
+                    reboot: crate::upgrade::GATEWAY_REBOOT_MEAN,
+                }
+            }
+            Err(e @ ConfigError::TooManyChannels { .. })
+            | Err(e @ ConfigError::SpanTooWide { .. })
+            | Err(e @ ConfigError::NoChannels) => ConfigAck::Rejected {
+                sequence: cmd.sequence,
+                reason: e.to_string(),
+            },
+        }
+    }
+}
+
+impl Default for GatewayAgent {
+    fn default() -> Self {
+        GatewayAgent::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gateway::profile::GatewayProfile;
+    use lora_phy::region::StandardChannelPlan;
+
+    fn gateway() -> Gateway {
+        let profile = GatewayProfile::rak7268cv2();
+        let plan = StandardChannelPlan::us915_subband(0);
+        Gateway::new(
+            0,
+            1,
+            profile,
+            GatewayConfig::new(profile, plan.channels).unwrap(),
+        )
+    }
+
+    fn cmd(sequence: u64, channels: Vec<Channel>) -> ConfigCommand {
+        ConfigCommand { sequence, channels }
+    }
+
+    #[test]
+    fn applies_valid_config() {
+        let mut gw = gateway();
+        let mut agent = GatewayAgent::new();
+        let new = vec![Channel::khz125(903_900_000), Channel::khz125(904_100_000)];
+        match agent.handle(&mut gw, &cmd(1, new.clone())) {
+            ConfigAck::Applied { sequence: 1, reboot } => {
+                assert!(reboot > Duration::ZERO);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(gw.config().channels(), &new[..]);
+        assert_eq!(agent.reboots(), 1);
+    }
+
+    #[test]
+    fn stale_commands_ignored() {
+        let mut gw = gateway();
+        let mut agent = GatewayAgent::new();
+        let a = vec![Channel::khz125(903_900_000)];
+        let b = vec![Channel::khz125(904_500_000)];
+        agent.handle(&mut gw, &cmd(5, a.clone()));
+        let ack = agent.handle(&mut gw, &cmd(4, b));
+        assert_eq!(ack, ConfigAck::Stale { sequence: 4, current: 5 });
+        assert_eq!(gw.config().channels(), &a[..], "old command must not apply");
+        assert_eq!(agent.reboots(), 1);
+    }
+
+    #[test]
+    fn invalid_config_rejected_keeps_old() {
+        let mut gw = gateway();
+        let before = gw.config().channels().to_vec();
+        let mut agent = GatewayAgent::new();
+        // 5 MHz span exceeds the 1.6 MHz radio.
+        let wild = vec![Channel::khz125(902_300_000), Channel::khz125(907_300_000)];
+        match agent.handle(&mut gw, &cmd(1, wild)) {
+            ConfigAck::Rejected { sequence: 1, reason } => {
+                assert!(reason.contains("span"), "{reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(gw.config().channels(), &before[..]);
+        assert_eq!(agent.reboots(), 0);
+        // A later valid command still applies (sequence not burned).
+        let ok = vec![Channel::khz125(903_900_000)];
+        assert!(matches!(
+            agent.handle(&mut gw, &cmd(2, ok)),
+            ConfigAck::Applied { .. }
+        ));
+    }
+
+    #[test]
+    fn commands_serialize_for_the_backhaul() {
+        let c = cmd(9, vec![Channel::khz125(916_900_000)]);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ConfigCommand = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulated-annealing CP solver — an ablation alternative to the
+//! paper's evolutionary algorithm.
+//!
+//! Same encoding and objective as [`super::ga`], different search:
+//! single-solution hill climbing with temperature-scheduled uphill
+//! acceptance. The ablation experiment (`bench --bin ablation_solvers`)
+//! compares greedy / GA / annealing on solution quality and wall time,
+//! motivating the paper's GA choice.
+
+use super::greedy::greedy_plan;
+use super::{CpProblem, CpSolution};
+use lora_phy::pathloss::DISTANCE_RINGS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    pub iterations: usize,
+    /// Initial temperature, in objective units.
+    pub t0: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 20_000,
+            t0: 10.0,
+            cooling: 0.9995,
+            seed: 0x5A,
+        }
+    }
+}
+
+/// Solve by simulated annealing from the greedy seed.
+pub fn anneal(p: &CpProblem, cfg: AnnealConfig) -> (CpSolution, f64) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut current = greedy_plan(p);
+    let mut current_obj = p.objective(&current);
+    let mut best = current.clone();
+    let mut best_obj = current_obj;
+    let mut temp = cfg.t0;
+
+    for _ in 0..cfg.iterations {
+        if best_obj == 0.0 {
+            break;
+        }
+        let mut candidate = current.clone();
+        mutate_once(p, &mut candidate, &mut rng);
+        let obj = p.objective(&candidate);
+        let accept = obj <= current_obj
+            || rng.gen_bool(((current_obj - obj) / temp.max(1e-9)).exp().clamp(0.0, 1.0));
+        if accept {
+            current = candidate;
+            current_obj = obj;
+            if obj < best_obj {
+                best_obj = obj;
+                best = current.clone();
+            }
+        }
+        temp *= cfg.cooling;
+    }
+    (best, best_obj)
+}
+
+/// One random neighborhood move: reassign a node's channel or ring, or
+/// resample one gateway's channel window.
+fn mutate_once(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
+    match rng.gen_range(0..4u8) {
+        0 => {
+            let i = rng.gen_range(0..sol.node_channel.len());
+            sol.node_channel[i] = rng.gen_range(0..p.n_channels());
+        }
+        1 => {
+            let i = rng.gen_range(0..sol.node_ring.len());
+            sol.node_ring[i] = rng.gen_range(0..DISTANCE_RINGS);
+        }
+        2 => {
+            // Swap two nodes' assignments.
+            let a = rng.gen_range(0..sol.node_channel.len());
+            let b = rng.gen_range(0..sol.node_channel.len());
+            sol.node_channel.swap(a, b);
+            sol.node_ring.swap(a, b);
+        }
+        _ => {
+            let j = rng.gen_range(0..sol.gw_channels.len());
+            let n_ch = p.n_channels();
+            let window = p.window_channels(j).max(1).min(n_ch);
+            let start = rng.gen_range(0..=n_ch - window);
+            let budget = p.gw_limits[j].max_channels.min(window);
+            let count = rng.gen_range(1..=budget);
+            let mut chans: Vec<usize> = (start..start + window).collect();
+            for i in 0..count {
+                let s = rng.gen_range(i..chans.len());
+                chans.swap(i, s);
+            }
+            chans.truncate(count);
+            chans.sort_unstable();
+            sol.gw_channels[j] = chans;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::GatewayLimits;
+    use lora_phy::channel::ChannelGrid;
+
+    fn problem(nodes: usize, gws: usize) -> CpProblem {
+        let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let reach = vec![vec![[true; DISTANCE_RINGS]; gws]; nodes];
+        CpProblem::new(
+            channels,
+            reach,
+            vec![1.0; nodes],
+            vec![GatewayLimits::sx1302(); gws],
+        )
+    }
+
+    #[test]
+    fn anneal_feasible_and_no_worse_than_greedy() {
+        let p = problem(48, 5);
+        let greedy_obj = p.objective(&greedy_plan(&p));
+        let (sol, obj) = anneal(
+            &p,
+            AnnealConfig {
+                iterations: 4_000,
+                ..Default::default()
+            },
+        );
+        assert!(p.feasible(&sol));
+        assert!(obj <= greedy_obj);
+    }
+
+    #[test]
+    fn anneal_deterministic_per_seed() {
+        let p = problem(24, 3);
+        let cfg = AnnealConfig {
+            iterations: 2_000,
+            ..Default::default()
+        };
+        let (s1, o1) = anneal(&p, cfg);
+        let (s2, o2) = anneal(&p, cfg);
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn anneal_finds_zero_when_it_exists() {
+        // Same instance the GA test solves: a contention-free plan
+        // exists for 48 users / 5 gateways / 8 channels.
+        let p = problem(48, 5);
+        let (sol, obj) = anneal(
+            &p,
+            AnnealConfig {
+                iterations: 30_000,
+                ..Default::default()
+            },
+        );
+        assert!(p.all_connected(&sol));
+        assert_eq!(obj, 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The evolutionary CP solver (§4.3.1: "AlphaWAN runs an evolutionary
+//! algorithm on a central server to search for approximate solutions").
+//!
+//! Standard (μ+λ)-style GA over the direct [`CpSolution`] encoding:
+//! tournament selection, uniform crossover (per-node genes and
+//! per-gateway channel sets), mutation (node reassignment, gateway
+//! channel resampling within the radio window), a connectivity repair
+//! pass, and elitism. Seeded with the greedy plan so the search starts
+//! feasible.
+
+use super::greedy::greedy_plan;
+use super::{CpProblem, CpSolution};
+use lora_phy::pathloss::DISTANCE_RINGS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    pub population: usize,
+    pub generations: usize,
+    pub tournament: usize,
+    pub crossover_rate: f64,
+    /// Per-node gene mutation probability.
+    pub node_mutation: f64,
+    /// Per-gateway channel-set mutation probability.
+    pub gw_mutation: f64,
+    pub elites: usize,
+    pub seed: u64,
+    /// When false, gateway channel sets are pinned to the seed solution
+    /// (the "AlphaWAN with Strategy ① disabled" ablation, §5.1.1).
+    pub optimize_gateway_channels: bool,
+    /// When false, node (channel, ring) genes are pinned to the seed
+    /// solution (the "without cooperation from the node side" ablation,
+    /// §5.1.3).
+    pub optimize_node_assignments: bool,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 48,
+            generations: 120,
+            tournament: 3,
+            crossover_rate: 0.9,
+            node_mutation: 0.08,
+            gw_mutation: 0.25,
+            elites: 4,
+            seed: 0xA1FA_0AD,
+            optimize_gateway_channels: true,
+            optimize_node_assignments: true,
+        }
+    }
+}
+
+/// The evolutionary solver.
+pub struct GaSolver {
+    pub config: GaConfig,
+}
+
+impl GaSolver {
+    pub fn new(config: GaConfig) -> GaSolver {
+        GaSolver { config }
+    }
+
+    /// Solve `p` from the greedy seed; returns the best solution found
+    /// and its objective.
+    pub fn solve(&self, p: &CpProblem) -> (CpSolution, f64) {
+        self.solve_seeded(p, greedy_plan(p))
+    }
+
+    /// Solve `p` starting from an explicit seed solution. With the
+    /// `optimize_*` flags cleared, the corresponding genes stay pinned
+    /// to the seed — the paper's ablation variants.
+    pub fn solve_seeded(&self, p: &CpProblem, seedling: CpSolution) -> (CpSolution, f64) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let node_rate0 = if cfg.optimize_node_assignments { 0.3 } else { 0.0 };
+        let gw_rate0 = if cfg.optimize_gateway_channels { 0.5 } else { 0.0 };
+        let mut population: Vec<CpSolution> = Vec::with_capacity(cfg.population);
+        population.push(seedling.clone());
+        while population.len() < cfg.population {
+            let mut s = seedling.clone();
+            mutate(p, &mut s, node_rate0, gw_rate0, &mut rng);
+            if cfg.optimize_node_assignments {
+                repair(p, &mut s, &mut rng);
+            }
+            population.push(s);
+        }
+
+        let mut scored: Vec<(f64, CpSolution)> = population
+            .into_iter()
+            .map(|s| (p.objective(&s), s))
+            .collect();
+        sort_scored(&mut scored);
+
+        for _gen in 0..cfg.generations {
+            let mut next: Vec<(f64, CpSolution)> =
+                scored.iter().take(cfg.elites).cloned().collect();
+            while next.len() < cfg.population {
+                let a = tournament(&scored, cfg.tournament, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    let b = tournament(&scored, cfg.tournament, &mut rng);
+                    crossover(&scored[a].1, &scored[b].1, &mut rng)
+                } else {
+                    scored[a].1.clone()
+                };
+                let node_rate = if cfg.optimize_node_assignments {
+                    cfg.node_mutation
+                } else {
+                    0.0
+                };
+                let gw_rate = if cfg.optimize_gateway_channels {
+                    cfg.gw_mutation
+                } else {
+                    0.0
+                };
+                mutate(p, &mut child, node_rate, gw_rate, &mut rng);
+                if cfg.optimize_node_assignments {
+                    repair(p, &mut child, &mut rng);
+                }
+                let score = p.objective(&child);
+                next.push((score, child));
+            }
+            scored = next;
+            sort_scored(&mut scored);
+            if scored[0].0 == 0.0 {
+                break; // contention-free plan found
+            }
+        }
+
+        let (best_score, best) = scored.swap_remove(0);
+        (best, best_score)
+    }
+}
+
+fn sort_scored(scored: &mut [(f64, CpSolution)]) {
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+fn tournament(scored: &[(f64, CpSolution)], k: usize, rng: &mut StdRng) -> usize {
+    (0..k)
+        .map(|_| rng.gen_range(0..scored.len()))
+        .min_by(|&a, &b| scored[a].0.total_cmp(&scored[b].0))
+        .expect("tournament size > 0")
+}
+
+/// Uniform crossover over per-node genes and per-gateway channel sets.
+fn crossover(a: &CpSolution, b: &CpSolution, rng: &mut StdRng) -> CpSolution {
+    let node_channel = a
+        .node_channel
+        .iter()
+        .zip(&b.node_channel)
+        .zip(a.node_ring.iter().zip(&b.node_ring))
+        .map(|((ca, cb), _)| if rng.gen_bool(0.5) { *ca } else { *cb })
+        .collect::<Vec<_>>();
+    // Keep (channel, ring) genes paired: resample the same coin per node.
+    let mut node_ring = Vec::with_capacity(a.node_ring.len());
+    for i in 0..a.node_ring.len() {
+        // Ring follows whichever parent supplied the channel when they
+        // agree in length; simple uniform otherwise.
+        let take_a = node_channel[i] == a.node_channel[i];
+        node_ring.push(if take_a { a.node_ring[i] } else { b.node_ring[i] });
+    }
+    let gw_channels = a
+        .gw_channels
+        .iter()
+        .zip(&b.gw_channels)
+        .map(|(ga, gb)| if rng.gen_bool(0.5) { ga.clone() } else { gb.clone() })
+        .collect();
+    CpSolution {
+        gw_channels,
+        node_channel,
+        node_ring,
+    }
+}
+
+/// Mutate node genes and gateway channel sets in place.
+fn mutate(
+    p: &CpProblem,
+    sol: &mut CpSolution,
+    node_rate: f64,
+    gw_rate: f64,
+    rng: &mut StdRng,
+) {
+    let n_ch = p.n_channels();
+    for i in 0..sol.node_channel.len() {
+        if rng.gen_bool(node_rate) {
+            sol.node_channel[i] = rng.gen_range(0..n_ch);
+        }
+        if rng.gen_bool(node_rate) {
+            sol.node_ring[i] = rng.gen_range(0..DISTANCE_RINGS);
+        }
+    }
+    for j in 0..sol.gw_channels.len() {
+        if rng.gen_bool(gw_rate) {
+            resample_gateway_channels(p, sol, j, rng);
+        }
+    }
+}
+
+/// Give gateway `j` a fresh channel set: a random count within budget,
+/// drawn from a random window that satisfies the bandwidth constraint.
+fn resample_gateway_channels(p: &CpProblem, sol: &mut CpSolution, j: usize, rng: &mut StdRng) {
+    let n_ch = p.n_channels();
+    let window = p.window_channels(j).max(1).min(n_ch);
+    let start = rng.gen_range(0..=n_ch - window);
+    let budget = p.gw_limits[j].max_channels.min(window);
+    let count = rng.gen_range(1..=budget);
+    let mut chans: Vec<usize> = (start..start + window).collect();
+    // Fisher–Yates partial shuffle to pick `count` distinct channels.
+    for i in 0..count {
+        let swap = rng.gen_range(i..chans.len());
+        chans.swap(i, swap);
+    }
+    chans.truncate(count);
+    chans.sort_unstable();
+    sol.gw_channels[j] = chans;
+}
+
+/// Connectivity repair: every node must have a gateway listening on its
+/// channel within ring reach; try the cheapest feasible fix per node.
+fn repair(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
+    let masks: Vec<u64> = sol
+        .gw_channels
+        .iter()
+        .map(|chs| chs.iter().fold(0u64, |m, &k| m | (1 << k)))
+        .collect();
+    for i in 0..sol.node_channel.len() {
+        let connected = (0..p.n_gateways()).any(|j| {
+            (masks[j] >> sol.node_channel[i]) & 1 == 1 && p.reach[i][j][sol.node_ring[i]]
+        });
+        if connected {
+            continue;
+        }
+        // Collect all feasible (channel, ring) options for this node.
+        let mut options: Vec<(usize, usize)> = Vec::new();
+        for j in 0..p.n_gateways() {
+            for l in 0..DISTANCE_RINGS {
+                if p.reach[i][j][l] {
+                    for &k in &sol.gw_channels[j] {
+                        options.push((k, l));
+                    }
+                }
+            }
+        }
+        if !options.is_empty() {
+            let (k, l) = options[rng.gen_range(0..options.len())];
+            sol.node_channel[i] = k;
+            sol.node_ring[i] = l;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::brute::brute_force;
+    use crate::cp::GatewayLimits;
+    use lora_phy::channel::ChannelGrid;
+
+    fn full_reach(nodes: usize, gws: usize) -> Vec<Vec<[bool; DISTANCE_RINGS]>> {
+        vec![vec![[true; DISTANCE_RINGS]; gws]; nodes]
+    }
+
+    fn solver() -> GaSolver {
+        GaSolver::new(GaConfig {
+            population: 32,
+            generations: 60,
+            ..GaConfig::default()
+        })
+    }
+
+    #[test]
+    fn ga_finds_contention_free_plan_when_one_exists() {
+        // 5 gateways × 16 decoders ≥ 48 users; 8 channels × 6 DRs = 48
+        // slots: a zero-objective plan exists (Fig 5a's 16→48 result).
+        let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(48, 5),
+            vec![1.0; 48],
+            vec![GatewayLimits::sx1302(); 5],
+        );
+        let (sol, score) = solver().solve(&p);
+        assert!(p.feasible(&sol));
+        assert!(p.all_connected(&sol));
+        assert_eq!(score, 0.0, "a perfect plan exists and must be found");
+    }
+
+    #[test]
+    fn ga_beats_or_matches_greedy() {
+        let channels = ChannelGrid::standard(916_800_000, 3_200_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(96, 7),
+            vec![1.0; 96],
+            vec![GatewayLimits::sx1302(); 7],
+        );
+        let greedy_obj = p.objective(&greedy_plan(&p));
+        let (_, ga_obj) = solver().solve(&p);
+        assert!(ga_obj <= greedy_obj, "GA {ga_obj} worse than greedy {greedy_obj}");
+    }
+
+    #[test]
+    fn ga_matches_brute_force_on_tiny_instance() {
+        // 2 channels, 1 gateway, 3 nodes: exhaustively searchable.
+        let channels = ChannelGrid::standard(920_000_000, 400_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(3, 1),
+            vec![1.0, 2.0, 1.0],
+            vec![GatewayLimits {
+                decoders: 2,
+                max_channels: 2,
+                bandwidth_hz: 1_600_000,
+            }],
+        );
+        let (_, brute_obj) = brute_force(&p);
+        let (_, ga_obj) = solver().solve(&p);
+        assert!(
+            (ga_obj - brute_obj).abs() < 1e-9,
+            "GA {ga_obj} vs brute {brute_obj}"
+        );
+    }
+
+    #[test]
+    fn ga_deterministic_per_seed() {
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(24, 3),
+            vec![1.0; 24],
+            vec![GatewayLimits::sx1302(); 3],
+        );
+        let (s1, o1) = solver().solve(&p);
+        let (s2, o2) = solver().solve(&p);
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn ga_output_always_feasible() {
+        // Constrained instance: narrow per-gateway budgets.
+        let channels = ChannelGrid::standard(920_000_000, 4_800_000).channels();
+        let limits = GatewayLimits {
+            decoders: 8,
+            max_channels: 3,
+            bandwidth_hz: 1_600_000,
+        };
+        let p = CpProblem::new(channels, full_reach(30, 4), vec![1.0; 30], vec![limits; 4]);
+        let (sol, _) = solver().solve(&p);
+        assert!(p.feasible(&sol));
+    }
+}

@@ -1,0 +1,241 @@
+//! Greedy CP constructor — fast, feasible, and the seed for the GA.
+//!
+//! Two phases:
+//!
+//! 1. **Gateway channels**: the channel grid is split into contiguous,
+//!    balanced blocks, one per gateway (Strategy ② heterogeneity by
+//!    construction; block sizes shrink toward the 2–3 channels an
+//!    SX1302's 16 decoders can fully serve, which is Strategy ① when
+//!    gateways outnumber the spectrum's needs). Contiguity keeps every
+//!    block inside the radio-bandwidth window.
+//! 2. **Nodes**: hardest-to-serve nodes first, each assigned the
+//!    (channel, ring) pair minimizing the projected decoder overflow at
+//!    its best serving gateway, preferring unique (channel, ring) slots.
+//!    A node's traffic loads *every* gateway that listens on its channel
+//!    within reach — the same accounting the objective uses.
+
+use super::{CpProblem, CpSolution};
+use lora_phy::pathloss::DISTANCE_RINGS;
+
+/// Build a feasible solution greedily.
+pub fn greedy_plan(p: &CpProblem) -> CpSolution {
+    let n_gw = p.n_gateways();
+    let n_ch = p.n_channels();
+
+    // ---- Phase 1: contiguous balanced channel blocks.
+    let mut gw_channels: Vec<Vec<usize>> = Vec::with_capacity(n_gw);
+    for j in 0..n_gw {
+        let lo = j * n_ch / n_gw.max(1);
+        let hi = ((j + 1) * n_ch / n_gw.max(1)).max(lo + 1).min(n_ch);
+        let window = p.window_channels(j).max(1);
+        let budget = p.gw_limits[j].max_channels.min(window);
+        let mut block: Vec<usize> = (lo..hi.min(lo + budget)).collect();
+        if block.is_empty() {
+            block.push(lo.min(n_ch - 1));
+        }
+        gw_channels.push(block);
+    }
+
+    // Listener sets per channel.
+    let mut listeners: Vec<Vec<usize>> = vec![Vec::new(); n_ch];
+    for (j, chs) in gw_channels.iter().enumerate() {
+        for &k in chs {
+            listeners[k].push(j);
+        }
+    }
+
+    // ---- Phase 2: node assignment.
+    // Hardest nodes (fewest reachable gateways) first.
+    let mut order: Vec<usize> = (0..p.n_nodes()).collect();
+    let reach_count = |i: usize| -> usize {
+        (0..n_gw)
+            .filter(|&j| p.reach[i][j].iter().any(|&b| b))
+            .count()
+    };
+    order.sort_by_key(|&i| (reach_count(i), i));
+
+    let mut load = vec![0f64; n_gw];
+    let mut slot_used: std::collections::HashMap<(usize, usize), u32> =
+        std::collections::HashMap::new();
+    let mut node_channel = vec![0usize; p.n_nodes()];
+    let mut node_ring = vec![DISTANCE_RINGS - 1; p.n_nodes()];
+
+    for &i in &order {
+        let mut best: Option<(f64, usize, usize)> = None; // (score, k, l)
+        for (k, ls) in listeners.iter().enumerate() {
+            for l in 0..DISTANCE_RINGS {
+                // The serving set: listeners reachable at this ring.
+                let serving: Vec<usize> = ls
+                    .iter()
+                    .copied()
+                    .filter(|&j| p.reach[i][j][l])
+                    .collect();
+                if serving.is_empty() {
+                    continue;
+                }
+                // Projected Φ_i: best gateway's post-assignment overflow.
+                let phi = serving
+                    .iter()
+                    .map(|&j| {
+                        (load[j] + p.traffic[i] - p.gw_limits[j].decoders as f64).max(0.0)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                // Total load this channel choice adds across listeners
+                // (redundant coverage costs everyone).
+                let spread: f64 = serving.iter().map(|&j| load[j]).sum::<f64>()
+                    / serving.len() as f64;
+                // Prefer a fresh (channel, ring) slot so load spreads
+                // over *all* data rates ("full utilization of spectrum
+                // resources — high and low data rates", §4.2.3). When
+                // the spectrum is overloaded and duplicates are
+                // unavoidable, dump them on the *low* rings (fast data
+                // rates): their short airtimes lock on last, so doomed
+                // duplicates don't displace clean packets at the
+                // decoder pool — but never stack a slot beyond one duty
+                // period's worth of members (1% duty ⇒ 100), past which
+                // even time-scattered users collide.
+                const DUTY_GROUP_LIMIT: u32 = 100;
+                let dup = slot_used.get(&(k, l)).copied().unwrap_or(0);
+                let dup_cost = if dup == 0 {
+                    0.0
+                } else if dup < DUTY_GROUP_LIMIT {
+                    100.0 + 20.0 * l as f64 + dup as f64
+                } else {
+                    1e7 + dup as f64
+                };
+                let score = phi * 1_000.0 + dup_cost + spread + l as f64 * 0.01;
+                if best.map_or(true, |(s, ..)| score < s) {
+                    best = Some((score, k, l));
+                }
+            }
+        }
+        if let Some((_, k, l)) = best {
+            node_channel[i] = k;
+            node_ring[i] = l;
+            *slot_used.entry((k, l)).or_insert(0) += 1;
+            for &j in &listeners[k] {
+                if p.reach[i][j][l] {
+                    load[j] += p.traffic[i];
+                }
+            }
+        }
+        // Unreachable nodes keep defaults; the objective penalizes them.
+    }
+
+    CpSolution {
+        gw_channels,
+        node_channel,
+        node_ring,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::GatewayLimits;
+    use lora_phy::channel::ChannelGrid;
+
+    fn full_reach(nodes: usize, gws: usize) -> Vec<Vec<[bool; DISTANCE_RINGS]>> {
+        vec![vec![[true; DISTANCE_RINGS]; gws]; nodes]
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_connected() {
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(48, 5),
+            vec![1.0; 48],
+            vec![GatewayLimits::sx1302(); 5],
+        );
+        let sol = greedy_plan(&p);
+        assert!(p.feasible(&sol));
+        assert!(p.all_connected(&sol));
+    }
+
+    #[test]
+    fn greedy_spreads_channels_across_gateways() {
+        // 8 channels, 5 gateways: every gateway gets a block and every
+        // channel is covered by someone.
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(48, 5),
+            vec![1.0; 48],
+            vec![GatewayLimits::sx1302(); 5],
+        );
+        let sol = greedy_plan(&p);
+        let covering = sol.gw_channels.iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(covering, 5, "all gateways put to work");
+        let mut covered = vec![false; 8];
+        for chs in &sol.gw_channels {
+            for &k in chs {
+                covered[k] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn greedy_handles_oracle_scale() {
+        // Fig 12a at 9+ gateways: 144 nodes / 24 channels / enough
+        // decoders ⇒ a zero-risk plan exists and greedy must find one
+        // with no decoder overflow (24 channels / 9 GWs = blocks of 2–3,
+        // ≤ 18 nodes per gateway... exactly 16 with balance).
+        let channels = ChannelGrid::standard(916_800_000, 4_800_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(144, 9),
+            vec![1.0; 144],
+            vec![GatewayLimits::sx1302(); 9],
+        );
+        let sol = greedy_plan(&p);
+        assert!(p.feasible(&sol));
+        assert!(p.all_connected(&sol));
+        let obj = p.objective(&sol);
+        assert!(obj < 20.0, "greedy objective {obj} too high");
+    }
+
+    #[test]
+    fn unreachable_node_does_not_crash() {
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let mut reach = full_reach(2, 1);
+        reach[1] = vec![[false; DISTANCE_RINGS]; 1];
+        let p = CpProblem::new(channels, reach, vec![1.0; 2], vec![GatewayLimits::sx1302()]);
+        let sol = greedy_plan(&p);
+        assert!(p.feasible(&sol));
+        assert!(!p.all_connected(&sol));
+    }
+
+    #[test]
+    fn respects_tight_channel_budget() {
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let limits = GatewayLimits {
+            decoders: 16,
+            max_channels: 2,
+            bandwidth_hz: 1_600_000,
+        };
+        let p = CpProblem::new(channels, full_reach(10, 3), vec![1.0; 10], vec![limits; 3]);
+        let sol = greedy_plan(&p);
+        assert!(p.feasible(&sol));
+        for chs in &sol.gw_channels {
+            assert!(chs.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn more_gateways_than_channels_all_listen() {
+        // 4 channels, 6 gateways: blocks degenerate but every gateway
+        // still listens somewhere valid.
+        let channels = ChannelGrid::standard(920_000_000, 800_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(12, 6),
+            vec![1.0; 12],
+            vec![GatewayLimits::sx1302(); 6],
+        );
+        let sol = greedy_plan(&p);
+        assert!(p.feasible(&sol));
+        assert!(sol.gw_channels.iter().all(|c| !c.is_empty()));
+    }
+}

@@ -1,0 +1,81 @@
+//! Blocking operator-side client for the Master protocol — the
+//! "inter-network channel planning module on the network server"
+//! (§4.3.2) uses this to bootstrap its channel plan.
+
+use super::proto::{read_frame, write_frame, Request, Response};
+use lora_phy::channel::Channel;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connected Master client.
+pub struct MasterClient {
+    stream: TcpStream,
+}
+
+impl MasterClient {
+    /// Connect to a Master server.
+    pub fn connect(addr: SocketAddr) -> io::Result<MasterClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(MasterClient { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)
+    }
+
+    /// Register this operator; returns its Master-assigned id.
+    pub fn register(&mut self, operator: &str) -> io::Result<usize> {
+        match self.call(&Request::Register {
+            operator: operator.to_string(),
+        })? {
+            Response::Registered { operator_id } => Ok(operator_id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Request (or re-fetch) this operator's channel plan.
+    pub fn request_channels(&mut self, operator_id: usize) -> io::Result<Vec<Channel>> {
+        match self.call(&Request::RequestChannels { operator_id })? {
+            Response::Assignment { channels } => Ok(channels),
+            Response::Error { error } => Err(io::Error::other(error.to_string())),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Release this operator's plan.
+    pub fn release(&mut self, operator_id: usize) -> io::Result<()> {
+        match self.call(&Request::Release { operator_id })? {
+            Response::Released => Ok(()),
+            Response::Error { error } => Err(io::Error::other(error.to_string())),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Query region occupancy: (operator id, plan slot) pairs.
+    pub fn query_occupancy(&mut self) -> io::Result<Vec<(usize, usize)>> {
+        match self.call(&Request::QueryOccupancy)? {
+            Response::Occupancy { entries } => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Close the session politely.
+    pub fn bye(&mut self) -> io::Result<()> {
+        match self.call(&Request::Bye)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected Master response: {resp:?}"),
+    )
+}

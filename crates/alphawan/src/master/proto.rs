@@ -1,0 +1,148 @@
+//! The operator ↔ Master wire protocol.
+//!
+//! Length-prefixed JSON over TCP (the paper: "data exchanges
+//! implemented via TCP"): each message is a big-endian `u32` byte
+//! length followed by a JSON document. JSON keeps the protocol
+//! inspectable with standard tooling; the prefix makes framing
+//! unambiguous over a stream.
+
+use super::MasterError;
+use lora_phy::channel::Channel;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (sanity bound against corrupt peers).
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Operator → Master requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Register (or re-identify) an operator by name.
+    Register { operator: String },
+    /// Request a channel plan for the region.
+    RequestChannels { operator_id: usize },
+    /// Release the operator's plan.
+    Release { operator_id: usize },
+    /// Query current channel occupancy.
+    QueryOccupancy,
+    /// Close the connection.
+    Bye,
+}
+
+/// Master → operator responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Registered { operator_id: usize },
+    Assignment { channels: Vec<Channel> },
+    Released,
+    Occupancy { entries: Vec<(usize, usize)> },
+    Error { error: MasterError },
+    Bye,
+}
+
+/// Write one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let body = serde_json::to_vec(msg).map_err(io::Error::other)?;
+    let len = u32::try_from(body.len()).map_err(io::Error::other)?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::other("frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed JSON frame.
+pub fn read_frame<R: Read, T: for<'de> Deserialize<'de>>(r: &mut R) -> io::Result<T> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = vec![
+            Request::Register {
+                operator: "things-industries".into(),
+            },
+            Request::RequestChannels { operator_id: 3 },
+            Request::Release { operator_id: 3 },
+            Request::QueryOccupancy,
+            Request::Bye,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for expected in &reqs {
+            let got: Request = read_frame(&mut cur).unwrap();
+            assert_eq!(&got, expected);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_with_channels() {
+        let resp = Response::Assignment {
+            channels: vec![Channel::khz125(923_200_000), Channel::khz125(923_500_000)],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::QueryOccupancy).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        let body = b"not json at all";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(body);
+        let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let resp = Response::Error {
+            error: MasterError::RegionFull,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got, resp);
+    }
+}

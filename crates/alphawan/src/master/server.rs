@@ -1,0 +1,215 @@
+//! The Master TCP server: "an independent process running on a cloud
+//! server" (§4.3.2) — here a thread per connection over a shared
+//! [`MasterNode`].
+
+use super::proto::{read_frame, write_frame, Request, Response};
+use super::{MasterNode, RegionSpec};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running Master server.
+pub struct MasterServer {
+    addr: SocketAddr,
+    node: Arc<Mutex<MasterNode>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MasterServer {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving.
+    pub fn start(region: RegionSpec) -> io::Result<MasterServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let started = std::time::Instant::now();
+        let node = Arc::new(Mutex::new(MasterNode::new(region)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_node = Arc::clone(&node);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("alphawan-master-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            let node = Arc::clone(&accept_node);
+                            let _ = std::thread::Builder::new()
+                                .name("alphawan-master-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(s, node, started);
+                                });
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+
+        Ok(MasterServer {
+            addr,
+            node,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address operators should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct (in-process) access to the Master state, e.g. for
+    /// inspection in tests and experiments.
+    pub fn node(&self) -> Arc<Mutex<MasterNode>> {
+        Arc::clone(&self.node)
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `incoming()` wakes up.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MasterServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Serve one operator connection until `Bye` or EOF.
+fn serve_connection(
+    mut stream: TcpStream,
+    node: Arc<Mutex<MasterNode>>,
+    started: std::time::Instant,
+) -> io::Result<()> {
+    loop {
+        let req: Request = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        // Advance the Master clock so leases age and expire.
+        node.lock().tick(started.elapsed().as_millis() as u64);
+        let resp = match req {
+            Request::Register { operator } => Response::Registered {
+                operator_id: node.lock().register(&operator),
+            },
+            Request::RequestChannels { operator_id } => {
+                match node.lock().request_channels(operator_id) {
+                    Ok(channels) => Response::Assignment { channels },
+                    Err(error) => Response::Error { error },
+                }
+            }
+            Request::Release { operator_id } => match node.lock().release(operator_id) {
+                Ok(()) => Response::Released,
+                Err(error) => Response::Error { error },
+            },
+            Request::QueryOccupancy => Response::Occupancy {
+                entries: node.lock().occupancy(),
+            },
+            Request::Bye => {
+                write_frame(&mut stream, &Response::Bye)?;
+                return Ok(());
+            }
+        };
+        write_frame(&mut stream, &resp)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::client::MasterClient;
+
+    fn region() -> RegionSpec {
+        RegionSpec {
+            band_low_hz: 923_200_000,
+            spectrum_hz: 1_600_000,
+            expected_networks: 3,
+        }
+    }
+
+    #[test]
+    fn end_to_end_register_and_assign() {
+        let server = MasterServer::start(region()).unwrap();
+        let mut c = MasterClient::connect(server.addr()).unwrap();
+        let id = c.register("op-x").unwrap();
+        let plan = c.request_channels(id).unwrap();
+        assert!(!plan.is_empty());
+        let occ = c.query_occupancy().unwrap();
+        assert_eq!(occ, vec![(id, 0)]);
+        c.bye().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_operators_get_disjoint_plans() {
+        let server = MasterServer::start(region()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = MasterClient::connect(addr).unwrap();
+                    let id = c.register(&format!("op-{i}")).unwrap();
+                    let plan = c.request_channels(id).unwrap();
+                    c.bye().unwrap();
+                    (id, plan)
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|(id, _)| *id);
+        // All three got distinct ids and distinct plans.
+        assert_eq!(results.len(), 3);
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert_ne!(results[a].1, results[b].1);
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn region_full_error_propagates() {
+        let server = MasterServer::start(RegionSpec {
+            expected_networks: 1,
+            ..region()
+        })
+        .unwrap();
+        let mut c = MasterClient::connect(server.addr()).unwrap();
+        let a = c.register("a").unwrap();
+        c.request_channels(a).unwrap();
+        let b = c.register("b").unwrap();
+        let err = c.request_channels(b).unwrap_err();
+        assert!(err.to_string().contains("no free misaligned"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn release_over_wire() {
+        let server = MasterServer::start(region()).unwrap();
+        let mut c = MasterClient::connect(server.addr()).unwrap();
+        let id = c.register("op").unwrap();
+        c.request_channels(id).unwrap();
+        c.release(id).unwrap();
+        assert!(c.query_occupancy().unwrap().is_empty());
+        server.shutdown();
+    }
+}

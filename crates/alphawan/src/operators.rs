@@ -1,0 +1,76 @@
+//! The Table 2 industry snapshot: commercial LoRaWAN operators.
+
+use serde::{Deserialize, Serialize};
+
+/// One Table 2 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorStatus {
+    pub operator: &'static str,
+    pub regions: &'static str,
+    pub mode: &'static str,
+    pub gateways: u64,
+    pub end_nodes: u64,
+    /// Annual user growth rate, percent.
+    pub growth_pct: f64,
+}
+
+/// Table 2, verbatim.
+pub static OPERATORS: &[OperatorStatus] = &[
+    OperatorStatus {
+        operator: "The Things Industries",
+        regions: "Global",
+        mode: "Public",
+        gateways: 50_000,
+        end_nodes: 1_000_000,
+        growth_pct: 50.0,
+    },
+    OperatorStatus {
+        operator: "Netmore Senet",
+        regions: "EU/US/AU",
+        mode: "Public",
+        gateways: 20_000,
+        end_nodes: 2_300_000,
+        growth_pct: 251.0,
+    },
+    OperatorStatus {
+        operator: "Actility",
+        regions: "EU/US/AS",
+        mode: "Public",
+        gateways: 40_000,
+        end_nodes: 4_000_000,
+        growth_pct: 75.0,
+    },
+    OperatorStatus {
+        operator: "ZENNER Connect",
+        regions: "EU/US",
+        mode: "Public",
+        gateways: 110_000,
+        end_nodes: 8_900_000,
+        growth_pct: 78.0,
+    },
+];
+
+/// Aggregate nodes-per-gateway across the industry — context for why
+/// per-gateway decoder budgets matter at scale.
+pub fn mean_nodes_per_gateway() -> f64 {
+    let nodes: u64 = OPERATORS.iter().map(|o| o.end_nodes).sum();
+    let gws: u64 = OPERATORS.iter().map(|o| o.gateways).sum();
+    nodes as f64 / gws as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape() {
+        assert_eq!(OPERATORS.len(), 4);
+        assert!(OPERATORS.iter().all(|o| o.gateways > 0 && o.end_nodes > 0));
+    }
+
+    #[test]
+    fn industry_loads_dozens_of_nodes_per_gateway() {
+        let m = mean_nodes_per_gateway();
+        assert!(m > 50.0 && m < 100.0, "{m}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The Table 1 strategy space: four design principles, eight concrete
+//! strategies, four of which AlphaWAN adopts (①, ②, ⑦, ⑧).
+//!
+//! Besides the metadata table, this module provides the *configuration
+//! generators* for the strategies that are pure channel arithmetic:
+//! Strategy ① (fewer channels per gateway) and Strategy ② (heterogeneous
+//! channel configurations). Strategies ⑦ and ⑧ live in [`crate::cp`] /
+//! [`crate::planner`] and [`crate::master`] respectively.
+
+use lora_phy::channel::Channel;
+use serde::{Deserialize, Serialize};
+
+/// The paper's four design principles (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Principle {
+    OptimizeSpectrumUtilization,
+    AddExtraResources,
+    ManageUserContention,
+    IsolateCoexistingNetworks,
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Strategy {
+    pub number: u8,
+    pub principle: Principle,
+    pub name: &'static str,
+    pub implementation: &'static str,
+    pub practicability: &'static str,
+    pub adopted: bool,
+}
+
+/// Table 1, verbatim.
+pub static STRATEGIES: &[Strategy] = &[
+    Strategy {
+        number: 1,
+        principle: Principle::OptimizeSpectrumUtilization,
+        name: "Improve per-channel resource utilization",
+        implementation: "Adjust the number of channels per GW",
+        practicability: "Programmable, supported by COTS GWs",
+        adopted: true,
+    },
+    Strategy {
+        number: 2,
+        principle: Principle::OptimizeSpectrumUtilization,
+        name: "Heterogeneous channel configuration",
+        implementation: "Diversify channel configurations of GWs",
+        practicability: "Supported by COTS GWs",
+        adopted: true,
+    },
+    Strategy {
+        number: 3,
+        principle: Principle::AddExtraResources,
+        name: "More decoders per GW",
+        implementation: "Upgrade to the newest GWs",
+        practicability: "Not supported by legacy GWs",
+        adopted: false,
+    },
+    Strategy {
+        number: 4,
+        principle: Principle::AddExtraResources,
+        name: "More spectrum resources",
+        implementation: "Expand to new frequency bands",
+        practicability: "Limited ISM bands for LoRaWAN",
+        adopted: false,
+    },
+    Strategy {
+        number: 5,
+        principle: Principle::ManageUserContention,
+        name: "Smaller cell with shortened transmit range",
+        implementation: "Adaptive Data Rate, transmit power control",
+        practicability: "Suboptimal spectrum utilization",
+        adopted: false,
+    },
+    Strategy {
+        number: 6,
+        principle: Principle::ManageUserContention,
+        name: "Divide large cells into sub-regions",
+        implementation: "Directional antennas",
+        practicability: "Less effective to LoRaWAN",
+        adopted: false,
+    },
+    Strategy {
+        number: 7,
+        principle: Principle::ManageUserContention,
+        name: "Contention management for LoRaWAN",
+        implementation: "Joint channel planning and ADR/TPC optimize",
+        practicability: "Supported by COTS GWs and end-nodes",
+        adopted: true,
+    },
+    Strategy {
+        number: 8,
+        principle: Principle::IsolateCoexistingNetworks,
+        name: "Spectrum sharing across operators with misaligned channel plans",
+        implementation: "Create channel plans per operator with optimal frequency misalignment",
+        practicability: "Supported by COTS GWs and the LoRaWAN standard",
+        adopted: true,
+    },
+];
+
+/// Strategy ①: give each gateway `channels_per_gw` of the network's
+/// channels, round-robin, so all decoders concentrate on fewer channels
+/// (the Fig. 5a experiment: 5 GWs, 8→2 channels each, capacity 16→48).
+pub fn strategy1_fewer_channels(
+    channels: &[Channel],
+    n_gateways: usize,
+    channels_per_gw: usize,
+) -> Vec<Vec<Channel>> {
+    assert!(channels_per_gw >= 1);
+    let mut configs = vec![Vec::new(); n_gateways];
+    let mut next = 0usize;
+    for (j, cfg) in configs.iter_mut().enumerate() {
+        for _ in 0..channels_per_gw {
+            cfg.push(channels[next % channels.len()]);
+            next += 1;
+        }
+        let _ = j;
+    }
+    configs
+}
+
+/// Strategy ②: heterogeneous configurations — partition the channel
+/// list into contiguous, distinct slices, one per gateway (the Fig. 5b
+/// experiment: 3 GWs on disjoint channel subsets).
+pub fn strategy2_heterogeneous(channels: &[Channel], n_gateways: usize) -> Vec<Vec<Channel>> {
+    assert!(n_gateways >= 1);
+    let per = channels.len().div_ceil(n_gateways).max(1);
+    (0..n_gateways)
+        .map(|j| {
+            let lo = (j * per).min(channels.len().saturating_sub(1));
+            let hi = ((j + 1) * per).min(channels.len());
+            channels[lo..hi.max(lo + 1)].to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::channel::ChannelGrid;
+
+    fn eight_channels() -> Vec<Channel> {
+        ChannelGrid::standard(923_200_000, 1_600_000).channels()
+    }
+
+    #[test]
+    fn table1_has_eight_strategies_four_adopted() {
+        assert_eq!(STRATEGIES.len(), 8);
+        let adopted: Vec<u8> = STRATEGIES.iter().filter(|s| s.adopted).map(|s| s.number).collect();
+        assert_eq!(adopted, vec![1, 2, 7, 8]);
+    }
+
+    #[test]
+    fn strategy1_two_channels_each_cover_spectrum() {
+        // Fig 5a's best setting: 5 GWs × 2 channels cover all 8 channels
+        // with 16 decoders concentrated on every 2 channels.
+        let cfgs = strategy1_fewer_channels(&eight_channels(), 5, 2);
+        assert_eq!(cfgs.len(), 5);
+        for c in &cfgs {
+            assert_eq!(c.len(), 2);
+        }
+        let mut covered: Vec<u32> = cfgs.iter().flatten().map(|c| c.center_hz).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered.len(), 8, "all 8 channels covered");
+    }
+
+    #[test]
+    fn strategy2_disjoint_slices() {
+        let cfgs = strategy2_heterogeneous(&eight_channels(), 3);
+        assert_eq!(cfgs.len(), 3);
+        // Slices are disjoint.
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                for ca in &cfgs[a] {
+                    assert!(!cfgs[b].contains(ca));
+                }
+            }
+        }
+        // And cover everything.
+        let total: usize = cfgs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn strategy2_more_gateways_than_channels() {
+        let two: Vec<Channel> = eight_channels()[..2].to_vec();
+        let cfgs = strategy2_heterogeneous(&two, 4);
+        assert_eq!(cfgs.len(), 4);
+        for c in &cfgs {
+            assert!(!c.is_empty(), "every gateway listens somewhere");
+        }
+    }
+
+    #[test]
+    fn strategy1_wraps_round_robin() {
+        let cfgs = strategy1_fewer_channels(&eight_channels(), 5, 2);
+        // 5 × 2 = 10 assignments over 8 channels: exactly 2 channels
+        // get double coverage.
+        let mut counts = std::collections::HashMap::new();
+        for c in cfgs.iter().flatten() {
+            *counts.entry(c.center_hz).or_insert(0u32) += 1;
+        }
+        let doubled = counts.values().filter(|&&c| c == 2).count();
+        assert_eq!(doubled, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Random CP: the ablation baseline of §5.1.1 — "a randomized channel
+//! planning strategy, which adjusts the number of channels per gateway
+//! following Strategy ① but assigns channels to gateways at random."
+
+use lora_phy::channel::Channel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random channel configurations: each gateway gets `channels_per_gw`
+/// channels sampled uniformly (without replacement, window-constrained
+/// to `window` consecutive grid slots so the config remains valid for a
+/// COTS radio).
+pub fn random_cp_configs(
+    channels: &[Channel],
+    n_gateways: usize,
+    channels_per_gw: usize,
+    window: usize,
+    seed: u64,
+) -> Vec<Vec<Channel>> {
+    assert!(channels_per_gw >= 1 && !channels.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = window.clamp(1, channels.len());
+    let per = channels_per_gw.min(window);
+    (0..n_gateways)
+        .map(|_| {
+            let start = rng.gen_range(0..=channels.len() - window);
+            let mut idx: Vec<usize> = (start..start + window).collect();
+            for i in 0..per {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx.truncate(per);
+            idx.sort_unstable();
+            idx.into_iter().map(|k| channels[k]).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::channel::ChannelGrid;
+
+    fn grid() -> Vec<Channel> {
+        ChannelGrid::standard(916_800_000, 4_800_000).channels()
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let a = random_cp_configs(&grid(), 5, 2, 8, 42);
+        let b = random_cp_configs(&grid(), 5, 2, 8, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for cfg in &a {
+            assert_eq!(cfg.len(), 2);
+        }
+    }
+
+    #[test]
+    fn window_constraint_respected() {
+        // All channels of one gateway must fit an 8-slot (1.6 MHz) span.
+        let cfgs = random_cp_configs(&grid(), 20, 8, 8, 3);
+        for cfg in &cfgs {
+            let lo = cfg.iter().map(|c| c.center_hz).min().unwrap();
+            let hi = cfg.iter().map(|c| c.center_hz).max().unwrap();
+            assert!(hi - lo <= 7 * 200_000, "span too wide");
+        }
+    }
+
+    #[test]
+    fn channels_distinct_within_gateway() {
+        let cfgs = random_cp_configs(&grid(), 10, 4, 8, 9);
+        for cfg in &cfgs {
+            let mut c = cfg.clone();
+            c.dedup();
+            assert_eq!(c.len(), cfg.len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            random_cp_configs(&grid(), 5, 2, 8, 1),
+            random_cp_configs(&grid(), 5, 2, 8, 2)
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! LoRaWAN frame codec + crypto hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lora_mac::aes::Aes128;
+use lora_mac::cmac::aes_cmac;
+use lora_mac::device::{DevAddr, SessionKeys};
+use lora_mac::frame::PhyPayload;
+
+fn keys() -> SessionKeys {
+    SessionKeys {
+        nwk_s_key: [0x11; 16],
+        app_s_key: [0x22; 16],
+    }
+}
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128_encrypt_block", |b| {
+        let mut block = [0x42u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            block[0]
+        })
+    });
+}
+
+fn bench_cmac(c: &mut Criterion) {
+    let key = [9u8; 16];
+    let msg = [0xABu8; 64];
+    c.bench_function("aes_cmac_64B", |b| b.iter(|| aes_cmac(&key, &msg)));
+}
+
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let k = keys();
+    let frame = PhyPayload::uplink(DevAddr(0x2601_1234), 42, 1, &[0u8; 10]);
+    c.bench_function("frame_encode_23B", |b| b.iter(|| frame.encode(&k).unwrap()));
+    let wire = frame.encode(&k).unwrap();
+    c.bench_function("frame_decode_verify_23B", |b| {
+        b.iter(|| PhyPayload::decode(&wire, &k).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_aes_block, bench_cmac, bench_frame_roundtrip);
+criterion_main!(benches);

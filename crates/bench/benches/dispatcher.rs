@@ -1,0 +1,66 @@
+//! Gateway hot path: lock-on admission + release throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gateway::config::GatewayConfig;
+use gateway::profile::GatewayProfile;
+use gateway::radio::{Gateway, PacketAtGateway};
+use lora_phy::region::StandardChannelPlan;
+use lora_phy::types::SpreadingFactor;
+
+fn make_gateway() -> Gateway {
+    let profile = GatewayProfile::rak7268cv2();
+    let plan = StandardChannelPlan::us915_subband(0);
+    Gateway::new(
+        0,
+        1,
+        profile,
+        GatewayConfig::new(profile, plan.channels).unwrap(),
+    )
+}
+
+fn pkt(i: u64) -> PacketAtGateway {
+    let plan = StandardChannelPlan::us915_subband(0);
+    PacketAtGateway {
+        tx_id: i,
+        network_id: 1,
+        channel: plan.channels[(i % 8) as usize],
+        sf: SpreadingFactor::SF7,
+        rssi_dbm: -100.0,
+        snr_db: 10.0,
+        lock_on_us: i,
+        end_us: i + 50_000,
+    }
+}
+
+fn bench_admission_cycle(c: &mut Criterion) {
+    c.bench_function("gateway_admit_release_16", |b| {
+        let mut gw = make_gateway();
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..16 {
+                gw.on_lock_on(pkt(next));
+                next += 1;
+            }
+            for i in (next - 16)..next {
+                gw.on_tx_end(i, true);
+            }
+        })
+    });
+}
+
+fn bench_saturated_drops(c: &mut Criterion) {
+    c.bench_function("gateway_drop_when_full", |b| {
+        let mut gw = make_gateway();
+        for i in 0..16 {
+            gw.on_lock_on(pkt(i));
+        }
+        let mut next = 100u64;
+        b.iter(|| {
+            gw.on_lock_on(pkt(next));
+            next += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_admission_cycle, bench_saturated_drops);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Discrete-event engine + full simulation throughput.
+
+use bench::{NetworkSpec, WorldBuilder, PAYLOAD_LEN};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lora_phy::channel::ChannelGrid;
+use sim::engine::{Event, EventQueue};
+use sim::traffic::duty_cycled;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(
+                    i.wrapping_mul(2_654_435_761) % 1_000_000,
+                    Event::LockOn { tx_id: i },
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_world_run(c: &mut Criterion) {
+    let channels = ChannelGrid::standard(916_800_000, 4_800_000).channels();
+    let mut g = c.benchmark_group("world_run_1pct_duty_10s");
+    g.sample_size(10);
+    for users in [200usize, 1_000] {
+        let b = WorldBuilder::testbed(1).network(NetworkSpec {
+            network_id: 1,
+            n_nodes: users,
+            gw_channels: vec![channels[..8].to_vec(); 15],
+        });
+        let assigns: Vec<_> = (0..users)
+            .map(|i| {
+                (
+                    i,
+                    channels[i % channels.len()],
+                    lora_phy::types::DataRate::from_index(i % 6).unwrap(),
+                )
+            })
+            .collect();
+        let plans = duty_cycled(&assigns, PAYLOAD_LEN, 0.01, 10_000_000, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(users), &plans, |bch, plans| {
+            let mut w = b.build();
+            bch.iter(|| {
+                w.reset();
+                w.run(plans).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_world_run);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Master node: channel division and end-to-end TCP assignment latency.
+
+use alphawan::master::divider::ChannelDivider;
+use alphawan::master::server::MasterServer;
+use alphawan::master::RegionSpec;
+use alphawan::MasterClient;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_divider(c: &mut Criterion) {
+    c.bench_function("divider_six_plans", |b| {
+        b.iter(|| {
+            let d = ChannelDivider::new(916_800_000, 1_600_000, 6, 0.6);
+            (0..6).map(|o| d.plan(o).len()).sum::<usize>()
+        })
+    });
+}
+
+fn bench_tcp_round_trip(c: &mut Criterion) {
+    let server = MasterServer::start(RegionSpec {
+        band_low_hz: 916_800_000,
+        spectrum_hz: 4_800_000,
+        expected_networks: 6,
+    })
+    .unwrap();
+    let mut client = MasterClient::connect(server.addr()).unwrap();
+    let id = client.register("bench-op").unwrap();
+    c.bench_function("master_tcp_request_channels", |b| {
+        b.iter(|| client.request_channels(id).unwrap().len())
+    });
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_divider, bench_tcp_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! GA solver scaling: CP instances at the paper's Fig 17 sizes.
+
+use alphawan::cp::ga::{GaConfig, GaSolver};
+use alphawan::cp::{CpProblem, GatewayLimits};
+use alphawan::greedy_plan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lora_phy::channel::ChannelGrid;
+use lora_phy::pathloss::DISTANCE_RINGS;
+
+fn problem(nodes: usize, gws: usize) -> CpProblem {
+    let channels = ChannelGrid::standard(916_800_000, 4_800_000).channels();
+    let reach = vec![vec![[true; DISTANCE_RINGS]; gws]; nodes];
+    CpProblem::new(
+        channels,
+        reach,
+        vec![1.0; nodes],
+        vec![GatewayLimits::sx1302(); gws],
+    )
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_plan");
+    for nodes in [144usize, 1_000, 4_000] {
+        let p = problem(nodes, 15);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &p, |b, p| {
+            b.iter(|| greedy_plan(p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objective_eval");
+    for nodes in [144usize, 1_000, 4_000] {
+        let p = problem(nodes, 15);
+        let sol = greedy_plan(&p);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &(), |b, _| {
+            b.iter(|| p.objective(&sol))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ga_small(c: &mut Criterion) {
+    let p = problem(144, 9);
+    let solver = GaSolver::new(GaConfig {
+        population: 16,
+        generations: 10,
+        ..GaConfig::default()
+    });
+    let mut g = c.benchmark_group("ga");
+    g.sample_size(10);
+    g.bench_function("ga_144n_9gw_10gen", |b| b.iter(|| solver.solve(&p)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_objective, bench_ga_small);
+criterion_main!(benches);

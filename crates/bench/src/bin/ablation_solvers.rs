@@ -1,0 +1,4 @@
+//! Ablation of the CP solver and objective design. See `bench::experiments`.
+fn main() {
+    bench::experiments::ablation_solvers::run();
+}

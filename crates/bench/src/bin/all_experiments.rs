@@ -1,0 +1,38 @@
+//! Runs every table/figure experiment in sequence, writing CSVs under
+//! `results/`. Heavier experiments (Fig 13, Fig 21) run last.
+use std::time::Instant;
+
+fn main() {
+    let experiments: Vec<(&str, fn())> = vec![
+        ("table02", bench::experiments::table02_operators::run),
+        ("table03+01", bench::experiments::table03_strategies::run),
+        ("table04", bench::experiments::table04_gateways::run),
+        ("fig18", bench::experiments::fig18_spectrum_regions::run),
+        ("fig02", bench::experiments::fig02_capacity_gap::run),
+        ("fig03", bench::experiments::fig03_lockon_fcfs::run),
+        ("fig05", bench::experiments::fig05_strategies::run),
+        ("fig06", bench::experiments::fig06_adr_cells::run),
+        ("fig07", bench::experiments::fig07_directional::run),
+        ("fig08", bench::experiments::fig08_overlap::run),
+        ("fig16", bench::experiments::fig16_threshold::run),
+        ("fig12a", bench::experiments::fig12a_gateways::run),
+        ("fig12b", bench::experiments::fig12b_spectrum::run),
+        ("fig12c", bench::experiments::fig12c_contention::run),
+        ("fig12de", bench::experiments::fig12de_sharing::run),
+        ("fig14", bench::experiments::fig14_partial_adoption::run),
+        ("fig15", bench::experiments::fig15_fairness::run),
+        ("fig17", bench::experiments::fig17_latency::run),
+        ("ablation", bench::experiments::ablation_solvers::run),
+        ("fig04", bench::experiments::fig04_loss_breakdown::run),
+        ("fig13", bench::experiments::fig13_scale::run),
+        ("fig21", bench::experiments::fig21_longterm::run),
+    ];
+    let total = Instant::now();
+    for (name, run) in experiments {
+        let t = Instant::now();
+        println!("\n######## {name} ########");
+        run();
+        println!("[{name} finished in {:.1} s]", t.elapsed().as_secs_f64());
+    }
+    println!("\nall experiments done in {:.1} s", total.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig02 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig02_capacity_gap::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig03 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig03_lockon_fcfs::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig04 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig04_loss_breakdown::run();
+}

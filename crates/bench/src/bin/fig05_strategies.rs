@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig05 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig05_strategies::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig06_adr_cells::run();
+}

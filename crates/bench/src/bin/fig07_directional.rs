@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig07 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig07_directional::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig08 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig08_overlap::run();
+}

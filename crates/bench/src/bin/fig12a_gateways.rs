@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12a experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig12a_gateways::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12b experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig12b_spectrum::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12c experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig12c_contention::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12de experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig12de_sharing::run();
+}

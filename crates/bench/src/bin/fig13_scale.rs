@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig13_scale::run();
+}

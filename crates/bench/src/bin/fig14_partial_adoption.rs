@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig14_partial_adoption::run();
+}

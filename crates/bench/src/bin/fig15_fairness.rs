@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig15_fairness::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig16 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig16_threshold::run();
+}

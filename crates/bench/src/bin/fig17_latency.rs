@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig17 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig17_latency::run();
+}

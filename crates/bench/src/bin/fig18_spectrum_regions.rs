@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig18 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig18_spectrum_regions::run();
+}

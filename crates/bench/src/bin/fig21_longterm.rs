@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig21 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::fig21_longterm::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table02 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::table02_operators::run();
+}

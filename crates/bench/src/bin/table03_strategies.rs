@@ -1,0 +1,4 @@
+//! Regenerates the paper's table03 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::table03_strategies::run();
+}

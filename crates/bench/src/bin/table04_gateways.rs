@@ -1,0 +1,4 @@
+//! Regenerates the paper's table04 experiment. See `bench::experiments`.
+fn main() {
+    bench::experiments::table04_gateways::run();
+}

@@ -1,0 +1,83 @@
+//! Figure 2 — the motivating capacity gaps.
+//!
+//! (a) An operational LoRaWAN receives at most 16 concurrent packets —
+//! one third of the theoretical 48 for its 1.6 MHz spectrum — and
+//! deploying two extra gateways on the same spectrum does not help.
+//! (b) Two coexisting networks always sum to 16 received packets.
+
+use crate::experiments::{band_channels, probe_capacity};
+use crate::report::Table;
+use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder};
+
+pub fn run() {
+    part_a();
+    part_b();
+}
+
+fn part_a() {
+    let channels = band_channels(1_600_000);
+    let mut t = Table::new(
+        "Fig 2a — concurrent users received (1.6 MHz, standard plans)",
+        &["tx_users", "oracle", "ttn_gw_x1", "ttn_gw_x3"],
+    );
+    for n in [1usize, 8, 16, 24, 32, 40, 48, 56, 64] {
+        let mut caps = Vec::new();
+        for gws in [1usize, 3] {
+            let b = WorldBuilder::testbed(20_000 + n as u64).network(NetworkSpec {
+                network_id: 1,
+                n_nodes: n,
+                gw_channels: vec![channels.clone(); gws],
+            });
+            let mut w = b.build();
+            let ids: Vec<usize> = (0..n).collect();
+            let assigns = balanced_orthogonal_assignments(&w.topo, &ids, &channels);
+            caps.push(probe_capacity(&mut w, &assigns));
+        }
+        t.row(vec![
+            n.to_string(),
+            n.min(48).to_string(),
+            caps[0].to_string(),
+            caps[1].to_string(),
+        ]);
+    }
+    t.emit("fig02a_capacity_gap");
+}
+
+fn part_b() {
+    let channels = band_channels(1_600_000);
+    let mut t = Table::new(
+        "Fig 2b — two coexisting networks (same spectrum)",
+        &["setting", "net1_tx", "net2_tx", "net1_rx", "net2_rx", "total_rx"],
+    );
+    for (setting, (n1, n2)) in [(1usize, (8usize, 12usize)), (2, (12, 12)), (3, (16, 16))] {
+        let b = WorldBuilder::testbed(31_000 + setting as u64)
+            .network(NetworkSpec {
+                network_id: 1,
+                n_nodes: n1,
+                gw_channels: vec![channels.clone(); 1],
+            })
+            .network(NetworkSpec {
+                network_id: 2,
+                n_nodes: n2,
+                gw_channels: vec![channels.clone(); 1],
+            });
+        let mut w = b.build();
+        // One shared orthogonal assignment across both networks (the
+        // paper schedules nodes of both networks in distinct slots).
+        let ids: Vec<usize> = (0..n1 + n2).collect();
+        let assigns = balanced_orthogonal_assignments(&w.topo, &ids, &channels);
+        crate::scenario::apply_group_tpc(&mut w, &assigns);
+        let recs = crate::scenario::capacity_probe(&mut w, &assigns);
+        let rx1 = recs.iter().filter(|r| r.delivered && r.network_id == 1).count();
+        let rx2 = recs.iter().filter(|r| r.delivered && r.network_id == 2).count();
+        t.row(vec![
+            setting.to_string(),
+            n1.to_string(),
+            n2.to_string(),
+            rx1.to_string(),
+            rx2.to_string(),
+            (rx1 + rx2).to_string(),
+        ]);
+    }
+    t.emit("fig02b_coexistence");
+}

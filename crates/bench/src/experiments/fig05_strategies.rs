@@ -1,0 +1,79 @@
+//! Figure 5 — feasibility of Strategies ① and ②.
+//!
+//! (a) Five gateways in 1.6 MHz: reducing the channels per gateway from
+//! 8 to 2 lifts the spectrum's capacity from 16 to 48 concurrent users.
+//! (b) Three gateways with heterogeneous channel configurations beat
+//! three homogeneous ones.
+
+use crate::experiments::{band_channels, probe_capacity};
+use crate::report::Table;
+use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder};
+use alphawan::strategy::{strategy1_fewer_channels, strategy2_heterogeneous};
+use lora_phy::channel::Channel;
+
+pub fn run() {
+    part_a();
+    part_b();
+}
+
+fn part_a() {
+    let channels = band_channels(1_600_000);
+    let mut t = Table::new(
+        "Fig 5a — Strategy ①: capacity vs channels per gateway (5 GWs, 48 users)",
+        &["channels_per_gw", "capacity"],
+    );
+    for per in [8usize, 4, 2] {
+        let cfgs = strategy1_fewer_channels(&channels, 5, per);
+        let cap = capacity_with(&cfgs, &channels, 48, 60_000 + per as u64);
+        t.row(vec![per.to_string(), cap.to_string()]);
+    }
+    t.emit("fig05a_strategy1");
+}
+
+fn part_b() {
+    let channels = band_channels(1_600_000);
+    let mut t = Table::new(
+        "Fig 5b — Strategy ②: heterogeneous configurations (3 GWs, 48 users)",
+        &["setting", "capacity"],
+    );
+    // STD: all three gateways identical.
+    let std_cfgs = vec![channels.clone(); 3];
+    t.row(vec![
+        "std".into(),
+        capacity_with(&std_cfgs, &channels, 48, 61_001).to_string(),
+    ]);
+    // Setting #1: one full-band gateway + two half-band gateways.
+    let het1 = vec![
+        channels.clone(),
+        channels[..4].to_vec(),
+        channels[4..].to_vec(),
+    ];
+    t.row(vec![
+        "het#1".into(),
+        capacity_with(&het1, &channels, 48, 61_002).to_string(),
+    ]);
+    // Setting #2: three disjoint slices (strategy2 helper).
+    let het2 = strategy2_heterogeneous(&channels, 3);
+    t.row(vec![
+        "het#2".into(),
+        capacity_with(&het2, &channels, 48, 61_003).to_string(),
+    ]);
+    t.emit("fig05b_strategy2");
+}
+
+fn capacity_with(
+    gw_cfgs: &[Vec<Channel>],
+    channels: &[Channel],
+    users: usize,
+    seed: u64,
+) -> usize {
+    let b = WorldBuilder::testbed(seed).network(NetworkSpec {
+        network_id: 1,
+        n_nodes: users,
+        gw_channels: gw_cfgs.to_vec(),
+    });
+    let mut w = b.build();
+    let ids: Vec<usize> = (0..users).collect();
+    let assigns = balanced_orthogonal_assignments(&w.topo, &ids, channels);
+    probe_capacity(&mut w, &assigns)
+}

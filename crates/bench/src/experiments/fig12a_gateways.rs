@@ -1,0 +1,111 @@
+//! Figure 12a — "more gateways, more gains": maximum concurrent users
+//! vs gateway count (144 users, 24 channels / 4.8 MHz).
+//!
+//! Series: standard LoRaWAN (flat at 48 — three homogeneous plans),
+//! Random CP, AlphaWAN with Strategy ① disabled, full AlphaWAN
+//! (approaches the 144-user oracle), oracle.
+
+use crate::experiments::{
+    band_channels, deploy_plan, fixed_eight_channel_windows, plan_network,
+    plan_with_pinned_gateways, probe_capacity, quick_ga,
+};
+use crate::report::Table;
+use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder};
+use baselines::random_cp::random_cp_configs;
+use baselines::standard::standard_gateway_configs;
+
+const USERS: usize = 144;
+const SPECTRUM: u32 = 4_800_000;
+
+pub fn run() {
+    let channels = band_channels(SPECTRUM);
+    let mut t = Table::new(
+        "Fig 12a — max concurrent users vs number of gateways",
+        &[
+            "gateways",
+            "oracle",
+            "standard",
+            "random_cp",
+            "alphawan_no_s1",
+            "alphawan_full",
+        ],
+    );
+    for gws in [1usize, 3, 5, 7, 9, 11, 13, 15] {
+        // --- Standard LoRaWAN.
+        let std_cap = {
+            let cfgs = standard_gateway_configs(crate::experiments::BAND_LOW_HZ, SPECTRUM, gws);
+            let b = WorldBuilder::testbed(120_000 + gws as u64).network(NetworkSpec {
+                network_id: 1,
+                n_nodes: USERS,
+                gw_channels: cfgs,
+            });
+            let mut w = b.build();
+            let ids: Vec<usize> = (0..USERS).collect();
+            let assigns = balanced_orthogonal_assignments(&w.topo, &ids, &channels);
+            probe_capacity(&mut w, &assigns)
+        };
+
+        // --- Random CP: Strategy-① channel counts, random placement.
+        let rand_cap = {
+            let per = (channels.len() / gws).clamp(2, 8);
+            let cfgs = random_cp_configs(&channels, gws, per, 8, 77 + gws as u64);
+            let b = WorldBuilder::testbed(120_000 + gws as u64).network(NetworkSpec {
+                network_id: 1,
+                n_nodes: USERS,
+                gw_channels: cfgs,
+            });
+            let mut w = b.build();
+            let ids: Vec<usize> = (0..USERS).collect();
+            let assigns = balanced_orthogonal_assignments(&w.topo, &ids, &channels);
+            probe_capacity(&mut w, &assigns)
+        };
+
+        // --- AlphaWAN without Strategy ① (8 channels per GW, pinned).
+        let no_s1_cap = {
+            let b = WorldBuilder::testbed(120_000 + gws as u64).network(NetworkSpec {
+                network_id: 1,
+                n_nodes: USERS,
+                gw_channels: vec![channels[..8].to_vec(); gws],
+            });
+            let mut w = b.build();
+            let ids: Vec<usize> = (0..USERS).collect();
+            let gw_ids: Vec<usize> = (0..gws).collect();
+            let windows = fixed_eight_channel_windows(&channels, gws);
+            let outcome = plan_with_pinned_gateways(
+                &w.topo,
+                &ids,
+                &gw_ids,
+                channels.clone(),
+                windows,
+                quick_ga(USERS),
+            );
+            let assigns = deploy_plan(&mut w, &outcome, &ids, &gw_ids);
+            probe_capacity(&mut w, &assigns)
+        };
+
+        // --- Full AlphaWAN.
+        let full_cap = {
+            let b = WorldBuilder::testbed(120_000 + gws as u64).network(NetworkSpec {
+                network_id: 1,
+                n_nodes: USERS,
+                gw_channels: vec![channels[..8].to_vec(); gws],
+            });
+            let mut w = b.build();
+            let ids: Vec<usize> = (0..USERS).collect();
+            let gw_ids: Vec<usize> = (0..gws).collect();
+            let outcome = plan_network(&w.topo, &ids, &gw_ids, channels.clone(), quick_ga(USERS));
+            let assigns = deploy_plan(&mut w, &outcome, &ids, &gw_ids);
+            probe_capacity(&mut w, &assigns)
+        };
+
+        t.row(vec![
+            gws.to_string(),
+            USERS.to_string(),
+            std_cap.to_string(),
+            rand_cap.to_string(),
+            no_s1_cap.to_string(),
+            full_cap.to_string(),
+        ]);
+    }
+    t.emit("fig12a_gateways");
+}

@@ -1,0 +1,234 @@
+//! Figure 13 — IoT connectivity at scale: 2k–12k duty-cycled users,
+//! 15 gateways, 4.8 MHz, against the §5.2.1 strategy lineup.
+//!
+//! Workloads are continuous 1%-duty traffic over a 60 s window. The
+//! uncoordinated baselines draw Poisson arrivals; AlphaWAN's network
+//! server additionally *schedules* each (channel, DR) slot group's
+//! members at staggered phases — the paper's emulation transmits each
+//! node's extra users "across distinct time slots", which is exactly
+//! duty-cycling's role of scattering users over time (§2.2). LMAC
+//! defers conflicting transmissions (CSMA) and gives up when the
+//! deferral exceeds half a duty period.
+//!
+//! (a) aggregated throughput, (b) PRR, (c) loss factors at 6k,
+//! (d) data-rate utilization. Expected shape: w/o-ADR, LMAC and CIC
+//! saturate (decoder/channel limits); ADR and Random CP climb further;
+//! AlphaWAN keeps PRR >85% to 12k users.
+
+use crate::experiments::{band_channels, deploy_plan, plan_network, quick_ga};
+use crate::report::{f1, pct, Table};
+use crate::scenario::{adr_data_rate, apply_group_tpc, NetworkSpec, WorldBuilder, PAYLOAD_LEN};
+use baselines::lmac::lmac_reshape_with_deadline;
+use baselines::random_cp::random_cp_configs;
+use baselines::standard::standard_gateway_configs;
+use lora_phy::airtime::PacketParams;
+use lora_phy::channel::Channel;
+use lora_phy::types::{Bandwidth, DataRate, TxPowerDbm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::metrics::{dr_distribution, RunMetrics};
+use sim::traffic::TxPlan;
+
+const GWS: usize = 15;
+const SPECTRUM: u32 = 4_800_000;
+const HORIZON_US: u64 = 60_000_000;
+const DUTY: f64 = 0.01;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StrategyKind {
+    NoAdr,
+    Adr,
+    Lmac,
+    Cic,
+    RandomCp,
+    AlphaWan,
+}
+
+const STRATEGIES: [(StrategyKind, &str); 6] = [
+    (StrategyKind::NoAdr, "lorawan_wo_adr"),
+    (StrategyKind::Adr, "lorawan_w_adr"),
+    (StrategyKind::Lmac, "lmac"),
+    (StrategyKind::Cic, "cic"),
+    (StrategyKind::RandomCp, "random_cp"),
+    (StrategyKind::AlphaWan, "alphawan"),
+];
+
+pub fn run() {
+    let scales = [2_000usize, 4_000, 6_000, 8_000, 10_000, 12_000];
+    let mut tput = Table::new(
+        "Fig 13a — aggregated throughput (kbit/s)",
+        &["users", "wo_adr", "w_adr", "lmac", "cic", "random_cp", "alphawan"],
+    );
+    let mut prr = Table::new(
+        "Fig 13b — packet reception ratio",
+        &["users", "wo_adr", "w_adr", "lmac", "cic", "random_cp", "alphawan"],
+    );
+    let mut at6k: Vec<(String, RunMetrics, [f64; 6])> = Vec::new();
+
+    for &users in &scales {
+        let mut tput_row = vec![users.to_string()];
+        let mut prr_row = vec![users.to_string()];
+        for (kind, name) in STRATEGIES {
+            let (m, drs) = run_strategy(kind, users);
+            if users == 6_000 {
+                at6k.push((name.to_string(), m, drs));
+            }
+            tput_row.push(f1(m.delivered_payload_bytes as f64 * 8.0
+                / (HORIZON_US as f64 / 1e6)
+                / 1_000.0));
+            prr_row.push(pct(m.prr()));
+        }
+        tput.row(tput_row);
+        prr.row(prr_row);
+    }
+    tput.emit("fig13a_throughput");
+    prr.emit("fig13b_prr");
+
+    let mut c = Table::new(
+        "Fig 13c — loss factors at 6k users",
+        &["strategy", "decoder", "channel", "other"],
+    );
+    let mut d = Table::new(
+        "Fig 13d — data-rate utilization at 6k users (fraction of packets)",
+        &["strategy", "DR0", "DR1", "DR2", "DR3", "DR4", "DR5"],
+    );
+    for (name, m, dr) in &at6k {
+        let f = m.loss_fractions();
+        c.row(vec![
+            name.clone(),
+            pct(f[0] + f[1]),
+            pct(f[2] + f[3]),
+            pct(f[4]),
+        ]);
+        let mut row = vec![name.clone()];
+        row.extend(dr.iter().map(|x| pct(*x)));
+        d.row(row);
+    }
+    c.emit("fig13c_loss_factors");
+    d.emit("fig13d_utilization");
+}
+
+/// Draw a data rate from the TTN operational distribution (Fig. 6e).
+fn ttn_dr_sample(rng: &mut StdRng) -> DataRate {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let cdf = [
+        (0.0061, DataRate::DR0),
+        (0.0082, DataRate::DR1),
+        (0.2021, DataRate::DR2),
+        (0.3274, DataRate::DR3),
+        (0.4675, DataRate::DR4),
+        (1.0001, DataRate::DR5),
+    ];
+    for (c, dr) in cdf {
+        if x < c {
+            return dr;
+        }
+    }
+    DataRate::DR5
+}
+
+/// Airtime of one uplink at the given data rate.
+fn airtime_us(dr: DataRate) -> u64 {
+    PacketParams::lorawan_uplink(dr.spreading_factor(), Bandwidth::Khz125, PAYLOAD_LEN)
+        .airtime()
+        .total_us()
+}
+
+/// Run one strategy at one scale.
+fn run_strategy(kind: StrategyKind, users: usize) -> (RunMetrics, [f64; 6]) {
+    let channels = band_channels(SPECTRUM);
+    let seed = 160_000 + users as u64 + kind as u64 * 13;
+
+    let gw_cfgs: Vec<Vec<Channel>> = match kind {
+        StrategyKind::RandomCp => {
+            random_cp_configs(&channels, GWS, (channels.len() / GWS).clamp(2, 8), 8, seed)
+        }
+        StrategyKind::AlphaWan => vec![channels[..8].to_vec(); GWS], // replaced by the planner
+        _ => standard_gateway_configs(crate::experiments::BAND_LOW_HZ, SPECTRUM, GWS),
+    };
+
+    // Compact geometry: every gateway hears the whole deployment, so
+    // homogeneous gateways truly observe identical packet sets (§3.2's
+    // regime) and the decoder bottleneck binds as in the paper.
+    let mut b = WorldBuilder::testbed(seed).network(NetworkSpec {
+        network_id: 1,
+        n_nodes: users,
+        gw_channels: gw_cfgs,
+    });
+    b.max_link_loss_db = 124.0; // all links close at every gateway
+    let mut w = b.build();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    // Nodes join on channels their operator's gateways actually cover.
+    let covered: Vec<Channel> = {
+        let mut v: Vec<Channel> = w
+            .gateways
+            .iter()
+            .flat_map(|g| g.config().channels().to_vec())
+            .collect();
+        v.sort_by_key(|c| c.center_hz);
+        v.dedup();
+        v
+    };
+    let assigns: Vec<(usize, Channel, DataRate)> = match kind {
+        StrategyKind::NoAdr => (0..users)
+            .map(|i| (i, covered[rng.gen_range(0..covered.len())], DataRate::DR0))
+            .collect(),
+        // LMAC and CIC run on top of the operational (ADR) stack. The
+        // deployed data-rate mix follows the paper's TTN measurement
+        // (Fig. 6e: 53.7% DR5, 14.0% DR4, 12.5% DR3, 19.4% DR2, …),
+        // bounded by what each link can actually sustain.
+        StrategyKind::Adr | StrategyKind::Lmac | StrategyKind::Cic | StrategyKind::RandomCp => {
+            (0..users)
+                .map(|i| {
+                    let sampled = ttn_dr_sample(&mut rng);
+                    let max_dr = adr_data_rate(&w.topo, i, TxPowerDbm(14.0));
+                    (
+                        i,
+                        covered[rng.gen_range(0..covered.len())],
+                        sampled.min(max_dr),
+                    )
+                })
+                .collect()
+        }
+        StrategyKind::AlphaWan => {
+            let ids: Vec<usize> = (0..users).collect();
+            let gw_ids: Vec<usize> = (0..GWS).collect();
+            let outcome = plan_network(&w.topo, &ids, &gw_ids, channels.clone(), quick_ga(users));
+            deploy_plan(&mut w, &outcome, &ids, &gw_ids)
+        }
+    };
+    if kind == StrategyKind::Cic {
+        w.cic = true;
+    }
+    apply_group_tpc(&mut w, &assigns);
+
+    // Workload: the emulation testbed schedules every strategy's users
+    // across distinct time slots (§5.2.1); what differs per strategy is
+    // the frequency/DR/gateway configuration. Users sharing a
+    // (channel, DR, phase) slot — unavoidable once a slot group exceeds
+    // one duty period — still collide.
+    let mut gave_up = 0u64;
+    let scheduled = crate::scenario::coordinated_schedule(&assigns, DUTY, HORIZON_US, PAYLOAD_LEN);
+    let plans: Vec<TxPlan> = match kind {
+        StrategyKind::Lmac => {
+            // CSMA defers slot conflicts and gives up once deferral
+            // exceeds half a duty period (the next packet is due).
+            let (kept, dropped) = lmac_reshape_with_deadline(&scheduled, 20_000, seed, |p| {
+                (airtime_us(p.dr) as f64 / DUTY / 2.0) as u64
+            });
+            gave_up = dropped;
+            kept
+        }
+        _ => scheduled,
+    };
+
+    w.reset();
+    let recs = w.run(&plans);
+    let mut m = RunMetrics::from_records(&recs, None);
+    // Given-up LMAC packets were offered by the application but never
+    // transmitted: count them as channel-contention losses.
+    m.sent += gave_up;
+    m.losses.channel_intra += gave_up;
+    (m, dr_distribution(&recs))
+}

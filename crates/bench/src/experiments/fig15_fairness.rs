@@ -1,0 +1,74 @@
+//! Figure 15 — fairness between two coexisting AlphaWAN networks under
+//! varying load (40% frequency overlap between their plans).
+//!
+//! Network 1 holds 48 concurrent users (the 1.6 MHz theoretical max);
+//! network 2 sweeps 16→80. Both keep service ratios >90% up to 48;
+//! past 48, network 2's own channel contention drags *its* ratio down
+//! while network 1 stays >80%.
+
+use crate::experiments::{band_channels, plan_network, quick_ga, set_gateway_channels};
+use crate::report::{pct, Table};
+use crate::scenario::{NetworkSpec, WorldBuilder};
+use alphawan::master::divider::ChannelDivider;
+use lora_phy::channel::Channel;
+use lora_phy::types::DataRate;
+
+const SPECTRUM: u32 = 1_600_000;
+
+pub fn run() {
+    let mut t = Table::new(
+        "Fig 15 — service ratios under varying network-2 load (40% overlap)",
+        &["net2_users", "net1_service", "net2_service"],
+    );
+    for net2_users in [16usize, 32, 48, 64, 80] {
+        let (s1, s2) = fairness_run(net2_users);
+        t.row(vec![net2_users.to_string(), pct(s1), pct(s2)]);
+    }
+    t.emit("fig15_fairness");
+}
+
+fn fairness_run(net2_users: usize) -> (f64, f64) {
+    let channels = band_channels(SPECTRUM);
+    let net1_users = 48usize;
+    let b = WorldBuilder::testbed(180_000 + net2_users as u64)
+        .network(NetworkSpec {
+            network_id: 1,
+            n_nodes: net1_users,
+            gw_channels: vec![channels.clone(); 3],
+        })
+        .network(NetworkSpec {
+            network_id: 2,
+            n_nodes: net2_users,
+            gw_channels: vec![channels.clone(); 3],
+        });
+    let builder = b.clone();
+    let mut w = b.build();
+
+    let divider = ChannelDivider::new(crate::experiments::BAND_LOW_HZ, SPECTRUM, 2, 0.4);
+    let mut assigns: Vec<(usize, Channel, DataRate)> = Vec::new();
+    for net in 0..2 {
+        let node_ids: Vec<usize> = builder.node_range(net).collect();
+        let gw_ids: Vec<usize> = builder.gw_range(net).collect();
+        let outcome = plan_network(
+            &w.topo,
+            &node_ids,
+            &gw_ids,
+            divider.plan(net),
+            quick_ga(node_ids.len()),
+        );
+        for (s, &gw) in gw_ids.iter().enumerate() {
+            set_gateway_channels(&mut w, gw, outcome.gateway_channels[s].clone());
+        }
+        assigns.extend(crate::scenario::planned_assignments(&outcome, &node_ids));
+    }
+
+    crate::scenario::apply_group_tpc(&mut w, &assigns);
+    let recs = crate::scenario::capacity_probe(&mut w, &assigns);
+    let service = |net: u32, users: usize| -> f64 {
+        recs.iter()
+            .filter(|r| r.network_id == net && r.delivered)
+            .count() as f64
+            / users as f64
+    };
+    (service(1, net1_users), service(2, net2_users))
+}

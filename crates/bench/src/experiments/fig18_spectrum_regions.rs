@@ -1,0 +1,27 @@
+//! Figure 18 (Appendix A) — LoRaWAN spectrum across countries/regions:
+//! a few wide-band regions (US915-style) and a long tail of narrow
+//! allocations; >70% of regions authorize <6.5 MHz overall.
+
+use crate::report::{pct, Table};
+use lora_phy::region::region_spectrum_dataset;
+
+pub fn run() {
+    let data = region_spectrum_dataset();
+    let mut t = Table::new(
+        "Fig 18 — CDF of authorized LoRaWAN spectrum across regions",
+        &["spectrum_mhz", "uplink_cdf", "downlink_cdf", "overall_cdf"],
+    );
+    let n = data.len() as f64;
+    for mhz in [1.0, 2.0, 4.0, 6.5, 8.0, 12.0, 16.0, 20.0, 28.0] {
+        let up = data.iter().filter(|r| r.uplink_mhz <= mhz).count() as f64 / n;
+        let down = data.iter().filter(|r| r.downlink_mhz <= mhz).count() as f64 / n;
+        let all = data.iter().filter(|r| r.overall_mhz() <= mhz).count() as f64 / n;
+        t.row(vec![format!("{mhz:.1}"), pct(up), pct(down), pct(all)]);
+    }
+    t.emit("fig18_spectrum_regions");
+    let narrow = data.iter().filter(|r| r.overall_mhz() < 6.5).count() as f64 / n;
+    println!(
+        "{} of regions authorize <6.5 MHz overall (paper: >70%)",
+        pct(narrow)
+    );
+}

@@ -1,0 +1,206 @@
+//! One module per paper table/figure. Each exposes `run()`, printing
+//! the same rows/series the paper reports and writing CSVs under
+//! `results/`. The `all_experiments` binary runs everything.
+
+pub mod ablation_solvers;
+pub mod fig02_capacity_gap;
+pub mod fig03_lockon_fcfs;
+pub mod fig04_loss_breakdown;
+pub mod fig05_strategies;
+pub mod fig06_adr_cells;
+pub mod fig07_directional;
+pub mod fig08_overlap;
+pub mod fig12a_gateways;
+pub mod fig12b_spectrum;
+pub mod fig12c_contention;
+pub mod fig12de_sharing;
+pub mod fig13_scale;
+pub mod fig14_partial_adoption;
+pub mod fig15_fairness;
+pub mod fig16_threshold;
+pub mod fig17_latency;
+pub mod fig18_spectrum_regions;
+pub mod fig21_longterm;
+pub mod table02_operators;
+pub mod table03_strategies;
+pub mod table04_gateways;
+
+use crate::scenario::PAYLOAD_LEN;
+use alphawan::cp::ga::GaConfig;
+use alphawan::cp::{CpSolution, GatewayLimits};
+use alphawan::planner::{IntraNetworkPlanner, PlanOutcome};
+use lora_phy::channel::{Channel, ChannelGrid};
+use sim::topology::Topology;
+use sim::world::SimWorld;
+
+/// Default uplink band anchor for the §5.1 experiments
+/// (916.8–921.6 MHz in the paper).
+pub const BAND_LOW_HZ: u32 = 916_800_000;
+
+/// The channel grid for a spectrum slice anchored at [`BAND_LOW_HZ`].
+pub fn band_channels(spectrum_hz: u32) -> Vec<Channel> {
+    ChannelGrid::standard(BAND_LOW_HZ, spectrum_hz).channels()
+}
+
+/// Swap a gateway's channel configuration in place.
+pub fn set_gateway_channels(world: &mut SimWorld, gw: usize, channels: Vec<Channel>) {
+    let profile = world.gateways[gw].profile();
+    let config = gateway::config::GatewayConfig::new(profile, channels)
+        .expect("experiment channel config valid");
+    world.gateways[gw].reconfigure(config);
+}
+
+/// A GA configuration scaled down for interactive experiment runtimes
+/// (the paper's full solver budget is only needed for Fig. 17's latency
+/// measurements).
+pub fn quick_ga(n_nodes: usize) -> GaConfig {
+    let (population, generations) = if n_nodes <= 200 {
+        (32, 80)
+    } else if n_nodes <= 2_000 {
+        (24, 40)
+    } else {
+        (16, 24)
+    };
+    GaConfig {
+        population,
+        generations,
+        ..GaConfig::default()
+    }
+}
+
+/// Run the AlphaWAN intra-network planner over (a subset of) a world
+/// and return the outcome. `node_ids`/`gw_ids` select the operator's
+/// own deployment; `channels` is its allocation.
+pub fn plan_network(
+    topo: &Topology,
+    node_ids: &[usize],
+    gw_ids: &[usize],
+    channels: Vec<Channel>,
+    ga: GaConfig,
+) -> PlanOutcome {
+    let sub = crate::scenario::subtopology(topo, node_ids, gw_ids);
+    let mut planner = IntraNetworkPlanner::new(channels, gw_ids.len());
+    planner.ga = ga;
+    planner.plan(&sub, vec![1.0; node_ids.len()])
+}
+
+/// Apply a plan to a world: reconfigure the operator's gateways and
+/// return per-node assignments keyed by global node id.
+pub fn deploy_plan(
+    world: &mut SimWorld,
+    outcome: &PlanOutcome,
+    node_ids: &[usize],
+    gw_ids: &[usize],
+) -> Vec<(usize, Channel, lora_phy::types::DataRate)> {
+    for (slot, &gw) in gw_ids.iter().enumerate() {
+        set_gateway_channels(world, gw, outcome.gateway_channels[slot].clone());
+    }
+    crate::scenario::planned_assignments(outcome, node_ids)
+}
+
+/// The "AlphaWAN with Strategy ① disabled" gateway layout: every
+/// gateway keeps a full 8-channel window, windows spread evenly over
+/// the grid (heterogeneous but never fewer channels).
+pub fn fixed_eight_channel_windows(channels: &[Channel], n_gateways: usize) -> Vec<Vec<usize>> {
+    let window = 8.min(channels.len());
+    let max_start = channels.len() - window;
+    (0..n_gateways)
+        .map(|j| {
+            let start = if n_gateways <= 1 {
+                0
+            } else {
+                (j * max_start) / (n_gateways - 1)
+            };
+            (start..start + window).collect()
+        })
+        .collect()
+}
+
+/// Solve a CP instance with pinned gateway channels (the w/o-① ablation).
+pub fn plan_with_pinned_gateways(
+    topo: &Topology,
+    node_ids: &[usize],
+    gw_ids: &[usize],
+    channels: Vec<Channel>,
+    gw_channels: Vec<Vec<usize>>,
+    mut ga: GaConfig,
+) -> PlanOutcome {
+    use alphawan::cp::greedy::greedy_plan;
+    let sub = crate::scenario::subtopology(topo, node_ids, gw_ids);
+    let mut planner = IntraNetworkPlanner::new(channels, gw_ids.len());
+    ga.optimize_gateway_channels = false;
+    planner.ga = ga;
+    let problem = planner.problem(&sub, vec![1.0; node_ids.len()]);
+    let mut seed = greedy_plan(&problem);
+    seed.gw_channels = gw_channels;
+    let solver = alphawan::cp::ga::GaSolver::new(planner.ga);
+    let (solution, objective) = solver.solve_seeded(&problem, seed);
+    planner.materialize(&problem, solution, objective)
+}
+
+/// Solve a CP instance with pinned node assignments (the w/o-node-side
+/// ablation of §5.1.3): gateway channels are optimized around the given
+/// node settings.
+pub fn plan_with_pinned_nodes(
+    topo: &Topology,
+    node_ids: &[usize],
+    gw_ids: &[usize],
+    channels: Vec<Channel>,
+    node_assignment: &[(Channel, lora_phy::types::DataRate)],
+    mut ga: GaConfig,
+) -> PlanOutcome {
+    use alphawan::cp::greedy::greedy_plan;
+    let sub = crate::scenario::subtopology(topo, node_ids, gw_ids);
+    let mut planner = IntraNetworkPlanner::new(channels.clone(), gw_ids.len());
+    ga.optimize_node_assignments = false;
+    planner.ga = ga;
+    let problem = planner.problem(&sub, vec![1.0; node_ids.len()]);
+    let mut seed = greedy_plan(&problem);
+    let index_of = |ch: &Channel| -> usize {
+        channels
+            .iter()
+            .position(|c| c == ch)
+            .expect("pinned node channel is in the operator's grid")
+    };
+    for (i, (ch, dr)) in node_assignment.iter().enumerate() {
+        seed.node_channel[i] = index_of(ch);
+        seed.node_ring[i] = 5 - dr.index();
+    }
+    let solver = alphawan::cp::ga::GaSolver::new(planner.ga);
+    let (solution, objective) = solver.solve_seeded(&problem, seed);
+    planner.materialize(&problem, solution, objective)
+}
+
+/// Capacity of one probe: delivered packets of one concurrent burst.
+pub fn probe_capacity(
+    world: &mut SimWorld,
+    assignments: &[(usize, Channel, lora_phy::types::DataRate)],
+) -> usize {
+    crate::scenario::apply_group_tpc(world, assignments);
+    let recs = crate::scenario::capacity_probe(world, assignments);
+    recs.iter().filter(|r| r.delivered).count()
+}
+
+/// Convert a CP solution into standard-form (channel, DR) node settings.
+pub fn solution_settings(
+    channels: &[Channel],
+    sol: &CpSolution,
+) -> Vec<(Channel, lora_phy::types::DataRate)> {
+    (0..sol.node_channel.len())
+        .map(|i| (channels[sol.node_channel[i]], sol.node_dr(i)))
+        .collect()
+}
+
+/// Duty-cycled workload for a set of assignments over `horizon_us`.
+pub fn duty_workload(
+    assignments: &[(usize, Channel, lora_phy::types::DataRate)],
+    horizon_us: u64,
+    seed: u64,
+) -> Vec<sim::traffic::TxPlan> {
+    sim::traffic::duty_cycled(assignments, PAYLOAD_LEN, 0.01, horizon_us, seed)
+}
+
+/// SX1302 limits used by every §5 experiment.
+pub fn sx1302_limits(n: usize) -> Vec<GatewayLimits> {
+    vec![GatewayLimits::sx1302(); n]
+}

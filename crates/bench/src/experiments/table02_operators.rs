@@ -1,0 +1,26 @@
+//! Table 2 (Appendix A) — commercial LoRaWAN operator snapshot.
+
+use crate::report::Table;
+use alphawan::operators::{mean_nodes_per_gateway, OPERATORS};
+
+pub fn run() {
+    let mut t = Table::new(
+        "Table 2 — status of commercial operational LoRaWANs",
+        &["operator", "regions", "mode", "gateways", "end_nodes", "growth"],
+    );
+    for o in OPERATORS {
+        t.row(vec![
+            o.operator.to_string(),
+            o.regions.to_string(),
+            o.mode.to_string(),
+            o.gateways.to_string(),
+            o.end_nodes.to_string(),
+            format!("{}%", o.growth_pct),
+        ]);
+    }
+    t.emit("table02_operators");
+    println!(
+        "industry mean: {:.0} nodes per gateway",
+        mean_nodes_per_gateway()
+    );
+}

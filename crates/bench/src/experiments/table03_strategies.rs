@@ -1,0 +1,43 @@
+//! Table 3 (Appendix B) — cellular vs LoRaWAN operating strategy —
+//! and Table 1 — the strategy space AlphaWAN draws from.
+
+use crate::report::Table;
+use alphawan::strategy::STRATEGIES;
+
+pub fn run() {
+    let mut t = Table::new(
+        "Table 3 — operational strategy differences",
+        &["aspect", "cellular", "lorawan"],
+    );
+    t.row(vec![
+        "user_association".into(),
+        "associated with one cell tower".into(),
+        "not associated with any gateway".into(),
+    ]);
+    t.row(vec![
+        "user_gateway_connection".into(),
+        "one-to-one".into(),
+        "one-to-many".into(),
+    ]);
+    t.row(vec![
+        "spectrum_use".into(),
+        "dedicated, allocated per user".into(),
+        "shared, contention-based".into(),
+    ]);
+    t.emit("table03_strategies");
+
+    let mut s = Table::new(
+        "Table 1 — strategies for the decoder contention problem",
+        &["#", "strategy", "implementation", "practicability", "adopted"],
+    );
+    for st in STRATEGIES {
+        s.row(vec![
+            st.number.to_string(),
+            st.name.to_string(),
+            st.implementation.to_string(),
+            st.practicability.to_string(),
+            if st.adopted { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    s.emit("table01_strategy_space");
+}

@@ -1,0 +1,26 @@
+//! # bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! Criterion performance benches (`benches/`). This library holds the
+//! shared scenario builders and the plain-text/CSV reporting helpers.
+//!
+//! Run a single experiment:
+//! ```text
+//! cargo run --release -p bench --bin fig12a_gateways
+//! ```
+//! or everything at once (writes `results/*.csv` and a summary):
+//! ```text
+//! cargo run --release -p bench --bin all_experiments
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+
+pub use report::{write_csv, Table};
+pub use scenario::{
+    adr_data_rate, apply_group_tpc, balanced_orthogonal_assignments, capacity_probe,
+    coordinated_schedule,
+    orthogonal_assignments, planned_assignments, subtopology, NetworkSpec, WorldBuilder,
+    PAYLOAD_LEN,
+};

@@ -1,0 +1,127 @@
+//! Plain-text tables and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A printable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringifying each cell).
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and persist as CSV under `results/`.
+    pub fn emit(&self, csv_name: &str) {
+        print!("{}", self.render());
+        println!();
+        let mut lines = vec![self.headers.join(",")];
+        lines.extend(self.rows.iter().map(|r| r.join(",")));
+        write_csv(csv_name, &lines.join("\n"));
+    }
+}
+
+/// Write `content` to `results/<name>.csv` (best effort — experiments
+/// must not fail over filesystem trouble).
+pub fn write_csv(name: &str, content: &str) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = f.write_all(content.as_bytes());
+        let _ = f.write_all(b"\n");
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.row(vec!["1".into(), "10".into()]);
+        t.row(vec!["100".into(), "7".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("  1"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f3(3.14159), "3.142");
+        assert_eq!(pct(0.8512), "85.1%");
+    }
+}

@@ -1,0 +1,158 @@
+//! Gateway channel configuration, validated against hardware limits.
+//!
+//! The CP formulation's gateway radio constraints (§4.3.1): the number
+//! of operating channels must not exceed the chain count `P_j`, and the
+//! frequency span must fit in the radio bandwidth `B_j`. Strategy ①
+//! exploits the *lower* end: configuring fewer channels than chains
+//! concentrates all decoders on those channels.
+
+use crate::profile::GatewayProfile;
+use lora_phy::channel::Channel;
+use serde::{Deserialize, Serialize};
+
+/// Reasons a channel configuration is rejected by the hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// More channels than Rx chains (`P_j`).
+    TooManyChannels { requested: usize, max: usize },
+    /// Frequency span exceeds the radio bandwidth (`B_j`).
+    SpanTooWide { span_hz: u64, max_hz: u32 },
+    /// Empty configurations are not useful.
+    NoChannels,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooManyChannels { requested, max } => {
+                write!(f, "{requested} channels exceed the {max} Rx chains")
+            }
+            ConfigError::SpanTooWide { span_hz, max_hz } => {
+                write!(f, "span {span_hz} Hz exceeds radio bandwidth {max_hz} Hz")
+            }
+            ConfigError::NoChannels => write!(f, "configuration has no channels"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validated gateway channel configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    channels: Vec<Channel>,
+}
+
+impl GatewayConfig {
+    /// Validate `channels` against `profile` and build a configuration.
+    pub fn new(profile: &GatewayProfile, channels: Vec<Channel>) -> Result<Self, ConfigError> {
+        if channels.is_empty() {
+            return Err(ConfigError::NoChannels);
+        }
+        if channels.len() > profile.multi_sf_chains {
+            return Err(ConfigError::TooManyChannels {
+                requested: channels.len(),
+                max: profile.multi_sf_chains,
+            });
+        }
+        let lo = channels.iter().map(|c| c.low_hz()).fold(f64::INFINITY, f64::min);
+        let hi = channels
+            .iter()
+            .map(|c| c.high_hz())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo) as u64;
+        if span > profile.rx_spectrum_hz as u64 {
+            return Err(ConfigError::SpanTooWide {
+                span_hz: span,
+                max_hz: profile.rx_spectrum_hz,
+            });
+        }
+        Ok(GatewayConfig { channels })
+    }
+
+    /// The configured channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Number of configured channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Always false (construction rejects empty sets); here for idiom.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::region::StandardChannelPlan;
+
+    fn profile() -> &'static GatewayProfile {
+        GatewayProfile::rak7268cv2()
+    }
+
+    #[test]
+    fn standard_plan_accepted() {
+        let plan = StandardChannelPlan::us915_subband(0);
+        let cfg = GatewayConfig::new(profile(), plan.channels).unwrap();
+        assert_eq!(cfg.len(), 8);
+    }
+
+    #[test]
+    fn two_channel_strategy1_config_accepted() {
+        // Strategy ①: fewer channels per gateway.
+        let chans = vec![Channel::khz125(923_200_000), Channel::khz125(923_400_000)];
+        assert!(GatewayConfig::new(profile(), chans).is_ok());
+    }
+
+    #[test]
+    fn nine_channels_rejected() {
+        let chans: Vec<Channel> = (0..9)
+            .map(|i| Channel::khz125(923_000_000 + i * 125_000))
+            .collect();
+        assert!(matches!(
+            GatewayConfig::new(profile(), chans),
+            Err(ConfigError::TooManyChannels { requested: 9, max: 8 })
+        ));
+    }
+
+    #[test]
+    fn wide_span_rejected() {
+        // Two channels 5 MHz apart exceed the 1.6 MHz radio bandwidth.
+        let chans = vec![Channel::khz125(920_000_000), Channel::khz125(925_000_000)];
+        assert!(matches!(
+            GatewayConfig::new(profile(), chans),
+            Err(ConfigError::SpanTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_radio_accepts_wide_span() {
+        let rak7289 = GatewayProfile::by_model("RAK7289CV2").unwrap();
+        let chans: Vec<Channel> = (0..16)
+            .map(|i| Channel::khz125(920_000_000 + i * 200_000))
+            .collect();
+        assert!(GatewayConfig::new(rak7289, chans).is_ok());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            GatewayConfig::new(profile(), vec![]),
+            Err(ConfigError::NoChannels)
+        );
+    }
+
+    #[test]
+    fn span_boundary_exact_fit() {
+        // 8 channels at 200 kHz spacing span 1.525 MHz < 1.6 MHz: fits.
+        let chans: Vec<Channel> = (0..8)
+            .map(|i| Channel::khz125(923_000_000 + i * 200_000))
+            .collect();
+        assert!(GatewayConfig::new(profile(), chans).is_ok());
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal standard-alphabet Base64 (RFC 4648 §4, with padding) — the
+//! encoding of the `data` field in Semtech UDP `rxpk`/`txpk` JSON.
+//!
+//! Implemented locally to keep the dependency set to the sanctioned
+//! list (see DESIGN.md).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as padded Base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        let idx = [
+            (n >> 18) & 63,
+            (n >> 12) & 63,
+            (n >> 6) & 63,
+            n & 63,
+        ];
+        out.push(ALPHABET[idx[0] as usize] as char);
+        out.push(ALPHABET[idx[1] as usize] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[idx[2] as usize] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[idx[3] as usize] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode padded Base64; returns `None` on any malformed input.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    let val = |c: u8| -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a') as u32 + 26),
+            b'0'..=b'9' => Some((c - b'0') as u32 + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    };
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return None;
+        }
+        // Padding only at the tail positions.
+        if chunk[..4 - pad].iter().any(|&c| c == b'=') {
+            return None;
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(decode("Zg=").is_none(), "bad length");
+        assert!(decode("Z!==").is_none(), "bad character");
+        assert!(decode("====").is_none(), "too much padding");
+        assert!(decode("Zg==Zg==").is_none(), "padding mid-stream");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The gateway-side UDP forwarder client: pushes received packets to
+//! the network server and keeps the downlink path open with PULL_DATA
+//! keepalives — the "application-layer agents … running on gateways"
+//! of Fig. 10, at the transport level.
+
+use super::codec::{Datagram, GatewayEui, RxPacket, TxPacket};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// A blocking Semtech UDP forwarder client.
+pub struct PacketForwarder {
+    socket: UdpSocket,
+    server: SocketAddr,
+    eui: GatewayEui,
+    next_token: u16,
+}
+
+impl PacketForwarder {
+    /// Bind an ephemeral local socket talking to `server`.
+    pub fn new(server: SocketAddr, eui: GatewayEui) -> io::Result<PacketForwarder> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_secs(2)))?;
+        Ok(PacketForwarder {
+            socket,
+            server,
+            eui,
+            next_token: 1,
+        })
+    }
+
+    pub fn eui(&self) -> GatewayEui {
+        self.eui
+    }
+
+    fn token(&mut self) -> u16 {
+        let t = self.next_token;
+        self.next_token = self.next_token.wrapping_add(1);
+        t
+    }
+
+    /// PUSH_DATA with the given receptions; waits for the PUSH_ACK.
+    pub fn push(&mut self, rxpk: Vec<RxPacket>) -> io::Result<()> {
+        let token = self.token();
+        let wire = Datagram::PushData {
+            token,
+            eui: self.eui,
+            rxpk,
+        }
+        .encode();
+        self.socket.send_to(&wire, self.server)?;
+        match self.recv()? {
+            Datagram::PushAck { token: t } if t == token => Ok(()),
+            other => Err(io::Error::other(format!(
+                "expected PUSH_ACK({token}), got {other:?}"
+            ))),
+        }
+    }
+
+    /// PULL_DATA keepalive; waits for the PULL_ACK.
+    pub fn pull(&mut self) -> io::Result<()> {
+        let token = self.token();
+        let wire = Datagram::PullData {
+            token,
+            eui: self.eui,
+        }
+        .encode();
+        self.socket.send_to(&wire, self.server)?;
+        match self.recv()? {
+            Datagram::PullAck { token: t } if t == token => Ok(()),
+            other => Err(io::Error::other(format!(
+                "expected PULL_ACK({token}), got {other:?}"
+            ))),
+        }
+    }
+
+    /// Wait for a PULL_RESP downlink and acknowledge it with TX_ACK.
+    pub fn recv_downlink(&mut self) -> io::Result<TxPacket> {
+        match self.recv()? {
+            Datagram::PullResp { token, txpk } => {
+                let ack = Datagram::TxAck {
+                    token,
+                    eui: self.eui,
+                }
+                .encode();
+                self.socket.send_to(&ack, self.server)?;
+                Ok(txpk)
+            }
+            other => Err(io::Error::other(format!("expected PULL_RESP, got {other:?}"))),
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Datagram> {
+        let mut buf = [0u8; 4096];
+        let (n, _) = self.socket.recv_from(&mut buf)?;
+        Datagram::decode(&buf[..n])
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed datagram"))
+    }
+}

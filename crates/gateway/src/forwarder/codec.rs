@@ -1,0 +1,384 @@
+//! Datagram codec for the Semtech UDP protocol.
+
+use super::b64;
+use lora_phy::channel::Channel;
+use lora_phy::types::{Bandwidth, DataRate, SpreadingFactor};
+use serde::{Deserialize, Serialize};
+
+/// Protocol version byte (v2 is what SX130x reference forwarders send).
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// A gateway's 64-bit EUI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GatewayEui(pub u64);
+
+/// One received packet, as reported in a `PUSH_DATA` `rxpk` array.
+/// Field names follow the Semtech protocol document verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RxPacket {
+    /// Internal concentrator timestamp, µs.
+    pub tmst: u64,
+    /// Center frequency, MHz.
+    pub freq: f64,
+    /// Concentrator IF channel.
+    pub chan: u8,
+    /// RF chain.
+    pub rfch: u8,
+    /// CRC status: 1 = OK, -1 = fail, 0 = no CRC.
+    pub stat: i8,
+    /// Modulation, `"LORA"`.
+    pub modu: String,
+    /// Datarate, e.g. `"SF7BW125"`.
+    pub datr: String,
+    /// Coding rate, e.g. `"4/5"`.
+    pub codr: String,
+    /// RSSI, dBm (integer per protocol).
+    pub rssi: i32,
+    /// SNR, dB.
+    pub lsnr: f64,
+    /// PHY payload size, bytes.
+    pub size: usize,
+    /// Base64 PHY payload.
+    pub data: String,
+}
+
+impl RxPacket {
+    /// Build an rxpk from reception facts.
+    pub fn new(
+        tmst: u64,
+        channel: Channel,
+        sf: SpreadingFactor,
+        rssi_dbm: f64,
+        snr_db: f64,
+        phy_payload: &[u8],
+    ) -> RxPacket {
+        RxPacket {
+            tmst,
+            freq: channel.center_hz as f64 / 1e6,
+            chan: 0,
+            rfch: 0,
+            stat: 1,
+            modu: "LORA".to_string(),
+            datr: format!("SF{}BW{}", sf.value(), channel.bw.hz() / 1000),
+            codr: "4/5".to_string(),
+            rssi: rssi_dbm.round() as i32,
+            lsnr: (snr_db * 10.0).round() / 10.0,
+            size: phy_payload.len(),
+            data: b64::encode(phy_payload),
+        }
+    }
+
+    /// Decode the Base64 PHY payload.
+    pub fn phy_payload(&self) -> Option<Vec<u8>> {
+        let raw = b64::decode(&self.data)?;
+        (raw.len() == self.size).then_some(raw)
+    }
+
+    /// Parse the `datr` field back into a spreading factor + bandwidth.
+    pub fn data_rate(&self) -> Option<(SpreadingFactor, Bandwidth)> {
+        let rest = self.datr.strip_prefix("SF")?;
+        let bw_pos = rest.find("BW")?;
+        let sf = SpreadingFactor::from_value(rest[..bw_pos].parse().ok()?)?;
+        let bw = match &rest[bw_pos + 2..] {
+            "125" => Bandwidth::Khz125,
+            "250" => Bandwidth::Khz250,
+            "500" => Bandwidth::Khz500,
+            _ => return None,
+        };
+        Some((sf, bw))
+    }
+
+    /// LoRaWAN uplink data-rate index for 125 kHz rates.
+    pub fn dr_index(&self) -> Option<DataRate> {
+        let (sf, bw) = self.data_rate()?;
+        (bw == Bandwidth::Khz125).then(|| DataRate::from_spreading_factor(sf))
+    }
+
+    /// Channel reconstructed from the `freq` field.
+    pub fn channel(&self) -> Channel {
+        Channel::khz125((self.freq * 1e6).round() as u32)
+    }
+}
+
+/// A downlink request carried in `PULL_RESP` (`txpk`), trimmed to the
+/// fields this system schedules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxPacket {
+    /// Emission concentrator timestamp, µs.
+    pub tmst: u64,
+    pub freq: f64,
+    pub datr: String,
+    /// Tx power, dBm.
+    pub powe: i32,
+    pub size: usize,
+    pub data: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PushPayload {
+    #[serde(skip_serializing_if = "Option::is_none")]
+    rxpk: Option<Vec<RxPacket>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PullRespPayload {
+    txpk: TxPacket,
+}
+
+/// A decoded protocol datagram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datagram {
+    PushData {
+        token: u16,
+        eui: GatewayEui,
+        rxpk: Vec<RxPacket>,
+    },
+    PushAck {
+        token: u16,
+    },
+    PullData {
+        token: u16,
+        eui: GatewayEui,
+    },
+    PullAck {
+        token: u16,
+    },
+    PullResp {
+        token: u16,
+        txpk: TxPacket,
+    },
+    TxAck {
+        token: u16,
+        eui: GatewayEui,
+    },
+}
+
+impl Datagram {
+    const PUSH_DATA: u8 = 0x00;
+    const PUSH_ACK: u8 = 0x01;
+    const PULL_DATA: u8 = 0x02;
+    const PULL_RESP: u8 = 0x03;
+    const PULL_ACK: u8 = 0x04;
+    const TX_ACK: u8 = 0x05;
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12);
+        out.push(PROTOCOL_VERSION);
+        let (token, kind) = match self {
+            Datagram::PushData { token, .. } => (*token, Self::PUSH_DATA),
+            Datagram::PushAck { token } => (*token, Self::PUSH_ACK),
+            Datagram::PullData { token, .. } => (*token, Self::PULL_DATA),
+            Datagram::PullAck { token } => (*token, Self::PULL_ACK),
+            Datagram::PullResp { token, .. } => (*token, Self::PULL_RESP),
+            Datagram::TxAck { token, .. } => (*token, Self::TX_ACK),
+        };
+        out.extend_from_slice(&token.to_be_bytes());
+        out.push(kind);
+        match self {
+            Datagram::PushData { eui, rxpk, .. } => {
+                out.extend_from_slice(&eui.0.to_be_bytes());
+                let payload = PushPayload {
+                    rxpk: Some(rxpk.clone()),
+                };
+                out.extend_from_slice(&serde_json::to_vec(&payload).expect("rxpk serializes"));
+            }
+            Datagram::PullData { eui, .. } | Datagram::TxAck { eui, .. } => {
+                out.extend_from_slice(&eui.0.to_be_bytes());
+            }
+            Datagram::PullResp { txpk, .. } => {
+                let payload = PullRespPayload { txpk: txpk.clone() };
+                out.extend_from_slice(&serde_json::to_vec(&payload).expect("txpk serializes"));
+            }
+            Datagram::PushAck { .. } | Datagram::PullAck { .. } => {}
+        }
+        out
+    }
+
+    /// Parse wire bytes. Returns `None` on malformed datagrams (wrong
+    /// version, short header, bad JSON).
+    pub fn decode(bytes: &[u8]) -> Option<Datagram> {
+        if bytes.len() < 4 || bytes[0] != PROTOCOL_VERSION {
+            return None;
+        }
+        let token = u16::from_be_bytes([bytes[1], bytes[2]]);
+        let kind = bytes[3];
+        let eui_of = |b: &[u8]| -> Option<GatewayEui> {
+            Some(GatewayEui(u64::from_be_bytes(b.get(4..12)?.try_into().ok()?)))
+        };
+        match kind {
+            Self::PUSH_DATA => {
+                let eui = eui_of(bytes)?;
+                let payload: PushPayload = serde_json::from_slice(bytes.get(12..)?).ok()?;
+                Some(Datagram::PushData {
+                    token,
+                    eui,
+                    rxpk: payload.rxpk.unwrap_or_default(),
+                })
+            }
+            Self::PUSH_ACK => Some(Datagram::PushAck { token }),
+            Self::PULL_DATA => Some(Datagram::PullData {
+                token,
+                eui: eui_of(bytes)?,
+            }),
+            Self::PULL_ACK => Some(Datagram::PullAck { token }),
+            Self::PULL_RESP => {
+                let payload: PullRespPayload = serde_json::from_slice(bytes.get(4..)?).ok()?;
+                Some(Datagram::PullResp {
+                    token,
+                    txpk: payload.txpk,
+                })
+            }
+            Self::TX_ACK => Some(Datagram::TxAck {
+                token,
+                eui: eui_of(bytes)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::types::SpreadingFactor::*;
+
+    fn rxpk() -> RxPacket {
+        RxPacket::new(
+            123_456,
+            Channel::khz125(916_900_000),
+            SF7,
+            -97.4,
+            8.25,
+            &[0x40, 0x01, 0x02, 0x03],
+        )
+    }
+
+    #[test]
+    fn rxpk_fields_match_protocol() {
+        let p = rxpk();
+        assert_eq!(p.freq, 916.9);
+        assert_eq!(p.datr, "SF7BW125");
+        assert_eq!(p.rssi, -97);
+        assert_eq!(p.lsnr, 8.3);
+        assert_eq!(p.size, 4);
+        assert_eq!(p.phy_payload().unwrap(), vec![0x40, 0x01, 0x02, 0x03]);
+        assert_eq!(p.data_rate(), Some((SF7, Bandwidth::Khz125)));
+        assert_eq!(p.dr_index(), Some(DataRate::DR5));
+        assert_eq!(p.channel().center_hz, 916_900_000);
+    }
+
+    #[test]
+    fn push_data_roundtrip() {
+        let d = Datagram::PushData {
+            token: 0xBEEF,
+            eui: GatewayEui(0x0102_0304_0506_0708),
+            rxpk: vec![rxpk(), rxpk()],
+        };
+        let wire = d.encode();
+        assert_eq!(wire[0], PROTOCOL_VERSION);
+        assert_eq!(wire[3], 0x00);
+        assert_eq!(Datagram::decode(&wire), Some(d));
+    }
+
+    #[test]
+    fn all_control_datagrams_roundtrip() {
+        let eui = GatewayEui(7);
+        let cases = vec![
+            Datagram::PushAck { token: 1 },
+            Datagram::PullData { token: 2, eui },
+            Datagram::PullAck { token: 3 },
+            Datagram::TxAck { token: 4, eui },
+            Datagram::PullResp {
+                token: 5,
+                txpk: TxPacket {
+                    tmst: 999,
+                    freq: 916.9,
+                    datr: "SF9BW125".into(),
+                    powe: 14,
+                    size: 2,
+                    data: b64::encode(&[1, 2]),
+                },
+            },
+        ];
+        for d in cases {
+            assert_eq!(Datagram::decode(&d.encode()), Some(d));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_garbage() {
+        let mut wire = Datagram::PushAck { token: 1 }.encode();
+        wire[0] = 1; // v1
+        assert_eq!(Datagram::decode(&wire), None);
+        assert_eq!(Datagram::decode(&[2, 0]), None);
+        assert_eq!(Datagram::decode(b"\x02\x00\x00\x00garbage-json"), None);
+        assert_eq!(Datagram::decode(&[2, 0, 0, 0x7f]), None);
+    }
+
+    #[test]
+    fn push_data_without_rxpk_is_keepalive() {
+        // A PUSH_DATA with {"stat":{…}} only: rxpk defaults to empty.
+        let mut wire = vec![2, 0, 1, 0];
+        wire.extend_from_slice(&7u64.to_be_bytes());
+        wire.extend_from_slice(b"{\"stat\":{\"rxnb\":0}}");
+        match Datagram::decode(&wire) {
+            Some(Datagram::PushData { rxpk, .. }) => assert!(rxpk.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn datr_parser_rejects_nonsense() {
+        let mut p = rxpk();
+        p.datr = "FSK".into();
+        assert_eq!(p.data_rate(), None);
+        p.datr = "SF99BW125".into();
+        assert_eq!(p.data_rate(), None);
+        p.datr = "SF7BW999".into();
+        assert_eq!(p.data_rate(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// PUSH_DATA datagrams roundtrip for arbitrary receptions.
+        #[test]
+        fn push_data_roundtrip(
+            token in any::<u16>(),
+            eui in any::<u64>(),
+            tmst in any::<u64>(),
+            ch in 0u32..64,
+            sf in 7u32..=12,
+            rssi in -140.0f64..-20.0,
+            snr in -25.0f64..15.0,
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let rx = RxPacket::new(
+                tmst,
+                Channel::khz125(902_300_000 + ch * 200_000),
+                SpreadingFactor::from_value(sf).unwrap(),
+                rssi,
+                snr,
+                &payload,
+            );
+            prop_assert_eq!(rx.phy_payload().unwrap(), payload);
+            let d = Datagram::PushData {
+                token,
+                eui: GatewayEui(eui),
+                rxpk: vec![rx],
+            };
+            prop_assert_eq!(Datagram::decode(&d.encode()), Some(d));
+        }
+
+        /// The decoder never panics on arbitrary bytes.
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Datagram::decode(&bytes);
+        }
+    }
+}

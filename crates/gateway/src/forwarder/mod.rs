@@ -1,0 +1,25 @@
+//! The Semtech UDP packet-forwarder protocol (v2) — the backhaul every
+//! COTS gateway in the paper's testbed speaks to ChirpStack (Fig. 1's
+//! "Backhaul Network" link, Fig. 10's gateway↔server path).
+//!
+//! Wire format: a small binary header plus JSON objects:
+//!
+//! ```text
+//! PUSH_DATA  gw → srv  [0x02 ver][2B token][0x00][8B EUI][JSON {"rxpk":[…]}]
+//! PUSH_ACK   srv → gw  [ver][token][0x01]
+//! PULL_DATA  gw → srv  [ver][token][0x02][8B EUI]
+//! PULL_ACK   srv → gw  [ver][token][0x04]
+//! PULL_RESP  srv → gw  [ver][token][0x03][JSON {"txpk":{…}}]
+//! TX_ACK     gw → srv  [ver][token][0x05][8B EUI][optional JSON]
+//! ```
+//!
+//! [`codec`] implements datagram encode/decode; [`client`] is a
+//! blocking UDP forwarder client (the gateway side); [`b64`] is the
+//! Base64 used by the `data` field.
+
+pub mod b64;
+pub mod client;
+pub mod codec;
+
+pub use client::PacketForwarder;
+pub use codec::{Datagram, GatewayEui, RxPacket, TxPacket, PROTOCOL_VERSION};

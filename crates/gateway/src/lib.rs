@@ -1,0 +1,41 @@
+//! # gateway — COTS LoRaWAN gateway model
+//!
+//! Models the reception pipeline the paper reverse-engineers in §3.1 and
+//! Appendix C (Fig. 20):
+//!
+//! ```text
+//!  RF front-end → Rx chains (one frequency each)
+//!      → packet detector (per chain, all SFs)
+//!      → FCFS dispatcher (ordered by packet lock-on time)
+//!      → bounded decoder pool (e.g. 16 decoders on an SX1302)
+//!      → decode → sync-word / network filtering (POST-decode!)
+//! ```
+//!
+//! The two key behaviours, both experimentally established by the paper:
+//!
+//! 1. **FCFS on lock-on time.** A gateway locks onto a packet when its
+//!    preamble completes; packets are admitted to decoders strictly in
+//!    lock-on order, regardless of SNR or channel crowding (Fig. 3a–d).
+//!    When all decoders are busy, later packets are dropped — the
+//!    *decoder contention* loss.
+//! 2. **Filtering happens after decoding.** A gateway cannot tell a
+//!    foreign network's packet from its own until the packet is fully
+//!    decoded, so foreign packets occupy decoders end-to-end and are
+//!    only then discarded (Fig. 3e,f).
+//!
+//! [`profile`] carries the COTS hardware matrix of Table 4; [`config`]
+//! validates channel configurations against a profile's radio limits;
+//! [`pool`] is the bounded FCFS decoder pool; [`radio`] ties them into
+//! the event-driven [`radio::Gateway`] that the `sim` crate drives.
+
+pub mod config;
+pub mod forwarder;
+pub mod pool;
+pub mod profile;
+pub mod radio;
+
+pub use config::{ConfigError, GatewayConfig};
+pub use forwarder::{Datagram, GatewayEui, PacketForwarder, RxPacket};
+pub use pool::{DecoderPool, PoolStats};
+pub use profile::{GatewayProfile, COTS_PROFILES};
+pub use radio::{Gateway, GatewayStats, LockOnOutcome, PacketAtGateway, ReceptionOutcome};

@@ -1,0 +1,182 @@
+//! The bounded decoder pool — the contended resource at the center of
+//! the paper.
+//!
+//! A COTS gateway has `C` hardware decoders. The dispatcher acquires one
+//! per locked-on packet and releases it when the packet finishes; when
+//! all `C` are busy, newly locked-on packets are dropped ("the
+//! dispatcher drops subsequent packets until any decoders become
+//! available", Appendix C).
+
+use serde::{Deserialize, Serialize};
+
+/// Running statistics of a decoder pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Successful decoder acquisitions.
+    pub acquired: u64,
+    /// Releases (must equal `acquired` once the medium is idle).
+    pub released: u64,
+    /// Acquisition attempts rejected because the pool was exhausted.
+    pub exhausted_drops: u64,
+    /// Highest simultaneous occupancy observed.
+    pub peak_in_use: usize,
+}
+
+/// A bounded pool of packet decoders.
+#[derive(Debug, Clone)]
+pub struct DecoderPool {
+    capacity: usize,
+    in_use: usize,
+    stats: PoolStats,
+}
+
+impl DecoderPool {
+    /// A pool with `capacity` decoders (e.g. 16 for an SX1302).
+    pub fn new(capacity: usize) -> DecoderPool {
+        assert!(capacity > 0, "a gateway without decoders is not a gateway");
+        DecoderPool {
+            capacity,
+            in_use: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Try to acquire one decoder. Returns `true` on success; `false`
+    /// means the packet is dropped by decoder contention.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.stats.acquired += 1;
+            self.stats.peak_in_use = self.stats.peak_in_use.max(self.in_use);
+            true
+        } else {
+            self.stats.exhausted_drops += 1;
+            false
+        }
+    }
+
+    /// Release a previously acquired decoder.
+    ///
+    /// # Panics
+    /// Panics if the pool is already empty — a release without a
+    /// matching acquire is a simulation bug, not a runtime condition.
+    pub fn release(&mut self) {
+        assert!(self.in_use > 0, "decoder released twice");
+        self.in_use -= 1;
+        self.stats.released += 1;
+    }
+
+    /// Reset occupancy and statistics (e.g. between experiment runs).
+    pub fn reset(&mut self) {
+        self.in_use = 0;
+        self.stats = PoolStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_until_exhausted() {
+        let mut p = DecoderPool::new(16);
+        for _ in 0..16 {
+            assert!(p.try_acquire());
+        }
+        assert!(!p.try_acquire());
+        assert_eq!(p.stats().exhausted_drops, 1);
+        assert_eq!(p.stats().peak_in_use, 16);
+        assert_eq!(p.available(), 0);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut p = DecoderPool::new(2);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        p.release();
+        assert!(p.try_acquire());
+        assert_eq!(p.stats().acquired, 3);
+        assert_eq!(p.stats().released, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decoder released twice")]
+    fn double_release_panics() {
+        let mut p = DecoderPool::new(1);
+        p.release();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_invalid() {
+        DecoderPool::new(0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = DecoderPool::new(4);
+        p.try_acquire();
+        p.reset();
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.stats(), PoolStats::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conservation: in_use never exceeds capacity, and equals
+        /// acquired − released, under arbitrary acquire/release traces.
+        #[test]
+        fn pool_conservation(capacity in 1usize..64, ops in proptest::collection::vec(any::<bool>(), 0..500)) {
+            let mut pool = DecoderPool::new(capacity);
+            for acquire in ops {
+                if acquire {
+                    pool.try_acquire();
+                } else if pool.in_use() > 0 {
+                    pool.release();
+                }
+                prop_assert!(pool.in_use() <= pool.capacity());
+                let s = pool.stats();
+                prop_assert_eq!(pool.in_use() as u64, s.acquired - s.released);
+                prop_assert!(s.peak_in_use <= capacity);
+            }
+        }
+
+        /// Exactly `capacity` acquisitions succeed from an empty pool
+        /// with no interleaved releases.
+        #[test]
+        fn saturation_point(capacity in 1usize..64, extra in 0usize..32) {
+            let mut pool = DecoderPool::new(capacity);
+            let mut ok = 0;
+            for _ in 0..capacity + extra {
+                if pool.try_acquire() {
+                    ok += 1;
+                }
+            }
+            prop_assert_eq!(ok, capacity);
+            prop_assert_eq!(pool.stats().exhausted_drops, extra as u64);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The event-driven gateway reception pipeline.
+//!
+//! The simulator drives a [`Gateway`] with two events per transmission:
+//! [`Gateway::on_lock_on`] at the end of the packet's preamble and
+//! [`Gateway::on_tx_end`] when the packet finishes. Between the two, an
+//! admitted packet holds one decoder — including packets that will later
+//! turn out to belong to a *different* network (the paper's inter-network
+//! decoder contention).
+
+use crate::config::GatewayConfig;
+use crate::pool::DecoderPool;
+use crate::profile::GatewayProfile;
+use lora_phy::channel::Channel;
+use lora_phy::interference::detects;
+use lora_phy::snr::decodable;
+use lora_phy::types::SpreadingFactor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A transmission as seen by one gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketAtGateway {
+    /// Simulator-global transmission id.
+    pub tx_id: u64,
+    /// Operator/network the *sender* belongs to (ground truth; the
+    /// gateway only learns it after decoding).
+    pub network_id: u32,
+    /// The sender's channel.
+    pub channel: Channel,
+    pub sf: SpreadingFactor,
+    /// Received signal strength at this gateway, dBm.
+    pub rssi_dbm: f64,
+    /// SNR at this gateway, dB.
+    pub snr_db: f64,
+    /// Lock-on instant (preamble end), µs.
+    pub lock_on_us: u64,
+    /// Transmission end, µs.
+    pub end_us: u64,
+}
+
+/// What happened when a packet's preamble completed at this gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOnOutcome {
+    /// No configured Rx chain overlaps the Tx channel enough, or the
+    /// preamble is below the detection floor: the packet never enters
+    /// the pipeline (this is AlphaWAN's Strategy ⑧ isolation).
+    NotDetected,
+    /// Detected, but every decoder was busy: dropped. The decoder
+    /// contention loss.
+    DroppedNoDecoder,
+    /// Detected and assigned a decoder.
+    Admitted,
+}
+
+/// Final disposition of an admitted packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceptionOutcome {
+    /// Decoded and destined to this gateway's network: forwarded.
+    Received,
+    /// Decoded, but the sync word / MIC identifies a foreign network:
+    /// discarded after having occupied a decoder end-to-end.
+    ForeignFiltered,
+    /// The decoder ran, but channel contention / interference corrupted
+    /// the packet.
+    DecodeFailed,
+}
+
+/// Per-gateway reception statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayStats {
+    pub not_detected: u64,
+    pub dropped_no_decoder: u64,
+    pub admitted: u64,
+    pub received: u64,
+    pub foreign_filtered: u64,
+    pub decode_failed: u64,
+}
+
+/// One simulated COTS gateway.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    pub id: usize,
+    /// The operator that deployed this gateway.
+    pub network_id: u32,
+    profile: &'static GatewayProfile,
+    config: GatewayConfig,
+    pool: DecoderPool,
+    /// Admitted packets currently holding a decoder.
+    active: HashMap<u64, PacketAtGateway>,
+    stats: GatewayStats,
+}
+
+impl Gateway {
+    pub fn new(
+        id: usize,
+        network_id: u32,
+        profile: &'static GatewayProfile,
+        config: GatewayConfig,
+    ) -> Gateway {
+        Gateway {
+            id,
+            network_id,
+            profile,
+            pool: DecoderPool::new(profile.decoders),
+            config,
+            active: HashMap::new(),
+            stats: GatewayStats::default(),
+        }
+    }
+
+    pub fn profile(&self) -> &'static GatewayProfile {
+        self.profile
+    }
+
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    pub fn pool(&self) -> &DecoderPool {
+        &self.pool
+    }
+
+    /// Replace the channel configuration (an AlphaWAN capacity-upgrade
+    /// step; in hardware this is the "gateway reboot" of Fig. 17).
+    /// Active receptions are aborted, as a real reboot would.
+    pub fn reconfigure(&mut self, config: GatewayConfig) {
+        for _ in 0..self.active.len() {
+            self.pool.release();
+        }
+        self.active.clear();
+        self.config = config;
+    }
+
+    /// The configured Rx channel that would detect a transmission on
+    /// `tx_ch`, if any (frequency-selectivity gate).
+    pub fn rx_channel_for(&self, tx_ch: &Channel) -> Option<Channel> {
+        self.config
+            .channels()
+            .iter()
+            .copied()
+            .find(|rx| detects(rx, tx_ch))
+    }
+
+    /// Whether this gateway's detector would see the packet at all:
+    /// channel overlap above the selectivity threshold AND preamble SNR
+    /// above the demodulation floor.
+    pub fn would_detect(&self, pkt: &PacketAtGateway) -> bool {
+        self.rx_channel_for(&pkt.channel).is_some() && decodable(pkt.snr_db, pkt.sf, 0.0)
+    }
+
+    /// Preamble-end event: FCFS admission to the decoder pool.
+    ///
+    /// The caller must deliver lock-on events in nondecreasing
+    /// `lock_on_us` order across all packets — that ordering *is* the
+    /// FCFS policy (§3.1 insight 1).
+    pub fn on_lock_on(&mut self, pkt: PacketAtGateway) -> LockOnOutcome {
+        if !self.would_detect(&pkt) {
+            self.stats.not_detected += 1;
+            return LockOnOutcome::NotDetected;
+        }
+        if !self.pool.try_acquire() {
+            self.stats.dropped_no_decoder += 1;
+            return LockOnOutcome::DroppedNoDecoder;
+        }
+        self.stats.admitted += 1;
+        self.active.insert(pkt.tx_id, pkt);
+        LockOnOutcome::Admitted
+    }
+
+    /// Transmission-end event for a packet previously offered at
+    /// lock-on. `phy_ok` is the medium's verdict on whether the decode
+    /// succeeded (capture/interference outcome, computed by the
+    /// simulator which has global knowledge).
+    ///
+    /// Returns `None` if the packet was never admitted here.
+    pub fn on_tx_end(&mut self, tx_id: u64, phy_ok: bool) -> Option<ReceptionOutcome> {
+        let pkt = self.active.remove(&tx_id)?;
+        self.pool.release();
+        let outcome = if !phy_ok {
+            self.stats.decode_failed += 1;
+            ReceptionOutcome::DecodeFailed
+        } else if pkt.network_id != self.network_id {
+            // Post-decode sync-word filtering: the decoder was occupied
+            // for the whole packet, and only now is it discarded.
+            self.stats.foreign_filtered += 1;
+            ReceptionOutcome::ForeignFiltered
+        } else {
+            self.stats.received += 1;
+            ReceptionOutcome::Received
+        };
+        Some(outcome)
+    }
+
+    /// Number of decoders currently occupied.
+    pub fn decoders_in_use(&self) -> usize {
+        self.pool.in_use()
+    }
+
+    /// How many currently held decoders belong to packets from a network
+    /// other than this gateway's. Used by the simulator to classify a
+    /// contention drop as intra- vs inter-network (Fig. 4).
+    pub fn foreign_held_decoders(&self) -> usize {
+        self.active
+            .values()
+            .filter(|p| p.network_id != self.network_id)
+            .count()
+    }
+
+    /// Reset between experiment runs (keeps configuration).
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.pool.reset();
+        self.stats = GatewayStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::GatewayProfile;
+    use lora_phy::region::StandardChannelPlan;
+    use lora_phy::types::SpreadingFactor::*;
+
+    fn gw(network_id: u32) -> Gateway {
+        let profile = GatewayProfile::rak7268cv2();
+        let plan = StandardChannelPlan::us915_subband(0);
+        let config = GatewayConfig::new(profile, plan.channels).unwrap();
+        Gateway::new(0, network_id, profile, config)
+    }
+
+    fn pkt(tx_id: u64, network_id: u32, ch_idx: u32, lock_on_us: u64) -> PacketAtGateway {
+        PacketAtGateway {
+            tx_id,
+            network_id,
+            channel: Channel::khz125(902_300_000 + ch_idx * 200_000),
+            sf: SF7,
+            rssi_dbm: -100.0,
+            snr_db: 10.0,
+            lock_on_us,
+            end_us: lock_on_us + 49_152,
+        }
+    }
+
+    #[test]
+    fn sixteen_packet_cap_fcfs() {
+        // 20 concurrent packets, no collisions: exactly the first 16 by
+        // lock-on order are admitted — the Fig. 3a/b result.
+        let mut g = gw(1);
+        let mut admitted = Vec::new();
+        for i in 0..20u64 {
+            let outcome = g.on_lock_on(pkt(i, 1, (i % 8) as u32, 1000 + i));
+            if outcome == LockOnOutcome::Admitted {
+                admitted.push(i);
+            }
+        }
+        assert_eq!(admitted, (0..16).collect::<Vec<_>>());
+        assert_eq!(g.stats().dropped_no_decoder, 4);
+        // All 16 decode fine and are received.
+        for i in 0..16u64 {
+            assert_eq!(g.on_tx_end(i, true), Some(ReceptionOutcome::Received));
+        }
+        assert_eq!(g.stats().received, 16);
+        assert_eq!(g.decoders_in_use(), 0);
+    }
+
+    #[test]
+    fn release_admits_later_packets() {
+        let mut g = gw(1);
+        for i in 0..16u64 {
+            assert_eq!(g.on_lock_on(pkt(i, 1, 0, i)), LockOnOutcome::Admitted);
+        }
+        // Finish one; the 17th now fits.
+        g.on_tx_end(0, true);
+        assert_eq!(g.on_lock_on(pkt(16, 1, 0, 100)), LockOnOutcome::Admitted);
+    }
+
+    #[test]
+    fn foreign_packets_occupy_decoders() {
+        // The Fig. 3e/f phenomenon: network 2's packets eat network 1's
+        // gateway decoders, then get filtered after decode.
+        let mut g = gw(1);
+        for i in 0..16u64 {
+            assert_eq!(g.on_lock_on(pkt(i, 2, 0, i)), LockOnOutcome::Admitted);
+        }
+        // Own-network packet arrives late: dropped by contention.
+        assert_eq!(
+            g.on_lock_on(pkt(99, 1, 0, 50)),
+            LockOnOutcome::DroppedNoDecoder
+        );
+        for i in 0..16u64 {
+            assert_eq!(
+                g.on_tx_end(i, true),
+                Some(ReceptionOutcome::ForeignFiltered)
+            );
+        }
+        assert_eq!(g.stats().foreign_filtered, 16);
+        assert_eq!(g.stats().received, 0);
+    }
+
+    #[test]
+    fn misaligned_channel_not_detected() {
+        // A 40% frequency misalignment keeps the packet out of the
+        // pipeline entirely (Strategy ⑧).
+        let mut g = gw(1);
+        let mut p = pkt(0, 2, 0, 0);
+        p.channel = Channel::khz125(902_300_000 + 50_000); // 40% shift
+        assert_eq!(g.on_lock_on(p), LockOnOutcome::NotDetected);
+        assert_eq!(g.decoders_in_use(), 0);
+        assert_eq!(g.on_tx_end(0, true), None);
+    }
+
+    #[test]
+    fn weak_preamble_not_detected() {
+        let mut g = gw(1);
+        let mut p = pkt(0, 1, 0, 0);
+        p.snr_db = -20.0; // below the SF7 floor of −7.5 dB
+        assert_eq!(g.on_lock_on(p), LockOnOutcome::NotDetected);
+    }
+
+    #[test]
+    fn high_sf_below_noise_detected() {
+        let mut g = gw(1);
+        let mut p = pkt(0, 1, 0, 0);
+        p.sf = SF12;
+        p.snr_db = -18.0; // above the SF12 floor of −20 dB
+        assert_eq!(g.on_lock_on(p), LockOnOutcome::Admitted);
+    }
+
+    #[test]
+    fn phy_failure_counts_decode_failed() {
+        let mut g = gw(1);
+        g.on_lock_on(pkt(0, 1, 0, 0));
+        assert_eq!(g.on_tx_end(0, false), Some(ReceptionOutcome::DecodeFailed));
+        assert_eq!(g.stats().decode_failed, 1);
+    }
+
+    #[test]
+    fn reconfigure_aborts_active_and_swaps_channels() {
+        let mut g = gw(1);
+        g.on_lock_on(pkt(0, 1, 0, 0));
+        assert_eq!(g.decoders_in_use(), 1);
+        let profile = GatewayProfile::rak7268cv2();
+        let new_cfg = GatewayConfig::new(
+            profile,
+            vec![Channel::khz125(903_900_000), Channel::khz125(904_100_000)],
+        )
+        .unwrap();
+        g.reconfigure(new_cfg);
+        assert_eq!(g.decoders_in_use(), 0);
+        // Old channel no longer detected.
+        assert_eq!(g.on_lock_on(pkt(1, 1, 0, 10)), LockOnOutcome::NotDetected);
+    }
+
+    #[test]
+    fn snr_does_not_grant_priority() {
+        // Fig. 3c: a high-SNR packet arriving late is dropped all the
+        // same once the pool is full.
+        let mut g = gw(1);
+        for i in 0..16u64 {
+            let mut p = pkt(i, 1, 0, i);
+            p.snr_db = -5.0; // weak but decodable
+            g.on_lock_on(p);
+        }
+        let mut strong = pkt(100, 1, 0, 100);
+        strong.snr_db = 30.0;
+        assert_eq!(g.on_lock_on(strong), LockOnOutcome::DroppedNoDecoder);
+    }
+}

@@ -1,0 +1,384 @@
+//! Over-the-air activation (OTAA): JoinRequest / JoinAccept and session
+//! key derivation per LoRaWAN 1.0.x §6.2.
+//!
+//! The join path matters to AlphaWAN operationally: a JoinAccept's
+//! optional **CFList** carries five channel frequencies, which is how a
+//! network bootstraps freshly joined COTS devices straight onto its
+//! (Master-assigned, frequency-misaligned) channel plan — no vendor
+//! extensions needed.
+//!
+//! Wire quirk faithfully reproduced: the JoinAccept body is produced
+//! with AES *decrypt* so that encrypt-only devices can decode it with
+//! the forward cipher.
+
+use crate::aes::Aes128;
+use crate::cmac;
+use crate::device::{DevAddr, SessionKeys};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A 64-bit extended unique identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Eui(pub u64);
+
+/// Join-procedure errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinError {
+    Truncated,
+    BadMType,
+    BadMic,
+    /// DevNonce already used by this device (replay).
+    ReplayedDevNonce,
+    UnknownDevice,
+}
+
+/// A JoinRequest as sent by a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinRequest {
+    pub join_eui: Eui,
+    pub dev_eui: Eui,
+    pub dev_nonce: u16,
+}
+
+impl JoinRequest {
+    /// Encode with the MIC computed under the device's AppKey.
+    pub fn encode(&self, app_key: &[u8; 16]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(23);
+        out.push(0x00); // MHDR: JoinRequest
+        out.extend_from_slice(&self.join_eui.0.to_le_bytes());
+        out.extend_from_slice(&self.dev_eui.0.to_le_bytes());
+        out.extend_from_slice(&self.dev_nonce.to_le_bytes());
+        let mic = cmac::mic(app_key, &out);
+        out.extend_from_slice(&mic);
+        out
+    }
+
+    /// Decode and verify.
+    pub fn decode(bytes: &[u8], app_key: &[u8; 16]) -> Result<JoinRequest, JoinError> {
+        if bytes.len() != 23 {
+            return Err(JoinError::Truncated);
+        }
+        if bytes[0] >> 5 != 0b000 {
+            return Err(JoinError::BadMType);
+        }
+        let (body, mic) = bytes.split_at(19);
+        if cmac::mic(app_key, body) != mic {
+            return Err(JoinError::BadMic);
+        }
+        Ok(JoinRequest {
+            join_eui: Eui(u64::from_le_bytes(body[1..9].try_into().unwrap())),
+            dev_eui: Eui(u64::from_le_bytes(body[9..17].try_into().unwrap())),
+            dev_nonce: u16::from_le_bytes([body[17], body[18]]),
+        })
+    }
+}
+
+/// The optional CFList: five extra channel frequencies, Hz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfList(pub [u32; 5]);
+
+/// A JoinAccept as produced by the network server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinAccept {
+    /// Server nonce (24-bit).
+    pub join_nonce: u32,
+    /// Network identifier (24-bit).
+    pub net_id: u32,
+    pub dev_addr: DevAddr,
+    /// RX1 DR offset / RX2 data-rate byte.
+    pub dl_settings: u8,
+    /// RX1 delay, seconds (1..=15).
+    pub rx_delay: u8,
+    pub cf_list: Option<CfList>,
+}
+
+impl JoinAccept {
+    /// Encode, MIC and encrypt under the device's AppKey.
+    pub fn encode(&self, app_key: &[u8; 16]) -> Vec<u8> {
+        let mut body = Vec::with_capacity(33);
+        body.push(0x20); // MHDR: JoinAccept
+        body.extend_from_slice(&self.join_nonce.to_le_bytes()[..3]);
+        body.extend_from_slice(&self.net_id.to_le_bytes()[..3]);
+        body.extend_from_slice(&self.dev_addr.0.to_le_bytes());
+        body.push(self.dl_settings);
+        body.push(self.rx_delay);
+        if let Some(cf) = &self.cf_list {
+            for f in cf.0 {
+                body.extend_from_slice(&(f / 100).to_le_bytes()[..3]);
+            }
+            body.push(0x00); // CFList type: frequencies
+        }
+        let mic = cmac::mic(app_key, &body);
+        body.extend_from_slice(&mic);
+
+        // Encrypt everything after the MHDR with the INVERSE cipher.
+        let aes = Aes128::new(app_key);
+        let mut out = vec![body[0]];
+        for chunk in body[1..].chunks(16) {
+            debug_assert_eq!(chunk.len(), 16, "JoinAccept body is block-aligned");
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            aes.decrypt_block(&mut block);
+            out.extend_from_slice(&block);
+        }
+        out
+    }
+
+    /// Decode on the device: forward-encrypt to recover, verify MIC.
+    pub fn decode(bytes: &[u8], app_key: &[u8; 16]) -> Result<JoinAccept, JoinError> {
+        if bytes.len() != 17 && bytes.len() != 33 {
+            return Err(JoinError::Truncated);
+        }
+        if bytes[0] >> 5 != 0b001 {
+            return Err(JoinError::BadMType);
+        }
+        let aes = Aes128::new(app_key);
+        let mut body = vec![bytes[0]];
+        for chunk in bytes[1..].chunks(16) {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            aes.encrypt_block(&mut block);
+            body.extend_from_slice(&block);
+        }
+        let (plain, mic) = body.split_at(body.len() - 4);
+        if cmac::mic(app_key, plain) != mic {
+            return Err(JoinError::BadMic);
+        }
+        let cf_list = if plain.len() > 13 {
+            let mut freqs = [0u32; 5];
+            for (i, f) in freqs.iter_mut().enumerate() {
+                let o = 13 + i * 3;
+                *f = u32::from_le_bytes([plain[o], plain[o + 1], plain[o + 2], 0]) * 100;
+            }
+            Some(CfList(freqs))
+        } else {
+            None
+        };
+        Ok(JoinAccept {
+            join_nonce: u32::from_le_bytes([plain[1], plain[2], plain[3], 0]),
+            net_id: u32::from_le_bytes([plain[4], plain[5], plain[6], 0]),
+            dev_addr: DevAddr(u32::from_le_bytes(plain[7..11].try_into().unwrap())),
+            dl_settings: plain[11],
+            rx_delay: plain[12],
+            cf_list,
+        })
+    }
+}
+
+/// Derive the LoRaWAN 1.0.x session keys both sides compute after a
+/// successful join.
+pub fn derive_session_keys(
+    app_key: &[u8; 16],
+    join_nonce: u32,
+    net_id: u32,
+    dev_nonce: u16,
+) -> SessionKeys {
+    let aes = Aes128::new(app_key);
+    let mut block = [0u8; 16];
+    block[1..4].copy_from_slice(&join_nonce.to_le_bytes()[..3]);
+    block[4..7].copy_from_slice(&net_id.to_le_bytes()[..3]);
+    block[7..9].copy_from_slice(&dev_nonce.to_le_bytes());
+    block[0] = 0x01;
+    let nwk = aes.encrypt(&block);
+    block[0] = 0x02;
+    let app = aes.encrypt(&block);
+    SessionKeys {
+        nwk_s_key: nwk,
+        app_s_key: app,
+    }
+}
+
+/// Server-side join handler: per-device AppKeys, DevNonce replay
+/// protection, address allocation.
+#[derive(Debug)]
+pub struct JoinServer {
+    net_id: u32,
+    nwk_id: u8,
+    app_keys: std::collections::HashMap<Eui, [u8; 16]>,
+    used_nonces: std::collections::HashMap<Eui, HashSet<u16>>,
+    next_addr: u32,
+    next_join_nonce: u32,
+}
+
+impl JoinServer {
+    pub fn new(net_id: u32, nwk_id: u8) -> JoinServer {
+        JoinServer {
+            net_id,
+            nwk_id,
+            app_keys: Default::default(),
+            used_nonces: Default::default(),
+            next_addr: 1,
+            next_join_nonce: 1,
+        }
+    }
+
+    /// Provision a device's root key.
+    pub fn provision(&mut self, dev_eui: Eui, app_key: [u8; 16]) {
+        self.app_keys.insert(dev_eui, app_key);
+    }
+
+    /// Handle a raw JoinRequest; returns the encrypted JoinAccept wire
+    /// bytes and the session the server derived. `cf_list` lets the
+    /// operator push its channel plan at join time.
+    pub fn handle(
+        &mut self,
+        wire: &[u8],
+        cf_list: Option<CfList>,
+    ) -> Result<(Vec<u8>, DevAddr, SessionKeys), JoinError> {
+        // The DevEUI is readable without the key; find the key, then
+        // verify the MIC under it.
+        if wire.len() != 23 {
+            return Err(JoinError::Truncated);
+        }
+        let dev_eui = Eui(u64::from_le_bytes(wire[9..17].try_into().unwrap()));
+        let app_key = *self.app_keys.get(&dev_eui).ok_or(JoinError::UnknownDevice)?;
+        let req = JoinRequest::decode(wire, &app_key)?;
+        let nonces = self.used_nonces.entry(dev_eui).or_default();
+        if !nonces.insert(req.dev_nonce) {
+            return Err(JoinError::ReplayedDevNonce);
+        }
+        let dev_addr = DevAddr::new(self.nwk_id, self.next_addr);
+        self.next_addr += 1;
+        let join_nonce = self.next_join_nonce & 0x00ff_ffff;
+        self.next_join_nonce += 1;
+        let accept = JoinAccept {
+            join_nonce,
+            net_id: self.net_id,
+            dev_addr,
+            dl_settings: 0,
+            rx_delay: 1,
+            cf_list,
+        };
+        let keys = derive_session_keys(&app_key, join_nonce, self.net_id, req.dev_nonce);
+        Ok((accept.encode(&app_key), dev_addr, keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP_KEY: [u8; 16] = [0xA0; 16];
+
+    #[test]
+    fn join_request_roundtrip() {
+        let req = JoinRequest {
+            join_eui: Eui(0x70B3_D57E_D000_0001),
+            dev_eui: Eui(0x0011_2233_4455_6677),
+            dev_nonce: 0xBEEF,
+        };
+        let wire = req.encode(&APP_KEY);
+        assert_eq!(wire.len(), 23);
+        assert_eq!(JoinRequest::decode(&wire, &APP_KEY), Ok(req));
+        assert_eq!(
+            JoinRequest::decode(&wire, &[0xFF; 16]),
+            Err(JoinError::BadMic)
+        );
+    }
+
+    #[test]
+    fn join_accept_roundtrip_without_cflist() {
+        let acc = JoinAccept {
+            join_nonce: 0x00AB_CDEF & 0xffffff,
+            net_id: 0x13,
+            dev_addr: DevAddr::new(0x13, 42),
+            dl_settings: 0,
+            rx_delay: 1,
+            cf_list: None,
+        };
+        let wire = acc.encode(&APP_KEY);
+        assert_eq!(wire.len(), 17);
+        assert_eq!(JoinAccept::decode(&wire, &APP_KEY), Ok(acc));
+    }
+
+    #[test]
+    fn join_accept_carries_channel_plan() {
+        // AlphaWAN bootstraps the Master-assigned plan via the CFList.
+        let cf = CfList([916_862_500 / 100 * 100, 917_162_500 / 100 * 100, 917_462_500 / 100 * 100, 917_762_500 / 100 * 100, 918_062_500 / 100 * 100]);
+        let acc = JoinAccept {
+            join_nonce: 7,
+            net_id: 0x13,
+            dev_addr: DevAddr::new(0x13, 1),
+            dl_settings: 0,
+            rx_delay: 1,
+            cf_list: Some(cf),
+        };
+        let wire = acc.encode(&APP_KEY);
+        assert_eq!(wire.len(), 33);
+        let decoded = JoinAccept::decode(&wire, &APP_KEY).unwrap();
+        assert_eq!(decoded.cf_list, Some(cf));
+    }
+
+    #[test]
+    fn join_accept_is_actually_encrypted() {
+        let acc = JoinAccept {
+            join_nonce: 1,
+            net_id: 0x13,
+            dev_addr: DevAddr::new(0x13, 42),
+            dl_settings: 0,
+            rx_delay: 1,
+            cf_list: None,
+        };
+        let wire = acc.encode(&APP_KEY);
+        // The DevAddr bytes must not appear in clear.
+        let addr = DevAddr::new(0x13, 42).0.to_le_bytes();
+        assert!(!wire.windows(4).any(|w| w == addr));
+        // Wrong key fails the MIC.
+        assert_eq!(
+            JoinAccept::decode(&wire, &[0x55; 16]),
+            Err(JoinError::BadMic)
+        );
+    }
+
+    #[test]
+    fn both_sides_derive_identical_sessions() {
+        let mut server = JoinServer::new(0x13, 0x13);
+        let dev_eui = Eui(0xD00D);
+        server.provision(dev_eui, APP_KEY);
+        let req = JoinRequest {
+            join_eui: Eui(1),
+            dev_eui,
+            dev_nonce: 100,
+        };
+        let (accept_wire, addr, server_keys) = server.handle(&req.encode(&APP_KEY), None).unwrap();
+        // Device side decodes and derives.
+        let acc = JoinAccept::decode(&accept_wire, &APP_KEY).unwrap();
+        assert_eq!(acc.dev_addr, addr);
+        let device_keys = derive_session_keys(&APP_KEY, acc.join_nonce, acc.net_id, 100);
+        assert_eq!(device_keys, server_keys);
+        assert_ne!(device_keys.nwk_s_key, device_keys.app_s_key);
+    }
+
+    #[test]
+    fn dev_nonce_replay_rejected() {
+        let mut server = JoinServer::new(0x13, 0x13);
+        let dev_eui = Eui(0xD00D);
+        server.provision(dev_eui, APP_KEY);
+        let req = JoinRequest {
+            join_eui: Eui(1),
+            dev_eui,
+            dev_nonce: 5,
+        };
+        let wire = req.encode(&APP_KEY);
+        assert!(server.handle(&wire, None).is_ok());
+        assert_eq!(server.handle(&wire, None), Err(JoinError::ReplayedDevNonce));
+        // A fresh nonce is fine and gets a fresh address.
+        let wire2 = JoinRequest { dev_nonce: 6, ..req }.encode(&APP_KEY);
+        let (_, addr2, _) = server.handle(&wire2, None).unwrap();
+        assert_eq!(addr2, DevAddr::new(0x13, 2));
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let mut server = JoinServer::new(0x13, 0x13);
+        let req = JoinRequest {
+            join_eui: Eui(1),
+            dev_eui: Eui(0xBAD),
+            dev_nonce: 1,
+        };
+        assert_eq!(
+            server.handle(&req.encode(&APP_KEY), None),
+            Err(JoinError::UnknownDevice)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Frame sync words.
+//!
+//! The LoRaWAN spec advises coexisting networks to use distinct sync
+//! words (§3.1). Crucially, the sync word sits *after* the preamble:
+//! a gateway has already locked on and allocated a decoder before it can
+//! verify the sync word — and on SX130x hardware the whole packet is
+//! decoded before filtering. Sync words therefore do **not** prevent
+//! decoder contention; they only enable post-hoc filtering.
+
+use serde::{Deserialize, Serialize};
+
+/// A LoRa PHY sync word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyncWord(pub u8);
+
+impl SyncWord {
+    /// Public LoRaWAN networks (0x34).
+    pub const PUBLIC: SyncWord = SyncWord(0x34);
+    /// Private LoRa networks (0x12).
+    pub const PRIVATE: SyncWord = SyncWord(0x12);
+
+    /// A per-network sync word for experiment setups that give each
+    /// coexisting network its own word (as the paper's §3.1 setup does).
+    pub fn for_network(network_id: u32) -> SyncWord {
+        // Avoid the two reserved values.
+        let mut w = 0x20u8.wrapping_add((network_id as u8).wrapping_mul(7));
+        while w == 0x34 || w == 0x12 {
+            w = w.wrapping_add(1);
+        }
+        SyncWord(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_words() {
+        assert_eq!(SyncWord::PUBLIC.0, 0x34);
+        assert_eq!(SyncWord::PRIVATE.0, 0x12);
+    }
+
+    #[test]
+    fn network_words_avoid_reserved() {
+        for id in 0..500 {
+            let w = SyncWord::for_network(id);
+            assert_ne!(w, SyncWord::PUBLIC);
+            assert_ne!(w, SyncWord::PRIVATE);
+        }
+    }
+
+    #[test]
+    fn nearby_networks_differ() {
+        assert_ne!(SyncWord::for_network(0), SyncWord::for_network(1));
+        assert_ne!(SyncWord::for_network(1), SyncWord::for_network(2));
+    }
+}

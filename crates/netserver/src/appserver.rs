@@ -1,0 +1,170 @@
+//! The application server — the last hop of Fig. 1.
+//!
+//! Deduplicated uplinks are routed to applications by FPort; each
+//! application sees decrypted payloads plus reception metadata. In the
+//! paper's experiments this is where "application servers record the
+//! number of successfully received packets" (§2.2) — the ground truth
+//! for every capacity measurement.
+
+use lora_mac::device::DevAddr;
+use lora_mac::frame::PhyPayload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One delivered application message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppMessage {
+    pub dev_addr: DevAddr,
+    pub fport: u8,
+    pub payload: Vec<u8>,
+    pub fcnt: u16,
+    pub received_us: u64,
+}
+
+/// Per-application statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppStats {
+    pub messages: u64,
+    pub bytes: u64,
+    pub distinct_devices: usize,
+}
+
+/// Routes uplinks to applications by FPort range.
+#[derive(Debug, Default)]
+pub struct ApplicationServer {
+    /// Application name → claimed FPorts.
+    routes: HashMap<String, Vec<u8>>,
+    /// Application name → inbox (bounded).
+    inboxes: HashMap<String, Vec<AppMessage>>,
+    devices_seen: HashMap<String, std::collections::HashSet<DevAddr>>,
+    stats: HashMap<String, AppStats>,
+    /// Messages whose FPort no application claimed.
+    pub unrouted: u64,
+    inbox_cap: usize,
+}
+
+impl ApplicationServer {
+    /// Server with the given per-application inbox capacity.
+    pub fn new(inbox_cap: usize) -> ApplicationServer {
+        ApplicationServer {
+            inbox_cap: inbox_cap.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Register an application for a set of FPorts. Later registrations
+    /// win conflicts (explicit handover).
+    pub fn register_app(&mut self, name: &str, fports: &[u8]) {
+        self.routes.insert(name.to_string(), fports.to_vec());
+        self.inboxes.entry(name.to_string()).or_default();
+        self.stats.entry(name.to_string()).or_default();
+        self.devices_seen.entry(name.to_string()).or_default();
+    }
+
+    /// Route one delivered, decrypted frame.
+    pub fn deliver(&mut self, frame: &PhyPayload, received_us: u64) {
+        let Some(fport) = frame.fport else {
+            // MAC-only frames stay in the network layer.
+            return;
+        };
+        let app = self
+            .routes
+            .iter()
+            .find(|(_, ports)| ports.contains(&fport))
+            .map(|(name, _)| name.clone());
+        let Some(app) = app else {
+            self.unrouted += 1;
+            return;
+        };
+        let msg = AppMessage {
+            dev_addr: frame.dev_addr,
+            fport,
+            payload: frame.frm_payload.clone(),
+            fcnt: frame.fcnt,
+            received_us,
+        };
+        let inbox = self.inboxes.get_mut(&app).expect("registered app has inbox");
+        if inbox.len() == self.inbox_cap {
+            inbox.remove(0);
+        }
+        inbox.push(msg);
+        let stats = self.stats.get_mut(&app).expect("registered app has stats");
+        stats.messages += 1;
+        stats.bytes += frame.frm_payload.len() as u64;
+        let seen = self.devices_seen.get_mut(&app).expect("registered");
+        seen.insert(frame.dev_addr);
+        stats.distinct_devices = seen.len();
+    }
+
+    /// Drain an application's inbox.
+    pub fn take_inbox(&mut self, app: &str) -> Vec<AppMessage> {
+        self.inboxes.get_mut(app).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Statistics for one application.
+    pub fn stats(&self, app: &str) -> AppStats {
+        self.stats.get(app).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(addr: u32, fport: u8, payload: &[u8], fcnt: u16) -> PhyPayload {
+        let mut f = PhyPayload::uplink(DevAddr(addr), fcnt, fport, payload);
+        f.fport = Some(fport);
+        f
+    }
+
+    #[test]
+    fn routes_by_fport() {
+        let mut s = ApplicationServer::new(16);
+        s.register_app("metering", &[1, 2]);
+        s.register_app("parking", &[10]);
+        s.deliver(&frame(1, 1, b"kwh=4", 0), 100);
+        s.deliver(&frame(2, 10, b"slot=free", 0), 200);
+        s.deliver(&frame(3, 99, b"lost", 0), 300);
+        assert_eq!(s.stats("metering").messages, 1);
+        assert_eq!(s.stats("parking").messages, 1);
+        assert_eq!(s.unrouted, 1);
+        let inbox = s.take_inbox("parking");
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].payload, b"slot=free");
+        assert!(s.take_inbox("parking").is_empty(), "inbox drained");
+    }
+
+    #[test]
+    fn inbox_bounded_fifo() {
+        let mut s = ApplicationServer::new(3);
+        s.register_app("a", &[1]);
+        for n in 0..5u16 {
+            s.deliver(&frame(1, 1, format!("m{n}").as_bytes(), n), n as u64);
+        }
+        let inbox = s.take_inbox("a");
+        assert_eq!(inbox.len(), 3);
+        assert_eq!(inbox[0].payload, b"m2", "oldest evicted");
+        assert_eq!(s.stats("a").messages, 5, "stats count everything");
+    }
+
+    #[test]
+    fn distinct_device_tracking() {
+        let mut s = ApplicationServer::new(8);
+        s.register_app("a", &[1]);
+        for addr in [1u32, 2, 2, 3] {
+            s.deliver(&frame(addr, 1, b"x", 0), 0);
+        }
+        assert_eq!(s.stats("a").distinct_devices, 3);
+    }
+
+    #[test]
+    fn mac_only_frames_not_routed() {
+        let mut s = ApplicationServer::new(8);
+        s.register_app("a", &[0, 1]);
+        let mut f = frame(1, 1, b"", 0);
+        f.fport = None;
+        s.deliver(&f, 0);
+        assert_eq!(s.stats("a").messages, 0);
+        assert_eq!(s.unrouted, 0);
+    }
+}

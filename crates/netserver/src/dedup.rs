@@ -1,0 +1,148 @@
+//! Uplink deduplication.
+//!
+//! LoRaWAN's any-gateway reception means one uplink typically arrives
+//! at the server several times (once per receiving gateway). The server
+//! deduplicates on (DevAddr, FCnt) within a time window and keeps the
+//! copy with the best SNR as the canonical reception.
+
+use lora_mac::device::DevAddr;
+use std::collections::HashMap;
+
+/// A received uplink copy as reported by one gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkCopy {
+    pub dev_addr: DevAddr,
+    pub fcnt: u16,
+    pub gw_id: usize,
+    pub snr_db: f64,
+    pub received_us: u64,
+}
+
+/// Outcome of offering a copy to the deduplicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// First copy of this frame: process it.
+    New,
+    /// Another gateway's copy of an already-processed frame.
+    Duplicate,
+}
+
+/// (DevAddr, FCnt) deduplication with a sliding time window.
+#[derive(Debug)]
+pub struct Deduplicator {
+    window_us: u64,
+    /// Frame key → (first seen time, best SNR, best gateway).
+    seen: HashMap<(DevAddr, u16), (u64, f64, usize)>,
+}
+
+impl Deduplicator {
+    /// Standard deduplication window (ChirpStack default: 200 ms).
+    pub fn new(window_us: u64) -> Deduplicator {
+        Deduplicator {
+            window_us,
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Offer a copy; returns whether it is new, and updates the
+    /// best-copy record.
+    pub fn offer(&mut self, copy: UplinkCopy) -> DedupOutcome {
+        self.gc(copy.received_us);
+        let key = (copy.dev_addr, copy.fcnt);
+        match self.seen.get_mut(&key) {
+            Some(entry) => {
+                if copy.snr_db > entry.1 {
+                    entry.1 = copy.snr_db;
+                    entry.2 = copy.gw_id;
+                }
+                DedupOutcome::Duplicate
+            }
+            None => {
+                self.seen
+                    .insert(key, (copy.received_us, copy.snr_db, copy.gw_id));
+                DedupOutcome::New
+            }
+        }
+    }
+
+    /// Best (SNR, gateway) seen for a frame, if any copy arrived.
+    pub fn best_copy(&self, dev_addr: DevAddr, fcnt: u16) -> Option<(f64, usize)> {
+        self.seen.get(&(dev_addr, fcnt)).map(|e| (e.1, e.2))
+    }
+
+    /// Number of distinct frames currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Expire frames older than the window.
+    fn gc(&mut self, now_us: u64) {
+        let window = self.window_us;
+        self.seen
+            .retain(|_, (t0, _, _)| now_us.saturating_sub(*t0) <= window);
+    }
+}
+
+impl Default for Deduplicator {
+    fn default() -> Self {
+        Deduplicator::new(200_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn copy(addr: u32, fcnt: u16, gw: usize, snr: f64, t: u64) -> UplinkCopy {
+        UplinkCopy {
+            dev_addr: DevAddr(addr),
+            fcnt,
+            gw_id: gw,
+            snr_db: snr,
+            received_us: t,
+        }
+    }
+
+    #[test]
+    fn duplicate_same_frame_different_gateways() {
+        let mut d = Deduplicator::default();
+        assert_eq!(d.offer(copy(1, 10, 0, -3.0, 0)), DedupOutcome::New);
+        assert_eq!(d.offer(copy(1, 10, 1, 2.0, 50_000)), DedupOutcome::Duplicate);
+        assert_eq!(d.offer(copy(1, 10, 2, -8.0, 60_000)), DedupOutcome::Duplicate);
+        // Best copy is the strongest gateway.
+        assert_eq!(d.best_copy(DevAddr(1), 10), Some((2.0, 1)));
+    }
+
+    #[test]
+    fn different_fcnt_not_duplicate() {
+        let mut d = Deduplicator::default();
+        assert_eq!(d.offer(copy(1, 10, 0, 0.0, 0)), DedupOutcome::New);
+        assert_eq!(d.offer(copy(1, 11, 0, 0.0, 1_000)), DedupOutcome::New);
+    }
+
+    #[test]
+    fn different_devices_independent() {
+        let mut d = Deduplicator::default();
+        assert_eq!(d.offer(copy(1, 10, 0, 0.0, 0)), DedupOutcome::New);
+        assert_eq!(d.offer(copy(2, 10, 0, 0.0, 0)), DedupOutcome::New);
+    }
+
+    #[test]
+    fn window_expiry_allows_fcnt_reuse() {
+        let mut d = Deduplicator::new(200_000);
+        assert_eq!(d.offer(copy(1, 10, 0, 0.0, 0)), DedupOutcome::New);
+        // Far outside the window (e.g. FCnt wrapped): treated as new.
+        assert_eq!(d.offer(copy(1, 10, 0, 0.0, 10_000_000)), DedupOutcome::New);
+        assert_eq!(d.tracked(), 1, "old entry garbage-collected");
+    }
+
+    #[test]
+    fn within_window_still_duplicate() {
+        let mut d = Deduplicator::new(200_000);
+        d.offer(copy(1, 10, 0, 0.0, 0));
+        assert_eq!(
+            d.offer(copy(1, 10, 1, 0.0, 199_999)),
+            DedupOutcome::Duplicate
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Downlink MAC-command scheduling.
+//!
+//! Class-A LoRaWAN devices only listen briefly after their own uplinks,
+//! so the server queues MAC commands per device and drains up to 15
+//! bytes of them (the FOpts limit) into the next downlink opportunity.
+//! This is the delivery path for AlphaWAN's LinkADRReq / NewChannelReq
+//! reconfiguration (§4.3.3).
+
+use lora_mac::commands::MacCommand;
+use lora_mac::device::DevAddr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Per-device FIFO of pending MAC commands. Thread-safe: the CP solver
+/// enqueues from its own thread while uplink handling drains.
+#[derive(Debug, Default)]
+pub struct DownlinkScheduler {
+    queues: Mutex<HashMap<DevAddr, Vec<MacCommand>>>,
+}
+
+impl DownlinkScheduler {
+    pub fn new() -> DownlinkScheduler {
+        DownlinkScheduler::default()
+    }
+
+    /// Queue a command for a device.
+    pub fn enqueue(&self, dev: DevAddr, cmd: MacCommand) {
+        self.queues.lock().entry(dev).or_default().push(cmd);
+    }
+
+    /// Pending command count for a device.
+    pub fn pending(&self, dev: DevAddr) -> usize {
+        self.queues.lock().get(&dev).map_or(0, |q| q.len())
+    }
+
+    /// Drain as many queued commands as fit in one downlink's 15-byte
+    /// FOpts field, encoding them. Returns (commands, encoded bytes).
+    pub fn drain_for_downlink(&self, dev: DevAddr) -> (Vec<MacCommand>, Vec<u8>) {
+        let mut queues = self.queues.lock();
+        let Some(q) = queues.get_mut(&dev) else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut taken = Vec::new();
+        let mut encoded = Vec::new();
+        while let Some(cmd) = q.first() {
+            let mut probe = Vec::new();
+            cmd.encode(&mut probe);
+            if encoded.len() + probe.len() > 15 {
+                break;
+            }
+            encoded.extend_from_slice(&probe);
+            taken.push(q.remove(0));
+        }
+        if q.is_empty() {
+            queues.remove(&dev);
+        }
+        (taken, encoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_mac::commands::{LinkAdrReq, NewChannelReq};
+    use lora_phy::types::DataRate::*;
+
+    fn adr_req() -> MacCommand {
+        MacCommand::LinkAdrReq(LinkAdrReq {
+            data_rate: DR3,
+            tx_power_idx: 2,
+            ch_mask: 0xff,
+            redundancy: 1,
+        })
+    }
+
+    fn newch(i: u8) -> MacCommand {
+        MacCommand::NewChannelReq(NewChannelReq {
+            ch_index: i,
+            freq_hz: 920_000_000 + i as u32 * 200_000,
+            max_dr: DR5,
+            min_dr: DR0,
+        })
+    }
+
+    #[test]
+    fn fifo_order() {
+        let s = DownlinkScheduler::new();
+        s.enqueue(DevAddr(1), adr_req());
+        s.enqueue(DevAddr(1), newch(0));
+        let (cmds, bytes) = s.drain_for_downlink(DevAddr(1));
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[0], MacCommand::LinkAdrReq(_)));
+        assert_eq!(bytes.len(), 5 + 6);
+        assert_eq!(s.pending(DevAddr(1)), 0);
+    }
+
+    #[test]
+    fn fifteen_byte_fopts_limit() {
+        let s = DownlinkScheduler::new();
+        // Three 6-byte NewChannelReq = 18 bytes > 15: only two fit.
+        for i in 0..3 {
+            s.enqueue(DevAddr(1), newch(i));
+        }
+        let (cmds, bytes) = s.drain_for_downlink(DevAddr(1));
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(s.pending(DevAddr(1)), 1);
+        // The remainder drains next time.
+        let (rest, _) = s.drain_for_downlink(DevAddr(1));
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn per_device_isolation() {
+        let s = DownlinkScheduler::new();
+        s.enqueue(DevAddr(1), adr_req());
+        s.enqueue(DevAddr(2), newch(0));
+        let (cmds, _) = s.drain_for_downlink(DevAddr(1));
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(s.pending(DevAddr(2)), 1);
+    }
+
+    #[test]
+    fn empty_queue_drains_empty() {
+        let s = DownlinkScheduler::new();
+        let (cmds, bytes) = s.drain_for_downlink(DevAddr(9));
+        assert!(cmds.is_empty() && bytes.is_empty());
+    }
+}

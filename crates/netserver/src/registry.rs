@@ -1,0 +1,146 @@
+//! Device registry: sessions, frame-counter validation and per-device
+//! network-side ADR state.
+
+use lora_mac::adr::AdrController;
+use lora_mac::device::{DevAddr, SessionKeys};
+use std::collections::HashMap;
+
+/// Server-side state for one device.
+#[derive(Debug)]
+pub struct DeviceSession {
+    pub keys: SessionKeys,
+    /// Highest FCnt accepted so far (None until first uplink).
+    pub last_fcnt: Option<u16>,
+    pub adr: AdrController,
+    pub uplinks: u64,
+}
+
+/// Why an uplink was rejected by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    UnknownDevice,
+    /// Frame counter replayed or too old.
+    FcntReplay { last: u16, got: u16 },
+}
+
+/// The device registry.
+#[derive(Debug, Default)]
+pub struct DeviceRegistry {
+    devices: HashMap<DevAddr, DeviceSession>,
+}
+
+impl DeviceRegistry {
+    pub fn new() -> DeviceRegistry {
+        DeviceRegistry::default()
+    }
+
+    /// Provision a device session.
+    pub fn register(&mut self, addr: DevAddr, keys: SessionKeys) {
+        self.devices.insert(
+            addr,
+            DeviceSession {
+                keys,
+                last_fcnt: None,
+                adr: AdrController::default(),
+                uplinks: 0,
+            },
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    pub fn session(&self, addr: DevAddr) -> Option<&DeviceSession> {
+        self.devices.get(&addr)
+    }
+
+    pub fn session_mut(&mut self, addr: DevAddr) -> Option<&mut DeviceSession> {
+        self.devices.get_mut(&addr)
+    }
+
+    /// Validate and account an uplink: FCnt must advance (with a
+    /// 16-bit wrap-around allowance of the standard reception window).
+    pub fn accept_uplink(
+        &mut self,
+        addr: DevAddr,
+        fcnt: u16,
+        snr_db: f64,
+    ) -> Result<(), SessionError> {
+        let s = self
+            .devices
+            .get_mut(&addr)
+            .ok_or(SessionError::UnknownDevice)?;
+        if let Some(last) = s.last_fcnt {
+            let advanced = fcnt.wrapping_sub(last);
+            if advanced == 0 || advanced > 0x7fff {
+                return Err(SessionError::FcntReplay { last, got: fcnt });
+            }
+        }
+        s.last_fcnt = Some(fcnt);
+        s.uplinks += 1;
+        s.adr.observe(snr_db);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> SessionKeys {
+        SessionKeys {
+            nwk_s_key: [1; 16],
+            app_s_key: [2; 16],
+        }
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let mut r = DeviceRegistry::new();
+        assert_eq!(
+            r.accept_uplink(DevAddr(1), 0, 0.0),
+            Err(SessionError::UnknownDevice)
+        );
+    }
+
+    #[test]
+    fn fcnt_must_advance() {
+        let mut r = DeviceRegistry::new();
+        r.register(DevAddr(1), keys());
+        assert!(r.accept_uplink(DevAddr(1), 5, 0.0).is_ok());
+        assert_eq!(
+            r.accept_uplink(DevAddr(1), 5, 0.0),
+            Err(SessionError::FcntReplay { last: 5, got: 5 })
+        );
+        assert_eq!(
+            r.accept_uplink(DevAddr(1), 3, 0.0),
+            Err(SessionError::FcntReplay { last: 5, got: 3 })
+        );
+        assert!(r.accept_uplink(DevAddr(1), 6, 0.0).is_ok());
+    }
+
+    #[test]
+    fn fcnt_wraparound_accepted() {
+        let mut r = DeviceRegistry::new();
+        r.register(DevAddr(1), keys());
+        assert!(r.accept_uplink(DevAddr(1), u16::MAX, 0.0).is_ok());
+        assert!(r.accept_uplink(DevAddr(1), 3, 0.0).is_ok(), "wrap to 3");
+    }
+
+    #[test]
+    fn uplinks_feed_adr_history() {
+        let mut r = DeviceRegistry::new();
+        r.register(DevAddr(1), keys());
+        for i in 0..20 {
+            r.accept_uplink(DevAddr(1), i, 5.0).unwrap();
+        }
+        let s = r.session(DevAddr(1)).unwrap();
+        assert_eq!(s.uplinks, 20);
+        assert_eq!(s.adr.observations(), 20);
+    }
+}

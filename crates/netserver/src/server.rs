@@ -1,0 +1,184 @@
+//! The assembled network server: ingest path (dedup → session check →
+//! logs/estimator → application delivery) and the network-side ADR loop.
+
+use crate::dedup::{DedupOutcome, Deduplicator, UplinkCopy};
+use crate::downlink::DownlinkScheduler;
+use crate::estimator::TrafficEstimator;
+use crate::logparser::{LogParser, UplinkLog};
+use crate::registry::DeviceRegistry;
+use lora_mac::adr::AdrDecision;
+use lora_mac::commands::{LinkAdrReq, MacCommand};
+use lora_mac::device::DevAddr;
+use lora_phy::types::DataRate;
+
+/// What the server did with one gateway uplink copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// New frame, session valid: delivered to the application server.
+    Delivered,
+    /// Copy of an already-delivered frame (normal multi-gateway case).
+    Duplicate,
+    /// Unknown device or replayed frame counter.
+    Rejected,
+}
+
+/// A ChirpStack-like network server instance for one operator.
+pub struct NetworkServer {
+    pub registry: DeviceRegistry,
+    pub dedup: Deduplicator,
+    pub logs: LogParser,
+    pub estimator: TrafficEstimator,
+    pub downlink: DownlinkScheduler,
+    delivered: u64,
+}
+
+impl NetworkServer {
+    /// Server with the given traffic-estimation window.
+    pub fn new(traffic_window_us: u64) -> NetworkServer {
+        NetworkServer {
+            registry: DeviceRegistry::new(),
+            dedup: Deduplicator::default(),
+            logs: LogParser::new(traffic_window_us),
+            estimator: TrafficEstimator::new(traffic_window_us),
+            downlink: DownlinkScheduler::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Frames delivered to the application server.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Ingest one uplink copy from a gateway.
+    pub fn ingest(&mut self, copy: UplinkCopy, log: UplinkLog) -> IngestOutcome {
+        // Operational log is recorded for every copy — the log parser
+        // wants per-gateway metadata even for duplicates.
+        self.logs.ingest(&log);
+        match self.dedup.offer(copy) {
+            DedupOutcome::Duplicate => IngestOutcome::Duplicate,
+            DedupOutcome::New => {
+                match self
+                    .registry
+                    .accept_uplink(copy.dev_addr, copy.fcnt, copy.snr_db)
+                {
+                    Ok(()) => {
+                        self.estimator.record(copy.dev_addr, copy.received_us);
+                        self.delivered += 1;
+                        IngestOutcome::Delivered
+                    }
+                    Err(_) => IngestOutcome::Rejected,
+                }
+            }
+        }
+    }
+
+    /// Run the standard network-side ADR for one device and queue the
+    /// resulting LinkADRReq (if the device's history is full).
+    /// `current` is the device's present (data rate, power index).
+    pub fn run_adr(&mut self, dev: DevAddr, current: (DataRate, u8)) -> Option<AdrDecision> {
+        let session = self.registry.session(dev)?;
+        let decision = session.adr.evaluate(current.0, current.1)?;
+        if (decision.data_rate, decision.tx_power_idx) != current {
+            self.downlink.enqueue(
+                dev,
+                MacCommand::LinkAdrReq(LinkAdrReq {
+                    data_rate: decision.data_rate,
+                    tx_power_idx: decision.tx_power_idx,
+                    ch_mask: 0xffff,
+                    redundancy: 1,
+                }),
+            );
+        }
+        Some(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_mac::device::SessionKeys;
+    use lora_phy::channel::Channel;
+    use lora_phy::types::DataRate::*;
+
+    fn keys() -> SessionKeys {
+        SessionKeys {
+            nwk_s_key: [1; 16],
+            app_s_key: [2; 16],
+        }
+    }
+
+    fn copy(dev: u32, fcnt: u16, gw: usize, t: u64) -> UplinkCopy {
+        UplinkCopy {
+            dev_addr: DevAddr(dev),
+            fcnt,
+            gw_id: gw,
+            snr_db: 5.0,
+            received_us: t,
+        }
+    }
+
+    fn log(dev: u32, gw: usize, t: u64) -> UplinkLog {
+        UplinkLog {
+            dev_addr: DevAddr(dev),
+            gw_id: gw,
+            channel: Channel::khz125(920_000_000),
+            dr: DR3,
+            snr_db: 5.0,
+            timestamp_us: t,
+        }
+    }
+
+    #[test]
+    fn multi_gateway_frame_delivered_once() {
+        let mut s = NetworkServer::new(1_000_000);
+        s.registry.register(DevAddr(1), keys());
+        assert_eq!(s.ingest(copy(1, 0, 0, 10), log(1, 0, 10)), IngestOutcome::Delivered);
+        assert_eq!(s.ingest(copy(1, 0, 1, 12), log(1, 1, 12)), IngestOutcome::Duplicate);
+        assert_eq!(s.ingest(copy(1, 0, 2, 15), log(1, 2, 15)), IngestOutcome::Duplicate);
+        assert_eq!(s.delivered(), 1);
+        // But all three copies hit the operational log.
+        assert_eq!(s.logs.profile(DevAddr(1)).unwrap().reachable_gateways().len(), 3);
+    }
+
+    #[test]
+    fn unknown_device_rejected_but_logged() {
+        let mut s = NetworkServer::new(1_000_000);
+        assert_eq!(s.ingest(copy(9, 0, 0, 10), log(9, 0, 10)), IngestOutcome::Rejected);
+        assert_eq!(s.delivered(), 0);
+        assert!(s.logs.profile(DevAddr(9)).is_some());
+    }
+
+    #[test]
+    fn adr_loop_queues_command() {
+        let mut s = NetworkServer::new(1_000_000);
+        s.registry.register(DevAddr(1), keys());
+        for f in 0..20 {
+            s.ingest(copy(1, f, 0, f as u64 * 1_000), log(1, 0, f as u64 * 1_000));
+        }
+        let d = s.run_adr(DevAddr(1), (DR0, 0)).unwrap();
+        assert!(d.data_rate > DR0, "strong link should upgrade");
+        assert_eq!(s.downlink.pending(DevAddr(1)), 1);
+    }
+
+    #[test]
+    fn adr_noop_when_settings_already_right() {
+        let mut s = NetworkServer::new(1_000_000);
+        s.registry.register(DevAddr(1), keys());
+        for f in 0..20 {
+            s.ingest(copy(1, f, 0, f as u64), log(1, 0, f as u64));
+        }
+        let d = s.run_adr(DevAddr(1), (DR5, 0)).unwrap();
+        if (d.data_rate, d.tx_power_idx) == (DR5, 0) {
+            assert_eq!(s.downlink.pending(DevAddr(1)), 0);
+        }
+    }
+
+    #[test]
+    fn adr_waits_for_history() {
+        let mut s = NetworkServer::new(1_000_000);
+        s.registry.register(DevAddr(1), keys());
+        s.ingest(copy(1, 0, 0, 0), log(1, 0, 0));
+        assert!(s.run_adr(DevAddr(1), (DR0, 0)).is_none());
+    }
+}

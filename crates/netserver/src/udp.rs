@@ -1,0 +1,226 @@
+//! UDP ingest: the server end of the Semtech packet-forwarder protocol.
+//!
+//! Binds a UDP socket, acknowledges PUSH_DATA/PULL_DATA from gateways,
+//! records each gateway's last PULL address (the downlink return path)
+//! and delivers parsed receptions to the caller over a channel.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use gateway::forwarder::codec::{Datagram, GatewayEui, RxPacket, TxPacket};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One reception delivered by the ingest server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestedUplink {
+    pub gateway: GatewayEui,
+    pub rxpk: RxPacket,
+}
+
+/// The UDP ingest server.
+pub struct UdpIngest {
+    addr: SocketAddr,
+    socket: UdpSocket,
+    rx: Receiver<IngestedUplink>,
+    pull_addrs: Arc<Mutex<HashMap<GatewayEui, SocketAddr>>>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl UdpIngest {
+    /// Bind `127.0.0.1:0` and start the receive loop.
+    pub fn start() -> io::Result<UdpIngest> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+        let (tx, rx): (Sender<IngestedUplink>, _) = unbounded();
+        let pull_addrs = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let loop_socket = socket.try_clone()?;
+        let loop_pulls = Arc::clone(&pull_addrs);
+        let loop_shutdown = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("netserver-udp-ingest".into())
+            .spawn(move || {
+                let mut buf = [0u8; 65_536];
+                while !loop_shutdown.load(Ordering::SeqCst) {
+                    let (n, peer) = match loop_socket.recv_from(&mut buf) {
+                        Ok(x) => x,
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    };
+                    match Datagram::decode(&buf[..n]) {
+                        Some(Datagram::PushData { token, eui, rxpk }) => {
+                            let ack = Datagram::PushAck { token }.encode();
+                            let _ = loop_socket.send_to(&ack, peer);
+                            for pkt in rxpk {
+                                if tx.send(IngestedUplink { gateway: eui, rxpk: pkt }).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Some(Datagram::PullData { token, eui }) => {
+                            loop_pulls.lock().insert(eui, peer);
+                            let ack = Datagram::PullAck { token }.encode();
+                            let _ = loop_socket.send_to(&ack, peer);
+                        }
+                        Some(Datagram::TxAck { .. }) => {}
+                        // Malformed or server-direction datagrams: drop.
+                        _ => {}
+                    }
+                }
+            })?;
+
+        Ok(UdpIngest {
+            addr,
+            socket,
+            rx,
+            pull_addrs,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// Address gateways should forward to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Non-blocking fetch of the next ingested uplink.
+    pub fn try_recv(&self) -> Option<IngestedUplink> {
+        match self.rx.try_recv() {
+            Ok(u) => Some(u),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking fetch with a timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<IngestedUplink> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Send a PULL_RESP downlink to a gateway that has pulled before.
+    pub fn send_downlink(&self, eui: GatewayEui, txpk: TxPacket) -> io::Result<()> {
+        let addr = self
+            .pull_addrs
+            .lock()
+            .get(&eui)
+            .copied()
+            .ok_or_else(|| io::Error::other("gateway has not sent PULL_DATA yet"))?;
+        let wire = Datagram::PullResp { token: 0, txpk }.encode();
+        self.socket.send_to(&wire, addr)?;
+        Ok(())
+    }
+
+    /// Stop the receive loop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpIngest {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gateway::forwarder::client::PacketForwarder;
+    use gateway::forwarder::codec::RxPacket;
+    use lora_phy::channel::Channel;
+    use lora_phy::types::SpreadingFactor;
+    use std::time::Duration;
+
+    fn rxpk(tmst: u64) -> RxPacket {
+        RxPacket::new(
+            tmst,
+            Channel::khz125(916_900_000),
+            SpreadingFactor::SF8,
+            -101.0,
+            4.5,
+            &[0x40, 9, 9, 9],
+        )
+    }
+
+    #[test]
+    fn push_flows_end_to_end() {
+        let server = UdpIngest::start().unwrap();
+        let mut fwd = PacketForwarder::new(server.addr(), GatewayEui(0xAA)).unwrap();
+        fwd.push(vec![rxpk(1), rxpk(2)]).unwrap();
+        let a = server.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = server.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(a.gateway, GatewayEui(0xAA));
+        assert_eq!(a.rxpk.tmst, 1);
+        assert_eq!(b.rxpk.tmst, 2);
+        assert_eq!(a.rxpk.phy_payload().unwrap(), vec![0x40, 9, 9, 9]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pull_then_downlink() {
+        let server = UdpIngest::start().unwrap();
+        let mut fwd = PacketForwarder::new(server.addr(), GatewayEui(0xBB)).unwrap();
+        fwd.pull().unwrap();
+        let txpk = TxPacket {
+            tmst: 777,
+            freq: 916.9,
+            datr: "SF9BW125".into(),
+            powe: 14,
+            size: 1,
+            data: gateway::forwarder::b64::encode(&[0x60]),
+        };
+        server.send_downlink(GatewayEui(0xBB), txpk.clone()).unwrap();
+        let got = fwd.recv_downlink().unwrap();
+        assert_eq!(got, txpk);
+        server.shutdown();
+    }
+
+    #[test]
+    fn downlink_requires_prior_pull() {
+        let server = UdpIngest::start().unwrap();
+        let txpk = TxPacket {
+            tmst: 1,
+            freq: 916.9,
+            datr: "SF9BW125".into(),
+            powe: 14,
+            size: 0,
+            data: String::new(),
+        };
+        assert!(server.send_downlink(GatewayEui(0xCC), txpk).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_datagrams_ignored() {
+        let server = UdpIngest::start().unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"\x01garbage", server.addr()).unwrap();
+        sock.send_to(b"", server.addr()).unwrap();
+        // A valid push still works afterwards.
+        let mut fwd = PacketForwarder::new(server.addr(), GatewayEui(1)).unwrap();
+        fwd.push(vec![rxpk(5)]).unwrap();
+        assert!(server.recv_timeout(Duration::from_secs(2)).is_some());
+        server.shutdown();
+    }
+}

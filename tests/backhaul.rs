@@ -1,0 +1,124 @@
+//! End-to-end backhaul: a device's encrypted frame rides a simulated
+//! reception into the Semtech UDP forwarder, crosses a real UDP socket,
+//! and lands in the network server via the ingest bridge — gateway
+//! redundancy deduplicated, operational logs fed, ADR warmed up.
+
+use alphawan_system::gateway::forwarder::client::PacketForwarder;
+use alphawan_system::gateway::forwarder::codec::{GatewayEui, RxPacket};
+use alphawan_system::lora_mac::device::{DevAddr, Device, SessionKeys};
+use alphawan_system::lora_mac::frame::PhyPayload;
+use alphawan_system::lora_mac::join::{derive_session_keys, Eui, JoinAccept, JoinRequest, JoinServer};
+use alphawan_system::lora_phy::channel::Channel;
+use alphawan_system::lora_phy::types::SpreadingFactor;
+use alphawan_system::netserver::bridge::{process_uplink, BridgeOutcome};
+use alphawan_system::netserver::server::NetworkServer;
+use alphawan_system::netserver::udp::UdpIngest;
+use std::time::Duration;
+
+#[test]
+fn device_to_application_over_udp() {
+    // Server side.
+    let ingest = UdpIngest::start().expect("udp ingest");
+    let mut server = NetworkServer::new(1_000_000);
+
+    // Device side: OTAA join first (in-process), then data frames.
+    let app_key = [0x42u8; 16];
+    let dev_eui = Eui(0x1122_3344_5566_7788);
+    let mut join_server = JoinServer::new(0x13, 0x13);
+    join_server.provision(dev_eui, app_key);
+    let join_wire = JoinRequest {
+        join_eui: Eui(0xAAAA),
+        dev_eui,
+        dev_nonce: 77,
+    }
+    .encode(&app_key);
+    let (accept_wire, dev_addr, server_keys) = join_server.handle(&join_wire, None).unwrap();
+    server.registry.register(dev_addr, server_keys);
+    let accept = JoinAccept::decode(&accept_wire, &app_key).unwrap();
+    let device_keys = derive_session_keys(&app_key, accept.join_nonce, accept.net_id, 77);
+    assert_eq!(device_keys, server_keys);
+
+    let mut device = Device::new(dev_addr, vec![Channel::khz125(916_900_000)]);
+
+    // Two gateways forward the same transmission.
+    let mut fwd_a = PacketForwarder::new(ingest.addr(), GatewayEui(0xA)).unwrap();
+    let mut fwd_b = PacketForwarder::new(ingest.addr(), GatewayEui(0xB)).unwrap();
+
+    for n in 0..3u16 {
+        let fcnt = device.next_fcnt();
+        let frame = PhyPayload::uplink(dev_addr, fcnt, 1, format!("m{n}").as_bytes());
+        let wire = frame.encode(&device_keys).unwrap();
+        let rx = |snr: f64| {
+            RxPacket::new(
+                n as u64 * 1_000_000,
+                Channel::khz125(916_900_000),
+                SpreadingFactor::SF7,
+                -96.0,
+                snr,
+                &wire,
+            )
+        };
+        fwd_a.push(vec![rx(6.5)]).unwrap();
+        fwd_b.push(vec![rx(2.0)]).unwrap();
+    }
+
+    // Drain the socket into the server via the bridge.
+    let mut delivered = 0;
+    let mut duplicates = 0;
+    for _ in 0..6 {
+        let up = ingest
+            .recv_timeout(Duration::from_secs(2))
+            .expect("uplink arrives");
+        match process_uplink(&mut server, &up) {
+            BridgeOutcome::Delivered(f) => {
+                assert!(f.frm_payload.starts_with(b"m"));
+                delivered += 1;
+            }
+            BridgeOutcome::Duplicate => duplicates += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(delivered, 3);
+    assert_eq!(duplicates, 3);
+    assert_eq!(server.delivered(), 3);
+
+    // Both gateways show up in the CP-input link profile, best SNR kept.
+    let profile = server.logs.profile(dev_addr).unwrap();
+    assert_eq!(profile.reachable_gateways().len(), 2);
+    assert_eq!(profile.best_gateway().unwrap().1, 6.5);
+
+    ingest.shutdown();
+}
+
+#[test]
+fn foreign_network_frame_costs_nothing_at_the_server() {
+    // The asymmetry the paper exploits: at the *server*, a foreign
+    // frame is one cheap DevAddr lookup; at the *gateway* it burned a
+    // decoder for the whole airtime.
+    let ingest = UdpIngest::start().unwrap();
+    let mut server = NetworkServer::new(1_000_000);
+    let mut fwd = PacketForwarder::new(ingest.addr(), GatewayEui(0xC)).unwrap();
+
+    let foreign_addr = DevAddr::new(0x44, 9);
+    let foreign_keys = SessionKeys::derive(&[7; 16], foreign_addr);
+    let wire = PhyPayload::uplink(foreign_addr, 1, 1, b"foreign")
+        .encode(&foreign_keys)
+        .unwrap();
+    fwd.push(vec![RxPacket::new(
+        5,
+        Channel::khz125(916_900_000),
+        SpreadingFactor::SF9,
+        -101.0,
+        1.0,
+        &wire,
+    )])
+    .unwrap();
+
+    let up = ingest.recv_timeout(Duration::from_secs(2)).unwrap();
+    assert_eq!(
+        process_uplink(&mut server, &up),
+        BridgeOutcome::ForeignOrUnknown
+    );
+    assert_eq!(server.delivered(), 0);
+    ingest.shutdown();
+}

@@ -1,0 +1,156 @@
+//! Property-based cross-crate invariants: the planner and Master always
+//! produce deployable, isolated configurations, and the simulator's
+//! accounting stays conserved under arbitrary workloads.
+
+use alphawan_system::alphawan::cp::ga::{GaConfig, GaSolver};
+use alphawan_system::alphawan::cp::{CpProblem, GatewayLimits};
+use alphawan_system::alphawan::master::divider::ChannelDivider;
+use alphawan_system::gateway::config::GatewayConfig;
+use alphawan_system::gateway::profile::GatewayProfile;
+use alphawan_system::gateway::radio::Gateway;
+use alphawan_system::lora_phy::channel::{overlap_ratio, Channel, ChannelGrid};
+use alphawan_system::lora_phy::interference::DETECTION_OVERLAP_THRESHOLD;
+use alphawan_system::lora_phy::pathloss::{PathLossModel, DISTANCE_RINGS};
+use alphawan_system::lora_phy::types::DataRate;
+use alphawan_system::sim::topology::Topology;
+use alphawan_system::sim::traffic::TxPlan;
+use alphawan_system::sim::world::SimWorld;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The GA's output is always hardware-deployable: every gateway
+    /// channel set constructs a valid GatewayConfig.
+    #[test]
+    fn ga_output_always_deployable(
+        nodes in 2usize..20,
+        gws in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let reach = vec![vec![[true; DISTANCE_RINGS]; gws]; nodes];
+        let p = CpProblem::new(
+            channels.clone(),
+            reach,
+            vec![1.0; nodes],
+            vec![GatewayLimits::sx1302(); gws],
+        );
+        let solver = GaSolver::new(GaConfig {
+            population: 8,
+            generations: 6,
+            seed,
+            ..GaConfig::default()
+        });
+        let (sol, _) = solver.solve(&p);
+        prop_assert!(p.feasible(&sol));
+        let profile = GatewayProfile::rak7268cv2();
+        for chs in &sol.gw_channels {
+            let concrete: Vec<Channel> = chs.iter().map(|&k| channels[k]).collect();
+            prop_assert!(GatewayConfig::new(profile, concrete).is_ok());
+        }
+    }
+
+    /// Master plans are pairwise misaligned below the detection
+    /// threshold for any operator count and requested overlap.
+    #[test]
+    fn divider_plans_always_isolated(
+        n_ops in 1usize..7,
+        overlap in 0.0f64..0.9,
+        spectrum in 1usize..5,
+    ) {
+        let d = ChannelDivider::new(916_800_000, spectrum as u32 * 1_600_000, n_ops, overlap);
+        let plans: Vec<Vec<Channel>> = (0..d.slots()).map(|o| d.plan(o)).collect();
+        for x in 0..plans.len() {
+            // Intra-plan channels never overlap at all.
+            for a in 0..plans[x].len() {
+                for b in (a + 1)..plans[x].len() {
+                    prop_assert_eq!(overlap_ratio(&plans[x][a], &plans[x][b]), 0.0);
+                }
+            }
+            for y in (x + 1)..plans.len() {
+                for ca in &plans[x] {
+                    for cb in &plans[y] {
+                        prop_assert!(overlap_ratio(ca, cb) < DETECTION_OVERLAP_THRESHOLD);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulator conservation: every transmission gets exactly one
+    /// record; delivered ⟺ has receiving gateways ⟺ no loss cause; and
+    /// all decoders are released by the end of the run.
+    #[test]
+    fn world_accounting_conserved(
+        n_nodes in 1usize..12,
+        n_tx in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let model = PathLossModel { shadowing_sigma_db: 0.0, ..Default::default() };
+        let topo = Topology::new((400.0, 300.0), n_nodes, 2, model, seed);
+        let profile = GatewayProfile::rak7268cv2();
+        let gws = vec![
+            Gateway::new(0, 1, profile, GatewayConfig::new(profile, channels.clone()).unwrap()),
+            Gateway::new(1, 2, profile, GatewayConfig::new(profile, channels[..4].to_vec()).unwrap()),
+        ];
+        let node_network: Vec<u32> = (0..n_nodes).map(|i| 1 + (i % 2) as u32).collect();
+        let mut world = SimWorld::new(topo, node_network, gws);
+        let plans: Vec<TxPlan> = (0..n_tx)
+            .map(|_| TxPlan {
+                node: rng.gen_range(0..n_nodes),
+                channel: channels[rng.gen_range(0..channels.len())],
+                dr: DataRate::from_index(rng.gen_range(0..6)).unwrap(),
+                start_us: rng.gen_range(0..3_000_000),
+                payload_len: rng.gen_range(1..48),
+            })
+            .collect();
+        let recs = world.run(&plans);
+        prop_assert_eq!(recs.len(), plans.len());
+        for r in &recs {
+            prop_assert_eq!(r.delivered, !r.receiving_gateways.is_empty());
+            prop_assert_eq!(r.delivered, r.cause.is_none());
+        }
+        for g in &world.gateways {
+            prop_assert_eq!(g.decoders_in_use(), 0, "decoder leak");
+            let s = g.pool().stats();
+            prop_assert_eq!(s.acquired, s.released);
+        }
+    }
+
+    /// Received packets are always destined to the receiving gateway's
+    /// own network — post-decode filtering never leaks.
+    #[test]
+    fn no_cross_network_delivery(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let model = PathLossModel { shadowing_sigma_db: 0.0, ..Default::default() };
+        let topo = Topology::new((300.0, 300.0), 8, 2, model, seed);
+        let profile = GatewayProfile::rak7268cv2();
+        let gws = vec![
+            Gateway::new(0, 1, profile, GatewayConfig::new(profile, channels.clone()).unwrap()),
+            Gateway::new(1, 2, profile, GatewayConfig::new(profile, channels.clone()).unwrap()),
+        ];
+        let node_network: Vec<u32> = (0..8).map(|i| 1 + (i % 2) as u32).collect();
+        let mut world = SimWorld::new(topo, node_network.clone(), gws);
+        let plans: Vec<TxPlan> = (0..16)
+            .map(|i| TxPlan {
+                node: i % 8,
+                channel: channels[rng.gen_range(0..8)],
+                dr: DataRate::from_index(rng.gen_range(0..6)).unwrap(),
+                start_us: rng.gen_range(0..2_000_000),
+                payload_len: 23,
+            })
+            .collect();
+        let recs = world.run(&plans);
+        for r in &recs {
+            for &g in &r.receiving_gateways {
+                prop_assert_eq!(world.gateways[g].network_id, node_network[r.node]);
+            }
+        }
+    }
+}
