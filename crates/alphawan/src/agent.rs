@@ -27,10 +27,7 @@ pub struct ConfigCommand {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ConfigAck {
     /// Applied; the radio rebooted and is live on the new channels.
-    Applied {
-        sequence: u64,
-        reboot: Duration,
-    },
+    Applied { sequence: u64, reboot: Duration },
     /// Ignored: the agent has already applied a newer command.
     Stale { sequence: u64, current: u64 },
     /// Rejected by hardware validation; the old config stays active.
@@ -118,7 +115,10 @@ mod tests {
         let mut agent = GatewayAgent::new();
         let new = vec![Channel::khz125(903_900_000), Channel::khz125(904_100_000)];
         match agent.handle(&mut gw, &cmd(1, new.clone())) {
-            ConfigAck::Applied { sequence: 1, reboot } => {
+            ConfigAck::Applied {
+                sequence: 1,
+                reboot,
+            } => {
                 assert!(reboot > Duration::ZERO);
             }
             other => panic!("{other:?}"),
@@ -135,7 +135,13 @@ mod tests {
         let b = vec![Channel::khz125(904_500_000)];
         agent.handle(&mut gw, &cmd(5, a.clone()));
         let ack = agent.handle(&mut gw, &cmd(4, b));
-        assert_eq!(ack, ConfigAck::Stale { sequence: 4, current: 5 });
+        assert_eq!(
+            ack,
+            ConfigAck::Stale {
+                sequence: 4,
+                current: 5
+            }
+        );
         assert_eq!(gw.config().channels(), &a[..], "old command must not apply");
         assert_eq!(agent.reboots(), 1);
     }
@@ -148,7 +154,10 @@ mod tests {
         // 5 MHz span exceeds the 1.6 MHz radio.
         let wild = vec![Channel::khz125(902_300_000), Channel::khz125(907_300_000)];
         match agent.handle(&mut gw, &cmd(1, wild)) {
-            ConfigAck::Rejected { sequence: 1, reason } => {
+            ConfigAck::Rejected {
+                sequence: 1,
+                reason,
+            } => {
                 assert!(reason.contains("span"), "{reason}");
             }
             other => panic!("{other:?}"),

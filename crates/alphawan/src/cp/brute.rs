@@ -14,7 +14,10 @@ pub fn brute_force(p: &CpProblem) -> (CpSolution, f64) {
     let n_ch = p.n_channels();
     let n_gw = p.n_gateways();
     let n_nd = p.n_nodes();
-    assert!(n_ch <= 12, "instance too large for brute force ({n_ch} channels)");
+    assert!(
+        n_ch <= 12,
+        "instance too large for brute force ({n_ch} channels)"
+    );
 
     // Enumerate feasible channel subsets per gateway.
     let mut gw_options: Vec<Vec<Vec<usize>>> = Vec::with_capacity(n_gw);
@@ -33,7 +36,10 @@ pub fn brute_force(p: &CpProblem) -> (CpSolution, f64) {
             };
             // Check only this gateway's constraints via a partial probe.
             if chans.len() <= p.gw_limits[j].max_channels && {
-                let lo = chans.iter().map(|&k| p.channels[k].low_hz()).fold(f64::INFINITY, f64::min);
+                let lo = chans
+                    .iter()
+                    .map(|&k| p.channels[k].low_hz())
+                    .fold(f64::INFINITY, f64::min);
                 let hi = chans
                     .iter()
                     .map(|&k| p.channels[k].high_hz())
@@ -76,7 +82,7 @@ pub fn brute_force(p: &CpProblem) -> (CpSolution, f64) {
                 node_ring: node_idx.iter().map(|&o| node_options[o].1).collect(),
             };
             let obj = p.objective(&sol);
-            if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
                 best = Some((obj, sol));
             }
             // Odometer over node options.

@@ -46,7 +46,7 @@ impl Default for GaConfig {
             node_mutation: 0.08,
             gw_mutation: 0.25,
             elites: 4,
-            seed: 0xA1FA_0AD,
+            seed: 0x0A1F_A0AD,
             optimize_gateway_channels: true,
             optimize_node_assignments: true,
         }
@@ -76,8 +76,16 @@ impl GaSolver {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-        let node_rate0 = if cfg.optimize_node_assignments { 0.3 } else { 0.0 };
-        let gw_rate0 = if cfg.optimize_gateway_channels { 0.5 } else { 0.0 };
+        let node_rate0 = if cfg.optimize_node_assignments {
+            0.3
+        } else {
+            0.0
+        };
+        let gw_rate0 = if cfg.optimize_gateway_channels {
+            0.5
+        } else {
+            0.0
+        };
         let mut population: Vec<CpSolution> = Vec::with_capacity(cfg.population);
         population.push(seedling.clone());
         while population.len() < cfg.population {
@@ -156,18 +164,24 @@ fn crossover(a: &CpSolution, b: &CpSolution, rng: &mut StdRng) -> CpSolution {
         .map(|((ca, cb), _)| if rng.gen_bool(0.5) { *ca } else { *cb })
         .collect::<Vec<_>>();
     // Keep (channel, ring) genes paired: resample the same coin per node.
-    let mut node_ring = Vec::with_capacity(a.node_ring.len());
-    for i in 0..a.node_ring.len() {
-        // Ring follows whichever parent supplied the channel when they
-        // agree in length; simple uniform otherwise.
-        let take_a = node_channel[i] == a.node_channel[i];
-        node_ring.push(if take_a { a.node_ring[i] } else { b.node_ring[i] });
-    }
+    let node_ring: Vec<_> = node_channel
+        .iter()
+        .zip(&a.node_channel)
+        .zip(a.node_ring.iter().zip(&b.node_ring))
+        // Ring follows whichever parent supplied the channel.
+        .map(|((ch, ach), (ar, br))| if ch == ach { *ar } else { *br })
+        .collect();
     let gw_channels = a
         .gw_channels
         .iter()
         .zip(&b.gw_channels)
-        .map(|(ga, gb)| if rng.gen_bool(0.5) { ga.clone() } else { gb.clone() })
+        .map(|(ga, gb)| {
+            if rng.gen_bool(0.5) {
+                ga.clone()
+            } else {
+                gb.clone()
+            }
+        })
         .collect();
     CpSolution {
         gw_channels,
@@ -177,13 +191,7 @@ fn crossover(a: &CpSolution, b: &CpSolution, rng: &mut StdRng) -> CpSolution {
 }
 
 /// Mutate node genes and gateway channel sets in place.
-fn mutate(
-    p: &CpProblem,
-    sol: &mut CpSolution,
-    node_rate: f64,
-    gw_rate: f64,
-    rng: &mut StdRng,
-) {
+fn mutate(p: &CpProblem, sol: &mut CpSolution, node_rate: f64, gw_rate: f64, rng: &mut StdRng) {
     let n_ch = p.n_channels();
     for i in 0..sol.node_channel.len() {
         if rng.gen_bool(node_rate) {
@@ -228,9 +236,8 @@ fn repair(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
         .map(|chs| chs.iter().fold(0u64, |m, &k| m | (1 << k)))
         .collect();
     for i in 0..sol.node_channel.len() {
-        let connected = (0..p.n_gateways()).any(|j| {
-            (masks[j] >> sol.node_channel[i]) & 1 == 1 && p.reach[i][j][sol.node_ring[i]]
-        });
+        let connected = (0..p.n_gateways())
+            .any(|j| (masks[j] >> sol.node_channel[i]) & 1 == 1 && p.reach[i][j][sol.node_ring[i]]);
         if connected {
             continue;
         }
@@ -300,7 +307,10 @@ mod tests {
         );
         let greedy_obj = p.objective(&greedy_plan(&p));
         let (_, ga_obj) = solver().solve(&p);
-        assert!(ga_obj <= greedy_obj, "GA {ga_obj} worse than greedy {greedy_obj}");
+        assert!(
+            ga_obj <= greedy_obj,
+            "GA {ga_obj} worse than greedy {greedy_obj}"
+        );
     }
 
     #[test]

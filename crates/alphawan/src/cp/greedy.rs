@@ -65,25 +65,20 @@ pub fn greedy_plan(p: &CpProblem) -> CpSolution {
         for (k, ls) in listeners.iter().enumerate() {
             for l in 0..DISTANCE_RINGS {
                 // The serving set: listeners reachable at this ring.
-                let serving: Vec<usize> = ls
-                    .iter()
-                    .copied()
-                    .filter(|&j| p.reach[i][j][l])
-                    .collect();
+                let serving: Vec<usize> =
+                    ls.iter().copied().filter(|&j| p.reach[i][j][l]).collect();
                 if serving.is_empty() {
                     continue;
                 }
                 // Projected Φ_i: best gateway's post-assignment overflow.
                 let phi = serving
                     .iter()
-                    .map(|&j| {
-                        (load[j] + p.traffic[i] - p.gw_limits[j].decoders as f64).max(0.0)
-                    })
+                    .map(|&j| (load[j] + p.traffic[i] - p.gw_limits[j].decoders as f64).max(0.0))
                     .fold(f64::INFINITY, f64::min);
                 // Total load this channel choice adds across listeners
                 // (redundant coverage costs everyone).
-                let spread: f64 = serving.iter().map(|&j| load[j]).sum::<f64>()
-                    / serving.len() as f64;
+                let spread: f64 =
+                    serving.iter().map(|&j| load[j]).sum::<f64>() / serving.len() as f64;
                 // Prefer a fresh (channel, ring) slot so load spreads
                 // over *all* data rates ("full utilization of spectrum
                 // resources — high and low data rates", §4.2.3). When
@@ -104,7 +99,7 @@ pub fn greedy_plan(p: &CpProblem) -> CpSolution {
                     1e7 + dup as f64
                 };
                 let score = phi * 1_000.0 + dup_cost + spread + l as f64 * 0.01;
-                if best.map_or(true, |(s, ..)| score < s) {
+                if best.is_none_or(|(s, ..)| score < s) {
                     best = Some((score, k, l));
                 }
             }
@@ -167,7 +162,7 @@ mod tests {
         let sol = greedy_plan(&p);
         let covering = sol.gw_channels.iter().filter(|c| !c.is_empty()).count();
         assert_eq!(covering, 5, "all gateways put to work");
-        let mut covered = vec![false; 8];
+        let mut covered = [false; 8];
         for chs in &sol.gw_channels {
             for &k in chs {
                 covered[k] = true;

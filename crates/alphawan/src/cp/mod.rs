@@ -188,7 +188,10 @@ impl CpProblem {
             if chs.iter().any(|&k| k >= self.n_channels()) {
                 return false;
             }
-            let lo = chs.iter().map(|&k| self.channels[k].low_hz()).fold(f64::INFINITY, f64::min);
+            let lo = chs
+                .iter()
+                .map(|&k| self.channels[k].low_hz())
+                .fold(f64::INFINITY, f64::min);
             let hi = chs
                 .iter()
                 .map(|&k| self.channels[k].high_hz())
@@ -210,8 +213,7 @@ impl CpProblem {
             .collect();
         (0..self.n_nodes()).all(|i| {
             (0..self.n_gateways()).any(|j| {
-                (masks[j] >> sol.node_channel[i]) & 1 == 1
-                    && self.reach[i][j][sol.node_ring[i]]
+                (masks[j] >> sol.node_channel[i]) & 1 == 1 && self.reach[i][j][sol.node_ring[i]]
             })
         })
     }
@@ -247,7 +249,11 @@ mod tests {
         let reach = vec![vec![[true; DISTANCE_RINGS]; 2]; 4];
         let traffic = vec![1.0; 4];
         let limits = vec![
-            GatewayLimits { decoders: 2, max_channels: 4, bandwidth_hz: 1_600_000 };
+            GatewayLimits {
+                decoders: 2,
+                max_channels: 4,
+                bandwidth_hz: 1_600_000
+            };
             2
         ];
         CpProblem::new(channels, reach, traffic, limits)
@@ -332,12 +338,7 @@ mod tests {
     fn bandwidth_span_enforced() {
         let channels = ChannelGrid::standard(920_000_000, 4_800_000).channels();
         let reach = vec![vec![[true; DISTANCE_RINGS]; 1]; 1];
-        let p = CpProblem::new(
-            channels,
-            reach,
-            vec![1.0],
-            vec![GatewayLimits::sx1302()],
-        );
+        let p = CpProblem::new(channels, reach, vec![1.0], vec![GatewayLimits::sx1302()]);
         // Channels 0 and 23 span 4.6 MHz ≫ 1.6 MHz.
         let sol = CpSolution {
             gw_channels: vec![vec![0, 23]],

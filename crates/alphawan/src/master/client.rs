@@ -2,11 +2,15 @@
 //! "inter-network channel planning module on the network server"
 //! (§4.3.2) uses this to bootstrap its channel plan.
 
+use super::backoff::BackoffPolicy;
 use super::proto::{read_frame, write_frame, Request, Response};
 use lora_phy::channel::Channel;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Default connect/read/write timeout for [`MasterClient::connect`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A connected Master client.
 pub struct MasterClient {
@@ -14,13 +18,40 @@ pub struct MasterClient {
 }
 
 impl MasterClient {
-    /// Connect to a Master server.
+    /// Connect to a Master server with [`DEFAULT_TIMEOUT`].
     pub fn connect(addr: SocketAddr) -> io::Result<MasterClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        MasterClient::connect_with_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connect with an explicit timeout applied to the TCP connect and
+    /// to every subsequent read/write.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<MasterClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         Ok(MasterClient { stream })
+    }
+
+    /// Connect, retrying with the policy's jittered exponential backoff
+    /// when the Master is unreachable (partition, restart window).
+    /// Returns the last connect error once `policy.max_attempts` is
+    /// exhausted.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        policy: &BackoffPolicy,
+    ) -> io::Result<MasterClient> {
+        let mut last_err = io::Error::other("zero connection attempts allowed");
+        for attempt in 0..policy.max_attempts.max(1) {
+            match MasterClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last_err = e,
+            }
+            if attempt + 1 < policy.max_attempts.max(1) {
+                std::thread::sleep(policy.delay_after(attempt));
+            }
+        }
+        Err(last_err)
     }
 
     fn call(&mut self, req: &Request) -> io::Result<Response> {

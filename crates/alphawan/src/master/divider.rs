@@ -33,8 +33,7 @@ impl ChannelDivider {
         let max_by_slots = 1.0 - 1.0 / n as f64;
         let overlap = overlap
             .min(max_by_slots)
-            .min(DETECTION_OVERLAP_THRESHOLD - 0.05)
-            .max(0.0);
+            .clamp(0.0, DETECTION_OVERLAP_THRESHOLD - 0.05);
         let grid = ChannelGrid::overlapping(band_low_hz, spectrum_hz, overlap);
         ChannelDivider {
             grid,
@@ -73,7 +72,10 @@ impl ChannelDivider {
 
     /// Channels per plan (minimum across slots).
     pub fn channels_per_plan(&self) -> usize {
-        (0..self.slots).map(|o| self.plan(o).len()).min().unwrap_or(0)
+        (0..self.slots)
+            .map(|o| self.plan(o).len())
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -102,11 +104,7 @@ mod tests {
                 let plan = d.plan(o);
                 for a in 0..plan.len() {
                     for b in (a + 1)..plan.len() {
-                        assert_eq!(
-                            overlap_ratio(&plan[a], &plan[b]),
-                            0.0,
-                            "n={n} slot={o}"
-                        );
+                        assert_eq!(overlap_ratio(&plan[a], &plan[b]), 0.0, "n={n} slot={o}");
                     }
                 }
             }

@@ -12,14 +12,21 @@
 //! [`divider`] implements the spectrum carving; [`MasterNode`] is the
 //! in-process registry/assignment state machine; [`proto`] +
 //! [`server`] + [`MasterClient`] expose it over the TCP protocol the
-//! paper implements ("data exchanges implemented via TCP").
+//! paper implements ("data exchanges implemented via TCP"). [`backoff`]
+//! and [`resilient`] harden the client side against control-plane
+//! faults: jittered exponential reconnects and cached-plan degradation
+//! when the Master partitions.
 
+pub mod backoff;
 pub mod client;
 pub mod divider;
 pub mod proto;
+pub mod resilient;
 pub mod server;
 
+pub use backoff::BackoffPolicy;
 pub use client::MasterClient;
+pub use resilient::{PlanSource, ResilientMasterClient};
 
 use divider::ChannelDivider;
 use lora_phy::channel::Channel;

@@ -49,7 +49,12 @@ impl IntraNetworkPlanner {
         assert_eq!(traffic.len(), topo.nodes.len());
         assert_eq!(self.gw_limits.len(), topo.gateways.len());
         let reach = topo.reach_matrix(self.tx_power);
-        CpProblem::new(self.channels.clone(), reach, traffic, self.gw_limits.clone())
+        CpProblem::new(
+            self.channels.clone(),
+            reach,
+            traffic,
+            self.gw_limits.clone(),
+        )
     }
 
     /// Build the CP problem *from operational logs* — the production
@@ -108,7 +113,12 @@ impl IntraNetworkPlanner {
             })
             .collect();
         (
-            CpProblem::new(self.channels.clone(), reach, traffic, self.gw_limits.clone()),
+            CpProblem::new(
+                self.channels.clone(),
+                reach,
+                traffic,
+                self.gw_limits.clone(),
+            ),
             devices,
         )
     }

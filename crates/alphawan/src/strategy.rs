@@ -146,7 +146,11 @@ mod tests {
     #[test]
     fn table1_has_eight_strategies_four_adopted() {
         assert_eq!(STRATEGIES.len(), 8);
-        let adopted: Vec<u8> = STRATEGIES.iter().filter(|s| s.adopted).map(|s| s.number).collect();
+        let adopted: Vec<u8> = STRATEGIES
+            .iter()
+            .filter(|s| s.adopted)
+            .map(|s| s.number)
+            .collect();
         assert_eq!(adopted, vec![1, 2, 7, 8]);
     }
 

@@ -47,16 +47,9 @@ impl UpgradeLatency {
 }
 
 /// A capacity-upgrade run.
+#[derive(Default)]
 pub struct CapacityUpgrade {
     pub ga: GaConfig,
-}
-
-impl Default for CapacityUpgrade {
-    fn default() -> Self {
-        CapacityUpgrade {
-            ga: GaConfig::default(),
-        }
-    }
 }
 
 impl CapacityUpgrade {
@@ -133,10 +126,8 @@ mod tests {
             },
             2,
         );
-        let mut planner = IntraNetworkPlanner::new(
-            ChannelGrid::standard(916_800_000, 1_600_000).channels(),
-            3,
-        );
+        let mut planner =
+            IntraNetworkPlanner::new(ChannelGrid::standard(916_800_000, 1_600_000).channels(), 3);
         planner.ga.generations = 20;
         planner.ga.population = 16;
         let problem = planner.problem(&topo, vec![1.0; 12]);
@@ -146,9 +137,7 @@ mod tests {
     #[test]
     fn upgrade_without_sharing() {
         let (planner, problem) = small_setup();
-        let up = CapacityUpgrade {
-            ga: planner.ga,
-        };
+        let up = CapacityUpgrade { ga: planner.ga };
         let (outcome, lat) = up.run(&planner, &problem, "op", None).unwrap();
         assert!(problem.feasible(&outcome.solution));
         assert_eq!(lat.master_comm, Duration::ZERO);
@@ -166,9 +155,7 @@ mod tests {
         })
         .unwrap();
         let (planner, problem) = small_setup();
-        let up = CapacityUpgrade {
-            ga: planner.ga,
-        };
+        let up = CapacityUpgrade { ga: planner.ga };
         let (_, lat) = up
             .run(&planner, &problem, "op-a", Some(server.addr()))
             .unwrap();
@@ -184,9 +171,7 @@ mod tests {
         // Fig 17: full upgrades complete within ~6 s; our small instance
         // must stay well under the paper's 10 s suspension bound.
         let (planner, problem) = small_setup();
-        let up = CapacityUpgrade {
-            ga: planner.ga,
-        };
+        let up = CapacityUpgrade { ga: planner.ga };
         let (_, lat) = up.run(&planner, &problem, "op", None).unwrap();
         assert!(lat.total() < Duration::from_secs(10), "{:?}", lat.total());
     }

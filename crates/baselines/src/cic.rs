@@ -109,8 +109,13 @@ mod tests {
                 )
             })
             .collect();
-        let plans =
-            sim::traffic::concurrent_burst(&assigns, 10, 1_000_000, 2_000, sim::traffic::BurstScheme::FinalPreambleOrdered);
+        let plans = sim::traffic::concurrent_burst(
+            &assigns,
+            10,
+            1_000_000,
+            2_000,
+            sim::traffic::BurstScheme::FinalPreambleOrdered,
+        );
         let recs = w.run(&plans);
         assert_eq!(recs.iter().filter(|r| r.delivered).count(), 16);
     }

@@ -32,13 +32,10 @@ pub fn lmac_reshape_with_deadline<F: Fn(&TxPlan) -> u64>(
     let mut out = Vec::with_capacity(sorted.len());
     let mut gave_up = 0u64;
     for mut p in sorted {
-        let airtime = PacketParams::lorawan_uplink(
-            p.dr.spreading_factor(),
-            Bandwidth::Khz125,
-            p.payload_len,
-        )
-        .airtime()
-        .total_us();
+        let airtime =
+            PacketParams::lorawan_uplink(p.dr.spreading_factor(), Bandwidth::Khz125, p.payload_len)
+                .airtime()
+                .total_us();
         let key = (p.channel.center_hz, p.dr.spreading_factor().value());
         let free_at = busy.get(&key).copied().unwrap_or(0);
         if p.start_us < free_at {
@@ -73,13 +70,10 @@ pub fn lmac_reshape(plans: &[TxPlan], max_backoff_us: u64, seed: u64) -> Vec<TxP
     let mut busy: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
     let mut out = Vec::with_capacity(sorted.len());
     for mut p in sorted {
-        let airtime = PacketParams::lorawan_uplink(
-            p.dr.spreading_factor(),
-            Bandwidth::Khz125,
-            p.payload_len,
-        )
-        .airtime()
-        .total_us();
+        let airtime =
+            PacketParams::lorawan_uplink(p.dr.spreading_factor(), Bandwidth::Khz125, p.payload_len)
+                .airtime()
+                .total_us();
         let key = (p.channel.center_hz, p.dr.spreading_factor().value());
         let free_at = busy.get(&key).copied().unwrap_or(0);
         if p.start_us < free_at {

@@ -29,7 +29,9 @@ pub fn standard_gateway_configs(
     let plans: Vec<Vec<Channel>> = (0..n_plans)
         .map(|p| StandardChannelPlan::dynamic(band_low_hz, p).channels)
         .collect();
-    (0..n_gateways).map(|j| plans[j % n_plans].clone()).collect()
+    (0..n_gateways)
+        .map(|j| plans[j % n_plans].clone())
+        .collect()
 }
 
 /// Standard node provisioning: each node picks a uniformly random
@@ -93,7 +95,7 @@ mod tests {
         let chans = StandardChannelPlan::dynamic(916_800_000, 0).channels;
         let nodes: Vec<usize> = (0..4).collect();
         let f = |n: usize| {
-            if n % 2 == 0 {
+            if n.is_multiple_of(2) {
                 DataRate::DR5
             } else {
                 DataRate::DR2

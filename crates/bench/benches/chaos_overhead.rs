@@ -1,0 +1,93 @@
+//! Cost of the chaos layer on the fault-free hot path.
+//!
+//! Three variants over the same workload: `run()` (the `NoFaults`
+//! no-op hooks), `run_with_faults` with a compiled **empty** plan (what
+//! a chaos experiment's control arm pays), and a plan with active
+//! windows (the faulted arm). The empty-plan variant must track `run()`
+//! within low single-digit percent — the schedule queries are linear
+//! scans over zero windows.
+
+use bench::{NetworkSpec, WorldBuilder, PAYLOAD_LEN};
+use chaos::{FaultPlan, FaultSchedule, FaultSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lora_phy::channel::ChannelGrid;
+use sim::traffic::duty_cycled;
+
+const USERS: usize = 500;
+
+fn workload() -> (WorldBuilder, Vec<sim::traffic::TxPlan>) {
+    let channels = ChannelGrid::standard(916_800_000, 4_800_000).channels();
+    let builder = WorldBuilder::testbed(1).network(NetworkSpec {
+        network_id: 1,
+        n_nodes: USERS,
+        gw_channels: vec![channels[..8].to_vec(); 15],
+    });
+    let assigns: Vec<_> = (0..USERS)
+        .map(|i| {
+            (
+                i,
+                channels[i % channels.len()],
+                lora_phy::types::DataRate::from_index(i % 6).unwrap(),
+            )
+        })
+        .collect();
+    let plans = duty_cycled(&assigns, PAYLOAD_LEN, 0.01, 10_000_000, 7);
+    (builder, plans)
+}
+
+fn bench_chaos_overhead(c: &mut Criterion) {
+    let (builder, plans) = workload();
+    let mut g = c.benchmark_group("engine_500u_1pct_10s");
+    g.sample_size(40);
+
+    g.bench_function("no_chaos_layer", |bch| {
+        let mut w = builder.build();
+        bch.iter(|| {
+            w.reset();
+            w.run(&plans).len()
+        })
+    });
+
+    let empty = FaultSchedule::compile(&FaultPlan::empty(1)).unwrap();
+    g.bench_function("empty_fault_plan", |bch| {
+        let mut w = builder.build();
+        bch.iter(|| {
+            w.reset();
+            w.run_with_faults(&plans, &empty).len()
+        })
+    });
+
+    let active = FaultSchedule::compile(&FaultPlan {
+        seed: 1,
+        faults: vec![
+            FaultSpec::GatewayCrash {
+                gateway: 0,
+                start_us: 2_000_000,
+                end_us: 5_000_000,
+            },
+            FaultSpec::DecoderLockup {
+                gateway: 1,
+                decoders: 4,
+                start_us: 0,
+                end_us: 10_000_000,
+            },
+            FaultSpec::ClockDrift {
+                gateway: 2,
+                ppm: 30.0,
+            },
+        ],
+    })
+    .unwrap();
+    g.bench_function("active_fault_plan", |bch| {
+        let mut w = builder.build();
+        bch.iter(|| {
+            w.reset();
+            w.run_with_faults(&plans, &active).len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_chaos_overhead);
+criterion_main!(benches);

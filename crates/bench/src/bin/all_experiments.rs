@@ -34,5 +34,8 @@ fn main() {
         run();
         println!("[{name} finished in {:.1} s]", t.elapsed().as_secs_f64());
     }
-    println!("\nall experiments done in {:.1} s", total.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1} s",
+        total.elapsed().as_secs_f64()
+    );
 }

@@ -50,12 +50,7 @@ fn solver_comparison() {
         let outcome = planner.materialize(&problem, sol, obj);
         let assigns = deploy_plan(&mut w, &outcome, &ids, &gw_ids);
         let cap = probe_capacity(&mut w, &assigns);
-        t.row(vec![
-            name.to_string(),
-            f3(obj),
-            f3(secs),
-            cap.to_string(),
-        ]);
+        t.row(vec![name.to_string(), f3(obj), f3(secs), cap.to_string()]);
     };
 
     let t0 = Instant::now();
@@ -119,7 +114,9 @@ fn seeding_ablation() {
                 (start..(start + 3).min(channels.len())).collect()
             })
             .collect(),
-        node_channel: (0..users).map(|_| rng.gen_range(0..channels.len())).collect(),
+        node_channel: (0..users)
+            .map(|_| rng.gen_range(0..channels.len()))
+            .collect(),
         node_ring: (0..users).map(|_| rng.gen_range(0..6)).collect(),
     };
     let (sol, obj) = GaSolver::new(planner.ga).solve_seeded(&problem, random_seed);

@@ -47,7 +47,9 @@ fn part_b() {
     let channels = band_channels(1_600_000);
     let mut t = Table::new(
         "Fig 2b — two coexisting networks (same spectrum)",
-        &["setting", "net1_tx", "net2_tx", "net1_rx", "net2_rx", "total_rx"],
+        &[
+            "setting", "net1_tx", "net2_tx", "net1_rx", "net2_rx", "total_rx",
+        ],
     );
     for (setting, (n1, n2)) in [(1usize, (8usize, 12usize)), (2, (12, 12)), (3, (16, 16))] {
         let b = WorldBuilder::testbed(31_000 + setting as u64)
@@ -68,8 +70,14 @@ fn part_b() {
         let assigns = balanced_orthogonal_assignments(&w.topo, &ids, &channels);
         crate::scenario::apply_group_tpc(&mut w, &assigns);
         let recs = crate::scenario::capacity_probe(&mut w, &assigns);
-        let rx1 = recs.iter().filter(|r| r.delivered && r.network_id == 1).count();
-        let rx2 = recs.iter().filter(|r| r.delivered && r.network_id == 2).count();
+        let rx1 = recs
+            .iter()
+            .filter(|r| r.delivered && r.network_id == 1)
+            .count();
+        let rx2 = recs
+            .iter()
+            .filter(|r| r.delivered && r.network_id == 2)
+            .count();
         t.row(vec![
             setting.to_string(),
             n1.to_string(),

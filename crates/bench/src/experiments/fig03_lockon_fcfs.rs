@@ -115,12 +115,12 @@ fn part_c() {
         "Fig 3c — varying SNR does not change FCFS order",
         &["node", "snr_db", "received"],
     );
-    for i in 0..20 {
+    for (i, &received) in first16.iter().enumerate() {
         let snr = w.topo.snr_db(i, 0, lora_phy::types::TxPowerDbm(14.0));
         t.row(vec![
             (i + 1).to_string(),
             format!("{snr:.1}"),
-            (first16[i] as u8).to_string(),
+            (received as u8).to_string(),
         ]);
     }
     t.emit("fig03c_snr");
@@ -204,7 +204,10 @@ fn parts_ef() {
         ]);
     }
     for net in [1u32, 2] {
-        let rx = recs.iter().filter(|r| r.network_id == net && r.delivered).count();
+        let rx = recs
+            .iter()
+            .filter(|r| r.network_id == net && r.delivered)
+            .count();
         println!("network {net}: {rx}/10 received");
     }
     let filtered: u64 = w.gateways.iter().map(|g| g.stats().foreign_filtered).sum();

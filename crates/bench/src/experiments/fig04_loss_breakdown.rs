@@ -26,13 +26,7 @@ pub fn run() {
 fn part_a() {
     let mut t = Table::new(
         "Fig 4a — packet-loss breakdown vs user scale (single network)",
-        &[
-            "users",
-            "loss_ratio",
-            "decoder",
-            "channel",
-            "other",
-        ],
+        &["users", "loss_ratio", "decoder", "channel", "other"],
     );
     for users in [500usize, 1_000, 2_000, 3_000, 4_000, 6_000, 8_000] {
         let gw_cfgs = standard_gateway_configs(crate::experiments::BAND_LOW_HZ, 4_800_000, 15);

@@ -61,12 +61,7 @@ fn part_b() {
     t.emit("fig05b_strategy2");
 }
 
-fn capacity_with(
-    gw_cfgs: &[Vec<Channel>],
-    channels: &[Channel],
-    users: usize,
-    seed: u64,
-) -> usize {
+fn capacity_with(gw_cfgs: &[Vec<Channel>], channels: &[Channel], users: usize, seed: u64) -> usize {
     let b = WorldBuilder::testbed(seed).network(NetworkSpec {
         network_id: 1,
         n_nodes: users,

@@ -30,9 +30,7 @@ pub fn run() {
     // Without ADR: every node at DR0 / 14 dBm.
     let gws_in_range = |node: usize, tx: TxPowerDbm, dr: DataRate| -> usize {
         (0..16)
-            .filter(|&j| {
-                w.topo.snr_db(node, j, tx) >= demod_snr_floor_db(dr.spreading_factor())
-            })
+            .filter(|&j| w.topo.snr_db(node, j, tx) >= demod_snr_floor_db(dr.spreading_factor()))
             .count()
     };
     let mean_no_adr: f64 = (0..n)

@@ -46,7 +46,11 @@ pub fn run() {
             capacity(seed, users, cfgs, &channels)
         };
         let no_s1_cap = {
-            let b = world(seed, users, vec![channels[..8.min(channels.len())].to_vec(); GWS]);
+            let b = world(
+                seed,
+                users,
+                vec![channels[..8.min(channels.len())].to_vec(); GWS],
+            );
             let mut w = b.build();
             let ids: Vec<usize> = (0..users).collect();
             let gw_ids: Vec<usize> = (0..GWS).collect();
@@ -63,7 +67,11 @@ pub fn run() {
             probe_capacity(&mut w, &assigns)
         };
         let full_cap = {
-            let b = world(seed, users, vec![channels[..8.min(channels.len())].to_vec(); GWS]);
+            let b = world(
+                seed,
+                users,
+                vec![channels[..8.min(channels.len())].to_vec(); GWS],
+            );
             let mut w = b.build();
             let ids: Vec<usize> = (0..users).collect();
             let gw_ids: Vec<usize> = (0..GWS).collect();

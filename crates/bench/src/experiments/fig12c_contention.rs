@@ -41,11 +41,7 @@ pub fn run() {
         let mut b = WorldBuilder::testbed(seed).network(NetworkSpec {
             network_id: 1,
             n_nodes: USERS,
-            gw_channels: standard_gateway_configs(
-                crate::experiments::BAND_LOW_HZ,
-                SPECTRUM,
-                GWS,
-            ),
+            gw_channels: standard_gateway_configs(crate::experiments::BAND_LOW_HZ, SPECTRUM, GWS),
         });
         b.area_m = (2_100.0, 1_600.0);
         b.min_link_loss_db = 100.0;
@@ -79,14 +75,8 @@ pub fn run() {
         let outcome = {
             // Seed with operational nodes + heterogeneous windows and
             // evaluate as-is (nothing to optimize: both sides pinned).
-            let mut o = plan_with_pinned_nodes(
-                &w.topo,
-                &ids,
-                &gw_ids,
-                channels.clone(),
-                &node_assign,
-                ga,
-            );
+            let mut o =
+                plan_with_pinned_nodes(&w.topo, &ids, &gw_ids, channels.clone(), &node_assign, ga);
             o.gateway_channels = windows
                 .iter()
                 .map(|idx| idx.iter().map(|&k| channels[k]).collect())
@@ -125,9 +115,24 @@ pub fn run() {
         "Fig 12c — max concurrent users with operational provisioning",
         &["strategy", "min", "mean", "max"],
     );
-    t.row(vec!["standard_lorawan".into(), f1(s_min), f1(s_mean), f1(s_max)]);
-    t.row(vec!["alphawan_wo_node_side".into(), f1(g_min), f1(g_mean), f1(g_max)]);
-    t.row(vec!["alphawan_full_s7".into(), f1(f_min), f1(f_mean), f1(f_max)]);
+    t.row(vec![
+        "standard_lorawan".into(),
+        f1(s_min),
+        f1(s_mean),
+        f1(s_max),
+    ]);
+    t.row(vec![
+        "alphawan_wo_node_side".into(),
+        f1(g_min),
+        f1(g_mean),
+        f1(g_max),
+    ]);
+    t.row(vec![
+        "alphawan_full_s7".into(),
+        f1(f_min),
+        f1(f_mean),
+        f1(f_max),
+    ]);
     t.emit("fig12c_contention");
     println!(
         "paper means: 42 → 57 → 68; measured means: {:.0} → {:.0} → {:.0}",

@@ -7,7 +7,9 @@
 //! network keeps ≥20 concurrent users, and aggregate per-MHz capacity
 //! grows with every added network (paper: +158.9%…+778.1%).
 
-use crate::experiments::{band_channels, plan_network, probe_capacity, quick_ga, set_gateway_channels};
+use crate::experiments::{
+    band_channels, plan_network, probe_capacity, quick_ga, set_gateway_channels,
+};
 use crate::report::{f1, Table};
 use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder};
 use alphawan::master::divider::ChannelDivider;

@@ -57,11 +57,27 @@ pub fn run() {
     let scales = [2_000usize, 4_000, 6_000, 8_000, 10_000, 12_000];
     let mut tput = Table::new(
         "Fig 13a — aggregated throughput (kbit/s)",
-        &["users", "wo_adr", "w_adr", "lmac", "cic", "random_cp", "alphawan"],
+        &[
+            "users",
+            "wo_adr",
+            "w_adr",
+            "lmac",
+            "cic",
+            "random_cp",
+            "alphawan",
+        ],
     );
     let mut prr = Table::new(
         "Fig 13b — packet reception ratio",
-        &["users", "wo_adr", "w_adr", "lmac", "cic", "random_cp", "alphawan"],
+        &[
+            "users",
+            "wo_adr",
+            "w_adr",
+            "lmac",
+            "cic",
+            "random_cp",
+            "alphawan",
+        ],
     );
     let mut at6k: Vec<(String, RunMetrics, [f64; 6])> = Vec::new();
 
@@ -178,19 +194,18 @@ fn run_strategy(kind: StrategyKind, users: usize) -> (RunMetrics, [f64; 6]) {
         // deployed data-rate mix follows the paper's TTN measurement
         // (Fig. 6e: 53.7% DR5, 14.0% DR4, 12.5% DR3, 19.4% DR2, …),
         // bounded by what each link can actually sustain.
-        StrategyKind::Adr | StrategyKind::Lmac | StrategyKind::Cic | StrategyKind::RandomCp => {
-            (0..users)
-                .map(|i| {
-                    let sampled = ttn_dr_sample(&mut rng);
-                    let max_dr = adr_data_rate(&w.topo, i, TxPowerDbm(14.0));
-                    (
-                        i,
-                        covered[rng.gen_range(0..covered.len())],
-                        sampled.min(max_dr),
-                    )
-                })
-                .collect()
-        }
+        StrategyKind::Adr | StrategyKind::Lmac | StrategyKind::Cic | StrategyKind::RandomCp => (0
+            ..users)
+            .map(|i| {
+                let sampled = ttn_dr_sample(&mut rng);
+                let max_dr = adr_data_rate(&w.topo, i, TxPowerDbm(14.0));
+                (
+                    i,
+                    covered[rng.gen_range(0..covered.len())],
+                    sampled.min(max_dr),
+                )
+            })
+            .collect(),
         StrategyKind::AlphaWan => {
             let ids: Vec<usize> = (0..users).collect();
             let gw_ids: Vec<usize> = (0..GWS).collect();

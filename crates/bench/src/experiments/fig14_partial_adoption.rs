@@ -5,7 +5,9 @@
 //! legacy channels, so non-adopters improve slightly; with all four
 //! adopting, everyone wins.
 
-use crate::experiments::{band_channels, plan_network, probe_capacity, quick_ga, set_gateway_channels};
+use crate::experiments::{
+    band_channels, plan_network, probe_capacity, quick_ga, set_gateway_channels,
+};
 use crate::report::Table;
 use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder};
 use alphawan::master::divider::ChannelDivider;

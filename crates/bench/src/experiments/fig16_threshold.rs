@@ -27,14 +27,45 @@ enum Coex {
 pub fn run() {
     let conditions: [(&str, Coex); 5] = [
         ("wo_net2", Coex::None),
-        ("4dBm_orth", Coex::With { intf_dbm: 4.0, orthogonal: true }),
-        ("20dBm_orth", Coex::With { intf_dbm: 20.0, orthogonal: true }),
-        ("4dBm_nonorth", Coex::With { intf_dbm: 4.0, orthogonal: false }),
-        ("20dBm_nonorth", Coex::With { intf_dbm: 20.0, orthogonal: false }),
+        (
+            "4dBm_orth",
+            Coex::With {
+                intf_dbm: 4.0,
+                orthogonal: true,
+            },
+        ),
+        (
+            "20dBm_orth",
+            Coex::With {
+                intf_dbm: 20.0,
+                orthogonal: true,
+            },
+        ),
+        (
+            "4dBm_nonorth",
+            Coex::With {
+                intf_dbm: 4.0,
+                orthogonal: false,
+            },
+        ),
+        (
+            "20dBm_nonorth",
+            Coex::With {
+                intf_dbm: 20.0,
+                orthogonal: false,
+            },
+        ),
     ];
     let mut t = Table::new(
         "Fig 16 — link-1 PRR vs SNR under coexistence (20% overlap)",
-        &["snr_db", "wo_net2", "4dBm_orth", "20dBm_orth", "4dBm_nonorth", "20dBm_nonorth"],
+        &[
+            "snr_db",
+            "wo_net2",
+            "4dBm_orth",
+            "20dBm_orth",
+            "4dBm_nonorth",
+            "20dBm_nonorth",
+        ],
     );
     let mut thresholds = vec![f64::NAN; conditions.len()];
     for snr_x10 in (-200i32..=0).step_by(10) {
@@ -89,7 +120,11 @@ fn prr_at(snr_db: f64, coex: Coex) -> f64 {
             start_us: 0,
             payload_len: PAYLOAD_LEN,
         }];
-        if let Coex::With { intf_dbm, orthogonal } = coex {
+        if let Coex::With {
+            intf_dbm,
+            orthogonal,
+        } = coex
+        {
             // Interferer 200 m from the gateway at the given power.
             let intf_loss = w.topo.model.mean_loss_db(200.0);
             for gw in 0..2 {
@@ -99,7 +134,11 @@ fn prr_at(snr_db: f64, coex: Coex) -> f64 {
             plans.push(TxPlan {
                 node: 1,
                 channel: intf_ch,
-                dr: if orthogonal { DataRate::DR2 } else { DataRate::DR4 },
+                dr: if orthogonal {
+                    DataRate::DR2
+                } else {
+                    DataRate::DR4
+                },
                 start_us: 3_000,
                 payload_len: PAYLOAD_LEN,
             });

@@ -41,12 +41,21 @@ fn setup(users: usize, gws: usize) -> (IntraNetworkPlanner, alphawan::cp::CpProb
 fn part_a() {
     let mut t = Table::new(
         "Fig 17a — capacity-upgrade latency, single network (seconds)",
-        &["users", "gateways", "cp_solve", "config_dist", "gw_reboot", "total"],
+        &[
+            "users",
+            "gateways",
+            "cp_solve",
+            "config_dist",
+            "gw_reboot",
+            "total",
+        ],
     );
     for (users, gws) in [(4_000usize, 4usize), (8_000, 8), (12_000, 12)] {
         let (planner, problem) = setup(users, gws);
         let up = CapacityUpgrade { ga: planner.ga };
-        let (_, lat) = up.run(&planner, &problem, "op", None).expect("upgrade runs");
+        let (_, lat) = up
+            .run(&planner, &problem, "op", None)
+            .expect("upgrade runs");
         t.row(vec![
             users.to_string(),
             gws.to_string(),
@@ -80,7 +89,12 @@ fn part_b() {
             let (planner, problem) = setup(3_000, 3);
             let up = CapacityUpgrade { ga: planner.ga };
             let (_, lat) = up
-                .run(&planner, &problem, &format!("op-{net}"), Some(server.addr()))
+                .run(
+                    &planner,
+                    &problem,
+                    &format!("op-{net}"),
+                    Some(server.addr()),
+                )
                 .expect("upgrade with master runs");
             cp_max = cp_max.max(lat.cp_solve.as_secs_f64());
             comm_max = comm_max.max(lat.master_comm.as_secs_f64());

@@ -75,7 +75,13 @@ pub fn run() {
 
     let mut t = Table::new(
         "Fig 21 — weekly PRR over one year of expansion",
-        &["week", "users_total", "alphawan_prr", "lorawan_prr", "event"],
+        &[
+            "week",
+            "users_total",
+            "alphawan_prr",
+            "lorawan_prr",
+            "event",
+        ],
     );
     for week in 1..=53usize {
         let s = WeekState::at(week);
@@ -125,12 +131,12 @@ fn weekly_prr(topo: &Topology, s: &WeekState, alphawan: bool) -> f64 {
     let mut rng = StdRng::seed_from_u64(213_000 + s.week as u64);
 
     let provision_std = |nodes: &[usize],
-                             gws: &[usize],
-                             net: u32,
-                             chans: &[Channel],
-                             gw_cfgs: &mut Vec<(usize, u32, Vec<Channel>)>,
-                             assigns: &mut Vec<(usize, Channel, DataRate)>,
-                             rng: &mut StdRng| {
+                         gws: &[usize],
+                         net: u32,
+                         chans: &[Channel],
+                         gw_cfgs: &mut Vec<(usize, u32, Vec<Channel>)>,
+                         assigns: &mut Vec<(usize, Channel, DataRate)>,
+                         rng: &mut StdRng| {
         let std_cfgs = standard_gateway_configs(BAND_LOW_HZ, s.spectrum_hz, gws.len());
         for (cfg, &g) in std_cfgs.into_iter().zip(gws) {
             gw_cfgs.push((g, net, cfg));
@@ -167,9 +173,25 @@ fn weekly_prr(topo: &Topology, s: &WeekState, alphawan: bool) -> f64 {
             );
         }
     } else {
-        provision_std(&op1_nodes, &op1_gws, 1, &op1_channels, &mut gw_cfgs, &mut assigns, &mut rng);
+        provision_std(
+            &op1_nodes,
+            &op1_gws,
+            1,
+            &op1_channels,
+            &mut gw_cfgs,
+            &mut assigns,
+            &mut rng,
+        );
         if !op2_nodes.is_empty() {
-            provision_std(&op2_nodes, &op2_gws, 2, &op2_channels, &mut gw_cfgs, &mut assigns, &mut rng);
+            provision_std(
+                &op2_nodes,
+                &op2_gws,
+                2,
+                &op2_channels,
+                &mut gw_cfgs,
+                &mut assigns,
+                &mut rng,
+            );
         }
     }
 

@@ -6,7 +6,14 @@ use alphawan::operators::{mean_nodes_per_gateway, OPERATORS};
 pub fn run() {
     let mut t = Table::new(
         "Table 2 — status of commercial operational LoRaWANs",
-        &["operator", "regions", "mode", "gateways", "end_nodes", "growth"],
+        &[
+            "operator",
+            "regions",
+            "mode",
+            "gateways",
+            "end_nodes",
+            "growth",
+        ],
     );
     for o in OPERATORS {
         t.row(vec![

@@ -28,7 +28,13 @@ pub fn run() {
 
     let mut s = Table::new(
         "Table 1 — strategies for the decoder contention problem",
-        &["#", "strategy", "implementation", "practicability", "adopted"],
+        &[
+            "#",
+            "strategy",
+            "implementation",
+            "practicability",
+            "adopted",
+        ],
     );
     for st in STRATEGIES {
         s.row(vec![

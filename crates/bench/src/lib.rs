@@ -20,7 +20,6 @@ pub mod scenario;
 pub use report::{write_csv, Table};
 pub use scenario::{
     adr_data_rate, apply_group_tpc, balanced_orthogonal_assignments, capacity_probe,
-    coordinated_schedule,
-    orthogonal_assignments, planned_assignments, subtopology, NetworkSpec, WorldBuilder,
-    PAYLOAD_LEN,
+    coordinated_schedule, orthogonal_assignments, planned_assignments, subtopology, NetworkSpec,
+    WorldBuilder, PAYLOAD_LEN,
 };

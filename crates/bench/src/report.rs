@@ -120,8 +120,8 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f1(3.14159), "3.1");
-        assert_eq!(f3(3.14159), "3.142");
+        assert_eq!(f1(2.34567), "2.3");
+        assert_eq!(f3(2.34567), "2.346");
         assert_eq!(pct(0.8512), "85.1%");
     }
 }

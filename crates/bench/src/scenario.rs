@@ -108,7 +108,7 @@ impl WorldBuilder {
                 gateways.push(Gateway::new(gw_idx, spec.network_id, profile, config));
                 gw_idx += 1;
             }
-            node_network.extend(std::iter::repeat(spec.network_id).take(spec.n_nodes));
+            node_network.extend(std::iter::repeat_n(spec.network_id, spec.n_nodes));
         }
         SimWorld::new(topo, node_network, gateways)
     }
@@ -194,9 +194,7 @@ pub fn apply_group_tpc(world: &mut SimWorld, assignments: &[(usize, Channel, Dat
         if over_listeners.is_finite() {
             over_listeners
         } else {
-            world
-                .topo
-                .loss_db[i]
+            world.topo.loss_db[i]
                 .iter()
                 .cloned()
                 .fold(f64::INFINITY, f64::min)
@@ -214,8 +212,7 @@ pub fn apply_group_tpc(world: &mut SimWorld, assignments: &[(usize, Channel, Dat
             // this node's own link below its data rate's demodulation
             // floor (+2 dB margin).
             let equalized = 14.0 - (loss_max - loss);
-            let own_floor =
-                demod_snr_floor_db(dr.spreading_factor()) + 2.0 + loss + noise;
+            let own_floor = demod_snr_floor_db(dr.spreading_factor()) + 2.0 + loss + noise;
             world.node_power[i] = TxPowerDbm(equalized.max(own_floor).min(14.0)).quantized();
         }
     }
@@ -247,7 +244,9 @@ pub fn coordinated_schedule(
         .airtime()
         .total_us();
         let period = (airtime as f64 / duty) as u64;
-        let pos = group_pos.entry((channel.center_hz, dr.index())).or_insert(0);
+        let pos = group_pos
+            .entry((channel.center_hz, dr.index()))
+            .or_insert(0);
         let phase = (*pos % phases) * (period / phases);
         *pos += 1;
         let mut t = phase;

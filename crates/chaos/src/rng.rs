@@ -1,0 +1,71 @@
+//! Stateless deterministic randomness for fault decisions.
+//!
+//! Every per-event decision (does datagram #17 get dropped?) hashes
+//! `(seed, domain, sequence)` through SplitMix64 instead of advancing a
+//! shared generator. That makes outcomes a pure function of the event's
+//! identity: two components can consult the schedule concurrently, in
+//! any order, across reruns, and see identical faults — the property
+//! the determinism guarantee rests on.
+
+/// Domain separators so the same sequence number draws independent
+/// values for independent decisions.
+pub(crate) const DOMAIN_LOSS: u64 = 0x6c6f_7373; // "loss"
+pub(crate) const DOMAIN_JITTER: u64 = 0x6a69_7474; // "jitt"
+pub(crate) const DOMAIN_DUP: u64 = 0x6475_7065; // "dupe"
+pub(crate) const DOMAIN_REORDER: u64 = 0x726f_7264; // "rord"
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `u64` for decision `(seed, domain, seq)`.
+pub fn decision_word(seed: u64, domain: u64, seq: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ domain).wrapping_add(seq))
+}
+
+/// Uniform `[0, 1)` for decision `(seed, domain, seq)`.
+pub fn decision_unit(seed: u64, domain: u64, seq: u64) -> f64 {
+    (decision_word(seed, domain, seq) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_function_of_identity() {
+        assert_eq!(
+            decision_word(1, DOMAIN_LOSS, 42),
+            decision_word(1, DOMAIN_LOSS, 42)
+        );
+        assert_ne!(
+            decision_word(1, DOMAIN_LOSS, 42),
+            decision_word(1, DOMAIN_LOSS, 43)
+        );
+        assert_ne!(
+            decision_word(1, DOMAIN_LOSS, 42),
+            decision_word(2, DOMAIN_LOSS, 42)
+        );
+        assert_ne!(
+            decision_word(1, DOMAIN_LOSS, 42),
+            decision_word(1, DOMAIN_DUP, 42)
+        );
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let mut below_half = 0;
+        for seq in 0..10_000 {
+            let u = decision_unit(7, DOMAIN_JITTER, seq);
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((4_500..5_500).contains(&below_half), "{below_half}");
+    }
+}

@@ -1,0 +1,569 @@
+//! Compiled fault schedules: point-in-time queries over a [`FaultPlan`].
+//!
+//! Compilation validates the plan once and splits it by fault domain so
+//! queries on the simulation hot path are cheap linear scans over only
+//! the relevant windows. All answers are pure functions of the query
+//! arguments and the plan — see [`crate::rng`] for how per-datagram
+//! decisions stay order-independent.
+
+use crate::backhaul::DatagramFate;
+use crate::plan::{FaultPlan, FaultSpec, PlanError};
+use crate::rng;
+
+#[derive(Debug, Clone, Copy)]
+struct CrashWindow {
+    gateway: usize,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LockupWindow {
+    gateway: usize,
+    decoders: usize,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Drift {
+    gateway: usize,
+    ppm: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LossWindow {
+    probability: f64,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DelayWindow {
+    base_us: u64,
+    jitter_us: u64,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DupWindow {
+    probability: f64,
+    lag_us: u64,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReorderWindow {
+    probability: f64,
+    hold_us: u64,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MasterWindow {
+    start_us: u64,
+    end_us: u64,
+    extra_us: u64,
+}
+
+fn in_window(t_us: u64, start_us: u64, end_us: u64) -> bool {
+    start_us <= t_us && t_us < end_us
+}
+
+/// A validated, query-ready fault schedule. Compile once per run with
+/// [`FaultSchedule::compile`]; share by reference everywhere faults are
+/// consulted.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    seed: u64,
+    crashes: Vec<CrashWindow>,
+    lockups: Vec<LockupWindow>,
+    drifts: Vec<Drift>,
+    losses: Vec<LossWindow>,
+    delays: Vec<DelayWindow>,
+    dups: Vec<DupWindow>,
+    reorders: Vec<ReorderWindow>,
+    partitions: Vec<MasterWindow>,
+    slowdowns: Vec<MasterWindow>,
+}
+
+impl FaultSchedule {
+    /// Validate `plan` and compile it into a schedule.
+    pub fn compile(plan: &FaultPlan) -> Result<FaultSchedule, PlanError> {
+        plan.validate()?;
+        let mut s = FaultSchedule {
+            seed: plan.seed,
+            crashes: Vec::new(),
+            lockups: Vec::new(),
+            drifts: Vec::new(),
+            losses: Vec::new(),
+            delays: Vec::new(),
+            dups: Vec::new(),
+            reorders: Vec::new(),
+            partitions: Vec::new(),
+            slowdowns: Vec::new(),
+        };
+        for fault in &plan.faults {
+            match *fault {
+                FaultSpec::GatewayCrash {
+                    gateway,
+                    start_us,
+                    end_us,
+                } => {
+                    s.crashes.push(CrashWindow {
+                        gateway,
+                        start_us,
+                        end_us,
+                    });
+                }
+                FaultSpec::DecoderLockup {
+                    gateway,
+                    decoders,
+                    start_us,
+                    end_us,
+                } => {
+                    s.lockups.push(LockupWindow {
+                        gateway,
+                        decoders,
+                        start_us,
+                        end_us,
+                    });
+                }
+                FaultSpec::ClockDrift { gateway, ppm } => {
+                    s.drifts.push(Drift { gateway, ppm });
+                }
+                FaultSpec::BackhaulLoss {
+                    probability,
+                    start_us,
+                    end_us,
+                } => {
+                    s.losses.push(LossWindow {
+                        probability,
+                        start_us,
+                        end_us,
+                    });
+                }
+                FaultSpec::BackhaulDelay {
+                    base_us,
+                    jitter_us,
+                    start_us,
+                    end_us,
+                } => {
+                    s.delays.push(DelayWindow {
+                        base_us,
+                        jitter_us,
+                        start_us,
+                        end_us,
+                    });
+                }
+                FaultSpec::BackhaulDuplicate {
+                    probability,
+                    lag_us,
+                    start_us,
+                    end_us,
+                } => {
+                    s.dups.push(DupWindow {
+                        probability,
+                        lag_us,
+                        start_us,
+                        end_us,
+                    });
+                }
+                FaultSpec::BackhaulReorder {
+                    probability,
+                    hold_us,
+                    start_us,
+                    end_us,
+                } => {
+                    s.reorders.push(ReorderWindow {
+                        probability,
+                        hold_us,
+                        start_us,
+                        end_us,
+                    });
+                }
+                FaultSpec::MasterPartition { start_us, end_us } => {
+                    s.partitions.push(MasterWindow {
+                        start_us,
+                        end_us,
+                        extra_us: 0,
+                    });
+                }
+                FaultSpec::MasterSlowResponse {
+                    extra_us,
+                    start_us,
+                    end_us,
+                } => {
+                    s.slowdowns.push(MasterWindow {
+                        start_us,
+                        end_us,
+                        extra_us,
+                    });
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// The plan's decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if no fault of any domain is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.lockups.is_empty()
+            && self.drifts.is_empty()
+            && !self.has_backhaul_faults()
+            && self.partitions.is_empty()
+            && self.slowdowns.is_empty()
+    }
+
+    /// True if any backhaul fault (loss/delay/dup/reorder) is scheduled.
+    pub fn has_backhaul_faults(&self) -> bool {
+        !(self.losses.is_empty()
+            && self.delays.is_empty()
+            && self.dups.is_empty()
+            && self.reorders.is_empty())
+    }
+
+    // ---- gateway domain -------------------------------------------------
+
+    /// Is `gw` inside a crash window at `t_us`?
+    pub fn gateway_down_at(&self, gw: usize, t_us: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.gateway == gw && in_window(t_us, c.start_us, c.end_us))
+    }
+
+    /// Does any crash window of `gw` overlap `[from_us, to_us]`? Exact
+    /// even for crash windows shorter than the queried span.
+    pub fn gateway_down_within(&self, gw: usize, from_us: u64, to_us: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.gateway == gw && c.start_us <= to_us && from_us < c.end_us)
+    }
+
+    /// Locked decoders at `gw` at `t_us` (sum over active lock-ups;
+    /// callers clamp to pool capacity).
+    pub fn locked_decoders_at(&self, gw: usize, t_us: u64) -> usize {
+        self.lockups
+            .iter()
+            .filter(|l| l.gateway == gw && in_window(t_us, l.start_us, l.end_us))
+            .map(|l| l.decoders)
+            .sum()
+    }
+
+    /// Accumulated clock skew of `gw` at `t_us` from its drift rate.
+    pub fn clock_skew_at(&self, gw: usize, t_us: u64) -> i64 {
+        self.drifts
+            .iter()
+            .filter(|d| d.gateway == gw)
+            .map(|d| (d.ppm * t_us as f64 / 1e6) as i64)
+            .sum()
+    }
+
+    // ---- backhaul domain ------------------------------------------------
+
+    /// Fate of the `seq`-th datagram on a faulty link at `t_us`. The
+    /// decision hashes `(seed, domain, seq)` — it does not depend on the
+    /// fates of other datagrams or on query order.
+    pub fn datagram_fate(&self, seq: u64, t_us: u64) -> DatagramFate {
+        for w in &self.losses {
+            if in_window(t_us, w.start_us, w.end_us)
+                && rng::decision_unit(self.seed, rng::DOMAIN_LOSS, seq) < w.probability
+            {
+                return DatagramFate::Drop;
+            }
+        }
+        let mut delay_us = 0u64;
+        for w in &self.delays {
+            if in_window(t_us, w.start_us, w.end_us) {
+                let jitter = if w.jitter_us == 0 {
+                    0
+                } else {
+                    rng::decision_word(self.seed, rng::DOMAIN_JITTER, seq) % w.jitter_us
+                };
+                delay_us = delay_us.saturating_add(w.base_us).saturating_add(jitter);
+            }
+        }
+        for w in &self.reorders {
+            if in_window(t_us, w.start_us, w.end_us)
+                && rng::decision_unit(self.seed, rng::DOMAIN_REORDER, seq) < w.probability
+            {
+                delay_us = delay_us.saturating_add(w.hold_us);
+            }
+        }
+        let mut copies = 1u32;
+        let mut copy_lag_us = 0u64;
+        for w in &self.dups {
+            if in_window(t_us, w.start_us, w.end_us)
+                && rng::decision_unit(self.seed, rng::DOMAIN_DUP, seq) < w.probability
+            {
+                copies += 1;
+                copy_lag_us = copy_lag_us.max(w.lag_us);
+            }
+        }
+        DatagramFate::Deliver {
+            delay_us,
+            copies,
+            copy_lag_us,
+        }
+    }
+
+    // ---- control-plane domain -------------------------------------------
+
+    /// Is the Master partitioned from clients at `t_us`?
+    pub fn master_partitioned_at(&self, t_us: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| in_window(t_us, w.start_us, w.end_us))
+    }
+
+    /// Extra Master response latency at `t_us` (sum over active
+    /// slow-response windows).
+    pub fn master_extra_delay_us(&self, t_us: u64) -> u64 {
+        self.slowdowns
+            .iter()
+            .filter(|w| in_window(t_us, w.start_us, w.end_us))
+            .map(|w| w.extra_us)
+            .sum()
+    }
+}
+
+impl sim::faults::InfraFaults for FaultSchedule {
+    fn gateway_down(&self, gw: usize, t_us: u64) -> bool {
+        self.gateway_down_at(gw, t_us)
+    }
+
+    // Exact window overlap, not just endpoint checks: a crash window
+    // strictly inside a long reception still kills it.
+    fn gateway_down_during(&self, gw: usize, from_us: u64, to_us: u64) -> bool {
+        self.gateway_down_within(gw, from_us, to_us)
+    }
+
+    fn locked_decoders(&self, gw: usize, t_us: u64) -> usize {
+        self.locked_decoders_at(gw, t_us)
+    }
+
+    fn clock_skew_us(&self, gw: usize, t_us: u64) -> i64 {
+        self.clock_skew_at(gw, t_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::faults::InfraFaults;
+
+    fn schedule(faults: Vec<FaultSpec>) -> FaultSchedule {
+        FaultSchedule::compile(&FaultPlan { seed: 7, faults }).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_empty_schedule() {
+        let s = FaultSchedule::compile(&FaultPlan::empty(1)).unwrap();
+        assert!(s.is_empty());
+        assert!(!s.gateway_down_at(0, 0));
+        assert_eq!(s.locked_decoders_at(0, 0), 0);
+        assert_eq!(s.clock_skew_at(0, 1_000_000), 0);
+        assert!(!s.master_partitioned_at(0));
+        assert_eq!(s.master_extra_delay_us(0), 0);
+        assert_eq!(
+            s.datagram_fate(0, 0),
+            DatagramFate::Deliver {
+                delay_us: 0,
+                copies: 1,
+                copy_lag_us: 0
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_plan_rejected_at_compile() {
+        let bad = FaultPlan {
+            seed: 0,
+            faults: vec![FaultSpec::BackhaulLoss {
+                probability: -0.1,
+                start_us: 0,
+                end_us: 1,
+            }],
+        };
+        assert!(FaultSchedule::compile(&bad).is_err());
+    }
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let s = schedule(vec![FaultSpec::GatewayCrash {
+            gateway: 2,
+            start_us: 100,
+            end_us: 200,
+        }]);
+        assert!(!s.gateway_down_at(2, 99));
+        assert!(s.gateway_down_at(2, 100));
+        assert!(s.gateway_down_at(2, 199));
+        assert!(!s.gateway_down_at(2, 200));
+        assert!(!s.gateway_down_at(1, 150)); // other gateway unaffected
+    }
+
+    #[test]
+    fn down_during_catches_interior_windows() {
+        // Crash window strictly inside the queried reception span: the
+        // default endpoint check would miss it; the override must not.
+        let s = schedule(vec![FaultSpec::GatewayCrash {
+            gateway: 0,
+            start_us: 100,
+            end_us: 200,
+        }]);
+        assert!(s.gateway_down_during(0, 50, 300));
+        assert!(s.gateway_down_during(0, 150, 160));
+        assert!(!s.gateway_down_during(0, 0, 50));
+        assert!(!s.gateway_down_during(0, 200, 300));
+    }
+
+    #[test]
+    fn lockups_sum_over_overlapping_windows() {
+        let s = schedule(vec![
+            FaultSpec::DecoderLockup {
+                gateway: 0,
+                decoders: 3,
+                start_us: 0,
+                end_us: 100,
+            },
+            FaultSpec::DecoderLockup {
+                gateway: 0,
+                decoders: 2,
+                start_us: 50,
+                end_us: 150,
+            },
+        ]);
+        assert_eq!(s.locked_decoders_at(0, 10), 3);
+        assert_eq!(s.locked_decoders_at(0, 60), 5);
+        assert_eq!(s.locked_decoders_at(0, 120), 2);
+        assert_eq!(s.locked_decoders_at(0, 150), 0);
+        assert_eq!(s.locked_decoders_at(1, 60), 0);
+    }
+
+    #[test]
+    fn clock_skew_grows_linearly() {
+        let s = schedule(vec![FaultSpec::ClockDrift {
+            gateway: 1,
+            ppm: 50.0,
+        }]);
+        assert_eq!(s.clock_skew_at(1, 0), 0);
+        assert_eq!(s.clock_skew_at(1, 1_000_000), 50); // 50 ppm over 1 s
+        assert_eq!(s.clock_skew_at(1, 2_000_000), 100);
+        assert_eq!(s.clock_skew_at(0, 2_000_000), 0);
+    }
+
+    #[test]
+    fn datagram_fate_matches_probabilities() {
+        let s = schedule(vec![FaultSpec::BackhaulLoss {
+            probability: 0.3,
+            start_us: 0,
+            end_us: u64::MAX,
+        }]);
+        let dropped = (0..10_000)
+            .filter(|&seq| s.datagram_fate(seq, 0) == DatagramFate::Drop)
+            .count();
+        assert!((2_700..3_300).contains(&dropped), "{dropped}");
+    }
+
+    #[test]
+    fn datagram_fate_is_replayable_and_window_scoped() {
+        let s = schedule(vec![FaultSpec::BackhaulDelay {
+            base_us: 1_000,
+            jitter_us: 500,
+            start_us: 100,
+            end_us: 200,
+        }]);
+        let inside = s.datagram_fate(9, 150);
+        assert_eq!(inside, s.datagram_fate(9, 150));
+        match inside {
+            DatagramFate::Deliver {
+                delay_us,
+                copies: 1,
+                copy_lag_us: 0,
+            } => {
+                assert!((1_000..1_500).contains(&delay_us), "{delay_us}");
+            }
+            other => panic!("unexpected fate {other:?}"),
+        }
+        assert_eq!(
+            s.datagram_fate(9, 250),
+            DatagramFate::Deliver {
+                delay_us: 0,
+                copies: 1,
+                copy_lag_us: 0
+            }
+        );
+    }
+
+    #[test]
+    fn duplication_adds_lagged_copies() {
+        let s = schedule(vec![FaultSpec::BackhaulDuplicate {
+            probability: 1.0,
+            lag_us: 42,
+            start_us: 0,
+            end_us: u64::MAX,
+        }]);
+        assert_eq!(
+            s.datagram_fate(3, 0),
+            DatagramFate::Deliver {
+                delay_us: 0,
+                copies: 2,
+                copy_lag_us: 42
+            }
+        );
+    }
+
+    #[test]
+    fn master_windows_answer_point_queries() {
+        let s = schedule(vec![
+            FaultSpec::MasterPartition {
+                start_us: 10,
+                end_us: 20,
+            },
+            FaultSpec::MasterSlowResponse {
+                extra_us: 5_000,
+                start_us: 0,
+                end_us: 100,
+            },
+        ]);
+        assert!(!s.master_partitioned_at(9));
+        assert!(s.master_partitioned_at(10));
+        assert!(!s.master_partitioned_at(20));
+        assert_eq!(s.master_extra_delay_us(50), 5_000);
+        assert_eq!(s.master_extra_delay_us(100), 0);
+    }
+
+    #[test]
+    fn infra_faults_impl_delegates() {
+        let s = schedule(vec![
+            FaultSpec::GatewayCrash {
+                gateway: 0,
+                start_us: 100,
+                end_us: 200,
+            },
+            FaultSpec::DecoderLockup {
+                gateway: 1,
+                decoders: 4,
+                start_us: 0,
+                end_us: 50,
+            },
+            FaultSpec::ClockDrift {
+                gateway: 2,
+                ppm: -10.0,
+            },
+        ]);
+        let f: &dyn InfraFaults = &s;
+        assert!(f.gateway_down(0, 150));
+        assert!(f.gateway_down_during(0, 50, 300));
+        assert_eq!(f.locked_decoders(1, 10), 4);
+        assert_eq!(f.clock_skew_us(2, 1_000_000), -10);
+    }
+}

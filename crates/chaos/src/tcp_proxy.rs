@@ -1,0 +1,311 @@
+//! TCP chaos proxy for the Master control plane.
+//!
+//! Sits in front of `alphawan::master::server::MasterServer`: point
+//! `MasterClient` at [`ChaosTcpProxy::addr`]. During a
+//! `MasterPartition` window, new connections are cut immediately and
+//! established ones are severed — clients see reset/EOF, exercising
+//! their reconnect backoff and cached-plan degradation. During a
+//! `MasterSlowResponse` window, bytes flowing Master → client are held
+//! back by the scheduled extra delay, exercising client timeouts.
+//!
+//! Times in the fault plan are µs since the proxy started.
+
+use crate::schedule::FaultSchedule;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    severed: AtomicU64,
+}
+
+/// A TCP proxy applying scheduled control-plane faults.
+pub struct ChaosTcpProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosTcpProxy {
+    /// Bind `127.0.0.1:0` and start proxying to `upstream` (the real
+    /// Master's address).
+    pub fn start(upstream: SocketAddr, schedule: FaultSchedule) -> io::Result<ChaosTcpProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Stats::default());
+
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_stats = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name("chaos-tcp-proxy".into())
+            .spawn(move || {
+                let epoch = Instant::now();
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !loop_shutdown.load(Ordering::SeqCst) {
+                    let (client, _) = match listener.accept() {
+                        Ok(x) => x,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            workers.retain(|h| !h.is_finished());
+                            std::thread::sleep(Duration::from_millis(5));
+                            continue;
+                        }
+                        Err(_) => break,
+                    };
+                    let now_us = epoch.elapsed().as_micros() as u64;
+                    if schedule.master_partitioned_at(now_us) {
+                        loop_stats.refused.fetch_add(1, Ordering::Relaxed);
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let server = match TcpStream::connect(upstream) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                    };
+                    loop_stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let sched_up = schedule.clone();
+                    let sched_down = schedule.clone();
+                    let sd_up = Arc::clone(&loop_shutdown);
+                    let sd_down = Arc::clone(&loop_shutdown);
+                    let stats_down = Arc::clone(&loop_stats);
+                    let (c_read, c_write) = (client.try_clone(), client);
+                    let (s_read, s_write) = (server.try_clone(), server);
+                    let (Ok(c_read), Ok(s_read)) = (c_read, s_read) else {
+                        continue;
+                    };
+                    // Client → Master: passthrough, severed on partition.
+                    workers.push(std::thread::spawn(move || {
+                        pump(
+                            c_read,
+                            s_write,
+                            epoch,
+                            sd_up,
+                            move |s, t| {
+                                if s.master_partitioned_at(t) {
+                                    PumpAction::Sever
+                                } else {
+                                    PumpAction::Forward(0)
+                                }
+                            },
+                            sched_up,
+                        );
+                    }));
+                    // Master → client: delayed in slow-response windows,
+                    // severed on partition.
+                    workers.push(std::thread::spawn(move || {
+                        let severed = pump(
+                            s_read,
+                            c_write,
+                            epoch,
+                            sd_down,
+                            move |s, t| {
+                                if s.master_partitioned_at(t) {
+                                    PumpAction::Sever
+                                } else {
+                                    PumpAction::Forward(s.master_extra_delay_us(t))
+                                }
+                            },
+                            sched_down,
+                        );
+                        if severed {
+                            stats_down.severed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }));
+                }
+                for h in workers {
+                    let _ = h.join();
+                }
+            })?;
+
+        Ok(ChaosTcpProxy {
+            addr,
+            shutdown,
+            stats,
+            thread: Some(thread),
+        })
+    }
+
+    /// Address Master clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections proxied through.
+    pub fn accepted(&self) -> u64 {
+        self.stats.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused while partitioned.
+    pub fn refused(&self) -> u64 {
+        self.stats.refused.load(Ordering::Relaxed)
+    }
+
+    /// Established connections severed by a partition onset.
+    pub fn severed(&self) -> u64 {
+        self.stats.severed.load(Ordering::Relaxed)
+    }
+
+    /// Stop the proxy (established connections are severed).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosTcpProxy {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+enum PumpAction {
+    Forward(u64),
+    Sever,
+}
+
+/// Copy bytes `from` → `to` until EOF, shutdown, or the policy says
+/// sever. Returns true if severed by policy.
+fn pump<F>(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    epoch: Instant,
+    shutdown: Arc<AtomicBool>,
+    policy: F,
+    schedule: FaultSchedule,
+) -> bool
+where
+    F: Fn(&FaultSchedule, u64) -> PumpAction,
+{
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 16_384];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return false;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return false,
+        };
+        let now_us = epoch.elapsed().as_micros() as u64;
+        match policy(&schedule, now_us) {
+            PumpAction::Sever => {
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return true;
+            }
+            PumpAction::Forward(delay_us) => {
+                if delay_us > 0 {
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, FaultSpec};
+    use alphawan::master::client::MasterClient;
+    use alphawan::master::server::MasterServer;
+    use alphawan::master::RegionSpec;
+
+    fn region() -> RegionSpec {
+        RegionSpec {
+            band_low_hz: 923_200_000,
+            spectrum_hz: 1_600_000,
+            expected_networks: 3,
+        }
+    }
+
+    fn proxy_for(master: &MasterServer, faults: Vec<FaultSpec>) -> ChaosTcpProxy {
+        let schedule = FaultSchedule::compile(&FaultPlan { seed: 3, faults }).unwrap();
+        ChaosTcpProxy::start(master.addr(), schedule).unwrap()
+    }
+
+    #[test]
+    fn clean_proxy_passes_a_full_session() {
+        let master = MasterServer::start(region()).unwrap();
+        let proxy = proxy_for(&master, vec![]);
+        let mut client = MasterClient::connect(proxy.addr()).unwrap();
+        let id = client.register("op-a").unwrap();
+        let channels = client.request_channels(id).unwrap();
+        assert!(!channels.is_empty());
+        client.bye().unwrap();
+        assert_eq!(proxy.accepted(), 1);
+        assert_eq!(proxy.refused(), 0);
+        proxy.shutdown();
+        master.shutdown();
+    }
+
+    #[test]
+    fn partition_refuses_sessions() {
+        let master = MasterServer::start(region()).unwrap();
+        let proxy = proxy_for(
+            &master,
+            vec![FaultSpec::MasterPartition {
+                start_us: 0,
+                end_us: u64::MAX,
+            }],
+        );
+        // The TCP connect itself may succeed (the listener accepts then
+        // cuts), but no protocol exchange can complete.
+        let result = MasterClient::connect(proxy.addr()).and_then(|mut c| c.register("op-b"));
+        assert!(result.is_err());
+        assert!(proxy.refused() >= 1);
+        proxy.shutdown();
+        master.shutdown();
+    }
+
+    #[test]
+    fn slow_response_window_delays_but_delivers() {
+        let master = MasterServer::start(region()).unwrap();
+        let proxy = proxy_for(
+            &master,
+            vec![FaultSpec::MasterSlowResponse {
+                extra_us: 200_000,
+                start_us: 0,
+                end_us: u64::MAX,
+            }],
+        );
+        let started = Instant::now();
+        let mut client = MasterClient::connect(proxy.addr()).unwrap();
+        let id = client.register("op-c").unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(180));
+        let channels = client.request_channels(id).unwrap();
+        assert!(!channels.is_empty());
+        proxy.shutdown();
+        master.shutdown();
+    }
+}

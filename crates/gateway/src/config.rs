@@ -55,7 +55,10 @@ impl GatewayConfig {
                 max: profile.multi_sf_chains,
             });
         }
-        let lo = channels.iter().map(|c| c.low_hz()).fold(f64::INFINITY, f64::min);
+        let lo = channels
+            .iter()
+            .map(|c| c.low_hz())
+            .fold(f64::INFINITY, f64::min);
         let hi = channels
             .iter()
             .map(|c| c.high_hz())
@@ -116,7 +119,10 @@ mod tests {
             .collect();
         assert!(matches!(
             GatewayConfig::new(profile(), chans),
-            Err(ConfigError::TooManyChannels { requested: 9, max: 8 })
+            Err(ConfigError::TooManyChannels {
+                requested: 9,
+                max: 8
+            })
         ));
     }
 

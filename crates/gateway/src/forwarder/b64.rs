@@ -16,12 +16,7 @@ pub fn encode(data: &[u8]) -> String {
             chunk.get(2).copied().unwrap_or(0),
         ];
         let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
-        let idx = [
-            (n >> 18) & 63,
-            (n >> 12) & 63,
-            (n >> 6) & 63,
-            n & 63,
-        ];
+        let idx = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
         out.push(ALPHABET[idx[0] as usize] as char);
         out.push(ALPHABET[idx[1] as usize] as char);
         out.push(if chunk.len() > 1 {
@@ -41,7 +36,7 @@ pub fn encode(data: &[u8]) -> String {
 /// Decode padded Base64; returns `None` on any malformed input.
 pub fn decode(text: &str) -> Option<Vec<u8>> {
     let bytes = text.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return None;
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
@@ -62,7 +57,7 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
             return None;
         }
         // Padding only at the tail positions.
-        if chunk[..4 - pad].iter().any(|&c| c == b'=') {
+        if chunk[..4 - pad].contains(&b'=') {
             return None;
         }
         let mut n = 0u32;

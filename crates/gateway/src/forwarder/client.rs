@@ -86,7 +86,9 @@ impl PacketForwarder {
                 self.socket.send_to(&ack, self.server)?;
                 Ok(txpk)
             }
-            other => Err(io::Error::other(format!("expected PULL_RESP, got {other:?}"))),
+            other => Err(io::Error::other(format!(
+                "expected PULL_RESP, got {other:?}"
+            ))),
         }
     }
 

@@ -204,7 +204,9 @@ impl Datagram {
         let token = u16::from_be_bytes([bytes[1], bytes[2]]);
         let kind = bytes[3];
         let eui_of = |b: &[u8]| -> Option<GatewayEui> {
-            Some(GatewayEui(u64::from_be_bytes(b.get(4..12)?.try_into().ok()?)))
+            Some(GatewayEui(u64::from_be_bytes(
+                b.get(4..12)?.try_into().ok()?,
+            )))
         };
         match kind {
             Self::PUSH_DATA => {

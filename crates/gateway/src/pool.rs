@@ -27,6 +27,10 @@ pub struct PoolStats {
 pub struct DecoderPool {
     capacity: usize,
     in_use: usize,
+    /// Decoders made unusable by an injected hardware lock-up (the
+    /// chaos layer's partial-failure mode). They stay counted in
+    /// `capacity` but are never handed out.
+    locked: usize,
     stats: PoolStats,
 }
 
@@ -37,6 +41,7 @@ impl DecoderPool {
         DecoderPool {
             capacity,
             in_use: 0,
+            locked: 0,
             stats: PoolStats::default(),
         }
     }
@@ -49,18 +54,35 @@ impl DecoderPool {
         self.in_use
     }
 
+    /// Decoders currently locked up by fault injection.
+    pub fn locked(&self) -> usize {
+        self.locked
+    }
+
+    /// Capacity actually usable right now (`capacity − locked`).
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity - self.locked
+    }
+
     pub fn available(&self) -> usize {
-        self.capacity - self.in_use
+        self.effective_capacity().saturating_sub(self.in_use)
     }
 
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
 
+    /// Mark `n` decoders as locked up (clamped to capacity). Decoders
+    /// already mid-reception are unaffected — occupancy may transiently
+    /// exceed the effective capacity until they release.
+    pub fn set_locked(&mut self, n: usize) {
+        self.locked = n.min(self.capacity);
+    }
+
     /// Try to acquire one decoder. Returns `true` on success; `false`
     /// means the packet is dropped by decoder contention.
     pub fn try_acquire(&mut self) -> bool {
-        if self.in_use < self.capacity {
+        if self.in_use < self.effective_capacity() {
             self.in_use += 1;
             self.stats.acquired += 1;
             self.stats.peak_in_use = self.stats.peak_in_use.max(self.in_use);
@@ -82,9 +104,10 @@ impl DecoderPool {
         self.stats.released += 1;
     }
 
-    /// Reset occupancy and statistics (e.g. between experiment runs).
+    /// Reset occupancy, lock-ups and statistics (e.g. between runs).
     pub fn reset(&mut self) {
         self.in_use = 0;
+        self.locked = 0;
         self.stats = PoolStats::default();
     }
 }
@@ -134,9 +157,46 @@ mod tests {
     fn reset_clears() {
         let mut p = DecoderPool::new(4);
         p.try_acquire();
+        p.set_locked(2);
         p.reset();
         assert_eq!(p.in_use(), 0);
+        assert_eq!(p.locked(), 0);
         assert_eq!(p.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn locked_decoders_shrink_capacity() {
+        let mut p = DecoderPool::new(4);
+        p.set_locked(3);
+        assert_eq!(p.effective_capacity(), 1);
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        // Unlocking restores admission.
+        p.set_locked(0);
+        assert!(p.try_acquire());
+    }
+
+    #[test]
+    fn lock_clamped_to_capacity() {
+        let mut p = DecoderPool::new(2);
+        p.set_locked(100);
+        assert_eq!(p.locked(), 2);
+        assert_eq!(p.effective_capacity(), 0);
+        assert!(!p.try_acquire());
+    }
+
+    #[test]
+    fn in_flight_receptions_survive_lockup() {
+        let mut p = DecoderPool::new(2);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        p.set_locked(2);
+        // Occupancy transiently exceeds effective capacity; releases
+        // still balance.
+        assert_eq!(p.available(), 0);
+        p.release();
+        p.release();
+        assert_eq!(p.in_use(), 0);
     }
 }
 

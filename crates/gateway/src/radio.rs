@@ -200,6 +200,21 @@ impl Gateway {
         self.pool.in_use()
     }
 
+    /// Mark `n` decoders as locked up by an injected fault (clamped to
+    /// the profile's capacity); `0` restores full capacity.
+    pub fn set_locked_decoders(&mut self, n: usize) {
+        self.pool.set_locked(n);
+    }
+
+    /// Abort all in-flight receptions (a crash/power-cycle): decoders
+    /// are released and the packets are lost.
+    pub fn abort_active(&mut self) {
+        for _ in 0..self.active.len() {
+            self.pool.release();
+        }
+        self.active.clear();
+    }
+
     /// How many currently held decoders belong to packets from a network
     /// other than this gateway's. Used by the simulator to classify a
     /// contention drop as intra- vs inter-network (Fig. 4).

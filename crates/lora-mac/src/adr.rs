@@ -62,7 +62,11 @@ impl AdrController {
         if self.history.len() < self.history_len {
             return None;
         }
-        let max_snr = self.history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_snr = self
+            .history
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let required = demod_snr_floor_db(dr.spreading_factor());
         let margin = max_snr - required - self.installation_margin_db;
         let mut nstep = (margin / 3.0).floor() as i32;

@@ -56,8 +56,8 @@ pub fn rx_windows(
     channel: Channel,
     dr: DataRate,
 ) -> [RxWindow; 2] {
-    let rx1_dr =
-        DataRate::from_index(dr.index().saturating_sub(params.rx1_dr_offset)).unwrap_or(DataRate::DR0);
+    let rx1_dr = DataRate::from_index(dr.index().saturating_sub(params.rx1_dr_offset))
+        .unwrap_or(DataRate::DR0);
     [
         RxWindow {
             open_us: uplink_end_us + params.rx1_delay_us,

@@ -34,7 +34,7 @@ pub fn aes_cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
     let (k1, k2) = subkeys(&aes);
 
     let n_blocks = msg.len().div_ceil(16).max(1);
-    let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+    let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
 
     let mut x = [0u8; 16];
     // All blocks but the last.

@@ -42,13 +42,25 @@ pub struct TxParamSetupReq {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MacCommand {
     LinkAdrReq(LinkAdrReq),
-    LinkAdrAns { power_ok: bool, dr_ok: bool, ch_mask_ok: bool },
-    DutyCycleReq { max_duty_cycle: u8 },
+    LinkAdrAns {
+        power_ok: bool,
+        dr_ok: bool,
+        ch_mask_ok: bool,
+    },
+    DutyCycleReq {
+        max_duty_cycle: u8,
+    },
     NewChannelReq(NewChannelReq),
-    NewChannelAns { freq_ok: bool, dr_ok: bool },
+    NewChannelAns {
+        freq_ok: bool,
+        dr_ok: bool,
+    },
     TxParamSetupReq(TxParamSetupReq),
     DevStatusReq,
-    DevStatusAns { battery: u8, snr_margin: i8 },
+    DevStatusAns {
+        battery: u8,
+        snr_margin: i8,
+    },
 }
 
 /// Command identifiers (CID).
@@ -91,7 +103,10 @@ impl MacCommand {
             }
             MacCommand::TxParamSetupReq(r) => out.push(r.max_eirp_idx & 0x0f),
             MacCommand::DevStatusReq => {}
-            MacCommand::DevStatusAns { battery, snr_margin } => {
+            MacCommand::DevStatusAns {
+                battery,
+                snr_margin,
+            } => {
                 out.push(battery);
                 out.push((snr_margin as u8) & 0x3f);
             }

@@ -148,7 +148,8 @@ impl PhyPayload {
             } else {
                 &keys.app_s_key
             };
-            let ct = crypt_frm_payload(key, self.dev_addr, self.fcnt as u32, dir, &self.frm_payload);
+            let ct =
+                crypt_frm_payload(key, self.dev_addr, self.fcnt as u32, dir, &self.frm_payload);
             buf.put_slice(&ct);
         }
         let mic = compute_mic(&keys.nwk_s_key, self.dev_addr, self.fcnt as u32, dir, &buf);
@@ -298,9 +299,7 @@ mod tests {
         let wire = f.encode(&keys()).unwrap();
         let window = &wire[9..wire.len() - 4];
         assert!(
-            !window
-                .windows(b"secret".len())
-                .any(|w| w == b"secret"),
+            !window.windows(b"secret".len()).any(|w| w == b"secret"),
             "plaintext leaked into the wire format"
         );
     }

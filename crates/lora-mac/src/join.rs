@@ -231,7 +231,10 @@ impl JoinServer {
             return Err(JoinError::Truncated);
         }
         let dev_eui = Eui(u64::from_le_bytes(wire[9..17].try_into().unwrap()));
-        let app_key = *self.app_keys.get(&dev_eui).ok_or(JoinError::UnknownDevice)?;
+        let app_key = *self
+            .app_keys
+            .get(&dev_eui)
+            .ok_or(JoinError::UnknownDevice)?;
         let req = JoinRequest::decode(wire, &app_key)?;
         let nonces = self.used_nonces.entry(dev_eui).or_default();
         if !nonces.insert(req.dev_nonce) {
@@ -294,7 +297,13 @@ mod tests {
     #[test]
     fn join_accept_carries_channel_plan() {
         // AlphaWAN bootstraps the Master-assigned plan via the CFList.
-        let cf = CfList([916_862_500 / 100 * 100, 917_162_500 / 100 * 100, 917_462_500 / 100 * 100, 917_762_500 / 100 * 100, 918_062_500 / 100 * 100]);
+        let cf = CfList([
+            916_862_500 / 100 * 100,
+            917_162_500 / 100 * 100,
+            917_462_500 / 100 * 100,
+            917_762_500 / 100 * 100,
+            918_062_500 / 100 * 100,
+        ]);
         let acc = JoinAccept {
             join_nonce: 7,
             net_id: 0x13,
@@ -363,7 +372,11 @@ mod tests {
         assert!(server.handle(&wire, None).is_ok());
         assert_eq!(server.handle(&wire, None), Err(JoinError::ReplayedDevNonce));
         // A fresh nonce is fine and gets a fresh address.
-        let wire2 = JoinRequest { dev_nonce: 6, ..req }.encode(&APP_KEY);
+        let wire2 = JoinRequest {
+            dev_nonce: 6,
+            ..req
+        }
+        .encode(&APP_KEY);
         let (_, addr2, _) = server.handle(&wire2, None).unwrap();
         assert_eq!(addr2, DevAddr::new(0x13, 2));
     }

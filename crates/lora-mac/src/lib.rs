@@ -30,9 +30,9 @@ pub mod sync;
 
 pub use adr::{AdrController, AdrDecision};
 pub use class_a::{rx_windows, ClassAParams, RxWindow};
-pub use join::{derive_session_keys, JoinAccept, JoinRequest, JoinServer};
 pub use commands::{MacCommand, NewChannelReq};
 pub use device::{DevAddr, Device, SessionKeys};
 pub use duty::DutyCycleGovernor;
 pub use frame::{FrameCodecError, MType, PhyPayload};
+pub use join::{derive_session_keys, JoinAccept, JoinRequest, JoinServer};
 pub use sync::SyncWord;

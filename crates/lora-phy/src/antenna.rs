@@ -73,7 +73,10 @@ mod tests {
     fn half_power_at_beamwidth_edge() {
         let a = DirectionalAntenna::default();
         let edge = a.gain_dbi(30.0);
-        assert!((edge - 9.0).abs() < 0.5, "expected ~-3 dB at 30°, got {edge}");
+        assert!(
+            (edge - 9.0).abs() < 0.5,
+            "expected ~-3 dB at 30°, got {edge}"
+        );
     }
 
     #[test]

@@ -92,11 +92,7 @@ pub const ORTHOGONAL_REJECTION_DB: f64 = 36.0;
 /// resulting linear powers over all interferers and tests
 /// `SINR ≥ demod floor` — a power-aware model: weak interferers
 /// contribute nothing, strong ones raise the effective noise floor.
-pub fn leakage_gain_db(
-    victim_ch: &Channel,
-    intf_ch: &Channel,
-    orthogonal_dr: bool,
-) -> Option<f64> {
+pub fn leakage_gain_db(victim_ch: &Channel, intf_ch: &Channel, orthogonal_dr: bool) -> Option<f64> {
     let rho = overlap_ratio(victim_ch, intf_ch);
     if rho <= 0.0 {
         return None;

@@ -35,13 +35,6 @@ impl Complex {
         }
     }
 
-    pub fn mul(self, o: Complex) -> Complex {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
-    }
-
     pub fn conj(self) -> Complex {
         Complex {
             re: self.re,
@@ -49,15 +42,30 @@ impl Complex {
         }
     }
 
-    pub fn add(self, o: Complex) -> Complex {
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, o: Complex) -> Complex {
         Complex {
             re: self.re + o.re,
             im: self.im + o.im,
         }
-    }
-
-    pub fn norm_sq(self) -> f64 {
-        self.re * self.re + self.im * self.im
     }
 }
 
@@ -79,8 +87,8 @@ pub fn modulate_symbol(sf: SpreadingFactor, value: u32) -> Vec<Complex> {
     (0..n)
         .map(|i| {
             let t = i as f64;
-            let phase = 2.0 * std::f64::consts::PI
-                * (t * t / (2.0 * nf) + t * (value as f64 / nf - 0.5));
+            let phase =
+                2.0 * std::f64::consts::PI * (t * t / (2.0 * nf) + t * (value as f64 / nf - 0.5));
             Complex::from_phase(phase)
         })
         .collect()
@@ -88,7 +96,10 @@ pub fn modulate_symbol(sf: SpreadingFactor, value: u32) -> Vec<Complex> {
 
 /// The base down-chirp used for dechirping (conjugate of symbol 0).
 pub fn base_downchirp(sf: SpreadingFactor) -> Vec<Complex> {
-    modulate_symbol(sf, 0).into_iter().map(Complex::conj).collect()
+    modulate_symbol(sf, 0)
+        .into_iter()
+        .map(Complex::conj)
+        .collect()
 }
 
 /// Naive DFT magnitude-squared spectrum (O(N²); reference code).
@@ -100,7 +111,7 @@ pub fn dft_power(samples: &[Complex]) -> Vec<f64> {
             let mut acc = Complex::default();
             for (i, s) in samples.iter().enumerate() {
                 let phase = -2.0 * std::f64::consts::PI * (k as f64) * (i as f64) / nf;
-                acc = acc.add(s.mul(Complex::from_phase(phase)));
+                acc = acc + *s * Complex::from_phase(phase);
             }
             acc.norm_sq()
         })
@@ -123,11 +134,7 @@ pub fn demodulate_symbol(sf: SpreadingFactor, samples: &[Complex]) -> Demod {
     let n = samples_per_symbol(sf);
     assert_eq!(samples.len(), n, "exactly one symbol window");
     let down = base_downchirp(sf);
-    let dechirped: Vec<Complex> = samples
-        .iter()
-        .zip(&down)
-        .map(|(s, d)| s.mul(*d))
-        .collect();
+    let dechirped: Vec<Complex> = samples.iter().zip(&down).map(|(s, d)| *s * *d).collect();
     let power = dft_power(&dechirped);
     let total: f64 = power.iter().sum();
     let (value, peak) = power
@@ -240,7 +247,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct <= 2, "decoding should collapse, got {correct}/{trials}");
+        assert!(
+            correct <= 2,
+            "decoding should collapse, got {correct}/{trials}"
+        );
     }
 
     #[test]

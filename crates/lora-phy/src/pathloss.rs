@@ -113,7 +113,11 @@ pub const DISTANCE_RINGS: usize = 6;
 /// Ring radii (m) for a given model and max Tx power: ring `l` has outer
 /// radius = max range of the data rate with index `5-l` (so ring 0 is
 /// innermost / DR5).
-pub fn ring_radii_m(model: &PathLossModel, tx: TxPowerDbm, margin_db: f64) -> [f64; DISTANCE_RINGS] {
+pub fn ring_radii_m(
+    model: &PathLossModel,
+    tx: TxPowerDbm,
+    margin_db: f64,
+) -> [f64; DISTANCE_RINGS] {
     let mut out = [0.0; DISTANCE_RINGS];
     for (l, slot) in out.iter_mut().enumerate() {
         let dr = DataRate::from_index(5 - l).expect("ring index in 0..6");
@@ -132,10 +136,7 @@ pub fn ring_for_distance(radii: &[f64; DISTANCE_RINGS], d_m: f64) -> Option<usiz
 /// the paper's ADR ties data rate to distance ring ("the specific data
 /// rate and transmit power settings for a node are derived from the
 /// required transmission distance", §4.3.1).
-pub fn max_dr_for_distance(
-    radii: &[f64; DISTANCE_RINGS],
-    d_m: f64,
-) -> Option<DataRate> {
+pub fn max_dr_for_distance(radii: &[f64; DISTANCE_RINGS], d_m: f64) -> Option<DataRate> {
     ring_for_distance(radii, d_m).map(|ring| DataRate::from_index(5 - ring).unwrap())
 }
 

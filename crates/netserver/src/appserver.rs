@@ -83,7 +83,10 @@ impl ApplicationServer {
             fcnt: frame.fcnt,
             received_us,
         };
-        let inbox = self.inboxes.get_mut(&app).expect("registered app has inbox");
+        let inbox = self
+            .inboxes
+            .get_mut(&app)
+            .expect("registered app has inbox");
         if inbox.len() == self.inbox_cap {
             inbox.remove(0);
         }
@@ -98,7 +101,10 @@ impl ApplicationServer {
 
     /// Drain an application's inbox.
     pub fn take_inbox(&mut self, app: &str) -> Vec<AppMessage> {
-        self.inboxes.get_mut(app).map(std::mem::take).unwrap_or_default()
+        self.inboxes
+            .get_mut(app)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Statistics for one application.

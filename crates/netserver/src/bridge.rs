@@ -23,6 +23,8 @@ pub enum BridgeOutcome {
     Delivered(PhyPayload),
     /// Another gateway's copy of an already-processed frame.
     Duplicate,
+    /// A copy delayed past the dedup window (faulty backhaul): dropped.
+    Late,
     /// Corrupt Base64 / truncated PHY payload / not a data frame.
     Malformed,
     /// DevAddr unknown to this operator (a coexisting network's frame).
@@ -70,6 +72,7 @@ pub fn process_uplink(server: &mut NetworkServer, up: &IngestedUplink) -> Bridge
     match server.ingest(copy, log) {
         IngestOutcome::Delivered => BridgeOutcome::Delivered(frame),
         IngestOutcome::Duplicate => BridgeOutcome::Duplicate,
+        IngestOutcome::Late => BridgeOutcome::Late,
         IngestOutcome::Rejected => BridgeOutcome::Rejected,
     }
 }
@@ -102,7 +105,9 @@ mod tests {
         let keys = SessionKeys::derive(&[9; 16], addr);
         let mut server = NetworkServer::new(1_000_000);
         server.registry.register(addr, keys);
-        let wire = PhyPayload::uplink(addr, 0, 1, b"ping").encode(&keys).unwrap();
+        let wire = PhyPayload::uplink(addr, 0, 1, b"ping")
+            .encode(&keys)
+            .unwrap();
 
         match process_uplink(&mut server, &ingested(&wire, 1, 10)) {
             BridgeOutcome::Delivered(f) => assert_eq!(f.frm_payload, b"ping"),

@@ -4,6 +4,14 @@
 //! at the server several times (once per receiving gateway). The server
 //! deduplicates on (DevAddr, FCnt) within a time window and keeps the
 //! copy with the best SNR as the canonical reception.
+//!
+//! The window is anchored to a **high-water mark** of reception
+//! timestamps rather than the current copy's timestamp: faulty
+//! backhauls deliver copies late and out of order, and anchoring
+//! expiry to whatever copy happened to arrive last would let a stale
+//! copy resurrect an expired frame as "new" (a double delivery). A
+//! copy older than the mark minus the window is instead classified
+//! [`DedupOutcome::Late`] and must not be delivered.
 
 use lora_mac::device::DevAddr;
 use std::collections::HashMap;
@@ -25,6 +33,19 @@ pub enum DedupOutcome {
     New,
     /// Another gateway's copy of an already-processed frame.
     Duplicate,
+    /// A copy so delayed its frame's window has already closed (its
+    /// dedup record may be gone) — delivering it could duplicate a
+    /// frame processed long ago. Arises only under backhaul faults.
+    Late,
+}
+
+/// Counters over everything a [`Deduplicator`] has been offered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    pub offered: u64,
+    pub new: u64,
+    pub duplicate: u64,
+    pub late: u64,
 }
 
 /// (DevAddr, FCnt) deduplication with a sliding time window.
@@ -33,6 +54,10 @@ pub struct Deduplicator {
     window_us: u64,
     /// Frame key → (first seen time, best SNR, best gateway).
     seen: HashMap<(DevAddr, u16), (u64, f64, usize)>,
+    /// Newest `received_us` observed — the window anchor. Never
+    /// regresses, so late out-of-order copies can't reopen windows.
+    high_water_us: u64,
+    stats: DedupStats,
 }
 
 impl Deduplicator {
@@ -41,28 +66,36 @@ impl Deduplicator {
         Deduplicator {
             window_us,
             seen: HashMap::new(),
+            high_water_us: 0,
+            stats: DedupStats::default(),
         }
     }
 
     /// Offer a copy; returns whether it is new, and updates the
     /// best-copy record.
     pub fn offer(&mut self, copy: UplinkCopy) -> DedupOutcome {
-        self.gc(copy.received_us);
+        self.stats.offered += 1;
+        self.high_water_us = self.high_water_us.max(copy.received_us);
+        self.gc();
         let key = (copy.dev_addr, copy.fcnt);
-        match self.seen.get_mut(&key) {
-            Some(entry) => {
-                if copy.snr_db > entry.1 {
-                    entry.1 = copy.snr_db;
-                    entry.2 = copy.gw_id;
-                }
-                DedupOutcome::Duplicate
+        if let Some(entry) = self.seen.get_mut(&key) {
+            if copy.snr_db > entry.1 {
+                entry.1 = copy.snr_db;
+                entry.2 = copy.gw_id;
             }
-            None => {
-                self.seen
-                    .insert(key, (copy.received_us, copy.snr_db, copy.gw_id));
-                DedupOutcome::New
-            }
+            self.stats.duplicate += 1;
+            return DedupOutcome::Duplicate;
         }
+        // No record: either genuinely new, or so late its record
+        // already expired. The window anchor tells them apart.
+        if copy.received_us.saturating_add(self.window_us) < self.high_water_us {
+            self.stats.late += 1;
+            return DedupOutcome::Late;
+        }
+        self.seen
+            .insert(key, (copy.received_us, copy.snr_db, copy.gw_id));
+        self.stats.new += 1;
+        DedupOutcome::New
     }
 
     /// Best (SNR, gateway) seen for a frame, if any copy arrived.
@@ -75,11 +108,18 @@ impl Deduplicator {
         self.seen.len()
     }
 
-    /// Expire frames older than the window.
-    fn gc(&mut self, now_us: u64) {
+    /// Lifetime offer counters.
+    pub fn stats(&self) -> DedupStats {
+        self.stats
+    }
+
+    /// Expire frames older than the window, measured against the
+    /// high-water mark.
+    fn gc(&mut self) {
         let window = self.window_us;
+        let hwm = self.high_water_us;
         self.seen
-            .retain(|_, (t0, _, _)| now_us.saturating_sub(*t0) <= window);
+            .retain(|_, (t0, _, _)| hwm.saturating_sub(*t0) <= window);
     }
 }
 
@@ -107,8 +147,14 @@ mod tests {
     fn duplicate_same_frame_different_gateways() {
         let mut d = Deduplicator::default();
         assert_eq!(d.offer(copy(1, 10, 0, -3.0, 0)), DedupOutcome::New);
-        assert_eq!(d.offer(copy(1, 10, 1, 2.0, 50_000)), DedupOutcome::Duplicate);
-        assert_eq!(d.offer(copy(1, 10, 2, -8.0, 60_000)), DedupOutcome::Duplicate);
+        assert_eq!(
+            d.offer(copy(1, 10, 1, 2.0, 50_000)),
+            DedupOutcome::Duplicate
+        );
+        assert_eq!(
+            d.offer(copy(1, 10, 2, -8.0, 60_000)),
+            DedupOutcome::Duplicate
+        );
         // Best copy is the strongest gateway.
         assert_eq!(d.best_copy(DevAddr(1), 10), Some((2.0, 1)));
     }
@@ -143,6 +189,54 @@ mod tests {
         assert_eq!(
             d.offer(copy(1, 10, 1, 0.0, 199_999)),
             DedupOutcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn late_copy_of_expired_frame_is_not_new() {
+        let mut d = Deduplicator::new(200_000);
+        // Frame 10's copy at t=0; later traffic advances the window far
+        // past it; then a massively delayed second copy of frame 10
+        // arrives. Pre-hardening, the expired record made it "New" — a
+        // double delivery.
+        assert_eq!(d.offer(copy(1, 10, 0, 0.0, 0)), DedupOutcome::New);
+        assert_eq!(d.offer(copy(1, 11, 0, 0.0, 1_000_000)), DedupOutcome::New);
+        assert_eq!(d.offer(copy(1, 10, 1, 5.0, 90_000)), DedupOutcome::Late);
+        assert_eq!(d.stats().late, 1);
+    }
+
+    #[test]
+    fn reordered_copy_within_window_still_deduped() {
+        let mut d = Deduplicator::new(200_000);
+        // The later-timestamped copy arrives first (reordering); the
+        // earlier-timestamped one must still be a duplicate, and must
+        // not drag the window anchor backwards.
+        assert_eq!(d.offer(copy(1, 10, 1, 1.0, 150_000)), DedupOutcome::New);
+        assert_eq!(
+            d.offer(copy(1, 10, 0, 9.0, 20_000)),
+            DedupOutcome::Duplicate
+        );
+        assert_eq!(d.best_copy(DevAddr(1), 10), Some((9.0, 0)));
+        // Anchor stayed at 150 000: a fresh frame timestamped within
+        // the window of the anchor is still New.
+        assert_eq!(d.offer(copy(1, 11, 0, 0.0, 40_000)), DedupOutcome::New);
+    }
+
+    #[test]
+    fn stats_count_every_outcome() {
+        let mut d = Deduplicator::new(100);
+        d.offer(copy(1, 0, 0, 0.0, 0));
+        d.offer(copy(1, 0, 1, 0.0, 50));
+        d.offer(copy(1, 1, 0, 0.0, 1_000));
+        d.offer(copy(1, 0, 2, 0.0, 10)); // late: window closed at hwm 1 000
+        assert_eq!(
+            d.stats(),
+            DedupStats {
+                offered: 4,
+                new: 2,
+                duplicate: 1,
+                late: 1
+            }
         );
     }
 }

@@ -60,7 +60,11 @@ pub fn plan_downlink(
         size: phy_payload.len(),
         data: b64::encode(phy_payload),
     };
-    Some(DownlinkPlan { gw_id, window, txpk })
+    Some(DownlinkPlan {
+        gw_id,
+        window,
+        txpk,
+    })
 }
 
 #[cfg(test)]
@@ -90,8 +94,15 @@ mod tests {
 
     #[test]
     fn picks_best_gateway_and_rx1() {
-        let plan = plan_downlink(&profile(), &params(), &uplink(), &[0x60, 1, 2], 10_100_000, 100_000)
-            .expect("plan exists");
+        let plan = plan_downlink(
+            &profile(),
+            &params(),
+            &uplink(),
+            &[0x60, 1, 2],
+            10_100_000,
+            100_000,
+        )
+        .expect("plan exists");
         assert_eq!(plan.gw_id, 1, "strongest gateway answers");
         assert_eq!(plan.window.open_us, 11_000_000, "RX1");
         assert_eq!(plan.txpk.freq, 916.9, "RX1 uses the uplink channel");
@@ -111,7 +122,9 @@ mod tests {
 
     #[test]
     fn both_windows_missed() {
-        assert!(plan_downlink(&profile(), &params(), &uplink(), &[1], 12_500_000, 100_000).is_none());
+        assert!(
+            plan_downlink(&profile(), &params(), &uplink(), &[1], 12_500_000, 100_000).is_none()
+        );
     }
 
     #[test]

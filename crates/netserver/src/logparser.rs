@@ -72,7 +72,10 @@ impl LogParser {
     /// Ingest one log entry.
     pub fn ingest(&mut self, log: &UplinkLog) {
         let p = self.profiles.entry(log.dev_addr).or_default();
-        let e = p.best_snr_per_gw.entry(log.gw_id).or_insert(f64::NEG_INFINITY);
+        let e = p
+            .best_snr_per_gw
+            .entry(log.gw_id)
+            .or_insert(f64::NEG_INFINITY);
         if log.snr_db > *e {
             *e = log.snr_db;
         }

@@ -20,7 +20,10 @@ pub struct DeviceSession {
 pub enum SessionError {
     UnknownDevice,
     /// Frame counter replayed or too old.
-    FcntReplay { last: u16, got: u16 },
+    FcntReplay {
+        last: u16,
+        got: u16,
+    },
 }
 
 /// The device registry.

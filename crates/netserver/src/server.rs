@@ -18,6 +18,9 @@ pub enum IngestOutcome {
     Delivered,
     /// Copy of an already-delivered frame (normal multi-gateway case).
     Duplicate,
+    /// A copy delayed past the dedup window by backhaul faults —
+    /// dropped rather than risk re-delivering a long-processed frame.
+    Late,
     /// Unknown device or replayed frame counter.
     Rejected,
 }
@@ -57,6 +60,7 @@ impl NetworkServer {
         self.logs.ingest(&log);
         match self.dedup.offer(copy) {
             DedupOutcome::Duplicate => IngestOutcome::Duplicate,
+            DedupOutcome::Late => IngestOutcome::Late,
             DedupOutcome::New => {
                 match self
                     .registry
@@ -133,18 +137,37 @@ mod tests {
     fn multi_gateway_frame_delivered_once() {
         let mut s = NetworkServer::new(1_000_000);
         s.registry.register(DevAddr(1), keys());
-        assert_eq!(s.ingest(copy(1, 0, 0, 10), log(1, 0, 10)), IngestOutcome::Delivered);
-        assert_eq!(s.ingest(copy(1, 0, 1, 12), log(1, 1, 12)), IngestOutcome::Duplicate);
-        assert_eq!(s.ingest(copy(1, 0, 2, 15), log(1, 2, 15)), IngestOutcome::Duplicate);
+        assert_eq!(
+            s.ingest(copy(1, 0, 0, 10), log(1, 0, 10)),
+            IngestOutcome::Delivered
+        );
+        assert_eq!(
+            s.ingest(copy(1, 0, 1, 12), log(1, 1, 12)),
+            IngestOutcome::Duplicate
+        );
+        assert_eq!(
+            s.ingest(copy(1, 0, 2, 15), log(1, 2, 15)),
+            IngestOutcome::Duplicate
+        );
         assert_eq!(s.delivered(), 1);
         // But all three copies hit the operational log.
-        assert_eq!(s.logs.profile(DevAddr(1)).unwrap().reachable_gateways().len(), 3);
+        assert_eq!(
+            s.logs
+                .profile(DevAddr(1))
+                .unwrap()
+                .reachable_gateways()
+                .len(),
+            3
+        );
     }
 
     #[test]
     fn unknown_device_rejected_but_logged() {
         let mut s = NetworkServer::new(1_000_000);
-        assert_eq!(s.ingest(copy(9, 0, 0, 10), log(9, 0, 10)), IngestOutcome::Rejected);
+        assert_eq!(
+            s.ingest(copy(9, 0, 0, 10), log(9, 0, 10)),
+            IngestOutcome::Rejected
+        );
         assert_eq!(s.delivered(), 0);
         assert!(s.logs.profile(DevAddr(9)).is_some());
     }

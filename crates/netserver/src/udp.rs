@@ -64,7 +64,13 @@ impl UdpIngest {
                             let ack = Datagram::PushAck { token }.encode();
                             let _ = loop_socket.send_to(&ack, peer);
                             for pkt in rxpk {
-                                if tx.send(IngestedUplink { gateway: eui, rxpk: pkt }).is_err() {
+                                if tx
+                                    .send(IngestedUplink {
+                                        gateway: eui,
+                                        rxpk: pkt,
+                                    })
+                                    .is_err()
+                                {
                                     return;
                                 }
                             }
@@ -190,7 +196,9 @@ mod tests {
             size: 1,
             data: gateway::forwarder::b64::encode(&[0x60]),
         };
-        server.send_downlink(GatewayEui(0xBB), txpk.clone()).unwrap();
+        server
+            .send_downlink(GatewayEui(0xBB), txpk.clone())
+            .unwrap();
         let got = fwd.recv_downlink().unwrap();
         assert_eq!(got, txpk);
         server.shutdown();

@@ -81,11 +81,7 @@ mod tests {
         };
         let mut t = Topology::new((200.0, 200.0), 3, 2, model, 1);
         // Deterministic losses: node n ↔ gw g.
-        t.loss_db = vec![
-            vec![110.0, 130.0],
-            vec![125.0, 112.0],
-            vec![140.0, 139.0],
-        ];
+        t.loss_db = vec![vec![110.0, 130.0], vec![125.0, 112.0], vec![140.0, 139.0]];
         t
     }
 
@@ -137,7 +133,7 @@ mod tests {
         ];
         // At node 2, gw1's signal is 14−139+117 = −8 dB vs gw0's −9 dB:
         // within the capture margin ⇒ node 2's downlink is destroyed.
-        assert_eq!(evaluate_downlinks(&t, &txs)[0], false);
+        assert!(!evaluate_downlinks(&t, &txs)[0]);
     }
 
     #[test]
@@ -157,6 +153,6 @@ mod tests {
             tx(0, 2, 916_900_000, DataRate::DR1, 0),
             tx(1, 1, 916_900_000, DataRate::DR1, 200_000),
         ];
-        assert_eq!(evaluate_downlinks(&t, &txs)[0], true);
+        assert!(evaluate_downlinks(&t, &txs)[0]);
     }
 }

@@ -15,10 +15,14 @@
 //!   delivery, network-server-level deduplication and per-packet loss
 //!   classification;
 //! * [`metrics`] — PRR, throughput, loss breakdowns and the
-//!   "maximum concurrent users" capacity probe used throughout §5.
+//!   "maximum concurrent users" capacity probe used throughout §5;
+//! * [`faults`] — the infrastructure-fault hook the `chaos` crate plugs
+//!   into, so gateway crashes and decoder lock-ups can be injected into
+//!   a run without `sim` depending on the fault-injection layer.
 
 pub mod downlink;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod topology;
 pub mod trace;
@@ -27,6 +31,7 @@ pub mod world;
 
 pub use downlink::{evaluate_downlinks, DownlinkTx};
 pub use engine::{Event, EventQueue};
+pub use faults::{InfraFaults, NoFaults};
 pub use metrics::{LossBreakdown, RunMetrics};
 pub use topology::{Pos, Topology};
 pub use trace::{TracePool, TraceRecord};

@@ -13,11 +13,21 @@ pub struct LossBreakdown {
     pub channel_intra: u64,
     pub channel_inter: u64,
     pub other: u64,
+    /// Losses caused by injected infrastructure faults (gateway
+    /// crashes, decoder lock-ups) — separates "lost to contention"
+    /// from "lost to infrastructure" in chaos runs. Zero in fault-free
+    /// runs.
+    pub infrastructure: u64,
 }
 
 impl LossBreakdown {
     pub fn total(&self) -> u64 {
-        self.decoder_intra + self.decoder_inter + self.channel_intra + self.channel_inter + self.other
+        self.decoder_intra
+            + self.decoder_inter
+            + self.channel_intra
+            + self.channel_inter
+            + self.other
+            + self.infrastructure
     }
 
     pub fn add(&mut self, cause: LossCause) {
@@ -27,6 +37,7 @@ impl LossBreakdown {
             LossCause::ChannelContentionIntra => self.channel_intra += 1,
             LossCause::ChannelContentionInter => self.channel_inter += 1,
             LossCause::Other => self.other += 1,
+            LossCause::Infrastructure => self.infrastructure += 1,
         }
     }
 
@@ -38,6 +49,12 @@ impl LossBreakdown {
     /// All channel-contention losses.
     pub fn channel(&self) -> u64 {
         self.channel_intra + self.channel_inter
+    }
+
+    /// All contention losses (decoder + channel), as opposed to
+    /// infrastructure losses.
+    pub fn contention(&self) -> u64 {
+        self.decoder() + self.channel()
     }
 }
 
@@ -106,10 +123,12 @@ impl RunMetrics {
 
     /// Fraction of losses attributable to each cause, in the order
     /// (decoder-intra, decoder-inter, channel-intra, channel-inter,
-    /// other), relative to packets *sent* (the paper's Fig 4 stacks).
-    pub fn loss_fractions(&self) -> [f64; 5] {
+    /// other, infrastructure), relative to packets *sent* (the paper's
+    /// Fig 4 stacks, extended with the chaos layer's bucket — which is
+    /// 0 in fault-free runs, keeping the original five additive).
+    pub fn loss_fractions(&self) -> [f64; 6] {
         if self.sent == 0 {
-            return [0.0; 5];
+            return [0.0; 6];
         }
         let s = self.sent as f64;
         [
@@ -118,6 +137,7 @@ impl RunMetrics {
             self.losses.channel_intra as f64 / s,
             self.losses.channel_inter as f64 / s,
             self.losses.other as f64 / s,
+            self.losses.infrastructure as f64 / s,
         ]
     }
 }
@@ -197,7 +217,11 @@ mod tests {
 
     #[test]
     fn network_filter() {
-        let records = vec![rec(0, 1, true, None), rec(1, 2, true, None), rec(2, 2, false, Some(LossCause::Other))];
+        let records = vec![
+            rec(0, 1, true, None),
+            rec(1, 2, true, None),
+            rec(2, 2, false, Some(LossCause::Other)),
+        ];
         let m1 = RunMetrics::from_records(&records, Some(1));
         let m2 = RunMetrics::from_records(&records, Some(2));
         assert_eq!(m1.sent, 1);
@@ -223,7 +247,11 @@ mod tests {
 
     #[test]
     fn per_network_delivered() {
-        let records = vec![rec(0, 1, true, None), rec(1, 2, true, None), rec(2, 1, true, None)];
+        let records = vec![
+            rec(0, 1, true, None),
+            rec(1, 2, true, None),
+            rec(2, 1, true, None),
+        ];
         let per = delivered_per_network(&records);
         assert_eq!(per[&1], 2);
         assert_eq!(per[&2], 1);

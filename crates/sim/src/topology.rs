@@ -40,7 +40,13 @@ impl Topology {
     /// Random-uniform node placement with gateways on a grid, over the
     /// paper's testbed footprint by default (2.1 km × 1.6 km, Fig. 11).
     pub fn testbed(n_nodes: usize, n_gateways: usize, seed: u64) -> Topology {
-        Topology::new((2_100.0, 1_600.0), n_nodes, n_gateways, PathLossModel::default(), seed)
+        Topology::new(
+            (2_100.0, 1_600.0),
+            n_nodes,
+            n_gateways,
+            PathLossModel::default(),
+            seed,
+        )
     }
 
     /// Build a topology: nodes uniform in the area, gateways on a
@@ -85,7 +91,10 @@ impl Topology {
 
     /// Mean SNR of the (node, gw) link at power `tx` (125 kHz floor).
     pub fn snr_db(&self, node: usize, gw: usize, tx: TxPowerDbm) -> f64 {
-        lora_phy::snr::snr_db(self.rssi_dbm(node, gw, tx), lora_phy::types::Bandwidth::Khz125)
+        lora_phy::snr::snr_db(
+            self.rssi_dbm(node, gw, tx),
+            lora_phy::types::Bandwidth::Khz125,
+        )
     }
 
     /// The CP reach matrix `R ∈ {0,1}^(ND×GW×DR)` (§4.3.1): entry
@@ -107,8 +116,7 @@ impl Topology {
                             // link is usable at that ring if the SNR
                             // clears the corresponding demod floor.
                             let dr = DataRate::from_index(5 - l).unwrap();
-                            *slot = snr
-                                >= lora_phy::snr::demod_snr_floor_db(dr.spreading_factor());
+                            *slot = snr >= lora_phy::snr::demod_snr_floor_db(dr.spreading_factor());
                         }
                         row
                     })

@@ -120,7 +120,11 @@ impl TracePool {
             .records
             .iter()
             .filter(|r| {
-                let best = r.snr_per_gw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let best = r
+                    .snr_per_gw
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 best >= lo && best <= hi
             })
             .count();
@@ -134,13 +138,7 @@ mod tests {
     use lora_phy::pathloss::PathLossModel;
 
     fn pool() -> TracePool {
-        let topo = Topology::new(
-            (2_100.0, 1_600.0),
-            600,
-            10,
-            PathLossModel::default(),
-            77,
-        );
+        let topo = Topology::new((2_100.0, 1_600.0), 600, 10, PathLossModel::default(), 77);
         TracePool::collect(&topo, 500, 20, 2.0, 7)
     }
 

@@ -53,13 +53,10 @@ pub fn concurrent_burst(
         .iter()
         .enumerate()
         .map(|(i, &(node, channel, dr))| {
-            let preamble = PacketParams::lorawan_uplink(
-                dr.spreading_factor(),
-                Bandwidth::Khz125,
-                payload_len,
-            )
-            .airtime()
-            .preamble_us;
+            let preamble =
+                PacketParams::lorawan_uplink(dr.spreading_factor(), Bandwidth::Khz125, payload_len)
+                    .airtime()
+                    .preamble_us;
             let slot_t = base_us + i as u64 * slot_us;
             let start_us = match scheme {
                 BurstScheme::LeadingPreambleOrdered => slot_t,
@@ -97,13 +94,10 @@ pub fn end_aligned_burst(
         .iter()
         .enumerate()
         .map(|(i, &(node, channel, dr))| {
-            let airtime = PacketParams::lorawan_uplink(
-                dr.spreading_factor(),
-                Bandwidth::Khz125,
-                payload_len,
-            )
-            .airtime()
-            .total_us();
+            let airtime =
+                PacketParams::lorawan_uplink(dr.spreading_factor(), Bandwidth::Khz125, payload_len)
+                    .airtime()
+                    .total_us();
             let end = end_base_us + i as u64 * slot_us;
             let start_us = end
                 .checked_sub(airtime)
@@ -133,13 +127,10 @@ pub fn duty_cycled(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut plans = Vec::new();
     for &(node, channel, dr) in assignments {
-        let airtime = PacketParams::lorawan_uplink(
-            dr.spreading_factor(),
-            Bandwidth::Khz125,
-            payload_len,
-        )
-        .airtime()
-        .total_us();
+        let airtime =
+            PacketParams::lorawan_uplink(dr.spreading_factor(), Bandwidth::Khz125, payload_len)
+                .airtime()
+                .total_us();
         let mean_gap = airtime as f64 / duty;
         let mut t = rng.gen_range(0.0..mean_gap);
         while (t as u64) < horizon_us {
@@ -239,7 +230,10 @@ mod tests {
                 .airtime()
                 .total_us();
             assert_eq!(p.start_us + airtime, 2_000_000 + i as u64 * 1_000);
-            assert!(p.start_us < first_end, "packet {i} misses the overlap window");
+            assert!(
+                p.start_us < first_end,
+                "packet {i} misses the overlap window"
+            );
         }
     }
 

@@ -48,7 +48,8 @@ pub struct Transmission {
     pub payload_len: usize,
 }
 
-/// Why a packet was lost (paper taxonomy, Fig. 4).
+/// Why a packet was lost (paper taxonomy, Fig. 4, plus the chaos
+/// layer's infrastructure bucket).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LossCause {
     DecoderContentionIntra,
@@ -57,6 +58,11 @@ pub enum LossCause {
     ChannelContentionInter,
     /// Interference, poor SNR, out of range, …
     Other,
+    /// Lost to injected infrastructure failure (gateway crash mid-run,
+    /// decoder lock-up, …): the packet would have been delivered on
+    /// healthy hardware. Separates "lost to contention" from "lost to
+    /// infrastructure" in fault-injection runs.
+    Infrastructure,
 }
 
 /// Per-packet outcome of a run.
@@ -80,7 +86,15 @@ pub struct PacketRecord {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Seen {
     Admitted,
-    Dropped { foreign_held: bool },
+    Dropped {
+        foreign_held: bool,
+        /// Locked-up decoders contributed to the drop: physical
+        /// capacity was still free when the packet was rejected.
+        lockup: bool,
+    },
+    /// The gateway would have detected the packet but was crashed at
+    /// lock-on.
+    DownAtLockOn,
 }
 
 /// PHY verdict for one (transmission, gateway) pair, independent of
@@ -89,7 +103,9 @@ enum Seen {
 enum Verdict {
     Ok,
     /// Lost to a same-channel same-SF collision with this network's node.
-    Collision { with_network: u32 },
+    Collision {
+        with_network: u32,
+    },
     /// Lost to interference / insufficient SINR.
     Interference,
 }
@@ -133,6 +149,19 @@ impl SimWorld {
 
     /// Execute the planned transmissions and return one record per plan.
     pub fn run(&mut self, plans: &[TxPlan]) -> Vec<PacketRecord> {
+        self.run_with_faults(plans, &crate::faults::NoFaults)
+    }
+
+    /// [`Self::run`] under an infrastructure-fault schedule: crashed
+    /// gateways detect nothing (and lose receptions in flight when the
+    /// crash window overlaps them), locked-up decoders shrink admission
+    /// capacity, and losses that healthy hardware would have avoided
+    /// are classified [`LossCause::Infrastructure`].
+    pub fn run_with_faults(
+        &mut self,
+        plans: &[TxPlan],
+        faults: &dyn crate::faults::InfraFaults,
+    ) -> Vec<PacketRecord> {
         let txs: Vec<Transmission> = plans
             .iter()
             .enumerate()
@@ -187,16 +216,36 @@ impl SimWorld {
                 }
                 Event::LockOn { tx_id } => {
                     let t = &txs[tx_id as usize];
+                    let now = t.lock_on_us;
                     for (g_idx, g) in self.gateways.iter_mut().enumerate() {
                         let pkt = packet_at(&self.topo, &self.node_power, t, g_idx);
+                        if faults.gateway_down(g_idx, now) {
+                            // A crashed gateway admits nothing. Any
+                            // receptions it still holds are failed (and
+                            // their decoders released) at their TxEnd.
+                            if g.would_detect(&pkt) {
+                                seen[tx_id as usize].push((g_idx, Seen::DownAtLockOn));
+                            }
+                            continue;
+                        }
+                        g.set_locked_decoders(faults.locked_decoders(g_idx, now));
                         match g.on_lock_on(pkt) {
                             LockOnOutcome::Admitted => {
                                 seen[tx_id as usize].push((g_idx, Seen::Admitted));
                             }
                             LockOnOutcome::DroppedNoDecoder => {
                                 let foreign = g.foreign_held_decoders() > 0;
-                                seen[tx_id as usize]
-                                    .push((g_idx, Seen::Dropped { foreign_held: foreign }));
+                                // If physical decoders were still free,
+                                // only the lock-up made this a drop.
+                                let lockup = g.pool().locked() > 0
+                                    && g.decoders_in_use() < g.pool().capacity();
+                                seen[tx_id as usize].push((
+                                    g_idx,
+                                    Seen::Dropped {
+                                        foreign_held: foreign,
+                                        lockup,
+                                    },
+                                ));
                             }
                             LockOnOutcome::NotDetected => {}
                         }
@@ -204,13 +253,17 @@ impl SimWorld {
                 }
                 Event::TxEnd { tx_id } => {
                     on_air.retain(|&id| id != tx_id);
-                    let record = self.finish_tx(&txs, tx_id, &seen[tx_id as usize], &interferers);
+                    let record =
+                        self.finish_tx(&txs, tx_id, &seen[tx_id as usize], &interferers, faults);
                     records[tx_id as usize] = Some(record);
                 }
             }
         }
 
-        records.into_iter().map(|r| r.expect("every tx finished")).collect()
+        records
+            .into_iter()
+            .map(|r| r.expect("every tx finished"))
+            .collect()
     }
 
     /// Resolve PHY verdicts, deliver outcomes to gateways, classify.
@@ -220,31 +273,53 @@ impl SimWorld {
         tx_id: u64,
         seen: &[(usize, Seen)],
         interferers: &[Vec<u64>],
+        faults: &dyn crate::faults::InfraFaults,
     ) -> PacketRecord {
         let t = &txs[tx_id as usize];
         let mut receiving = Vec::new();
         let mut decoder_drop: Option<bool> = None; // Some(foreign?) if droppable-but-clean
         let mut collision_with: Option<u32> = None;
         let mut own_detected = false;
+        // An own-network gateway would have received the packet but for
+        // an injected fault (crash or decoder lock-up).
+        let mut infra_loss = false;
 
         for &(g_idx, how) in seen {
             let own = self.gateways[g_idx].network_id == t.network_id;
             let verdict = self.verdict(txs, t, g_idx, &interferers[tx_id as usize]);
             if how == Seen::Admitted {
-                let phy_ok = verdict == Verdict::Ok;
+                let crashed_mid_rx = faults.gateway_down_during(g_idx, t.lock_on_us, t.end_us);
+                let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
                 if let Some(gateway::radio::ReceptionOutcome::Received) =
                     self.gateways[g_idx].on_tx_end(tx_id, phy_ok)
                 {
                     receiving.push(g_idx);
                 }
+                if own && crashed_mid_rx && verdict == Verdict::Ok {
+                    infra_loss = true;
+                }
             }
             if own {
                 own_detected = true;
                 match (how, verdict) {
-                    (Seen::Dropped { foreign_held }, Verdict::Ok) => {
-                        // Would have been received with a free decoder.
-                        let entry = decoder_drop.get_or_insert(false);
-                        *entry = *entry || foreign_held;
+                    (Seen::DownAtLockOn, Verdict::Ok) => {
+                        infra_loss = true;
+                    }
+                    (
+                        Seen::Dropped {
+                            foreign_held,
+                            lockup,
+                        },
+                        Verdict::Ok,
+                    ) => {
+                        if lockup {
+                            // Healthy hardware had the decoder to spare.
+                            infra_loss = true;
+                        } else {
+                            // Would have been received with a free decoder.
+                            let entry = decoder_drop.get_or_insert(false);
+                            *entry = *entry || foreign_held;
+                        }
                     }
                     (_, Verdict::Collision { with_network }) => {
                         collision_with.get_or_insert(with_network);
@@ -257,6 +332,11 @@ impl SimWorld {
         let delivered = !receiving.is_empty();
         let cause = if delivered {
             None
+        } else if infra_loss {
+            // Healthy infrastructure would have delivered the packet:
+            // the fault is the proximate cause even if other gateways
+            // also dropped it by genuine contention.
+            Some(LossCause::Infrastructure)
         } else if let Some(foreign) = decoder_drop {
             Some(if foreign {
                 LossCause::DecoderContentionInter
@@ -397,8 +477,10 @@ mod tests {
     /// near-far power differences stay below the cross-SF rejection
     /// margin — SNR is never the limiting factor.
     fn clean_world(n_nodes: usize, gw_networks: &[u32]) -> SimWorld {
-        let mut model = PathLossModel::default();
-        model.shadowing_sigma_db = 0.0;
+        let model = PathLossModel {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
         let topo = Topology::new((100.0, 100.0), n_nodes, gw_networks.len(), model, 1);
         let profile = GatewayProfile::rak7268cv2();
         let plan = StandardChannelPlan::us915_subband(0);
@@ -480,12 +562,10 @@ mod tests {
         let profile = GatewayProfile::rak7268cv2();
         let plan = StandardChannelPlan::us915_subband(0);
         let mut w = clean_world(24, &[1, 1]);
-        w.gateways[0].reconfigure(
-            GatewayConfig::new(profile, plan.channels[..4].to_vec()).unwrap(),
-        );
-        w.gateways[1].reconfigure(
-            GatewayConfig::new(profile, plan.channels[4..].to_vec()).unwrap(),
-        );
+        w.gateways[0]
+            .reconfigure(GatewayConfig::new(profile, plan.channels[..4].to_vec()).unwrap());
+        w.gateways[1]
+            .reconfigure(GatewayConfig::new(profile, plan.channels[4..].to_vec()).unwrap());
         let plans = concurrent_burst(
             &orthogonal_assignments(24),
             10,
@@ -495,7 +575,10 @@ mod tests {
         );
         let recs = w.run(&plans);
         let delivered = recs.iter().filter(|r| r.delivered).count();
-        assert_eq!(delivered, 24, "12 users per gateway fit in 16 decoders each");
+        assert_eq!(
+            delivered, 24,
+            "12 users per gateway fit in 16 decoders each"
+        );
     }
 
     #[test]
@@ -512,8 +595,14 @@ mod tests {
             BurstScheme::FinalPreambleOrdered,
         );
         let recs = w.run(&plans);
-        let net1 = recs.iter().filter(|r| r.delivered && r.network_id == 1).count();
-        let net2 = recs.iter().filter(|r| r.delivered && r.network_id == 2).count();
+        let net1 = recs
+            .iter()
+            .filter(|r| r.delivered && r.network_id == 1)
+            .count();
+        let net2 = recs
+            .iter()
+            .filter(|r| r.delivered && r.network_id == 2)
+            .count();
         assert_eq!(net1 + net2, 16, "aggregate cap across coexisting networks");
         // Losses are inter-network decoder contention.
         let inter = recs
@@ -532,8 +621,20 @@ mod tests {
         w.topo.loss_db[1][0] = 80.0;
         let ch = StandardChannelPlan::us915_subband(0).channels[0];
         let plans = vec![
-            TxPlan { node: 0, channel: ch, dr: DataRate::DR5, start_us: 0, payload_len: 10 },
-            TxPlan { node: 1, channel: ch, dr: DataRate::DR5, start_us: 1_000, payload_len: 10 },
+            TxPlan {
+                node: 0,
+                channel: ch,
+                dr: DataRate::DR5,
+                start_us: 0,
+                payload_len: 10,
+            },
+            TxPlan {
+                node: 1,
+                channel: ch,
+                dr: DataRate::DR5,
+                start_us: 1_000,
+                payload_len: 10,
+            },
         ];
         let recs = w.run(&plans);
         assert!(recs.iter().all(|r| !r.delivered));
@@ -545,12 +646,20 @@ mod tests {
     #[test]
     fn capture_lets_strong_packet_survive() {
         // Same settings but one node much closer: the strong one wins.
-        let mut model = PathLossModel::default();
-        model.shadowing_sigma_db = 0.0;
+        let model = PathLossModel {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
         let mut topo = Topology::new((2_000.0, 100.0), 2, 1, model, 1);
         // Place node 0 near the gateway, node 1 far.
-        topo.nodes[0] = Pos { x_m: topo.gateways[0].x_m + 50.0, y_m: topo.gateways[0].y_m };
-        topo.nodes[1] = Pos { x_m: topo.gateways[0].x_m + 900.0, y_m: topo.gateways[0].y_m };
+        topo.nodes[0] = Pos {
+            x_m: topo.gateways[0].x_m + 50.0,
+            y_m: topo.gateways[0].y_m,
+        };
+        topo.nodes[1] = Pos {
+            x_m: topo.gateways[0].x_m + 900.0,
+            y_m: topo.gateways[0].y_m,
+        };
         let topo = {
             // Re-freeze losses for the new positions (no shadowing).
             let mut t = topo;
@@ -563,12 +672,29 @@ mod tests {
         };
         let profile = GatewayProfile::rak7268cv2();
         let plan = StandardChannelPlan::us915_subband(0);
-        let gw = Gateway::new(0, 1, profile, GatewayConfig::new(profile, plan.channels.clone()).unwrap());
+        let gw = Gateway::new(
+            0,
+            1,
+            profile,
+            GatewayConfig::new(profile, plan.channels.clone()).unwrap(),
+        );
         let mut w = SimWorld::new(topo, vec![1, 1], gw.into_iter_helper());
         let ch = plan.channels[0];
         let plans = vec![
-            TxPlan { node: 0, channel: ch, dr: DataRate::DR4, start_us: 0, payload_len: 10 },
-            TxPlan { node: 1, channel: ch, dr: DataRate::DR4, start_us: 500, payload_len: 10 },
+            TxPlan {
+                node: 0,
+                channel: ch,
+                dr: DataRate::DR4,
+                start_us: 0,
+                payload_len: 10,
+            },
+            TxPlan {
+                node: 1,
+                channel: ch,
+                dr: DataRate::DR4,
+                start_us: 500,
+                payload_len: 10,
+            },
         ];
         let recs = w.run(&plans);
         assert!(recs[0].delivered, "strong near packet captures");
@@ -594,23 +720,42 @@ mod tests {
                 (i, ch, DataRate::from_index(i / 8 % 6).unwrap())
             })
             .collect();
-        let plans = concurrent_burst(&assigns, 10, 1_000_000, 2_000, BurstScheme::FinalPreambleOrdered);
+        let plans = concurrent_burst(
+            &assigns,
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
         let recs = w.run(&plans);
         // All 10 of network 1 delivered (no foreign occupation).
-        let net1_ok = recs.iter().filter(|r| r.network_id == 1 && r.delivered).count();
+        let net1_ok = recs
+            .iter()
+            .filter(|r| r.network_id == 1 && r.delivered)
+            .count();
         assert_eq!(net1_ok, 10);
         let foreign_filtered = w.gateways[0].stats().foreign_filtered;
-        assert_eq!(foreign_filtered, 0, "misaligned packets never entered the pipeline");
+        assert_eq!(
+            foreign_filtered, 0,
+            "misaligned packets never entered the pipeline"
+        );
     }
 
     #[test]
     fn out_of_range_is_other() {
-        let mut model = PathLossModel::default();
-        model.shadowing_sigma_db = 0.0;
+        let model = PathLossModel {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
         let topo = Topology::new((60_000.0, 60_000.0), 1, 1, model, 1);
         let profile = GatewayProfile::rak7268cv2();
         let plan = StandardChannelPlan::us915_subband(0);
-        let gw = Gateway::new(0, 1, profile, GatewayConfig::new(profile, plan.channels.clone()).unwrap());
+        let gw = Gateway::new(
+            0,
+            1,
+            profile,
+            GatewayConfig::new(profile, plan.channels.clone()).unwrap(),
+        );
         let mut w = SimWorld::new(topo, vec![1], gw.into_iter_helper());
         let plans = vec![TxPlan {
             node: 0,

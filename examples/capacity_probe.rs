@@ -22,10 +22,7 @@ use alphawan_system::sim::world::SimWorld;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let spectrum_mhz: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4.8);
+    let spectrum_mhz: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4.8);
     let max_gws: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(15);
     let spectrum_hz = (spectrum_mhz * 1e6) as u32;
     let channels = ChannelGrid::standard(916_800_000, spectrum_hz).channels();
@@ -35,7 +32,10 @@ fn main() {
         channels.len(),
         users
     );
-    println!("{:>9}  {:>8}  {:>8}  {:>6}", "gateways", "standard", "alphawan", "oracle");
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>6}",
+        "gateways", "standard", "alphawan", "oracle"
+    );
 
     for gws in (1..=max_gws).step_by(2) {
         let model = PathLossModel {

@@ -43,7 +43,9 @@ fn main() {
     let mut plans = Vec::new();
     for op in 0..OPERATORS {
         let mut client = MasterClient::connect(server.addr()).expect("connect");
-        let id = client.register(&format!("operator-{op}")).expect("register");
+        let id = client
+            .register(&format!("operator-{op}"))
+            .expect("register");
         let plan = client.request_channels(id).expect("assignment");
         println!(
             "operator-{op} (id {id}): {} channels, first at {:.4} MHz",
@@ -67,9 +69,8 @@ fn main() {
     let mut gateways = Vec::new();
     let mut node_network = vec![0u32; total_nodes];
     let mut assigns: Vec<(usize, _, DataRate)> = Vec::new();
-    for op in 0..OPERATORS {
-        let node_ids: Vec<usize> =
-            (op * NODES_PER_OP..(op + 1) * NODES_PER_OP).collect();
+    for (op, cp_plan) in plans.iter().enumerate() {
+        let node_ids: Vec<usize> = (op * NODES_PER_OP..(op + 1) * NODES_PER_OP).collect();
         let gw_ids: Vec<usize> = (op * GWS_PER_OP..(op + 1) * GWS_PER_OP).collect();
         // Sub-topology for this operator's own planning.
         let sub = Topology {
@@ -82,7 +83,7 @@ fn main() {
                 .map(|&i| gw_ids.iter().map(|&j| topo.loss_db[i][j]).collect())
                 .collect(),
         };
-        let mut planner = IntraNetworkPlanner::new(plans[op].clone(), GWS_PER_OP);
+        let mut planner = IntraNetworkPlanner::new(cp_plan.clone(), GWS_PER_OP);
         planner.ga.generations = 40;
         let outcome = planner.plan(&sub, vec![1.0; NODES_PER_OP]);
         for (slot, &g) in gw_ids.iter().enumerate() {
@@ -108,7 +109,10 @@ fn main() {
             .iter()
             .filter(|r| r.network_id == op && r.delivered)
             .count();
-        println!("operator-{}: {rx}/{NODES_PER_OP} concurrent packets received", op - 1);
+        println!(
+            "operator-{}: {rx}/{NODES_PER_OP} concurrent packets received",
+            op - 1
+        );
     }
     let foreign: u64 = world
         .gateways

@@ -32,8 +32,10 @@ const HORIZON_US: u64 = 30_000_000;
 
 fn main() {
     let channels = ChannelGrid::standard(916_800_000, 4_800_000).channels();
-    let mut model = PathLossModel::default();
-    model.shadowing_sigma_db = 2.0;
+    let model = PathLossModel {
+        shadowing_sigma_db: 2.0,
+        ..Default::default()
+    };
     let mut topo = Topology::new((1_200.0, 900.0), USERS, GWS, model, 42);
     for row in &mut topo.loss_db {
         for l in row.iter_mut() {
@@ -109,11 +111,9 @@ fn main() {
     let mut group_pos: std::collections::HashMap<(u32, usize), u64> = Default::default();
     let mut plans: Vec<TxPlan> = Vec::new();
     for (i, &(ch, dr, _)) in outcome.node_settings.iter().enumerate() {
-        let airtime = alphawan_system::lora_phy::airtime::lorawan_uplink_airtime(
-            dr.spreading_factor(),
-            23,
-        )
-        .total_us();
+        let airtime =
+            alphawan_system::lora_phy::airtime::lorawan_uplink_airtime(dr.spreading_factor(), 23)
+                .total_us();
         let period = airtime * 100;
         let pos = group_pos.entry((ch.center_hz, dr.index())).or_insert(0);
         let phase = (*pos % 100) * (period / 100);

@@ -7,6 +7,7 @@
 
 pub use alphawan;
 pub use baselines;
+pub use chaos;
 pub use gateway;
 pub use lora_mac;
 pub use lora_phy;

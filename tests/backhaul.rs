@@ -7,7 +7,9 @@ use alphawan_system::gateway::forwarder::client::PacketForwarder;
 use alphawan_system::gateway::forwarder::codec::{GatewayEui, RxPacket};
 use alphawan_system::lora_mac::device::{DevAddr, Device, SessionKeys};
 use alphawan_system::lora_mac::frame::PhyPayload;
-use alphawan_system::lora_mac::join::{derive_session_keys, Eui, JoinAccept, JoinRequest, JoinServer};
+use alphawan_system::lora_mac::join::{
+    derive_session_keys, Eui, JoinAccept, JoinRequest, JoinServer,
+};
 use alphawan_system::lora_phy::channel::Channel;
 use alphawan_system::lora_phy::types::SpreadingFactor;
 use alphawan_system::netserver::bridge::{process_uplink, BridgeOutcome};

@@ -52,13 +52,7 @@ fn homogeneous_gateways(n: usize, network: u32) -> Vec<Gateway> {
 fn orthogonal(users: usize) -> Vec<(usize, Channel, DataRate)> {
     let chans = eight_channels();
     (0..users)
-        .map(|i| {
-            (
-                i,
-                chans[i % 8],
-                DataRate::from_index(i / 8 % 6).unwrap(),
-            )
-        })
+        .map(|i| (i, chans[i % 8], DataRate::from_index(i / 8 % 6).unwrap()))
         .collect()
 }
 
@@ -115,7 +109,12 @@ fn headline_alphawan_reaches_oracle() {
         .iter()
         .enumerate()
         .map(|(j, c)| {
-            Gateway::new(j, 1, profile, GatewayConfig::new(profile, c.clone()).unwrap())
+            Gateway::new(
+                j,
+                1,
+                profile,
+                GatewayConfig::new(profile, c.clone()).unwrap(),
+            )
         })
         .collect();
     let mut world = SimWorld::new(topo, vec![1; 48], gws);
@@ -128,7 +127,10 @@ fn headline_alphawan_reaches_oracle() {
     let plans = end_aligned_burst(&assigns, 23, 2_000_000, 1_000);
     let recs = world.run(&plans);
     let delivered = recs.iter().filter(|r| r.delivered).count();
-    assert!(delivered >= 46, "AlphaWAN should approach 48, got {delivered}");
+    assert!(
+        delivered >= 46,
+        "AlphaWAN should approach 48, got {delivered}"
+    );
 }
 
 #[test]
@@ -159,26 +161,39 @@ fn headline_master_isolates_operators() {
     let topo = flat_topology(24, 2, 4);
     let profile = GatewayProfile::rak7268cv2();
     let gws = vec![
-        Gateway::new(0, 1, profile, GatewayConfig::new(profile, plan1[..8].to_vec()).unwrap()),
-        Gateway::new(1, 2, profile, GatewayConfig::new(profile, plan2[..8].to_vec()).unwrap()),
+        Gateway::new(
+            0,
+            1,
+            profile,
+            GatewayConfig::new(profile, plan1[..8].to_vec()).unwrap(),
+        ),
+        Gateway::new(
+            1,
+            2,
+            profile,
+            GatewayConfig::new(profile, plan2[..8].to_vec()).unwrap(),
+        ),
     ];
     let node_network: Vec<u32> = (0..24).map(|i| 1 + (i / 12) as u32).collect();
     let mut world = SimWorld::new(topo, node_network, gws);
     let assigns: Vec<_> = (0..24)
         .map(|i| {
             let plan = if i < 12 { &plan1 } else { &plan2 };
-            (
-                i,
-                plan[i % 8],
-                DataRate::from_index(i % 6).unwrap(),
-            )
+            (i, plan[i % 8], DataRate::from_index(i % 6).unwrap())
         })
         .collect();
     let plans = end_aligned_burst(&assigns, 23, 2_000_000, 1_000);
     let recs = world.run(&plans);
     let delivered = recs.iter().filter(|r| r.delivered).count();
-    assert!(delivered >= 22, "misaligned networks barely interfere: {delivered}");
-    let foreign: u64 = world.gateways.iter().map(|g| g.stats().foreign_filtered).sum();
+    assert!(
+        delivered >= 22,
+        "misaligned networks barely interfere: {delivered}"
+    );
+    let foreign: u64 = world
+        .gateways
+        .iter()
+        .map(|g| g.stats().foreign_filtered)
+        .sum();
     assert_eq!(foreign, 0, "no foreign packet may enter a decoder");
 }
 

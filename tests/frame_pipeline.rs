@@ -65,7 +65,9 @@ fn uplink_dedup_adr_downlink_roundtrip() {
 
     // The server's ADR now upgrades the device.
     assert_eq!(dev.data_rate, DataRate::DR0);
-    let decision = server.run_adr(addr, (dev.data_rate, 0)).expect("history full");
+    let decision = server
+        .run_adr(addr, (dev.data_rate, 0))
+        .expect("history full");
     assert!(decision.data_rate > DataRate::DR0);
 
     // The queued LinkADRReq travels down and reconfigures the device.

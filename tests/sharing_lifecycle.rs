@@ -40,7 +40,13 @@ fn master_plan_lands_on_a_gateway_via_the_agent() {
     );
     let mut agent = GatewayAgent::new();
     let channels = plan[..plan.len().min(8)].to_vec();
-    match agent.handle(&mut gw, &ConfigCommand { sequence: 1, channels: channels.clone() }) {
+    match agent.handle(
+        &mut gw,
+        &ConfigCommand {
+            sequence: 1,
+            channels: channels.clone(),
+        },
+    ) {
         ConfigAck::Applied { sequence: 1, .. } => {}
         other => panic!("{other:?}"),
     }

@@ -1,0 +1,42 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::channel::{unbounded, Sender,
+//! Receiver, TryRecvError}` (plus `Receiver::recv_timeout`), all of
+//! which `std::sync::mpsc` provides with compatible semantics for
+//! single-consumer use. Note the std `Sender` is what crossbeam's is:
+//! cloneable; the std `Receiver` is not cloneable, which this
+//! workspace never relies on.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 5);
+        assert!(matches!(rx.try_recv(), Err(channel::TryRecvError::Empty)));
+        drop(tx);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(channel::TryRecvError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_elapses() {
+        let (_tx, rx) = channel::unbounded::<u32>();
+        assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate provides the serialization surface the workspace uses. It is
+//! deliberately much simpler than real serde: [`Serialize`] converts a
+//! value into a JSON-like [`Value`] tree and [`Deserialize`] reads one
+//! back. The derive macros (re-exported from the vendored
+//! `serde_derive`) generate those two conversions with serde's
+//! external enum tagging, so JSON produced here matches what real
+//! serde_json would emit for the same types (modulo `None` fields,
+//! which are always omitted — the behaviour the workspace opts into
+//! via `skip_serializing_if` upstream).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree. Integers keep 64-bit precision (a plain
+/// `f64` model would corrupt `u64` timestamps); object fields keep
+/// insertion order so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// The sentinel returned for absent object fields.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Look up an object field by name; missing fields read as null (how
+/// `Option` fields deserialize to `None`).
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Convert a value into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    ref other => return Err(DeError::msg(format!(
+                        "expected {}, got {:?}", stringify!($t), other
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => f as i64,
+                    ref other => return Err(DeError::msg(format!(
+                        "expected {}, got {:?}", stringify!($t), other
+                    ))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    ref other => Err(DeError::msg(format!(
+                        "expected {}, got {:?}", stringify!($t), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Supports `&'static str` fields in derived types (Table 1/2 rows).
+/// Leaks the string — fine for the static config data it exists for.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::msg(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| DeError::msg(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::msg(format!("expected tuple array, got {v:?}")))?;
+                if items.len() != $len {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {}, got {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) => 1;
+    (A: 0, B: 1) => 2;
+    (A: 0, B: 1, C: 2) => 3;
+    (A: 0, B: 1, C: 2, D: 3) => 4;
+}
+
+impl<K: Serialize + fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys by rendered name so serialization is deterministic.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + Eq + Hash + std::str::FromStr,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::msg(format!("expected object map, got {v:?}")))?;
+        obj.iter()
+            .map(|(k, v)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| DeError::msg(format!("unparseable map key {k:?}")))?;
+                Ok((key, V::from_value(v)?))
+            })
+            .collect()
+    }
+}
+
+/// Mirrors real serde's `{secs, nanos}` encoding for `Duration`.
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::msg(format!("expected duration object, got {v:?}")))?;
+        let secs = u64::from_value(field(obj, "secs"))?;
+        let nanos = u32::from_value(field(obj, "nanos"))?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn u64_full_precision() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn option_null_and_missing() {
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::U64(3)), Ok(Some(3)));
+        let obj = vec![("a".to_string(), Value::U64(1))];
+        assert!(field(&obj, "missing").is_null());
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let v = vec![(1usize, 2usize), (3, 4)].to_value();
+        let back: Vec<(usize, usize)> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn duration_matches_serde_shape() {
+        let d = Duration::new(4, 620_000_000);
+        let v = d.to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(u64::from_value(field(obj, "secs")), Ok(4));
+        assert_eq!(Duration::from_value(&v), Ok(d));
+    }
+
+    #[test]
+    fn range_checks_enforced() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+    }
+}

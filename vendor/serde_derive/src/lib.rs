@@ -1,0 +1,420 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no syn/quote). Supports the shapes this workspace
+//! uses: non-generic named structs, tuple structs, unit structs, and
+//! enums with unit / newtype / tuple / struct variants, with serde's
+//! external enum tagging. `#[serde(...)]` field attributes are
+//! accepted and ignored — `Option::None` fields are always omitted
+//! from objects, which subsumes the one attribute the workspace uses
+//! (`skip_serializing_if = "Option::is_none"`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Field names of a `{ ... }` body (types are irrelevant: generated
+/// code lets inference pick the `Deserialize` impl per field).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected ':' after field, got {other}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Field count of a `( ... )` body.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    let mut saw_any = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    // Tolerate a trailing comma.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && saw_any {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Optional explicit discriminant: consume to the comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported (type {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde stub derive: unsupported struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde stub derive: unsupported enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde stub derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Statements that build `__fields` from named bindings/accessors.
+fn push_named(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+    out.push_str(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "{{ let __fv = ::serde::Serialize::to_value(&{acc}); \
+             if !__fv.is_null() {{ __fields.push((\"{f}\".to_string(), __fv)); }} }}\n",
+            acc = accessor(f),
+        ));
+    }
+}
+
+/// Expressions that rebuild named fields from `__obj`.
+fn read_named(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\"))?,\n")
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    match &item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Named(fs) => {
+                push_named(&mut body, fs, |f| format!("self.{f}"));
+                body.push_str("::serde::Value::Object(__fields)\n");
+            }
+            Fields::Tuple(1) => {
+                body.push_str("::serde::Serialize::to_value(&self.0)\n");
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                body.push_str(&format!(
+                    "::serde::Value::Array(vec![{}])\n",
+                    items.join(", ")
+                ));
+            }
+            Fields::Unit => body.push_str("::serde::Value::Null\n"),
+        },
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let bindings = fs.join(", ");
+                        let mut inner = String::new();
+                        push_named(&mut inner, fs, |f| f.to_string());
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {bindings} }} => {{ {inner} \
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(__fields))]) }}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(vec![\
+                         (\"{vn}\".to_string(), ::serde::Serialize::to_value(__x0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("serde stub derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    match &item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Named(fs) => {
+                body.push_str(&format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::msg(\"expected object for {name}\"))?;\n"
+                ));
+                body.push_str(&format!(
+                    "::std::result::Result::Ok({name} {{\n{}}})\n",
+                    read_named(fs)
+                ));
+            }
+            Fields::Tuple(1) => body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+            )),
+            Fields::Tuple(n) => {
+                body.push_str(&format!(
+                    "let __items = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::msg(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::msg(\"wrong tuple arity for {name}\")); }}\n"
+                ));
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                body.push_str(&format!(
+                    "::std::result::Result::Ok({name}({}))\n",
+                    items.join(", ")
+                ));
+            }
+            Fields::Unit => {
+                body.push_str(&format!("::std::result::Result::Ok({name})\n"));
+            }
+        },
+        Item::Enum { name, variants } => {
+            body.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant {{__other}}\"))),\n}},\n"
+            ));
+            body.push_str(
+                "::serde::Value::Object(__o) if __o.len() == 1 => {\n\
+                 let (__k, __payload) = &__o[0];\nmatch __k.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Named(fs) => body.push_str(&format!(
+                        "\"{vn}\" => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                         ::serde::DeError::msg(\"expected object for {name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{\n{}}}) }}\n",
+                        read_named(fs)
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{ let __items = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected array for {name}::{vn}\"))?;\n\
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant {{__other}}\"))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(format!(\
+                 \"expected {name}, got {{__other:?}}\"))),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("serde stub derive: generated Deserialize impl parses")
+}
