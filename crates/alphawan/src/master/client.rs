@@ -41,13 +41,40 @@ impl MasterClient {
         addr: SocketAddr,
         policy: &BackoffPolicy,
     ) -> io::Result<MasterClient> {
+        MasterClient::connect_with_retry_obs(addr, policy, &mut obs::NullSink)
+    }
+
+    /// [`MasterClient::connect_with_retry`] with observability: one
+    /// [`obs::ObsEvent::MasterConnectAttempt`] per TCP attempt,
+    /// carrying the backoff delay scheduled after it (0 on the final
+    /// attempt). Events carry no wall-clock time, so retry histories
+    /// are comparable across runs.
+    pub fn connect_with_retry_obs(
+        addr: SocketAddr,
+        policy: &BackoffPolicy,
+        sink: &mut dyn obs::ObsSink,
+    ) -> io::Result<MasterClient> {
+        let attempts = policy.max_attempts.max(1);
         let mut last_err = io::Error::other("zero connection attempts allowed");
-        for attempt in 0..policy.max_attempts.max(1) {
-            match MasterClient::connect(addr) {
+        for attempt in 0..attempts {
+            let result = MasterClient::connect(addr);
+            let retrying = attempt + 1 < attempts && result.is_err();
+            if sink.enabled() {
+                sink.record(&obs::ObsEvent::MasterConnectAttempt {
+                    attempt,
+                    ok: result.is_ok(),
+                    backoff_us: if retrying {
+                        policy.delay_after(attempt).as_micros() as u64
+                    } else {
+                        0
+                    },
+                });
+            }
+            match result {
                 Ok(c) => return Ok(c),
                 Err(e) => last_err = e,
             }
-            if attempt + 1 < policy.max_attempts.max(1) {
+            if retrying {
                 std::thread::sleep(policy.delay_after(attempt));
             }
         }

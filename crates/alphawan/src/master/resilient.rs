@@ -10,6 +10,7 @@
 use super::backoff::BackoffPolicy;
 use super::client::MasterClient;
 use lora_phy::channel::Channel;
+use obs::{NullSink, ObsEvent, ObsSink};
 use std::io;
 use std::net::SocketAddr;
 
@@ -31,6 +32,7 @@ pub struct ResilientMasterClient {
     session: Option<(MasterClient, usize)>,
     cached_plan: Option<Vec<Channel>>,
     reconnects: u64,
+    obs: Option<Box<dyn ObsSink>>,
 }
 
 impl ResilientMasterClient {
@@ -44,7 +46,15 @@ impl ResilientMasterClient {
             session: None,
             cached_plan: None,
             reconnects: 0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability sink: connect attempts, session retries
+    /// and plan servings (fresh vs cache-degraded) are emitted as
+    /// control-plane [`ObsEvent`]s.
+    pub fn set_obs_sink(&mut self, sink: Box<dyn ObsSink>) {
+        self.obs = Some(sink);
     }
 
     /// The last plan the Master assigned, if any.
@@ -65,12 +75,26 @@ impl ResilientMasterClient {
 
     fn ensure_session(&mut self) -> io::Result<&mut (MasterClient, usize)> {
         if self.session.is_none() {
-            let mut client = MasterClient::connect_with_retry(self.addr, &self.policy)?;
+            let mut null = NullSink;
+            let sink: &mut dyn ObsSink = match self.obs.as_deref_mut() {
+                Some(s) => s,
+                None => &mut null,
+            };
+            let mut client = MasterClient::connect_with_retry_obs(self.addr, &self.policy, sink)?;
             let operator_id = client.register(&self.operator)?;
             self.reconnects += 1;
             self.session = Some((client, operator_id));
         }
         Ok(self.session.as_mut().expect("session just ensured"))
+    }
+
+    /// Emit `ev` to the attached sink, if any.
+    fn emit(&mut self, ev: ObsEvent) {
+        if let Some(sink) = self.obs.as_deref_mut() {
+            if sink.enabled() {
+                sink.record(&ev);
+            }
+        }
     }
 
     /// Fetch the operator's channel plan, reconnecting if needed. On
@@ -81,10 +105,20 @@ impl ResilientMasterClient {
         match self.try_fetch() {
             Ok(plan) => {
                 self.cached_plan = Some(plan.clone());
+                self.emit(ObsEvent::MasterPlanServed {
+                    source: obs::PlanServed::Fresh,
+                    channels: plan.len() as u32,
+                });
                 Ok((plan, PlanSource::Fresh))
             }
-            Err(e) => match &self.cached_plan {
-                Some(plan) => Ok((plan.clone(), PlanSource::Cached)),
+            Err(e) => match self.cached_plan.clone() {
+                Some(plan) => {
+                    self.emit(ObsEvent::MasterPlanServed {
+                        source: obs::PlanServed::Cached,
+                        channels: plan.len() as u32,
+                    });
+                    Ok((plan, PlanSource::Cached))
+                }
                 None => Err(e),
             },
         }
@@ -100,7 +134,12 @@ impl ResilientMasterClient {
             match client.request_channels(id) {
                 Ok(plan) => return Ok(plan),
                 Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
-                Err(_) => self.session = None, // transport failure: retry
+                Err(_) => {
+                    // Transport failure: drop the session and retry.
+                    self.session = None;
+                    let reconnects = self.reconnects;
+                    self.emit(ObsEvent::MasterRpcRetry { reconnects });
+                }
             }
         }
         Err(io::Error::other("Master unreachable after session retry"))
@@ -157,6 +196,56 @@ mod tests {
         let mut client = ResilientMasterClient::new(addr, "op-x", BackoffPolicy::fast_for_tests());
         assert!(client.channel_plan().is_err());
         assert_eq!(client.cached_plan(), None);
+    }
+
+    #[test]
+    fn obs_sink_sees_control_plane_degradation() {
+        use obs::{ObsEvent, PlanServed, RingSink, SharedSink};
+        let master = MasterServer::start(region()).unwrap();
+        let addr = master.addr();
+        let shared = SharedSink::new(RingSink::new(64));
+        let mut client = ResilientMasterClient::new(addr, "op-o", BackoffPolicy::fast_for_tests());
+        client.set_obs_sink(Box::new(shared.clone()));
+        let (plan, source) = client.channel_plan().unwrap();
+        assert_eq!(source, PlanSource::Fresh);
+        // Plant a stale session whose peer hung up: the next RPC fails
+        // in-flight, which is the session-retry (not connect-retry) path.
+        let stale_listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let stale = MasterClient::connect(stale_listener.local_addr().unwrap()).unwrap();
+        drop(stale_listener.accept().unwrap());
+        drop(stale_listener);
+        let id = client.session.take().expect("session established").1;
+        client.session = Some((stale, id));
+        let (_, source) = client.channel_plan().unwrap();
+        assert_eq!(source, PlanSource::Fresh, "reconnects after a dead RPC");
+        master.shutdown();
+        client.disconnect();
+        let (_, source) = client.channel_plan().unwrap();
+        assert_eq!(source, PlanSource::Cached);
+        let events = shared.with(|ring| ring.events().to_vec());
+        let served: Vec<(PlanServed, u32)> = events
+            .iter()
+            .filter_map(|e| match *e {
+                ObsEvent::MasterPlanServed { source, channels } => Some((source, channels)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            served,
+            vec![
+                (PlanServed::Fresh, plan.len() as u32),
+                (PlanServed::Fresh, plan.len() as u32),
+                (PlanServed::Cached, plan.len() as u32)
+            ]
+        );
+        // The successful first connect shows up as an attempt, and the
+        // dead Master produced at least one RPC retry before degrading.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::MasterConnectAttempt { ok: true, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::MasterRpcRetry { .. })));
     }
 
     #[test]

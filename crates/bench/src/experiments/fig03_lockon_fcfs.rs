@@ -212,5 +212,6 @@ fn parts_ef() {
     }
     let filtered: u64 = w.gateways.iter().map(|g| g.stats().foreign_filtered).sum();
     println!("foreign packets that occupied decoders end-to-end: {filtered}");
+    crate::obs_session::note_run_metrics(&sim::metrics::RunMetrics::from_records(&recs, None));
     t.emit("fig03ef_coexistence");
 }

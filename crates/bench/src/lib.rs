@@ -8,14 +8,25 @@
 //! ```text
 //! cargo run --release -p bench --bin fig12a_gateways
 //! ```
-//! or everything at once (writes `results/*.csv` and a summary):
+//! or everything at once (writes CSVs and a summary under
+//! `results/out/`):
 //! ```text
 //! cargo run --release -p bench --bin all_experiments
 //! ```
+//! Add `--obs-out results/out` to any binary to also capture an event
+//! stream and per-experiment [`obs::RunReport`]s (see [`obs_session`]
+//! and `docs/OBSERVABILITY.md`).
 
 pub mod experiments;
+pub mod obs_session;
 pub mod report;
 pub mod scenario;
+
+/// The repository's `EXPERIMENTS.md`, mounted as rustdoc so its
+/// ```rust blocks compile and run as doctests (`cargo test -p bench
+/// --doc`) — the runnable guide cannot silently rot.
+#[doc = include_str!("../../../EXPERIMENTS.md")]
+pub mod guide {}
 
 pub use report::{write_csv, Table};
 pub use scenario::{

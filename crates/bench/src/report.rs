@@ -57,20 +57,26 @@ impl Table {
         out
     }
 
-    /// Print to stdout and persist as CSV under `results/`.
+    /// Print to stdout and persist as CSV under `results/out/`. When
+    /// the process runs with `--obs-out`, also writes the experiment's
+    /// [`obs::RunReport`] next to the event stream.
     pub fn emit(&self, csv_name: &str) {
         print!("{}", self.render());
         println!();
         let mut lines = vec![self.headers.join(",")];
         lines.extend(self.rows.iter().map(|r| r.join(",")));
         write_csv(csv_name, &lines.join("\n"));
+        crate::obs_session::write_report(csv_name);
     }
 }
 
-/// Write `content` to `results/<name>.csv` (best effort — experiments
-/// must not fail over filesystem trouble).
+/// Write `content` to `results/out/<name>.csv` (best effort —
+/// experiments must not fail over filesystem trouble). `results/out/`
+/// is gitignored: regenerated outputs land there, while the committed
+/// golden copies live one level up in `results/` and are only updated
+/// deliberately (see `EXPERIMENTS.md`).
 pub fn write_csv(name: &str, content: &str) {
-    let dir = PathBuf::from("results");
+    let dir = PathBuf::from("results").join("out");
     if fs::create_dir_all(&dir).is_err() {
         return;
     }

@@ -110,7 +110,14 @@ impl WorldBuilder {
             }
             node_network.extend(std::iter::repeat_n(spec.network_id, spec.n_nodes));
         }
-        SimWorld::new(topo, node_network, gateways)
+        let mut world = SimWorld::new(topo, node_network, gateways);
+        // When the process runs with --obs-out, every built world
+        // streams its events to the session; otherwise no sink is
+        // attached and runs stay on the unobserved path.
+        if let Some(sink) = crate::obs_session::world_sink() {
+            world.set_obs_sink(sink);
+        }
+        world
     }
 }
 

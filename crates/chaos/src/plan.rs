@@ -176,6 +176,44 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Announce the plan to an observability sink: one
+    /// [`obs::ObsEvent::FaultActivated`] per fault, in plan order, so
+    /// an event stream records which failures were scheduled against
+    /// the run it describes. Faults with no gateway target (backhaul
+    /// and Master domains) carry `gw: -1`; [`FaultSpec::ClockDrift`]
+    /// has no window and reports `0..u64::MAX`.
+    pub fn observe(&self, sink: &mut dyn obs::ObsSink) {
+        if !sink.enabled() {
+            return;
+        }
+        for fault in &self.faults {
+            let kind = match fault {
+                FaultSpec::GatewayCrash { .. } => obs::FaultKind::GatewayCrash,
+                FaultSpec::DecoderLockup { .. } => obs::FaultKind::DecoderLockup,
+                FaultSpec::ClockDrift { .. } => obs::FaultKind::ClockDrift,
+                FaultSpec::BackhaulLoss { .. } => obs::FaultKind::BackhaulLoss,
+                FaultSpec::BackhaulDelay { .. } => obs::FaultKind::BackhaulDelay,
+                FaultSpec::BackhaulDuplicate { .. } => obs::FaultKind::BackhaulDuplicate,
+                FaultSpec::BackhaulReorder { .. } => obs::FaultKind::BackhaulReorder,
+                FaultSpec::MasterPartition { .. } => obs::FaultKind::MasterPartition,
+                FaultSpec::MasterSlowResponse { .. } => obs::FaultKind::MasterSlowResponse,
+            };
+            let gw = match *fault {
+                FaultSpec::GatewayCrash { gateway, .. }
+                | FaultSpec::DecoderLockup { gateway, .. }
+                | FaultSpec::ClockDrift { gateway, .. } => gateway as i64,
+                _ => -1,
+            };
+            let (start_us, end_us) = fault.window().unwrap_or((0, u64::MAX));
+            sink.record(&obs::ObsEvent::FaultActivated {
+                kind,
+                gw,
+                start_us,
+                end_us,
+            });
+        }
+    }
+
     /// Serialize to JSON (for storing plans next to experiment configs).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("FaultPlan serializes")
@@ -302,6 +340,43 @@ mod tests {
             }],
         };
         assert!(matches!(plan.validate(), Err(PlanError::BadDrift(_))));
+    }
+
+    #[test]
+    fn observe_emits_one_event_per_fault() {
+        use obs::{FaultKind, ObsEvent, RingSink};
+        let plan = sample_plan();
+        let mut sink = RingSink::new(16);
+        plan.observe(&mut sink);
+        assert_eq!(sink.events().len(), plan.faults.len());
+        // Spot-check the three target conventions: gateway-scoped,
+        // windowless clock drift, and target-less backhaul faults.
+        assert_eq!(
+            sink.events()[0],
+            ObsEvent::FaultActivated {
+                kind: FaultKind::GatewayCrash,
+                gw: 0,
+                start_us: 1_000,
+                end_us: 5_000,
+            }
+        );
+        assert_eq!(
+            sink.events()[2],
+            ObsEvent::FaultActivated {
+                kind: FaultKind::ClockDrift,
+                gw: 2,
+                start_us: 0,
+                end_us: u64::MAX,
+            }
+        );
+        assert!(matches!(
+            sink.events()[3],
+            ObsEvent::FaultActivated {
+                kind: FaultKind::BackhaulLoss,
+                gw: -1,
+                ..
+            }
+        ));
     }
 
     #[test]

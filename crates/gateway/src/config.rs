@@ -14,9 +14,19 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// More channels than Rx chains (`P_j`).
-    TooManyChannels { requested: usize, max: usize },
+    TooManyChannels {
+        /// Channels in the rejected configuration.
+        requested: usize,
+        /// The profile's Rx chain count.
+        max: usize,
+    },
     /// Frequency span exceeds the radio bandwidth (`B_j`).
-    SpanTooWide { span_hz: u64, max_hz: u32 },
+    SpanTooWide {
+        /// Span of the rejected configuration, Hz.
+        span_hz: u64,
+        /// The profile's radio bandwidth, Hz.
+        max_hz: u32,
+    },
     /// Empty configurations are not useful.
     NoChannels,
 }

@@ -29,6 +29,7 @@ impl PacketForwarder {
         })
     }
 
+    /// This forwarder's gateway EUI.
     pub fn eui(&self) -> GatewayEui {
         self.eui
     }

@@ -106,11 +106,15 @@ impl RxPacket {
 pub struct TxPacket {
     /// Emission concentrator timestamp, µs.
     pub tmst: u64,
+    /// Center frequency, MHz (protocol convention).
     pub freq: f64,
+    /// Data rate identifier, e.g. `"SF7BW125"`.
     pub datr: String,
     /// Tx power, dBm.
     pub powe: i32,
+    /// Payload size, bytes.
     pub size: usize,
+    /// Base64-encoded PHY payload.
     pub data: String,
 }
 
@@ -128,27 +132,44 @@ struct PullRespPayload {
 /// A decoded protocol datagram.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Datagram {
+    /// Gateway → server: received uplinks.
     PushData {
+        /// Random token echoed by the matching ack.
         token: u16,
+        /// Sending gateway.
         eui: GatewayEui,
+        /// Uplink packets carried in this datagram.
         rxpk: Vec<RxPacket>,
     },
+    /// Server → gateway: `PUSH_DATA` acknowledgement.
     PushAck {
+        /// Echoed token.
         token: u16,
     },
+    /// Gateway → server: downlink-route keepalive.
     PullData {
+        /// Random token echoed by the matching ack.
         token: u16,
+        /// Sending gateway.
         eui: GatewayEui,
     },
+    /// Server → gateway: `PULL_DATA` acknowledgement.
     PullAck {
+        /// Echoed token.
         token: u16,
     },
+    /// Server → gateway: a downlink to transmit.
     PullResp {
+        /// Server-chosen token echoed by `TX_ACK`.
         token: u16,
+        /// The downlink to schedule.
         txpk: TxPacket,
     },
+    /// Gateway → server: downlink scheduling verdict.
     TxAck {
+        /// Echoed `PULL_RESP` token.
         token: u16,
+        /// Acknowledging gateway.
         eui: GatewayEui,
     },
 }

@@ -28,6 +28,8 @@
 //! [`pool`] is the bounded FCFS decoder pool; [`radio`] ties them into
 //! the event-driven [`radio::Gateway`] that the `sim` crate drives.
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod forwarder;
 pub mod pool;

@@ -7,6 +7,7 @@
 //! dispatcher drops subsequent packets until any decoders become
 //! available", Appendix C).
 
+use obs::{ObsEvent, ObsSink};
 use serde::{Deserialize, Serialize};
 
 /// Running statistics of a decoder pool.
@@ -46,10 +47,12 @@ impl DecoderPool {
         }
     }
 
+    /// Hardware decoder count.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Decoders currently assigned to in-flight packets.
     pub fn in_use(&self) -> usize {
         self.in_use
     }
@@ -64,10 +67,12 @@ impl DecoderPool {
         self.capacity - self.locked
     }
 
+    /// Decoders free for new packets right now.
     pub fn available(&self) -> usize {
         self.effective_capacity().saturating_sub(self.in_use)
     }
 
+    /// Snapshot of the running statistics.
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
@@ -102,6 +107,53 @@ impl DecoderPool {
         assert!(self.in_use > 0, "decoder released twice");
         self.in_use -= 1;
         self.stats.released += 1;
+    }
+
+    /// [`DecoderPool::try_acquire`] with observability: emits
+    /// [`ObsEvent::DecoderAcquired`] on success or
+    /// [`ObsEvent::PoolFullDrop`] on exhaustion. The caller supplies
+    /// the identifiers the pool doesn't know (`t_us` is the lock-on
+    /// instant, `gw` the gateway index, `tx` the transmission id).
+    pub fn try_acquire_obs(&mut self, t_us: u64, gw: u32, tx: u64, sink: &mut dyn ObsSink) -> bool {
+        let ok = self.try_acquire();
+        if sink.enabled() {
+            if ok {
+                sink.record(&ObsEvent::DecoderAcquired {
+                    t_us,
+                    gw,
+                    tx,
+                    in_use: self.in_use as u32,
+                    capacity: self.capacity as u32,
+                });
+            } else {
+                sink.record(&ObsEvent::PoolFullDrop {
+                    t_us,
+                    gw,
+                    tx,
+                    locked: self.locked as u32,
+                });
+            }
+        }
+        ok
+    }
+
+    /// [`DecoderPool::release`] with observability: emits
+    /// [`ObsEvent::DecoderReleased`]. `t_us` is the release instant
+    /// (the packet's airtime end).
+    ///
+    /// # Panics
+    /// Panics on release without a matching acquire, like
+    /// [`DecoderPool::release`].
+    pub fn release_obs(&mut self, t_us: u64, gw: u32, tx: u64, sink: &mut dyn ObsSink) {
+        self.release();
+        if sink.enabled() {
+            sink.record(&ObsEvent::DecoderReleased {
+                t_us,
+                gw,
+                tx,
+                in_use: self.in_use as u32,
+            });
+        }
     }
 
     /// Reset occupancy, lock-ups and statistics (e.g. between runs).

@@ -10,17 +10,24 @@ use serde::{Deserialize, Serialize};
 /// Semtech baseband chipset families found in COTS gateways.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Chipset {
+    /// First-generation concentrator (8 decoders).
     SX1301,
+    /// Second-generation concentrator (16 decoders).
     SX1302,
+    /// SX1302 variant with fine timestamping.
     SX1303,
+    /// Cost-reduced SX1301 derivative.
     SX1308,
 }
 
 /// Hardware capabilities of a COTS gateway model (one Table 4 row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GatewayProfile {
+    /// Vendor name as listed in Table 4.
     pub manufacturer: &'static str,
+    /// Product model name.
     pub model: &'static str,
+    /// Baseband concentrator chipset.
     pub chipset: Chipset,
     /// Maximum instantaneous Rx spectrum (radio bandwidth B_j), Hz.
     pub rx_spectrum_hz: u32,

@@ -14,6 +14,7 @@ use lora_phy::channel::Channel;
 use lora_phy::interference::detects;
 use lora_phy::snr::decodable;
 use lora_phy::types::SpreadingFactor;
+use obs::{NullSink, ObsEvent, ObsSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -27,6 +28,7 @@ pub struct PacketAtGateway {
     pub network_id: u32,
     /// The sender's channel.
     pub channel: Channel,
+    /// The sender's spreading factor.
     pub sf: SpreadingFactor,
     /// Received signal strength at this gateway, dBm.
     pub rssi_dbm: f64,
@@ -68,17 +70,25 @@ pub enum ReceptionOutcome {
 /// Per-gateway reception statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GatewayStats {
+    /// Transmissions the detector never saw (channel mismatch or weak
+    /// preamble).
     pub not_detected: u64,
+    /// Detected packets dropped because every decoder was busy.
     pub dropped_no_decoder: u64,
+    /// Packets assigned a decoder.
     pub admitted: u64,
+    /// Own-network packets decoded and forwarded.
     pub received: u64,
+    /// Foreign-network packets discarded after decode.
     pub foreign_filtered: u64,
+    /// Admitted packets corrupted by interference.
     pub decode_failed: u64,
 }
 
 /// One simulated COTS gateway.
 #[derive(Debug, Clone)]
 pub struct Gateway {
+    /// Simulator-global gateway index.
     pub id: usize,
     /// The operator that deployed this gateway.
     pub network_id: u32,
@@ -91,6 +101,8 @@ pub struct Gateway {
 }
 
 impl Gateway {
+    /// A gateway of `profile` hardware deployed by operator
+    /// `network_id`, listening on `config`'s channels.
     pub fn new(
         id: usize,
         network_id: u32,
@@ -108,18 +120,22 @@ impl Gateway {
         }
     }
 
+    /// The hardware profile this gateway models.
     pub fn profile(&self) -> &'static GatewayProfile {
         self.profile
     }
 
+    /// The active channel configuration.
     pub fn config(&self) -> &GatewayConfig {
         &self.config
     }
 
+    /// Snapshot of the reception statistics.
     pub fn stats(&self) -> GatewayStats {
         self.stats
     }
 
+    /// The decoder pool (read-only).
     pub fn pool(&self) -> &DecoderPool {
         &self.pool
     }
@@ -158,12 +174,39 @@ impl Gateway {
     /// `lock_on_us` order across all packets — that ordering *is* the
     /// FCFS policy (§3.1 insight 1).
     pub fn on_lock_on(&mut self, pkt: PacketAtGateway) -> LockOnOutcome {
+        self.on_lock_on_obs(pkt, &mut NullSink)
+    }
+
+    /// [`Gateway::on_lock_on`] with observability: decoder
+    /// acquisition/drop events go to `sink`, plus
+    /// [`ObsEvent::StealRefused`] when a contention drop happened while
+    /// foreign-network packets held decoders (preemption would have
+    /// saved the packet; FCFS dispatch never steals).
+    pub fn on_lock_on_obs(
+        &mut self,
+        pkt: PacketAtGateway,
+        sink: &mut dyn ObsSink,
+    ) -> LockOnOutcome {
         if !self.would_detect(&pkt) {
             self.stats.not_detected += 1;
             return LockOnOutcome::NotDetected;
         }
-        if !self.pool.try_acquire() {
+        if !self
+            .pool
+            .try_acquire_obs(pkt.lock_on_us, self.id as u32, pkt.tx_id, sink)
+        {
             self.stats.dropped_no_decoder += 1;
+            if sink.enabled() {
+                let foreign_held = self.foreign_held_decoders();
+                if foreign_held > 0 {
+                    sink.record(&ObsEvent::StealRefused {
+                        t_us: pkt.lock_on_us,
+                        gw: self.id as u32,
+                        tx: pkt.tx_id,
+                        foreign_held: foreign_held as u32,
+                    });
+                }
+            }
             return LockOnOutcome::DroppedNoDecoder;
         }
         self.stats.admitted += 1;
@@ -178,8 +221,20 @@ impl Gateway {
     ///
     /// Returns `None` if the packet was never admitted here.
     pub fn on_tx_end(&mut self, tx_id: u64, phy_ok: bool) -> Option<ReceptionOutcome> {
+        self.on_tx_end_obs(tx_id, phy_ok, &mut NullSink)
+    }
+
+    /// [`Gateway::on_tx_end`] with observability: the decoder release
+    /// event goes to `sink`.
+    pub fn on_tx_end_obs(
+        &mut self,
+        tx_id: u64,
+        phy_ok: bool,
+        sink: &mut dyn ObsSink,
+    ) -> Option<ReceptionOutcome> {
         let pkt = self.active.remove(&tx_id)?;
-        self.pool.release();
+        self.pool
+            .release_obs(pkt.end_us, self.id as u32, tx_id, sink);
         let outcome = if !phy_ok {
             self.stats.decode_failed += 1;
             ReceptionOutcome::DecodeFailed
@@ -368,6 +423,74 @@ mod tests {
         assert_eq!(g.decoders_in_use(), 0);
         // Old channel no longer detected.
         assert_eq!(g.on_lock_on(pkt(1, 1, 0, 10)), LockOnOutcome::NotDetected);
+    }
+
+    #[test]
+    fn obs_events_trace_decoder_lifecycle() {
+        use obs::{ObsEvent, RingSink};
+        let mut g = gw(1);
+        let mut sink = RingSink::new(64);
+        // Fill the pool with foreign packets, then drop an own-network
+        // one: acquire ×16, then PoolFullDrop + StealRefused.
+        for i in 0..16u64 {
+            g.on_lock_on_obs(pkt(i, 2, 0, i), &mut sink);
+        }
+        g.on_lock_on_obs(pkt(99, 1, 0, 50), &mut sink);
+        g.on_tx_end_obs(0, true, &mut sink);
+        let events = sink.events();
+        assert_eq!(events.len(), 19, "16 acquires + drop + refusal + release");
+        assert!(matches!(
+            events[0],
+            ObsEvent::DecoderAcquired {
+                in_use: 1,
+                capacity: 16,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[16],
+            ObsEvent::PoolFullDrop {
+                tx: 99,
+                t_us: 50,
+                ..
+            }
+        ));
+        assert!(
+            matches!(
+                events[17],
+                ObsEvent::StealRefused {
+                    tx: 99,
+                    foreign_held: 16,
+                    ..
+                }
+            ),
+            "all 16 held decoders belong to network 2"
+        );
+        assert!(matches!(
+            events[18],
+            ObsEvent::DecoderReleased {
+                tx: 0,
+                in_use: 15,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn obs_null_sink_matches_plain_path() {
+        // The unobserved entry points delegate through NullSink; stats
+        // must be identical either way.
+        let mut a = gw(1);
+        let mut b = gw(1);
+        let mut null = obs::NullSink;
+        for i in 0..20u64 {
+            a.on_lock_on(pkt(i, 1, 0, i));
+            b.on_lock_on_obs(pkt(i, 1, 0, i), &mut null);
+        }
+        a.on_tx_end(0, true);
+        b.on_tx_end_obs(0, true, &mut null);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.decoders_in_use(), b.decoders_in_use());
     }
 
     #[test]

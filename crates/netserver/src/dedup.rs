@@ -14,6 +14,7 @@
 //! [`DedupOutcome::Late`] and must not be delivered.
 
 use lora_mac::device::DevAddr;
+use obs::{ObsEvent, ObsSink};
 use std::collections::HashMap;
 
 /// A received uplink copy as reported by one gateway.
@@ -29,6 +30,7 @@ pub struct UplinkCopy {
 /// Outcome of offering a copy to the deduplicator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DedupOutcome {
+    // (obs::DedupKind mirrors this enum; keep them in sync.)
     /// First copy of this frame: process it.
     New,
     /// Another gateway's copy of an already-processed frame.
@@ -96,6 +98,26 @@ impl Deduplicator {
             .insert(key, (copy.received_us, copy.snr_db, copy.gw_id));
         self.stats.new += 1;
         DedupOutcome::New
+    }
+
+    /// [`Deduplicator::offer`] with observability: emits one
+    /// [`ObsEvent::Dedup`] carrying the classification.
+    pub fn offer_obs(&mut self, copy: UplinkCopy, sink: &mut dyn ObsSink) -> DedupOutcome {
+        let outcome = self.offer(copy);
+        if sink.enabled() {
+            sink.record(&ObsEvent::Dedup {
+                t_us: copy.received_us,
+                dev: copy.dev_addr.0,
+                fcnt: copy.fcnt as u32,
+                gw: copy.gw_id as u32,
+                outcome: match outcome {
+                    DedupOutcome::New => obs::DedupKind::New,
+                    DedupOutcome::Duplicate => obs::DedupKind::Duplicate,
+                    DedupOutcome::Late => obs::DedupKind::Late,
+                },
+            });
+        }
+        outcome
     }
 
     /// Best (SNR, gateway) seen for a frame, if any copy arrived.
@@ -220,6 +242,34 @@ mod tests {
         // Anchor stayed at 150 000: a fresh frame timestamped within
         // the window of the anchor is still New.
         assert_eq!(d.offer(copy(1, 11, 0, 0.0, 40_000)), DedupOutcome::New);
+    }
+
+    #[test]
+    fn offer_obs_emits_classifications() {
+        use obs::{DedupKind, ObsEvent, RingSink};
+        let mut d = Deduplicator::new(200_000);
+        let mut sink = RingSink::new(8);
+        d.offer_obs(copy(1, 10, 0, -3.0, 0), &mut sink);
+        d.offer_obs(copy(1, 10, 1, 2.0, 50_000), &mut sink);
+        d.offer_obs(copy(1, 11, 0, 0.0, 1_000_000), &mut sink);
+        d.offer_obs(copy(1, 10, 2, 5.0, 90_000), &mut sink); // late
+        let kinds: Vec<DedupKind> = sink
+            .events()
+            .iter()
+            .map(|e| match *e {
+                ObsEvent::Dedup { outcome, .. } => outcome,
+                _ => panic!("only dedup events expected"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DedupKind::New,
+                DedupKind::Duplicate,
+                DedupKind::New,
+                DedupKind::Late
+            ]
+        );
     }
 
     #[test]

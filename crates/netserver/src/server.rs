@@ -55,10 +55,21 @@ impl NetworkServer {
 
     /// Ingest one uplink copy from a gateway.
     pub fn ingest(&mut self, copy: UplinkCopy, log: UplinkLog) -> IngestOutcome {
+        self.ingest_obs(copy, log, &mut obs::NullSink)
+    }
+
+    /// [`NetworkServer::ingest`] with observability: the dedup
+    /// classification of every copy is emitted to `sink`.
+    pub fn ingest_obs(
+        &mut self,
+        copy: UplinkCopy,
+        log: UplinkLog,
+        sink: &mut dyn obs::ObsSink,
+    ) -> IngestOutcome {
         // Operational log is recorded for every copy — the log parser
         // wants per-gateway metadata even for duplicates.
         self.logs.ingest(&log);
-        match self.dedup.offer(copy) {
+        match self.dedup.offer_obs(copy, sink) {
             DedupOutcome::Duplicate => IngestOutcome::Duplicate,
             DedupOutcome::Late => IngestOutcome::Late,
             DedupOutcome::New => {

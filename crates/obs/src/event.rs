@@ -1,0 +1,343 @@
+//! The event taxonomy: one variant per load-bearing moment of a run.
+//!
+//! Events are small `Copy` values — no strings, no heap — so emitting
+//! one on the simulation hot path costs a branch and a few stores.
+//! Identifiers are numeric (`tx` is the simulator-global transmission
+//! id, `gw` the gateway index, `dev` a raw DevAddr) and times are
+//! simulation microseconds, matching the `sim` crate throughout.
+//!
+//! Serialization uses serde's external enum tagging, so a JSONL stream
+//! reads as `{"DecoderAcquired":{"t_us":…,"gw":…,…}}` — one
+//! self-describing object per line. The taxonomy is documented for
+//! consumers in `docs/OBSERVABILITY.md`; adding a variant is a
+//! backwards-compatible schema change (readers ignore unknown tags),
+//! removing or renaming one requires bumping
+//! [`crate::report::RUN_REPORT_VERSION`].
+
+use serde::{Deserialize, Serialize};
+
+/// Why a lost packet was lost — the paper's Fig. 4 taxonomy, mirrored
+/// here so `obs` does not depend on `sim` (the dependency points the
+/// other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Own-network packets exhausted the decoder pool.
+    DecoderIntra,
+    /// Foreign-network packets held the decoders (Fig. 3e/f).
+    DecoderInter,
+    /// Same-channel same-SF collision within the network.
+    ChannelIntra,
+    /// Same-channel same-SF collision with a coexisting network.
+    ChannelInter,
+    /// Below-threshold SNR, cross-SF interference, out of range.
+    Other,
+    /// Injected infrastructure fault (chaos layer).
+    Infrastructure,
+}
+
+/// Server-side deduplication outcome (mirrors
+/// `netserver::dedup::DedupOutcome`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DedupKind {
+    /// First copy of the frame: processed.
+    New,
+    /// Another gateway's copy of an already-processed frame.
+    Duplicate,
+    /// Delayed past the dedup window (faulty backhaul): dropped.
+    Late,
+}
+
+/// Which fault domain a [`ObsEvent::FaultActivated`] window belongs to
+/// (mirrors `chaos::FaultSpec` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Gateway down (crash + reboot window).
+    GatewayCrash,
+    /// Part of a gateway's decoder pool stuck.
+    DecoderLockup,
+    /// Gateway timestamp counter drift.
+    ClockDrift,
+    /// Backhaul datagram loss.
+    BackhaulLoss,
+    /// Backhaul datagram delay.
+    BackhaulDelay,
+    /// Backhaul datagram duplication.
+    BackhaulDuplicate,
+    /// Backhaul datagram reordering.
+    BackhaulReorder,
+    /// Master control plane unreachable.
+    MasterPartition,
+    /// Master responses delayed.
+    MasterSlowResponse,
+}
+
+/// Where a Master-assigned channel plan came from (mirrors
+/// `alphawan::master::PlanSource`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanServed {
+    /// Fetched from the Master on this call.
+    Fresh,
+    /// Served from the local cache while the Master was unreachable —
+    /// the degraded-operation signal.
+    Cached,
+}
+
+/// One observed moment. See the module docs for identifier and time
+/// conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// A transmission's first preamble symbol went on air (medium
+    /// arbitration registers it as a potential interferer).
+    TxStart {
+        /// Event time, simulation µs.
+        t_us: u64,
+        /// Transmission id.
+        tx: u64,
+        /// Sending node index.
+        node: u64,
+        /// Sender's operator/network id.
+        network: u32,
+    },
+    /// A transmission's preamble completed — the FCFS dispatch instant
+    /// at every gateway (§3.1 insight 1). Emitted once per
+    /// transmission; per-gateway admission outcomes follow as decoder
+    /// events.
+    PacketLockOn {
+        /// Lock-on time, simulation µs.
+        t_us: u64,
+        /// Transmission id.
+        tx: u64,
+        /// Sending node index.
+        node: u64,
+        /// Sender's operator/network id.
+        network: u32,
+    },
+    /// A gateway assigned a decoder to the packet.
+    DecoderAcquired {
+        /// Acquisition time, simulation µs.
+        t_us: u64,
+        /// Gateway index.
+        gw: u32,
+        /// Transmission id now holding the decoder.
+        tx: u64,
+        /// Pool occupancy *after* this acquisition.
+        in_use: u32,
+        /// Pool hardware capacity.
+        capacity: u32,
+    },
+    /// A gateway released the decoder a packet was holding.
+    DecoderReleased {
+        /// Release time (the packet's airtime end), simulation µs.
+        t_us: u64,
+        /// Gateway index.
+        gw: u32,
+        /// Transmission id that held the decoder.
+        tx: u64,
+        /// Pool occupancy *after* this release.
+        in_use: u32,
+    },
+    /// A detected packet found every decoder busy and was dropped — the
+    /// decoder-contention loss.
+    PoolFullDrop {
+        /// Drop time (lock-on instant), simulation µs.
+        t_us: u64,
+        /// Gateway index.
+        gw: u32,
+        /// Dropped transmission id.
+        tx: u64,
+        /// Decoders locked up by fault injection at that instant.
+        locked: u32,
+    },
+    /// A pool-full drop happened while foreign-network packets held
+    /// decoders: preemption would have saved the packet, but FCFS
+    /// dispatch never steals a busy decoder (§3.1). Always paired with
+    /// a [`ObsEvent::PoolFullDrop`] at the same instant.
+    StealRefused {
+        /// Drop time, simulation µs.
+        t_us: u64,
+        /// Gateway index.
+        gw: u32,
+        /// Dropped transmission id.
+        tx: u64,
+        /// Foreign-held decoders at that instant.
+        foreign_held: u32,
+    },
+    /// Final per-packet verdict after medium arbitration: delivered to
+    /// at least one own-network gateway, or lost with a cause.
+    PacketOutcome {
+        /// The transmission's airtime end, simulation µs.
+        t_us: u64,
+        /// Transmission id.
+        tx: u64,
+        /// Whether any own-network gateway received it.
+        delivered: bool,
+        /// Loss cause when not delivered.
+        cause: Option<LossKind>,
+    },
+    /// The network server classified an uplink copy.
+    Dedup {
+        /// The copy's reception timestamp, µs.
+        t_us: u64,
+        /// Raw DevAddr of the frame.
+        dev: u32,
+        /// Frame counter.
+        fcnt: u32,
+        /// Reporting gateway id.
+        gw: u32,
+        /// Classification.
+        outcome: DedupKind,
+    },
+    /// One Master TCP connect attempt (inside the retry loop).
+    MasterConnectAttempt {
+        /// 0-based attempt number within this retry sequence.
+        attempt: u32,
+        /// Whether the TCP connect succeeded.
+        ok: bool,
+        /// Backoff delay scheduled *after* this attempt, µs (0 when no
+        /// further attempt follows).
+        backoff_us: u64,
+    },
+    /// A Master RPC failed on an established session and the session is
+    /// being re-established (the resilient client's transport retry).
+    MasterRpcRetry {
+        /// How many sessions this client has established so far.
+        reconnects: u64,
+    },
+    /// The resilient client served a channel plan.
+    MasterPlanServed {
+        /// Fresh from the Master, or degraded to the local cache.
+        source: PlanServed,
+        /// Number of channels in the served plan.
+        channels: u32,
+    },
+    /// A fault-plan entry is scheduled against this run (one event per
+    /// `FaultSpec`, emitted when the plan is registered with the sink).
+    FaultActivated {
+        /// Fault domain.
+        kind: FaultKind,
+        /// Target gateway index, or −1 for faults without one
+        /// (backhaul/Master domains).
+        gw: i64,
+        /// Window start, µs.
+        start_us: u64,
+        /// Window end, µs (`u64::MAX` = until the end of the run).
+        end_us: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The event's timestamp in simulation microseconds, where one
+    /// exists (control-plane events are ordered by emission, not by
+    /// simulation time).
+    pub fn t_us(&self) -> Option<u64> {
+        match *self {
+            ObsEvent::TxStart { t_us, .. }
+            | ObsEvent::PacketLockOn { t_us, .. }
+            | ObsEvent::DecoderAcquired { t_us, .. }
+            | ObsEvent::DecoderReleased { t_us, .. }
+            | ObsEvent::PoolFullDrop { t_us, .. }
+            | ObsEvent::StealRefused { t_us, .. }
+            | ObsEvent::PacketOutcome { t_us, .. }
+            | ObsEvent::Dedup { t_us, .. } => Some(t_us),
+            ObsEvent::MasterConnectAttempt { .. }
+            | ObsEvent::MasterRpcRetry { .. }
+            | ObsEvent::MasterPlanServed { .. }
+            | ObsEvent::FaultActivated { .. } => None,
+        }
+    }
+
+    /// A stable snake_case name for the variant, used as the counter
+    /// key in [`crate::metrics::MetricsSink`] and in reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ObsEvent::TxStart { .. } => "tx_start",
+            ObsEvent::PacketLockOn { .. } => "packet_lock_on",
+            ObsEvent::DecoderAcquired { .. } => "decoder_acquired",
+            ObsEvent::DecoderReleased { .. } => "decoder_released",
+            ObsEvent::PoolFullDrop { .. } => "pool_full_drop",
+            ObsEvent::StealRefused { .. } => "steal_refused",
+            ObsEvent::PacketOutcome { .. } => "packet_outcome",
+            ObsEvent::Dedup { .. } => "dedup",
+            ObsEvent::MasterConnectAttempt { .. } => "master_connect_attempt",
+            ObsEvent::MasterRpcRetry { .. } => "master_rpc_retry",
+            ObsEvent::MasterPlanServed { .. } => "master_plan_served",
+            ObsEvent::FaultActivated { .. } => "fault_activated",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = [
+            ObsEvent::PacketLockOn {
+                t_us: 1_000,
+                tx: 7,
+                node: 3,
+                network: 1,
+            },
+            ObsEvent::DecoderAcquired {
+                t_us: 1_000,
+                gw: 0,
+                tx: 7,
+                in_use: 4,
+                capacity: 16,
+            },
+            ObsEvent::PacketOutcome {
+                t_us: 50_000,
+                tx: 7,
+                delivered: false,
+                cause: Some(LossKind::DecoderInter),
+            },
+            ObsEvent::FaultActivated {
+                kind: FaultKind::GatewayCrash,
+                gw: 2,
+                start_us: 0,
+                end_us: u64::MAX,
+            },
+        ];
+        for ev in events {
+            let s = serde_json::to_string(&ev).unwrap();
+            let back: ObsEvent = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, ev, "{s}");
+        }
+    }
+
+    #[test]
+    fn timestamps_where_expected() {
+        assert_eq!(
+            ObsEvent::Dedup {
+                t_us: 5,
+                dev: 1,
+                fcnt: 2,
+                gw: 0,
+                outcome: DedupKind::New,
+            }
+            .t_us(),
+            Some(5)
+        );
+        assert_eq!(
+            ObsEvent::MasterRpcRetry { reconnects: 1 }.t_us(),
+            None,
+            "control-plane events carry no simulation clock"
+        );
+    }
+
+    #[test]
+    fn kind_names_distinct() {
+        let names = [
+            ObsEvent::TxStart {
+                t_us: 0,
+                tx: 0,
+                node: 0,
+                network: 0,
+            }
+            .kind_name(),
+            ObsEvent::MasterRpcRetry { reconnects: 0 }.kind_name(),
+        ];
+        assert_ne!(names[0], names[1]);
+    }
+}

@@ -1,0 +1,442 @@
+//! A dependency-free metrics registry and the event-stream aggregator.
+//!
+//! [`Registry`] holds named counters, gauges and fixed-bucket
+//! [`Histogram`]s in sorted maps so every snapshot serializes in a
+//! deterministic order. [`MetricsSink`] implements
+//! [`ObsSink`] and folds the raw event stream
+//! into the derived quantities the paper's analysis needs: per-gateway
+//! decoder-occupancy timelines (the quantity behind the decoder
+//! contention losses of Fig. 4), per-gateway utilization, and a
+//! dispatch-latency histogram (how long each decoder was held).
+
+use crate::event::ObsEvent;
+use crate::sink::ObsSink;
+use std::collections::{BTreeMap, HashMap};
+
+/// Default bucket upper bounds (µs) for the dispatch-latency histogram:
+/// spans LoRa airtimes from a short SF7 frame (~50 ms) to a max-length
+/// SF12 frame (~3 s).
+pub const DISPATCH_LATENCY_BOUNDS_US: [u64; 8] = [
+    25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000,
+];
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets use upper-inclusive bounds (Prometheus `le` semantics): a
+/// sample lands in the first bucket whose bound is ≥ the sample; samples
+/// above the last bound land in the implicit overflow bucket, so
+/// `counts` has `bounds.len() + 1` entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly-increasing upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// Named counters, gauges and histograms with deterministic iteration
+/// order (sorted by name).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Read counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Read gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record `v` into histogram `name`, creating it with `bounds` on
+    /// first use.
+    pub fn observe(&mut self, name: &str, bounds: &[u64], v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Read histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Per-gateway occupancy bookkeeping derived from decoder events.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayOccupancy {
+    /// Pool capacity as reported by acquisition events.
+    pub capacity: u32,
+    /// Step function of pool occupancy: (time µs, decoders in use
+    /// *after* the event). Consecutive events at one instant each get a
+    /// point; plotters draw steps.
+    pub timeline: Vec<(u64, u32)>,
+    /// Highest occupancy observed.
+    pub peak_in_use: u32,
+    /// ∫ in_use dt over the observed span, in decoder-µs.
+    busy_integral: u128,
+    /// Observed span: sum of forward inter-event gaps, in µs. One
+    /// sink may aggregate several runs whose simulation clocks each
+    /// restart at zero; a backwards time jump contributes nothing to
+    /// either integral, so utilization stays a true busy fraction.
+    observed_us: u128,
+    first_t: Option<u64>,
+    last_t: u64,
+    last_in_use: u32,
+}
+
+impl GatewayOccupancy {
+    fn step(&mut self, t_us: u64, in_use: u32) {
+        if self.first_t.is_none() {
+            self.first_t = Some(t_us);
+        } else {
+            let dt = t_us.saturating_sub(self.last_t);
+            self.busy_integral += dt as u128 * self.last_in_use as u128;
+            self.observed_us += dt as u128;
+        }
+        self.last_t = t_us;
+        self.last_in_use = in_use;
+        self.peak_in_use = self.peak_in_use.max(in_use);
+        self.timeline.push((t_us, in_use));
+    }
+
+    /// Mean fraction of the pool busy over the observed span
+    /// (`∫ in_use dt / (capacity · span)`), 0 when nothing was observed.
+    pub fn utilization(&self) -> f64 {
+        if self.observed_us == 0 || self.capacity == 0 {
+            return 0.0;
+        }
+        self.busy_integral as f64 / (self.capacity as f64 * self.observed_us as f64)
+    }
+}
+
+/// An [`ObsSink`] that aggregates the event stream into a [`Registry`]
+/// plus per-gateway occupancy state. Attach it (directly, behind a
+/// [`SharedSink`](crate::sink::SharedSink), or teed with a
+/// [`JsonlSink`](crate::sink::JsonlSink)) and read the results back as
+/// a [`RunReport`](crate::report::RunReport) via
+/// [`RunReport::from_metrics`](crate::report::RunReport::from_metrics).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    registry: Registry,
+    gateways: BTreeMap<u32, GatewayOccupancy>,
+    /// Acquisition instant of each decoder currently held, keyed by
+    /// (gateway, transmission) — feeds the dispatch-latency histogram.
+    held: HashMap<(u32, u64), u64>,
+    events: u64,
+}
+
+impl MetricsSink {
+    /// An empty aggregator.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The aggregated registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Per-gateway occupancy state, keyed by gateway index.
+    pub fn gateways(&self) -> &BTreeMap<u32, GatewayOccupancy> {
+        &self.gateways
+    }
+}
+
+impl ObsSink for MetricsSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        self.events += 1;
+        self.registry.inc(ev.kind_name(), 1);
+        match *ev {
+            ObsEvent::DecoderAcquired {
+                t_us,
+                gw,
+                tx,
+                in_use,
+                capacity,
+            } => {
+                let occ = self.gateways.entry(gw).or_default();
+                occ.capacity = capacity;
+                occ.step(t_us, in_use);
+                self.held.insert((gw, tx), t_us);
+            }
+            ObsEvent::DecoderReleased {
+                t_us,
+                gw,
+                tx,
+                in_use,
+            } => {
+                let occ = self.gateways.entry(gw).or_default();
+                occ.step(t_us, in_use);
+                if let Some(t0) = self.held.remove(&(gw, tx)) {
+                    self.registry.observe(
+                        "dispatch_latency_us",
+                        &DISPATCH_LATENCY_BOUNDS_US,
+                        t_us.saturating_sub(t0),
+                    );
+                }
+            }
+            ObsEvent::PacketOutcome {
+                delivered, cause, ..
+            } => {
+                if delivered {
+                    self.registry.inc("delivered", 1);
+                } else {
+                    self.registry.inc("lost", 1);
+                    if let Some(kind) = cause {
+                        self.registry.inc(&format!("loss_{kind:?}"), 1);
+                    }
+                }
+            }
+            ObsEvent::Dedup { outcome, .. } => {
+                self.registry.inc(&format!("dedup_{outcome:?}"), 1);
+            }
+            ObsEvent::MasterPlanServed { source, .. } => {
+                self.registry.inc(&format!("master_plan_{source:?}"), 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DedupKind, LossKind};
+
+    #[test]
+    fn histogram_bucket_edges_are_upper_inclusive() {
+        let mut h = Histogram::new(&[10, 20]);
+        h.observe(0); // first bucket
+        h.observe(10); // exactly on the first bound → first bucket
+        h.observe(11); // second bucket
+        h.observe(20); // exactly on the last bound → second bucket
+        h.observe(21); // overflow
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.sum(), 62);
+        assert!((h.mean() - 12.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_single_bucket_and_overflow() {
+        let mut h = Histogram::new(&[5]);
+        h.observe(5);
+        h.observe(6);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_empty_bounds() {
+        Histogram::new(&[]);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let mut r = Registry::new();
+        r.inc("a", 2);
+        r.inc("a", 3);
+        r.set_gauge("g", 1.5);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a"], "sorted, deterministic iteration");
+    }
+
+    fn acquire(t: u64, gw: u32, tx: u64, in_use: u32) -> ObsEvent {
+        ObsEvent::DecoderAcquired {
+            t_us: t,
+            gw,
+            tx,
+            in_use,
+            capacity: 16,
+        }
+    }
+
+    fn release(t: u64, gw: u32, tx: u64, in_use: u32) -> ObsEvent {
+        ObsEvent::DecoderReleased {
+            t_us: t,
+            gw,
+            tx,
+            in_use,
+        }
+    }
+
+    #[test]
+    fn occupancy_timeline_and_utilization() {
+        let mut m = MetricsSink::new();
+        // One decoder busy from t=0 to t=100, then two from 100..200,
+        // then zero: ∫ in_use dt = 1·100 + 2·100 = 300 decoder-µs over
+        // a 200 µs span of a 16-decoder pool.
+        m.record(&acquire(0, 0, 1, 1));
+        m.record(&acquire(100, 0, 2, 2));
+        m.record(&release(200, 0, 1, 1));
+        m.record(&release(200, 0, 2, 0));
+        let occ = &m.gateways()[&0];
+        assert_eq!(occ.timeline, vec![(0, 1), (100, 2), (200, 1), (200, 0)]);
+        assert_eq!(occ.peak_in_use, 2);
+        assert!((occ.utilization() - 300.0 / (16.0 * 200.0)).abs() < 1e-12);
+        // Dispatch latency: tx 1 held 200 µs, tx 2 held 100 µs.
+        let h = m.registry().histogram("dispatch_latency_us").unwrap();
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.sum(), 300);
+    }
+
+    #[test]
+    fn utilization_survives_clock_restarts() {
+        // One sink fed by two runs whose simulation clocks both start
+        // near zero (the bench harness aggregates a whole process).
+        // The backwards jump between runs must not inflate utilization
+        // past the true busy fraction.
+        let mut m = MetricsSink::new();
+        for _run in 0..2 {
+            m.record(&acquire(1_000, 0, 1, 1));
+            m.record(&release(2_000, 0, 1, 0));
+        }
+        let occ = &m.gateways()[&0];
+        // Each run: 1 decoder busy for 1 000 of 1 000 observed µs.
+        assert!((occ.utilization() - 2_000.0 / (16.0 * 2_000.0)).abs() < 1e-12);
+        assert!(occ.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn outcome_and_dedup_counters() {
+        let mut m = MetricsSink::new();
+        m.record(&ObsEvent::PacketOutcome {
+            t_us: 1,
+            tx: 0,
+            delivered: true,
+            cause: None,
+        });
+        m.record(&ObsEvent::PacketOutcome {
+            t_us: 2,
+            tx: 1,
+            delivered: false,
+            cause: Some(LossKind::DecoderInter),
+        });
+        m.record(&ObsEvent::Dedup {
+            t_us: 3,
+            dev: 1,
+            fcnt: 0,
+            gw: 0,
+            outcome: DedupKind::Late,
+        });
+        assert_eq!(m.registry().counter("delivered"), 1);
+        assert_eq!(m.registry().counter("lost"), 1);
+        assert_eq!(m.registry().counter("loss_DecoderInter"), 1);
+        assert_eq!(m.registry().counter("dedup_Late"), 1);
+        assert_eq!(m.registry().counter("packet_outcome"), 2);
+        assert_eq!(m.events(), 3);
+    }
+}

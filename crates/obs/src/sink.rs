@@ -1,0 +1,349 @@
+//! Event sinks: where [`ObsEvent`]s go.
+//!
+//! The contract is built for the simulation hot path: call sites guard
+//! event construction behind [`ObsSink::enabled`], so an instrumented
+//! run with a [`NullSink`] pays one predictable branch per potential
+//! event and allocates nothing (the `obs_overhead` bench in the `bench`
+//! crate holds this within noise of the uninstrumented engine).
+//!
+//! Sinks are deliberately single-threaded (`&mut self`); the simulator
+//! is deterministic and sequential, and keeping sinks lock-free is part
+//! of keeping them free. Share one across owners with [`SharedSink`].
+
+use crate::event::ObsEvent;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+/// A destination for observability events.
+pub trait ObsSink {
+    /// Whether this sink wants events at all. Call sites use this to
+    /// skip event construction entirely; `false` makes instrumentation
+    /// free.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event. Implementations must be deterministic: the
+    /// same event sequence must produce the same observable state
+    /// (buffer contents, bytes on disk) on every run.
+    fn record(&mut self, ev: &ObsEvent);
+
+    /// Flush any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// The do-nothing sink: reports itself disabled so instrumented call
+/// sites skip event construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: &ObsEvent) {}
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` events,
+/// overwriting the oldest on wraparound (a flight recorder).
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: Vec<ObsEvent>,
+    capacity: usize,
+    /// Index the next event will be written to once the ring is full.
+    head: usize,
+    total: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "a zero-capacity ring records nothing");
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Events recorded over the sink's lifetime (including overwritten
+    /// ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            // `head` points at the oldest retained event once full.
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+impl ObsSink for RingSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.head] = *ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+}
+
+/// A file sink writing one JSON object per line (JSONL). Output is
+/// buffered; [`ObsSink::flush`] or drop forces it to disk.
+///
+/// The byte stream is a pure function of the event sequence — no
+/// timestamps of its own, no map iteration — so two same-seed runs
+/// produce byte-identical files (asserted by the workspace's
+/// `obs_determinism` integration test).
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    written: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+            written: 0,
+        })
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl ObsSink for JsonlSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        // Serialization of a Copy event cannot fail; file trouble is
+        // surfaced on flush/drop, not per event.
+        if let Ok(line) = serde_json::to_string(ev) {
+            let _ = self.out.write_all(line.as_bytes());
+            let _ = self.out.write_all(b"\n");
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Fans every event out to two sinks (compose for more).
+#[derive(Debug, Default)]
+pub struct TeeSink<A: ObsSink, B: ObsSink>(pub A, pub B);
+
+impl<A: ObsSink, B: ObsSink> ObsSink for TeeSink<A, B> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn record(&mut self, ev: &ObsEvent) {
+        self.0.record(ev);
+        self.1.record(ev);
+    }
+
+    fn flush(&mut self) {
+        self.0.flush();
+        self.1.flush();
+    }
+}
+
+/// A shared handle to a sink, so the producer (e.g. a `SimWorld`
+/// holding a boxed sink) and the consumer (the harness reading metrics
+/// back out) can both reach it. Single-threaded by design, like every
+/// sink.
+#[derive(Debug)]
+pub struct SharedSink<S: ObsSink>(Rc<RefCell<S>>);
+
+impl<S: ObsSink> SharedSink<S> {
+    /// Wrap `sink` for shared access.
+    pub fn new(sink: S) -> SharedSink<S> {
+        SharedSink(Rc::new(RefCell::new(sink)))
+    }
+
+    /// A second handle to the same sink.
+    pub fn handle(&self) -> SharedSink<S> {
+        SharedSink(Rc::clone(&self.0))
+    }
+
+    /// Run `f` with shared (read) access to the sink.
+    pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Run `f` with exclusive access to the sink.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl<S: ObsSink> Clone for SharedSink<S> {
+    fn clone(&self) -> SharedSink<S> {
+        self.handle()
+    }
+}
+
+impl<S: ObsSink> ObsSink for SharedSink<S> {
+    fn enabled(&self) -> bool {
+        self.0.borrow().enabled()
+    }
+
+    fn record(&mut self, ev: &ObsEvent) {
+        self.0.borrow_mut().record(ev);
+    }
+
+    fn flush(&mut self) {
+        self.0.borrow_mut().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> ObsEvent {
+        ObsEvent::PacketLockOn {
+            t_us: t,
+            tx: t,
+            node: 0,
+            network: 1,
+        }
+    }
+
+    #[test]
+    fn null_sink_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(&ev(1)); // harmless
+    }
+
+    #[test]
+    fn ring_before_wraparound_keeps_order() {
+        let mut r = RingSink::new(4);
+        for t in 0..3 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 3);
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_us().unwrap()).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_first() {
+        let mut r = RingSink::new(3);
+        for t in 0..7 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 7);
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_us().unwrap()).collect();
+        assert_eq!(ts, vec![4, 5, 6], "oldest-first after two wraps");
+    }
+
+    #[test]
+    fn ring_exact_fill_boundary() {
+        // Exactly `capacity` events: full but not yet wrapped.
+        let mut r = RingSink::new(3);
+        for t in 0..3 {
+            r.record(&ev(t));
+        }
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_us().unwrap()).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+        // One more: the single oldest event is replaced.
+        r.record(&ev(3));
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_us().unwrap()).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn ring_zero_capacity_panics() {
+        RingSink::new(0);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut t = TeeSink(RingSink::new(8), RingSink::new(8));
+        t.record(&ev(1));
+        assert_eq!(t.0.len(), 1);
+        assert_eq!(t.1.len(), 1);
+    }
+
+    #[test]
+    fn tee_with_null_stays_enabled() {
+        let t = TeeSink(NullSink, RingSink::new(1));
+        assert!(t.enabled());
+        let t = TeeSink(NullSink, NullSink);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn shared_sink_handles_see_same_buffer() {
+        let shared = SharedSink::new(RingSink::new(8));
+        let mut producer: SharedSink<RingSink> = shared.handle();
+        producer.record(&ev(9));
+        assert_eq!(shared.with(|r| r.len()), 1);
+        shared.with_mut(|r| r.record(&ev(10)));
+        assert_eq!(producer.with(|r| r.total_recorded()), 2);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("obs_sink_test");
+        let path = dir.join("events.jsonl");
+        {
+            let mut s = JsonlSink::create(&path).unwrap();
+            s.record(&ev(1));
+            s.record(&ev(2));
+            assert_eq!(s.written(), 2);
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{')));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,12 +15,19 @@ use lora_phy::types::{Bandwidth, DataRate, TxPowerDbm};
 /// One scheduled downlink emission.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DownlinkTx {
+    /// Transmitting gateway index.
     pub gw: usize,
+    /// Node the downlink is addressed to.
     pub target_node: usize,
+    /// Downlink channel.
     pub channel: Channel,
+    /// Downlink data rate.
     pub dr: DataRate,
+    /// Gateway Tx power.
     pub power: TxPowerDbm,
+    /// Emission start, µs.
     pub start_us: u64,
+    /// On-air duration, µs.
     pub airtime_us: u64,
 }
 

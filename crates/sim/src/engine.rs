@@ -13,14 +13,24 @@ use std::collections::BinaryHeap;
 pub enum Event {
     /// The packet's first preamble symbol goes on air: interference
     /// registration.
-    TxStart { tx_id: u64 },
+    TxStart {
+        /// Transmission the event belongs to.
+        tx_id: u64,
+    },
     /// The packet's preamble completes: gateways lock on (or drop).
-    LockOn { tx_id: u64 },
+    LockOn {
+        /// Transmission the event belongs to.
+        tx_id: u64,
+    },
     /// The packet's airtime ends: decoders release, verdicts are made.
-    TxEnd { tx_id: u64 },
+    TxEnd {
+        /// Transmission the event belongs to.
+        tx_id: u64,
+    },
 }
 
 impl Event {
+    /// The transmission this event belongs to.
     pub fn tx_id(&self) -> u64 {
         match *self {
             Event::TxStart { tx_id } | Event::LockOn { tx_id } | Event::TxEnd { tx_id } => tx_id,
@@ -69,6 +79,7 @@ pub struct EventQueue {
 }
 
 impl EventQueue {
+    /// An empty queue.
     pub fn new() -> EventQueue {
         EventQueue::default()
     }
@@ -83,10 +94,12 @@ impl EventQueue {
         self.heap.pop().map(|s| (s.at_us, s.event))
     }
 
+    /// Events still scheduled.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
+    /// Whether no event remains.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

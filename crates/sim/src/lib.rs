@@ -19,6 +19,12 @@
 //! * [`faults`] — the infrastructure-fault hook the `chaos` crate plugs
 //!   into, so gateway crashes and decoder lock-ups can be injected into
 //!   a run without `sim` depending on the fault-injection layer.
+//!
+//! Attach an [`obs`] sink with [`world::SimWorld::set_obs_sink`] to
+//! stream typed events (lock-ons, decoder churn, per-packet outcomes)
+//! out of a run; see `docs/OBSERVABILITY.md`.
+
+#![deny(missing_docs)]
 
 pub mod downlink;
 pub mod engine;

@@ -8,10 +8,15 @@ use std::collections::HashMap;
 /// Counts per loss cause.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LossBreakdown {
+    /// Decoder contention against the packet's own network.
     pub decoder_intra: u64,
+    /// Decoder contention against coexisting networks.
     pub decoder_inter: u64,
+    /// Same-settings collisions within the packet's own network.
     pub channel_intra: u64,
+    /// Same-settings collisions with coexisting networks.
     pub channel_inter: u64,
+    /// SNR / interference / out-of-range losses.
     pub other: u64,
     /// Losses caused by injected infrastructure faults (gateway
     /// crashes, decoder lock-ups) — separates "lost to contention"
@@ -21,6 +26,7 @@ pub struct LossBreakdown {
 }
 
 impl LossBreakdown {
+    /// Total losses across all causes.
     pub fn total(&self) -> u64 {
         self.decoder_intra
             + self.decoder_inter
@@ -30,6 +36,7 @@ impl LossBreakdown {
             + self.infrastructure
     }
 
+    /// Count one loss of the given cause.
     pub fn add(&mut self, cause: LossCause) {
         match cause {
             LossCause::DecoderContentionIntra => self.decoder_intra += 1,
@@ -61,8 +68,11 @@ impl LossBreakdown {
 /// Aggregate metrics of one run (optionally filtered to one network).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
+    /// Packets transmitted.
     pub sent: u64,
+    /// Packets received by at least one own-network gateway.
     pub delivered: u64,
+    /// Losses by cause.
     pub losses: LossBreakdown,
     /// Delivered application payload, bytes.
     pub delivered_payload_bytes: u64,

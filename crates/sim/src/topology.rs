@@ -14,11 +14,14 @@ use serde::{Deserialize, Serialize};
 /// A position in meters within the deployment area.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Pos {
+    /// East-west coordinate, m.
     pub x_m: f64,
+    /// North-south coordinate, m.
     pub y_m: f64,
 }
 
 impl Pos {
+    /// Euclidean distance to `other`, m.
     pub fn dist_m(&self, other: &Pos) -> f64 {
         ((self.x_m - other.x_m).powi(2) + (self.y_m - other.y_m).powi(2)).sqrt()
     }
@@ -28,9 +31,13 @@ impl Pos {
 /// per-link path loss.
 #[derive(Debug, Clone)]
 pub struct Topology {
+    /// Deployment area (width, height), m.
     pub area_m: (f64, f64),
+    /// Node positions.
     pub nodes: Vec<Pos>,
+    /// Gateway positions.
     pub gateways: Vec<Pos>,
+    /// The path-loss model links were sampled from.
     pub model: PathLossModel,
     /// `loss_db[node][gw]`, shadowing included.
     pub loss_db: Vec<Vec<f64>>,

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 /// One recorded packet observation at one site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecord {
+    /// Site the observation was collected at.
     pub site: usize,
     /// SNR per gateway, dB (NaN-free; unreachable gateways omitted by
     /// clamping to a floor far below any demod threshold).
@@ -28,7 +29,9 @@ pub struct TraceRecord {
 /// A pool of packet traces collected from a fixed set of sites.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TracePool {
+    /// Gateway count every record's `snr_per_gw` is indexed by.
     pub n_gateways: usize,
+    /// The collected observations.
     pub records: Vec<TraceRecord>,
 }
 
@@ -87,10 +90,12 @@ impl TracePool {
         }
     }
 
+    /// Number of trace records in the pool.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
+    /// Whether the pool holds no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }

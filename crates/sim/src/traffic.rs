@@ -16,8 +16,11 @@ use rand::{Rng, SeedableRng};
 /// One planned transmission.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxPlan {
+    /// Sending node index.
     pub node: usize,
+    /// Uplink channel.
     pub channel: Channel,
+    /// Uplink data rate.
     pub dr: DataRate,
     /// Transmission start (first preamble symbol), µs.
     pub start_us: u64,

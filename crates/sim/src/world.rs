@@ -32,19 +32,29 @@ use lora_phy::interference::{
 };
 use lora_phy::snr::{decodable, noise_floor_dbm};
 use lora_phy::types::{Bandwidth, DataRate, TxPowerDbm};
+use obs::{NullSink, ObsEvent, ObsSink};
 use serde::{Deserialize, Serialize};
 
 /// A materialized transmission (a [`TxPlan`] with computed airtime).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transmission {
+    /// Simulator-global transmission id (index into the plan list).
     pub id: u64,
+    /// Sending node index.
     pub node: usize,
+    /// Operator/network of the sender.
     pub network_id: u32,
+    /// Uplink channel.
     pub channel: Channel,
+    /// Uplink data rate.
     pub dr: DataRate,
+    /// First preamble symbol on air, µs.
     pub start_us: u64,
+    /// Preamble end (gateway lock-on instant), µs.
     pub lock_on_us: u64,
+    /// Airtime end, µs.
     pub end_us: u64,
+    /// PHY payload length, bytes.
     pub payload_len: usize,
 }
 
@@ -52,9 +62,13 @@ pub struct Transmission {
 /// layer's infrastructure bucket).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LossCause {
+    /// Own-network packets exhausted the decoder pool.
     DecoderContentionIntra,
+    /// Foreign-network packets held the decoders (Fig. 3e/f).
     DecoderContentionInter,
+    /// Same-channel same-SF collision within the network.
     ChannelContentionIntra,
+    /// Same-channel same-SF collision with a coexisting network.
     ChannelContentionInter,
     /// Interference, poor SNR, out of range, …
     Other,
@@ -65,20 +79,45 @@ pub enum LossCause {
     Infrastructure,
 }
 
+impl LossCause {
+    /// The observability mirror of this cause (`obs` is a leaf crate
+    /// and defines its own copy of the taxonomy).
+    pub fn obs_kind(self) -> obs::LossKind {
+        match self {
+            LossCause::DecoderContentionIntra => obs::LossKind::DecoderIntra,
+            LossCause::DecoderContentionInter => obs::LossKind::DecoderInter,
+            LossCause::ChannelContentionIntra => obs::LossKind::ChannelIntra,
+            LossCause::ChannelContentionInter => obs::LossKind::ChannelInter,
+            LossCause::Other => obs::LossKind::Other,
+            LossCause::Infrastructure => obs::LossKind::Infrastructure,
+        }
+    }
+}
+
 /// Per-packet outcome of a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PacketRecord {
+    /// Transmission id.
     pub tx_id: u64,
+    /// Sending node index.
     pub node: usize,
+    /// Operator/network of the sender.
     pub network_id: u32,
+    /// Uplink channel.
     pub channel: Channel,
+    /// Uplink data rate.
     pub dr: DataRate,
+    /// First preamble symbol on air, µs.
     pub start_us: u64,
+    /// Airtime end, µs.
     pub end_us: u64,
+    /// PHY payload length, bytes.
     pub payload_len: usize,
+    /// Whether at least one own-network gateway received the packet.
     pub delivered: bool,
     /// Gateways (by index) that successfully received the packet.
     pub receiving_gateways: Vec<usize>,
+    /// Loss cause when not delivered.
     pub cause: Option<LossCause>,
 }
 
@@ -112,7 +151,9 @@ enum Verdict {
 
 /// The simulation world.
 pub struct SimWorld {
+    /// Deployment geometry and frozen link losses.
     pub topo: Topology,
+    /// The gateways under simulation.
     pub gateways: Vec<Gateway>,
     /// Operator of each node.
     pub node_network: Vec<u32>,
@@ -124,6 +165,8 @@ pub struct SimWorld {
     /// paper evaluates CIC ("we apply the same decoder resource
     /// constraints of COTS gateways to CIC", §5.2.1).
     pub cic: bool,
+    /// Attached observability sink, if any ([`SimWorld::set_obs_sink`]).
+    obs: Option<Box<dyn ObsSink>>,
 }
 
 impl SimWorld {
@@ -137,7 +180,21 @@ impl SimWorld {
             node_network,
             node_power: vec![TxPowerDbm(14.0); n],
             cic: false,
+            obs: None,
         }
+    }
+
+    /// Attach an observability sink: subsequent runs stream typed
+    /// [`ObsEvent`]s into it (transmission starts, lock-ons, decoder
+    /// acquire/release/drops, per-packet outcomes). Use
+    /// [`obs::SharedSink`] to keep a reading handle outside the world.
+    pub fn set_obs_sink(&mut self, sink: Box<dyn ObsSink>) {
+        self.obs = Some(sink);
+    }
+
+    /// Detach and return the current observability sink, if any.
+    pub fn take_obs_sink(&mut self) -> Option<Box<dyn ObsSink>> {
+        self.obs.take()
     }
 
     /// Reset gateway pipelines and stats between runs.
@@ -193,6 +250,15 @@ impl SimWorld {
             queue.push(t.end_us, Event::TxEnd { tx_id: t.id });
         }
 
+        // Take the sink out of `self` for the duration of the run so the
+        // event loop can borrow gateways mutably alongside it.
+        let mut taken = self.obs.take();
+        let mut null = NullSink;
+        let sink: &mut dyn ObsSink = match taken.as_deref_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+
         // Interference registration: ids of spectrally-overlapping
         // transmissions whose airtime intersects each transmission's.
         let mut interferers: Vec<Vec<u64>> = vec![Vec::new(); txs.len()];
@@ -205,6 +271,14 @@ impl SimWorld {
             match ev {
                 Event::TxStart { tx_id } => {
                     let t = &txs[tx_id as usize];
+                    if sink.enabled() {
+                        sink.record(&ObsEvent::TxStart {
+                            t_us: t.start_us,
+                            tx: t.id,
+                            node: t.node as u64,
+                            network: t.network_id,
+                        });
+                    }
                     for &o_id in &on_air {
                         let o = &txs[o_id as usize];
                         if o.node != t.node && overlap_ratio(&t.channel, &o.channel) > 0.0 {
@@ -217,6 +291,14 @@ impl SimWorld {
                 Event::LockOn { tx_id } => {
                     let t = &txs[tx_id as usize];
                     let now = t.lock_on_us;
+                    if sink.enabled() {
+                        sink.record(&ObsEvent::PacketLockOn {
+                            t_us: now,
+                            tx: t.id,
+                            node: t.node as u64,
+                            network: t.network_id,
+                        });
+                    }
                     for (g_idx, g) in self.gateways.iter_mut().enumerate() {
                         let pkt = packet_at(&self.topo, &self.node_power, t, g_idx);
                         if faults.gateway_down(g_idx, now) {
@@ -229,7 +311,7 @@ impl SimWorld {
                             continue;
                         }
                         g.set_locked_decoders(faults.locked_decoders(g_idx, now));
-                        match g.on_lock_on(pkt) {
+                        match g.on_lock_on_obs(pkt, sink) {
                             LockOnOutcome::Admitted => {
                                 seen[tx_id as usize].push((g_idx, Seen::Admitted));
                             }
@@ -253,12 +335,21 @@ impl SimWorld {
                 }
                 Event::TxEnd { tx_id } => {
                     on_air.retain(|&id| id != tx_id);
-                    let record =
-                        self.finish_tx(&txs, tx_id, &seen[tx_id as usize], &interferers, faults);
+                    let record = self.finish_tx(
+                        &txs,
+                        tx_id,
+                        &seen[tx_id as usize],
+                        &interferers,
+                        faults,
+                        sink,
+                    );
                     records[tx_id as usize] = Some(record);
                 }
             }
         }
+
+        sink.flush();
+        self.obs = taken;
 
         records
             .into_iter()
@@ -274,6 +365,7 @@ impl SimWorld {
         seen: &[(usize, Seen)],
         interferers: &[Vec<u64>],
         faults: &dyn crate::faults::InfraFaults,
+        sink: &mut dyn ObsSink,
     ) -> PacketRecord {
         let t = &txs[tx_id as usize];
         let mut receiving = Vec::new();
@@ -291,7 +383,7 @@ impl SimWorld {
                 let crashed_mid_rx = faults.gateway_down_during(g_idx, t.lock_on_us, t.end_us);
                 let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
                 if let Some(gateway::radio::ReceptionOutcome::Received) =
-                    self.gateways[g_idx].on_tx_end(tx_id, phy_ok)
+                    self.gateways[g_idx].on_tx_end_obs(tx_id, phy_ok, sink)
                 {
                     receiving.push(g_idx);
                 }
@@ -353,6 +445,15 @@ impl SimWorld {
             let _ = own_detected; // either undetected or SNR/interference
             Some(LossCause::Other)
         };
+
+        if sink.enabled() {
+            sink.record(&ObsEvent::PacketOutcome {
+                t_us: t.end_us,
+                tx: tx_id,
+                delivered,
+                cause: cause.map(LossCause::obs_kind),
+            });
+        }
 
         PacketRecord {
             tx_id,
@@ -739,6 +840,60 @@ mod tests {
             foreign_filtered, 0,
             "misaligned packets never entered the pipeline"
         );
+    }
+
+    #[test]
+    fn obs_sink_sees_full_event_stream() {
+        use obs::{MetricsSink, SharedSink};
+        // Same 20-user burst as `sixteen_cap_single_gateway`, observed.
+        let shared = SharedSink::new(MetricsSink::new());
+        let mut w = clean_world(20, &[1]);
+        w.set_obs_sink(Box::new(shared.handle()));
+        let plans = concurrent_burst(
+            &orthogonal_assignments(20),
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
+        let recs = w.run(&plans);
+        assert_eq!(recs.iter().filter(|r| r.delivered).count(), 16);
+        shared.with(|m| {
+            let reg = m.registry();
+            assert_eq!(reg.counter("tx_start"), 20);
+            assert_eq!(reg.counter("packet_lock_on"), 20);
+            assert_eq!(reg.counter("decoder_acquired"), 16);
+            assert_eq!(reg.counter("decoder_released"), 16);
+            assert_eq!(reg.counter("pool_full_drop"), 4);
+            assert_eq!(reg.counter("delivered"), 16);
+            assert_eq!(reg.counter("loss_DecoderIntra"), 4);
+            let occ = &m.gateways()[&0];
+            assert_eq!(occ.peak_in_use, 16, "the pool saturated");
+            assert_eq!(occ.capacity, 16);
+            let h = reg.histogram("dispatch_latency_us").unwrap();
+            assert_eq!(h.total(), 16, "one hold-time sample per admission");
+        });
+        // The sink survives the run and can be detached.
+        assert!(w.take_obs_sink().is_some());
+        assert!(w.take_obs_sink().is_none());
+    }
+
+    #[test]
+    fn obs_instrumented_run_matches_unobserved() {
+        // Identical records with and without a sink attached.
+        let plans = concurrent_burst(
+            &orthogonal_assignments(20),
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
+        let mut plain = clean_world(20, &[1]);
+        let recs_plain = plain.run(&plans);
+        let mut observed = clean_world(20, &[1]);
+        observed.set_obs_sink(Box::new(obs::RingSink::new(1024)));
+        let recs_obs = observed.run(&plans);
+        assert_eq!(recs_plain, recs_obs);
     }
 
     #[test]

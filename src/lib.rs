@@ -12,4 +12,5 @@ pub use gateway;
 pub use lora_mac;
 pub use lora_phy;
 pub use netserver;
+pub use obs;
 pub use sim;
