@@ -41,17 +41,20 @@ impl MasterClient {
         addr: SocketAddr,
         policy: &BackoffPolicy,
     ) -> io::Result<MasterClient> {
-        MasterClient::connect_with_retry_obs(addr, policy, &mut obs::NullSink)
+        MasterClient::connect_with_retry_obs(addr, policy, 0, &mut obs::NullSink)
     }
 
     /// [`MasterClient::connect_with_retry`] with observability: one
     /// [`obs::ObsEvent::MasterConnectAttempt`] per TCP attempt,
-    /// carrying the backoff delay scheduled after it (0 on the final
-    /// attempt). Events carry no wall-clock time, so retry histories
-    /// are comparable across runs.
+    /// carrying the control-plane `trace` of the plan request driving
+    /// the sequence ([`obs::control_trace`]; 0 = untraced) and the
+    /// backoff delay scheduled after it (0 on the final attempt).
+    /// Events carry no wall-clock time, so retry histories are
+    /// comparable across runs.
     pub fn connect_with_retry_obs(
         addr: SocketAddr,
         policy: &BackoffPolicy,
+        trace: u64,
         sink: &mut dyn obs::ObsSink,
     ) -> io::Result<MasterClient> {
         let attempts = policy.max_attempts.max(1);
@@ -61,6 +64,7 @@ impl MasterClient {
             let retrying = attempt + 1 < attempts && result.is_err();
             if sink.enabled() {
                 sink.record(&obs::ObsEvent::MasterConnectAttempt {
+                    trace,
                     attempt,
                     ok: result.is_ok(),
                     backoff_us: if retrying {

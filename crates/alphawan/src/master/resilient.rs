@@ -32,7 +32,25 @@ pub struct ResilientMasterClient {
     session: Option<(MasterClient, usize)>,
     cached_plan: Option<Vec<Channel>>,
     reconnects: u64,
+    /// Plan requests issued so far; each mints one control-plane trace
+    /// ([`obs::control_trace`]) shared by the connect attempts, RPC
+    /// retries and the final plan-served event it causes.
+    request_seq: u64,
+    /// Stable endpoint id for control traces (a hash of the operator
+    /// name — socket addresses are OS-assigned and not deterministic).
+    endpoint: u64,
     obs: Option<Box<dyn ObsSink>>,
+}
+
+/// FNV-1a over the operator name: a deterministic endpoint id for
+/// [`obs::control_trace`].
+fn endpoint_id(operator: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in operator.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl ResilientMasterClient {
@@ -46,6 +64,8 @@ impl ResilientMasterClient {
             session: None,
             cached_plan: None,
             reconnects: 0,
+            request_seq: 0,
+            endpoint: endpoint_id(operator),
             obs: None,
         }
     }
@@ -73,14 +93,15 @@ impl ResilientMasterClient {
         self.session = None;
     }
 
-    fn ensure_session(&mut self) -> io::Result<&mut (MasterClient, usize)> {
+    fn ensure_session(&mut self, trace: u64) -> io::Result<&mut (MasterClient, usize)> {
         if self.session.is_none() {
             let mut null = NullSink;
             let sink: &mut dyn ObsSink = match self.obs.as_deref_mut() {
                 Some(s) => s,
                 None => &mut null,
             };
-            let mut client = MasterClient::connect_with_retry_obs(self.addr, &self.policy, sink)?;
+            let mut client =
+                MasterClient::connect_with_retry_obs(self.addr, &self.policy, trace, sink)?;
             let operator_id = client.register(&self.operator)?;
             self.reconnects += 1;
             self.session = Some((client, operator_id));
@@ -102,10 +123,13 @@ impl ResilientMasterClient {
     /// (marked [`PlanSource::Cached`]); errors only when there is no
     /// cache to degrade to.
     pub fn channel_plan(&mut self) -> io::Result<(Vec<Channel>, PlanSource)> {
-        match self.try_fetch() {
+        let trace = obs::control_trace(self.endpoint, self.request_seq);
+        self.request_seq += 1;
+        match self.try_fetch(trace) {
             Ok(plan) => {
                 self.cached_plan = Some(plan.clone());
                 self.emit(ObsEvent::MasterPlanServed {
+                    trace,
                     source: obs::PlanServed::Fresh,
                     channels: plan.len() as u32,
                 });
@@ -114,6 +138,7 @@ impl ResilientMasterClient {
             Err(e) => match self.cached_plan.clone() {
                 Some(plan) => {
                     self.emit(ObsEvent::MasterPlanServed {
+                        trace,
                         source: obs::PlanServed::Cached,
                         channels: plan.len() as u32,
                     });
@@ -124,12 +149,12 @@ impl ResilientMasterClient {
         }
     }
 
-    fn try_fetch(&mut self) -> io::Result<Vec<Channel>> {
+    fn try_fetch(&mut self, trace: u64) -> io::Result<Vec<Channel>> {
         // One session retry: a dead cached session (server restarted,
         // partition healed) gets dropped and re-established once before
         // we give up on this call.
         for _ in 0..2 {
-            let (client, operator_id) = self.ensure_session()?;
+            let (client, operator_id) = self.ensure_session(trace)?;
             let id = *operator_id;
             match client.request_channels(id) {
                 Ok(plan) => return Ok(plan),
@@ -138,7 +163,7 @@ impl ResilientMasterClient {
                     // Transport failure: drop the session and retry.
                     self.session = None;
                     let reconnects = self.reconnects;
-                    self.emit(ObsEvent::MasterRpcRetry { reconnects });
+                    self.emit(ObsEvent::MasterRpcRetry { trace, reconnects });
                 }
             }
         }
@@ -226,7 +251,9 @@ mod tests {
         let served: Vec<(PlanServed, u32)> = events
             .iter()
             .filter_map(|e| match *e {
-                ObsEvent::MasterPlanServed { source, channels } => Some((source, channels)),
+                ObsEvent::MasterPlanServed {
+                    source, channels, ..
+                } => Some((source, channels)),
                 _ => None,
             })
             .collect();
@@ -246,6 +273,21 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, ObsEvent::MasterRpcRetry { .. })));
+        // Every control-plane event carries a tagged, minted trace, and
+        // distinct plan requests carry distinct traces.
+        let traces: Vec<u64> = events.iter().filter_map(|e| e.trace()).collect();
+        assert_eq!(traces.len(), events.len(), "no untraced control events");
+        assert!(traces.iter().all(|&t| obs::trace::is_control(t)));
+        let served_traces: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::MasterPlanServed { trace, .. } => Some(*trace),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served_traces.len(), 3);
+        assert_ne!(served_traces[0], served_traces[1]);
+        assert_ne!(served_traces[1], served_traces[2]);
     }
 
     #[test]

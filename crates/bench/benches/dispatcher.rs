@@ -22,6 +22,7 @@ fn pkt(i: u64) -> PacketAtGateway {
     let plan = StandardChannelPlan::us915_subband(0);
     PacketAtGateway {
         tx_id: i,
+        trace: obs::packet_trace(0, i),
         network_id: 1,
         channel: plan.channels[(i % 8) as usize],
         sf: SpreadingFactor::SF7,

@@ -46,6 +46,7 @@ fn run(faults: Vec<FaultSpec>, frames: u16, period_us: u64) -> (HashMap<u16, u32
             // Gateways timestamp at reception, before the backhaul.
             received_us: sent_us,
             snr_db: if gw == 0 { 3.0 } else { 6.0 },
+            trace: 0,
         });
         if outcome == DedupOutcome::New {
             *new_counts.entry(fcnt).or_insert(0) += 1;

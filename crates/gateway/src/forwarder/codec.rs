@@ -40,6 +40,11 @@ pub struct RxPacket {
     pub size: usize,
     /// Base64 PHY payload.
     pub data: String,
+    /// Packet-lifecycle trace id, threaded end-to-end for the obs
+    /// layer. Not part of the Semtech protocol: legacy datagrams omit
+    /// it and parse as `0` (untraced).
+    #[serde(default)]
+    pub trce: u64,
 }
 
 impl RxPacket {
@@ -65,7 +70,14 @@ impl RxPacket {
             lsnr: (snr_db * 10.0).round() / 10.0,
             size: phy_payload.len(),
             data: b64::encode(phy_payload),
+            trce: 0,
         }
+    }
+
+    /// Attach the packet's lifecycle trace id (builder style).
+    pub fn with_trace(mut self, trace: u64) -> RxPacket {
+        self.trce = trace;
+        self
     }
 
     /// Decode the Base64 PHY payload.
@@ -347,6 +359,29 @@ mod tests {
         wire.extend_from_slice(b"{\"stat\":{\"rxnb\":0}}");
         match Datagram::decode(&wire) {
             Some(Datagram::PushData { rxpk, .. }) => assert!(rxpk.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trce_field_roundtrips_and_defaults() {
+        let d = Datagram::PushData {
+            token: 1,
+            eui: GatewayEui(7),
+            rxpk: vec![rxpk().with_trace(0xABCD_EF01)],
+        };
+        match Datagram::decode(&d.encode()) {
+            Some(Datagram::PushData { rxpk, .. }) => assert_eq!(rxpk[0].trce, 0xABCD_EF01),
+            other => panic!("{other:?}"),
+        }
+        // A legacy datagram without trce parses as untraced.
+        let mut wire = vec![2, 0, 1, 0];
+        wire.extend_from_slice(&7u64.to_be_bytes());
+        wire.extend_from_slice(
+            br#"{"rxpk":[{"tmst":1,"freq":916.9,"chan":0,"rfch":0,"stat":1,"modu":"LORA","datr":"SF7BW125","codr":"4/5","rssi":-97,"lsnr":8.3,"size":0,"data":""}]}"#,
+        );
+        match Datagram::decode(&wire) {
+            Some(Datagram::PushData { rxpk, .. }) => assert_eq!(rxpk[0].trce, 0),
             other => panic!("{other:?}"),
         }
     }

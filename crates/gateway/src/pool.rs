@@ -113,13 +113,22 @@ impl DecoderPool {
     /// [`ObsEvent::DecoderAcquired`] on success or
     /// [`ObsEvent::PoolFullDrop`] on exhaustion. The caller supplies
     /// the identifiers the pool doesn't know (`t_us` is the lock-on
-    /// instant, `gw` the gateway index, `tx` the transmission id).
-    pub fn try_acquire_obs(&mut self, t_us: u64, gw: u32, tx: u64, sink: &mut dyn ObsSink) -> bool {
+    /// instant, `trace` the packet's trace id — 0 when untraced —
+    /// `gw` the gateway index, `tx` the transmission id).
+    pub fn try_acquire_obs(
+        &mut self,
+        t_us: u64,
+        trace: u64,
+        gw: u32,
+        tx: u64,
+        sink: &mut dyn ObsSink,
+    ) -> bool {
         let ok = self.try_acquire();
         if sink.enabled() {
             if ok {
                 sink.record(&ObsEvent::DecoderAcquired {
                     t_us,
+                    trace,
                     gw,
                     tx,
                     in_use: self.in_use as u32,
@@ -128,6 +137,7 @@ impl DecoderPool {
             } else {
                 sink.record(&ObsEvent::PoolFullDrop {
                     t_us,
+                    trace,
                     gw,
                     tx,
                     locked: self.locked as u32,
@@ -144,11 +154,12 @@ impl DecoderPool {
     /// # Panics
     /// Panics on release without a matching acquire, like
     /// [`DecoderPool::release`].
-    pub fn release_obs(&mut self, t_us: u64, gw: u32, tx: u64, sink: &mut dyn ObsSink) {
+    pub fn release_obs(&mut self, t_us: u64, trace: u64, gw: u32, tx: u64, sink: &mut dyn ObsSink) {
         self.release();
         if sink.enabled() {
             sink.record(&ObsEvent::DecoderReleased {
                 t_us,
+                trace,
                 gw,
                 tx,
                 in_use: self.in_use as u32,

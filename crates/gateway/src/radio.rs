@@ -23,6 +23,9 @@ use std::collections::HashMap;
 pub struct PacketAtGateway {
     /// Simulator-global transmission id.
     pub tx_id: u64,
+    /// The packet-lifecycle trace id minted by the simulator
+    /// ([`obs::packet_trace`]); `0` when the sender is untraced.
+    pub trace: u64,
     /// Operator/network the *sender* belongs to (ground truth; the
     /// gateway only learns it after decoding).
     pub network_id: u32,
@@ -193,7 +196,7 @@ impl Gateway {
         }
         if !self
             .pool
-            .try_acquire_obs(pkt.lock_on_us, self.id as u32, pkt.tx_id, sink)
+            .try_acquire_obs(pkt.lock_on_us, pkt.trace, self.id as u32, pkt.tx_id, sink)
         {
             self.stats.dropped_no_decoder += 1;
             if sink.enabled() {
@@ -201,6 +204,7 @@ impl Gateway {
                 if foreign_held > 0 {
                     sink.record(&ObsEvent::StealRefused {
                         t_us: pkt.lock_on_us,
+                        trace: pkt.trace,
                         gw: self.id as u32,
                         tx: pkt.tx_id,
                         foreign_held: foreign_held as u32,
@@ -234,7 +238,7 @@ impl Gateway {
     ) -> Option<ReceptionOutcome> {
         let pkt = self.active.remove(&tx_id)?;
         self.pool
-            .release_obs(pkt.end_us, self.id as u32, tx_id, sink);
+            .release_obs(pkt.end_us, pkt.trace, self.id as u32, tx_id, sink);
         let outcome = if !phy_ok {
             self.stats.decode_failed += 1;
             ReceptionOutcome::DecodeFailed
@@ -305,6 +309,7 @@ mod tests {
     fn pkt(tx_id: u64, network_id: u32, ch_idx: u32, lock_on_us: u64) -> PacketAtGateway {
         PacketAtGateway {
             tx_id,
+            trace: obs::packet_trace(0, tx_id),
             network_id,
             channel: Channel::khz125(902_300_000 + ch_idx * 200_000),
             sf: SF7,

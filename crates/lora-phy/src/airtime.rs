@@ -100,6 +100,19 @@ impl Airtime {
     pub fn total_secs(&self) -> f64 {
         self.total_us() as f64 / 1e6
     }
+
+    /// Gateway lock-on instant (preamble end) of a transmission that
+    /// starts at `start_us`. This is the packet's FCFS dispatch point
+    /// and the `t_us` of its lock-on / decoder-acquire trace events.
+    pub fn lock_on_at(&self, start_us: u64) -> u64 {
+        start_us + self.preamble_us
+    }
+
+    /// Airtime-end instant of a transmission that starts at `start_us`
+    /// — the decoder-release / packet-outcome point of its trace.
+    pub fn end_at(&self, start_us: u64) -> u64 {
+        start_us + self.total_us()
+    }
 }
 
 /// Convenience: airtime of a LoRaWAN uplink with the given payload.
@@ -121,6 +134,8 @@ mod tests {
         // Calculator: preamble 12.544 ms, 48 payload symbols, total 61.696 ms.
         assert_eq!(a.preamble_us, 12_544);
         assert_eq!(a.total_us(), 61_696);
+        assert_eq!(a.lock_on_at(1_000), 13_544);
+        assert_eq!(a.end_at(1_000), 62_696);
     }
 
     #[test]

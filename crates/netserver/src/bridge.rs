@@ -40,6 +40,16 @@ fn gw_index(eui: u64) -> usize {
 
 /// Process one ingested uplink through the full server pipeline.
 pub fn process_uplink(server: &mut NetworkServer, up: &IngestedUplink) -> BridgeOutcome {
+    process_uplink_obs(server, up, &mut obs::NullSink)
+}
+
+/// [`process_uplink`] with observability: the dedup classification of
+/// the copy — carrying the rxpk's `trce` trace id — goes to `sink`.
+pub fn process_uplink_obs(
+    server: &mut NetworkServer,
+    up: &IngestedUplink,
+    sink: &mut dyn obs::ObsSink,
+) -> BridgeOutcome {
     let Some(raw) = up.rxpk.phy_payload() else {
         return BridgeOutcome::Malformed;
     };
@@ -60,6 +70,7 @@ pub fn process_uplink(server: &mut NetworkServer, up: &IngestedUplink) -> Bridge
         gw_id,
         snr_db: up.rxpk.lsnr,
         received_us: up.rxpk.tmst,
+        trace: up.rxpk.trce,
     };
     let log = UplinkLog {
         dev_addr,
@@ -69,7 +80,7 @@ pub fn process_uplink(server: &mut NetworkServer, up: &IngestedUplink) -> Bridge
         snr_db: up.rxpk.lsnr,
         timestamp_us: up.rxpk.tmst,
     };
-    match server.ingest(copy, log) {
+    match server.ingest_obs(copy, log, sink) {
         IngestOutcome::Delivered => BridgeOutcome::Delivered(frame),
         IngestOutcome::Duplicate => BridgeOutcome::Duplicate,
         IngestOutcome::Late => BridgeOutcome::Late,
@@ -144,6 +155,25 @@ mod tests {
             process_uplink(&mut server, &ingested(&wire, 1, 6)),
             BridgeOutcome::Rejected
         );
+    }
+
+    #[test]
+    fn trace_flows_from_rxpk_to_dedup_event() {
+        let addr = DevAddr::new(1, 3);
+        let keys = SessionKeys::derive(&[9; 16], addr);
+        let mut server = NetworkServer::new(1_000_000);
+        server.registry.register(addr, keys);
+        let wire = PhyPayload::uplink(addr, 0, 1, b"ping")
+            .encode(&keys)
+            .unwrap();
+        let mut up = ingested(&wire, 1, 10);
+        up.rxpk = up.rxpk.with_trace(0xFACE);
+        let mut sink = obs::RingSink::new(4);
+        process_uplink_obs(&mut server, &up, &mut sink);
+        match sink.events()[0] {
+            obs::ObsEvent::Dedup { trace, .. } => assert_eq!(trace, 0xFACE),
+            ref other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct UplinkCopy {
     pub gw_id: usize,
     pub snr_db: f64,
     pub received_us: u64,
+    /// Packet-lifecycle trace id carried from the gateway (the `trce`
+    /// field of the forwarder's rxpk); `0` when untraced.
+    pub trace: u64,
 }
 
 /// Outcome of offering a copy to the deduplicator.
@@ -107,6 +110,7 @@ impl Deduplicator {
         if sink.enabled() {
             sink.record(&ObsEvent::Dedup {
                 t_us: copy.received_us,
+                trace: copy.trace,
                 dev: copy.dev_addr.0,
                 fcnt: copy.fcnt as u32,
                 gw: copy.gw_id as u32,
@@ -162,6 +166,7 @@ mod tests {
             gw_id: gw,
             snr_db: snr,
             received_us: t,
+            trace: obs::packet_trace(0, fcnt as u64),
         }
     }
 

@@ -130,6 +130,7 @@ mod tests {
             gw_id: gw,
             snr_db: 5.0,
             received_us: t,
+            trace: 0,
         }
     }
 

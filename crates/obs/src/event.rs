@@ -6,12 +6,23 @@
 //! id, `gw` the gateway index, `dev` a raw DevAddr) and times are
 //! simulation microseconds, matching the `sim` crate throughout.
 //!
+//! Packet-lifecycle events additionally carry a `trace` — the
+//! [`TraceId`](crate::trace::TraceId) minted once per uplink
+//! transmission and threaded as a plain `u64` through every layer the
+//! packet touches. Unlike `tx` (which restarts at 0 every run), a
+//! trace id is unique across all runs recorded into one stream, so a
+//! multi-run JSONL file still reconstructs into unambiguous per-packet
+//! timelines. `trace == 0` means "untraced" (events emitted by call
+//! sites that predate tracing, or streams from older binaries —
+//! deserialization defaults the field to 0).
+//!
 //! Serialization uses serde's external enum tagging, so a JSONL stream
 //! reads as `{"DecoderAcquired":{"t_us":…,"gw":…,…}}` — one
 //! self-describing object per line. The taxonomy is documented for
-//! consumers in `docs/OBSERVABILITY.md`; adding a variant is a
-//! backwards-compatible schema change (readers ignore unknown tags),
-//! removing or renaming one requires bumping
+//! consumers in `docs/OBSERVABILITY.md`; adding a variant or a
+//! defaulted field is a backwards-compatible schema change (readers
+//! ignore unknown tags, old streams parse with the default), removing
+//! or renaming one requires bumping
 //! [`crate::report::RUN_REPORT_VERSION`].
 
 use serde::{Deserialize, Serialize};
@@ -82,15 +93,30 @@ pub enum PlanServed {
     Cached,
 }
 
-/// One observed moment. See the module docs for identifier and time
-/// conventions.
+/// One observed moment. See the module docs for identifier, trace and
+/// time conventions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ObsEvent {
+    /// One gateway's static identity, announced once per run before any
+    /// packet event, so stream consumers can attribute decoder holds to
+    /// the *gateway's* network (foreign vs own) without out-of-band
+    /// configuration. Config-plane: no timestamp, no trace.
+    GatewayInfo {
+        /// Gateway index.
+        gw: u32,
+        /// Operator/network that deployed this gateway.
+        network: u32,
+        /// Decoder pool hardware capacity.
+        capacity: u32,
+    },
     /// A transmission's first preamble symbol went on air (medium
     /// arbitration registers it as a potential interferer).
     TxStart {
         /// Event time, simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Transmission id.
         tx: u64,
         /// Sending node index.
@@ -105,6 +131,9 @@ pub enum ObsEvent {
     PacketLockOn {
         /// Lock-on time, simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Transmission id.
         tx: u64,
         /// Sending node index.
@@ -116,6 +145,9 @@ pub enum ObsEvent {
     DecoderAcquired {
         /// Acquisition time, simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Gateway index.
         gw: u32,
         /// Transmission id now holding the decoder.
@@ -129,6 +161,9 @@ pub enum ObsEvent {
     DecoderReleased {
         /// Release time (the packet's airtime end), simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Gateway index.
         gw: u32,
         /// Transmission id that held the decoder.
@@ -141,6 +176,9 @@ pub enum ObsEvent {
     PoolFullDrop {
         /// Drop time (lock-on instant), simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Gateway index.
         gw: u32,
         /// Dropped transmission id.
@@ -155,6 +193,9 @@ pub enum ObsEvent {
     StealRefused {
         /// Drop time, simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Gateway index.
         gw: u32,
         /// Dropped transmission id.
@@ -167,6 +208,9 @@ pub enum ObsEvent {
     PacketOutcome {
         /// The transmission's airtime end, simulation µs.
         t_us: u64,
+        /// Per-transmission trace id (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Transmission id.
         tx: u64,
         /// Whether any own-network gateway received it.
@@ -178,6 +222,10 @@ pub enum ObsEvent {
     Dedup {
         /// The copy's reception timestamp, µs.
         t_us: u64,
+        /// Trace id of the uplink transmission this copy carries
+        /// (threaded through the forwarder codec; 0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Raw DevAddr of the frame.
         dev: u32,
         /// Frame counter.
@@ -189,6 +237,10 @@ pub enum ObsEvent {
     },
     /// One Master TCP connect attempt (inside the retry loop).
     MasterConnectAttempt {
+        /// Control-plane trace of the plan request driving this
+        /// connect sequence (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// 0-based attempt number within this retry sequence.
         attempt: u32,
         /// Whether the TCP connect succeeded.
@@ -200,11 +252,19 @@ pub enum ObsEvent {
     /// A Master RPC failed on an established session and the session is
     /// being re-established (the resilient client's transport retry).
     MasterRpcRetry {
+        /// Control-plane trace of the plan request being retried
+        /// (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// How many sessions this client has established so far.
         reconnects: u64,
     },
     /// The resilient client served a channel plan.
     MasterPlanServed {
+        /// Control-plane trace of this plan request — shared with the
+        /// connect attempts and RPC retries it caused (0 = untraced).
+        #[serde(default)]
+        trace: u64,
         /// Fresh from the Master, or degraded to the local cache.
         source: PlanServed,
         /// Number of channels in the served plan.
@@ -239,17 +299,39 @@ impl ObsEvent {
             | ObsEvent::StealRefused { t_us, .. }
             | ObsEvent::PacketOutcome { t_us, .. }
             | ObsEvent::Dedup { t_us, .. } => Some(t_us),
-            ObsEvent::MasterConnectAttempt { .. }
+            ObsEvent::GatewayInfo { .. }
+            | ObsEvent::MasterConnectAttempt { .. }
             | ObsEvent::MasterRpcRetry { .. }
             | ObsEvent::MasterPlanServed { .. }
             | ObsEvent::FaultActivated { .. } => None,
         }
     }
 
+    /// The event's trace id, where one exists and is set (`trace == 0`
+    /// means the emitting call site was untraced and reads as `None`).
+    pub fn trace(&self) -> Option<u64> {
+        let trace = match *self {
+            ObsEvent::TxStart { trace, .. }
+            | ObsEvent::PacketLockOn { trace, .. }
+            | ObsEvent::DecoderAcquired { trace, .. }
+            | ObsEvent::DecoderReleased { trace, .. }
+            | ObsEvent::PoolFullDrop { trace, .. }
+            | ObsEvent::StealRefused { trace, .. }
+            | ObsEvent::PacketOutcome { trace, .. }
+            | ObsEvent::Dedup { trace, .. }
+            | ObsEvent::MasterConnectAttempt { trace, .. }
+            | ObsEvent::MasterRpcRetry { trace, .. }
+            | ObsEvent::MasterPlanServed { trace, .. } => trace,
+            ObsEvent::GatewayInfo { .. } | ObsEvent::FaultActivated { .. } => 0,
+        };
+        (trace != 0).then_some(trace)
+    }
+
     /// A stable snake_case name for the variant, used as the counter
     /// key in [`crate::metrics::MetricsSink`] and in reports.
     pub fn kind_name(&self) -> &'static str {
         match self {
+            ObsEvent::GatewayInfo { .. } => "gateway_info",
             ObsEvent::TxStart { .. } => "tx_start",
             ObsEvent::PacketLockOn { .. } => "packet_lock_on",
             ObsEvent::DecoderAcquired { .. } => "decoder_acquired",
@@ -273,14 +355,21 @@ mod tests {
     #[test]
     fn events_roundtrip_through_json() {
         let events = [
+            ObsEvent::GatewayInfo {
+                gw: 0,
+                network: 1,
+                capacity: 16,
+            },
             ObsEvent::PacketLockOn {
                 t_us: 1_000,
+                trace: 0xA1,
                 tx: 7,
                 node: 3,
                 network: 1,
             },
             ObsEvent::DecoderAcquired {
                 t_us: 1_000,
+                trace: 0xA1,
                 gw: 0,
                 tx: 7,
                 in_use: 4,
@@ -288,6 +377,7 @@ mod tests {
             },
             ObsEvent::PacketOutcome {
                 t_us: 50_000,
+                trace: 0xA1,
                 tx: 7,
                 delivered: false,
                 cause: Some(LossKind::DecoderInter),
@@ -307,10 +397,30 @@ mod tests {
     }
 
     #[test]
+    fn pre_trace_streams_still_parse() {
+        // A line written before the trace field existed: the field
+        // defaults to 0 and the event reads as untraced.
+        let old = r#"{"PacketLockOn":{"t_us":5,"tx":1,"node":0,"network":2}}"#;
+        let ev: ObsEvent = serde_json::from_str(old).unwrap();
+        assert_eq!(
+            ev,
+            ObsEvent::PacketLockOn {
+                t_us: 5,
+                trace: 0,
+                tx: 1,
+                node: 0,
+                network: 2,
+            }
+        );
+        assert_eq!(ev.trace(), None);
+    }
+
+    #[test]
     fn timestamps_where_expected() {
         assert_eq!(
             ObsEvent::Dedup {
                 t_us: 5,
+                trace: 9,
                 dev: 1,
                 fcnt: 2,
                 gw: 0,
@@ -320,9 +430,53 @@ mod tests {
             Some(5)
         );
         assert_eq!(
-            ObsEvent::MasterRpcRetry { reconnects: 1 }.t_us(),
+            ObsEvent::MasterRpcRetry {
+                trace: 0,
+                reconnects: 1
+            }
+            .t_us(),
             None,
             "control-plane events carry no simulation clock"
+        );
+        assert_eq!(
+            ObsEvent::GatewayInfo {
+                gw: 0,
+                network: 1,
+                capacity: 16,
+            }
+            .t_us(),
+            None,
+            "config-plane events carry no simulation clock"
+        );
+    }
+
+    #[test]
+    fn trace_accessor_treats_zero_as_untraced() {
+        let traced = ObsEvent::TxStart {
+            t_us: 0,
+            trace: 42,
+            tx: 0,
+            node: 0,
+            network: 0,
+        };
+        assert_eq!(traced.trace(), Some(42));
+        let untraced = ObsEvent::PoolFullDrop {
+            t_us: 0,
+            trace: 0,
+            gw: 0,
+            tx: 0,
+            locked: 0,
+        };
+        assert_eq!(untraced.trace(), None);
+        assert_eq!(
+            ObsEvent::FaultActivated {
+                kind: FaultKind::ClockDrift,
+                gw: 0,
+                start_us: 0,
+                end_us: 1,
+            }
+            .trace(),
+            None
         );
     }
 
@@ -331,13 +485,25 @@ mod tests {
         let names = [
             ObsEvent::TxStart {
                 t_us: 0,
+                trace: 0,
                 tx: 0,
                 node: 0,
                 network: 0,
             }
             .kind_name(),
-            ObsEvent::MasterRpcRetry { reconnects: 0 }.kind_name(),
+            ObsEvent::MasterRpcRetry {
+                trace: 0,
+                reconnects: 0,
+            }
+            .kind_name(),
+            ObsEvent::GatewayInfo {
+                gw: 0,
+                network: 0,
+                capacity: 0,
+            }
+            .kind_name(),
         ];
         assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
     }
 }

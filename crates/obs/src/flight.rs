@@ -1,0 +1,338 @@
+//! The flight recorder: post-mortem snapshots of long runs.
+//!
+//! A [`FlightRecorder`] is an [`ObsSink`] that keeps the most recent
+//! `capacity` events in a [`RingSink`] and writes them to a JSONL file
+//! when something interesting happens:
+//!
+//! * a chaos fault activation ([`ObsEvent::FaultActivated`]),
+//! * a pool-full drop burst — at least `threshold`
+//!   [`ObsEvent::PoolFullDrop`]s within `window_us` of simulation time,
+//! * an explicit [`FlightRecorder::trigger`] call.
+//!
+//! Snapshots are plain event JSONL — the same format [`JsonlSink`]
+//! writes — so every downstream consumer (`tracectl`, the
+//! `TraceAnalyzer`, a `MetricsSink` refold) reads them unchanged. A
+//! snapshot is a *window*, though: spans cut by its edges legitimately
+//! show up as boundary causality violations when analyzed.
+//!
+//! Determinism: snapshot filenames are `{prefix}-{seq:04}-{reason}.jsonl`
+//! with a monotonic sequence number and no wall-clock anywhere, so a
+//! fixed-seed run produces byte-identical snapshots with identical
+//! names. Disk errors are swallowed (a recorder must never take down
+//! the run it is recording); [`FlightRecorder::io_errors`] counts them.
+
+use crate::event::ObsEvent;
+use crate::sink::{JsonlSink, ObsSink, RingSink};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+/// Default number of pool-full drops within the window that counts as
+/// a burst.
+const DEFAULT_BURST_THRESHOLD: usize = 8;
+/// Default burst window, µs of simulation time (1 s).
+const DEFAULT_BURST_WINDOW_US: u64 = 1_000_000;
+
+/// A bounded ring of recent events that snapshots itself to JSONL on
+/// fault activations, drop bursts, or explicit request. See the module
+/// docs for the trigger and determinism contract.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: RingSink,
+    dir: PathBuf,
+    prefix: String,
+    seq: u32,
+    burst_threshold: usize,
+    burst_window_us: u64,
+    /// Timestamps of recent pool-full drops inside the burst window.
+    recent_drops: VecDeque<u64>,
+    /// Events recorded since the last snapshot (cooldown guard).
+    since_snapshot: u64,
+    /// Minimum events between automatic snapshots, so a sustained storm
+    /// produces mostly-disjoint windows instead of near-duplicates.
+    cooldown: u64,
+    snapshots: Vec<PathBuf>,
+    io_errors: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events, snapshotting into
+    /// `dir` (created on first snapshot).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (via [`RingSink::new`]).
+    pub fn new(dir: &Path, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: RingSink::new(capacity),
+            dir: dir.to_path_buf(),
+            prefix: "flight".to_string(),
+            seq: 0,
+            burst_threshold: DEFAULT_BURST_THRESHOLD,
+            burst_window_us: DEFAULT_BURST_WINDOW_US,
+            recent_drops: VecDeque::new(),
+            since_snapshot: 0,
+            cooldown: capacity as u64,
+            snapshots: Vec::new(),
+            io_errors: 0,
+        }
+    }
+
+    /// Use `prefix` instead of `"flight"` in snapshot filenames.
+    pub fn with_prefix(mut self, prefix: &str) -> FlightRecorder {
+        self.prefix = sanitize(prefix);
+        self
+    }
+
+    /// Snapshot when at least `threshold` pool-full drops land within
+    /// `window_us` of simulation time (defaults: 8 drops in 1 s).
+    pub fn with_drop_burst(mut self, threshold: usize, window_us: u64) -> FlightRecorder {
+        self.burst_threshold = threshold.max(1);
+        self.burst_window_us = window_us;
+        self
+    }
+
+    /// Require at least `events` recorded between *automatic* snapshots
+    /// (fault / burst triggers; explicit [`FlightRecorder::trigger`]
+    /// calls always snapshot). Defaults to the ring capacity, so
+    /// consecutive automatic snapshots barely overlap.
+    pub fn with_cooldown(mut self, events: u64) -> FlightRecorder {
+        self.cooldown = events;
+        self
+    }
+
+    /// Paths of every snapshot written so far, in order.
+    pub fn snapshots(&self) -> &[PathBuf] {
+        &self.snapshots
+    }
+
+    /// Snapshot writes that failed (disk trouble is swallowed, never
+    /// propagated into the run).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Write the current ring contents to
+    /// `{dir}/{prefix}-{seq:04}-{reason}.jsonl` immediately. `reason`
+    /// is sanitized to `[a-z0-9-]` for the filename. Returns the path
+    /// when the write succeeded.
+    pub fn trigger(&mut self, reason: &str) -> Option<PathBuf> {
+        let path = self.dir.join(format!(
+            "{}-{:04}-{}.jsonl",
+            self.prefix,
+            self.seq,
+            sanitize(reason)
+        ));
+        self.seq += 1;
+        self.since_snapshot = 0;
+        match JsonlSink::create(&path) {
+            Err(_) => {
+                self.io_errors += 1;
+                None
+            }
+            Ok(mut out) => {
+                for ev in self.ring.events() {
+                    out.record(&ev);
+                }
+                out.flush();
+                self.snapshots.push(path.clone());
+                Some(path)
+            }
+        }
+    }
+
+    /// An automatic trigger: honors the cooldown.
+    fn auto_trigger(&mut self, reason: &str) {
+        if self.seq > 0 && self.since_snapshot < self.cooldown {
+            return;
+        }
+        self.trigger(reason);
+    }
+}
+
+/// Keep `[a-z0-9-]`, lowercase the rest where possible, map anything
+/// else to `-`.
+fn sanitize(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | '0'..='9' | '-' => c,
+            'A'..='Z' => c.to_ascii_lowercase(),
+            _ => '-',
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "snapshot".to_string()
+    } else {
+        cleaned
+    }
+}
+
+impl ObsSink for FlightRecorder {
+    fn record(&mut self, ev: &ObsEvent) {
+        self.ring.record(ev);
+        self.since_snapshot += 1;
+        match *ev {
+            ObsEvent::FaultActivated { .. } => self.auto_trigger("fault"),
+            ObsEvent::PoolFullDrop { t_us, .. } => {
+                while let Some(&front) = self.recent_drops.front() {
+                    if t_us.saturating_sub(front) > self.burst_window_us {
+                        self.recent_drops.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                self.recent_drops.push_back(t_us);
+                if self.recent_drops.len() >= self.burst_threshold {
+                    self.auto_trigger("drop-burst");
+                    self.recent_drops.clear();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultKind;
+
+    fn drop_ev(t: u64) -> ObsEvent {
+        ObsEvent::PoolFullDrop {
+            t_us: t,
+            trace: 0,
+            gw: 0,
+            tx: t,
+            locked: 0,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("obs_flight_{name}"))
+    }
+
+    #[test]
+    fn explicit_trigger_writes_ring_contents() {
+        let dir = tmp("explicit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(&dir, 4);
+        for t in 0..6 {
+            fr.record(&ObsEvent::TxStart {
+                t_us: t,
+                trace: t + 1,
+                tx: t,
+                node: 0,
+                network: 1,
+            });
+        }
+        let path = fr.trigger("User Asked!").expect("snapshot written");
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "flight-0000-user-asked-.jsonl",
+            "sequence + sanitized reason"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4, "ring capacity bounds the window");
+        // Oldest retained first: events 2..6.
+        assert!(text.lines().next().unwrap().contains("\"t_us\":2"));
+        assert_eq!(fr.snapshots().len(), 1);
+        assert_eq!(fr.io_errors(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_activation_triggers_snapshot() {
+        let dir = tmp("fault");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(&dir, 8);
+        fr.record(&drop_ev(1));
+        fr.record(&ObsEvent::FaultActivated {
+            kind: FaultKind::GatewayCrash,
+            gw: 0,
+            start_us: 0,
+            end_us: 10,
+        });
+        assert_eq!(fr.snapshots().len(), 1);
+        assert!(fr.snapshots()[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .ends_with("-fault.jsonl"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_burst_triggers_once_per_burst() {
+        let dir = tmp("burst");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(&dir, 64).with_drop_burst(3, 1_000);
+        // Two drops inside the window: no snapshot.
+        fr.record(&drop_ev(0));
+        fr.record(&drop_ev(100));
+        assert!(fr.snapshots().is_empty());
+        // Third within 1 ms: burst.
+        fr.record(&drop_ev(200));
+        assert_eq!(fr.snapshots().len(), 1);
+        // Window cleared: the next lone drop does not re-trigger.
+        fr.record(&drop_ev(300));
+        assert_eq!(fr.snapshots().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spread_out_drops_never_burst() {
+        let dir = tmp("spread");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(&dir, 64).with_drop_burst(3, 1_000);
+        for i in 0..10u64 {
+            fr.record(&drop_ev(i * 10_000)); // 10 ms apart ≫ 1 ms window
+        }
+        assert!(fr.snapshots().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cooldown_spaces_automatic_snapshots() {
+        let dir = tmp("cooldown");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(&dir, 16)
+            .with_drop_burst(2, u64::MAX)
+            .with_cooldown(10);
+        fr.record(&drop_ev(0));
+        fr.record(&drop_ev(1)); // burst → snapshot 1
+        fr.record(&drop_ev(2));
+        fr.record(&drop_ev(3)); // burst again, but only 2 events since
+        assert_eq!(fr.snapshots().len(), 1, "cooldown suppressed the second");
+        // Explicit trigger ignores the cooldown.
+        assert!(fr.trigger("manual").is_some());
+        assert_eq!(fr.snapshots().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filenames_are_deterministic_sequence() {
+        let dir = tmp("seq");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(&dir, 4).with_prefix("fr");
+        fr.record(&drop_ev(1));
+        fr.trigger("a");
+        fr.trigger("b");
+        let names: Vec<String> = fr
+            .snapshots()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["fr-0000-a.jsonl", "fr-0001-b.jsonl"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

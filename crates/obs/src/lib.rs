@@ -20,7 +20,15 @@
 //!   utilization and dispatch-latency histograms;
 //! * [`report`] — the versioned [`RunReport`] JSON document that the
 //!   `bench` harness writes under `results/out/` (see
-//!   `docs/OBSERVABILITY.md` for the schema).
+//!   `docs/OBSERVABILITY.md` for the schema);
+//! * [`trace`] — per-transmission [`trace::TraceId`]s threaded through
+//!   every packet-lifecycle event, the [`TraceAnalyzer`] that joins an
+//!   event stream back into causal per-packet timelines with
+//!   decoder-contention attribution (blocker→victim pairs for every
+//!   pool-full drop), and Chrome trace-event export for Perfetto;
+//! * [`flight`] — the [`FlightRecorder`] sink: a bounded ring that
+//!   snapshots the recent past to JSONL on chaos fault activations,
+//!   pool-full drop bursts, or explicit request.
 //!
 //! Events are plain `Copy` data and every sink implementation is
 //! deterministic: a fixed-seed run produces a byte-identical JSONL
@@ -30,13 +38,20 @@
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod trace;
 
 pub use event::{DedupKind, FaultKind, LossKind, ObsEvent, PlanServed};
+pub use flight::FlightRecorder;
 pub use metrics::{GatewayOccupancy, Histogram, MetricsSink, Registry, DISPATCH_LATENCY_BOUNDS_US};
 pub use report::{
     GatewayReport, NamedCount, NamedGauge, NamedHistogram, RunReport, RUN_REPORT_VERSION,
 };
-pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, SharedSink, TeeSink};
+pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, SharedSink, TeeSink, VecSink};
+pub use trace::{
+    chrome_trace, control_trace, packet_trace, ChromeTrace, ContentionReport, PacketTimeline,
+    TraceAnalyzer, TraceId, TraceReport,
+};

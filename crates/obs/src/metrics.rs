@@ -32,6 +32,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     sum: u64,
+    max: u64,
 }
 
 impl Histogram {
@@ -50,6 +51,7 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             total: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -63,6 +65,7 @@ impl Histogram {
         self.counts[idx] += 1;
         self.total += 1;
         self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
     }
 
     /// The configured upper bounds.
@@ -92,6 +95,51 @@ impl Histogram {
         } else {
             self.sum as f64 / self.total as f64
         }
+    }
+
+    /// Largest sample observed (0 with no samples).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper-bound estimate of quantile `q` ∈ [0, 1]: the bound of the
+    /// first bucket whose cumulative count reaches `⌈q·total⌉`, capped
+    /// at the largest sample actually observed (so a histogram whose
+    /// samples all fit the first bucket does not report that bucket's
+    /// full width). Samples in the overflow bucket resolve to the max.
+    /// Returns 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return match self.bounds.get(i) {
+                    Some(&b) => b.min(self.max),
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median upper-bound estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper-bound estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper-bound estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -158,6 +206,62 @@ impl Registry {
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric, histogram buckets
+    /// as cumulative `_bucket{le="…"}` series ending in `+Inf`, plus
+    /// `_sum` and `_count`. Metric names are sanitized to
+    /// `[a-zA-Z0-9_:]` (anything else becomes `_`). Output order is the
+    /// registries' sorted iteration order, so two identical registries
+    /// render byte-identically — scrape endpoints stay diffable.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in self.gauges() {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in self.histograms() {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &c) in h.counts().iter().enumerate() {
+                cum += c;
+                match h.bounds().get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.total());
+        }
+        out
+    }
+}
+
+/// Sanitize a metric name for the Prometheus exposition format.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 /// Per-gateway occupancy bookkeeping derived from decoder events.
@@ -251,12 +355,18 @@ impl ObsSink for MetricsSink {
         self.events += 1;
         self.registry.inc(ev.kind_name(), 1);
         match *ev {
+            ObsEvent::GatewayInfo { gw, capacity, .. } => {
+                // Announce the pool size up front so utilization is
+                // well-defined even for a gateway that never admits.
+                self.gateways.entry(gw).or_default().capacity = capacity;
+            }
             ObsEvent::DecoderAcquired {
                 t_us,
                 gw,
                 tx,
                 in_use,
                 capacity,
+                ..
             } => {
                 let occ = self.gateways.entry(gw).or_default();
                 occ.capacity = capacity;
@@ -268,6 +378,7 @@ impl ObsSink for MetricsSink {
                 gw,
                 tx,
                 in_use,
+                ..
             } => {
                 let occ = self.gateways.entry(gw).or_default();
                 occ.step(t_us, in_use);
@@ -357,6 +468,7 @@ mod tests {
     fn acquire(t: u64, gw: u32, tx: u64, in_use: u32) -> ObsEvent {
         ObsEvent::DecoderAcquired {
             t_us: t,
+            trace: 0,
             gw,
             tx,
             in_use,
@@ -367,6 +479,7 @@ mod tests {
     fn release(t: u64, gw: u32, tx: u64, in_use: u32) -> ObsEvent {
         ObsEvent::DecoderReleased {
             t_us: t,
+            trace: 0,
             gw,
             tx,
             in_use,
@@ -415,18 +528,21 @@ mod tests {
         let mut m = MetricsSink::new();
         m.record(&ObsEvent::PacketOutcome {
             t_us: 1,
+            trace: 0,
             tx: 0,
             delivered: true,
             cause: None,
         });
         m.record(&ObsEvent::PacketOutcome {
             t_us: 2,
+            trace: 0,
             tx: 1,
             delivered: false,
             cause: Some(LossKind::DecoderInter),
         });
         m.record(&ObsEvent::Dedup {
             t_us: 3,
+            trace: 0,
             dev: 1,
             fcnt: 0,
             gw: 0,
@@ -438,5 +554,87 @@ mod tests {
         assert_eq!(m.registry().counter("dedup_Late"), 1);
         assert_eq!(m.registry().counter("packet_outcome"), 2);
         assert_eq!(m.events(), 3);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds_capped_by_max() {
+        let mut h = Histogram::new(&[10, 100, 1_000]);
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 600] {
+            h.observe(v);
+        }
+        // 9 of 10 samples sit in the ≤10 bucket: p50 resolves to that
+        // bucket's bound.
+        assert_eq!(h.p50(), 10);
+        // p95 needs the 10th sample, which sits in the ≤1000 bucket;
+        // the cap trims the estimate to the observed max.
+        assert_eq!(h.p95(), 600);
+        assert_eq!(h.p99(), 600);
+        assert_eq!(h.max(), 600);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_overflow() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        let mut h = Histogram::new(&[10]);
+        h.observe(5_000); // overflow bucket
+        assert_eq!(h.p50(), 5_000, "overflow resolves to the observed max");
+        // All samples below the first bound: the cap keeps the estimate
+        // at the true max instead of the bucket's full width.
+        let mut h = Histogram::new(&[1_000_000]);
+        h.observe(3);
+        h.observe(4);
+        assert_eq!(h.p99(), 4);
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let mut r = Registry::new();
+        r.inc("delivered", 42);
+        r.inc("loss_DecoderInter", 3);
+        r.set_gauge("gw0_utilization", 0.25);
+        r.observe("latency_us", &[10, 20], 5);
+        r.observe("latency_us", &[10, 20], 15);
+        r.observe("latency_us", &[10, 20], 99);
+        let text = r.render_prometheus();
+        let expected = "\
+# TYPE delivered counter
+delivered 42
+# TYPE loss_DecoderInter counter
+loss_DecoderInter 3
+# TYPE gw0_utilization gauge
+gw0_utilization 0.25
+# TYPE latency_us histogram
+latency_us_bucket{le=\"10\"} 1
+latency_us_bucket{le=\"20\"} 2
+latency_us_bucket{le=\"+Inf\"} 3
+latency_us_sum 119
+latency_us_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names() {
+        let mut r = Registry::new();
+        r.inc("loss/decoder-inter", 1);
+        r.inc("9lives", 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("loss_decoder_inter 1"));
+        assert!(text.contains("_9lives 1"), "{text}");
+        assert!(!text.contains('/'));
+    }
+
+    #[test]
+    fn gateway_info_seeds_capacity() {
+        let mut m = MetricsSink::new();
+        m.record(&ObsEvent::GatewayInfo {
+            gw: 3,
+            network: 1,
+            capacity: 8,
+        });
+        assert_eq!(m.gateways()[&3].capacity, 8);
+        assert_eq!(m.registry().counter("gateway_info"), 1);
     }
 }

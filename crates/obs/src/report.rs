@@ -49,6 +49,16 @@ pub struct NamedHistogram {
     pub total: u64,
     /// Sum of all samples.
     pub sum: u64,
+    /// Median upper-bound estimate (see `Histogram::quantile`); 0 with
+    /// no samples. Defaulted so pre-percentile reports still parse.
+    #[serde(default)]
+    pub p50: u64,
+    /// 95th-percentile upper-bound estimate.
+    #[serde(default)]
+    pub p95: u64,
+    /// 99th-percentile upper-bound estimate.
+    #[serde(default)]
+    pub p99: u64,
 }
 
 /// Per-gateway derived state: occupancy timeline and utilization.
@@ -131,6 +141,9 @@ impl RunReport {
                 counts: h.counts().to_vec(),
                 total: h.total(),
                 sum: h.sum(),
+                p50: h.p50(),
+                p95: h.p95(),
+                p99: h.p99(),
             })
             .collect();
         report.gateways = sink
@@ -180,6 +193,7 @@ mod tests {
         let mut m = MetricsSink::new();
         m.record(&ObsEvent::DecoderAcquired {
             t_us: 0,
+            trace: 0,
             gw: 1,
             tx: 5,
             in_use: 1,
@@ -187,12 +201,14 @@ mod tests {
         });
         m.record(&ObsEvent::DecoderReleased {
             t_us: 80_000,
+            trace: 0,
             gw: 1,
             tx: 5,
             in_use: 0,
         });
         m.record(&ObsEvent::PacketOutcome {
             t_us: 80_000,
+            trace: 0,
             tx: 5,
             delivered: true,
             cause: None,
@@ -218,6 +234,16 @@ mod tests {
         assert_eq!(h.name, "dispatch_latency_us");
         assert_eq!(h.total, 1);
         assert_eq!(h.sum, 80_000);
+        // The single 80 000 µs sample is every percentile.
+        assert_eq!((h.p50, h.p95, h.p99), (80_000, 80_000, 80_000));
+    }
+
+    #[test]
+    fn pre_percentile_reports_still_parse() {
+        let old =
+            r#"{"name":"dispatch_latency_us","bounds":[10],"counts":[1,0],"total":1,"sum":4}"#;
+        let h: NamedHistogram = serde_json::from_str(old).unwrap();
+        assert_eq!((h.p50, h.p95, h.p99), (0, 0, 0), "defaulted");
     }
 
     #[test]

@@ -116,6 +116,48 @@ impl ObsSink for RingSink {
     }
 }
 
+/// An unbounded in-memory sink: keeps every event, in order. The
+/// natural capture buffer for feeding a
+/// [`TraceAnalyzer`](crate::trace::TraceAnalyzer) after a run; prefer
+/// [`RingSink`] when the run is long and only the tail matters.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<ObsEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consume the sink, returning the event buffer.
+    pub fn into_events(self) -> Vec<ObsEvent> {
+        self.events
+    }
+}
+
+impl ObsSink for VecSink {
+    fn record(&mut self, ev: &ObsEvent) {
+        self.events.push(*ev);
+    }
+}
+
 /// A file sink writing one JSON object per line (JSONL). Output is
 /// buffered; [`ObsSink::flush`] or drop forces it to disk.
 ///
@@ -247,9 +289,34 @@ mod tests {
     fn ev(t: u64) -> ObsEvent {
         ObsEvent::PacketLockOn {
             t_us: t,
+            trace: 0,
             tx: t,
             node: 0,
             network: 1,
+        }
+    }
+
+    /// A sink that reports itself disabled but panics if an event
+    /// reaches it anyway — proves a guard was honored, not just set.
+    struct TrapSink;
+
+    impl ObsSink for TrapSink {
+        fn enabled(&self) -> bool {
+            false
+        }
+
+        fn record(&mut self, _ev: &ObsEvent) {
+            panic!("record() called on a disabled sink");
+        }
+    }
+
+    /// An instrumented call site, shaped exactly like the hot paths in
+    /// `sim`/`gateway`: event construction and recording are guarded by
+    /// `enabled()`.
+    fn guarded_emit(sink: &mut dyn ObsSink, constructions: &mut u32) {
+        if sink.enabled() {
+            *constructions += 1;
+            sink.record(&ev(1));
         }
     }
 
@@ -319,6 +386,70 @@ mod tests {
         assert!(t.enabled());
         let t = TeeSink(NullSink, NullSink);
         assert!(!t.enabled());
+    }
+
+    #[test]
+    fn tee_both_arms_disabled_short_circuits_call_site() {
+        // The composite guard: a tee of two disabled sinks reports
+        // disabled, so a guarded call site constructs nothing and the
+        // trap arms never see an event.
+        let mut tee = TeeSink(TrapSink, TrapSink);
+        let mut constructions = 0;
+        guarded_emit(&mut tee, &mut constructions);
+        assert_eq!(constructions, 0, "event must not even be constructed");
+    }
+
+    #[test]
+    fn tee_one_arm_enabled_records_on_both_paths() {
+        // One live arm re-enables the composite; the guarded call site
+        // then constructs and records exactly once.
+        let mut tee = TeeSink(NullSink, RingSink::new(4));
+        let mut constructions = 0;
+        guarded_emit(&mut tee, &mut constructions);
+        assert_eq!(constructions, 1);
+        assert_eq!(tee.1.len(), 1);
+    }
+
+    #[test]
+    fn nested_tee_guard_composes() {
+        // enabled() must propagate through arbitrary nesting.
+        let inner = TeeSink(TrapSink, TrapSink);
+        let mut outer = TeeSink(inner, TrapSink);
+        assert!(!outer.enabled());
+        let mut constructions = 0;
+        guarded_emit(&mut outer, &mut constructions);
+        assert_eq!(constructions, 0);
+        let mut live = TeeSink(TeeSink(NullSink, NullSink), RingSink::new(2));
+        assert!(live.enabled());
+        guarded_emit(&mut live, &mut constructions);
+        assert_eq!(live.1.len(), 1);
+    }
+
+    #[test]
+    fn ring_wraparound_behind_tee_and_shared() {
+        // Wraparound semantics survive composition: a ring reached
+        // through SharedSink + TeeSink still keeps the newest events
+        // oldest-first.
+        let shared = SharedSink::new(RingSink::new(3));
+        let mut tee = TeeSink(NullSink, shared.handle());
+        for t in 0..8 {
+            tee.record(&ev(t));
+        }
+        let ts: Vec<u64> = shared.with(|r| r.events().iter().map(|e| e.t_us().unwrap()).collect());
+        assert_eq!(ts, vec![5, 6, 7]);
+        assert_eq!(shared.with(|r| r.total_recorded()), 8);
+    }
+
+    #[test]
+    fn vec_sink_keeps_everything_in_order() {
+        let mut v = VecSink::new();
+        assert!(v.is_empty());
+        for t in 0..5 {
+            v.record(&ev(t));
+        }
+        assert_eq!(v.len(), 5);
+        let ts: Vec<u64> = v.into_events().iter().map(|e| e.t_us().unwrap()).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

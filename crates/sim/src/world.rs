@@ -40,6 +40,10 @@ use serde::{Deserialize, Serialize};
 pub struct Transmission {
     /// Simulator-global transmission id (index into the plan list).
     pub id: u64,
+    /// Packet-lifecycle trace id ([`obs::packet_trace`] of the world's
+    /// run epoch and `id`), threaded through every event this
+    /// transmission generates. Deterministic for a fixed (epoch, id).
+    pub trace: u64,
     /// Sending node index.
     pub node: usize,
     /// Operator/network of the sender.
@@ -167,6 +171,10 @@ pub struct SimWorld {
     pub cic: bool,
     /// Attached observability sink, if any ([`SimWorld::set_obs_sink`]).
     obs: Option<Box<dyn ObsSink>>,
+    /// Runs completed so far; disambiguates trace ids when one process
+    /// (and one JSONL stream) hosts many runs. Advances on every run,
+    /// observed or not, so attaching a sink never shifts the ids.
+    run_epoch: u64,
 }
 
 impl SimWorld {
@@ -181,7 +189,14 @@ impl SimWorld {
             node_power: vec![TxPowerDbm(14.0); n],
             cic: false,
             obs: None,
+            run_epoch: 0,
         }
+    }
+
+    /// The epoch the *next* run will mint trace ids under (the number
+    /// of runs completed so far).
+    pub fn run_epoch(&self) -> u64 {
+        self.run_epoch
     }
 
     /// Attach an observability sink: subsequent runs stream typed
@@ -219,6 +234,8 @@ impl SimWorld {
         plans: &[TxPlan],
         faults: &dyn crate::faults::InfraFaults,
     ) -> Vec<PacketRecord> {
+        let epoch = self.run_epoch;
+        self.run_epoch += 1;
         let txs: Vec<Transmission> = plans
             .iter()
             .enumerate()
@@ -231,13 +248,14 @@ impl SimWorld {
                 .airtime();
                 Transmission {
                     id: i as u64,
+                    trace: obs::packet_trace(epoch, i as u64),
                     node: p.node,
                     network_id: self.node_network[p.node],
                     channel: p.channel,
                     dr: p.dr,
                     start_us: p.start_us,
-                    lock_on_us: p.start_us + airtime.preamble_us,
-                    end_us: p.start_us + airtime.total_us(),
+                    lock_on_us: airtime.lock_on_at(p.start_us),
+                    end_us: airtime.end_at(p.start_us),
                     payload_len: p.payload_len,
                 }
             })
@@ -259,6 +277,19 @@ impl SimWorld {
             None => &mut null,
         };
 
+        // Gateway identities first: analyzers need the gateway→network
+        // ownership map before any packet event to classify decoder
+        // holds as own- vs foreign-network.
+        if sink.enabled() {
+            for g in &self.gateways {
+                sink.record(&ObsEvent::GatewayInfo {
+                    gw: g.id as u32,
+                    network: g.network_id,
+                    capacity: g.pool().capacity() as u32,
+                });
+            }
+        }
+
         // Interference registration: ids of spectrally-overlapping
         // transmissions whose airtime intersects each transmission's.
         let mut interferers: Vec<Vec<u64>> = vec![Vec::new(); txs.len()];
@@ -274,6 +305,7 @@ impl SimWorld {
                     if sink.enabled() {
                         sink.record(&ObsEvent::TxStart {
                             t_us: t.start_us,
+                            trace: t.trace,
                             tx: t.id,
                             node: t.node as u64,
                             network: t.network_id,
@@ -294,6 +326,7 @@ impl SimWorld {
                     if sink.enabled() {
                         sink.record(&ObsEvent::PacketLockOn {
                             t_us: now,
+                            trace: t.trace,
                             tx: t.id,
                             node: t.node as u64,
                             network: t.network_id,
@@ -449,6 +482,7 @@ impl SimWorld {
         if sink.enabled() {
             sink.record(&ObsEvent::PacketOutcome {
                 t_us: t.end_us,
+                trace: t.trace,
                 tx: tx_id,
                 delivered,
                 cause: cause.map(LossCause::obs_kind),
@@ -554,6 +588,7 @@ fn packet_at(
 ) -> PacketAtGateway {
     PacketAtGateway {
         tx_id: t.id,
+        trace: t.trace,
         network_id: t.network_id,
         channel: t.channel,
         sf: t.dr.spreading_factor(),

@@ -8,6 +8,15 @@
 //!
 //! With no argument a built-in plan (two overlapping gateway crashes +
 //! a decoder lock-up) is used; pass a path to replay your own plan.
+//!
+//! Set `ALPHAWAN_OBS_OUT=<dir>` to stream the faulted run's full
+//! [`ObsEvent`] trace to `<dir>/chaos_demo.events.jsonl` (plan
+//! announcement first), ready for `tracectl`:
+//!
+//! ```text
+//! ALPHAWAN_OBS_OUT=out cargo run --release --example chaos_demo
+//! cargo run --release -p bench --bin tracectl -- out/chaos_demo.events.jsonl --check
+//! ```
 
 use alphawan_system::chaos::{FaultPlan, FaultSchedule};
 use alphawan_system::gateway::config::GatewayConfig;
@@ -117,9 +126,26 @@ fn main() {
     let healthy = RunMetrics::from_records(&build_world().run(&traffic), None);
     report("healthy", &healthy);
 
+    // The faulted run is the interesting one: stream its packet
+    // lifecycles (and the fault-plan announcement) to JSONL when
+    // ALPHAWAN_OBS_OUT is set, for offline `tracectl` analysis.
+    let mut faulted_world = build_world();
+    let obs_path = std::env::var_os("ALPHAWAN_OBS_OUT").map(|dir| {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("ALPHAWAN_OBS_OUT dir creatable");
+        let path = dir.join("chaos_demo.events.jsonl");
+        let mut sink = alphawan_system::obs::JsonlSink::create(&path).expect("events file");
+        plan.observe(&mut sink);
+        faulted_world.set_obs_sink(Box::new(sink));
+        path
+    });
     let faulted =
-        RunMetrics::from_records(&build_world().run_with_faults(&traffic, &schedule), None);
+        RunMetrics::from_records(&faulted_world.run_with_faults(&traffic, &schedule), None);
+    drop(faulted_world); // flush the JSONL stream
     report("faulted", &faulted);
+    if let Some(path) = obs_path {
+        println!("events: {}", path.display());
+    }
 
     // Replay: same plan, fresh world — byte-identical metrics.
     let replay =

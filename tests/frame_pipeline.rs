@@ -47,6 +47,7 @@ fn uplink_dedup_adr_downlink_roundtrip() {
                     gw_id: gw,
                     snr_db: 8.0,
                     received_us: t,
+                    trace: 0,
                 },
                 UplinkLog {
                     dev_addr: decoded.dev_addr,
@@ -107,6 +108,7 @@ fn replayed_fcnt_rejected_at_server() {
         gw_id: 0,
         snr_db: 3.0,
         received_us: t,
+        trace: 0,
     };
     let log = |t: u64| UplinkLog {
         dev_addr: addr,

@@ -132,6 +132,55 @@ fn same_seed_chaos_runs_emit_byte_identical_jsonl() {
     assert_ne!(a, run_to_jsonl("plain-c", None));
 }
 
+/// Trace ids in the stream: nonzero on every packet event, stable for
+/// a fixed (epoch, tx), and salted by the world's run epoch — which
+/// advances on *every* run, observed or not, so attaching a sink never
+/// shifts the ids of later runs.
+#[test]
+fn trace_ids_are_epoch_salted_and_sink_independent() {
+    use alphawan_system::obs::{ObsEvent, RingSink, SharedSink};
+
+    let capture = |world: &mut SimWorld| -> Vec<ObsEvent> {
+        let shared = SharedSink::new(RingSink::new(4096));
+        world.set_obs_sink(Box::new(shared.clone()));
+        world.run(&traffic());
+        world.take_obs_sink();
+        shared.with(|r| r.events())
+    };
+    let traces =
+        |events: &[ObsEvent]| -> Vec<u64> { events.iter().filter_map(|e| e.trace()).collect() };
+
+    // World A: two observed runs. Same txs, different epochs.
+    let mut a = build_world(7);
+    let (a0, a1) = (capture(&mut a), capture(&mut a));
+    let (t0, t1) = (traces(&a0), traces(&a1));
+    assert!(t0.iter().all(|&t| t != 0), "untraced packet event");
+    assert_eq!(t0.len(), t1.len(), "event sequence changed across runs");
+    assert_ne!(t0, t1, "run epoch did not salt the trace ids");
+    let expected: Vec<u64> = a0
+        .iter()
+        .filter_map(|e| match e {
+            ObsEvent::TxStart { tx, .. } => Some(alphawan_system::obs::packet_trace(0, *tx)),
+            _ => None,
+        })
+        .collect();
+    let minted: Vec<u64> = a0
+        .iter()
+        .filter_map(|e| match e {
+            ObsEvent::TxStart { trace, .. } => Some(*trace),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(minted, expected, "epoch-0 ids disagree with packet_trace");
+
+    // World B: one unobserved run, then an observed one. Its observed
+    // stream must be identical to world A's second (epoch-1) stream.
+    let mut b = build_world(7);
+    b.run(&traffic());
+    let b1 = capture(&mut b);
+    assert_eq!(traces(&b1), t1, "unobserved run did not advance the epoch");
+}
+
 #[test]
 fn instrumentation_does_not_change_run_results() {
     let mut plain = build_world(7);

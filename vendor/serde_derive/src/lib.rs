@@ -5,16 +5,28 @@
 //! environment has no syn/quote). Supports the shapes this workspace
 //! uses: non-generic named structs, tuple structs, unit structs, and
 //! enums with unit / newtype / tuple / struct variants, with serde's
-//! external enum tagging. `#[serde(...)]` field attributes are
-//! accepted and ignored — `Option::None` fields are always omitted
-//! from objects, which subsumes the one attribute the workspace uses
-//! (`skip_serializing_if = "Option::is_none"`).
+//! external enum tagging.
+//!
+//! Field attributes: `#[serde(default)]` is honored — a missing (or
+//! explicit-null) field deserializes via `Default::default()`, which
+//! is what keeps old JSONL streams readable after an additive schema
+//! change. Other `#[serde(...)]` attributes are accepted and ignored —
+//! `Option::None` fields are always omitted from objects, which
+//! subsumes `skip_serializing_if = "Option::is_none"`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier and whether `#[serde(default)]`
+/// was present.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
 #[derive(Debug)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -52,6 +64,43 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
+/// Consume attributes at `i`, reporting whether any of them is a
+/// `#[serde(...)]` attribute whose argument list contains the bare
+/// ident `default`.
+fn scan_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        let mut prev_was_eq = false;
+                        for t in args.stream() {
+                            match &t {
+                                TokenTree::Ident(a)
+                                    if a.to_string() == "default" && !prev_was_eq =>
+                                {
+                                    default = true;
+                                }
+                                _ => {}
+                            }
+                            prev_was_eq = matches!(&t, TokenTree::Punct(p) if p.as_char() == '=');
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
+}
+
 /// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
 fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     if let Some(TokenTree::Ident(id)) = tokens.get(i) {
@@ -67,14 +116,15 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Field names of a `{ ... }` body (types are irrelevant: generated
-/// code lets inference pick the `Deserialize` impl per field).
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+/// Fields of a `{ ... }` body (types are irrelevant: generated code
+/// lets inference pick the `Deserialize` impl per field).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut names = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let (after_attrs, default) = scan_attrs(&tokens, i);
+        i = skip_vis(&tokens, after_attrs);
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
             other => panic!("serde stub derive: expected field name, got {other}"),
@@ -98,7 +148,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
             }
             i += 1;
         }
-        names.push(name);
+        names.push(Field { name, default });
     }
     names
 }
@@ -213,12 +263,13 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Statements that build `__fields` from named bindings/accessors.
-fn push_named(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> String) {
+fn push_named(out: &mut String, fields: &[Field], accessor: impl Fn(&str) -> String) {
     out.push_str(
         "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
          ::std::vec::Vec::new();\n",
     );
     for f in fields {
+        let f = &f.name;
         out.push_str(&format!(
             "{{ let __fv = ::serde::Serialize::to_value(&{acc}); \
              if !__fv.is_null() {{ __fields.push((\"{f}\".to_string(), __fv)); }} }}\n",
@@ -227,12 +278,26 @@ fn push_named(out: &mut String, fields: &[String], accessor: impl Fn(&str) -> St
     }
 }
 
-/// Expressions that rebuild named fields from `__obj`.
-fn read_named(fields: &[String]) -> String {
+/// Expressions that rebuild named fields from `__obj`. Fields marked
+/// `#[serde(default)]` fall back to `Default::default()` when absent
+/// (or explicitly null), so additive schema changes keep old streams
+/// readable.
+fn read_named(fields: &[Field]) -> String {
     fields
         .iter()
         .map(|f| {
-            format!("{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\"))?,\n")
+            let name = &f.name;
+            if f.default {
+                format!(
+                    "{name}: {{ let __fv = ::serde::field(__obj, \"{name}\"); \
+                     if __fv.is_null() {{ ::std::default::Default::default() }} \
+                     else {{ ::serde::Deserialize::from_value(__fv)? }} }},\n"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{name}\"))?,\n"
+                )
+            }
         })
         .collect()
 }
@@ -273,7 +338,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
                     )),
                     Fields::Named(fs) => {
-                        let bindings = fs.join(", ");
+                        let bindings = fs
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::new();
                         push_named(&mut inner, fs, |f| f.to_string());
                         body.push_str(&format!(
