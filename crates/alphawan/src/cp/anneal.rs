@@ -6,12 +6,24 @@
 //! acceptance. The ablation experiment (`bench --bin ablation_solvers`)
 //! compares greedy / GA / annealing on solution quality and wall time,
 //! motivating the paper's GA choice.
+//!
+//! Annealing is the natural home of the delta-scored
+//! [`IncrementalEval`]: every iteration perturbs a single gene, so the
+//! engine path applies the move, reads the updated objective in O(1),
+//! and on rejection replays the returned inverse — no clone, no full
+//! re-score. The move sequence, RNG draws, and acceptance decisions are
+//! identical to the original full-recompute loop (kept as the fallback
+//! for problems beyond the engine's 64-gateway / 64-channel width), so
+//! for integer-valued traffic both paths walk the same trajectory.
 
+use super::eval::{gene_channel, gene_ring, pack_gene, EvalContext, Genome, IncrementalEval};
+use super::ga::SolverStats;
 use super::greedy::greedy_plan;
 use super::{CpProblem, CpSolution};
 use lora_phy::pathloss::DISTANCE_RINGS;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Annealing hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,39 +47,199 @@ impl Default for AnnealConfig {
     }
 }
 
-/// Solve by simulated annealing from the greedy seed.
-pub fn anneal(p: &CpProblem, cfg: AnnealConfig) -> (CpSolution, f64) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut current = greedy_plan(p);
-    let mut current_obj = p.objective(&current);
-    let mut best = current.clone();
-    let mut best_obj = current_obj;
-    let mut temp = cfg.t0;
-
-    for _ in 0..cfg.iterations {
-        if best_obj == 0.0 {
-            break;
-        }
-        let mut candidate = current.clone();
-        mutate_once(p, &mut candidate, &mut rng);
-        let obj = p.objective(&candidate);
-        let accept = obj <= current_obj
-            || rng.gen_bool(((current_obj - obj) / temp.max(1e-9)).exp().clamp(0.0, 1.0));
-        if accept {
-            current = candidate;
-            current_obj = obj;
-            if obj < best_obj {
-                best_obj = obj;
-                best = current.clone();
-            }
-        }
-        temp *= cfg.cooling;
-    }
-    (best, best_obj)
+/// The simulated-annealing solver.
+pub struct AnnealSolver {
+    pub config: AnnealConfig,
 }
 
-/// One random neighborhood move: reassign a node's channel or ring, or
-/// resample one gateway's channel window.
+/// Solve by simulated annealing from the greedy seed.
+pub fn anneal(p: &CpProblem, cfg: AnnealConfig) -> (CpSolution, f64) {
+    AnnealSolver::new(cfg).solve(p)
+}
+
+/// The inverse of one applied move — replaying it through the
+/// incremental evaluator restores the pre-move state exactly (all
+/// bookkeeping is fixed-point integer arithmetic).
+enum Undo {
+    Node { i: usize, gene: u16 },
+    Swap { a: usize, b: usize },
+    Gateway { j: usize, mask: u64 },
+}
+
+impl AnnealSolver {
+    pub fn new(config: AnnealConfig) -> AnnealSolver {
+        AnnealSolver { config }
+    }
+
+    /// Solve `p` from the greedy seed; returns the best solution found
+    /// and its objective.
+    pub fn solve(&self, p: &CpProblem) -> (CpSolution, f64) {
+        let (sol, obj, _) = self.solve_stats(p);
+        (sol, obj)
+    }
+
+    /// [`AnnealSolver::solve`] plus work accounting.
+    pub fn solve_stats(&self, p: &CpProblem) -> (CpSolution, f64, SolverStats) {
+        let start = Instant::now();
+        let (sol, obj, evaluations, iterations) =
+            if p.n_gateways() > super::eval::MAX_ENGINE_GATEWAYS || p.n_channels() > 64 {
+                self.solve_reference(p)
+            } else {
+                self.solve_engine(p)
+            };
+        let stats = SolverStats {
+            evaluations,
+            generations: iterations,
+            workers: 1,
+            wall: start.elapsed(),
+        };
+        (sol, obj, stats)
+    }
+
+    /// Solve and report the run to an observability sink as a
+    /// [`obs::ObsEvent::SolverRun`].
+    pub fn solve_observed(
+        &self,
+        p: &CpProblem,
+        sink: &mut dyn obs::ObsSink,
+        trace: u64,
+    ) -> (CpSolution, f64, SolverStats) {
+        let (sol, obj, stats) = self.solve_stats(p);
+        sink.record(&obs::ObsEvent::SolverRun {
+            trace,
+            solver: obs::SolverKind::Anneal,
+            nodes: p.n_nodes() as u32,
+            gateways: p.n_gateways() as u32,
+            evaluations: stats.evaluations,
+            generations: stats.generations,
+            workers: stats.workers,
+            wall_us: stats.wall.as_micros() as u64,
+        });
+        (sol, obj, stats)
+    }
+
+    /// The delta-scored annealing loop. Returns (solution, objective,
+    /// evaluations, iterations run).
+    fn solve_engine(&self, p: &CpProblem) -> (CpSolution, f64, u64, u32) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let ctx = EvalContext::new(p);
+        let mut inc = IncrementalEval::new(&ctx, Genome::from_solution(&greedy_plan(p)));
+        let mut current_obj = inc.score();
+        let mut best = inc.genome().clone();
+        let mut best_obj = current_obj;
+        let mut temp = cfg.t0;
+        let mut evaluations = 1u64;
+        let mut iterations = 0u32;
+
+        for _ in 0..cfg.iterations {
+            if best_obj == 0.0 {
+                break;
+            }
+            iterations += 1;
+            let undo = apply_move(p, &mut inc, &mut rng);
+            let obj = inc.score();
+            evaluations += 1;
+            let accept = obj <= current_obj
+                || rng.gen_bool(((current_obj - obj) / temp.max(1e-9)).exp().clamp(0.0, 1.0));
+            if accept {
+                current_obj = obj;
+                if obj < best_obj {
+                    best_obj = obj;
+                    best = inc.genome().clone();
+                }
+            } else {
+                match undo {
+                    Undo::Node { i, gene } => {
+                        inc.set_node_gene(i, gene);
+                    }
+                    Undo::Swap { a, b } => inc.swap_nodes(a, b),
+                    Undo::Gateway { j, mask } => {
+                        inc.set_gw_mask(j, mask);
+                    }
+                }
+            }
+            temp *= cfg.cooling;
+        }
+        (best.to_solution(), best_obj, evaluations, iterations)
+    }
+
+    /// The original full-recompute loop over the direct encoding —
+    /// fallback beyond the engine's bitmask width, and the trajectory
+    /// oracle the engine path is tested against.
+    fn solve_reference(&self, p: &CpProblem) -> (CpSolution, f64, u64, u32) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut current = greedy_plan(p);
+        let mut current_obj = p.objective(&current);
+        let mut best = current.clone();
+        let mut best_obj = current_obj;
+        let mut temp = cfg.t0;
+        let mut evaluations = 1u64;
+        let mut iterations = 0u32;
+
+        for _ in 0..cfg.iterations {
+            if best_obj == 0.0 {
+                break;
+            }
+            iterations += 1;
+            let mut candidate = current.clone();
+            mutate_once(p, &mut candidate, &mut rng);
+            let obj = p.objective(&candidate);
+            evaluations += 1;
+            let accept = obj <= current_obj
+                || rng.gen_bool(((current_obj - obj) / temp.max(1e-9)).exp().clamp(0.0, 1.0));
+            if accept {
+                current = candidate;
+                current_obj = obj;
+                if obj < best_obj {
+                    best_obj = obj;
+                    best = current.clone();
+                }
+            }
+            temp *= cfg.cooling;
+        }
+        (best, best_obj, evaluations, iterations)
+    }
+}
+
+/// One random neighborhood move through the incremental evaluator —
+/// the same move set and draw sequence as [`mutate_once`], returning
+/// the inverse for rejection.
+fn apply_move(p: &CpProblem, inc: &mut IncrementalEval, rng: &mut StdRng) -> Undo {
+    let n = p.n_nodes();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            let i = rng.gen_range(0..n);
+            let ch = rng.gen_range(0..p.n_channels());
+            let old = inc.set_node_gene(i, pack_gene(ch, gene_ring(inc.node_gene(i))));
+            Undo::Node { i, gene: old }
+        }
+        1 => {
+            let i = rng.gen_range(0..n);
+            let ring = rng.gen_range(0..DISTANCE_RINGS);
+            let old = inc.set_node_gene(i, pack_gene(gene_channel(inc.node_gene(i)), ring));
+            Undo::Node { i, gene: old }
+        }
+        2 => {
+            // Swap two nodes' assignments.
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            inc.swap_nodes(a, b);
+            Undo::Swap { a, b }
+        }
+        _ => {
+            let j = rng.gen_range(0..inc.genome().gw_mask.len());
+            let mask = super::ga::resample_gw_mask(p, j, rng);
+            let old = inc.set_gw_mask(j, mask);
+            Undo::Gateway { j, mask: old }
+        }
+    }
+}
+
+/// One random neighborhood move on the direct encoding: reassign a
+/// node's channel or ring, swap two nodes, or resample one gateway's
+/// channel window.
 fn mutate_once(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
     match rng.gen_range(0..4u8) {
         0 => {
@@ -163,5 +335,47 @@ mod tests {
         );
         assert!(p.all_connected(&sol));
         assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn engine_walks_the_reference_trajectory() {
+        // Integer traffic ⇒ the delta-scored engine and the
+        // full-recompute reference produce bit-identical results: same
+        // draws, same acceptance decisions, same best solution.
+        let p = problem(24, 3);
+        let solver = AnnealSolver::new(AnnealConfig {
+            iterations: 1_500,
+            ..Default::default()
+        });
+        let (esol, eobj, _, _) = solver.solve_engine(&p);
+        let (rsol, robj, _, _) = solver.solve_reference(&p);
+        assert_eq!(esol, rsol);
+        assert_eq!(eobj.to_bits(), robj.to_bits());
+    }
+
+    #[test]
+    fn anneal_stats_and_observation() {
+        let p = problem(12, 2);
+        let solver = AnnealSolver::new(AnnealConfig {
+            iterations: 500,
+            ..Default::default()
+        });
+        let mut sink = obs::VecSink::new();
+        let (sol, obj, stats) = solver.solve_observed(&p, &mut sink, 0);
+        assert!(p.feasible(&sol));
+        assert!(stats.evaluations >= 1);
+        assert_eq!(stats.workers, 1);
+        let seen = sink.events().iter().any(|ev| {
+            matches!(
+                *ev,
+                obs::ObsEvent::SolverRun {
+                    solver: obs::SolverKind::Anneal,
+                    nodes: 12,
+                    ..
+                }
+            )
+        });
+        assert!(seen, "SolverRun event emitted");
+        let _ = obj;
     }
 }

@@ -1,0 +1,845 @@
+//! Allocation-free CP-solution evaluation engine — the §4.3.1 hot path.
+//!
+//! [`CpProblem::objective`] is the *serial reference evaluator*: clear,
+//! close to the paper's formulation, and property-tested against this
+//! module. It is also O(nodes × gateways × rings) with several heap
+//! allocations per call, which caps the evolutionary solver at a few
+//! hundred nodes. This module is the production evaluator:
+//!
+//! * [`EvalContext`] precomputes per-node gateway-reach bitmasks per
+//!   ring and fixed-point traffic weights once per problem; scoring a
+//!   candidate through a reusable [`Scratch`] then performs **zero
+//!   heap allocations** (enforced by the `eval_alloc` integration
+//!   test).
+//! * [`Genome`] is a flat solution encoding — one `u16` gene per node
+//!   (`channel * DISTANCE_RINGS + ring`) and one `u64` channel bitmask
+//!   per gateway — so cloning a candidate is two `memcpy`s instead of
+//!   a tree of nested `Vec`s.
+//! * [`IncrementalEval`] maintains the objective under single-gene
+//!   deltas: a node move touches only the gateways it loads, a gateway
+//!   re-mask recomputes one `k_j` column. Simulated annealing becomes
+//!   delta-scored (its natural form) and the GA's repair pass stops
+//!   allocating.
+//! * [`score_batch`] fans scoring out over `std::thread::scope`
+//!   workers. Each candidate is scored by the same pure function on a
+//!   private scratch, so results are **byte-identical for every worker
+//!   count** — the `ga_deterministic_per_seed` and `obs_determinism`
+//!   guarantees survive parallelism.
+//!
+//! # Determinism and exactness rules
+//!
+//! Floating-point accumulation is order-sensitive, so a naive
+//! incremental evaluator drifts away from a full recompute. The engine
+//! instead does all load accounting in **fixed-point integers**
+//! (traffic is quantized to [`LOAD_SCALE`] units at context build) and
+//! combines the three objective terms in one canonical order
+//! ([`combine`]). Integer addition is associative, so:
+//!
+//! * incremental score ≡ full recompute, bit for bit, for arbitrary
+//!   `f64` traffic (property-tested over random mutation chains);
+//! * scores are independent of evaluation order, hence of the worker
+//!   count;
+//! * for integer-valued traffic (every experiment in this repo) the
+//!   engine score is bit-identical to the reference
+//!   [`CpProblem::objective`]; non-dyadic traffic quantizes to the
+//!   nearest `2⁻²⁰`, a relative error ≤ `1e-6` documented in
+//!   DESIGN.md.
+
+use super::{CpProblem, CpSolution};
+use lora_phy::pathloss::DISTANCE_RINGS;
+
+/// Fixed-point quantum for traffic loads: one packet-per-window is
+/// `2²⁰` load units. Chosen so integer traffic up to `2⁴⁴` packets
+/// quantizes exactly and per-gateway sums never overflow `u64`.
+pub const LOAD_SCALE: f64 = (1u64 << LOAD_SCALE_BITS) as f64;
+
+/// `log2(LOAD_SCALE)`.
+pub const LOAD_SCALE_BITS: u32 = 20;
+
+/// Largest quantized per-node load (saturation bound, ≈ 1.7e13
+/// packets per window — far beyond any physical deployment).
+const MAX_LOAD_Q: u64 = 1 << 44;
+
+/// Gateways per problem the engine's `u64` reach/serve bitmasks can
+/// hold. [`super::ga::GaSolver`] falls back to the serial reference
+/// path beyond this.
+pub const MAX_ENGINE_GATEWAYS: usize = 64;
+
+/// Quantize one traffic weight to [`LOAD_SCALE`] units.
+fn quantize(traffic: f64) -> u64 {
+    ((traffic.max(0.0) * LOAD_SCALE).round() as u64).min(MAX_LOAD_Q)
+}
+
+/// Combine the three objective components in the engine's canonical
+/// order. Both the full and the incremental evaluator end here, so
+/// their scores are identical whenever their integer components are.
+fn combine(p: &CpProblem, main_q: u128, disconnected: u64, dup_units: u64) -> f64 {
+    main_q as f64 / (LOAD_SCALE * LOAD_SCALE)
+        + disconnected as f64 * p.disconnect_penalty
+        + dup_units as f64 * p.duplicate_penalty
+}
+
+/// Flat solution encoding: per-node packed (channel, ring) genes and
+/// per-gateway channel bitmasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    /// `gene[i] = channel * DISTANCE_RINGS + ring` for node `i` — the
+    /// same key the duplicate-slot scratch uses.
+    pub gene: Vec<u16>,
+    /// Channel bitmask per gateway (bit `k` ⇔ the gateway listens on
+    /// grid channel `k`), replacing the nested `Vec<usize>` sets.
+    pub gw_mask: Vec<u64>,
+}
+
+/// Pack a (channel, ring) pair into a flat gene.
+#[inline]
+pub fn pack_gene(channel: usize, ring: usize) -> u16 {
+    debug_assert!(ring < DISTANCE_RINGS);
+    (channel * DISTANCE_RINGS + ring) as u16
+}
+
+/// Channel index of a packed gene.
+#[inline]
+pub fn gene_channel(gene: u16) -> usize {
+    gene as usize / DISTANCE_RINGS
+}
+
+/// Ring index of a packed gene.
+#[inline]
+pub fn gene_ring(gene: u16) -> usize {
+    gene as usize % DISTANCE_RINGS
+}
+
+impl Genome {
+    /// Flatten a direct-encoded solution.
+    pub fn from_solution(sol: &CpSolution) -> Genome {
+        Genome {
+            gene: sol
+                .node_channel
+                .iter()
+                .zip(&sol.node_ring)
+                .map(|(&c, &r)| pack_gene(c, r))
+                .collect(),
+            gw_mask: sol
+                .gw_channels
+                .iter()
+                .map(|chs| chs.iter().fold(0u64, |m, &k| m | (1 << k)))
+                .collect(),
+        }
+    }
+
+    /// Expand back to the direct encoding (gateway channel lists come
+    /// out sorted ascending).
+    pub fn to_solution(&self) -> CpSolution {
+        CpSolution {
+            gw_channels: self
+                .gw_mask
+                .iter()
+                .map(|&m| BitIter(m).map(|b| b as usize).collect())
+                .collect(),
+            node_channel: self.gene.iter().map(|&g| gene_channel(g)).collect(),
+            node_ring: self.gene.iter().map(|&g| gene_ring(g)).collect(),
+        }
+    }
+}
+
+/// Iterator over the set bit positions of a `u64`, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+/// Precomputed, immutable evaluation tables for one [`CpProblem`].
+/// Shared read-only across scoring workers (`Sync`); all mutable state
+/// lives in per-worker [`Scratch`] buffers.
+pub struct EvalContext<'p> {
+    p: &'p CpProblem,
+    /// `reach[i * DISTANCE_RINGS + l]`: bitmask of gateways node `i`
+    /// reaches at ring `l`.
+    reach: Vec<u64>,
+    /// Per-node traffic in [`LOAD_SCALE`] fixed-point units.
+    traffic_q: Vec<u64>,
+    /// Per-gateway decoder budget in the same units.
+    dec_q: Vec<u64>,
+    /// `full_rings[i]` bit `l` ⇔ node `i` reaches *every* gateway at
+    /// ring `l`. For such (node, ring) pairs the serve mask collapses
+    /// to `listeners[ch]`, so scoring can aggregate per channel
+    /// instead of walking per-node bitmasks — O(1) per node in dense
+    /// deployments where most nodes hear all gateways.
+    full_rings: Vec<u8>,
+    n_slots: usize,
+}
+
+impl<'p> EvalContext<'p> {
+    /// Build the tables — the only allocating step of the engine.
+    ///
+    /// # Panics
+    /// If the problem exceeds [`MAX_ENGINE_GATEWAYS`] gateways or 64
+    /// channels (the bitmask word width; the reference evaluator has
+    /// the same channel bound).
+    pub fn new(p: &'p CpProblem) -> EvalContext<'p> {
+        assert!(
+            p.n_gateways() <= MAX_ENGINE_GATEWAYS,
+            "EvalContext supports at most {MAX_ENGINE_GATEWAYS} gateways"
+        );
+        assert!(
+            p.n_channels() <= 64,
+            "EvalContext supports at most 64 grid channels"
+        );
+        let n = p.n_nodes();
+        let mut reach = vec![0u64; n * DISTANCE_RINGS];
+        for i in 0..n {
+            for (j, rings) in p.reach[i].iter().enumerate() {
+                for (l, &ok) in rings.iter().enumerate() {
+                    if ok {
+                        reach[i * DISTANCE_RINGS + l] |= 1 << j;
+                    }
+                }
+            }
+        }
+        let all_gw = if p.n_gateways() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << p.n_gateways()) - 1
+        };
+        let mut full_rings = vec![0u8; n];
+        for (i, bits) in full_rings.iter_mut().enumerate() {
+            for l in 0..DISTANCE_RINGS {
+                if reach[i * DISTANCE_RINGS + l] == all_gw {
+                    *bits |= 1 << l;
+                }
+            }
+        }
+        EvalContext {
+            p,
+            reach,
+            full_rings,
+            traffic_q: p.traffic.iter().map(|&t| quantize(t)).collect(),
+            dec_q: p
+                .gw_limits
+                .iter()
+                .map(|l| (l.decoders as u64) << LOAD_SCALE_BITS)
+                .collect(),
+            n_slots: p.n_channels() * DISTANCE_RINGS,
+        }
+    }
+
+    /// The problem these tables were built from.
+    pub fn problem(&self) -> &'p CpProblem {
+        self.p
+    }
+
+    /// Reach bitmask of node `i` at ring `l` (bit `j` ⇔ gateway `j`
+    /// hears the node at that ring).
+    #[inline]
+    pub fn reach_mask(&self, i: usize, l: usize) -> u64 {
+        self.reach[i * DISTANCE_RINGS + l]
+    }
+
+    /// Allocate a scratch buffer set sized for this problem. Done once
+    /// per worker; every subsequent [`EvalContext::score`] through it
+    /// is allocation-free.
+    pub fn scratch(&self) -> Scratch {
+        Scratch {
+            listeners: vec![0; self.p.n_channels()],
+            k_q: vec![0; self.p.n_gateways()],
+            phi_q: vec![0; self.p.n_gateways()],
+            serve: vec![0; self.p.n_nodes()],
+            slot_count: vec![0; self.n_slots],
+            ch_load: vec![0; self.p.n_channels()],
+            ch_best: vec![0; self.p.n_channels()],
+        }
+    }
+
+    /// Full score of `g` — same value the incremental evaluator
+    /// maintains, computed from scratch. Zero heap allocations.
+    pub fn score(&self, g: &Genome, s: &mut Scratch) -> f64 {
+        debug_assert_eq!(g.gene.len(), self.p.n_nodes());
+        debug_assert_eq!(g.gw_mask.len(), self.p.n_gateways());
+        // Per-channel listener masks from the gateway masks.
+        s.listeners.fill(0);
+        for (j, &mask) in g.gw_mask.iter().enumerate() {
+            for ch in BitIter(mask) {
+                s.listeners[ch as usize] |= 1 << j;
+            }
+        }
+        // k_j loads. Full-reach (node, ring) pairs serve exactly
+        // `listeners[ch]`, so their traffic aggregates per channel and
+        // folds into every listening gateway afterwards; the rest walk
+        // their serve mask. Fixed-point sums are order-independent, so
+        // the split is bit-exact against the single-pass form.
+        s.k_q.fill(0);
+        s.ch_load.fill(0);
+        for (i, &gene) in g.gene.iter().enumerate() {
+            let (ch, l) = (gene_channel(gene), gene_ring(gene));
+            if self.full_rings[i] >> l & 1 == 1 {
+                s.ch_load[ch] += self.traffic_q[i];
+            } else {
+                let serve = self.reach_mask(i, l) & s.listeners[ch];
+                s.serve[i] = serve;
+                let t = self.traffic_q[i];
+                for j in BitIter(serve) {
+                    s.k_q[j as usize] += t;
+                }
+            }
+        }
+        for (j, &mask) in g.gw_mask.iter().enumerate() {
+            let mut agg = 0u64;
+            for ch in BitIter(mask) {
+                agg += s.ch_load[ch as usize];
+            }
+            s.k_q[j] += agg;
+        }
+        // φ_j: decoder-overflow risk per gateway; per-channel best φ
+        // for the full-reach fast path (`u64::MAX` ⇔ nobody listens).
+        for j in 0..self.p.n_gateways() {
+            s.phi_q[j] = s.k_q[j].saturating_sub(self.dec_q[j]);
+        }
+        for (ch, &m) in s.listeners.iter().enumerate() {
+            let mut best = u64::MAX;
+            for j in BitIter(m) {
+                best = best.min(s.phi_q[j as usize]);
+            }
+            s.ch_best[ch] = best;
+        }
+        // Φ_i: best-gateway risk, traffic-weighted; duplicate slots.
+        let mut main_q: u128 = 0;
+        let mut disconnected: u64 = 0;
+        s.slot_count.fill(0);
+        for (i, &gene) in g.gene.iter().enumerate() {
+            let (ch, l) = (gene_channel(gene), gene_ring(gene));
+            if self.full_rings[i] >> l & 1 == 1 {
+                let best = s.ch_best[ch];
+                if best == u64::MAX {
+                    disconnected += 1;
+                } else {
+                    main_q += self.traffic_q[i] as u128 * best as u128;
+                }
+            } else {
+                let serve = s.serve[i];
+                if serve == 0 {
+                    disconnected += 1;
+                } else {
+                    let mut best = u64::MAX;
+                    for j in BitIter(serve) {
+                        best = best.min(s.phi_q[j as usize]);
+                    }
+                    main_q += self.traffic_q[i] as u128 * best as u128;
+                }
+            }
+            s.slot_count[gene as usize] += 1;
+        }
+        let dup_units: u64 = s
+            .slot_count
+            .iter()
+            .map(|&c| (c as u64).saturating_sub(1))
+            .sum();
+        combine(self.p, main_q, disconnected, dup_units)
+    }
+}
+
+/// Reusable per-worker scoring buffers (see [`EvalContext::scratch`]).
+pub struct Scratch {
+    /// Per-channel gateway-listener bitmask.
+    listeners: Vec<u64>,
+    /// Per-gateway quantized load `k_j`.
+    k_q: Vec<u64>,
+    /// Per-gateway quantized overflow risk `φ_j`.
+    phi_q: Vec<u64>,
+    /// Per-node serving-gateway bitmask (slow-path nodes only).
+    serve: Vec<u64>,
+    /// Per-(channel, ring) slot population.
+    slot_count: Vec<u32>,
+    /// Per-channel aggregated load of full-reach nodes.
+    ch_load: Vec<u64>,
+    /// Per-channel minimum φ over listening gateways (`u64::MAX` when
+    /// no gateway listens on the channel).
+    ch_best: Vec<u64>,
+}
+
+/// Score `genomes` into `out`, fanning out over one `std::thread::scope`
+/// worker per scratch. Every candidate is scored by the same pure
+/// function on a private scratch, so `out` is byte-identical for every
+/// worker count (including 1, the serial reference).
+pub fn score_batch(
+    ctx: &EvalContext,
+    genomes: &[Genome],
+    scratches: &mut [Scratch],
+    out: &mut [f64],
+) {
+    assert_eq!(genomes.len(), out.len());
+    assert!(!scratches.is_empty(), "need at least one scratch");
+    let workers = scratches.len().min(genomes.len()).max(1);
+    if workers == 1 {
+        let s = &mut scratches[0];
+        for (g, o) in genomes.iter().zip(out.iter_mut()) {
+            *o = ctx.score(g, s);
+        }
+        return;
+    }
+    let chunk = genomes.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for ((gs, os), s) in genomes
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(scratches.iter_mut())
+        {
+            scope.spawn(move || {
+                for (g, o) in gs.iter().zip(os.iter_mut()) {
+                    *o = ctx.score(g, s);
+                }
+            });
+        }
+    });
+}
+
+/// Delta-scored evaluator: owns a [`Genome`] plus the derived state
+/// needed to keep the objective current under single-gene mutations.
+///
+/// The score is maintained as the integer triple `(main_q,
+/// disconnected, dup_units)` — exactly the components
+/// [`EvalContext::score`] computes — so [`IncrementalEval::score`] is
+/// O(1) and bit-identical to a full recompute at every point of any
+/// mutation chain. Moves return the previous gene/mask, and replaying
+/// it is an exact inverse (integer arithmetic), which is how the
+/// annealer rejects candidates.
+pub struct IncrementalEval<'c, 'p> {
+    ctx: &'c EvalContext<'p>,
+    g: Genome,
+    listeners: Vec<u64>,
+    k_q: Vec<u64>,
+    phi_q: Vec<u64>,
+    serve: Vec<u64>,
+    /// Cached `Φ_i` (valid only while `serve[i] != 0`).
+    risk_q: Vec<u64>,
+    slot_count: Vec<u32>,
+    /// Σ traffic_q[i] · risk_q[i] over connected nodes.
+    main_q: u128,
+    disconnected: u64,
+    dup_units: u64,
+    /// Per-node "membership removed, pending re-add" flags used by
+    /// gateway moves (preallocated; no per-move heap use).
+    pending: Vec<bool>,
+}
+
+impl<'c, 'p> IncrementalEval<'c, 'p> {
+    /// Build the evaluator state for `g` with one full pass.
+    pub fn new(ctx: &'c EvalContext<'p>, g: Genome) -> IncrementalEval<'c, 'p> {
+        let p = ctx.p;
+        let mut s = IncrementalEval {
+            ctx,
+            g,
+            listeners: vec![0; p.n_channels()],
+            k_q: vec![0; p.n_gateways()],
+            phi_q: vec![0; p.n_gateways()],
+            serve: vec![0; p.n_nodes()],
+            risk_q: vec![0; p.n_nodes()],
+            slot_count: vec![0; ctx.n_slots],
+            main_q: 0,
+            disconnected: 0,
+            dup_units: 0,
+            pending: vec![false; p.n_nodes()],
+        };
+        s.rebuild();
+        s
+    }
+
+    /// Recompute every derived table from the genome.
+    fn rebuild(&mut self) {
+        let ctx = self.ctx;
+        self.listeners.fill(0);
+        for (j, &mask) in self.g.gw_mask.iter().enumerate() {
+            for ch in BitIter(mask) {
+                self.listeners[ch as usize] |= 1 << j;
+            }
+        }
+        self.k_q.fill(0);
+        self.slot_count.fill(0);
+        for (i, &gene) in self.g.gene.iter().enumerate() {
+            let serve = ctx.reach_mask(i, gene_ring(gene)) & self.listeners[gene_channel(gene)];
+            self.serve[i] = serve;
+            let t = ctx.traffic_q[i];
+            for j in BitIter(serve) {
+                self.k_q[j as usize] += t;
+            }
+            self.slot_count[gene as usize] += 1;
+        }
+        for j in 0..self.k_q.len() {
+            self.phi_q[j] = self.k_q[j].saturating_sub(ctx.dec_q[j]);
+        }
+        self.main_q = 0;
+        self.disconnected = 0;
+        for i in 0..self.serve.len() {
+            if self.serve[i] == 0 {
+                self.disconnected += 1;
+            } else {
+                let r = self.min_phi(self.serve[i]);
+                self.risk_q[i] = r;
+                self.main_q += ctx.traffic_q[i] as u128 * r as u128;
+            }
+        }
+        self.dup_units = self
+            .slot_count
+            .iter()
+            .map(|&c| (c as u64).saturating_sub(1))
+            .sum();
+    }
+
+    #[inline]
+    fn min_phi(&self, serve: u64) -> u64 {
+        let mut best = u64::MAX;
+        for j in BitIter(serve) {
+            best = best.min(self.phi_q[j as usize]);
+        }
+        best
+    }
+
+    /// Current objective — O(1), identical to
+    /// [`EvalContext::score`] of the current genome.
+    pub fn score(&self) -> f64 {
+        combine(self.ctx.p, self.main_q, self.disconnected, self.dup_units)
+    }
+
+    /// The evaluated genome.
+    pub fn genome(&self) -> &Genome {
+        &self.g
+    }
+
+    /// Current gene of node `i`.
+    pub fn node_gene(&self, i: usize) -> u16 {
+        self.g.gene[i]
+    }
+
+    /// Current channel mask of gateway `j`.
+    pub fn gw_mask(&self, j: usize) -> u64 {
+        self.g.gw_mask[j]
+    }
+
+    /// Remove node `i`'s contributions (risk sum, loads, slot count).
+    fn detach_node(&mut self, i: usize) -> u64 {
+        let t = self.ctx.traffic_q[i];
+        let serve = self.serve[i];
+        if serve == 0 {
+            self.disconnected -= 1;
+        } else {
+            self.main_q -= t as u128 * self.risk_q[i] as u128;
+        }
+        for j in BitIter(serve) {
+            self.k_q[j as usize] -= t;
+        }
+        let slot = self.g.gene[i] as usize;
+        self.slot_count[slot] -= 1;
+        if self.slot_count[slot] >= 1 {
+            self.dup_units -= 1;
+        }
+        serve
+    }
+
+    /// Re-add node `i` under its (already written) new gene.
+    fn attach_node(&mut self, i: usize) -> u64 {
+        let gene = self.g.gene[i];
+        let t = self.ctx.traffic_q[i];
+        let serve = self.ctx.reach_mask(i, gene_ring(gene)) & self.listeners[gene_channel(gene)];
+        self.serve[i] = serve;
+        for j in BitIter(serve) {
+            self.k_q[j as usize] += t;
+        }
+        let slot = gene as usize;
+        self.slot_count[slot] += 1;
+        if self.slot_count[slot] >= 2 {
+            self.dup_units += 1;
+        }
+        serve
+    }
+
+    /// Refresh `phi_q` for `touched` gateways; returns the mask of
+    /// gateways whose risk actually changed.
+    fn refresh_phi(&mut self, touched: u64) -> u64 {
+        let mut changed = 0u64;
+        for j in BitIter(touched) {
+            let j = j as usize;
+            let phi = self.k_q[j].saturating_sub(self.ctx.dec_q[j]);
+            if phi != self.phi_q[j] {
+                self.phi_q[j] = phi;
+                changed |= 1 << j;
+            }
+        }
+        changed
+    }
+
+    /// Recompute cached risks for every connected node whose serving
+    /// set intersects `changed`, skipping `skip` (the node being
+    /// moved, whose contribution is re-added separately).
+    fn propagate_phi(&mut self, changed: u64, skip: usize) {
+        if changed == 0 {
+            return;
+        }
+        for i in 0..self.serve.len() {
+            let serve = self.serve[i];
+            if i == skip || serve & changed == 0 || serve == 0 {
+                continue;
+            }
+            let t = self.ctx.traffic_q[i] as u128;
+            let r = self.min_phi(serve);
+            self.main_q -= t * self.risk_q[i] as u128;
+            self.main_q += t * r as u128;
+            self.risk_q[i] = r;
+        }
+    }
+
+    /// Reassign node `i` to `gene`, updating only affected state.
+    /// Returns the previous gene (replay it to undo the move exactly).
+    pub fn set_node_gene(&mut self, i: usize, gene: u16) -> u16 {
+        let old = self.g.gene[i];
+        if old == gene {
+            return old;
+        }
+        let mut touched = self.detach_node(i);
+        self.g.gene[i] = gene;
+        touched |= self.attach_node(i);
+        let changed = self.refresh_phi(touched);
+        self.propagate_phi(changed, i);
+        // Re-admit the moved node's own contribution with fresh phi.
+        let serve = self.serve[i];
+        if serve == 0 {
+            self.disconnected += 1;
+        } else {
+            let r = self.min_phi(serve);
+            self.risk_q[i] = r;
+            self.main_q += self.ctx.traffic_q[i] as u128 * r as u128;
+        }
+        old
+    }
+
+    /// Swap the genes of nodes `a` and `b` (the annealer's exchange
+    /// move).
+    pub fn swap_nodes(&mut self, a: usize, b: usize) {
+        if a == b || self.g.gene[a] == self.g.gene[b] {
+            return;
+        }
+        let ga = self.g.gene[a];
+        let gb = self.g.gene[b];
+        self.set_node_gene(a, gb);
+        self.set_node_gene(b, ga);
+    }
+
+    /// Re-mask gateway `j`, recomputing its `k_j` column and every
+    /// affected node's serve/risk in one pass. Returns the previous
+    /// mask (replay it to undo the move exactly).
+    pub fn set_gw_mask(&mut self, j: usize, mask: u64) -> u64 {
+        let old = self.g.gw_mask[j];
+        let diff = old ^ mask;
+        if diff == 0 {
+            return old;
+        }
+        let bit = 1u64 << j;
+        for ch in BitIter(diff) {
+            self.listeners[ch as usize] ^= bit;
+        }
+        self.g.gw_mask[j] = mask;
+        // Pass 1: toggle serve membership, rebuild k_j.
+        let mut k_new: u64 = 0;
+        for i in 0..self.serve.len() {
+            let gene = self.g.gene[i];
+            let ch = gene_channel(gene);
+            let reaches = self.ctx.reach_mask(i, gene_ring(gene)) & bit != 0;
+            if reaches && (diff >> ch) & 1 == 1 {
+                // Node i's serve bit j flips: pull its contribution
+                // out now, re-add after phi settles.
+                let t = self.ctx.traffic_q[i];
+                let serve = self.serve[i];
+                if serve == 0 {
+                    self.disconnected -= 1;
+                } else {
+                    self.main_q -= t as u128 * self.risk_q[i] as u128;
+                }
+                self.serve[i] = serve ^ bit;
+                self.pending[i] = true;
+            }
+            if reaches && (mask >> ch) & 1 == 1 {
+                k_new += self.ctx.traffic_q[i];
+            }
+        }
+        self.k_q[j] = k_new;
+        let changed = self.refresh_phi(bit);
+        // Pass 2: re-admit flipped nodes, refresh others serving j.
+        for i in 0..self.serve.len() {
+            let serve = self.serve[i];
+            if self.pending[i] {
+                self.pending[i] = false;
+                if serve == 0 {
+                    self.disconnected += 1;
+                } else {
+                    let r = self.min_phi(serve);
+                    self.risk_q[i] = r;
+                    self.main_q += self.ctx.traffic_q[i] as u128 * r as u128;
+                }
+            } else if serve & changed != 0 {
+                let t = self.ctx.traffic_q[i] as u128;
+                let r = self.min_phi(serve);
+                self.main_q -= t * self.risk_q[i] as u128;
+                self.main_q += t * r as u128;
+                self.risk_q[i] = r;
+            }
+        }
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::GatewayLimits;
+    use lora_phy::channel::ChannelGrid;
+
+    fn problem(nodes: usize, gws: usize, traffic: Vec<f64>) -> CpProblem {
+        let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let reach = vec![vec![[true; DISTANCE_RINGS]; gws]; nodes];
+        CpProblem::new(channels, reach, traffic, vec![GatewayLimits::sx1302(); gws])
+    }
+
+    #[test]
+    fn engine_matches_reference_on_integer_traffic() {
+        let p = problem(
+            12,
+            3,
+            vec![1.0, 2.0, 3.0, 1.0, 1.0, 2.0, 1.0, 4.0, 1.0, 1.0, 2.0, 1.0],
+        );
+        let ctx = EvalContext::new(&p);
+        let mut s = ctx.scratch();
+        let sols = [
+            CpSolution {
+                gw_channels: vec![vec![0, 1], vec![2, 3], vec![4, 5]],
+                node_channel: vec![0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5],
+                node_ring: vec![5, 5, 5, 5, 5, 5, 4, 4, 4, 4, 4, 4],
+            },
+            CpSolution {
+                gw_channels: vec![vec![0], vec![0], vec![0]],
+                node_channel: vec![0; 12],
+                node_ring: vec![5; 12],
+            },
+            CpSolution {
+                // Channel 7 unserved: disconnections.
+                gw_channels: vec![vec![0, 1], vec![2], vec![3]],
+                node_channel: vec![7, 0, 1, 2, 3, 7, 0, 1, 2, 3, 0, 1],
+                node_ring: vec![5, 4, 3, 2, 1, 0, 5, 4, 3, 2, 1, 0],
+            },
+        ];
+        for sol in &sols {
+            let g = Genome::from_solution(sol);
+            assert_eq!(ctx.score(&g, &mut s).to_bits(), p.objective(sol).to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_close_to_reference_on_fractional_traffic() {
+        let traffic: Vec<f64> = (0..10).map(|i| 0.1 + 0.37 * i as f64).collect();
+        let p = problem(10, 2, traffic);
+        let ctx = EvalContext::new(&p);
+        let mut s = ctx.scratch();
+        let sol = CpSolution {
+            gw_channels: vec![vec![0, 1], vec![2, 3]],
+            node_channel: vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1],
+            node_ring: vec![5, 5, 5, 5, 4, 4, 4, 4, 3, 3],
+        };
+        let g = Genome::from_solution(&sol);
+        let engine = ctx.score(&g, &mut s);
+        let oracle = p.objective(&sol);
+        let tol = 1e-5 * (1.0 + oracle.abs());
+        assert!((engine - oracle).abs() < tol, "{engine} vs {oracle}");
+    }
+
+    #[test]
+    fn genome_round_trips() {
+        let sol = CpSolution {
+            gw_channels: vec![vec![0, 3, 5], vec![2]],
+            node_channel: vec![0, 3, 5, 2],
+            node_ring: vec![0, 2, 5, 1],
+        };
+        assert_eq!(Genome::from_solution(&sol).to_solution(), sol);
+    }
+
+    #[test]
+    fn incremental_tracks_node_and_gateway_moves() {
+        let p = problem(8, 2, vec![1.0; 8]);
+        let ctx = EvalContext::new(&p);
+        let mut s = ctx.scratch();
+        let sol = CpSolution {
+            gw_channels: vec![vec![0, 1], vec![2, 3]],
+            node_channel: vec![0, 1, 2, 3, 0, 1, 2, 3],
+            node_ring: vec![5, 5, 5, 5, 4, 4, 4, 4],
+        };
+        let mut inc = IncrementalEval::new(&ctx, Genome::from_solution(&sol));
+        assert_eq!(
+            inc.score().to_bits(),
+            ctx.score(inc.genome(), &mut s).to_bits()
+        );
+
+        let old = inc.set_node_gene(3, pack_gene(0, 5)); // duplicate slot + load shift
+        assert_eq!(
+            inc.score().to_bits(),
+            ctx.score(inc.genome(), &mut s).to_bits()
+        );
+        inc.set_node_gene(3, old); // exact undo
+        assert_eq!(
+            inc.score().to_bits(),
+            ctx.score(inc.genome(), &mut s).to_bits()
+        );
+
+        let old_mask = inc.set_gw_mask(1, 0b0001); // drop channels 2..3: disconnects
+        assert_eq!(
+            inc.score().to_bits(),
+            ctx.score(inc.genome(), &mut s).to_bits()
+        );
+        inc.set_gw_mask(1, old_mask);
+        assert_eq!(
+            inc.score().to_bits(),
+            ctx.score(inc.genome(), &mut s).to_bits()
+        );
+
+        inc.swap_nodes(0, 7);
+        assert_eq!(
+            inc.score().to_bits(),
+            ctx.score(inc.genome(), &mut s).to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_scoring_is_worker_count_invariant() {
+        let p = problem(20, 3, (0..20).map(|i| 1.0 + (i % 4) as f64).collect());
+        let ctx = EvalContext::new(&p);
+        let genomes: Vec<Genome> = (0..9)
+            .map(|v| {
+                let sol = CpSolution {
+                    gw_channels: vec![vec![v % 8], vec![(v + 2) % 8], vec![(v + 4) % 8]],
+                    node_channel: (0..20).map(|i| (i + v) % 8).collect(),
+                    node_ring: (0..20).map(|i| (i * v + 1) % DISTANCE_RINGS).collect(),
+                };
+                Genome::from_solution(&sol)
+            })
+            .collect();
+        let mut serial = vec![0.0; genomes.len()];
+        let mut one = [ctx.scratch()];
+        score_batch(&ctx, &genomes, &mut one, &mut serial);
+        for workers in [2usize, 4, 8] {
+            let mut scratches: Vec<Scratch> = (0..workers).map(|_| ctx.scratch()).collect();
+            let mut out = vec![0.0; genomes.len()];
+            score_batch(&ctx, &genomes, &mut scratches, &mut out);
+            assert_eq!(
+                serial.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                out.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,18 +1,42 @@
 //! The evolutionary CP solver (§4.3.1: "AlphaWAN runs an evolutionary
 //! algorithm on a central server to search for approximate solutions").
 //!
-//! Standard (μ+λ)-style GA over the direct [`CpSolution`] encoding:
-//! tournament selection, uniform crossover (per-node genes and
-//! per-gateway channel sets), mutation (node reassignment, gateway
-//! channel resampling within the radio window), a connectivity repair
-//! pass, and elitism. Seeded with the greedy plan so the search starts
-//! feasible.
+//! Standard (μ+λ)-style GA: tournament selection, uniform crossover,
+//! mutation (node reassignment, gateway channel resampling within the
+//! radio window), a connectivity repair pass, and elitism. Seeded with
+//! the greedy plan so the search starts feasible.
+//!
+//! Two implementations share the hyper-parameters:
+//!
+//! * The **engine path** ([`GaSolver::solve`] and friends) runs on the
+//!   flat [`Genome`] encoding through the allocation-free
+//!   [`eval`](super::eval) engine. Children are bred *serially*, each
+//!   from its own deterministic RNG stream ([`slot_rng`]: a splitmix64
+//!   chain of seed, generation and population slot), then scored
+//!   *concurrently* by [`score_batch`] workers. Because breeding never
+//!   observes scoring order and every candidate is scored by a pure
+//!   function, the result is byte-identical for every worker count —
+//!   determinism is per (problem, config), not per machine.
+//! * The **reference path** ([`GaSolver::solve_reference`]) is the
+//!   original direct-encoding loop over
+//!   [`CpProblem::objective`], kept as the property-tested baseline and
+//!   as the fallback for problems beyond the engine's 64-gateway /
+//!   64-channel bitmask width.
+//!
+//! Both paths sort score-then-slot (stable sort on the objective), so
+//! equal-scoring candidates keep their breeding order and runs stay
+//! reproducible.
 
+use super::eval::{
+    gene_channel, gene_ring, pack_gene, score_batch, EvalContext, Genome, Scratch,
+    MAX_ENGINE_GATEWAYS,
+};
 use super::greedy::greedy_plan;
 use super::{CpProblem, CpSolution};
 use lora_phy::pathloss::DISTANCE_RINGS;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// GA hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +58,10 @@ pub struct GaConfig {
     /// solution (the "without cooperation from the node side" ablation,
     /// §5.1.3).
     pub optimize_node_assignments: bool,
+    /// Scoring worker threads for the parallel generation step
+    /// (0 = one per available CPU core). Results are bit-identical for
+    /// every value — this knob only trades wall time.
+    pub workers: usize,
 }
 
 impl Default for GaConfig {
@@ -49,6 +77,33 @@ impl Default for GaConfig {
             seed: 0x0A1F_A0AD,
             optimize_gateway_channels: true,
             optimize_node_assignments: true,
+            workers: 0,
+        }
+    }
+}
+
+/// Work accounting for one solver run (GA or annealing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Objective evaluations performed across the whole search.
+    pub evaluations: u64,
+    /// Generations (GA) or iterations (annealing) executed.
+    pub generations: u32,
+    /// Scoring worker threads used (1 = serial).
+    pub workers: u32,
+    /// Host wall-clock duration of the search.
+    pub wall: Duration,
+}
+
+impl SolverStats {
+    /// Objective evaluations per wall-clock second (0 when no time was
+    /// observed).
+    pub fn evals_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.evaluations as f64 / secs
+        } else {
+            0.0
         }
     }
 }
@@ -66,13 +121,220 @@ impl GaSolver {
     /// Solve `p` from the greedy seed; returns the best solution found
     /// and its objective.
     pub fn solve(&self, p: &CpProblem) -> (CpSolution, f64) {
-        self.solve_seeded(p, greedy_plan(p))
+        let (sol, obj, _) = self.solve_seeded_stats(p, greedy_plan(p));
+        (sol, obj)
     }
 
     /// Solve `p` starting from an explicit seed solution. With the
     /// `optimize_*` flags cleared, the corresponding genes stay pinned
     /// to the seed — the paper's ablation variants.
     pub fn solve_seeded(&self, p: &CpProblem, seedling: CpSolution) -> (CpSolution, f64) {
+        let (sol, obj, _) = self.solve_seeded_stats(p, seedling);
+        (sol, obj)
+    }
+
+    /// [`GaSolver::solve`] plus work accounting.
+    pub fn solve_stats(&self, p: &CpProblem) -> (CpSolution, f64, SolverStats) {
+        self.solve_seeded_stats(p, greedy_plan(p))
+    }
+
+    /// [`GaSolver::solve_seeded`] plus work accounting.
+    pub fn solve_seeded_stats(
+        &self,
+        p: &CpProblem,
+        seedling: CpSolution,
+    ) -> (CpSolution, f64, SolverStats) {
+        let start = Instant::now();
+        if p.n_gateways() > MAX_ENGINE_GATEWAYS || p.n_channels() > 64 {
+            // Beyond the engine's bitmask width: reference loop.
+            let evals = std::cell::Cell::new(0u64);
+            let (sol, obj) = self.solve_reference_with(p, seedling, |p, s| {
+                evals.set(evals.get() + 1);
+                p.objective(s)
+            });
+            let stats = SolverStats {
+                evaluations: evals.get(),
+                generations: self.config.generations as u32,
+                workers: 1,
+                wall: start.elapsed(),
+            };
+            return (sol, obj, stats);
+        }
+        let (sol, obj, evaluations, generations, workers) = self.solve_engine(p, seedling);
+        let stats = SolverStats {
+            evaluations,
+            generations,
+            workers,
+            wall: start.elapsed(),
+        };
+        (sol, obj, stats)
+    }
+
+    /// Solve and report the run to an observability sink as a
+    /// [`obs::ObsEvent::SolverRun`] (`trace` ties it to the Master plan
+    /// request that asked for it; 0 = untraced).
+    pub fn solve_observed(
+        &self,
+        p: &CpProblem,
+        sink: &mut dyn obs::ObsSink,
+        trace: u64,
+    ) -> (CpSolution, f64, SolverStats) {
+        let (sol, obj, stats) = self.solve_stats(p);
+        sink.record(&obs::ObsEvent::SolverRun {
+            trace,
+            solver: obs::SolverKind::Ga,
+            nodes: p.n_nodes() as u32,
+            gateways: p.n_gateways() as u32,
+            evaluations: stats.evaluations,
+            generations: stats.generations,
+            workers: stats.workers,
+            wall_us: stats.wall.as_micros() as u64,
+        });
+        (sol, obj, stats)
+    }
+
+    /// Worker-thread count for this run: the configured value, or one
+    /// per available CPU core when 0, never more than the population.
+    fn resolve_workers(&self) -> usize {
+        let w = if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.workers
+        };
+        w.clamp(1, self.config.population.max(1))
+    }
+
+    /// The engine GA loop over flat genomes. Returns (solution,
+    /// objective, evaluations, generations run, workers used).
+    fn solve_engine(
+        &self,
+        p: &CpProblem,
+        seedling: CpSolution,
+    ) -> (CpSolution, f64, u64, u32, u32) {
+        let cfg = &self.config;
+        let ctx = EvalContext::new(p);
+        let workers = self.resolve_workers();
+        let mut scratches: Vec<Scratch> = (0..workers).map(|_| ctx.scratch()).collect();
+
+        let node_rate0 = if cfg.optimize_node_assignments {
+            0.3
+        } else {
+            0.0
+        };
+        let gw_rate0 = if cfg.optimize_gateway_channels {
+            0.5
+        } else {
+            0.0
+        };
+
+        // Generation 0: the seed plus mutated clones, each bred from
+        // its own slot stream.
+        let seed_genome = Genome::from_solution(&seedling);
+        let mut genomes: Vec<Genome> = Vec::with_capacity(cfg.population);
+        genomes.push(seed_genome.clone());
+        for slot in 1..cfg.population {
+            let mut rng = slot_rng(cfg.seed, 0, slot as u64);
+            let mut g = seed_genome.clone();
+            mutate_genome(p, &mut g, node_rate0, gw_rate0, &mut rng);
+            if cfg.optimize_node_assignments {
+                repair_genome(&ctx, &mut g, &mut rng);
+            }
+            genomes.push(g);
+        }
+        let mut scores = vec![0.0; genomes.len()];
+        score_batch(&ctx, &genomes, &mut scratches, &mut scores);
+        let mut evaluations = genomes.len() as u64;
+        let mut scored: Vec<(f64, Genome)> = scores.drain(..).zip(genomes.drain(..)).collect();
+        sort_scored_genomes(&mut scored);
+
+        let node_rate = if cfg.optimize_node_assignments {
+            cfg.node_mutation
+        } else {
+            0.0
+        };
+        let gw_rate = if cfg.optimize_gateway_channels {
+            cfg.gw_mutation
+        } else {
+            0.0
+        };
+        let elites = cfg.elites.min(cfg.population);
+        let mut generations_run = 0u32;
+        let mut children: Vec<Genome> = Vec::with_capacity(cfg.population - elites);
+        let mut child_scores = vec![0.0; cfg.population - elites];
+        for gen in 1..=cfg.generations {
+            if scored[0].0 == 0.0 {
+                break; // contention-free plan found
+            }
+            generations_run = gen as u32;
+            // Breed serially: child `slot` consumes only its own RNG
+            // stream, so the bred set is independent of scoring order.
+            children.clear();
+            for slot in elites..cfg.population {
+                let mut rng = slot_rng(cfg.seed, gen as u64, slot as u64);
+                let a = tournament_genome(&scored, cfg.tournament, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    let b = tournament_genome(&scored, cfg.tournament, &mut rng);
+                    crossover_genome(&scored[a].1, &scored[b].1, &mut rng)
+                } else {
+                    scored[a].1.clone()
+                };
+                mutate_genome(p, &mut child, node_rate, gw_rate, &mut rng);
+                if cfg.optimize_node_assignments {
+                    repair_genome(&ctx, &mut child, &mut rng);
+                }
+                children.push(child);
+            }
+            // Score concurrently; then elites + children, stable-sorted
+            // on the objective (score-then-sort keeps ties in slot
+            // order regardless of the worker count).
+            score_batch(
+                &ctx,
+                &children,
+                &mut scratches,
+                &mut child_scores[..children.len()],
+            );
+            evaluations += children.len() as u64;
+            scored.truncate(elites);
+            scored.extend(
+                child_scores[..children.len()]
+                    .iter()
+                    .copied()
+                    .zip(children.drain(..)),
+            );
+            sort_scored_genomes(&mut scored);
+        }
+
+        let (best_score, best) = scored.swap_remove(0);
+        (
+            best.to_solution(),
+            best_score,
+            evaluations,
+            generations_run,
+            workers as u32,
+        )
+    }
+
+    /// The pre-engine GA loop over the direct encoding and
+    /// [`CpProblem::objective`] — the property-tested baseline, and the
+    /// fallback beyond the engine's bitmask width.
+    pub fn solve_reference(&self, p: &CpProblem) -> (CpSolution, f64) {
+        self.solve_reference_with(p, greedy_plan(p), |p, s| p.objective(s))
+    }
+
+    /// [`GaSolver::solve_reference`] with an explicit seed and a
+    /// caller-supplied objective function (the bench harness passes the
+    /// pre-change HashMap evaluator here to time a faithful baseline).
+    pub fn solve_reference_with<F>(
+        &self,
+        p: &CpProblem,
+        seedling: CpSolution,
+        objective: F,
+    ) -> (CpSolution, f64)
+    where
+        F: Fn(&CpProblem, &CpSolution) -> f64,
+    {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -86,20 +348,21 @@ impl GaSolver {
         } else {
             0.0
         };
+        let mut repair_buf: Vec<(usize, usize)> = Vec::new();
         let mut population: Vec<CpSolution> = Vec::with_capacity(cfg.population);
         population.push(seedling.clone());
         while population.len() < cfg.population {
             let mut s = seedling.clone();
             mutate(p, &mut s, node_rate0, gw_rate0, &mut rng);
             if cfg.optimize_node_assignments {
-                repair(p, &mut s, &mut rng);
+                repair(p, &mut s, &mut repair_buf, &mut rng);
             }
             population.push(s);
         }
 
         let mut scored: Vec<(f64, CpSolution)> = population
             .into_iter()
-            .map(|s| (p.objective(&s), s))
+            .map(|s| (objective(p, &s), s))
             .collect();
         sort_scored(&mut scored);
 
@@ -126,9 +389,9 @@ impl GaSolver {
                 };
                 mutate(p, &mut child, node_rate, gw_rate, &mut rng);
                 if cfg.optimize_node_assignments {
-                    repair(p, &mut child, &mut rng);
+                    repair(p, &mut child, &mut repair_buf, &mut rng);
                 }
-                let score = p.objective(&child);
+                let score = objective(p, &child);
                 next.push((score, child));
             }
             scored = next;
@@ -140,6 +403,209 @@ impl GaSolver {
 
         let (best_score, best) = scored.swap_remove(0);
         (best, best_score)
+    }
+}
+
+/// splitmix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators").
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic RNG stream breeding child `slot` of generation
+/// `generation`: a splitmix64 chain of (seed, generation, slot). Each
+/// child draws only from its own stream, which is what lets scoring
+/// parallelize without perturbing the search trajectory.
+pub(crate) fn slot_rng(seed: u64, generation: u64, slot: u64) -> StdRng {
+    let mixed =
+        splitmix64(splitmix64(splitmix64(seed).wrapping_add(generation)).wrapping_add(slot));
+    StdRng::seed_from_u64(mixed)
+}
+
+fn sort_scored_genomes(scored: &mut [(f64, Genome)]) {
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+fn tournament_genome(scored: &[(f64, Genome)], k: usize, rng: &mut StdRng) -> usize {
+    (0..k)
+        .map(|_| rng.gen_range(0..scored.len()))
+        .min_by(|&a, &b| scored[a].0.total_cmp(&scored[b].0))
+        .expect("tournament size > 0")
+}
+
+/// Visit every index in `0..n` selected by an independent
+/// Bernoulli(`rate`) trial, drawing O(selected) random numbers via
+/// geometric jumps instead of one coin per index. Distribution-
+/// equivalent to per-index `gen_bool(rate)` coins but not
+/// draw-sequence-compatible with them — the engine path owns its
+/// per-slot RNG streams, so only self-consistency matters, and on
+/// large instances the per-gene coin cascade dominated breeding time.
+fn bernoulli_hits<F: FnMut(usize, &mut StdRng)>(n: usize, rate: f64, rng: &mut StdRng, mut hit: F) {
+    if rate <= 0.0 || n == 0 {
+        return;
+    }
+    if rate >= 1.0 {
+        for i in 0..n {
+            hit(i, rng);
+        }
+        return;
+    }
+    let denom = (1.0 - rate).ln();
+    let mut i = 0usize;
+    loop {
+        // Geometric(rate) gap; ln(0)/denom = +inf saturates past `n`.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let skip = (u.ln() / denom) as usize;
+        i = match i.checked_add(skip) {
+            Some(v) if v < n => v,
+            _ => return,
+        };
+        hit(i, rng);
+        i += 1;
+    }
+}
+
+/// Uniform crossover on the flat encoding: one coin per node keeps its
+/// (channel, ring) gene paired, one coin per gateway picks a parent's
+/// whole channel mask. Coins come 64 at a time from single `u64`
+/// draws, so a 4 000-node crossover costs ~64 RNG calls, not 4 000.
+fn crossover_genome(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+    let mut gene = a.gene.clone();
+    let mut gw_mask = a.gw_mask.clone();
+    let mut bits = 0u64;
+    let mut left = 0u32;
+    let mut coin = |rng: &mut StdRng| {
+        if left == 0 {
+            bits = rng.next_u64();
+            left = 64;
+        }
+        let take = bits & 1 == 1;
+        bits >>= 1;
+        left -= 1;
+        take
+    };
+    for (slot, &gb) in gene.iter_mut().zip(&b.gene) {
+        if coin(rng) {
+            *slot = gb;
+        }
+    }
+    for (slot, &mb) in gw_mask.iter_mut().zip(&b.gw_mask) {
+        if coin(rng) {
+            *slot = mb;
+        }
+    }
+    Genome { gene, gw_mask }
+}
+
+/// Mutate node genes and gateway masks in place — the flat-encoding
+/// counterpart of [`mutate`], with each Bernoulli cascade run through
+/// [`bernoulli_hits`] so the cost scales with mutations applied rather
+/// than genome length.
+fn mutate_genome(p: &CpProblem, g: &mut Genome, node_rate: f64, gw_rate: f64, rng: &mut StdRng) {
+    let n_ch = p.n_channels();
+    let n = g.gene.len();
+    bernoulli_hits(n, node_rate, rng, |i, rng| {
+        g.gene[i] = pack_gene(rng.gen_range(0..n_ch), gene_ring(g.gene[i]));
+    });
+    bernoulli_hits(n, node_rate, rng, |i, rng| {
+        g.gene[i] = pack_gene(gene_channel(g.gene[i]), rng.gen_range(0..DISTANCE_RINGS));
+    });
+    bernoulli_hits(g.gw_mask.len(), gw_rate, rng, |j, rng| {
+        g.gw_mask[j] = resample_gw_mask(p, j, rng);
+    });
+}
+
+/// Fresh channel mask for gateway `j`: a random count within budget
+/// drawn from a random window satisfying the bandwidth constraint —
+/// [`resample_gateway_channels`] without the heap (partial
+/// Fisher–Yates over a stack array; the engine guarantees ≤ 64
+/// channels).
+pub(crate) fn resample_gw_mask(p: &CpProblem, j: usize, rng: &mut StdRng) -> u64 {
+    let n_ch = p.n_channels();
+    let window = p.window_channels(j).max(1).min(n_ch);
+    let start = rng.gen_range(0..=n_ch - window);
+    let budget = p.gw_limits[j].max_channels.min(window);
+    let count = rng.gen_range(1..=budget);
+    let mut chans = [0usize; 64];
+    for (slot, ch) in chans[..window].iter_mut().zip(start..) {
+        *slot = ch;
+    }
+    let mut mask = 0u64;
+    for i in 0..count {
+        let swap = rng.gen_range(i..window);
+        chans.swap(i, swap);
+        mask |= 1 << chans[i];
+    }
+    mask
+}
+
+/// Connectivity repair on the flat encoding. The listener masks and
+/// per-gateway channel counts are built once per pass; each
+/// disconnected node then draws uniformly from its feasible (gateway,
+/// channel, ring) option multiset — the same multiset the reference
+/// repair enumerates into its options buffer — with one RNG draw and
+/// O(set bits) mask walks instead of a full channels × rings scan.
+/// No heap use.
+fn repair_genome(ctx: &EvalContext, g: &mut Genome, rng: &mut StdRng) {
+    let mut listeners = [0u64; 64];
+    let mut nch = [0u32; 64];
+    for (j, &mask) in g.gw_mask.iter().enumerate() {
+        nch[j] = mask.count_ones();
+        let mut m = mask;
+        while m != 0 {
+            listeners[m.trailing_zeros() as usize] |= 1 << j;
+            m &= m - 1;
+        }
+    }
+    'node: for i in 0..g.gene.len() {
+        let gene = g.gene[i];
+        if ctx.reach_mask(i, gene_ring(gene)) & listeners[gene_channel(gene)] != 0 {
+            continue;
+        }
+        // Every gateway hearing ring `l` contributes one option per
+        // channel it listens on, so per-ring totals are sums of
+        // channel counts over the ring's reach bits.
+        let mut ring_total = [0usize; DISTANCE_RINGS];
+        let mut total = 0usize;
+        for (l, slot) in ring_total.iter_mut().enumerate() {
+            let mut m = ctx.reach_mask(i, l);
+            let mut acc = 0usize;
+            while m != 0 {
+                acc += nch[m.trailing_zeros() as usize] as usize;
+                m &= m - 1;
+            }
+            *slot = acc;
+            total += acc;
+        }
+        if total == 0 {
+            continue;
+        }
+        let mut pick = rng.gen_range(0..total);
+        for (l, &ring_options) in ring_total.iter().enumerate() {
+            if pick >= ring_options {
+                pick -= ring_options;
+                continue;
+            }
+            let mut m = ctx.reach_mask(i, l);
+            while m != 0 {
+                let j = m.trailing_zeros() as usize;
+                let w = nch[j] as usize;
+                if pick < w {
+                    // The pick-th listened channel of gateway j.
+                    let mut gm = g.gw_mask[j];
+                    for _ in 0..pick {
+                        gm &= gm - 1;
+                    }
+                    g.gene[i] = pack_gene(gm.trailing_zeros() as usize, l);
+                    continue 'node;
+                }
+                pick -= w;
+                m &= m - 1;
+            }
+        }
     }
 }
 
@@ -229,7 +695,15 @@ fn resample_gateway_channels(p: &CpProblem, sol: &mut CpSolution, j: usize, rng:
 
 /// Connectivity repair: every node must have a gateway listening on its
 /// channel within ring reach; try the cheapest feasible fix per node.
-fn repair(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
+/// `options` is a caller-owned buffer reused across nodes (and across
+/// repair passes), so the per-node option list costs no allocation
+/// once warm.
+fn repair(
+    p: &CpProblem,
+    sol: &mut CpSolution,
+    options: &mut Vec<(usize, usize)>,
+    rng: &mut StdRng,
+) {
     let masks: Vec<u64> = sol
         .gw_channels
         .iter()
@@ -242,7 +716,7 @@ fn repair(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
             continue;
         }
         // Collect all feasible (channel, ring) options for this node.
-        let mut options: Vec<(usize, usize)> = Vec::new();
+        options.clear();
         for j in 0..p.n_gateways() {
             for l in 0..DISTANCE_RINGS {
                 if p.reach[i][j][l] {
@@ -351,6 +825,33 @@ mod tests {
     }
 
     #[test]
+    fn ga_bit_identical_across_worker_counts() {
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(24, 3),
+            vec![1.0; 24],
+            vec![GatewayLimits::sx1302(); 3],
+        );
+        let runs: Vec<(CpSolution, f64)> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                GaSolver::new(GaConfig {
+                    population: 24,
+                    generations: 20,
+                    workers,
+                    ..GaConfig::default()
+                })
+                .solve(&p)
+            })
+            .collect();
+        assert_eq!(runs[0].0, runs[1].0);
+        assert_eq!(runs[0].0, runs[2].0);
+        assert_eq!(runs[0].1.to_bits(), runs[1].1.to_bits());
+        assert_eq!(runs[0].1.to_bits(), runs[2].1.to_bits());
+    }
+
+    #[test]
     fn ga_output_always_feasible() {
         // Constrained instance: narrow per-gateway budgets.
         let channels = ChannelGrid::standard(920_000_000, 4_800_000).channels();
@@ -362,5 +863,56 @@ mod tests {
         let p = CpProblem::new(channels, full_reach(30, 4), vec![1.0; 30], vec![limits; 4]);
         let (sol, _) = solver().solve(&p);
         assert!(p.feasible(&sol));
+    }
+
+    #[test]
+    fn reference_path_matches_engine_objective_reporting() {
+        // Both paths must report the objective of the solution they
+        // return (engine scores are exact for integer traffic).
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(16, 2),
+            vec![1.0; 16],
+            vec![GatewayLimits::sx1302(); 2],
+        );
+        let s = solver();
+        let (sol, obj) = s.solve(&p);
+        assert_eq!(obj.to_bits(), p.objective(&sol).to_bits());
+        let (rsol, robj) = s.solve_reference(&p);
+        assert_eq!(robj.to_bits(), p.objective(&rsol).to_bits());
+    }
+
+    #[test]
+    fn stats_account_evaluations_and_workers() {
+        let channels = ChannelGrid::standard(920_000_000, 1_600_000).channels();
+        let p = CpProblem::new(
+            channels,
+            full_reach(12, 2),
+            vec![2.0; 12],
+            vec![GatewayLimits::sx1302(); 2],
+        );
+        let solver = GaSolver::new(GaConfig {
+            population: 16,
+            generations: 10,
+            workers: 2,
+            ..GaConfig::default()
+        });
+        let (_, _, stats) = solver.solve_stats(&p);
+        assert!(stats.evaluations >= 16, "at least the initial population");
+        assert_eq!(stats.workers, 2);
+        let mut sink = obs::VecSink::default();
+        let (_, _, stats2) = solver.solve_observed(&p, &mut sink, 7);
+        assert_eq!(stats2.evaluations, stats.evaluations);
+        let ev = sink.events().iter().find_map(|ev| match *ev {
+            obs::ObsEvent::SolverRun {
+                trace,
+                evaluations,
+                nodes,
+                ..
+            } => Some((trace, evaluations, nodes)),
+            _ => None,
+        });
+        assert_eq!(ev, Some((7, stats.evaluations, 12)));
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod anneal;
 pub mod brute;
+pub mod eval;
 pub mod ga;
 pub mod greedy;
 
@@ -63,6 +64,14 @@ pub struct CpProblem {
     /// to the paper's formulation that discourages channel contention
     /// among concurrent users (documented in DESIGN.md).
     pub duplicate_penalty: f64,
+}
+
+thread_local! {
+    /// Reusable duplicate-slot counters for [`CpProblem::objective`]
+    /// (grown once per thread to the largest grid seen, cleared
+    /// sparsely after each call).
+    static SLOT_SCRATCH: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl CpProblem {
@@ -158,17 +167,32 @@ impl CpProblem {
         }
 
         // Duplicate (channel, ring) pressure (extension, see DESIGN.md).
-        let mut counts = std::collections::HashMap::new();
-        for i in 0..self.n_nodes() {
-            *counts
-                .entry((sol.node_channel[i], sol.node_ring[i]))
-                .or_insert(0u32) += 1;
-        }
-        for (_, c) in counts {
-            if c > 1 {
-                obj += self.duplicate_penalty * (c - 1) as f64;
+        // Counted through a reusable dense scratch keyed by
+        // `channel * DISTANCE_RINGS + ring` — the same slot index the
+        // [`eval`] engine uses — instead of a per-call HashMap: no
+        // allocation after warm-up and a deterministic accumulation
+        // order. Only the touched slots are cleared afterwards, so the
+        // pass stays O(nodes) regardless of grid size.
+        let n_slots = self.n_channels() * DISTANCE_RINGS;
+        let dup_units = SLOT_SCRATCH.with(|cell| {
+            let mut counts = cell.borrow_mut();
+            if counts.len() < n_slots {
+                counts.resize(n_slots, 0);
             }
-        }
+            let mut units = 0u64;
+            for (&ch, &ring) in sol.node_channel.iter().zip(&sol.node_ring) {
+                let slot = ch * DISTANCE_RINGS + ring;
+                counts[slot] += 1;
+                if counts[slot] >= 2 {
+                    units += 1;
+                }
+            }
+            for (&ch, &ring) in sol.node_channel.iter().zip(&sol.node_ring) {
+                counts[ch * DISTANCE_RINGS + ring] = 0;
+            }
+            units
+        });
+        obj += self.duplicate_penalty * dup_units as f64;
         obj
     }
 

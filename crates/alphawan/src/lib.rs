@@ -32,7 +32,9 @@ pub mod strategy;
 pub mod upgrade;
 
 pub use agent::{ConfigAck, ConfigCommand, GatewayAgent};
-pub use cp::ga::{GaConfig, GaSolver};
+pub use cp::anneal::{anneal, AnnealConfig, AnnealSolver};
+pub use cp::eval::{EvalContext, Genome, IncrementalEval, Scratch};
+pub use cp::ga::{GaConfig, GaSolver, SolverStats};
 pub use cp::greedy::greedy_plan;
 pub use cp::{CpProblem, CpSolution, GatewayLimits};
 pub use master::divider::ChannelDivider;

@@ -130,6 +130,23 @@ impl IntraNetworkPlanner {
         self.materialize(&problem, solution, objective)
     }
 
+    /// [`IntraNetworkPlanner::plan`] with solver observability: the
+    /// search is reported to `sink` as a
+    /// [`obs::ObsEvent::SolverRun`] (`trace` ties it to the
+    /// control-plane request that asked for the plan; 0 = untraced).
+    pub fn plan_observed(
+        &self,
+        topo: &Topology,
+        traffic: Vec<f64>,
+        sink: &mut dyn obs::ObsSink,
+        trace: u64,
+    ) -> PlanOutcome {
+        let problem = self.problem(topo, traffic);
+        let (solution, objective, _stats) =
+            GaSolver::new(self.ga).solve_observed(&problem, sink, trace);
+        self.materialize(&problem, solution, objective)
+    }
+
     /// Convert a solution into channels/settings.
     pub fn materialize(
         &self,

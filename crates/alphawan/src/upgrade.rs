@@ -63,6 +63,22 @@ impl CapacityUpgrade {
         operator: &str,
         master: Option<SocketAddr>,
     ) -> std::io::Result<(PlanOutcome, UpgradeLatency)> {
+        self.run_observed(planner, problem, operator, master, &mut obs::NullSink)
+    }
+
+    /// [`CapacityUpgrade::run`] with solver observability: the CP
+    /// search inside the upgrade is reported to `sink` as a
+    /// [`obs::ObsEvent::SolverRun`], so upgrade-latency experiments
+    /// (Fig. 17) surface solver timing and evaluation counts through
+    /// the obs registry.
+    pub fn run_observed(
+        &self,
+        planner: &IntraNetworkPlanner,
+        problem: &CpProblem,
+        operator: &str,
+        master: Option<SocketAddr>,
+        sink: &mut dyn obs::ObsSink,
+    ) -> std::io::Result<(PlanOutcome, UpgradeLatency)> {
         // Phase 0: spectrum sharing (real TCP round-trips).
         let t0 = Instant::now();
         if let Some(addr) = master {
@@ -79,7 +95,7 @@ impl CapacityUpgrade {
 
         // Phase 1: CP solving (measured).
         let t1 = Instant::now();
-        let (solution, objective) = GaSolver::new(self.ga).solve(problem);
+        let (solution, objective, _stats) = GaSolver::new(self.ga).solve_observed(problem, sink, 0);
         let cp_solve = t1.elapsed();
 
         // Phase 2: config distribution — serialize each gateway's new

@@ -1,0 +1,86 @@
+//! Heap-allocation audit for the evaluation engine's hot path.
+//!
+//! A counting global allocator wraps the system allocator; after
+//! [`EvalContext`]/[`Scratch`]/[`IncrementalEval`] construction and one
+//! warm-up pass, full scores and incremental moves must perform zero
+//! heap allocations. This is the binary's only test so no concurrent
+//! test can perturb the counter.
+
+use alphawan::cp::eval::{pack_gene, EvalContext, Genome, IncrementalEval};
+use alphawan::cp::{CpProblem, GatewayLimits};
+use alphawan::greedy_plan;
+use lora_phy::channel::ChannelGrid;
+use lora_phy::pathloss::DISTANCE_RINGS;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn scoring_hot_path_never_allocates() {
+    let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+    let nodes = 96usize;
+    let gws = 5usize;
+    let reach = vec![vec![[true; DISTANCE_RINGS]; gws]; nodes];
+    let p = CpProblem::new(
+        channels,
+        reach,
+        vec![1.0; nodes],
+        vec![GatewayLimits::sx1302(); gws],
+    );
+    let ctx = EvalContext::new(&p);
+    let mut scratch = ctx.scratch();
+    let genome = Genome::from_solution(&greedy_plan(&p));
+    let mut inc = IncrementalEval::new(&ctx, genome.clone());
+    let n_ch = p.n_channels();
+
+    // Warm-up: first calls may touch lazily-sized internals.
+    let warm = ctx.score(&genome, &mut scratch);
+    inc.set_node_gene(0, pack_gene(1 % n_ch, 3));
+    inc.set_gw_mask(0, 0b101);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0.0;
+    for round in 0..100u64 {
+        acc += ctx.score(&genome, &mut scratch);
+        let i = (round as usize * 7) % nodes;
+        let old = inc.set_node_gene(
+            i,
+            pack_gene((round as usize) % n_ch, (i + 1) % DISTANCE_RINGS),
+        );
+        inc.swap_nodes(i, (i + 13) % nodes);
+        inc.set_gw_mask((round as usize) % gws, 1 << (round % n_ch as u64));
+        inc.set_node_gene(i, old);
+        acc += inc.score();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(acc.is_finite() && warm.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "the scoring hot path heap-allocated {} times",
+        after - before
+    );
+}

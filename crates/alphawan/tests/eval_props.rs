@@ -1,0 +1,214 @@
+//! Property tests for the CP evaluation engine: the incremental
+//! evaluator must track the full recompute bit-for-bit through
+//! arbitrary mutation chains, batch scoring must be worker-count
+//! invariant, the GA must be bit-identical across worker counts, and
+//! the engine must reproduce the serial reference objective exactly on
+//! integer traffic.
+
+use alphawan::cp::eval::{pack_gene, score_batch, EvalContext, Genome, IncrementalEval};
+use alphawan::cp::ga::{GaConfig, GaSolver};
+use alphawan::cp::{CpProblem, GatewayLimits};
+use lora_phy::channel::ChannelGrid;
+use lora_phy::pathloss::DISTANCE_RINGS;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized CP instance. `integer_traffic` selects the regime where
+/// the engine's fixed-point arithmetic is provably exact against the
+/// floating-point reference.
+fn build_problem(
+    seed: u64,
+    nodes: usize,
+    gws: usize,
+    n_ch: usize,
+    integer_traffic: bool,
+) -> CpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let channels = ChannelGrid::standard(916_800_000, n_ch as u32 * 200_000).channels();
+    let reach = (0..nodes)
+        .map(|_| {
+            (0..gws)
+                .map(|_| {
+                    let mut row = [false; DISTANCE_RINGS];
+                    for slot in row.iter_mut() {
+                        *slot = rng.gen_bool(0.7);
+                    }
+                    row
+                })
+                .collect()
+        })
+        .collect();
+    let traffic = (0..nodes)
+        .map(|_| {
+            if integer_traffic {
+                rng.gen_range(1..5u32) as f64
+            } else {
+                rng.gen_range(0.1..5.0f64)
+            }
+        })
+        .collect();
+    let limits = (0..gws)
+        .map(|_| GatewayLimits {
+            decoders: rng.gen_range(1..6),
+            max_channels: rng.gen_range(1..=n_ch.min(8)),
+            bandwidth_hz: 1_600_000,
+        })
+        .collect();
+    CpProblem::new(channels, reach, traffic, limits)
+}
+
+fn random_genome(p: &CpProblem, rng: &mut StdRng) -> Genome {
+    let n_ch = p.n_channels();
+    let gene = (0..p.n_nodes())
+        .map(|_| pack_gene(rng.gen_range(0..n_ch), rng.gen_range(0..DISTANCE_RINGS)))
+        .collect();
+    let gw_mask = (0..p.n_gateways())
+        .map(|_| rng.gen_range(0..1u64 << n_ch))
+        .collect();
+    Genome { gene, gw_mask }
+}
+
+fn random_mask(n_ch: usize, rng: &mut StdRng) -> u64 {
+    rng.gen_range(0..1u64 << n_ch)
+}
+
+proptest! {
+    /// The incremental evaluator equals the full recompute bit-for-bit
+    /// after every step of an arbitrary mutation chain — including on
+    /// fractional traffic, where both sides run the same fixed-point
+    /// arithmetic.
+    fn incremental_matches_full_recompute(
+        seed in any::<u64>(),
+        nodes in 2usize..14,
+        gws in 1usize..4,
+        n_ch in 2usize..9,
+        moves in 1usize..40,
+    ) {
+        let p = build_problem(seed, nodes, gws, n_ch, false);
+        let ctx = EvalContext::new(&p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
+        let mut inc = IncrementalEval::new(&ctx, random_genome(&p, &mut rng));
+        let mut scratch = ctx.scratch();
+        for _ in 0..moves {
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    let i = rng.gen_range(0..nodes);
+                    let g = pack_gene(rng.gen_range(0..n_ch), rng.gen_range(0..DISTANCE_RINGS));
+                    inc.set_node_gene(i, g);
+                }
+                1 => {
+                    let a = rng.gen_range(0..nodes);
+                    let b = rng.gen_range(0..nodes);
+                    inc.swap_nodes(a, b);
+                }
+                2 => {
+                    let j = rng.gen_range(0..gws);
+                    let m = random_mask(n_ch, &mut rng);
+                    inc.set_gw_mask(j, m);
+                }
+                _ => {
+                    // Apply-then-undo through the returned old value:
+                    // the exact-inverse property the annealer relies on.
+                    let i = rng.gen_range(0..nodes);
+                    let g = pack_gene(rng.gen_range(0..n_ch), rng.gen_range(0..DISTANCE_RINGS));
+                    let old = inc.set_node_gene(i, g);
+                    inc.set_node_gene(i, old);
+                }
+            }
+            let full = ctx.score(inc.genome(), &mut scratch);
+            prop_assert_eq!(
+                inc.score().to_bits(),
+                full.to_bits(),
+                "incremental {} != full {}",
+                inc.score(),
+                full
+            );
+        }
+    }
+
+    /// Batch scoring is invariant to the number of scratch buffers
+    /// (i.e. worker threads): every split produces the serial scores.
+    fn parallel_scoring_matches_serial(
+        seed in any::<u64>(),
+        nodes in 1usize..20,
+        gws in 1usize..5,
+        n_ch in 2usize..9,
+        population in 1usize..12,
+    ) {
+        let p = build_problem(seed, nodes, gws, n_ch, false);
+        let ctx = EvalContext::new(&p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let genomes: Vec<Genome> = (0..population).map(|_| random_genome(&p, &mut rng)).collect();
+        let mut serial = vec![0.0; population];
+        score_batch(&ctx, &genomes, &mut [ctx.scratch()], &mut serial);
+        for workers in [2usize, 3, 7] {
+            let mut scratches: Vec<_> = (0..workers).map(|_| ctx.scratch()).collect();
+            let mut out = vec![0.0; population];
+            score_batch(&ctx, &genomes, &mut scratches, &mut out);
+            for (s, o) in serial.iter().zip(&out) {
+                prop_assert_eq!(s.to_bits(), o.to_bits());
+            }
+        }
+    }
+
+    /// On integer traffic every fixed-point partial sum is an exact
+    /// integer below 2^53, so the engine score equals the serial
+    /// reference [`CpProblem::objective`] bit-for-bit.
+    fn engine_matches_reference_on_integer_traffic(
+        seed in any::<u64>(),
+        nodes in 1usize..16,
+        gws in 1usize..4,
+        n_ch in 2usize..9,
+    ) {
+        let p = build_problem(seed, nodes, gws, n_ch, true);
+        let ctx = EvalContext::new(&p);
+        let mut scratch = ctx.scratch();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5E);
+        for _ in 0..8 {
+            let g = random_genome(&p, &mut rng);
+            let engine = ctx.score(&g, &mut scratch);
+            let reference = p.objective(&g.to_solution());
+            prop_assert_eq!(
+                engine.to_bits(),
+                reference.to_bits(),
+                "engine {} != reference {}",
+                engine,
+                reference
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full GA returns a bit-identical (solution, objective) for
+    /// every worker count, across randomized instances and budgets.
+    fn ga_worker_count_never_changes_the_answer(
+        seed in any::<u64>(),
+        nodes in 4usize..16,
+        gws in 1usize..4,
+        population in 4usize..16,
+        generations in 1usize..6,
+    ) {
+        let p = build_problem(seed, nodes, gws, 8, true);
+        let runs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                GaSolver::new(GaConfig {
+                    population,
+                    generations,
+                    workers,
+                    seed,
+                    ..GaConfig::default()
+                })
+                .solve(&p)
+            })
+            .collect();
+        prop_assert_eq!(&runs[0].0, &runs[1].0);
+        prop_assert_eq!(&runs[0].0, &runs[2].0);
+        prop_assert_eq!(runs[0].1.to_bits(), runs[1].1.to_bits());
+        prop_assert_eq!(runs[0].1.to_bits(), runs[2].1.to_bits());
+    }
+}

@@ -1,11 +1,317 @@
-//! GA solver scaling: CP instances at the paper's Fig 17 sizes.
+//! End-to-end CP-solver scaling at the paper's Fig 17 sizes.
+//!
+//! Compares the pre-engine GA — a verbatim replica of the seed
+//! revision's solver loop, HashMap-based `objective` and per-node
+//! allocating `repair` included — against the flat-genome engine path
+//! ([`GaSolver::solve_seeded_stats`]) at 144 / 1 000 / 4 000 nodes.
+//! Both sides start from the same precomputed greedy seed so neither
+//! timer includes `greedy_plan`. Also records a raw
+//! objective-evaluations-per-second micro-comparison, and writes the
+//! machine-readable `BENCH_solver.json` artifact through the obs
+//! session writer (falling back to `results/out/` when no `--obs-out`
+//! session is active).
+//!
+//! Pass `--quick` (or set `ALPHAWAN_BENCH_QUICK=1`) to run only the
+//! 144-node point with a reduced generation budget — the CI perf-smoke
+//! configuration.
 
+use alphawan::cp::eval::{EvalContext, Genome};
 use alphawan::cp::ga::{GaConfig, GaSolver};
-use alphawan::cp::{CpProblem, GatewayLimits};
+use alphawan::cp::{CpProblem, CpSolution, GatewayLimits};
 use alphawan::greedy_plan;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lora_phy::channel::ChannelGrid;
 use lora_phy::pathloss::DISTANCE_RINGS;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Verbatim replica of the seed revision's GA — objective, operators
+/// and solver loop — so `BENCH_solver.json` records speedup against
+/// the true prior code, not against today's already-optimized serial
+/// reference path. Lints are allowed wholesale: this code must stay
+/// byte-faithful to the revision it replicates.
+#[allow(clippy::all)]
+mod baseline {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The pre-change `CpProblem::objective`: identical risk
+    /// accounting, with the duplicate-pair pass through a per-call
+    /// `HashMap` — the allocation profile this PR removed.
+    pub fn objective(p: &CpProblem, sol: &CpSolution) -> f64 {
+        let masks: Vec<u64> = sol
+            .gw_channels
+            .iter()
+            .map(|chs| chs.iter().fold(0u64, |m, &k| m | (1 << k)))
+            .collect();
+        let mut k = vec![0f64; p.n_gateways()];
+        for i in 0..p.n_nodes() {
+            let ch = sol.node_channel[i];
+            let ring = sol.node_ring[i];
+            for j in 0..p.n_gateways() {
+                if (masks[j] >> ch) & 1 == 1 && p.reach[i][j][ring] {
+                    k[j] += p.traffic[i];
+                }
+            }
+        }
+        let phi: Vec<f64> = k
+            .iter()
+            .zip(&p.gw_limits)
+            .map(|(&kj, lim)| (kj - lim.decoders as f64).max(0.0))
+            .collect();
+        let mut obj = 0.0;
+        for i in 0..p.n_nodes() {
+            let ch = sol.node_channel[i];
+            let ring = sol.node_ring[i];
+            let mut best: Option<f64> = None;
+            for j in 0..p.n_gateways() {
+                if (masks[j] >> ch) & 1 == 1 && p.reach[i][j][ring] {
+                    best = Some(best.map_or(phi[j], |b: f64| b.min(phi[j])));
+                }
+            }
+            match best {
+                Some(risk) => obj += p.traffic[i] * risk,
+                None => obj += p.disconnect_penalty,
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..p.n_nodes() {
+            *counts
+                .entry((sol.node_channel[i], sol.node_ring[i]))
+                .or_insert(0u32) += 1;
+        }
+        for (_, c) in counts {
+            if c > 1 {
+                obj += p.duplicate_penalty * (c - 1) as f64;
+            }
+        }
+        obj
+    }
+
+    /// The seed revision's `GaSolver::solve_seeded`, with an
+    /// evaluation counter threaded through. Every operator below is
+    /// copied unchanged from that revision.
+    pub fn solve_seeded(
+        cfg: &GaConfig,
+        p: &CpProblem,
+        seedling: CpSolution,
+        evals: &mut u64,
+    ) -> (CpSolution, f64) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let node_rate0 = if cfg.optimize_node_assignments {
+            0.3
+        } else {
+            0.0
+        };
+        let gw_rate0 = if cfg.optimize_gateway_channels {
+            0.5
+        } else {
+            0.0
+        };
+        let mut population: Vec<CpSolution> = Vec::with_capacity(cfg.population);
+        population.push(seedling.clone());
+        while population.len() < cfg.population {
+            let mut s = seedling.clone();
+            mutate(p, &mut s, node_rate0, gw_rate0, &mut rng);
+            if cfg.optimize_node_assignments {
+                repair(p, &mut s, &mut rng);
+            }
+            population.push(s);
+        }
+
+        let mut scored: Vec<(f64, CpSolution)> = population
+            .into_iter()
+            .map(|s| {
+                *evals += 1;
+                (objective(p, &s), s)
+            })
+            .collect();
+        sort_scored(&mut scored);
+
+        for _gen in 0..cfg.generations {
+            let mut next: Vec<(f64, CpSolution)> =
+                scored.iter().take(cfg.elites).cloned().collect();
+            while next.len() < cfg.population {
+                let a = tournament(&scored, cfg.tournament, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    let b = tournament(&scored, cfg.tournament, &mut rng);
+                    crossover(&scored[a].1, &scored[b].1, &mut rng)
+                } else {
+                    scored[a].1.clone()
+                };
+                let node_rate = if cfg.optimize_node_assignments {
+                    cfg.node_mutation
+                } else {
+                    0.0
+                };
+                let gw_rate = if cfg.optimize_gateway_channels {
+                    cfg.gw_mutation
+                } else {
+                    0.0
+                };
+                mutate(p, &mut child, node_rate, gw_rate, &mut rng);
+                if cfg.optimize_node_assignments {
+                    repair(p, &mut child, &mut rng);
+                }
+                *evals += 1;
+                let score = objective(p, &child);
+                next.push((score, child));
+            }
+            scored = next;
+            sort_scored(&mut scored);
+            if scored[0].0 == 0.0 {
+                break;
+            }
+        }
+
+        let (best_score, best) = scored.swap_remove(0);
+        (best, best_score)
+    }
+
+    fn sort_scored(scored: &mut [(f64, CpSolution)]) {
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+
+    fn tournament(scored: &[(f64, CpSolution)], k: usize, rng: &mut StdRng) -> usize {
+        (0..k)
+            .map(|_| rng.gen_range(0..scored.len()))
+            .min_by(|&a, &b| scored[a].0.total_cmp(&scored[b].0))
+            .expect("tournament size > 0")
+    }
+
+    fn crossover(a: &CpSolution, b: &CpSolution, rng: &mut StdRng) -> CpSolution {
+        let node_channel = a
+            .node_channel
+            .iter()
+            .zip(&b.node_channel)
+            .zip(a.node_ring.iter().zip(&b.node_ring))
+            .map(|((ca, cb), _)| if rng.gen_bool(0.5) { *ca } else { *cb })
+            .collect::<Vec<_>>();
+        let mut node_ring = Vec::with_capacity(a.node_ring.len());
+        for i in 0..a.node_ring.len() {
+            let take_a = node_channel[i] == a.node_channel[i];
+            node_ring.push(if take_a {
+                a.node_ring[i]
+            } else {
+                b.node_ring[i]
+            });
+        }
+        let gw_channels = a
+            .gw_channels
+            .iter()
+            .zip(&b.gw_channels)
+            .map(|(ga, gb)| {
+                if rng.gen_bool(0.5) {
+                    ga.clone()
+                } else {
+                    gb.clone()
+                }
+            })
+            .collect();
+        CpSolution {
+            gw_channels,
+            node_channel,
+            node_ring,
+        }
+    }
+
+    fn mutate(p: &CpProblem, sol: &mut CpSolution, node_rate: f64, gw_rate: f64, rng: &mut StdRng) {
+        let n_ch = p.n_channels();
+        for i in 0..sol.node_channel.len() {
+            if rng.gen_bool(node_rate) {
+                sol.node_channel[i] = rng.gen_range(0..n_ch);
+            }
+            if rng.gen_bool(node_rate) {
+                sol.node_ring[i] = rng.gen_range(0..DISTANCE_RINGS);
+            }
+        }
+        for j in 0..sol.gw_channels.len() {
+            if rng.gen_bool(gw_rate) {
+                resample_gateway_channels(p, sol, j, rng);
+            }
+        }
+    }
+
+    fn resample_gateway_channels(p: &CpProblem, sol: &mut CpSolution, j: usize, rng: &mut StdRng) {
+        let n_ch = p.n_channels();
+        let window = p.window_channels(j).max(1).min(n_ch);
+        let start = rng.gen_range(0..=n_ch - window);
+        let budget = p.gw_limits[j].max_channels.min(window);
+        let count = rng.gen_range(1..=budget);
+        let mut chans: Vec<usize> = (start..start + window).collect();
+        for i in 0..count {
+            let swap = rng.gen_range(i..chans.len());
+            chans.swap(i, swap);
+        }
+        chans.truncate(count);
+        chans.sort_unstable();
+        sol.gw_channels[j] = chans;
+    }
+
+    fn repair(p: &CpProblem, sol: &mut CpSolution, rng: &mut StdRng) {
+        let masks: Vec<u64> = sol
+            .gw_channels
+            .iter()
+            .map(|chs| chs.iter().fold(0u64, |m, &k| m | (1 << k)))
+            .collect();
+        for i in 0..sol.node_channel.len() {
+            let connected = (0..p.n_gateways()).any(|j| {
+                (masks[j] >> sol.node_channel[i]) & 1 == 1 && p.reach[i][j][sol.node_ring[i]]
+            });
+            if connected {
+                continue;
+            }
+            let mut options: Vec<(usize, usize)> = Vec::new();
+            for j in 0..p.n_gateways() {
+                for l in 0..DISTANCE_RINGS {
+                    if p.reach[i][j][l] {
+                        for &k in &sol.gw_channels[j] {
+                            options.push((k, l));
+                        }
+                    }
+                }
+            }
+            if !options.is_empty() {
+                let (k, l) = options[rng.gen_range(0..options.len())];
+                sol.node_channel[i] = k;
+                sol.node_ring[i] = l;
+            }
+        }
+    }
+}
+
+/// One (nodes, gateways) measurement point.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalePoint {
+    nodes: usize,
+    gateways: usize,
+    /// Seed-revision GA replica (HashMap objective, allocating repair).
+    baseline_solve_secs: f64,
+    baseline_evaluations: u64,
+    baseline_objective: f64,
+    /// Engine GA (flat genomes + allocation-free evaluator).
+    engine_solve_secs: f64,
+    engine_evaluations: u64,
+    engine_objective: f64,
+    /// Wall-clock speedup of the engine GA over the baseline GA.
+    end_to_end_speedup: f64,
+    /// Single-evaluation throughput, measured on the greedy solution.
+    baseline_evals_per_sec: f64,
+    engine_evals_per_sec: f64,
+    eval_speedup: f64,
+}
+
+/// The `BENCH_solver.json` schema.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    bench: String,
+    quick: bool,
+    population: usize,
+    generations: usize,
+    workers: u32,
+    scales: Vec<ScalePoint>,
+}
 
 fn problem(nodes: usize, gws: usize) -> CpProblem {
     let channels = ChannelGrid::standard(916_800_000, 4_800_000).channels();
@@ -18,41 +324,100 @@ fn problem(nodes: usize, gws: usize) -> CpProblem {
     )
 }
 
-fn bench_greedy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("greedy_plan");
-    for nodes in [144usize, 1_000, 4_000] {
-        let p = problem(nodes, 15);
-        g.bench_with_input(BenchmarkId::from_parameter(nodes), &p, |b, p| {
-            b.iter(|| greedy_plan(p))
-        });
+/// Time `iters` calls of `f`, returning calls per second.
+fn throughput<F: FnMut() -> f64>(iters: u64, mut f: F) -> f64 {
+    std::hint::black_box(f()); // warm caches (and the dense scratch)
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    g.finish();
+    iters as f64 / start.elapsed().as_secs_f64()
 }
 
-fn bench_objective(c: &mut Criterion) {
-    let mut g = c.benchmark_group("objective_eval");
-    for nodes in [144usize, 1_000, 4_000] {
-        let p = problem(nodes, 15);
-        let sol = greedy_plan(&p);
-        g.bench_with_input(BenchmarkId::from_parameter(nodes), &(), |b, _| {
-            b.iter(|| p.objective(&sol))
-        });
-    }
-    g.finish();
+fn measure(nodes: usize, gws: usize, ga: GaConfig) -> ScalePoint {
+    let p = problem(nodes, gws);
+    let solver = GaSolver::new(ga);
+    let seed = greedy_plan(&p);
+
+    // End-to-end: seed-revision GA replica from the precomputed seed.
+    let mut baseline_evaluations = 0u64;
+    let t0 = Instant::now();
+    let (_, baseline_objective_found) =
+        baseline::solve_seeded(&ga, &p, seed.clone(), &mut baseline_evaluations);
+    let baseline_solve_secs = t0.elapsed().as_secs_f64();
+
+    // End-to-end: engine GA from the same precomputed seed, so both
+    // timers exclude `greedy_plan`.
+    let (_, engine_objective_found, stats) = solver.solve_seeded_stats(&p, seed.clone());
+
+    // Single-evaluation throughput on the greedy solution.
+    let iters = (400_000 / nodes.max(1)).max(20) as u64;
+    let baseline_evals_per_sec = throughput(iters, || baseline::objective(&p, &seed));
+    let ctx = EvalContext::new(&p);
+    let genome = Genome::from_solution(&seed);
+    let mut scratch = ctx.scratch();
+    let engine_evals_per_sec = throughput(iters * 4, || ctx.score(&genome, &mut scratch));
+
+    let point = ScalePoint {
+        nodes,
+        gateways: gws,
+        baseline_solve_secs,
+        baseline_evaluations,
+        baseline_objective: baseline_objective_found,
+        engine_solve_secs: stats.wall.as_secs_f64(),
+        engine_evaluations: stats.evaluations,
+        engine_objective: engine_objective_found,
+        end_to_end_speedup: baseline_solve_secs / stats.wall.as_secs_f64().max(1e-12),
+        baseline_evals_per_sec,
+        engine_evals_per_sec,
+        eval_speedup: engine_evals_per_sec / baseline_evals_per_sec.max(1e-12),
+    };
+    println!(
+        "bench ga_end_to_end/{nodes}n_{gws}gw    baseline {:>8.3}s  engine {:>8.3}s  speedup {:>6.1}x",
+        point.baseline_solve_secs, point.engine_solve_secs, point.end_to_end_speedup
+    );
+    println!(
+        "bench objective_eval/{nodes}n_{gws}gw   baseline {:>10.0}/s  engine {:>10.0}/s  speedup {:>6.1}x",
+        point.baseline_evals_per_sec, point.engine_evals_per_sec, point.eval_speedup
+    );
+    point
 }
 
-fn bench_ga_small(c: &mut Criterion) {
-    let p = problem(144, 9);
-    let solver = GaSolver::new(GaConfig {
-        population: 16,
-        generations: 10,
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("ALPHAWAN_BENCH_QUICK").is_some();
+    let ga = GaConfig {
+        population: 24,
+        generations: if quick { 8 } else { 16 },
         ..GaConfig::default()
-    });
-    let mut g = c.benchmark_group("ga");
-    g.sample_size(10);
-    g.bench_function("ga_144n_9gw_10gen", |b| b.iter(|| solver.solve(&p)));
-    g.finish();
-}
+    };
+    let scales: &[(usize, usize)] = if quick {
+        &[(144, 9)]
+    } else {
+        &[(144, 9), (1_000, 15), (4_000, 15)]
+    };
 
-criterion_group!(benches, bench_greedy, bench_objective, bench_ga_small);
-criterion_main!(benches);
+    let report = BenchReport {
+        bench: "solver".to_string(),
+        quick,
+        population: ga.population,
+        generations: ga.generations,
+        workers: GaSolver::new(ga).solve_stats(&problem(16, 2)).2.workers,
+        scales: scales.iter().map(|&(n, g)| measure(n, g, ga)).collect(),
+    };
+
+    let json = serde_json::to_string(&report).expect("bench report serializes");
+    let path = bench::obs_session::write_bench_artifact("BENCH_solver.json", &json)
+        .expect("bench artifact written");
+    // Validate the artifact end-to-end: it must parse back into the
+    // schema (the CI perf-smoke job asserts the same from jq).
+    let back: BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("artifact readable"))
+            .expect("BENCH_solver.json parses");
+    assert_eq!(back.scales.len(), scales.len());
+    assert!(
+        back.scales.iter().all(|s| s.engine_evals_per_sec > 0.0),
+        "evaluation throughput must be measured"
+    );
+    println!("wrote {}", path.display());
+}

@@ -12,7 +12,7 @@
 use crate::experiments::{band_channels, deploy_plan, probe_capacity, quick_ga};
 use crate::report::{f3, Table};
 use crate::scenario::{NetworkSpec, WorldBuilder};
-use alphawan::cp::anneal::{anneal, AnnealConfig};
+use alphawan::cp::anneal::{AnnealConfig, AnnealSolver};
 use alphawan::cp::ga::GaSolver;
 use alphawan::cp::greedy::greedy_plan;
 use alphawan::cp::CpSolution;
@@ -59,12 +59,22 @@ fn solver_comparison() {
     let obj = problem.objective(&sol);
     eval("greedy", sol, obj, secs);
 
+    // Solver runs report their work accounting (evaluations,
+    // generations, wall time) to the obs session when one is active.
+    let mut session = crate::obs_session::world_sink();
+    let mut null = obs::NullSink;
+    let sink: &mut dyn obs::ObsSink = match session.as_deref_mut() {
+        Some(s) => s,
+        None => &mut null,
+    };
+
     let t0 = Instant::now();
-    let (sol, obj) = anneal(&problem, AnnealConfig::default());
+    let (sol, obj, _) =
+        AnnealSolver::new(AnnealConfig::default()).solve_observed(&problem, sink, 0);
     eval("annealing", sol, obj, t0.elapsed().as_secs_f64());
 
     let t0 = Instant::now();
-    let (sol, obj) = GaSolver::new(planner.ga).solve(&problem);
+    let (sol, obj, _) = GaSolver::new(planner.ga).solve_observed(&problem, sink, 0);
     eval("ga (paper)", sol, obj, t0.elapsed().as_secs_f64());
 
     t.emit("ablation_solvers");

@@ -105,6 +105,27 @@ pub(crate) fn write_report(name: &str) {
     let _ = report.write(&s.dir.join(format!("{name}.obs.json")));
 }
 
+/// Write a machine-readable bench artifact (e.g. `BENCH_solver.json`).
+/// The file lands next to the event stream when an observability
+/// session is active, otherwise under the workspace's gitignored
+/// `results/out/` — anchored at the workspace root rather than the
+/// current directory, because `cargo bench` runs benches from the
+/// crate directory. Best effort, like CSV output; returns the path
+/// written.
+pub fn write_bench_artifact(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = match session() {
+        Some(m) => lock(m).dir.clone(),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("results")
+            .join("out"),
+    };
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(name);
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
 /// Forwards to the process-wide session; handed to every built
 /// [`SimWorld`](sim::world::SimWorld) while the session is active.
 struct GlobalSink;

@@ -93,6 +93,16 @@ pub enum PlanServed {
     Cached,
 }
 
+/// Which CP search algorithm produced a [`ObsEvent::SolverRun`]
+/// (mirrors `alphawan::cp` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// The §4.3.1 evolutionary solver (`GaSolver`).
+    Ga,
+    /// The simulated-annealing ablation solver (`AnnealSolver`).
+    Anneal,
+}
+
 /// One observed moment. See the module docs for identifier, trace and
 /// time conventions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -270,6 +280,29 @@ pub enum ObsEvent {
         /// Number of channels in the served plan.
         channels: u32,
     },
+    /// One complete CP-solver search finished (a Master plan request,
+    /// a capacity upgrade, or a bench invocation). Control-plane: no
+    /// simulation timestamp; `wall_us` is host wall-clock time.
+    SolverRun {
+        /// Control-plane trace of the plan request that ran the solver
+        /// (0 = untraced, e.g. direct bench invocations).
+        #[serde(default)]
+        trace: u64,
+        /// Which search algorithm ran.
+        solver: SolverKind,
+        /// Problem size: node count.
+        nodes: u32,
+        /// Problem size: gateway count.
+        gateways: u32,
+        /// Objective evaluations performed across the whole search.
+        evaluations: u64,
+        /// Generations (GA) or iterations (annealing) executed.
+        generations: u32,
+        /// Scoring worker threads used (1 = serial).
+        workers: u32,
+        /// Host wall-clock duration of the search, µs.
+        wall_us: u64,
+    },
     /// A fault-plan entry is scheduled against this run (one event per
     /// `FaultSpec`, emitted when the plan is registered with the sink).
     FaultActivated {
@@ -303,6 +336,7 @@ impl ObsEvent {
             | ObsEvent::MasterConnectAttempt { .. }
             | ObsEvent::MasterRpcRetry { .. }
             | ObsEvent::MasterPlanServed { .. }
+            | ObsEvent::SolverRun { .. }
             | ObsEvent::FaultActivated { .. } => None,
         }
     }
@@ -321,7 +355,8 @@ impl ObsEvent {
             | ObsEvent::Dedup { trace, .. }
             | ObsEvent::MasterConnectAttempt { trace, .. }
             | ObsEvent::MasterRpcRetry { trace, .. }
-            | ObsEvent::MasterPlanServed { trace, .. } => trace,
+            | ObsEvent::MasterPlanServed { trace, .. }
+            | ObsEvent::SolverRun { trace, .. } => trace,
             ObsEvent::GatewayInfo { .. } | ObsEvent::FaultActivated { .. } => 0,
         };
         (trace != 0).then_some(trace)
@@ -343,6 +378,7 @@ impl ObsEvent {
             ObsEvent::MasterConnectAttempt { .. } => "master_connect_attempt",
             ObsEvent::MasterRpcRetry { .. } => "master_rpc_retry",
             ObsEvent::MasterPlanServed { .. } => "master_plan_served",
+            ObsEvent::SolverRun { .. } => "solver_run",
             ObsEvent::FaultActivated { .. } => "fault_activated",
         }
     }

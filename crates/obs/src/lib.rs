@@ -44,9 +44,12 @@ pub mod report;
 pub mod sink;
 pub mod trace;
 
-pub use event::{DedupKind, FaultKind, LossKind, ObsEvent, PlanServed};
+pub use event::{DedupKind, FaultKind, LossKind, ObsEvent, PlanServed, SolverKind};
 pub use flight::FlightRecorder;
-pub use metrics::{GatewayOccupancy, Histogram, MetricsSink, Registry, DISPATCH_LATENCY_BOUNDS_US};
+pub use metrics::{
+    GatewayOccupancy, Histogram, MetricsSink, Registry, DISPATCH_LATENCY_BOUNDS_US,
+    SOLVER_WALL_BOUNDS_US,
+};
 pub use report::{
     GatewayReport, NamedCount, NamedGauge, NamedHistogram, RunReport, RUN_REPORT_VERSION,
 };

@@ -20,6 +20,13 @@ pub const DISPATCH_LATENCY_BOUNDS_US: [u64; 8] = [
     25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000,
 ];
 
+/// Bucket upper bounds (µs) for the CP-solver wall-time histogram:
+/// spans a sub-millisecond toy instance to a minute-scale
+/// production-size search.
+pub const SOLVER_WALL_BOUNDS_US: [u64; 8] = [
+    1_000, 10_000, 100_000, 500_000, 1_000_000, 5_000_000, 15_000_000, 60_000_000,
+];
+
 /// A fixed-bucket histogram over `u64` samples.
 ///
 /// Buckets use upper-inclusive bounds (Prometheus `le` semantics): a
@@ -407,6 +414,23 @@ impl ObsSink for MetricsSink {
             }
             ObsEvent::MasterPlanServed { source, .. } => {
                 self.registry.inc(&format!("master_plan_{source:?}"), 1);
+            }
+            ObsEvent::SolverRun {
+                solver,
+                evaluations,
+                wall_us,
+                ..
+            } => {
+                self.registry.inc(&format!("solver_{solver:?}_runs"), 1);
+                self.registry.inc("solver_evaluations", evaluations);
+                self.registry
+                    .observe("solver_wall_us", &SOLVER_WALL_BOUNDS_US, wall_us);
+                if wall_us > 0 {
+                    self.registry.set_gauge(
+                        "solver_evals_per_sec",
+                        evaluations as f64 / (wall_us as f64 / 1e6),
+                    );
+                }
             }
             _ => {}
         }

@@ -626,6 +626,9 @@ impl TraceAnalyzer {
                     ct.channels = channels;
                 }
             }
+            // Solver runs carry no packet lifecycle; the metrics layer
+            // aggregates them (`solver_*` counters in MetricsSink).
+            ObsEvent::SolverRun { .. } => {}
             ObsEvent::FaultActivated { .. } => {}
         }
     }
