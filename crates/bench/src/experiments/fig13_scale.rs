@@ -55,6 +55,26 @@ const STRATEGIES: [(StrategyKind, &str); 6] = [
 
 pub fn run() {
     let scales = [2_000usize, 4_000, 6_000, 8_000, 10_000, 12_000];
+
+    // The 6 × 6 (scale, strategy) grid is embarrassingly parallel:
+    // every cell builds its own world from its own seed. Fan the cells
+    // over the sweep runner; each job buffers its obs events locally
+    // and the merge replays them in job order, so the session stream
+    // and every table below are identical at any worker count.
+    let jobs: Vec<(usize, StrategyKind)> = scales
+        .iter()
+        .flat_map(|&users| STRATEGIES.iter().map(move |&(kind, _)| (users, kind)))
+        .collect();
+    let runner = crate::sweep::SweepRunner::from_env();
+    let results = runner.run(jobs.len(), |i| {
+        let (users, kind) = jobs[i];
+        run_strategy(kind, users)
+    });
+    for (_, _, events) in &results {
+        crate::obs_session::replay_events(events);
+    }
+    let mut cells = results.into_iter();
+
     let mut tput = Table::new(
         "Fig 13a — aggregated throughput (kbit/s)",
         &[
@@ -84,8 +104,8 @@ pub fn run() {
     for &users in &scales {
         let mut tput_row = vec![users.to_string()];
         let mut prr_row = vec![users.to_string()];
-        for (kind, name) in STRATEGIES {
-            let (m, drs) = run_strategy(kind, users);
+        for (_, name) in STRATEGIES {
+            let (m, drs, _) = cells.next().expect("one result per (scale, strategy) cell");
             if users == 6_000 {
                 at6k.push((name.to_string(), m, drs));
             }
@@ -150,8 +170,11 @@ fn airtime_us(dr: DataRate) -> u64 {
         .total_us()
 }
 
-/// Run one strategy at one scale.
-fn run_strategy(kind: StrategyKind, users: usize) -> (RunMetrics, [f64; 6]) {
+/// Run one strategy at one scale. Index-pure (everything derives from
+/// `(kind, users)`), so the sweep runner can execute cells in any
+/// order; obs events are buffered locally and returned for in-order
+/// replay rather than streamed to the process session mid-run.
+fn run_strategy(kind: StrategyKind, users: usize) -> (RunMetrics, [f64; 6], Vec<obs::ObsEvent>) {
     let channels = band_channels(SPECTRUM);
     let seed = 160_000 + users as u64 + kind as u64 * 13;
 
@@ -172,7 +195,11 @@ fn run_strategy(kind: StrategyKind, users: usize) -> (RunMetrics, [f64; 6]) {
         gw_channels: gw_cfgs,
     });
     b.max_link_loss_db = 124.0; // all links close at every gateway
-    let mut w = b.build();
+    let buffer = crate::obs_session::active().then(|| obs::SharedSink::new(obs::VecSink::new()));
+    let sink = buffer
+        .as_ref()
+        .map(|b| Box::new(b.handle()) as Box<dyn obs::ObsSink>);
+    let mut w = b.build_with_sink(sink);
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
     // Nodes join on channels their operator's gateways actually cover.
@@ -245,5 +272,8 @@ fn run_strategy(kind: StrategyKind, users: usize) -> (RunMetrics, [f64; 6]) {
     // transmitted: count them as channel-contention losses.
     m.sent += gave_up;
     m.losses.channel_intra += gave_up;
-    (m, dr_distribution(&recs))
+    let events = buffer
+        .map(|b| b.with(|v| v.events().to_vec()))
+        .unwrap_or_default();
+    (m, dr_distribution(&recs), events)
 }

@@ -83,11 +83,21 @@ pub fn run() {
             "event",
         ],
     );
-    for week in 1..=53usize {
-        let s = WeekState::at(week);
+    // Every week's two runs are pure functions of (topo, week): fan
+    // them over the sweep runner and merge in week order, identical to
+    // the serial loop at any worker count. `weekly_prr` builds its
+    // worlds directly (never through the obs session), so no event
+    // stream can interleave nondeterministically.
+    let weeks: Vec<WeekState> = (1..=53usize).map(WeekState::at).collect();
+    let runner = crate::sweep::SweepRunner::from_env();
+    let results = runner.run(weeks.len(), |i| {
+        let s = &weeks[i];
+        (weekly_prr(&topo, s, true), weekly_prr(&topo, s, false))
+    });
+
+    for (s, &(alpha, std)) in weeks.iter().zip(&results) {
+        let week = s.week;
         let total_users = s.op1_users + if s.op2_present { OP2_USERS } else { 0 };
-        let alpha = weekly_prr(&topo, &s, true);
-        let std = weekly_prr(&topo, &s, false);
         let event = match week {
             13 => "7k-user surge, +5 GWs",
             27 => "spectrum +1.6 MHz",

@@ -21,6 +21,7 @@ pub mod experiments;
 pub mod obs_session;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 /// The repository's `EXPERIMENTS.md`, mounted as rustdoc so its
 /// ```rust blocks compile and run as doctests (`cargo test -p bench
@@ -34,3 +35,4 @@ pub use scenario::{
     coordinated_schedule, orthogonal_assignments, planned_assignments, subtopology, NetworkSpec,
     WorldBuilder, PAYLOAD_LEN,
 };
+pub use sweep::SweepRunner;

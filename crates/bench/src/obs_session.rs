@@ -83,6 +83,32 @@ pub fn world_sink() -> Option<Box<dyn ObsSink>> {
     session().map(|_| Box::new(GlobalSink) as Box<dyn ObsSink>)
 }
 
+/// Replay a batch of buffered events into the session stream (JSONL +
+/// metrics), in slice order. Parallel sweeps record each job's events
+/// into a thread-local buffer and replay the buffers in deterministic
+/// job order after the merge, so the session stream stays byte-identical
+/// to a serial run at any worker count. No-op when inactive.
+pub fn replay_events(events: &[ObsEvent]) {
+    if let Some(m) = session() {
+        let mut s = lock(m);
+        for ev in events {
+            s.jsonl.record(ev);
+            s.metrics.record(ev);
+        }
+    }
+}
+
+/// Record one event into the session stream (e.g. a
+/// [`ObsEvent::SimRunStats`] emitted by an experiment after a run).
+/// No-op when inactive.
+pub fn record_event(ev: &ObsEvent) {
+    if let Some(m) = session() {
+        let mut s = lock(m);
+        s.jsonl.record(ev);
+        s.metrics.record(ev);
+    }
+}
+
 /// Fold an experiment's aggregate metrics (typically
 /// [`sim::metrics::RunMetrics`]) into the next report written by
 /// [`Table::emit`](crate::report::Table::emit). No-op when inactive.

@@ -82,8 +82,19 @@ impl WorldBuilder {
 
     /// Materialize the world. All networks' gateways share one grid
     /// (co-located deployments, as in §5.1.4); nodes are uniform over
-    /// the area.
+    /// the area. When the process runs with --obs-out, the world
+    /// streams its events to the session; otherwise no sink is
+    /// attached and runs stay on the unobserved path.
     pub fn build(&self) -> SimWorld {
+        self.build_with_sink(crate::obs_session::world_sink())
+    }
+
+    /// [`Self::build`] with an explicit observability sink (or none),
+    /// bypassing the process-wide session. Parallel sweeps use this to
+    /// buffer each job's events locally (e.g. into an
+    /// [`obs::SharedSink`]-wrapped [`obs::VecSink`]) and replay them
+    /// into the session in deterministic job order after the merge.
+    pub fn build_with_sink(&self, sink: Option<Box<dyn obs::ObsSink>>) -> SimWorld {
         let n_nodes: usize = self.networks.iter().map(|n| n.n_nodes).sum();
         let n_gws: usize = self.networks.iter().map(|n| n.gw_channels.len()).sum();
         let model = PathLossModel {
@@ -111,10 +122,7 @@ impl WorldBuilder {
             node_network.extend(std::iter::repeat_n(spec.network_id, spec.n_nodes));
         }
         let mut world = SimWorld::new(topo, node_network, gateways);
-        // When the process runs with --obs-out, every built world
-        // streams its events to the session; otherwise no sink is
-        // attached and runs stay on the unobserved path.
-        if let Some(sink) = crate::obs_session::world_sink() {
+        if let Some(sink) = sink {
             world.set_obs_sink(sink);
         }
         world

@@ -350,6 +350,14 @@ impl sim::faults::InfraFaults for FaultSchedule {
         self.locked_decoders_at(gw, t_us)
     }
 
+    fn gateway_ever_down(&self, gw: usize) -> bool {
+        self.gateway_down_within(gw, 0, u64::MAX)
+    }
+
+    fn decoder_lockups_possible(&self, gw: usize) -> bool {
+        self.lockups.iter().any(|l| l.gateway == gw)
+    }
+
     fn clock_skew_us(&self, gw: usize, t_us: u64) -> i64 {
         self.clock_skew_at(gw, t_us)
     }

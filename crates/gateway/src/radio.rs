@@ -88,6 +88,32 @@ pub struct GatewayStats {
     pub decode_failed: u64,
 }
 
+/// SplitMix64-finalizer hasher for the active map's `u64` transmission
+/// ids. The decoder pipeline touches the map on every admission and
+/// release, and the default SipHash dominates that cost at simulation
+/// scale; simulator-assigned tx ids need no DoS resistance.
+#[derive(Debug, Default, Clone)]
+struct TxIdHasher(u64);
+
+impl std::hash::Hasher for TxIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type ActiveMap = HashMap<u64, PacketAtGateway, std::hash::BuildHasherDefault<TxIdHasher>>;
+
 /// One simulated COTS gateway.
 #[derive(Debug, Clone)]
 pub struct Gateway {
@@ -99,7 +125,10 @@ pub struct Gateway {
     config: GatewayConfig,
     pool: DecoderPool,
     /// Admitted packets currently holding a decoder.
-    active: HashMap<u64, PacketAtGateway>,
+    active: ActiveMap,
+    /// Of `active`, how many packets are foreign-network (maintained
+    /// incrementally so contention-drop classification is O(1)).
+    foreign_active: usize,
     stats: GatewayStats,
 }
 
@@ -118,7 +147,8 @@ impl Gateway {
             profile,
             pool: DecoderPool::new(profile.decoders),
             config,
-            active: HashMap::new(),
+            active: ActiveMap::default(),
+            foreign_active: 0,
             stats: GatewayStats::default(),
         }
     }
@@ -151,6 +181,7 @@ impl Gateway {
             self.pool.release();
         }
         self.active.clear();
+        self.foreign_active = 0;
         self.config = config;
     }
 
@@ -162,6 +193,23 @@ impl Gateway {
             .iter()
             .copied()
             .find(|rx| detects(rx, tx_ch))
+    }
+
+    /// Whether some configured rx channel's detector covers `ch` — the
+    /// channel half of the detection predicate, independent of signal
+    /// strength. Drives the simulator's channel → candidate-gateway
+    /// index: a gateway for which this is `false` can only ever answer
+    /// `NotDetected` for packets on `ch`.
+    pub fn listens_to(&self, ch: &Channel) -> bool {
+        self.rx_channel_for(ch).is_some()
+    }
+
+    /// Account `n` transmissions the detector never saw. Lets callers
+    /// that skip guaranteed-`NotDetected` lock-on visits (via
+    /// [`Self::listens_to`]) keep [`GatewayStats::not_detected`] exact
+    /// by reconciling the skipped count in bulk.
+    pub fn note_undetected(&mut self, n: u64) {
+        self.stats.not_detected += n;
     }
 
     /// Whether this gateway's detector would see the packet at all:
@@ -194,6 +242,21 @@ impl Gateway {
             self.stats.not_detected += 1;
             return LockOnOutcome::NotDetected;
         }
+        self.admit_detected_obs(pkt, sink)
+    }
+
+    /// [`Gateway::on_lock_on_obs`] minus the [`Self::would_detect`]
+    /// re-check, for callers that already established detection —
+    /// the simulator's indexed hot path proves the channel half from
+    /// its candidate index and the SNR half from its link table before
+    /// constructing the packet. Never returns
+    /// [`LockOnOutcome::NotDetected`].
+    pub fn admit_detected_obs(
+        &mut self,
+        pkt: PacketAtGateway,
+        sink: &mut dyn ObsSink,
+    ) -> LockOnOutcome {
+        debug_assert!(self.would_detect(&pkt), "caller must verify detection");
         if !self
             .pool
             .try_acquire_obs(pkt.lock_on_us, pkt.trace, self.id as u32, pkt.tx_id, sink)
@@ -214,6 +277,9 @@ impl Gateway {
             return LockOnOutcome::DroppedNoDecoder;
         }
         self.stats.admitted += 1;
+        if pkt.network_id != self.network_id {
+            self.foreign_active += 1;
+        }
         self.active.insert(pkt.tx_id, pkt);
         LockOnOutcome::Admitted
     }
@@ -237,6 +303,9 @@ impl Gateway {
         sink: &mut dyn ObsSink,
     ) -> Option<ReceptionOutcome> {
         let pkt = self.active.remove(&tx_id)?;
+        if pkt.network_id != self.network_id {
+            self.foreign_active -= 1;
+        }
         self.pool
             .release_obs(pkt.end_us, pkt.trace, self.id as u32, tx_id, sink);
         let outcome = if !phy_ok {
@@ -272,21 +341,27 @@ impl Gateway {
             self.pool.release();
         }
         self.active.clear();
+        self.foreign_active = 0;
     }
 
     /// How many currently held decoders belong to packets from a network
     /// other than this gateway's. Used by the simulator to classify a
     /// contention drop as intra- vs inter-network (Fig. 4).
     pub fn foreign_held_decoders(&self) -> usize {
-        self.active
-            .values()
-            .filter(|p| p.network_id != self.network_id)
-            .count()
+        debug_assert_eq!(
+            self.foreign_active,
+            self.active
+                .values()
+                .filter(|p| p.network_id != self.network_id)
+                .count()
+        );
+        self.foreign_active
     }
 
     /// Reset between experiment runs (keeps configuration).
     pub fn reset(&mut self) {
         self.active.clear();
+        self.foreign_active = 0;
         self.pool.reset();
         self.stats = GatewayStats::default();
     }

@@ -303,6 +303,28 @@ pub enum ObsEvent {
         /// Host wall-clock duration of the search, µs.
         wall_us: u64,
     },
+    /// One complete simulation run finished: aggregate counters from
+    /// the indexed event loop. Emitted by the run's *caller* (the world
+    /// only stores them, see `sim::SimRunStats`) because `wall_us` is
+    /// host wall-clock and would break byte-identical event streams.
+    SimRunStats {
+        /// Trace of the run (0 = untraced).
+        #[serde(default)]
+        trace: u64,
+        /// Transmissions in the plan.
+        txs: u64,
+        /// Events processed (3 × txs).
+        events: u64,
+        /// Gateways in the world.
+        gateways: u32,
+        /// (transmission, gateway) admission pairs visited at lock-on
+        /// after the candidate cull.
+        candidate_visits: u64,
+        /// `txs × gateways`: the pairs an un-indexed loop would visit.
+        candidate_ceiling: u64,
+        /// Host wall-clock duration of the run, µs.
+        wall_us: u64,
+    },
     /// A fault-plan entry is scheduled against this run (one event per
     /// `FaultSpec`, emitted when the plan is registered with the sink).
     FaultActivated {
@@ -337,6 +359,7 @@ impl ObsEvent {
             | ObsEvent::MasterRpcRetry { .. }
             | ObsEvent::MasterPlanServed { .. }
             | ObsEvent::SolverRun { .. }
+            | ObsEvent::SimRunStats { .. }
             | ObsEvent::FaultActivated { .. } => None,
         }
     }
@@ -356,7 +379,8 @@ impl ObsEvent {
             | ObsEvent::MasterConnectAttempt { trace, .. }
             | ObsEvent::MasterRpcRetry { trace, .. }
             | ObsEvent::MasterPlanServed { trace, .. }
-            | ObsEvent::SolverRun { trace, .. } => trace,
+            | ObsEvent::SolverRun { trace, .. }
+            | ObsEvent::SimRunStats { trace, .. } => trace,
             ObsEvent::GatewayInfo { .. } | ObsEvent::FaultActivated { .. } => 0,
         };
         (trace != 0).then_some(trace)
@@ -379,6 +403,7 @@ impl ObsEvent {
             ObsEvent::MasterRpcRetry { .. } => "master_rpc_retry",
             ObsEvent::MasterPlanServed { .. } => "master_plan_served",
             ObsEvent::SolverRun { .. } => "solver_run",
+            ObsEvent::SimRunStats { .. } => "sim_run_stats",
             ObsEvent::FaultActivated { .. } => "fault_activated",
         }
     }

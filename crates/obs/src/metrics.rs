@@ -432,6 +432,25 @@ impl ObsSink for MetricsSink {
                     );
                 }
             }
+            ObsEvent::SimRunStats {
+                txs,
+                events,
+                candidate_visits,
+                candidate_ceiling,
+                wall_us,
+                ..
+            } => {
+                self.registry.inc("sim_runs", 1);
+                self.registry.inc("sim_txs", txs);
+                self.registry.inc("sim_events", events);
+                self.registry.inc("sim_candidate_visits", candidate_visits);
+                self.registry
+                    .inc("sim_candidate_ceiling", candidate_ceiling);
+                if wall_us > 0 {
+                    self.registry
+                        .set_gauge("sim_events_per_sec", events as f64 / (wall_us as f64 / 1e6));
+                }
+            }
             _ => {}
         }
     }

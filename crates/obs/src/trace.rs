@@ -629,6 +629,8 @@ impl TraceAnalyzer {
             // Solver runs carry no packet lifecycle; the metrics layer
             // aggregates them (`solver_*` counters in MetricsSink).
             ObsEvent::SolverRun { .. } => {}
+            // Run-level aggregates carry no packet lifecycle either.
+            ObsEvent::SimRunStats { .. } => {}
             ObsEvent::FaultActivated { .. } => {}
         }
     }

@@ -46,6 +46,28 @@ pub trait InfraFaults {
         0
     }
 
+    /// May gateway `gw` be down at *any* instant of the run? A cheap
+    /// whole-run summary the world samples once per run: when it
+    /// returns `false` the implementation promises [`Self::gateway_down`]
+    /// and [`Self::gateway_down_during`] are `false` for `gw` at every
+    /// time, letting the hot path skip per-event crash checks entirely.
+    /// The conservative default (`true`) is always safe.
+    fn gateway_ever_down(&self, gw: usize) -> bool {
+        let _ = gw;
+        true
+    }
+
+    /// May gateway `gw` have locked-up decoders at *any* instant of the
+    /// run? Same whole-run-summary contract as
+    /// [`Self::gateway_ever_down`]: when it returns `false` the
+    /// implementation promises [`Self::locked_decoders`] is `0` for
+    /// `gw` at every time, letting the hot path skip the per-admission
+    /// lock query. The conservative default (`true`) is always safe.
+    fn decoder_lockups_possible(&self, gw: usize) -> bool {
+        let _ = gw;
+        true
+    }
+
     /// Clock skew of gateway `gw` at `t_us` (signed microseconds).
     /// Does not change medium arbitration — it perturbs the timestamps
     /// a gateway *reports* (forwarder `tmst`), which is what matters to
@@ -60,7 +82,15 @@ pub trait InfraFaults {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoFaults;
 
-impl InfraFaults for NoFaults {}
+impl InfraFaults for NoFaults {
+    fn gateway_ever_down(&self, _gw: usize) -> bool {
+        false
+    }
+
+    fn decoder_lockups_possible(&self, _gw: usize) -> bool {
+        false
+    }
+}
 
 #[cfg(test)]
 mod tests {

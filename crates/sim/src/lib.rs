@@ -30,6 +30,8 @@ pub mod downlink;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod reference;
+mod runctx;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
@@ -42,4 +44,4 @@ pub use metrics::{LossBreakdown, RunMetrics};
 pub use topology::{Pos, Topology};
 pub use trace::{TracePool, TraceRecord};
 pub use traffic::{concurrent_burst, duty_cycled, end_aligned_burst, BurstScheme, TxPlan};
-pub use world::{LossCause, PacketRecord, SimWorld, Transmission};
+pub use world::{LossCause, PacketRecord, SimRunStats, SimWorld, Transmission};

@@ -1,0 +1,404 @@
+//! The pre-indexing simulation loop, kept verbatim as a correctness
+//! and performance reference.
+//!
+//! [`run_with_faults_reference`] is a line-for-line port of the
+//! `SimWorld::run_with_faults` implementation as it stood before the
+//! indexed hot path landed: every lock-on visits **every** gateway and
+//! recomputes the per-(node, gateway) RSSI/SNR from the topology,
+//! `TxStart` scans the full on-air list, `TxEnd` removes by `retain`,
+//! and every run allocates its interferer/admission bookkeeping afresh.
+//! It even keeps the dead `snr_v` computation the optimized path
+//! removed, because the point is to measure and differentially test
+//! against the true prior code, not a cleaned-up strawman.
+//!
+//! Two consumers rely on it:
+//!
+//! * the workspace `sim_equivalence` proptest, which asserts the
+//!   indexed core in [`crate::world::SimWorld::run_with_faults`] is
+//!   record-for-record (and event-for-event) identical to this loop on
+//!   random topologies, traffic and fault schedules;
+//! * `benches/simworld.rs` in the `bench` crate, which times the two
+//!   against each other and writes `BENCH_sim.json`.
+//!
+//! Like the live path, a reference run consumes one run epoch (trace
+//! ids are minted identically) and streams to the world's attached
+//! observability sink, so the two paths are interchangeable mid-stream.
+
+#![allow(clippy::all)]
+
+use crate::engine::{Event, EventQueue};
+use crate::topology::Topology;
+use crate::traffic::TxPlan;
+use crate::world::{LossCause, PacketRecord, SimWorld, Transmission};
+use gateway::radio::{LockOnOutcome, PacketAtGateway};
+use lora_phy::airtime::PacketParams;
+use lora_phy::channel::overlap_ratio;
+use lora_phy::interference::{
+    capture_outcome, leakage_gain_db, CaptureOutcome, CROSS_SF_REJECTION_DB,
+    DETECTION_OVERLAP_THRESHOLD,
+};
+use lora_phy::snr::{decodable, noise_floor_dbm};
+use lora_phy::types::{Bandwidth, TxPowerDbm};
+use obs::{NullSink, ObsEvent, ObsSink};
+
+/// How one gateway saw one transmission during admission (the
+/// reference's private copy of the world's bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seen {
+    Admitted,
+    Dropped { foreign_held: bool, lockup: bool },
+    DownAtLockOn,
+}
+
+/// PHY verdict for one (transmission, gateway) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    Ok,
+    Collision { with_network: u32 },
+    Interference,
+}
+
+/// Execute `plans` on `world` with the pre-indexing event loop. Replays
+/// the seed revision's algorithm exactly; see the module docs.
+pub fn run_with_faults_reference(
+    world: &mut SimWorld,
+    plans: &[TxPlan],
+    faults: &dyn crate::faults::InfraFaults,
+) -> Vec<PacketRecord> {
+    let epoch = world.run_epoch;
+    world.run_epoch += 1;
+    let txs: Vec<Transmission> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let airtime = PacketParams::lorawan_uplink(
+                p.dr.spreading_factor(),
+                Bandwidth::Khz125,
+                p.payload_len,
+            )
+            .airtime();
+            Transmission {
+                id: i as u64,
+                trace: obs::packet_trace(epoch, i as u64),
+                node: p.node,
+                network_id: world.node_network[p.node],
+                channel: p.channel,
+                dr: p.dr,
+                start_us: p.start_us,
+                lock_on_us: airtime.lock_on_at(p.start_us),
+                end_us: airtime.end_at(p.start_us),
+                payload_len: p.payload_len,
+            }
+        })
+        .collect();
+
+    let mut queue = EventQueue::new();
+    for t in &txs {
+        queue.push(t.start_us, Event::TxStart { tx_id: t.id });
+        queue.push(t.lock_on_us, Event::LockOn { tx_id: t.id });
+        queue.push(t.end_us, Event::TxEnd { tx_id: t.id });
+    }
+
+    let mut taken = world.obs.take();
+    let mut null = NullSink;
+    let sink: &mut dyn ObsSink = match taken.as_deref_mut() {
+        Some(s) => s,
+        None => &mut null,
+    };
+
+    if sink.enabled() {
+        for g in &world.gateways {
+            sink.record(&ObsEvent::GatewayInfo {
+                gw: g.id as u32,
+                network: g.network_id,
+                capacity: g.pool().capacity() as u32,
+            });
+        }
+    }
+
+    let mut interferers: Vec<Vec<u64>> = vec![Vec::new(); txs.len()];
+    let mut on_air: Vec<u64> = Vec::new();
+    let mut seen: Vec<Vec<(usize, Seen)>> = vec![Vec::new(); txs.len()];
+    let mut records: Vec<Option<PacketRecord>> = vec![None; txs.len()];
+
+    while let Some((_, ev)) = queue.pop() {
+        match ev {
+            Event::TxStart { tx_id } => {
+                let t = &txs[tx_id as usize];
+                if sink.enabled() {
+                    sink.record(&ObsEvent::TxStart {
+                        t_us: t.start_us,
+                        trace: t.trace,
+                        tx: t.id,
+                        node: t.node as u64,
+                        network: t.network_id,
+                    });
+                }
+                for &o_id in &on_air {
+                    let o = &txs[o_id as usize];
+                    if o.node != t.node && overlap_ratio(&t.channel, &o.channel) > 0.0 {
+                        interferers[tx_id as usize].push(o_id);
+                        interferers[o_id as usize].push(tx_id);
+                    }
+                }
+                on_air.push(tx_id);
+            }
+            Event::LockOn { tx_id } => {
+                let t = &txs[tx_id as usize];
+                let now = t.lock_on_us;
+                if sink.enabled() {
+                    sink.record(&ObsEvent::PacketLockOn {
+                        t_us: now,
+                        trace: t.trace,
+                        tx: t.id,
+                        node: t.node as u64,
+                        network: t.network_id,
+                    });
+                }
+                for (g_idx, g) in world.gateways.iter_mut().enumerate() {
+                    let pkt = packet_at(&world.topo, &world.node_power, t, g_idx);
+                    if faults.gateway_down(g_idx, now) {
+                        if g.would_detect(&pkt) {
+                            seen[tx_id as usize].push((g_idx, Seen::DownAtLockOn));
+                        }
+                        continue;
+                    }
+                    g.set_locked_decoders(faults.locked_decoders(g_idx, now));
+                    match g.on_lock_on_obs(pkt, sink) {
+                        LockOnOutcome::Admitted => {
+                            seen[tx_id as usize].push((g_idx, Seen::Admitted));
+                        }
+                        LockOnOutcome::DroppedNoDecoder => {
+                            let foreign = g.foreign_held_decoders() > 0;
+                            let lockup =
+                                g.pool().locked() > 0 && g.decoders_in_use() < g.pool().capacity();
+                            seen[tx_id as usize].push((
+                                g_idx,
+                                Seen::Dropped {
+                                    foreign_held: foreign,
+                                    lockup,
+                                },
+                            ));
+                        }
+                        LockOnOutcome::NotDetected => {}
+                    }
+                }
+            }
+            Event::TxEnd { tx_id } => {
+                on_air.retain(|&id| id != tx_id);
+                let record = finish_tx(
+                    world,
+                    &txs,
+                    tx_id,
+                    &seen[tx_id as usize],
+                    &interferers,
+                    faults,
+                    sink,
+                );
+                records[tx_id as usize] = Some(record);
+            }
+        }
+    }
+
+    sink.flush();
+    world.obs = taken;
+
+    records
+        .into_iter()
+        .map(|r| r.expect("every tx finished"))
+        .collect()
+}
+
+fn finish_tx(
+    world: &mut SimWorld,
+    txs: &[Transmission],
+    tx_id: u64,
+    seen: &[(usize, Seen)],
+    interferers: &[Vec<u64>],
+    faults: &dyn crate::faults::InfraFaults,
+    sink: &mut dyn ObsSink,
+) -> PacketRecord {
+    let t = &txs[tx_id as usize];
+    let mut receiving = Vec::new();
+    let mut decoder_drop: Option<bool> = None;
+    let mut collision_with: Option<u32> = None;
+    let mut own_detected = false;
+    let mut infra_loss = false;
+
+    for &(g_idx, how) in seen {
+        let own = world.gateways[g_idx].network_id == t.network_id;
+        let verdict = verdict(world, txs, t, g_idx, &interferers[tx_id as usize]);
+        if how == Seen::Admitted {
+            let crashed_mid_rx = faults.gateway_down_during(g_idx, t.lock_on_us, t.end_us);
+            let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
+            if let Some(gateway::radio::ReceptionOutcome::Received) =
+                world.gateways[g_idx].on_tx_end_obs(tx_id, phy_ok, sink)
+            {
+                receiving.push(g_idx);
+            }
+            if own && crashed_mid_rx && verdict == Verdict::Ok {
+                infra_loss = true;
+            }
+        }
+        if own {
+            own_detected = true;
+            match (how, verdict) {
+                (Seen::DownAtLockOn, Verdict::Ok) => {
+                    infra_loss = true;
+                }
+                (
+                    Seen::Dropped {
+                        foreign_held,
+                        lockup,
+                    },
+                    Verdict::Ok,
+                ) => {
+                    if lockup {
+                        infra_loss = true;
+                    } else {
+                        let entry = decoder_drop.get_or_insert(false);
+                        *entry = *entry || foreign_held;
+                    }
+                }
+                (_, Verdict::Collision { with_network }) => {
+                    collision_with.get_or_insert(with_network);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let delivered = !receiving.is_empty();
+    let cause = if delivered {
+        None
+    } else if infra_loss {
+        Some(LossCause::Infrastructure)
+    } else if let Some(foreign) = decoder_drop {
+        Some(if foreign {
+            LossCause::DecoderContentionInter
+        } else {
+            LossCause::DecoderContentionIntra
+        })
+    } else if let Some(net) = collision_with {
+        Some(if net == t.network_id {
+            LossCause::ChannelContentionIntra
+        } else {
+            LossCause::ChannelContentionInter
+        })
+    } else {
+        let _ = own_detected;
+        Some(LossCause::Other)
+    };
+
+    if sink.enabled() {
+        sink.record(&ObsEvent::PacketOutcome {
+            t_us: t.end_us,
+            trace: t.trace,
+            tx: tx_id,
+            delivered,
+            cause: cause.map(LossCause::obs_kind),
+        });
+    }
+
+    PacketRecord {
+        tx_id,
+        node: t.node,
+        network_id: t.network_id,
+        channel: t.channel,
+        dr: t.dr,
+        start_us: t.start_us,
+        end_us: t.end_us,
+        payload_len: t.payload_len,
+        delivered,
+        receiving_gateways: receiving,
+        cause,
+    }
+}
+
+fn verdict(
+    world: &SimWorld,
+    txs: &[Transmission],
+    t: &Transmission,
+    g_idx: usize,
+    intf: &[u64],
+) -> Verdict {
+    let rssi_v = world.topo.rssi_dbm(t.node, g_idx, world.node_power[t.node]);
+    // The seed revision computed (and discarded) the interference-free
+    // SNR on every verdict; the replica keeps the wasted work.
+    let snr_v = world.topo.snr_db(t.node, g_idx, world.node_power[t.node]);
+    let sf_v = t.dr.spreading_factor();
+    let mut intf_lin = 0.0f64;
+    let mut strongest_collider: Option<(f64, u32)> = None;
+    let mut interference_kill = false;
+
+    for &o_id in intf {
+        let o = &txs[o_id as usize];
+        let rho = overlap_ratio(&t.channel, &o.channel);
+        if rho <= 0.0 {
+            continue;
+        }
+        let rssi_o = world.topo.rssi_dbm(o.node, g_idx, world.node_power[o.node]);
+        if rho >= DETECTION_OVERLAP_THRESHOLD {
+            if o.dr.spreading_factor() == sf_v {
+                if world.cic {
+                    continue;
+                }
+                let (first, second) = if t.lock_on_us <= o.lock_on_us {
+                    (rssi_v, rssi_o)
+                } else {
+                    (rssi_o, rssi_v)
+                };
+                let survives = match capture_outcome(first, second) {
+                    CaptureOutcome::FirstSurvives => t.lock_on_us <= o.lock_on_us,
+                    CaptureOutcome::SecondSurvives => t.lock_on_us > o.lock_on_us,
+                    CaptureOutcome::BothLost => false,
+                };
+                if !survives {
+                    match strongest_collider {
+                        Some((r, _)) if r >= rssi_o => {}
+                        _ => strongest_collider = Some((rssi_o, o.network_id)),
+                    }
+                }
+            } else {
+                if rssi_v - rssi_o < CROSS_SF_REJECTION_DB {
+                    interference_kill = true;
+                }
+            }
+        } else {
+            let orth = o.dr.spreading_factor() != sf_v;
+            if let Some(gain) = leakage_gain_db(&t.channel, &o.channel, orth) {
+                intf_lin += 10f64.powf((rssi_o + gain) / 10.0);
+            }
+        }
+    }
+
+    if let Some((_, net)) = strongest_collider {
+        return Verdict::Collision { with_network: net };
+    }
+    let noise_lin = 10f64.powf(noise_floor_dbm(Bandwidth::Khz125) / 10.0);
+    let sinr = rssi_v - 10.0 * (noise_lin + intf_lin).log10();
+    let _ = snr_v;
+    if interference_kill || !decodable(sinr, sf_v, 0.0) {
+        return Verdict::Interference;
+    }
+    Verdict::Ok
+}
+
+fn packet_at(
+    topo: &Topology,
+    node_power: &[TxPowerDbm],
+    t: &Transmission,
+    g_idx: usize,
+) -> PacketAtGateway {
+    PacketAtGateway {
+        tx_id: t.id,
+        trace: t.trace,
+        network_id: t.network_id,
+        channel: t.channel,
+        sf: t.dr.spreading_factor(),
+        rssi_dbm: topo.rssi_dbm(t.node, g_idx, node_power[t.node]),
+        snr_db: topo.snr_db(t.node, g_idx, node_power[t.node]),
+        lock_on_us: t.lock_on_us,
+        end_us: t.end_us,
+    }
+}

@@ -19,21 +19,36 @@
 //!   strongest colliding network;
 //! * **Other** — below-threshold SNR, cross-SF interference, or no
 //!   gateway in detection range.
+//!
+//! # The indexed hot path
+//!
+//! The event loop runs over a per-run [`crate::runctx`] context: the
+//! schedule is sorted once into exact [`crate::engine::EventQueue`] pop
+//! order (every event is known before the loop, so no heap is needed),
+//! link gains come from flat tables, lock-on visits only the gateways
+//! whose listening set covers the packet's channel (everything else is
+//! a guaranteed `NotDetected`, reconciled in bulk at run end), TxStart
+//! scans per-channel on-air buckets instead of the global on-air list,
+//! and TxEnd removal is an O(1) swap-remove. All per-run buffers are
+//! owned by the world and reused, so a warmed world's steady state
+//! performs no heap allocation beyond the returned records. The loop is
+//! bit-for-bit equivalent to the retained pre-indexing implementation
+//! in [`crate::reference`]; the workspace `sim_equivalence` proptest
+//! holds the two to record-for-record identity.
 
-use crate::engine::{Event, EventQueue};
+use crate::engine::Event;
+use crate::runctx::{PairClass, RunContext, RunScratch};
 use crate::topology::Topology;
 use crate::traffic::TxPlan;
 use gateway::radio::{Gateway, LockOnOutcome, PacketAtGateway};
 use lora_phy::airtime::PacketParams;
-use lora_phy::channel::{overlap_ratio, Channel};
-use lora_phy::interference::{
-    capture_outcome, leakage_gain_db, CaptureOutcome, CROSS_SF_REJECTION_DB,
-    DETECTION_OVERLAP_THRESHOLD,
-};
-use lora_phy::snr::{decodable, noise_floor_dbm};
+use lora_phy::channel::Channel;
+use lora_phy::interference::{capture_outcome, CaptureOutcome, CROSS_SF_REJECTION_DB};
+use lora_phy::snr::decodable;
 use lora_phy::types::{Bandwidth, DataRate, TxPowerDbm};
 use obs::{NullSink, ObsEvent, ObsSink};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// A materialized transmission (a [`TxPlan`] with computed airtime).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,9 +142,12 @@ pub struct PacketRecord {
 
 /// How one gateway saw one transmission during admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Seen {
+pub(crate) enum Seen {
+    /// Detected and assigned a decoder.
     Admitted,
+    /// Detected but rejected by the decoder pool.
     Dropped {
+        /// Foreign-network packets held decoders at rejection time.
         foreign_held: bool,
         /// Locked-up decoders contributed to the drop: physical
         /// capacity was still free when the packet was rejected.
@@ -143,7 +161,7 @@ enum Seen {
 /// PHY verdict for one (transmission, gateway) pair, independent of
 /// decoder availability.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Verdict {
+pub(crate) enum Verdict {
     Ok,
     /// Lost to a same-channel same-SF collision with this network's node.
     Collision {
@@ -151,6 +169,68 @@ enum Verdict {
     },
     /// Lost to interference / insufficient SINR.
     Interference,
+}
+
+/// Reusable buffers for the batched per-TxEnd verdict computation
+/// ([`batch_verdicts`]): one slot per seen gateway, aligned with the
+/// transmission's admission span.
+#[derive(Debug, Default)]
+pub(crate) struct VerdictScratch {
+    /// Accumulated leaked interference, linear mW relative to dBm.
+    intf_lin: Vec<f64>,
+    /// Strongest same-settings collider so far (RSSI, network id).
+    strongest: Vec<Option<(f64, u32)>>,
+    /// Cross-SF interference kill flag.
+    kill: Vec<bool>,
+    /// Final verdicts, indexed like the seen slice.
+    verdicts: Vec<Verdict>,
+}
+
+/// Aggregate counters from the most recent run, exposed via
+/// [`SimWorld::last_run_stats`]. The world never streams these into its
+/// attached obs sink itself — `wall_us` is host wall-clock, and runs
+/// must stay byte-identical for a fixed seed — so callers that want the
+/// [`obs::ObsEvent::SimRunStats`] event emit it via [`Self::to_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimRunStats {
+    /// Transmissions in the plan.
+    pub txs: u64,
+    /// Events processed (3 × txs).
+    pub events: u64,
+    /// Gateways in the world.
+    pub gateways: u32,
+    /// (transmission, gateway) admission pairs actually visited at
+    /// lock-on after the candidate cull.
+    pub candidate_visits: u64,
+    /// `txs × gateways`: the pairs the un-indexed loop would visit.
+    pub candidate_ceiling: u64,
+    /// Host wall-clock duration of the run, µs.
+    pub wall_us: u64,
+}
+
+impl SimRunStats {
+    /// Fraction of the full (transmission, gateway) product the lock-on
+    /// loop actually visited (1.0 = no cull).
+    pub fn cull_ratio(&self) -> f64 {
+        if self.candidate_ceiling == 0 {
+            1.0
+        } else {
+            self.candidate_visits as f64 / self.candidate_ceiling as f64
+        }
+    }
+
+    /// The observability event mirroring these counters.
+    pub fn to_event(&self, trace: u64) -> ObsEvent {
+        ObsEvent::SimRunStats {
+            trace,
+            txs: self.txs,
+            events: self.events,
+            gateways: self.gateways,
+            candidate_visits: self.candidate_visits,
+            candidate_ceiling: self.candidate_ceiling,
+            wall_us: self.wall_us,
+        }
+    }
 }
 
 /// The simulation world.
@@ -170,11 +250,15 @@ pub struct SimWorld {
     /// constraints of COTS gateways to CIC", §5.2.1).
     pub cic: bool,
     /// Attached observability sink, if any ([`SimWorld::set_obs_sink`]).
-    obs: Option<Box<dyn ObsSink>>,
+    pub(crate) obs: Option<Box<dyn ObsSink>>,
     /// Runs completed so far; disambiguates trace ids when one process
     /// (and one JSONL stream) hosts many runs. Advances on every run,
     /// observed or not, so attaching a sink never shifts the ids.
-    run_epoch: u64,
+    pub(crate) run_epoch: u64,
+    /// Reusable per-run context and arenas (see [`crate::runctx`]).
+    scratch: RunScratch,
+    /// Counters from the most recent run.
+    last_stats: Option<SimRunStats>,
 }
 
 impl SimWorld {
@@ -190,6 +274,8 @@ impl SimWorld {
             cic: false,
             obs: None,
             run_epoch: 0,
+            scratch: RunScratch::default(),
+            last_stats: None,
         }
     }
 
@@ -210,6 +296,13 @@ impl SimWorld {
     /// Detach and return the current observability sink, if any.
     pub fn take_obs_sink(&mut self) -> Option<Box<dyn ObsSink>> {
         self.obs.take()
+    }
+
+    /// Counters from the most recent [`Self::run_with_faults`] (or
+    /// [`Self::run`]) call: events processed, candidate-cull ratio and
+    /// wall time. `None` before the first run.
+    pub fn last_run_stats(&self) -> Option<SimRunStats> {
+        self.last_stats
     }
 
     /// Reset gateway pipelines and stats between runs.
@@ -234,39 +327,59 @@ impl SimWorld {
         plans: &[TxPlan],
         faults: &dyn crate::faults::InfraFaults,
     ) -> Vec<PacketRecord> {
+        let wall_start = Instant::now();
         let epoch = self.run_epoch;
         self.run_epoch += 1;
-        let txs: Vec<Transmission> = plans
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let airtime = PacketParams::lorawan_uplink(
-                    p.dr.spreading_factor(),
-                    Bandwidth::Khz125,
-                    p.payload_len,
-                )
-                .airtime();
-                Transmission {
-                    id: i as u64,
-                    trace: obs::packet_trace(epoch, i as u64),
-                    node: p.node,
-                    network_id: self.node_network[p.node],
-                    channel: p.channel,
-                    dr: p.dr,
-                    start_us: p.start_us,
-                    lock_on_us: airtime.lock_on_at(p.start_us),
-                    end_us: airtime.end_at(p.start_us),
-                    payload_len: p.payload_len,
-                }
-            })
-            .collect();
+        let n_gws = self.gateways.len();
 
-        let mut queue = EventQueue::new();
-        for t in &txs {
-            queue.push(t.start_us, Event::TxStart { tx_id: t.id });
-            queue.push(t.lock_on_us, Event::LockOn { tx_id: t.id });
-            queue.push(t.end_us, Event::TxEnd { tx_id: t.id });
+        // Scratch is moved out for the run so the event loop can borrow
+        // its arenas alongside `self.gateways`.
+        let mut s = std::mem::take(&mut self.scratch);
+
+        s.txs.clear();
+        s.txs.reserve(plans.len());
+        for (i, p) in plans.iter().enumerate() {
+            let airtime = PacketParams::lorawan_uplink(
+                p.dr.spreading_factor(),
+                Bandwidth::Khz125,
+                p.payload_len,
+            )
+            .airtime();
+            s.txs.push(Transmission {
+                id: i as u64,
+                trace: obs::packet_trace(epoch, i as u64),
+                node: p.node,
+                network_id: self.node_network[p.node],
+                channel: p.channel,
+                dr: p.dr,
+                start_us: p.start_us,
+                lock_on_us: airtime.lock_on_at(p.start_us),
+                end_us: airtime.end_at(p.start_us),
+                payload_len: p.payload_len,
+            });
         }
+        let n = s.txs.len();
+
+        // Per-run context: rebuilt every run because node powers and
+        // gateway channel configurations change between runs.
+        s.ctx.intern_channels(&s.txs, &mut s.ch_of_tx);
+        s.ctx.rebuild(&self.topo, &self.node_power, &self.gateways);
+        let n_ch = s.ctx.n_channels();
+
+        // Every event of the run is known now (nothing is scheduled
+        // mid-loop), so instead of heap-popping 3n times the schedule
+        // is sorted once into the exact order `EventQueue` would pop —
+        // reserve-before-push keeps the arena from reallocating.
+        s.timeline.clear();
+        s.timeline.reserve(3 * n);
+        for t in &s.txs {
+            s.timeline
+                .push((t.start_us, Event::TxStart { tx_id: t.id }));
+            s.timeline
+                .push((t.lock_on_us, Event::LockOn { tx_id: t.id }));
+            s.timeline.push((t.end_us, Event::TxEnd { tx_id: t.id }));
+        }
+        crate::engine::sort_schedule(&mut s.timeline);
 
         // Take the sink out of `self` for the duration of the run so the
         // event loop can borrow gateways mutably alongside it.
@@ -290,18 +403,56 @@ impl SimWorld {
             }
         }
 
-        // Interference registration: ids of spectrally-overlapping
-        // transmissions whose airtime intersects each transmission's.
-        let mut interferers: Vec<Vec<u64>> = vec![Vec::new(); txs.len()];
-        let mut on_air: Vec<u64> = Vec::new();
-        // Admission bookkeeping: per tx, per gateway.
-        let mut seen: Vec<Vec<(usize, Seen)>> = vec![Vec::new(); txs.len()];
-        let mut records: Vec<Option<PacketRecord>> = vec![None; txs.len()];
+        if s.interferers.len() < n {
+            s.interferers.resize_with(n, Vec::new);
+        }
+        for v in &mut s.interferers[..n] {
+            v.clear();
+        }
+        s.seen_buf.clear();
+        s.seen_span.clear();
+        s.seen_span.resize(n, (0, 0));
+        s.records.clear();
+        s.records.resize(n, None);
+        s.start_seq.clear();
+        s.start_seq.resize(n, 0);
+        s.pos_in_bucket.clear();
+        s.pos_in_bucket.resize(n, 0);
+        if s.buckets.len() < n_ch {
+            s.buckets.resize_with(n_ch, Vec::new);
+        }
+        for b in &mut s.buckets[..n_ch] {
+            b.clear();
+        }
+        s.undetected.clear();
+        s.undetected.resize(n_gws, 0);
+        s.ever_down.clear();
+        s.ever_down
+            .extend((0..n_gws).map(|g| faults.gateway_ever_down(g)));
+        s.ever_locked.clear();
+        s.ever_locked
+            .extend((0..n_gws).map(|g| faults.decoder_lockups_possible(g)));
+        // The admission path only refreshes lock state for gateways the
+        // schedule can actually lock; clear everyone else's up front so
+        // state left by a previous faulted run cannot leak in.
+        for (g_idx, &locked) in s.ever_locked.iter().enumerate() {
+            if !locked {
+                self.gateways[g_idx].set_locked_decoders(0);
+            }
+        }
+        let mut receiving = std::mem::take(&mut s.receiving);
+        let timeline = std::mem::take(&mut s.timeline);
 
-        while let Some((_, ev)) = queue.pop() {
+        let mut events: u64 = 0;
+        let mut candidate_visits: u64 = 0;
+        let mut seq: u32 = 0;
+
+        for &(_, ev) in &timeline {
+            events += 1;
             match ev {
                 Event::TxStart { tx_id } => {
-                    let t = &txs[tx_id as usize];
+                    let txi = tx_id as usize;
+                    let t = &s.txs[txi];
                     if sink.enabled() {
                         sink.record(&ObsEvent::TxStart {
                             t_us: t.start_us,
@@ -311,17 +462,33 @@ impl SimWorld {
                             network: t.network_id,
                         });
                     }
-                    for &o_id in &on_air {
-                        let o = &txs[o_id as usize];
-                        if o.node != t.node && overlap_ratio(&t.channel, &o.channel) > 0.0 {
-                            interferers[tx_id as usize].push(o_id);
-                            interferers[o_id as usize].push(tx_id);
+                    let c = s.ch_of_tx[txi] as usize;
+                    s.gathered.clear();
+                    for &oc in &s.ctx.overlapping[c] {
+                        for &o_id in &s.buckets[oc as usize] {
+                            if s.txs[o_id as usize].node != t.node {
+                                s.gathered.push(o_id);
+                            }
                         }
                     }
-                    on_air.push(tx_id);
+                    // Buckets are permuted by swap-remove, so restore
+                    // chronological (TxStart) order before registering —
+                    // interferer-list order is part of the determinism
+                    // contract with the reference loop.
+                    let start_seq = &s.start_seq;
+                    s.gathered.sort_unstable_by_key(|&o| start_seq[o as usize]);
+                    for &o_id in &s.gathered {
+                        s.interferers[txi].push(o_id);
+                        s.interferers[o_id as usize].push(tx_id);
+                    }
+                    s.start_seq[txi] = seq;
+                    seq += 1;
+                    s.pos_in_bucket[txi] = s.buckets[c].len() as u32;
+                    s.buckets[c].push(tx_id);
                 }
                 Event::LockOn { tx_id } => {
-                    let t = &txs[tx_id as usize];
+                    let txi = tx_id as usize;
+                    let t = s.txs[txi];
                     let now = t.lock_on_us;
                     if sink.enabled() {
                         sink.record(&ObsEvent::PacketLockOn {
@@ -332,21 +499,50 @@ impl SimWorld {
                             network: t.network_id,
                         });
                     }
-                    for (g_idx, g) in self.gateways.iter_mut().enumerate() {
-                        let pkt = packet_at(&self.topo, &self.node_power, t, g_idx);
-                        if faults.gateway_down(g_idx, now) {
-                            // A crashed gateway admits nothing. Any
-                            // receptions it still holds are failed (and
-                            // their decoders released) at their TxEnd.
-                            if g.would_detect(&pkt) {
-                                seen[tx_id as usize].push((g_idx, Seen::DownAtLockOn));
+                    let c = s.ch_of_tx[txi] as usize;
+                    let sf = t.dr.spreading_factor();
+                    let seen_start = s.seen_buf.len() as u32;
+                    for &gq in &s.ctx.cand[c] {
+                        candidate_visits += 1;
+                        let g_idx = gq as usize;
+                        let snr = s.ctx.snr[t.node * n_gws + g_idx];
+                        if !decodable(snr, sf, 0.0) {
+                            // Below the detection floor: the reference
+                            // loop counts an up gateway's non-detection;
+                            // a crashed gateway counts nothing.
+                            if !s.ever_down[g_idx] || !faults.gateway_down(g_idx, now) {
+                                s.undetected[g_idx] += 1;
                             }
                             continue;
                         }
-                        g.set_locked_decoders(faults.locked_decoders(g_idx, now));
-                        match g.on_lock_on_obs(pkt, sink) {
+                        if s.ever_down[g_idx] && faults.gateway_down(g_idx, now) {
+                            // A crashed gateway admits nothing. Any
+                            // receptions it still holds are failed (and
+                            // their decoders released) at their TxEnd.
+                            s.seen_buf.push((gq, Seen::DownAtLockOn));
+                            continue;
+                        }
+                        let g = &mut self.gateways[g_idx];
+                        if s.ever_locked[g_idx] {
+                            g.set_locked_decoders(faults.locked_decoders(g_idx, now));
+                        }
+                        let pkt = PacketAtGateway {
+                            tx_id: t.id,
+                            trace: t.trace,
+                            network_id: t.network_id,
+                            channel: t.channel,
+                            sf,
+                            rssi_dbm: s.ctx.rssi[t.node * n_gws + g_idx],
+                            snr_db: snr,
+                            lock_on_us: t.lock_on_us,
+                            end_us: t.end_us,
+                        };
+                        // The candidate index proved the channel half of
+                        // detection and the SNR gate just passed, so the
+                        // gateway's own `would_detect` re-check is skipped.
+                        match g.admit_detected_obs(pkt, sink) {
                             LockOnOutcome::Admitted => {
-                                seen[tx_id as usize].push((g_idx, Seen::Admitted));
+                                s.seen_buf.push((gq, Seen::Admitted));
                             }
                             LockOnOutcome::DroppedNoDecoder => {
                                 let foreign = g.foreign_held_decoders() > 0;
@@ -354,248 +550,352 @@ impl SimWorld {
                                 // only the lock-up made this a drop.
                                 let lockup = g.pool().locked() > 0
                                     && g.decoders_in_use() < g.pool().capacity();
-                                seen[tx_id as usize].push((
-                                    g_idx,
+                                s.seen_buf.push((
+                                    gq,
                                     Seen::Dropped {
                                         foreign_held: foreign,
                                         lockup,
                                     },
                                 ));
                             }
-                            LockOnOutcome::NotDetected => {}
+                            LockOnOutcome::NotDetected => {
+                                unreachable!("admission precondition verified above")
+                            }
                         }
                     }
+                    s.seen_span[txi] = (seen_start, s.seen_buf.len() as u32);
                 }
                 Event::TxEnd { tx_id } => {
-                    on_air.retain(|&id| id != tx_id);
-                    let record = self.finish_tx(
-                        &txs,
+                    let txi = tx_id as usize;
+                    let c = s.ch_of_tx[txi] as usize;
+                    let pos = s.pos_in_bucket[txi] as usize;
+                    let moved = {
+                        let b = &mut s.buckets[c];
+                        b.swap_remove(pos);
+                        b.get(pos).copied()
+                    };
+                    if let Some(m) = moved {
+                        s.pos_in_bucket[m as usize] = pos as u32;
+                    }
+                    let (span_a, span_b) = s.seen_span[txi];
+                    let record = finish_tx(
+                        &mut self.gateways,
+                        self.cic,
+                        &s.ctx,
+                        &s.txs,
+                        &s.ch_of_tx,
                         tx_id,
-                        &seen[tx_id as usize],
-                        &interferers,
+                        &s.seen_buf[span_a as usize..span_b as usize],
+                        &s.interferers[txi],
                         faults,
+                        &s.ever_down,
                         sink,
+                        &mut receiving,
+                        &mut s.vscratch,
                     );
-                    records[tx_id as usize] = Some(record);
+                    s.records[txi] = Some(record);
                 }
             }
         }
+        s.timeline = timeline;
 
         sink.flush();
         self.obs = taken;
 
-        records
-            .into_iter()
-            .map(|r| r.expect("every tx finished"))
-            .collect()
-    }
-
-    /// Resolve PHY verdicts, deliver outcomes to gateways, classify.
-    fn finish_tx(
-        &mut self,
-        txs: &[Transmission],
-        tx_id: u64,
-        seen: &[(usize, Seen)],
-        interferers: &[Vec<u64>],
-        faults: &dyn crate::faults::InfraFaults,
-        sink: &mut dyn ObsSink,
-    ) -> PacketRecord {
-        let t = &txs[tx_id as usize];
-        let mut receiving = Vec::new();
-        let mut decoder_drop: Option<bool> = None; // Some(foreign?) if droppable-but-clean
-        let mut collision_with: Option<u32> = None;
-        let mut own_detected = false;
-        // An own-network gateway would have received the packet but for
-        // an injected fault (crash or decoder lock-up).
-        let mut infra_loss = false;
-
-        for &(g_idx, how) in seen {
-            let own = self.gateways[g_idx].network_id == t.network_id;
-            let verdict = self.verdict(txs, t, g_idx, &interferers[tx_id as usize]);
-            if how == Seen::Admitted {
-                let crashed_mid_rx = faults.gateway_down_during(g_idx, t.lock_on_us, t.end_us);
-                let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
-                if let Some(gateway::radio::ReceptionOutcome::Received) =
-                    self.gateways[g_idx].on_tx_end_obs(tx_id, phy_ok, sink)
-                {
-                    receiving.push(g_idx);
-                }
-                if own && crashed_mid_rx && verdict == Verdict::Ok {
-                    infra_loss = true;
-                }
-            }
-            if own {
-                own_detected = true;
-                match (how, verdict) {
-                    (Seen::DownAtLockOn, Verdict::Ok) => {
-                        infra_loss = true;
-                    }
-                    (
-                        Seen::Dropped {
-                            foreign_held,
-                            lockup,
-                        },
-                        Verdict::Ok,
-                    ) => {
-                        if lockup {
-                            // Healthy hardware had the decoder to spare.
-                            infra_loss = true;
-                        } else {
-                            // Would have been received with a free decoder.
-                            let entry = decoder_drop.get_or_insert(false);
-                            *entry = *entry || foreign_held;
-                        }
-                    }
-                    (_, Verdict::Collision { with_network }) => {
-                        collision_with.get_or_insert(with_network);
-                    }
-                    _ => {}
-                }
-            }
-        }
-
-        let delivered = !receiving.is_empty();
-        let cause = if delivered {
-            None
-        } else if infra_loss {
-            // Healthy infrastructure would have delivered the packet:
-            // the fault is the proximate cause even if other gateways
-            // also dropped it by genuine contention.
-            Some(LossCause::Infrastructure)
-        } else if let Some(foreign) = decoder_drop {
-            Some(if foreign {
-                LossCause::DecoderContentionInter
-            } else {
-                LossCause::DecoderContentionIntra
-            })
-        } else if let Some(net) = collision_with {
-            Some(if net == t.network_id {
-                LossCause::ChannelContentionIntra
-            } else {
-                LossCause::ChannelContentionInter
-            })
-        } else {
-            let _ = own_detected; // either undetected or SNR/interference
-            Some(LossCause::Other)
-        };
-
-        if sink.enabled() {
-            sink.record(&ObsEvent::PacketOutcome {
-                t_us: t.end_us,
-                trace: t.trace,
-                tx: tx_id,
-                delivered,
-                cause: cause.map(LossCause::obs_kind),
-            });
-        }
-
-        PacketRecord {
-            tx_id,
-            node: t.node,
-            network_id: t.network_id,
-            channel: t.channel,
-            dr: t.dr,
-            start_us: t.start_us,
-            end_us: t.end_us,
-            payload_len: t.payload_len,
-            delivered,
-            receiving_gateways: receiving,
-            cause,
-        }
-    }
-
-    /// PHY verdict for `t` at gateway `g_idx`, given its interferer set.
-    fn verdict(
-        &self,
-        txs: &[Transmission],
-        t: &Transmission,
-        g_idx: usize,
-        intf: &[u64],
-    ) -> Verdict {
-        let rssi_v = self.topo.rssi_dbm(t.node, g_idx, self.node_power[t.node]);
-        let snr_v = self.topo.snr_db(t.node, g_idx, self.node_power[t.node]);
-        let sf_v = t.dr.spreading_factor();
-        // Effective in-band interference accumulated from partially
-        // overlapping channels (linear mW relative to dBm).
-        let mut intf_lin = 0.0f64;
-        let mut strongest_collider: Option<(f64, u32)> = None;
-        let mut interference_kill = false;
-
-        for &o_id in intf {
-            let o = &txs[o_id as usize];
-            let rho = overlap_ratio(&t.channel, &o.channel);
-            if rho <= 0.0 {
-                continue;
-            }
-            let rssi_o = self.topo.rssi_dbm(o.node, g_idx, self.node_power[o.node]);
-            if rho >= DETECTION_OVERLAP_THRESHOLD {
-                if o.dr.spreading_factor() == sf_v {
-                    if self.cic {
-                        // CIC resolves the collision; both survive.
-                        continue;
-                    }
-                    // Same settings: the capture effect decides.
-                    let (first, second) = if t.lock_on_us <= o.lock_on_us {
-                        (rssi_v, rssi_o)
-                    } else {
-                        (rssi_o, rssi_v)
-                    };
-                    let survives = match capture_outcome(first, second) {
-                        CaptureOutcome::FirstSurvives => t.lock_on_us <= o.lock_on_us,
-                        CaptureOutcome::SecondSurvives => t.lock_on_us > o.lock_on_us,
-                        CaptureOutcome::BothLost => false,
-                    };
-                    if !survives {
-                        match strongest_collider {
-                            Some((r, _)) if r >= rssi_o => {}
-                            _ => strongest_collider = Some((rssi_o, o.network_id)),
-                        }
-                    }
-                } else {
-                    // Cross-SF quasi-orthogonality.
-                    if rssi_v - rssi_o < CROSS_SF_REJECTION_DB {
-                        interference_kill = true;
+        // Reconcile `not_detected` with the reference semantics: the
+        // un-indexed loop bumps it once per (up gateway, undetected tx).
+        // SNR failures at candidate gateways were tallied in the loop;
+        // non-candidate (channel-mismatch) pairs are counted here in
+        // bulk — O(1) per never-down gateway via the per-channel tx
+        // counts, per-tx only for gateways a fault schedule can crash.
+        for g_idx in 0..n_gws {
+            let mut miss = s.undetected[g_idx];
+            if s.ever_down[g_idx] {
+                for t in &s.txs {
+                    if !s.ctx.is_cand[s.ch_of_tx[t.id as usize] as usize * n_gws + g_idx]
+                        && !faults.gateway_down(g_idx, t.lock_on_us)
+                    {
+                        miss += 1;
                     }
                 }
             } else {
-                let orth = o.dr.spreading_factor() != sf_v;
-                if let Some(gain) = leakage_gain_db(&t.channel, &o.channel, orth) {
-                    intf_lin += 10f64.powf((rssi_o + gain) / 10.0);
+                let mut cand_txs = 0u64;
+                for (c, cnt) in s.ctx.ch_tx_count.iter().enumerate() {
+                    if s.ctx.is_cand[c * n_gws + g_idx] {
+                        cand_txs += *cnt;
+                    }
                 }
+                miss += n as u64 - cand_txs;
+            }
+            if miss > 0 {
+                self.gateways[g_idx].note_undetected(miss);
             }
         }
 
-        if let Some((_, net)) = strongest_collider {
-            return Verdict::Collision { with_network: net };
-        }
-        // SINR over thermal noise plus leaked foreign energy.
-        let noise_lin = 10f64.powf(noise_floor_dbm(Bandwidth::Khz125) / 10.0);
-        let sinr = rssi_v - 10.0 * (noise_lin + intf_lin).log10();
-        let _ = snr_v;
-        if interference_kill || !decodable(sinr, sf_v, 0.0) {
-            return Verdict::Interference;
-        }
-        Verdict::Ok
+        let out: Vec<PacketRecord> = s
+            .records
+            .iter_mut()
+            .map(|r| r.take().expect("every tx finished"))
+            .collect();
+
+        s.receiving = receiving;
+        self.scratch = s;
+        self.last_stats = Some(SimRunStats {
+            txs: n as u64,
+            events,
+            gateways: n_gws as u32,
+            candidate_visits,
+            candidate_ceiling: n as u64 * n_gws as u64,
+            wall_us: wall_start.elapsed().as_micros() as u64,
+        });
+        out
     }
 }
 
-/// The per-gateway view of a transmission.
-fn packet_at(
-    topo: &Topology,
-    node_power: &[TxPowerDbm],
-    t: &Transmission,
-    g_idx: usize,
-) -> PacketAtGateway {
-    PacketAtGateway {
-        tx_id: t.id,
-        trace: t.trace,
+/// Resolve PHY verdicts, deliver outcomes to gateways, classify.
+#[allow(clippy::too_many_arguments)]
+fn finish_tx(
+    gateways: &mut [Gateway],
+    cic: bool,
+    ctx: &RunContext,
+    txs: &[Transmission],
+    ch_of_tx: &[u32],
+    tx_id: u64,
+    seen: &[(u32, Seen)],
+    intf: &[u64],
+    faults: &dyn crate::faults::InfraFaults,
+    ever_down: &[bool],
+    sink: &mut dyn ObsSink,
+    receiving: &mut Vec<usize>,
+    vs: &mut VerdictScratch,
+) -> PacketRecord {
+    let t = &txs[tx_id as usize];
+    batch_verdicts(ctx, txs, ch_of_tx, t, seen, intf, cic, vs);
+    receiving.clear();
+    let mut decoder_drop: Option<bool> = None; // Some(foreign?) if droppable-but-clean
+    let mut collision_with: Option<u32> = None;
+    let mut own_detected = false;
+    // An own-network gateway would have received the packet but for
+    // an injected fault (crash or decoder lock-up).
+    let mut infra_loss = false;
+
+    for (k, &(gq, how)) in seen.iter().enumerate() {
+        let g_idx = gq as usize;
+        let own = gateways[g_idx].network_id == t.network_id;
+        let verdict = vs.verdicts[k];
+        if how == Seen::Admitted {
+            let crashed_mid_rx =
+                ever_down[g_idx] && faults.gateway_down_during(g_idx, t.lock_on_us, t.end_us);
+            let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
+            if let Some(gateway::radio::ReceptionOutcome::Received) =
+                gateways[g_idx].on_tx_end_obs(tx_id, phy_ok, sink)
+            {
+                receiving.push(g_idx);
+            }
+            if own && crashed_mid_rx && verdict == Verdict::Ok {
+                infra_loss = true;
+            }
+        }
+        if own {
+            own_detected = true;
+            match (how, verdict) {
+                (Seen::DownAtLockOn, Verdict::Ok) => {
+                    infra_loss = true;
+                }
+                (
+                    Seen::Dropped {
+                        foreign_held,
+                        lockup,
+                    },
+                    Verdict::Ok,
+                ) => {
+                    if lockup {
+                        // Healthy hardware had the decoder to spare.
+                        infra_loss = true;
+                    } else {
+                        // Would have been received with a free decoder.
+                        let entry = decoder_drop.get_or_insert(false);
+                        *entry = *entry || foreign_held;
+                    }
+                }
+                (_, Verdict::Collision { with_network }) => {
+                    collision_with.get_or_insert(with_network);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let delivered = !receiving.is_empty();
+    let cause = if delivered {
+        None
+    } else if infra_loss {
+        // Healthy infrastructure would have delivered the packet:
+        // the fault is the proximate cause even if other gateways
+        // also dropped it by genuine contention.
+        Some(LossCause::Infrastructure)
+    } else if let Some(foreign) = decoder_drop {
+        Some(if foreign {
+            LossCause::DecoderContentionInter
+        } else {
+            LossCause::DecoderContentionIntra
+        })
+    } else if let Some(net) = collision_with {
+        Some(if net == t.network_id {
+            LossCause::ChannelContentionIntra
+        } else {
+            LossCause::ChannelContentionInter
+        })
+    } else {
+        let _ = own_detected; // either undetected or SNR/interference
+        Some(LossCause::Other)
+    };
+
+    if sink.enabled() {
+        sink.record(&ObsEvent::PacketOutcome {
+            t_us: t.end_us,
+            trace: t.trace,
+            tx: tx_id,
+            delivered,
+            cause: cause.map(LossCause::obs_kind),
+        });
+    }
+
+    PacketRecord {
+        tx_id,
+        node: t.node,
         network_id: t.network_id,
         channel: t.channel,
-        sf: t.dr.spreading_factor(),
-        rssi_dbm: topo.rssi_dbm(t.node, g_idx, node_power[t.node]),
-        snr_db: topo.snr_db(t.node, g_idx, node_power[t.node]),
-        lock_on_us: t.lock_on_us,
+        dr: t.dr,
+        start_us: t.start_us,
         end_us: t.end_us,
+        payload_len: t.payload_len,
+        delivered,
+        receiving_gateways: receiving.clone(),
+        cause,
+    }
+}
+
+/// PHY verdicts for `t` at every seen gateway, filled into
+/// `vs.verdicts` aligned with the `seen` slice.
+///
+/// Table-driven port of the reference verdict: link gains and channel
+/// pair classes come from the [`RunContext`], and the noise-only SINR
+/// denominator is hoisted. The traversal is *interferer-major* — each
+/// interferer is classified once and its per-gateway RSSI row
+/// (`rssi[o.node * n_gws ..]`) is read contiguously — where the
+/// reference re-walks the whole interferer list per gateway with
+/// scattered table reads. For any fixed gateway the interferers are
+/// still processed in registration order, so the leaked-interference
+/// sum, the strongest-collider tie-break and every surviving
+/// floating-point operation match the reference bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn batch_verdicts(
+    ctx: &RunContext,
+    txs: &[Transmission],
+    ch_of_tx: &[u32],
+    t: &Transmission,
+    seen: &[(u32, Seen)],
+    intf: &[u64],
+    cic: bool,
+    vs: &mut VerdictScratch,
+) {
+    let n_gws = ctx.n_gws;
+    let n_ch = ctx.n_channels();
+    let sf_v = t.dr.spreading_factor();
+    let cv = ch_of_tx[t.id as usize] as usize;
+    let vrow = t.node * n_gws;
+    let k = seen.len();
+    vs.intf_lin.clear();
+    vs.intf_lin.resize(k, 0.0);
+    vs.strongest.clear();
+    vs.strongest.resize(k, None);
+    vs.kill.clear();
+    vs.kill.resize(k, false);
+
+    for &o_id in intf {
+        let o = &txs[o_id as usize];
+        let co = ch_of_tx[o_id as usize] as usize;
+        match ctx.pair[cv * n_ch + co] {
+            PairClass::Disjoint => {}
+            PairClass::Detect => {
+                let same_sf = o.dr.spreading_factor() == sf_v;
+                if same_sf && cic {
+                    // CIC resolves the collision; both survive.
+                    continue;
+                }
+                let orow = o.node * n_gws;
+                let t_first = t.lock_on_us <= o.lock_on_us;
+                for (gi, &(gq, _)) in seen.iter().enumerate() {
+                    let g_idx = gq as usize;
+                    let rssi_o = ctx.rssi[orow + g_idx];
+                    if same_sf {
+                        // Same settings: the capture effect decides.
+                        let rssi_v = ctx.rssi[vrow + g_idx];
+                        let (first, second) = if t_first {
+                            (rssi_v, rssi_o)
+                        } else {
+                            (rssi_o, rssi_v)
+                        };
+                        let survives = match capture_outcome(first, second) {
+                            CaptureOutcome::FirstSurvives => t_first,
+                            CaptureOutcome::SecondSurvives => !t_first,
+                            CaptureOutcome::BothLost => false,
+                        };
+                        if !survives {
+                            match vs.strongest[gi] {
+                                Some((r, _)) if r >= rssi_o => {}
+                                _ => vs.strongest[gi] = Some((rssi_o, o.network_id)),
+                            }
+                        }
+                    } else {
+                        // Cross-SF quasi-orthogonality.
+                        if ctx.rssi[vrow + g_idx] - rssi_o < CROSS_SF_REJECTION_DB {
+                            vs.kill[gi] = true;
+                        }
+                    }
+                }
+            }
+            PairClass::Leak {
+                gain_same,
+                gain_orth,
+            } => {
+                let gain = if o.dr.spreading_factor() != sf_v {
+                    gain_orth
+                } else {
+                    gain_same
+                };
+                if let Some(gain) = gain {
+                    let orow = o.node * n_gws;
+                    for (gi, &(gq, _)) in seen.iter().enumerate() {
+                        let rssi_o = ctx.rssi[orow + gq as usize];
+                        vs.intf_lin[gi] += 10f64.powf((rssi_o + gain) / 10.0);
+                    }
+                }
+            }
+        }
+    }
+
+    vs.verdicts.clear();
+    for (gi, &(gq, _)) in seen.iter().enumerate() {
+        vs.verdicts.push(if let Some((_, net)) = vs.strongest[gi] {
+            Verdict::Collision { with_network: net }
+        } else {
+            let rssi_v = ctx.rssi[vrow + gq as usize];
+            // SINR over thermal noise plus leaked foreign energy. With
+            // no leak the precomputed noise-only term is exact
+            // (`x + 0.0` is bitwise `x` for the positive noise power).
+            let sinr = if vs.intf_lin[gi] == 0.0 {
+                rssi_v - ctx.noise_only_db
+            } else {
+                rssi_v - 10.0 * (ctx.noise_lin + vs.intf_lin[gi]).log10()
+            };
+            if vs.kill[gi] || !decodable(sinr, sf_v, 0.0) {
+                Verdict::Interference
+            } else {
+                Verdict::Ok
+            }
+        });
     }
 }
 
@@ -957,6 +1257,52 @@ mod tests {
         let recs = w.run(&plans);
         assert!(!recs[0].delivered);
         assert_eq!(recs[0].cause, Some(LossCause::Other));
+    }
+
+    #[test]
+    fn run_stats_report_cull_and_events() {
+        let mut w = clean_world(20, &[1]);
+        assert!(w.last_run_stats().is_none());
+        let plans = concurrent_burst(
+            &orthogonal_assignments(20),
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
+        let _ = w.run(&plans);
+        let stats = w.last_run_stats().expect("a run happened");
+        assert_eq!(stats.txs, 20);
+        assert_eq!(stats.events, 60, "three events per transmission");
+        assert_eq!(stats.gateways, 1);
+        assert_eq!(stats.candidate_ceiling, 20);
+        assert!(stats.candidate_visits <= stats.candidate_ceiling);
+        assert!(stats.cull_ratio() <= 1.0 && stats.cull_ratio() > 0.0);
+    }
+
+    #[test]
+    fn indexed_run_matches_reference_loop() {
+        // Spot equivalence on the capacity scenario (the workspace
+        // proptest covers random worlds): identical records and stats.
+        let plans = concurrent_burst(
+            &orthogonal_assignments(20),
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
+        let mut fast = clean_world(20, &[1, 1]);
+        let fast_recs = fast.run(&plans);
+        let mut slow = clean_world(20, &[1, 1]);
+        let slow_recs = crate::reference::run_with_faults_reference(
+            &mut slow,
+            &plans,
+            &crate::faults::NoFaults,
+        );
+        assert_eq!(fast_recs, slow_recs);
+        for (a, b) in fast.gateways.iter().zip(&slow.gateways) {
+            assert_eq!(a.stats(), b.stats());
+        }
     }
 
     // Small helper to turn one gateway into a Vec.

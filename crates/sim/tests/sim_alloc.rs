@@ -1,0 +1,104 @@
+//! Heap-allocation audit for the simulation hot path.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up run has sized the world's reusable scratch arenas (timeline,
+//! interferer lists, admission spans, on-air buckets, verdict buffers,
+//! link tables), further runs of the same shape must perform no
+//! steady-state heap allocation beyond the returned record vector —
+//! one allocation per run. The scenario keeps every node out of
+//! detection range so no record clones a non-empty receiving-gateway
+//! list; richer paths are held to the same arenas by construction
+//! (they reuse the identical buffers) and to correctness by the
+//! workspace `sim_equivalence` proptest. This is the binary's only
+//! test so no concurrent test can perturb the counter.
+
+use gateway::config::GatewayConfig;
+use gateway::profile::GatewayProfile;
+use gateway::radio::Gateway;
+use lora_phy::channel::{Channel, ChannelGrid};
+use lora_phy::pathloss::PathLossModel;
+use lora_phy::types::DataRate;
+use sim::topology::Topology;
+use sim::traffic::duty_cycled;
+use sim::world::SimWorld;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn run_hot_path_steady_state_never_allocates() {
+    // Nodes scattered over tens of km: every link is far below the
+    // detection floor, so each record's receiving list stays empty
+    // (delivered records would clone it, which is the one permitted
+    // output allocation besides the record vector itself).
+    let model = PathLossModel {
+        shadowing_sigma_db: 0.0,
+        ..Default::default()
+    };
+    let topo = Topology::new((60_000.0, 60_000.0), 48, 3, model, 9);
+    let profile = GatewayProfile::rak7268cv2();
+    let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+    let gateways = (0..3)
+        .map(|j| {
+            Gateway::new(
+                j,
+                1,
+                profile,
+                GatewayConfig::new(profile, channels.clone()).unwrap(),
+            )
+        })
+        .collect();
+    let mut world = SimWorld::new(topo, vec![1; 48], gateways);
+
+    let assigns: Vec<(usize, Channel, DataRate)> = (0..48)
+        .map(|i| (i, channels[i % 8], DataRate::from_index(i / 8 % 6).unwrap()))
+        .collect();
+    let plans = duty_cycled(&assigns, 23, 0.02, 30_000_000, 17);
+    assert!(plans.len() > 100, "workload too small to be meaningful");
+
+    // Warm-up: the first run sizes every arena (and interns channels).
+    let warm = world.run(&plans);
+    assert!(
+        warm.iter().all(|r| !r.delivered),
+        "scenario must be out of range"
+    );
+
+    const RUNS: u64 = 3;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut total_records = 0usize;
+    for _ in 0..RUNS {
+        world.reset();
+        total_records += world.run(&plans).len();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(total_records, RUNS as usize * plans.len());
+    let delta = after - before;
+    assert!(
+        delta <= RUNS,
+        "steady-state runs heap-allocated {delta} times \
+         (allowed: one record-vector allocation per run, {RUNS} total)"
+    );
+}
