@@ -33,7 +33,7 @@
 //! instead does all load accounting in **fixed-point integers**
 //! (traffic is quantized to [`LOAD_SCALE`] units at context build) and
 //! combines the three objective terms in one canonical order
-//! ([`combine`]). Integer addition is associative, so:
+//! (`combine`). Integer addition is associative, so:
 //!
 //! * incremental score ≡ full recompute, bit for bit, for arbitrary
 //!   `f64` traffic (property-tested over random mutation chains);

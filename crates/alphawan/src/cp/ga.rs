@@ -11,7 +11,7 @@
 //! * The **engine path** ([`GaSolver::solve`] and friends) runs on the
 //!   flat [`Genome`] encoding through the allocation-free
 //!   [`eval`](super::eval) engine. Children are bred *serially*, each
-//!   from its own deterministic RNG stream ([`slot_rng`]: a splitmix64
+//!   from its own deterministic RNG stream (`slot_rng`: a splitmix64
 //!   chain of seed, generation and population slot), then scored
 //!   *concurrently* by [`score_batch`] workers. Because breeding never
 //!   observes scoring order and every candidate is scored by a pure

@@ -27,6 +27,7 @@ pub mod server;
 pub use backoff::BackoffPolicy;
 pub use client::MasterClient;
 pub use resilient::{PlanSource, ResilientMasterClient};
+pub use server::{MasterServer, ServerEvent, ServerObserver};
 
 use divider::ChannelDivider;
 use lora_phy::channel::Channel;

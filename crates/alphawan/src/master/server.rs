@@ -11,6 +11,27 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Transport-level activity reported to a [`ServerObserver`]: a
+/// daemon wrapper (the `svc` crate's `masterd`) turns these into obs
+/// events and metrics without the server depending on either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A new operator connection was accepted (`conn` is a server-
+    /// lifetime connection index).
+    Accepted { conn: u64 },
+    /// One request on a connection was handled in `handle_us` host
+    /// wall-clock microseconds (frame read excluded: idle time on a
+    /// kept-open connection is not serve latency).
+    Served {
+        conn: u64,
+        request: &'static str,
+        handle_us: u64,
+    },
+}
+
+/// Callback invoked by the server's connection threads.
+pub type ServerObserver = Arc<dyn Fn(ServerEvent) + Send + Sync>;
+
 /// A running Master server.
 pub struct MasterServer {
     addr: SocketAddr,
@@ -22,7 +43,22 @@ pub struct MasterServer {
 impl MasterServer {
     /// Bind to `127.0.0.1:0` (ephemeral port) and start serving.
     pub fn start(region: RegionSpec) -> io::Result<MasterServer> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::start_observed(region, (std::net::Ipv4Addr::LOCALHOST, 0).into(), None)
+    }
+
+    /// Bind to a caller-chosen address (a daemon's configured listen
+    /// address rather than an ephemeral test port) and start serving.
+    pub fn start_on(region: RegionSpec, bind: SocketAddr) -> io::Result<MasterServer> {
+        Self::start_observed(region, bind, None)
+    }
+
+    /// [`MasterServer::start_on`] with a transport observer.
+    pub fn start_observed(
+        region: RegionSpec,
+        bind: SocketAddr,
+        observer: Option<ServerObserver>,
+    ) -> io::Result<MasterServer> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let started = std::time::Instant::now();
         let node = Arc::new(Mutex::new(MasterNode::new(region)));
@@ -33,6 +69,7 @@ impl MasterServer {
         let accept_thread = std::thread::Builder::new()
             .name("alphawan-master-accept".into())
             .spawn(move || {
+                let mut conn_idx = 0u64;
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
@@ -40,10 +77,16 @@ impl MasterServer {
                     match stream {
                         Ok(s) => {
                             let node = Arc::clone(&accept_node);
+                            let conn = conn_idx;
+                            conn_idx += 1;
+                            let obs = observer.clone();
+                            if let Some(o) = &obs {
+                                o(ServerEvent::Accepted { conn });
+                            }
                             let _ = std::thread::Builder::new()
                                 .name("alphawan-master-conn".into())
                                 .spawn(move || {
-                                    let _ = serve_connection(s, node, started);
+                                    let _ = serve_connection(s, node, started, conn, obs);
                                 });
                         }
                         Err(_) => break,
@@ -98,12 +141,22 @@ fn serve_connection(
     mut stream: TcpStream,
     node: Arc<Mutex<MasterNode>>,
     started: std::time::Instant,
+    conn: u64,
+    observer: Option<ServerObserver>,
 ) -> io::Result<()> {
     loop {
         let req: Request = match read_frame(&mut stream) {
             Ok(r) => r,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
+        };
+        let handle_start = std::time::Instant::now();
+        let request_name = match req {
+            Request::Register { .. } => "register",
+            Request::RequestChannels { .. } => "request_channels",
+            Request::Release { .. } => "release",
+            Request::QueryOccupancy => "query_occupancy",
+            Request::Bye => "bye",
         };
         // Advance the Master clock so leases age and expire.
         node.lock().tick(started.elapsed().as_millis() as u64);
@@ -126,10 +179,24 @@ fn serve_connection(
             },
             Request::Bye => {
                 write_frame(&mut stream, &Response::Bye)?;
+                if let Some(o) = &observer {
+                    o(ServerEvent::Served {
+                        conn,
+                        request: request_name,
+                        handle_us: handle_start.elapsed().as_micros() as u64,
+                    });
+                }
                 return Ok(());
             }
         };
         write_frame(&mut stream, &resp)?;
+        if let Some(o) = &observer {
+            o(ServerEvent::Served {
+                conn,
+                request: request_name,
+                handle_us: handle_start.elapsed().as_micros() as u64,
+            });
+        }
     }
 }
 
@@ -199,6 +266,46 @@ mod tests {
         let b = c.register("b").unwrap();
         let err = c.request_channels(b).unwrap_err();
         assert!(err.to_string().contains("no free misaligned"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn observed_server_reports_accepts_and_serve_latency() {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let server = MasterServer::start_observed(
+            region(),
+            (std::net::Ipv4Addr::LOCALHOST, 0).into(),
+            Some(Arc::new(move |e| sink.lock().push(e))),
+        )
+        .unwrap();
+        let mut c = MasterClient::connect(server.addr()).unwrap();
+        let id = c.register("op-obs").unwrap();
+        c.request_channels(id).unwrap();
+        c.bye().unwrap();
+        server.shutdown();
+        let seen = events.lock().clone();
+        assert!(seen.contains(&ServerEvent::Accepted { conn: 0 }));
+        let served: Vec<&'static str> = seen
+            .iter()
+            .filter_map(|e| match e {
+                ServerEvent::Served { request, .. } => Some(*request),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served, vec!["register", "request_channels", "bye"]);
+    }
+
+    #[test]
+    fn start_on_binds_requested_address() {
+        // Ephemeral port on the explicit API; the bound port must be
+        // reported back and serve traffic.
+        let server =
+            MasterServer::start_on(region(), (std::net::Ipv4Addr::LOCALHOST, 0).into()).unwrap();
+        assert_eq!(server.addr().ip(), std::net::Ipv4Addr::LOCALHOST);
+        let mut c = MasterClient::connect(server.addr()).unwrap();
+        let id = c.register("op-bind").unwrap();
+        assert!(!c.request_channels(id).unwrap().is_empty());
         server.shutdown();
     }
 

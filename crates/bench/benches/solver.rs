@@ -302,6 +302,18 @@ struct ScalePoint {
     eval_speedup: f64,
 }
 
+/// One point of the worker-count sweep at the frontier scale.
+#[derive(Debug, Serialize, Deserialize)]
+struct WorkerPoint {
+    workers: usize,
+    solve_secs: f64,
+    evaluations: u64,
+    evals_per_sec: f64,
+    /// Wall-clock speedup over the single-worker run of the same
+    /// problem (the ROADMAP "solver raw speed" tracked number).
+    speedup_vs_one: f64,
+}
+
 /// The `BENCH_solver.json` schema.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
@@ -311,6 +323,12 @@ struct BenchReport {
     generations: usize,
     workers: u32,
     scales: Vec<ScalePoint>,
+    /// Engine GA wall clock at the largest scale point as the worker
+    /// pool widens. On single-core runners expect a flat (or mildly
+    /// negative) curve — the point of recording it is catching
+    /// coordination overhead regressions, not proving parallelism.
+    worker_scaling_nodes: usize,
+    worker_scaling: Vec<WorkerPoint>,
 }
 
 fn problem(nodes: usize, gws: usize) -> CpProblem {
@@ -383,6 +401,34 @@ fn measure(nodes: usize, gws: usize, ga: GaConfig) -> ScalePoint {
     point
 }
 
+/// Sweep the engine GA's worker pool at the frontier scale: same
+/// problem, same seed, only `GaConfig::workers` varies.
+fn worker_sweep(nodes: usize, gws: usize, ga: GaConfig, counts: &[usize]) -> Vec<WorkerPoint> {
+    let p = problem(nodes, gws);
+    let seed = greedy_plan(&p);
+    let mut points: Vec<WorkerPoint> = Vec::with_capacity(counts.len());
+    for &workers in counts {
+        let cfg = GaConfig { workers, ..ga };
+        let (_, _, stats) = GaSolver::new(cfg).solve_seeded_stats(&p, seed.clone());
+        let solve_secs = stats.wall.as_secs_f64();
+        let speedup_vs_one = points.first().map_or(1.0, |one: &WorkerPoint| {
+            one.solve_secs / solve_secs.max(1e-12)
+        });
+        println!(
+            "bench ga_workers/{nodes}n_{workers}w       solve {solve_secs:>8.3}s  \
+             speedup-vs-1 {speedup_vs_one:>5.2}x"
+        );
+        points.push(WorkerPoint {
+            workers,
+            solve_secs,
+            evaluations: stats.evaluations,
+            evals_per_sec: stats.evaluations as f64 / solve_secs.max(1e-12),
+            speedup_vs_one,
+        });
+    }
+    points
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var_os("ALPHAWAN_BENCH_QUICK").is_some();
@@ -396,6 +442,11 @@ fn main() {
     } else {
         &[(144, 9), (1_000, 15), (4_000, 15)]
     };
+    // Worker sweep at the frontier: the full run covers the 4k-node
+    // point across pool widths; quick mode keeps CI honest with a
+    // cheap two-point sweep at the small scale.
+    let (sweep_nodes, sweep_gws): (usize, usize) = if quick { (144, 9) } else { (4_000, 15) };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
 
     let report = BenchReport {
         bench: "solver".to_string(),
@@ -404,6 +455,8 @@ fn main() {
         generations: ga.generations,
         workers: GaSolver::new(ga).solve_stats(&problem(16, 2)).2.workers,
         scales: scales.iter().map(|&(n, g)| measure(n, g, ga)).collect(),
+        worker_scaling_nodes: sweep_nodes,
+        worker_scaling: worker_sweep(sweep_nodes, sweep_gws, ga, worker_counts),
     };
 
     let json = serde_json::to_string(&report).expect("bench report serializes");
@@ -418,6 +471,11 @@ fn main() {
     assert!(
         back.scales.iter().all(|s| s.engine_evals_per_sec > 0.0),
         "evaluation throughput must be measured"
+    );
+    assert_eq!(back.worker_scaling.len(), worker_counts.len());
+    assert!(
+        back.worker_scaling.iter().all(|w| w.evals_per_sec > 0.0),
+        "worker sweep must be measured"
     );
     println!("wrote {}", path.display());
 }

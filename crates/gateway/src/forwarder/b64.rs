@@ -2,9 +2,36 @@
 //! encoding of the `data` field in Semtech UDP `rxpk`/`txpk` JSON.
 //!
 //! Implemented locally to keep the dependency set to the sanctioned
-//! list (see DESIGN.md).
+//! list (see DESIGN.md). Decoding returns a typed [`B64Error`] naming
+//! the malformation and its byte offset, so an ingest daemon can
+//! count/categorize corrupt datagrams without string-matching.
+
+use std::fmt;
 
 const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Why a Base64 string failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum B64Error {
+    /// Input length is not a multiple of 4.
+    BadLength(usize),
+    /// A byte outside the standard alphabet (offset of the byte).
+    BadChar(usize),
+    /// Padding in an illegal position or amount (offset of the chunk).
+    BadPadding(usize),
+}
+
+impl fmt::Display for B64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            B64Error::BadLength(n) => write!(f, "base64 length {n} is not a multiple of 4"),
+            B64Error::BadChar(at) => write!(f, "non-base64 byte at offset {at}"),
+            B64Error::BadPadding(at) => write!(f, "illegal base64 padding at offset {at}"),
+        }
+    }
+}
+
+impl std::error::Error for B64Error {}
 
 /// Encode bytes as padded Base64.
 pub fn encode(data: &[u8]) -> String {
@@ -33,13 +60,21 @@ pub fn encode(data: &[u8]) -> String {
     out
 }
 
-/// Decode padded Base64; returns `None` on any malformed input.
+/// Decode padded Base64; returns `None` on any malformed input. Thin
+/// wrapper over [`try_decode`] for call sites that don't care why.
 pub fn decode(text: &str) -> Option<Vec<u8>> {
+    try_decode(text).ok()
+}
+
+/// Decode padded Base64 into `out` (cleared first); the allocation-free
+/// hot-path variant used by the ingest daemon's fast parser.
+pub fn decode_into(text: &str, out: &mut Vec<u8>) -> Result<(), B64Error> {
+    out.clear();
     let bytes = text.as_bytes();
     if !bytes.len().is_multiple_of(4) {
-        return None;
+        return Err(B64Error::BadLength(bytes.len()));
     }
-    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    out.reserve(bytes.len() / 4 * 3);
     let val = |c: u8| -> Option<u32> {
         match c {
             b'A'..=b'Z' => Some((c - b'A') as u32),
@@ -54,17 +89,23 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
         let last = (i + 1) * 4 == bytes.len();
         let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
         if pad > 2 || (pad > 0 && !last) {
-            return None;
+            return Err(B64Error::BadPadding(i * 4));
         }
         // Padding only at the tail positions.
         if chunk[..4 - pad].contains(&b'=') {
-            return None;
+            return Err(B64Error::BadPadding(i * 4));
         }
         let mut n = 0u32;
-        for &c in &chunk[..4 - pad] {
-            n = (n << 6) | val(c)?;
+        for (j, &c) in chunk[..4 - pad].iter().enumerate() {
+            n = (n << 6) | val(c).ok_or(B64Error::BadChar(i * 4 + j))?;
         }
         n <<= 6 * pad as u32;
+        // Canonical form only: the bits a padded chunk doesn't emit
+        // must be zero ("Zh==" is not a valid spelling of 0x66), so
+        // decode is the exact inverse of encode byte-for-byte.
+        if pad > 0 && n & ((1 << (8 * pad)) - 1) != 0 {
+            return Err(B64Error::BadPadding(i * 4));
+        }
         out.push((n >> 16) as u8);
         if pad < 2 {
             out.push((n >> 8) as u8);
@@ -73,7 +114,14 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
             out.push(n as u8);
         }
     }
-    Some(out)
+    Ok(())
+}
+
+/// Decode padded Base64, reporting the malformation on failure.
+pub fn try_decode(text: &str) -> Result<Vec<u8>, B64Error> {
+    let mut out = Vec::new();
+    decode_into(text, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -99,17 +147,29 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed() {
-        assert!(decode("Zg=").is_none(), "bad length");
-        assert!(decode("Z!==").is_none(), "bad character");
-        assert!(decode("====").is_none(), "too much padding");
-        assert!(decode("Zg==Zg==").is_none(), "padding mid-stream");
+    fn rejects_malformed_with_typed_errors() {
+        assert_eq!(try_decode("Zg=").unwrap_err(), B64Error::BadLength(3));
+        assert_eq!(try_decode("Z!==").unwrap_err(), B64Error::BadChar(1));
+        assert_eq!(try_decode("====").unwrap_err(), B64Error::BadPadding(0));
+        assert_eq!(try_decode("Zg==Zg==").unwrap_err(), B64Error::BadPadding(0));
+        assert_eq!(try_decode("Zm9vY===").unwrap_err(), B64Error::BadPadding(4));
+        // The Option shim mirrors the Result path.
+        assert!(decode("Zg=").is_none());
     }
 
     #[test]
     fn binary_roundtrip() {
         let data: Vec<u8> = (0..=255u8).collect();
         assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let mut buf = vec![9u8; 32];
+        decode_into("Zm9v", &mut buf).unwrap();
+        assert_eq!(buf, b"foo");
+        decode_into("", &mut buf).unwrap();
+        assert!(buf.is_empty());
     }
 }
 
@@ -122,6 +182,33 @@ mod proptests {
         #[test]
         fn roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
             prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+
+        /// Arbitrary strings (any Unicode scalar values, not just
+        /// base64 alphabet) never panic the decoder: they either
+        /// decode or produce a typed error.
+        #[test]
+        fn fuzz_decode_never_panics(codepoints in proptest::collection::vec(any::<u32>(), 0..64)) {
+            let text: String = codepoints
+                .iter()
+                .filter_map(|&c| char::from_u32(c % 0x11_0000))
+                .collect();
+            let _ = try_decode(&text);
+        }
+
+        /// Arbitrary *byte* soup (forced through ASCII-range chars so it
+        /// stays a str) with padding characters sprinkled in: anything
+        /// that decodes must re-encode to the same text, and anything
+        /// that fails names a location inside the input.
+        #[test]
+        fn fuzz_ascii_soup(bytes in proptest::collection::vec(0x20u8..0x7f, 0..64)) {
+            let text: String = bytes.iter().map(|&b| b as char).collect();
+            match try_decode(&text) {
+                Ok(raw) => prop_assert_eq!(encode(&raw), text),
+                Err(B64Error::BadLength(n)) => prop_assert_eq!(n, text.len()),
+                Err(B64Error::BadChar(at)) => prop_assert!(at < text.len()),
+                Err(B64Error::BadPadding(at)) => prop_assert!(at < text.len()),
+            }
         }
     }
 }

@@ -438,5 +438,116 @@ mod proptests {
         fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Datagram::decode(&bytes);
         }
+
+        /// encode → decode → encode is *byte*-stable for arbitrary
+        /// rxpk, including arbitrary trace ids and floats — the wire
+        /// image a daemon re-emits (e.g. a store-and-forward relay) is
+        /// identical to the one it received.
+        #[test]
+        fn push_data_encode_is_byte_stable(
+            token in any::<u16>(),
+            eui in any::<u64>(),
+            tmst in any::<u64>(),
+            freq in 137.0f64..1020.0,
+            chan in any::<u8>(),
+            rfch in any::<u8>(),
+            stat in -1i8..=1,
+            rssi in -200i32..0,
+            lsnr_tenths in -250i32..160,
+            trce in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let rx = RxPacket {
+                tmst,
+                freq,
+                chan,
+                rfch,
+                stat,
+                modu: "LORA".into(),
+                datr: "SF9BW125".into(),
+                codr: "4/5".into(),
+                rssi,
+                lsnr: lsnr_tenths as f64 / 10.0,
+                size: payload.len(),
+                data: b64::encode(&payload),
+                trce,
+            };
+            let d = Datagram::PushData { token, eui: GatewayEui(eui), rxpk: vec![rx] };
+            let wire = d.encode();
+            let decoded = Datagram::decode(&wire).expect("own encoding decodes");
+            prop_assert_eq!(&decoded, &d);
+            prop_assert_eq!(decoded.encode(), wire);
+        }
+
+        /// Same byte-stability for PULL_RESP / txpk.
+        #[test]
+        fn pull_resp_encode_is_byte_stable(
+            token in any::<u16>(),
+            tmst in any::<u64>(),
+            freq in 137.0f64..1020.0,
+            powe in 0i32..30,
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let d = Datagram::PullResp {
+                token,
+                txpk: TxPacket {
+                    tmst,
+                    freq,
+                    datr: "SF12BW500".into(),
+                    powe,
+                    size: payload.len(),
+                    data: b64::encode(&payload),
+                },
+            };
+            let wire = d.encode();
+            let decoded = Datagram::decode(&wire).expect("own encoding decodes");
+            prop_assert_eq!(&decoded, &d);
+            prop_assert_eq!(decoded.encode(), wire);
+        }
+
+        /// A legacy datagram (no `trce` field at all) decodes to the
+        /// same packet as a traced one with `trce = 0`, and once
+        /// re-encoded it is byte-stable from then on.
+        #[test]
+        fn legacy_rxpk_without_trce_is_stable_after_first_reencode(
+            token in any::<u16>(),
+            eui in any::<u64>(),
+            tmst in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let rx = RxPacket {
+                tmst,
+                freq: 916.9,
+                chan: 3,
+                rfch: 0,
+                stat: 1,
+                modu: "LORA".into(),
+                datr: "SF7BW125".into(),
+                codr: "4/5".into(),
+                rssi: -97,
+                lsnr: 8.5,
+                size: payload.len(),
+                data: b64::encode(&payload),
+                trce: 0,
+            };
+            // Hand-build the legacy wire image: identical JSON minus
+            // the trce field (float fields format with `{}`, exactly as
+            // the serializer prints them).
+            let mut wire = vec![PROTOCOL_VERSION];
+            wire.extend_from_slice(&token.to_be_bytes());
+            wire.push(0x00);
+            wire.extend_from_slice(&eui.to_be_bytes());
+            wire.extend_from_slice(format!(
+                r#"{{"rxpk":[{{"tmst":{tmst},"freq":916.9,"chan":3,"rfch":0,"stat":1,"modu":"LORA","datr":"SF7BW125","codr":"4/5","rssi":-97,"lsnr":8.5,"size":{},"data":"{}"}}]}}"#,
+                payload.len(),
+                rx.data,
+            ).as_bytes());
+            let decoded = Datagram::decode(&wire).expect("legacy wire decodes");
+            let expected = Datagram::PushData { token, eui: GatewayEui(eui), rxpk: vec![rx] };
+            prop_assert_eq!(&decoded, &expected);
+            let reencoded = decoded.encode();
+            let twice = Datagram::decode(&reencoded).expect("re-encoding decodes");
+            prop_assert_eq!(twice.encode(), reencoded);
+        }
     }
 }

@@ -1,0 +1,523 @@
+//! Allocation-free PUSH_DATA parser for line-rate ingest.
+//!
+//! [`super::codec::Datagram::decode`] builds a full JSON value tree
+//! per datagram — correct, but far too slow for a daemon targeting
+//! hundreds of thousands of packets per second on one core. This
+//! module scans the JSON bytes directly, extracting only the fields
+//! the ingest/dedup path needs (`tmst`, `lsnr`, `trce`, and the
+//! DevAddr/FCnt peeked from the Base64 `data`), skipping everything
+//! else without allocating. The proptests at the bottom pin its
+//! results to `Datagram::decode` on arbitrary codec-generated wire
+//! bytes, so the fast path can never silently drift from the
+//! reference.
+
+use super::b64::{self, B64Error};
+use super::codec::PROTOCOL_VERSION;
+use lora_mac::frame::PhyPayload;
+
+/// Why a datagram failed the fast parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastError {
+    /// Shorter than the 12-byte PUSH_DATA header.
+    TooShort,
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Not a PUSH_DATA datagram (this parser handles only ingest).
+    NotPushData(u8),
+    /// Structurally invalid JSON payload (byte offset within the JSON).
+    Json(usize),
+    /// The `data` field held malformed Base64.
+    B64(B64Error),
+}
+
+impl std::fmt::Display for FastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastError::TooShort => write!(f, "datagram shorter than PUSH_DATA header"),
+            FastError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            FastError::NotPushData(k) => write!(f, "datagram kind {k:#04x} is not PUSH_DATA"),
+            FastError::Json(at) => write!(f, "malformed JSON at payload byte {at}"),
+            FastError::B64(e) => write!(f, "bad rxpk data field: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FastError {}
+
+/// One rxpk as seen by the ingest hot path: reception facts plus the
+/// dedup key peeked (keylessly) out of the PHY payload. `dev_addr` and
+/// `fcnt` are `None` for frames a server cannot key on (join frames,
+/// truncated payloads) — the slow path owns those.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastRx {
+    /// Concentrator timestamp, µs (the dedup `received_us`).
+    pub tmst: u64,
+    /// Reported SNR, dB.
+    pub lsnr: f64,
+    /// Lifecycle trace id (0 = untraced / legacy).
+    pub trce: u64,
+    /// DevAddr peeked from the payload.
+    pub dev_addr: Option<u32>,
+    /// FCnt peeked from the payload.
+    pub fcnt: Option<u16>,
+}
+
+/// Header facts of a parsed PUSH_DATA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastPushData {
+    /// ACK token to echo in the PUSH_ACK.
+    pub token: u16,
+    /// Sending gateway EUI.
+    pub eui: u64,
+    /// rxpk entries appended to the output vector.
+    pub count: usize,
+}
+
+/// Parse a PUSH_DATA datagram, appending each rxpk to `out` (not
+/// cleared — a receiver loop drains it per batch). `scratch` is a
+/// reusable buffer for Base64 payload decoding.
+pub fn parse_push_data(
+    datagram: &[u8],
+    out: &mut Vec<FastRx>,
+    scratch: &mut Vec<u8>,
+) -> Result<FastPushData, FastError> {
+    if datagram.len() < 12 {
+        return Err(FastError::TooShort);
+    }
+    if datagram[0] != PROTOCOL_VERSION {
+        return Err(FastError::BadVersion(datagram[0]));
+    }
+    if datagram[3] != 0x00 {
+        return Err(FastError::NotPushData(datagram[3]));
+    }
+    let token = u16::from_be_bytes([datagram[1], datagram[2]]);
+    let eui = u64::from_be_bytes(datagram[4..12].try_into().expect("length checked"));
+    let json = &datagram[12..];
+    let before = out.len();
+    let mut s = Scanner { b: json, i: 0 };
+    s.parse_push_payload(out, scratch)?;
+    Ok(FastPushData {
+        token,
+        eui,
+        count: out.len() - before,
+    })
+}
+
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err<T>(&self) -> Result<T, FastError> {
+        Err(FastError::Json(self.i))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), FastError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err()
+        }
+    }
+
+    /// `{"rxpk":[…]}` — tolerate extra top-level keys, as the codec's
+    /// slow path does.
+    fn parse_push_payload(
+        &mut self,
+        out: &mut Vec<FastRx>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), FastError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            let (ks, ke) = self.string_span()?;
+            self.expect(b':')?;
+            if &self.b[ks..ke] == b"rxpk" {
+                self.parse_rxpk_array(out, scratch)?;
+            } else {
+                self.skip_value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err(),
+            }
+        }
+    }
+
+    fn parse_rxpk_array(
+        &mut self,
+        out: &mut Vec<FastRx>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), FastError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            out.push(self.parse_rxpk(scratch)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err(),
+            }
+        }
+    }
+
+    fn parse_rxpk(&mut self, scratch: &mut Vec<u8>) -> Result<FastRx, FastError> {
+        self.expect(b'{')?;
+        let mut rx = FastRx {
+            tmst: 0,
+            lsnr: 0.0,
+            trce: 0,
+            dev_addr: None,
+            fcnt: None,
+        };
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(rx);
+        }
+        loop {
+            let (ks, ke) = self.string_span()?;
+            self.expect(b':')?;
+            match &self.b[ks..ke] {
+                b"tmst" => rx.tmst = self.parse_u64()?,
+                b"trce" => rx.trce = self.parse_u64()?,
+                b"lsnr" => rx.lsnr = self.parse_f64()?,
+                b"data" => {
+                    let (ds, de) = self.string_span()?;
+                    let text =
+                        std::str::from_utf8(&self.b[ds..de]).map_err(|_| FastError::Json(ds))?;
+                    b64::decode_into(text, scratch).map_err(FastError::B64)?;
+                    rx.dev_addr = PhyPayload::peek_dev_addr(scratch).map(|a| a.0);
+                    rx.fcnt = PhyPayload::peek_fcnt(scratch);
+                }
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(rx);
+                }
+                _ => return self.err(),
+            }
+        }
+    }
+
+    /// Span of the *contents* of a JSON string (no surrounding quotes).
+    /// Escapes are tolerated in skipped strings; the fields this parser
+    /// reads (`rxpk` keys, Base64 `data`) never contain them, and a
+    /// `data` span with escapes simply fails Base64 decoding.
+    fn string_span(&mut self) -> Result<(usize, usize), FastError> {
+        self.expect(b'"')?;
+        let start = self.i;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let end = self.i;
+                    self.i += 1;
+                    return Ok((start, end));
+                }
+                Some(b'\\') => self.i += 2,
+                Some(_) => self.i += 1,
+                None => return self.err(),
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, FastError> {
+        self.skip_ws();
+        let start = self.i;
+        let mut n: u64 = 0;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add((c - b'0') as u64))
+                .ok_or(FastError::Json(start))?;
+            self.i += 1;
+        }
+        if self.i == start {
+            return self.err();
+        }
+        Ok(n)
+    }
+
+    fn parse_f64(&mut self) -> Result<f64, FastError> {
+        self.skip_ws();
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or(FastError::Json(start))
+    }
+
+    /// Skip any JSON value without materializing it.
+    fn skip_value(&mut self) -> Result<(), FastError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string_span()?;
+                Ok(())
+            }
+            Some(b'{') => self.skip_delimited(b'{', b'}'),
+            Some(b'[') => self.skip_delimited(b'[', b']'),
+            Some(b't') => self.skip_lit(b"true"),
+            Some(b'f') => self.skip_lit(b"false"),
+            Some(b'n') => self.skip_lit(b"null"),
+            Some(b'-' | b'0'..=b'9') => {
+                self.parse_f64()?;
+                Ok(())
+            }
+            _ => self.err(),
+        }
+    }
+
+    fn skip_lit(&mut self, lit: &[u8]) -> Result<(), FastError> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            self.err()
+        }
+    }
+
+    fn skip_delimited(&mut self, open: u8, close: u8) -> Result<(), FastError> {
+        self.expect(open)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Some(b'"') => {
+                    self.string_span()?;
+                    continue;
+                }
+                Some(c) if c == open => depth += 1,
+                Some(c) if c == close => depth -= 1,
+                Some(_) => {}
+                None => return self.err(),
+            }
+            self.i += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::codec::{Datagram, GatewayEui, RxPacket};
+    use super::*;
+    use lora_mac::device::DevAddr;
+    use lora_phy::channel::Channel;
+    use lora_phy::types::SpreadingFactor;
+
+    fn keys() -> lora_mac::device::SessionKeys {
+        lora_mac::device::SessionKeys {
+            nwk_s_key: [0x13; 16],
+            app_s_key: [0x57; 16],
+        }
+    }
+
+    fn traced_rxpk(dev: u32, fcnt: u16, tmst: u64, trce: u64) -> RxPacket {
+        let phy = PhyPayload::uplink(DevAddr(dev), fcnt, 1, &[0u8; 10])
+            .encode(&keys())
+            .unwrap();
+        RxPacket::new(
+            tmst,
+            Channel::khz125(916_800_000),
+            SpreadingFactor::SF7,
+            -95.0,
+            6.5,
+            &phy,
+        )
+        .with_trace(trce)
+    }
+
+    #[test]
+    fn parses_codec_generated_push_data() {
+        let d = Datagram::PushData {
+            token: 0x1234,
+            eui: GatewayEui(0xAABB_CCDD_EEFF_0011),
+            rxpk: vec![
+                traced_rxpk(0x2601_0001, 42, 1_000_000, 7),
+                traced_rxpk(0x2601_0002, 43, 1_000_500, 8),
+            ],
+        };
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let hdr = parse_push_data(&d.encode(), &mut out, &mut scratch).unwrap();
+        assert_eq!(hdr.token, 0x1234);
+        assert_eq!(hdr.eui, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(hdr.count, 2);
+        assert_eq!(out[0].dev_addr, Some(0x2601_0001));
+        assert_eq!(out[0].fcnt, Some(42));
+        assert_eq!(out[0].tmst, 1_000_000);
+        assert_eq!(out[0].trce, 7);
+        assert_eq!(out[1].dev_addr, Some(0x2601_0002));
+        assert_eq!(out[1].lsnr, 6.5);
+    }
+
+    #[test]
+    fn rejects_non_push_data() {
+        let ack = Datagram::PushAck { token: 1 }.encode();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        // PUSH_ACK is 4 bytes: header-length failure.
+        assert_eq!(
+            parse_push_data(&ack, &mut out, &mut scratch),
+            Err(FastError::TooShort)
+        );
+        let pull = Datagram::PullData {
+            token: 1,
+            eui: GatewayEui(9),
+        }
+        .encode();
+        assert_eq!(
+            parse_push_data(&pull, &mut out, &mut scratch),
+            Err(FastError::NotPushData(0x02))
+        );
+    }
+
+    #[test]
+    fn join_frames_have_no_dedup_key() {
+        let mut rx = traced_rxpk(1, 1, 5, 0);
+        // Rewrite the payload as a join-request-shaped frame.
+        rx.data = super::super::b64::encode(&[0u8; 23]);
+        rx.size = 23;
+        let d = Datagram::PushData {
+            token: 1,
+            eui: GatewayEui(2),
+            rxpk: vec![rx],
+        };
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        parse_push_data(&d.encode(), &mut out, &mut scratch).unwrap();
+        assert_eq!(out[0].dev_addr, None);
+        assert_eq!(out[0].fcnt, None);
+    }
+
+    #[test]
+    fn malformed_json_reports_offset_not_panic() {
+        let mut wire = vec![2, 0, 1, 0];
+        wire.extend_from_slice(&7u64.to_be_bytes());
+        wire.extend_from_slice(br#"{"rxpk":[{"tmst":}]}"#);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            parse_push_data(&wire, &mut out, &mut scratch),
+            Err(FastError::Json(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::super::codec::{Datagram, GatewayEui, RxPacket};
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rxpk() -> impl Strategy<Value = RxPacket> {
+        (
+            any::<u64>(),
+            137.0f64..1020.0,
+            -140i32..0,
+            -300i64..150,
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..48),
+        )
+            .prop_map(|(tmst, freq, rssi, lsnr_tenths, trce, payload)| RxPacket {
+                tmst,
+                freq,
+                chan: 0,
+                rfch: 0,
+                stat: 1,
+                modu: "LORA".to_string(),
+                datr: "SF7BW125".to_string(),
+                codr: "4/5".to_string(),
+                rssi,
+                lsnr: lsnr_tenths as f64 / 10.0,
+                size: payload.len(),
+                data: super::super::b64::encode(&payload),
+                trce,
+            })
+    }
+
+    proptest! {
+        /// The fast parser agrees with the reference codec decoder on
+        /// every field it extracts, for arbitrary codec-generated
+        /// datagrams.
+        #[test]
+        fn agrees_with_reference_decoder(
+            token in any::<u16>(),
+            eui in any::<u64>(),
+            rxpk in proptest::collection::vec(arb_rxpk(), 0..5),
+        ) {
+            use lora_mac::frame::PhyPayload;
+            let d = Datagram::PushData { token, eui: GatewayEui(eui), rxpk };
+            let wire = d.encode();
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            let hdr = parse_push_data(&wire, &mut out, &mut scratch).unwrap();
+            let reference = match Datagram::decode(&wire) {
+                Some(Datagram::PushData { token, eui, rxpk }) => (token, eui, rxpk),
+                other => panic!("reference decoder failed: {other:?}"),
+            };
+            prop_assert_eq!(hdr.token, reference.0);
+            prop_assert_eq!(hdr.eui, reference.1.0);
+            prop_assert_eq!(out.len(), reference.2.len());
+            for (fast, slow) in out.iter().zip(&reference.2) {
+                prop_assert_eq!(fast.tmst, slow.tmst);
+                prop_assert_eq!(fast.lsnr, slow.lsnr);
+                prop_assert_eq!(fast.trce, slow.trce);
+                let payload = slow.phy_payload().expect("codec payload decodes");
+                prop_assert_eq!(fast.dev_addr, PhyPayload::peek_dev_addr(&payload).map(|a| a.0));
+                prop_assert_eq!(fast.fcnt, PhyPayload::peek_fcnt(&payload));
+            }
+        }
+
+        /// Arbitrary bytes never panic the fast parser.
+        #[test]
+        fn fuzz_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            let _ = parse_push_data(&bytes, &mut out, &mut scratch);
+        }
+    }
+}

@@ -15,11 +15,14 @@
 //!
 //! [`codec`] implements datagram encode/decode; [`client`] is a
 //! blocking UDP forwarder client (the gateway side); [`b64`] is the
-//! Base64 used by the `data` field.
+//! Base64 used by the `data` field; [`fast`] is the allocation-free
+//! PUSH_DATA scanner used by the line-rate ingest daemon.
 
 pub mod b64;
 pub mod client;
 pub mod codec;
+pub mod fast;
 
-pub use client::PacketForwarder;
+pub use client::{ForwarderError, PacketForwarder};
 pub use codec::{Datagram, GatewayEui, RxPacket, TxPacket, PROTOCOL_VERSION};
+pub use fast::{parse_push_data, FastError, FastPushData, FastRx};

@@ -37,7 +37,7 @@ pub mod profile;
 pub mod radio;
 
 pub use config::{ConfigError, GatewayConfig};
-pub use forwarder::{Datagram, GatewayEui, PacketForwarder, RxPacket};
+pub use forwarder::{Datagram, ForwarderError, GatewayEui, PacketForwarder, RxPacket};
 pub use pool::{DecoderPool, PoolStats};
 pub use profile::{GatewayProfile, COTS_PROFILES};
 pub use radio::{Gateway, GatewayStats, LockOnOutcome, PacketAtGateway, ReceptionOutcome};

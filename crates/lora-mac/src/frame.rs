@@ -173,6 +173,21 @@ impl PhyPayload {
         Some(DevAddr(u32::from_le_bytes(bytes[1..5].try_into().ok()?)))
     }
 
+    /// Read the FCnt of a data frame without any key, under the same
+    /// guards as [`PhyPayload::peek_dev_addr`]. The pair (DevAddr,
+    /// FCnt) is everything dedup keys on, so an ingest shard can route
+    /// and deduplicate before spending a MIC check.
+    pub fn peek_fcnt(bytes: &[u8]) -> Option<u16> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let mtype = MType::from_bits(bytes[0] >> 5)?;
+        if matches!(mtype, MType::JoinRequest | MType::JoinAccept) {
+            return None;
+        }
+        Some(u16::from_le_bytes(bytes[6..8].try_into().ok()?))
+    }
+
     /// Decode and verify a frame; decrypts the FRMPayload.
     pub fn decode(bytes: &[u8], keys: &SessionKeys) -> Result<PhyPayload, FrameCodecError> {
         if bytes.len() < 12 {
@@ -376,6 +391,17 @@ mod tests {
         let mut join = wire.clone();
         join[0] = 0;
         assert_eq!(PhyPayload::peek_dev_addr(&join), None);
+    }
+
+    #[test]
+    fn peek_fcnt_without_keys() {
+        let f = PhyPayload::uplink(DevAddr(0x2601_1234), 0xBEEF, 1, b"hello");
+        let wire = f.encode(&keys()).unwrap();
+        assert_eq!(PhyPayload::peek_fcnt(&wire), Some(0xBEEF));
+        assert_eq!(PhyPayload::peek_fcnt(&wire[..5]), None, "too short");
+        let mut join = wire.clone();
+        join[0] = 0;
+        assert_eq!(PhyPayload::peek_fcnt(&join), None);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod udp;
 
 pub use appserver::{AppMessage, AppStats, ApplicationServer};
 pub use bridge::{process_uplink, BridgeOutcome};
-pub use dedup::Deduplicator;
+pub use dedup::{shard_of, Deduplicator, ShardedDeduplicator};
 pub use downlink::DownlinkScheduler;
 pub use downlink_plan::{plan_downlink, DownlinkPlan, UplinkContext};
 pub use estimator::TrafficEstimator;

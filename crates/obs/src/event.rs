@@ -93,6 +93,16 @@ pub enum PlanServed {
     Cached,
 }
 
+/// Which transport surface a service daemon accepted a peer on
+/// (mirrors the `svc` crate's daemons without depending on them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SvcConn {
+    /// UDP ingest: first datagram seen from a new gateway EUI.
+    Udp,
+    /// TCP: an accepted plan-server or metrics connection.
+    Tcp,
+}
+
 /// Which CP search algorithm produced a [`ObsEvent::SolverRun`]
 /// (mirrors `alphawan::cp` without depending on it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -325,6 +335,32 @@ pub enum ObsEvent {
         /// Host wall-clock duration of the run, µs.
         wall_us: u64,
     },
+    /// A service daemon accepted a new peer. Control-plane: `wall_us`
+    /// is host wall-clock time since daemon start, not simulation
+    /// time.
+    SvcAccept {
+        /// Host wall-clock µs since daemon start.
+        wall_us: u64,
+        /// Transport surface the peer arrived on.
+        conn: SvcConn,
+        /// Peer identity: gateway EUI (UDP) or connection index (TCP).
+        peer: u64,
+    },
+    /// A service daemon ingested one PUSH_DATA datagram (which may
+    /// carry many rxpk copies). Control-plane timing like
+    /// [`ObsEvent::SvcAccept`]; the per-copy dedup classifications
+    /// follow as [`ObsEvent::Dedup`] events on the worker shards.
+    SvcIngest {
+        /// Host wall-clock µs since daemon start.
+        wall_us: u64,
+        /// Trace of the datagram's first traced rxpk (0 = untraced).
+        #[serde(default)]
+        trace: u64,
+        /// Sending gateway EUI.
+        gw: u64,
+        /// rxpk copies carried in the datagram.
+        pkts: u32,
+    },
     /// A fault-plan entry is scheduled against this run (one event per
     /// `FaultSpec`, emitted when the plan is registered with the sink).
     FaultActivated {
@@ -360,6 +396,8 @@ impl ObsEvent {
             | ObsEvent::MasterPlanServed { .. }
             | ObsEvent::SolverRun { .. }
             | ObsEvent::SimRunStats { .. }
+            | ObsEvent::SvcAccept { .. }
+            | ObsEvent::SvcIngest { .. }
             | ObsEvent::FaultActivated { .. } => None,
         }
     }
@@ -380,8 +418,11 @@ impl ObsEvent {
             | ObsEvent::MasterRpcRetry { trace, .. }
             | ObsEvent::MasterPlanServed { trace, .. }
             | ObsEvent::SolverRun { trace, .. }
-            | ObsEvent::SimRunStats { trace, .. } => trace,
-            ObsEvent::GatewayInfo { .. } | ObsEvent::FaultActivated { .. } => 0,
+            | ObsEvent::SimRunStats { trace, .. }
+            | ObsEvent::SvcIngest { trace, .. } => trace,
+            ObsEvent::GatewayInfo { .. }
+            | ObsEvent::SvcAccept { .. }
+            | ObsEvent::FaultActivated { .. } => 0,
         };
         (trace != 0).then_some(trace)
     }
@@ -404,6 +445,8 @@ impl ObsEvent {
             ObsEvent::MasterPlanServed { .. } => "master_plan_served",
             ObsEvent::SolverRun { .. } => "solver_run",
             ObsEvent::SimRunStats { .. } => "sim_run_stats",
+            ObsEvent::SvcAccept { .. } => "svc_accept",
+            ObsEvent::SvcIngest { .. } => "svc_ingest",
             ObsEvent::FaultActivated { .. } => "fault_activated",
         }
     }

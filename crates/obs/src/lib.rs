@@ -44,7 +44,7 @@ pub mod report;
 pub mod sink;
 pub mod trace;
 
-pub use event::{DedupKind, FaultKind, LossKind, ObsEvent, PlanServed, SolverKind};
+pub use event::{DedupKind, FaultKind, LossKind, ObsEvent, PlanServed, SolverKind, SvcConn};
 pub use flight::FlightRecorder;
 pub use metrics::{
     GatewayOccupancy, Histogram, MetricsSink, Registry, DISPATCH_LATENCY_BOUNDS_US,

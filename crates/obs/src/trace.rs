@@ -631,6 +631,10 @@ impl TraceAnalyzer {
             ObsEvent::SolverRun { .. } => {}
             // Run-level aggregates carry no packet lifecycle either.
             ObsEvent::SimRunStats { .. } => {}
+            // Service transport events are aggregated by the metrics
+            // layer; the per-copy Dedup events above carry the
+            // packet-lifecycle content.
+            ObsEvent::SvcAccept { .. } | ObsEvent::SvcIngest { .. } => {}
             ObsEvent::FaultActivated { .. } => {}
         }
     }

@@ -22,7 +22,7 @@
 //!
 //! # The indexed hot path
 //!
-//! The event loop runs over a per-run [`crate::runctx`] context: the
+//! The event loop runs over a per-run `runctx` context: the
 //! schedule is sorted once into exact [`crate::engine::EventQueue`] pop
 //! order (every event is known before the loop, so no heap is needed),
 //! link gains come from flat tables, lock-on visits only the gateways

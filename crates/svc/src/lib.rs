@@ -1,0 +1,40 @@
+//! Socket daemons for the AlphaWAN service plane.
+//!
+//! The rest of the workspace exercises the paper's network server and
+//! Master in-process; this crate runs them as real daemons — the
+//! deployment shape of Fig. 1, where gateways backhaul over UDP to a
+//! network server and operators fetch channel plans from a cloud
+//! Master over TCP:
+//!
+//! * [`netserverd`] — UDP ingest speaking the Semtech forwarder
+//!   protocol, fanning uplinks out to sharded dedup workers
+//!   ([`runtime`]).
+//! * [`masterd`] — the TCP channel-plan daemon wrapping
+//!   [`alphawan::master::MasterServer`].
+//! * [`loadgen`] — a line-rate gateway-fleet load generator replaying
+//!   [`bench::scenario`] worlds against a live socket.
+//!
+//! Everything is plain `std` threads and blocking sockets — no async
+//! runtime. The workloads here are a handful of long-lived
+//! connections plus one UDP firehose; thread-per-socket with bounded
+//! queues gives the same throughput as an executor without importing
+//! one, and keeps the failure modes (a blocked thread, a full queue)
+//! observable with a debugger. Both daemons export Prometheus-format
+//! metrics over a plaintext TCP endpoint ([`endpoint`]) and write the
+//! versioned `BENCH_service.json` artifact ([`report`]).
+
+pub mod endpoint;
+pub mod loadgen;
+pub mod masterd;
+pub mod netserverd;
+pub mod report;
+pub mod runtime;
+
+pub use endpoint::{http_get, HttpEndpoint, HttpHandler};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use masterd::{MasterConfig, MasterDaemon};
+pub use netserverd::{NetServerConfig, NetServerDaemon};
+pub use report::{LatencyQuantiles, ServiceBench, BENCH_SERVICE_SCHEMA_VERSION};
+pub use runtime::{
+    render_decisions, replay_decisions, replay_divergence, Decision, ShardPool, ShardRouter,
+};

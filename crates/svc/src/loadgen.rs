@@ -1,0 +1,552 @@
+//! The line-rate gateway load generator.
+//!
+//! Replays a simulated gateway fleet against a live `netserverd`
+//! socket. The fleet comes from [`bench::scenario`]: a testbed world
+//! runs a coordinated schedule and every [`sim::world::PacketRecord`]'s
+//! `receiving_gateways` become real `PUSH_DATA` rxpks — one copy per
+//! receiving gateway, which is exactly the duplicate pattern the dedup
+//! shards exist for.
+//!
+//! Reaching line rate on one core means the hot loop cannot touch
+//! JSON: every datagram is encoded **once** at setup, and each epoch
+//! (one replay of the fleet's schedule) re-sends the same bytes after
+//! patching, in place, the binary token (bytes 1..3) and every rxpk's
+//! `tmst` — kept at a fixed 10-ASCII-digit width by anchoring virtual
+//! time at [`TMST_BASE_US`], so the patch never resizes the buffer.
+//! FCnt values repeat across epochs; the epoch span exceeds the dedup
+//! window, so each repeat is correctly classified `New` (the same
+//! thing that happens when a real device's 16-bit FCnt wraps).
+//!
+//! Pacing is open-loop: a target rate is enforced against the wall
+//! clock without waiting for ACKs, so a slow server sheds load in its
+//! kernel socket buffer instead of slowing the generator. ACK RTT is
+//! measured on a sampled subset of datagrams by a separate receiver
+//! thread; the Master plan path is exercised concurrently through
+//! [`ResilientMasterClient`].
+
+use crate::runtime::SERVE_LATENCY_BOUNDS_US;
+use alphawan::master::{BackoffPolicy, PlanSource, ResilientMasterClient};
+use bench::scenario::{
+    coordinated_schedule, orthogonal_assignments, NetworkSpec, WorldBuilder, PAYLOAD_LEN,
+};
+use gateway::forwarder::codec::{Datagram, GatewayEui, RxPacket};
+use lora_mac::device::{DevAddr, SessionKeys};
+use lora_mac::frame::PhyPayload;
+use lora_phy::channel::ChannelGrid;
+use obs::Histogram;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Virtual-time anchor for rxpk `tmst` values. Keeping every patched
+/// value in `[10^9, 10^10)` pins the ASCII encoding at exactly ten
+/// digits, so epoch patching is an in-place byte write.
+pub const TMST_BASE_US: u64 = 1_000_000_000;
+const TMST_MAX_US: u64 = 9_999_999_999;
+
+/// Gateway EUIs are this base plus the fleet gateway index.
+pub const GATEWAY_EUI_BASE: u64 = 0x00AA_0000_0000_0000;
+
+/// ACK round-trip histogram bounds, µs.
+pub const ACK_RTT_BOUNDS_US: [u64; 8] = [100, 250, 500, 1_000, 2_500, 5_000, 25_000, 100_000];
+
+/// Load-generator configuration. `Default` is sized for tests; the
+/// soak harness and the `loadgen` binary scale it up.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// The `netserverd` ingest socket (or a chaos proxy in front).
+    pub server: SocketAddr,
+    /// Optional Master plan server to exercise concurrently.
+    pub master: Option<SocketAddr>,
+    /// Simulated gateways in the fleet.
+    pub gateways: usize,
+    /// Simulated end devices per replica.
+    pub devices: usize,
+    /// Device-population replicas: each re-sends the schedule under a
+    /// shifted DevAddr range, multiplying packets per epoch without
+    /// lengthening the virtual-time span.
+    pub replicas: usize,
+    /// Topology/schedule seed.
+    pub seed: u64,
+    /// Max rxpks per PUSH_DATA datagram.
+    pub batch: usize,
+    /// Times to replay the fleet schedule.
+    pub epochs: usize,
+    /// Open-loop send rate in packets/sec; `None` sends at line rate.
+    pub target_pps: Option<u64>,
+    /// Record ACK RTT for every Nth datagram.
+    pub rtt_sample_every: u64,
+    /// Flow-control window: max PUSH_DATA datagrams in flight without a
+    /// PUSH_ACK (`0` = unbounded). UDP has no backpressure of its own —
+    /// an unpaced sender overruns the receiver's kernel socket buffer
+    /// and the kernel drops silently; bounding in-flight bytes below
+    /// that buffer is what makes a lossless loopback soak possible. A
+    /// window slot whose ACK never arrives (chaos loss) is leaked back
+    /// after a short stall rather than wedging the sender.
+    pub max_inflight_datagrams: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            server: (std::net::Ipv4Addr::LOCALHOST, 0).into(),
+            master: None,
+            gateways: 4,
+            devices: 48,
+            replicas: 2,
+            seed: 7,
+            batch: 64,
+            epochs: 4,
+            target_pps: None,
+            rtt_sample_every: 16,
+            max_inflight_datagrams: 8,
+        }
+    }
+}
+
+/// What one run sent and observed (client side; daemon-side ingest
+/// counts come from the daemon's own metrics).
+#[derive(Debug)]
+pub struct LoadgenReport {
+    pub sent_datagrams: u64,
+    pub sent_pkts: u64,
+    /// Epochs actually replayed (clamped when the virtual-time budget
+    /// runs out before the requested count).
+    pub epochs_run: usize,
+    pub elapsed: Duration,
+    /// Client-side send rate, pkts/sec.
+    pub offered_pps: f64,
+    /// PUSH/PULL ACK datagrams received back.
+    pub acks: u64,
+    pub ack_rtt: Histogram,
+    pub plan_fetches: u64,
+    pub plan_cached: u64,
+    pub plan_latency: Histogram,
+}
+
+/// One pre-encoded PUSH_DATA with its patch table.
+struct EncodedDatagram {
+    wire: Vec<u8>,
+    /// `(byte offset, epoch-0 value)` of each 10-digit tmst field.
+    tmst: Vec<(usize, u64)>,
+    pkts: u32,
+    first_tmst: u64,
+}
+
+/// The pre-encoded fleet stream.
+pub struct FleetStream {
+    datagrams: Vec<EncodedDatagram>,
+    pkts_per_epoch: u64,
+    /// Virtual time consumed per epoch; exceeds the dedup window so
+    /// FCnt reuse across epochs classifies `New`.
+    epoch_span_us: u64,
+}
+
+impl FleetStream {
+    /// Packets sent by one full epoch.
+    pub fn pkts_per_epoch(&self) -> u64 {
+        self.pkts_per_epoch
+    }
+
+    /// Epochs that fit the fixed-width tmst budget.
+    pub fn max_epochs(&self) -> usize {
+        ((TMST_MAX_US - TMST_BASE_US) / self.epoch_span_us.max(1)) as usize
+    }
+}
+
+/// Simulate the fleet and pre-encode its datagram stream.
+///
+/// `min_window_us` is the serving daemon's dedup window: the epoch
+/// span is stretched past it so cross-epoch FCnt reuse stays `New`.
+pub fn build_fleet(cfg: &LoadgenConfig, min_window_us: u64) -> io::Result<FleetStream> {
+    let channels = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+    let spec = NetworkSpec {
+        network_id: 1,
+        n_nodes: cfg.devices,
+        gw_channels: vec![channels.clone(); cfg.gateways.max(1)],
+    };
+    let builder = WorldBuilder::testbed(cfg.seed).network(spec);
+    let node_ids: Vec<usize> = builder.node_range(0).collect();
+    let mut world = builder.build();
+    let assignments = orthogonal_assignments(&node_ids, &channels);
+    let horizon_us = 4_000_000;
+    let plans = coordinated_schedule(&assignments, 0.25, horizon_us, PAYLOAD_LEN);
+    let records = world.run(&plans);
+
+    // Flatten records into per-gateway reception streams, replicated
+    // across shifted DevAddr ranges.
+    let network_key = [0x42u8; 16];
+    let mut fcnt: HashMap<usize, u16> = HashMap::new();
+    let mut max_end = 0u64;
+    // Per gateway: (tmst, dev, phy payload index) — payloads are
+    // encoded once per (record, replica) and shared by every gateway
+    // that heard the copy.
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    struct Rx {
+        tmst: u64,
+        payload: usize,
+        snr_db: f64,
+        rssi_dbm: f64,
+        channel: lora_phy::channel::Channel,
+        sf: lora_phy::types::SpreadingFactor,
+        trace: u64,
+    }
+    let mut per_gw: Vec<Vec<Rx>> = (0..cfg.gateways.max(1)).map(|_| Vec::new()).collect();
+    for rec in &records {
+        if rec.receiving_gateways.is_empty() {
+            continue;
+        }
+        let node_fcnt = {
+            let c = fcnt.entry(rec.node).or_insert(0);
+            let v = *c;
+            *c = c.wrapping_add(1);
+            v
+        };
+        max_end = max_end.max(rec.end_us);
+        for replica in 0..cfg.replicas.max(1) {
+            let dev = DevAddr::new(1, (rec.node + replica * cfg.devices) as u32);
+            let keys = SessionKeys::derive(&network_key, dev);
+            let frm = [0xA5u8; PAYLOAD_LEN - 13];
+            let phy = PhyPayload::uplink(dev, node_fcnt, 1, &frm)
+                .encode(&keys)
+                .map_err(|e| io::Error::other(format!("frame encode: {e:?}")))?;
+            debug_assert_eq!(phy.len(), PAYLOAD_LEN);
+            let payload = payloads.len();
+            payloads.push(phy);
+            let n_gw = per_gw.len();
+            for &gw in &rec.receiving_gateways {
+                per_gw[gw % n_gw].push(Rx {
+                    tmst: TMST_BASE_US + rec.end_us,
+                    payload,
+                    snr_db: -2.0 - ((rec.node * 7 + gw * 13) % 16) as f64,
+                    rssi_dbm: -90.0 - ((rec.node * 5 + gw * 3) % 30) as f64,
+                    channel: rec.channel,
+                    sf: rec.dr.spreading_factor(),
+                    trace: (replica as u64) << 32 | (rec.tx_id + 1),
+                });
+            }
+        }
+    }
+    let total: usize = per_gw.iter().map(|v| v.len()).sum();
+    if total == 0 {
+        return Err(io::Error::other(
+            "fleet produced no receptions — schedule or topology degenerate",
+        ));
+    }
+
+    // Chunk each gateway's time-sorted stream into PUSH_DATA datagrams.
+    let mut datagrams = Vec::new();
+    for (gw, mut rxs) in per_gw.into_iter().enumerate() {
+        rxs.sort_by_key(|r| r.tmst);
+        for chunk in rxs.chunks(cfg.batch.max(1)) {
+            let rxpk: Vec<RxPacket> = chunk
+                .iter()
+                .map(|r| {
+                    RxPacket::new(
+                        r.tmst,
+                        r.channel,
+                        r.sf,
+                        r.rssi_dbm,
+                        r.snr_db,
+                        &payloads[r.payload],
+                    )
+                    .with_trace(r.trace)
+                })
+                .collect();
+            let wire = Datagram::PushData {
+                token: 0,
+                eui: GatewayEui(GATEWAY_EUI_BASE + gw as u64),
+                rxpk,
+            }
+            .encode();
+            let tmst = find_tmst_patches(&wire);
+            assert_eq!(tmst.len(), chunk.len(), "one tmst field per rxpk");
+            datagrams.push(EncodedDatagram {
+                wire,
+                tmst,
+                pkts: chunk.len() as u32,
+                first_tmst: chunk[0].tmst,
+            });
+        }
+    }
+    // Interleave gateways chronologically so the served timestamp
+    // stream is (nearly) monotone within an epoch.
+    datagrams.sort_by_key(|d| d.first_tmst);
+    Ok(FleetStream {
+        pkts_per_epoch: datagrams.iter().map(|d| d.pkts as u64).sum(),
+        datagrams,
+        epoch_span_us: (max_end + 1_000_000).max(min_window_us + 1_000_000),
+    })
+}
+
+/// Locate every `"tmst":<10 digits>` value in an encoded PUSH_DATA.
+fn find_tmst_patches(wire: &[u8]) -> Vec<(usize, u64)> {
+    const KEY: &[u8] = b"\"tmst\":";
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + KEY.len() < wire.len() {
+        if &wire[i..i + KEY.len()] == KEY {
+            let start = i + KEY.len();
+            let mut end = start;
+            while end < wire.len() && wire[end].is_ascii_digit() {
+                end += 1;
+            }
+            let v: u64 = std::str::from_utf8(&wire[start..end])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .expect("tmst digits");
+            assert_eq!(end - start, 10, "tmst must be 10 digits for patching");
+            out.push((start, v));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn patch_tmst(wire: &mut [u8], at: usize, value: u64) {
+    debug_assert!((TMST_BASE_US..=TMST_MAX_US).contains(&value));
+    let mut v = value;
+    for k in (0..10).rev() {
+        wire[at + k] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+}
+
+/// Run the generator against `cfg.server`.
+pub fn run(cfg: &LoadgenConfig, server_window_us: u64) -> io::Result<LoadgenReport> {
+    let fleet = build_fleet(cfg, server_window_us)?;
+    run_stream(cfg, fleet)
+}
+
+/// Run with a pre-built fleet stream (lets a harness reuse the
+/// expensive simulation across runs).
+pub fn run_stream(cfg: &LoadgenConfig, mut fleet: FleetStream) -> io::Result<LoadgenReport> {
+    let epochs = cfg.epochs.min(fleet.max_epochs());
+    let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+    socket.connect(cfg.server)?;
+
+    // ACK receiver: counts PUSH_ACKs and resolves sampled RTTs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let acks = Arc::new(AtomicU64::new(0));
+    let pending: Arc<Mutex<HashMap<u16, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let rtt: Arc<Mutex<Histogram>> = Arc::new(Mutex::new(Histogram::new(&ACK_RTT_BOUNDS_US)));
+    let ack_thread = {
+        let socket = socket.try_clone()?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let stop = Arc::clone(&stop);
+        let acks = Arc::clone(&acks);
+        let pending = Arc::clone(&pending);
+        let rtt = Arc::clone(&rtt);
+        std::thread::Builder::new()
+            .name("loadgen-acks".into())
+            .spawn(move || {
+                let mut buf = [0u8; 1_024];
+                while !stop.load(Ordering::SeqCst) {
+                    match socket.recv(&mut buf) {
+                        Ok(len) if len >= 4 && buf[3] == 0x01 => {
+                            acks.fetch_add(1, Ordering::Relaxed);
+                            let token = u16::from_be_bytes([buf[1], buf[2]]);
+                            if let Some(t0) = pending.lock().remove(&token) {
+                                rtt.lock().observe(t0.elapsed().as_micros() as u64);
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(_) => {}
+                    }
+                }
+            })?
+    };
+
+    // Master plan fetcher: heartbeats the control plane while the data
+    // plane is under load.
+    let plan_latency = Arc::new(Mutex::new(Histogram::new(&SERVE_LATENCY_BOUNDS_US)));
+    let plan_counts = Arc::new(Mutex::new((0u64, 0u64))); // (fetches, cached)
+    let plan_thread = cfg.master.map(|addr| {
+        let stop = Arc::clone(&stop);
+        let latency = Arc::clone(&plan_latency);
+        let counts = Arc::clone(&plan_counts);
+        std::thread::Builder::new()
+            .name("loadgen-plans".into())
+            .spawn(move || {
+                let mut client =
+                    ResilientMasterClient::new(addr, "loadgen-op", BackoffPolicy::default());
+                while !stop.load(Ordering::SeqCst) {
+                    let t0 = Instant::now();
+                    if let Ok((_, source)) = client.channel_plan() {
+                        latency.lock().observe(t0.elapsed().as_micros() as u64);
+                        let mut c = counts.lock();
+                        c.0 += 1;
+                        if source == PlanSource::Cached {
+                            c.1 += 1;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                client.shutdown();
+            })
+            .expect("spawn plan thread")
+    });
+
+    // The hot loop: patch + send, ack-windowed, open-loop paced.
+    let started = Instant::now();
+    let mut sent_pkts = 0u64;
+    let mut sent_datagrams = 0u64;
+    // ACKs presumed lost: leaked window slots, so chaos-dropped
+    // datagrams cost one bounded stall each instead of a deadlock.
+    let mut leaked_acks = 0u64;
+    let window = cfg.max_inflight_datagrams;
+    for epoch in 0..epochs {
+        let shift = epoch as u64 * fleet.epoch_span_us;
+        for d in fleet.datagrams.iter_mut() {
+            if window > 0 {
+                let stall = Instant::now();
+                while sent_datagrams.saturating_sub(acks.load(Ordering::Relaxed) + leaked_acks)
+                    >= window
+                {
+                    if stall.elapsed() > Duration::from_millis(5) {
+                        leaked_acks += 1;
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            let token = (sent_datagrams & 0xFFFF) as u16;
+            d.wire[1..3].copy_from_slice(&token.to_be_bytes());
+            for &(at, base) in &d.tmst {
+                patch_tmst(&mut d.wire, at, base + shift);
+            }
+            if sent_datagrams.is_multiple_of(cfg.rtt_sample_every.max(1)) {
+                pending.lock().insert(token, Instant::now());
+            }
+            socket.send(&d.wire)?;
+            sent_datagrams += 1;
+            sent_pkts += d.pkts as u64;
+            if let Some(pps) = cfg.target_pps {
+                let due_us = sent_pkts.saturating_mul(1_000_000) / pps.max(1);
+                loop {
+                    let elapsed_us = started.elapsed().as_micros() as u64;
+                    if elapsed_us >= due_us {
+                        break;
+                    }
+                    let lag = due_us - elapsed_us;
+                    if lag > 2_000 {
+                        std::thread::sleep(Duration::from_micros(lag - 1_000));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Give stragglers a moment, then stop the helpers.
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+    let _ = ack_thread.join();
+    if let Some(t) = plan_thread {
+        let _ = t.join();
+    }
+
+    let (plan_fetches, plan_cached) = *plan_counts.lock();
+    let ack_rtt = rtt.lock().clone();
+    let plan_latency_snapshot = plan_latency.lock().clone();
+    Ok(LoadgenReport {
+        sent_datagrams,
+        sent_pkts,
+        epochs_run: epochs,
+        elapsed,
+        offered_pps: sent_pkts as f64 / elapsed.as_secs_f64().max(1e-9),
+        acks: acks.load(Ordering::Relaxed),
+        ack_rtt,
+        plan_fetches,
+        plan_cached,
+        plan_latency: plan_latency_snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LoadgenConfig {
+        LoadgenConfig {
+            devices: 16,
+            gateways: 2,
+            replicas: 1,
+            batch: 8,
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_stream_is_patchable_and_decodable() {
+        let fleet = build_fleet(&cfg(), 1_000_000).unwrap();
+        assert!(fleet.pkts_per_epoch() > 0);
+        assert!(fleet.max_epochs() > 100);
+        for d in &fleet.datagrams {
+            // Every pre-encoded datagram decodes with the reference
+            // codec and owns one patch slot per rxpk.
+            match Datagram::decode(&d.wire) {
+                Some(Datagram::PushData { rxpk, .. }) => {
+                    assert_eq!(rxpk.len() as u32, d.pkts);
+                    for rx in &rxpk {
+                        assert!(rx.tmst >= TMST_BASE_US);
+                        assert!(rx.phy_payload().is_some(), "payload b64 round-trips");
+                    }
+                }
+                other => panic!("not PUSH_DATA: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tmst_patching_shifts_every_timestamp() {
+        let fleet = build_fleet(&cfg(), 1_000_000).unwrap();
+        let mut d = fleet
+            .datagrams
+            .into_iter()
+            .next()
+            .expect("at least one datagram");
+        let shift = 123_456_789;
+        for &(at, base) in &d.tmst {
+            patch_tmst(&mut d.wire, at, base + shift);
+        }
+        match Datagram::decode(&d.wire) {
+            Some(Datagram::PushData { rxpk, .. }) => {
+                for rx in &rxpk {
+                    assert!(rx.tmst >= TMST_BASE_US + shift);
+                }
+            }
+            other => panic!("patched datagram no longer decodes: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicas_multiply_packets_not_time() {
+        let one = build_fleet(&cfg(), 1_000_000).unwrap();
+        let two = build_fleet(
+            &LoadgenConfig {
+                replicas: 2,
+                ..cfg()
+            },
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(two.pkts_per_epoch(), 2 * one.pkts_per_epoch());
+        assert_eq!(two.epoch_span_us, one.epoch_span_us);
+    }
+
+    #[test]
+    fn epoch_span_clears_the_dedup_window() {
+        let window = 60_000_000;
+        let fleet = build_fleet(&cfg(), window).unwrap();
+        assert!(fleet.epoch_span_us > window);
+    }
+}

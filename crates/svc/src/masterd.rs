@@ -1,0 +1,155 @@
+//! `masterd`: the Master channel-plan daemon.
+//!
+//! Wraps [`alphawan::master::server::MasterServer`] — the TCP plan
+//! server — with the service trimmings: a transport observer that
+//! turns accepts and per-request handle times into registry counters,
+//! a plan-serve latency histogram, [`ObsEvent::SvcAccept`] events, and
+//! the same plaintext metrics endpoint `netserverd` exposes.
+
+use crate::endpoint::{HttpEndpoint, HttpHandler};
+use crate::report::LatencyQuantiles;
+use crate::runtime::{SharedObs, SERVE_LATENCY_BOUNDS_US};
+use alphawan::master::server::ServerEvent;
+use alphawan::master::{MasterServer, RegionSpec};
+use obs::{ObsEvent, Registry, SvcConn};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Daemon configuration; `Default` serves the paper's three-network
+/// testbed region on ephemeral loopback ports.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// TCP plan-server socket.
+    pub bind: SocketAddr,
+    /// TCP metrics endpoint.
+    pub metrics_bind: SocketAddr,
+    /// The spectrum region the Master carves.
+    pub region: RegionSpec,
+    /// Lease TTL forwarded to the Master node; 0 disables expiry.
+    pub lease_ttl_ms: u64,
+}
+
+impl Default for MasterConfig {
+    fn default() -> MasterConfig {
+        MasterConfig {
+            bind: (Ipv4Addr::LOCALHOST, 0).into(),
+            metrics_bind: (Ipv4Addr::LOCALHOST, 0).into(),
+            region: RegionSpec {
+                band_low_hz: 923_200_000,
+                spectrum_hz: 1_600_000,
+                expected_networks: 3,
+            },
+            lease_ttl_ms: 0,
+        }
+    }
+}
+
+/// A running Master daemon.
+pub struct MasterDaemon {
+    server: Option<MasterServer>,
+    endpoint: HttpEndpoint,
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl MasterDaemon {
+    /// Bind both sockets and start serving plans.
+    pub fn start(cfg: MasterConfig, sink: Option<SharedObs>) -> io::Result<MasterDaemon> {
+        let registry = Arc::new(Mutex::new(Registry::new()));
+        let obs_registry = Arc::clone(&registry);
+        let started = Instant::now();
+        let observer = Arc::new(move |ev: ServerEvent| match ev {
+            ServerEvent::Accepted { conn } => {
+                obs_registry.lock().inc("master_conns_total", 1);
+                if let Some(s) = &sink {
+                    let mut s = s.lock();
+                    if s.enabled() {
+                        s.record(&ObsEvent::SvcAccept {
+                            wall_us: started.elapsed().as_micros() as u64,
+                            conn: SvcConn::Tcp,
+                            peer: conn,
+                        });
+                    }
+                }
+            }
+            ServerEvent::Served {
+                request, handle_us, ..
+            } => {
+                let mut reg = obs_registry.lock();
+                reg.inc("master_requests_total", 1);
+                reg.inc(&format!("master_req_{request}_total"), 1);
+                reg.observe("plan_serve_latency_us", &SERVE_LATENCY_BOUNDS_US, handle_us);
+            }
+        });
+        let server = MasterServer::start_observed(cfg.region, cfg.bind, Some(observer))?;
+        if cfg.lease_ttl_ms > 0 {
+            server.node().lock().set_lease_ttl_ms(cfg.lease_ttl_ms);
+        }
+        let endpoint =
+            HttpEndpoint::start(cfg.metrics_bind, Self::http_handler(Arc::clone(&registry)))?;
+        Ok(MasterDaemon {
+            server: Some(server),
+            endpoint,
+            registry,
+        })
+    }
+
+    fn http_handler(registry: Arc<Mutex<Registry>>) -> HttpHandler {
+        Arc::new(move |path| match path {
+            "/metrics" => Some((
+                "text/plain; version=0.0.4",
+                registry.lock().render_prometheus().into_bytes(),
+            )),
+            "/healthz" => Some(("text/plain", b"ok\n".to_vec())),
+            "/bench" => {
+                let reg = registry.lock();
+                let q = reg
+                    .histogram("plan_serve_latency_us")
+                    .map(LatencyQuantiles::of)
+                    .unwrap_or_default();
+                let body = format!(
+                    "{{\"plan_serve_latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \"requests\": {}}}\n",
+                    q.p50,
+                    q.p95,
+                    q.p99,
+                    reg.counter("master_requests_total")
+                );
+                Some(("application/json", body.into_bytes()))
+            }
+            _ => None,
+        })
+    }
+
+    /// The plan-server address operators connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.as_ref().expect("running").addr()
+    }
+
+    /// The metrics endpoint address.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.endpoint.addr()
+    }
+
+    /// Read one counter from the daemon registry.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.registry.lock().counter(name)
+    }
+
+    /// Clone of the plan-serve latency histogram.
+    pub fn plan_latency(&self) -> obs::Histogram {
+        self.registry
+            .lock()
+            .histogram("plan_serve_latency_us")
+            .cloned()
+            .unwrap_or_else(|| obs::Histogram::new(&SERVE_LATENCY_BOUNDS_US))
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}

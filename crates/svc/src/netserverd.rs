@@ -1,0 +1,389 @@
+//! `netserverd`: the network-server ingest daemon.
+//!
+//! Speaks the Semtech UDP forwarder protocol on a real socket:
+//! `PUSH_DATA` is acknowledged, fast-parsed
+//! ([`gateway::forwarder::fast`]) and fanned out to the dedup shard
+//! pool; `PULL_DATA` is acknowledged and records the gateway's
+//! downlink route so [`NetServerDaemon::send_downlink`] can push a
+//! `PULL_RESP` back; `TX_ACK` is counted. Receiver threads share one
+//! bound socket via `try_clone` (std has no `SO_REUSEPORT`), so the
+//! kernel's socket buffer is the single shared ingress queue.
+
+use crate::endpoint::{HttpEndpoint, HttpHandler};
+use crate::report::LatencyQuantiles;
+use crate::runtime::{render_decisions, Batch, PacketIn, ShardPool, ShardRouter, SharedObs};
+use gateway::forwarder::codec::{Datagram, TxPacket};
+use gateway::forwarder::fast::{parse_push_data, FastRx};
+use netserver::dedup::DedupStats;
+use obs::{ObsEvent, Registry, SvcConn};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything configurable about the daemon. `Default` binds ephemeral
+/// loopback ports, sized for tests; the `netserverd` binary overrides
+/// from flags.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// UDP ingest socket.
+    pub bind: SocketAddr,
+    /// TCP metrics endpoint.
+    pub metrics_bind: SocketAddr,
+    /// Dedup worker shards.
+    pub shards: usize,
+    /// Receiver threads sharing the ingest socket.
+    pub receivers: usize,
+    /// Bounded batches queued per shard before the router blocks.
+    pub channel_capacity: usize,
+    /// Dedup window, µs.
+    pub dedup_window_us: u64,
+    /// Per-shard decision-log cap (the prefix stays replay-exact).
+    pub decision_log_cap: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            bind: (Ipv4Addr::LOCALHOST, 0).into(),
+            metrics_bind: (Ipv4Addr::LOCALHOST, 0).into(),
+            shards: 2,
+            receivers: 1,
+            channel_capacity: 256,
+            dedup_window_us: 2_000_000,
+            decision_log_cap: 4_000_000,
+        }
+    }
+}
+
+struct ReceiverShared {
+    registry: Arc<Mutex<Registry>>,
+    /// Gateway EUI → dense id handed to the dedup layer.
+    gw_ids: Mutex<HashMap<u64, u16>>,
+    /// Gateway EUI → last PULL_DATA origin (the downlink route).
+    pull_routes: Mutex<HashMap<u64, SocketAddr>>,
+    sink: Option<SharedObs>,
+    started: Instant,
+}
+
+impl ReceiverShared {
+    fn gw_id(&self, eui: u64) -> u16 {
+        let mut ids = self.gw_ids.lock();
+        let next = ids.len() as u16;
+        *ids.entry(eui).or_insert(next)
+    }
+
+    fn emit(&self, ev: ObsEvent) {
+        if let Some(s) = &self.sink {
+            let mut s = s.lock();
+            if s.enabled() {
+                s.record(&ev);
+            }
+        }
+    }
+
+    fn wall_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+/// A running ingest daemon.
+pub struct NetServerDaemon {
+    addr: SocketAddr,
+    endpoint: HttpEndpoint,
+    pool: Option<ShardPool>,
+    registry: Arc<Mutex<Registry>>,
+    shared: Arc<ReceiverShared>,
+    socket: UdpSocket,
+    window_us: u64,
+    shutdown: Arc<AtomicBool>,
+    receivers: Vec<JoinHandle<()>>,
+}
+
+impl NetServerDaemon {
+    /// Bind the sockets and start the receiver + shard threads.
+    pub fn start(cfg: NetServerConfig, sink: Option<SharedObs>) -> io::Result<NetServerDaemon> {
+        let socket = UdpSocket::bind(cfg.bind)?;
+        let addr = socket.local_addr()?;
+        let registry = Arc::new(Mutex::new(Registry::new()));
+        let pool = ShardPool::new(
+            cfg.shards,
+            cfg.channel_capacity,
+            cfg.dedup_window_us,
+            cfg.decision_log_cap,
+            Arc::clone(&registry),
+            sink.clone(),
+        );
+        let shared = Arc::new(ReceiverShared {
+            registry: Arc::clone(&registry),
+            gw_ids: Mutex::new(HashMap::new()),
+            pull_routes: Mutex::new(HashMap::new()),
+            sink,
+            started: Instant::now(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut receivers = Vec::new();
+        for idx in 0..cfg.receivers.max(1) {
+            let rx_socket = socket.try_clone()?;
+            rx_socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+            let rx_shared = Arc::clone(&shared);
+            let rx_shutdown = Arc::clone(&shutdown);
+            let router = pool.router();
+            receivers.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-ingest-{idx}"))
+                    .spawn(move || receiver_loop(rx_socket, router, rx_shared, rx_shutdown))?,
+            );
+        }
+        let endpoint = HttpEndpoint::start(
+            cfg.metrics_bind,
+            Self::http_handler(Arc::clone(&registry), &pool),
+        )?;
+        Ok(NetServerDaemon {
+            addr,
+            endpoint,
+            pool: Some(pool),
+            registry,
+            shared,
+            socket,
+            window_us: cfg.dedup_window_us,
+            shutdown,
+            receivers,
+        })
+    }
+
+    fn http_handler(registry: Arc<Mutex<Registry>>, pool: &ShardPool) -> HttpHandler {
+        let decisions = pool.decision_handles();
+        let tracked = pool.tracked_handles();
+        Arc::new(move |path| match path {
+            "/metrics" => {
+                let mut text = registry.lock().render_prometheus();
+                let resident: u64 = tracked.iter().map(|t| t.load(Ordering::Relaxed)).sum();
+                text.push_str(&format!(
+                    "# TYPE dedup_tracked_records gauge\ndedup_tracked_records {resident}\n"
+                ));
+                Some(("text/plain; version=0.0.4", text.into_bytes()))
+            }
+            "/healthz" => Some(("text/plain", b"ok\n".to_vec())),
+            "/bench" => {
+                let reg = registry.lock();
+                let q = reg
+                    .histogram("ingest_latency_us")
+                    .map(LatencyQuantiles::of)
+                    .unwrap_or_default();
+                let body = format!(
+                    "{{\"ingest_latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \"pkts\": {}}}\n",
+                    q.p50,
+                    q.p95,
+                    q.p99,
+                    reg.counter("svc_pkts_total")
+                );
+                Some(("application/json", body.into_bytes()))
+            }
+            "/decisions" => {
+                let logs: Vec<Vec<crate::runtime::Decision>> =
+                    decisions.iter().map(|l| l.lock().clone()).collect();
+                Some(("text/plain", render_decisions(&logs)))
+            }
+            _ => None,
+        })
+    }
+
+    /// The UDP ingest address gateways should send to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics endpoint address.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.endpoint.addr()
+    }
+
+    /// Snapshot of every shard's decision log.
+    pub fn decisions(&self) -> Vec<Vec<crate::runtime::Decision>> {
+        self.pool.as_ref().expect("running").decisions()
+    }
+
+    /// Dedup counters summed across shards.
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.pool.as_ref().expect("running").dedup_stats()
+    }
+
+    /// (DevAddr, FCnt) records currently resident across shards.
+    pub fn tracked(&self) -> u64 {
+        self.pool.as_ref().expect("running").tracked()
+    }
+
+    /// Decisions lost to the log cap.
+    pub fn decisions_dropped(&self) -> u64 {
+        self.pool.as_ref().expect("running").decisions_dropped()
+    }
+
+    /// The dedup window the shards run.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Read one counter from the daemon registry.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.registry.lock().counter(name)
+    }
+
+    /// Clone of the ingest-latency histogram (empty if nothing was
+    /// ingested yet).
+    pub fn ingest_latency(&self) -> obs::Histogram {
+        self.registry
+            .lock()
+            .histogram("ingest_latency_us")
+            .cloned()
+            .unwrap_or_else(|| obs::Histogram::new(&crate::runtime::INGEST_LATENCY_BOUNDS_US))
+    }
+
+    /// Push a `PULL_RESP` downlink to a gateway that has sent
+    /// `PULL_DATA`. Returns `false` when the gateway never opened a
+    /// downlink route.
+    pub fn send_downlink(&self, eui: u64, token: u16, txpk: TxPacket) -> io::Result<bool> {
+        let route = self.shared.pull_routes.lock().get(&eui).copied();
+        match route {
+            Some(peer) => {
+                let wire = Datagram::PullResp { token, txpk }.encode();
+                self.socket.send_to(&wire, peer)?;
+                self.registry.lock().inc("svc_pull_resp_total", 1);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Stop the receivers, drain the shards and join everything.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.receivers.drain(..) {
+            let _ = t.join();
+        }
+        // Receivers (and their routers) are gone; close the shard
+        // queues and join the workers.
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+fn receiver_loop(
+    socket: UdpSocket,
+    router: ShardRouter,
+    shared: Arc<ReceiverShared>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut buf = [0u8; 65_536];
+    let mut rxs: Vec<FastRx> = Vec::with_capacity(128);
+    let mut scratch: Vec<u8> = Vec::with_capacity(256);
+    // Per-shard staging buffers, reused across datagrams.
+    let mut staged: Vec<Vec<PacketIn>> = (0..router.shard_count()).map(|_| Vec::new()).collect();
+    while !shutdown.load(Ordering::SeqCst) {
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let recv = Instant::now();
+        let datagram = &buf[..len];
+        match datagram.get(3) {
+            // PUSH_DATA: ack, parse, route.
+            Some(0x00) => {
+                rxs.clear();
+                match parse_push_data(datagram, &mut rxs, &mut scratch) {
+                    Ok(head) => {
+                        let ack = [datagram[0], datagram[1], datagram[2], 0x01];
+                        let _ = socket.send_to(&ack, peer);
+                        let gw = shared.gw_id(head.eui);
+                        let mut keyed = 0u64;
+                        let mut unkeyed = 0u64;
+                        let mut trace0 = 0u64;
+                        for rx in &rxs {
+                            match (rx.dev_addr, rx.fcnt) {
+                                (Some(dev), Some(fcnt)) => {
+                                    keyed += 1;
+                                    if trace0 == 0 {
+                                        trace0 = rx.trce;
+                                    }
+                                    staged[router.shard_of(dev)].push(PacketIn {
+                                        dev,
+                                        fcnt,
+                                        gw,
+                                        t_us: rx.tmst,
+                                        snr_db: rx.lsnr as f32,
+                                        trace: rx.trce,
+                                    });
+                                }
+                                _ => unkeyed += 1,
+                            }
+                        }
+                        for (shard, pkts) in staged.iter_mut().enumerate() {
+                            if !pkts.is_empty() {
+                                router.send(
+                                    shard,
+                                    Batch {
+                                        pkts: std::mem::take(pkts),
+                                        recv,
+                                    },
+                                );
+                            }
+                        }
+                        {
+                            let mut reg = shared.registry.lock();
+                            reg.inc("svc_datagrams_total", 1);
+                            reg.inc("svc_pkts_total", keyed);
+                            if unkeyed > 0 {
+                                reg.inc("svc_pkts_unkeyed_total", unkeyed);
+                            }
+                            reg.inc("svc_push_ack_total", 1);
+                        }
+                        shared.emit(ObsEvent::SvcIngest {
+                            wall_us: shared.wall_us(),
+                            trace: trace0,
+                            gw: head.eui,
+                            pkts: rxs.len() as u32,
+                        });
+                    }
+                    Err(_) => {
+                        shared.registry.lock().inc("svc_malformed_total", 1);
+                    }
+                }
+            }
+            // PULL_DATA: ack and record the downlink route.
+            Some(0x02) if len >= 12 => {
+                let eui = u64::from_be_bytes(buf[4..12].try_into().expect("len checked"));
+                let first = shared.pull_routes.lock().insert(eui, peer).is_none();
+                let ack = [datagram[0], datagram[1], datagram[2], 0x04];
+                let _ = socket.send_to(&ack, peer);
+                let mut reg = shared.registry.lock();
+                reg.inc("svc_pull_data_total", 1);
+                drop(reg);
+                if first {
+                    shared.registry.lock().inc("svc_gateways_seen", 1);
+                    shared.emit(ObsEvent::SvcAccept {
+                        wall_us: shared.wall_us(),
+                        conn: SvcConn::Udp,
+                        peer: eui,
+                    });
+                }
+            }
+            // TX_ACK: downlink confirmed by the gateway.
+            Some(0x05) => {
+                shared.registry.lock().inc("svc_tx_ack_total", 1);
+            }
+            _ => {
+                shared.registry.lock().inc("svc_malformed_total", 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The versioned `BENCH_service.json` artifact.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "mode": "soak",
+//!   "sustained_pps": 612345.6,
+//!   "sent_pkts": 1500000, "ingested_pkts": 1498000,
+//!   "sent_datagrams": 23438, "acked_datagrams": 23410,
+//!   "ingest_latency_us": {"p50": 100, "p95": 500, "p99": 2500},
+//!   "ack_rtt_us": {"p50": 250, "p95": 1000, "p99": 2500},
+//!   "plan_serve_latency_us": {"p50": 100, "p95": 250, "p99": 500},
+//!   "plan_fetches": 12, "plan_cached": 0,
+//!   "dedup": {"new": 500000, "duplicate": 990000, "late": 8000},
+//!   "decision_divergence": 0
+//! }
+//! ```
+//!
+//! Consumers (the CI `service-smoke` job, plotting scripts) must accept
+//! unknown additional keys but can rely on every key above existing for
+//! `schema_version == 1`.
+
+use obs::Histogram;
+
+/// Bump when a key above changes meaning or disappears.
+pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 1;
+
+/// p50/p95/p99 snapshot of a histogram (µs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyQuantiles {
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl LatencyQuantiles {
+    /// Snapshot a histogram's quantiles; all-zero with no samples.
+    pub fn of(h: &Histogram) -> LatencyQuantiles {
+        LatencyQuantiles {
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            self.p50, self.p95, self.p99
+        )
+    }
+}
+
+/// Everything the service bench artifact records.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBench {
+    /// `"soak"`, `"smoke"`, `"chaos"` — which harness produced this.
+    pub mode: String,
+    /// Packets the daemon ingested per wall-clock second, measured
+    /// over the window from first to last ingest.
+    pub sustained_pps: f64,
+    pub sent_pkts: u64,
+    pub ingested_pkts: u64,
+    pub sent_datagrams: u64,
+    pub acked_datagrams: u64,
+    pub ingest_latency_us: LatencyQuantiles,
+    pub ack_rtt_us: LatencyQuantiles,
+    pub plan_serve_latency_us: LatencyQuantiles,
+    pub plan_fetches: u64,
+    pub plan_cached: u64,
+    pub dedup_new: u64,
+    pub dedup_duplicate: u64,
+    pub dedup_late: u64,
+    /// Logged decisions whose outcome differed from the in-process
+    /// replay — must be 0.
+    pub decision_divergence: u64,
+}
+
+impl ServiceBench {
+    /// Render the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema_version\": {},\n",
+                "  \"mode\": \"{}\",\n",
+                "  \"sustained_pps\": {:.1},\n",
+                "  \"sent_pkts\": {},\n",
+                "  \"ingested_pkts\": {},\n",
+                "  \"sent_datagrams\": {},\n",
+                "  \"acked_datagrams\": {},\n",
+                "  \"ingest_latency_us\": {},\n",
+                "  \"ack_rtt_us\": {},\n",
+                "  \"plan_serve_latency_us\": {},\n",
+                "  \"plan_fetches\": {},\n",
+                "  \"plan_cached\": {},\n",
+                "  \"dedup\": {{\"new\": {}, \"duplicate\": {}, \"late\": {}}},\n",
+                "  \"decision_divergence\": {}\n",
+                "}}\n"
+            ),
+            BENCH_SERVICE_SCHEMA_VERSION,
+            self.mode,
+            self.sustained_pps,
+            self.sent_pkts,
+            self.ingested_pkts,
+            self.sent_datagrams,
+            self.acked_datagrams,
+            self.ingest_latency_us.json(),
+            self.ack_rtt_us.json(),
+            self.plan_serve_latency_us.json(),
+            self.plan_fetches,
+            self.plan_cached,
+            self.dedup_new,
+            self.dedup_duplicate,
+            self.dedup_late,
+            self.decision_divergence,
+        )
+    }
+
+    /// Write `BENCH_service.json` through the bench harness's artifact
+    /// sink (lands under `results/out/` outside an obs session).
+    pub fn write(&self) -> Option<std::path::PathBuf> {
+        bench::obs_session::write_bench_artifact("BENCH_service.json", &self.to_json())
+    }
+}
+
+/// Render one histogram in the Prometheus text exposition format —
+/// the same shape [`obs::Registry::render_prometheus`] emits, for
+/// histograms kept outside a registry (e.g. the load generator's
+/// client-side ACK RTT).
+pub fn render_histogram_prom(name: &str, h: &Histogram, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in h.counts().iter().enumerate() {
+        cum += c;
+        match h.bounds().get(i) {
+            Some(b) => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.total());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_every_versioned_key() {
+        let bench = ServiceBench {
+            mode: "smoke".into(),
+            sustained_pps: 1234.5,
+            sent_pkts: 10,
+            ..ServiceBench::default()
+        };
+        let json = bench.to_json();
+        for key in [
+            "schema_version",
+            "mode",
+            "sustained_pps",
+            "sent_pkts",
+            "ingested_pkts",
+            "sent_datagrams",
+            "acked_datagrams",
+            "ingest_latency_us",
+            "ack_rtt_us",
+            "plan_serve_latency_us",
+            "plan_fetches",
+            "plan_cached",
+            "dedup",
+            "decision_divergence",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
+        }
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"sustained_pps\": 1234.5"));
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let json = ServiceBench::default().to_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let obj = v.as_object().expect("top-level object");
+        assert!(matches!(
+            serde::field(obj, "schema_version"),
+            serde::Value::U64(v) if *v == BENCH_SERVICE_SCHEMA_VERSION as u64
+        ));
+        let dedup = serde::field(obj, "dedup")
+            .as_object()
+            .expect("dedup object");
+        assert!(!serde::field(dedup, "new").is_null());
+    }
+
+    #[test]
+    fn quantiles_snapshot() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1u64, 2, 3, 50] {
+            h.observe(v);
+        }
+        let q = LatencyQuantiles::of(&h);
+        assert_eq!(q.p50, 10);
+        assert_eq!(q.p99, 50);
+    }
+
+    #[test]
+    fn prom_rendering_matches_registry_shape() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(5);
+        h.observe(50);
+        let mut out = String::new();
+        render_histogram_prom("x_us", &h, &mut out);
+        let mut reg = obs::Registry::new();
+        reg.observe("x_us", &[10], 5);
+        reg.observe("x_us", &[10], 50);
+        assert_eq!(out, reg.render_prometheus());
+    }
+}

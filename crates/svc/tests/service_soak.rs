@@ -1,0 +1,140 @@
+//! Loopback soak: drive `netserverd` unpaced from the load generator
+//! and hold the service-plane contract under volume — every packet
+//! ingested, the shard-merged dedup decision stream byte-identical to
+//! an in-process replay, daemon memory bounded.
+//!
+//! Debug builds run a small fleet and check the invariants only; the
+//! throughput floor is asserted in release builds, where the soak sends
+//! on the order of a million packets and requires a sustained daemon
+//! ingest rate of `ALPHAWAN_SOAK_MIN_PPS` (default 500 000) pkts/sec.
+
+use svc::{
+    render_decisions, replay_decisions, replay_divergence, LoadgenConfig, NetServerConfig,
+    NetServerDaemon, ServiceBench,
+};
+
+#[cfg(debug_assertions)]
+const TARGET_PKTS: u64 = 20_000;
+#[cfg(not(debug_assertions))]
+const TARGET_PKTS: u64 = 1_500_000;
+
+fn soak_min_pps() -> f64 {
+    std::env::var("ALPHAWAN_SOAK_MIN_PPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500_000.0)
+}
+
+#[test]
+fn loopback_soak_holds_rate_and_equivalence() {
+    let cfg = NetServerConfig {
+        shards: 2,
+        channel_capacity: 512,
+        decision_log_cap: (TARGET_PKTS as usize) + 1024,
+        ..NetServerConfig::default()
+    };
+    let daemon = NetServerDaemon::start(cfg, None).unwrap();
+
+    let mut load = LoadgenConfig {
+        server: daemon.addr(),
+        devices: 64,
+        gateways: 4,
+        replicas: 8,
+        batch: 64,
+        target_pps: None, // unpaced: as fast as the loopback takes them
+        ..LoadgenConfig::default()
+    };
+    let fleet = svc::loadgen::build_fleet(&load, daemon.window_us()).unwrap();
+    let per_epoch = fleet.pkts_per_epoch();
+    assert!(per_epoch > 0);
+    load.epochs = (TARGET_PKTS.div_ceil(per_epoch) as usize).min(fleet.max_epochs());
+    let report = svc::loadgen::run_stream(&load, fleet).unwrap();
+    assert!(
+        report.sent_pkts >= TARGET_PKTS.min(per_epoch * report.epochs_run as u64),
+        "{report:?}"
+    );
+
+    // Loopback with blocking backpressure: nothing may be lost. The
+    // last batches can still be in flight through the shard queues
+    // when the generator returns, so poll the ingest counter.
+    let mut ingested = daemon.counter("svc_pkts_total");
+    for _ in 0..2_000 {
+        if ingested == report.sent_pkts {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        ingested = daemon.counter("svc_pkts_total");
+    }
+    assert_eq!(ingested, report.sent_pkts, "daemon dropped packets");
+    assert_eq!(
+        daemon.decisions_dropped(),
+        0,
+        "decision log capacity undersized for the soak"
+    );
+
+    // Bounded memory: the dedup map tracks at most one window's worth
+    // of live frames, far below the total offered.
+    let tracked = daemon.tracked();
+    assert!(
+        tracked <= load.devices as u64 * load.replicas as u64 * 4,
+        "dedup map grew unboundedly: {tracked} records"
+    );
+
+    // Shard-merged decisions replay byte-identically in-process.
+    let logs = daemon.decisions();
+    let decided: u64 = logs.iter().map(|l| l.len() as u64).sum();
+    assert_eq!(decided, report.sent_pkts);
+    assert_eq!(replay_divergence(&logs, daemon.window_us()), 0);
+    assert_eq!(
+        render_decisions(&replay_decisions(&logs, daemon.window_us())),
+        render_decisions(&logs),
+        "replayed decision stream must be byte-identical"
+    );
+
+    let elapsed = report.elapsed.as_secs_f64().max(1e-9);
+    let pps = ingested as f64 / elapsed;
+    let stats = daemon.dedup_stats();
+    eprintln!(
+        "soak: {ingested} pkts in {elapsed:.3}s = {pps:.0} pkts/sec \
+         (new {}, dup {}, late {}, tracked {tracked})",
+        stats.new, stats.duplicate, stats.late
+    );
+
+    let quantiles = svc::LatencyQuantiles::of(&daemon.ingest_latency());
+    let bench = ServiceBench {
+        mode: if cfg!(debug_assertions) {
+            "soak-debug".into()
+        } else {
+            "soak".into()
+        },
+        sustained_pps: pps,
+        sent_pkts: report.sent_pkts,
+        ingested_pkts: ingested,
+        sent_datagrams: report.sent_datagrams,
+        acked_datagrams: report.acks,
+        ingest_latency_us: quantiles,
+        ack_rtt_us: svc::LatencyQuantiles::of(&report.ack_rtt),
+        plan_serve_latency_us: svc::LatencyQuantiles::default(),
+        plan_fetches: 0,
+        plan_cached: 0,
+        dedup_new: stats.new,
+        dedup_duplicate: stats.duplicate,
+        dedup_late: stats.late,
+        decision_divergence: 0,
+    };
+    if let Some(path) = bench.write() {
+        eprintln!("soak: wrote {}", path.display());
+    }
+
+    // The throughput floor only means something with optimizations on.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        pps >= soak_min_pps(),
+        "sustained ingest {pps:.0} pkts/sec below the {:.0} floor",
+        soak_min_pps()
+    );
+    #[cfg(debug_assertions)]
+    let _ = soak_min_pps;
+
+    daemon.shutdown();
+}

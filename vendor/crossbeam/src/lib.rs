@@ -1,18 +1,26 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! The workspace only uses `crossbeam::channel::{unbounded, Sender,
-//! Receiver, TryRecvError}` (plus `Receiver::recv_timeout`), all of
-//! which `std::sync::mpsc` provides with compatible semantics for
-//! single-consumer use. Note the std `Sender` is what crossbeam's is:
-//! cloneable; the std `Receiver` is not cloneable, which this
-//! workspace never relies on.
+//! The workspace only uses `crossbeam::channel::{unbounded, bounded,
+//! Sender, Receiver, TryRecvError, TrySendError}` (plus
+//! `Receiver::recv_timeout`), all of which `std::sync::mpsc` provides
+//! with compatible semantics for single-consumer use. Note the std
+//! `Sender`/`SyncSender` are what crossbeam's is: cloneable; the std
+//! `Receiver` is not cloneable, which this workspace never relies on.
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError, TrySendError,
+    };
 
     /// Create an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Create a bounded MPSC channel holding at most `cap` messages;
+    /// `send` blocks (backpressure) and `try_send` fails once full.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
@@ -38,5 +46,25 @@ mod tests {
     fn recv_timeout_elapses() {
         let (_tx, rx) = channel::unbounded::<u32>();
         assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_fills_up() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap(), 3);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(channel::TryRecvError::Disconnected)
+        ));
     }
 }
