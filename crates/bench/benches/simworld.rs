@@ -1,21 +1,33 @@
-//! End-to-end simulation-core scaling: indexed hot path vs the seed
-//! revision's event loop.
+//! End-to-end simulation-core scaling: reference loop vs indexed hot
+//! path vs the sharded/streamed engine.
 //!
 //! Builds identical worlds (heterogeneous gateway listening sets over a
-//! US915-scale 64-channel band, duty-cycled traffic) at 144 / 10k /
-//! 100k nodes and
-//! runs the same plan through both `SimWorld::run_with_faults` (the
-//! indexed core: link-gain tables, channel→candidate-gateway cull,
-//! per-channel on-air buckets, reusable arenas) and
-//! `sim::reference::run_with_faults_reference` (a verbatim replica of
-//! the pre-indexing loop). Asserts the two produce record-for-record
-//! identical output and identical gateway stats — the bench doubles as
-//! an at-scale equivalence check — then writes the machine-readable
-//! `BENCH_sim.json` artifact through the obs session writer (falling
-//! back to `results/out/` when no `--obs-out` session is active).
+//! US915-scale 64-channel band, duty-cycled traffic) and runs the same
+//! workload through up to three paths:
 //!
-//! Pass `--quick` (or set `ALPHAWAN_BENCH_QUICK=1`) to run only the
-//! 144-node point — the CI perf-smoke configuration.
+//! * `sim::reference::run_with_faults_reference` — a verbatim replica
+//!   of the pre-indexing event loop (the PR-5 baseline);
+//! * `SimWorld::run_with_faults` — the indexed monolithic core;
+//! * `SimWorld::run_sharded` / `run_streamed` — the channel-sharded
+//!   engine (`sim::shard`) with compact per-shard link tables, slot
+//!   recycling and chunked workload feeding.
+//!
+//! **Exact points** (144 / 10k / 100k nodes) assert all paths produce
+//! record-for-record identical output and identical gateway stats
+//! before timing anything. The **streamed point** (1M nodes) cannot
+//! afford per-packet records, so it runs the workload twice — N shards
+//! and 1 shard — and applies the statistical-equivalence gate
+//! (`RunSummary::statistically_equivalent`): the two aggregate
+//! summaries must agree exactly, because shard count is proven not to
+//! change results at small scale (see `docs/SCALING.md`).
+//!
+//! Writes the machine-readable `BENCH_sim.json` artifact
+//! (`schema_version: 2`) through the obs session writer, falling back
+//! to `results/out/` when no `--obs-out` session is active.
+//!
+//! Pass `--quick` (or set `ALPHAWAN_BENCH_QUICK=1`) for the CI
+//! perf-smoke configuration: the 144-node exact point plus a
+//! short-horizon 1M-node streamed point.
 
 use gateway::config::GatewayConfig;
 use gateway::profile::GatewayProfile;
@@ -25,14 +37,19 @@ use lora_phy::pathloss::PathLossModel;
 use lora_phy::types::DataRate;
 use serde::{Deserialize, Serialize};
 use sim::faults::NoFaults;
+use sim::shard::ShardOpts;
 use sim::topology::Topology;
-use sim::traffic::{duty_cycled, TxPlan};
+use sim::traffic::{duty_cycled, DutyCycleStream, TxPlan};
 use sim::world::SimWorld;
 use std::time::Instant;
 
 /// The paper's experiment payload: 10 app bytes + 13 LoRaWAN framing.
 const PAYLOAD_LEN: usize = 23;
 const DUTY: f64 = 0.01;
+
+/// Shard ceiling for the sharded paths: the band has 8 gateway-covered
+/// sub-band components at most, so 8 is "as sharded as it gets".
+const MAX_SHARDS: usize = 8;
 
 /// A US915-scale uplink band: 64 disjoint 125 kHz channels in 8
 /// sub-bands of 8 (12.8 MHz at the standard 200 kHz spacing).
@@ -50,8 +67,9 @@ fn covered_subbands(gws: usize) -> usize {
 /// sets: the fleet is split into contiguous groups, one per covered
 /// sub-band, and each gateway listens to its group's 8-channel block.
 /// Only that block's gateways are candidates for any one transmission —
-/// the regime the channel→gateway index targets (and what Strategy ②
-/// deployments over wide spectrum look like in the paper).
+/// the regime the channel→gateway index targets, and exactly the
+/// structure the shard partition exploits (each sub-band block is an
+/// independent component).
 fn build_world(nodes: usize, gws: usize, seed: u64) -> SimWorld {
     let chans = band();
     let model = PathLossModel {
@@ -80,12 +98,12 @@ fn build_world(nodes: usize, gws: usize, seed: u64) -> SimWorld {
     SimWorld::new(topo, vec![1; nodes], gateways)
 }
 
-/// Duty-cycled workload over the covered spectrum with a mixed DR
-/// population.
-fn workload(nodes: usize, gws: usize, horizon_us: u64, seed: u64) -> Vec<TxPlan> {
+/// Channel/DR assignment over the covered spectrum with a mixed DR
+/// population (shared by the materialized and streamed workloads).
+fn assignments(nodes: usize, gws: usize) -> Vec<(usize, Channel, DataRate)> {
     let chans = band();
     let n_cov = covered_subbands(gws) * 8;
-    let assigns: Vec<(usize, Channel, DataRate)> = (0..nodes)
+    (0..nodes)
         .map(|i| {
             (
                 i,
@@ -93,59 +111,122 @@ fn workload(nodes: usize, gws: usize, horizon_us: u64, seed: u64) -> Vec<TxPlan>
                 DataRate::from_index((i / n_cov) % 6).unwrap(),
             )
         })
-        .collect();
-    duty_cycled(&assigns, PAYLOAD_LEN, DUTY, horizon_us, seed ^ 0xF00D)
+        .collect()
 }
 
-/// One (nodes, gateways) measurement point.
+/// Duty-cycled materialized workload for the exact points.
+fn workload(nodes: usize, gws: usize, horizon_us: u64, seed: u64) -> Vec<TxPlan> {
+    duty_cycled(
+        &assignments(nodes, gws),
+        PAYLOAD_LEN,
+        DUTY,
+        horizon_us,
+        seed ^ 0xF00D,
+    )
+}
+
+/// Process peak resident set (VmHWM), MB; 0.0 if unreadable (non-Linux).
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<f64>().ok())
+            })
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// One (nodes, gateways) measurement point of `BENCH_sim.json`
+/// (schema v2; see `docs/SCALING.md` for the field-by-field contract).
 #[derive(Debug, Serialize, Deserialize)]
 struct ScalePoint {
     nodes: usize,
     gateways: usize,
+    /// `"exact"`: all paths run and are asserted record-identical.
+    /// `"streamed"`: aggregate-only, gated statistically.
+    mode: String,
     txs: u64,
-    /// Events processed by the indexed core (3 × txs).
+    /// Events processed (3 × txs).
     events: u64,
+    /// Shards the partition actually produced (≤ `MAX_SHARDS`).
+    shards: u32,
+    /// Cores the shard threads could occupy: min(shards, host cores).
+    workers: u32,
     /// Fraction of the (tx, gateway) product the lock-on loop visited.
     candidate_cull_ratio: f64,
-    /// Verbatim replica of the seed revision's event loop.
-    reference_secs: f64,
-    /// Indexed core.
-    fast_secs: f64,
-    /// Wall-clock speedup of the indexed core over the reference.
-    speedup: f64,
-    /// Indexed-core event throughput.
-    events_per_sec: f64,
+    /// Verbatim replica of the seed revision's event loop (exact mode).
+    reference_secs: Option<f64>,
+    /// Indexed monolithic core (exact mode).
+    fast_secs: Option<f64>,
+    /// Sharded engine (exact mode: `run_sharded`; streamed mode:
+    /// `run_streamed` over a `DutyCycleStream`).
+    sharded_secs: f64,
+    /// Wall-clock speedup, reference / indexed (exact mode).
+    speedup: Option<f64>,
+    /// Indexed-core event throughput (exact mode).
+    events_per_sec: Option<f64>,
+    /// Sharded-engine event throughput.
+    sharded_events_per_sec: f64,
+    /// Sharded throughput normalized by `workers` — the scaling curve's
+    /// y-axis, comparable across hosts.
+    per_core_events_per_sec: f64,
+    /// Max over shards of peak simultaneously-live transmission slots
+    /// (the streamed working-set ceiling).
+    peak_live: u64,
+    /// Process peak RSS after this point, MB (Linux VmHWM; cumulative
+    /// across points, so read the first streamed point's value).
+    peak_rss_mb: f64,
+    /// Exact mode: sharded records and gateway stats matched the
+    /// monolithic run bit for bit.
+    records_identical: Option<bool>,
+    /// Streamed mode: the N-shard vs 1-shard statistical gate passed.
+    stat_gate_ok: Option<bool>,
+    /// Streamed mode: largest per-network PDR gap across the two runs.
+    stat_pdr_gap: Option<f64>,
+    /// Streamed mode: total-variation distance between the outcome
+    /// distributions of the two runs.
+    stat_tv_distance: Option<f64>,
 }
 
 /// The `BENCH_sim.json` schema.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     bench: String,
+    schema_version: u32,
     quick: bool,
     scales: Vec<ScalePoint>,
 }
 
 /// Repetitions per path; each point reports the best run, which damps
 /// scheduler noise (shared CI boxes see heavy CPU steal) and lets the
-/// indexed core's reusable arenas show their steady state. Reps of the
-/// two paths are interleaved so a sustained load epoch inflates both
-/// rather than whichever happened to run during it; the first rep still
-/// pays context-build and arena growth for both paths equally (both
-/// worlds start cold).
+/// reusable arenas show their steady state. Reps of the paths are
+/// interleaved so a sustained load epoch inflates all of them rather
+/// than whichever happened to run during it.
 const REPS: usize = 5;
 
-fn measure(nodes: usize, gws: usize, horizon_us: u64) -> ScalePoint {
+/// An exact point: reference, indexed and sharded paths over the same
+/// materialized plan list, asserted identical, then timed.
+fn measure_exact(nodes: usize, gws: usize, horizon_us: u64) -> ScalePoint {
     let seed = 550_000 + nodes as u64;
     let plans = workload(nodes, gws, horizon_us, seed);
+    let opts = ShardOpts {
+        max_shards: MAX_SHARDS,
+        ..ShardOpts::default()
+    };
 
-    // Seed-revision replica and indexed core, each on its own
-    // (identically built) world.
     let mut w_ref = build_world(nodes, gws, seed);
     let mut w_fast = build_world(nodes, gws, seed);
+    let mut w_shard = build_world(nodes, gws, seed);
     let mut reference_secs = f64::INFINITY;
     let mut fast_secs = f64::INFINITY;
+    let mut sharded_secs = f64::INFINITY;
     let mut recs_ref = Vec::new();
     let mut recs_fast = Vec::new();
+    let mut recs_shard = Vec::new();
     for _ in 0..REPS {
         w_ref.reset();
         let t0 = Instant::now();
@@ -156,34 +237,174 @@ fn measure(nodes: usize, gws: usize, horizon_us: u64) -> ScalePoint {
         let t0 = Instant::now();
         recs_fast = w_fast.run_with_faults(&plans, &NoFaults);
         fast_secs = fast_secs.min(t0.elapsed().as_secs_f64());
+
+        w_shard.reset();
+        let t0 = Instant::now();
+        recs_shard = w_shard.run_sharded(&plans, &opts);
+        sharded_secs = sharded_secs.min(t0.elapsed().as_secs_f64());
     }
 
     assert_eq!(
         recs_fast, recs_ref,
         "indexed core must be record-for-record identical to the reference"
     );
+    assert_eq!(
+        recs_shard, recs_ref,
+        "sharded engine must be record-for-record identical to the reference"
+    );
     for (a, b) in w_fast.gateways.iter().zip(&w_ref.gateways) {
         assert_eq!(a.stats(), b.stats(), "gateway stats must match");
     }
+    for (a, b) in w_shard.gateways.iter().zip(&w_ref.gateways) {
+        assert_eq!(a.stats(), b.stats(), "sharded gateway stats must match");
+    }
 
-    let stats = w_fast.last_run_stats().expect("run recorded stats");
+    let stats = w_shard.last_run_stats().expect("run recorded stats");
+    let shard_stats = w_shard
+        .last_shard_stats()
+        .expect("sharded run recorded per-shard stats")
+        .to_vec();
     if bench::obs_session::active() {
         bench::obs_session::record_event(&stats.to_event(0));
+        for s in &shard_stats {
+            bench::obs_session::record_event(&s.to_event(0));
+        }
     }
+    let workers = (shard_stats.len())
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .max(1);
     let point = ScalePoint {
         nodes,
         gateways: gws,
+        mode: "exact".to_string(),
         txs: stats.txs,
         events: stats.events,
+        shards: shard_stats.len() as u32,
+        workers: workers as u32,
         candidate_cull_ratio: stats.cull_ratio(),
-        reference_secs,
-        fast_secs,
-        speedup: reference_secs / fast_secs.max(1e-12),
-        events_per_sec: stats.events as f64 / fast_secs.max(1e-12),
+        reference_secs: Some(reference_secs),
+        fast_secs: Some(fast_secs),
+        sharded_secs,
+        speedup: Some(reference_secs / fast_secs.max(1e-12)),
+        events_per_sec: Some(stats.events as f64 / fast_secs.max(1e-12)),
+        sharded_events_per_sec: stats.events as f64 / sharded_secs.max(1e-12),
+        per_core_events_per_sec: stats.events as f64 / sharded_secs.max(1e-12) / workers as f64,
+        peak_live: shard_stats.iter().map(|s| s.peak_live).max().unwrap_or(0),
+        peak_rss_mb: peak_rss_mb(),
+        records_identical: Some(true),
+        stat_gate_ok: None,
+        stat_pdr_gap: None,
+        stat_tv_distance: None,
     };
     println!(
-        "bench simworld/{nodes}n_{gws}gw   reference {:>8.3}s  fast {:>8.3}s  speedup {:>6.1}x  cull {:>5.3}",
-        point.reference_secs, point.fast_secs, point.speedup, point.candidate_cull_ratio
+        "bench simworld/{nodes}n_{gws}gw   reference {:>8.3}s  fast {:>8.3}s  sharded {:>8.3}s ({} shards)  speedup {:>6.1}x  cull {:>5.3}",
+        reference_secs, fast_secs, sharded_secs, point.shards, point.speedup.unwrap(), point.candidate_cull_ratio
+    );
+    point
+}
+
+/// The streamed point: the workload is generated chunk by chunk and
+/// never materialized, per-packet records are never kept, and N-shard
+/// vs 1-shard aggregate summaries pass the statistical gate.
+fn measure_streamed(nodes: usize, gws: usize, horizon_us: u64) -> ScalePoint {
+    let seed = 770_000 + nodes as u64;
+    let assigns = assignments(nodes, gws);
+    let chunk_us = 500_000;
+    let mut world = build_world(nodes, gws, seed);
+
+    let run_once = |world: &mut SimWorld, max_shards: usize| {
+        let mut stream = DutyCycleStream::new(
+            &assigns,
+            PAYLOAD_LEN,
+            DUTY,
+            horizon_us,
+            seed ^ 0xF00D,
+            chunk_us,
+        );
+        let opts = ShardOpts {
+            max_shards,
+            ..ShardOpts::default()
+        };
+        let t0 = Instant::now();
+        let run = world.run_streamed(&mut stream, &opts);
+        (run, t0.elapsed().as_secs_f64())
+    };
+
+    let (run_n, sharded_secs) = run_once(&mut world, MAX_SHARDS);
+    world.reset();
+    let (run_1, _) = run_once(&mut world, 1);
+
+    // The statistical-equivalence gate. Shard count provably does not
+    // change results (exact points + the workspace proptest), so the
+    // summaries must agree *exactly*; any gap at all means scale broke
+    // something the small-scale proofs cannot see.
+    let gate = run_n
+        .summary
+        .statistically_equivalent(&run_1.summary, 1e-9, 1e-9);
+    let pdr_gap = run_n.summary.pdr_gap(&run_1.summary);
+    let tv = run_n.summary.loss_tv_distance(&run_1.summary);
+    assert!(
+        gate.is_ok(),
+        "1M statistical gate failed: {}",
+        gate.as_ref().err().cloned().unwrap_or_default()
+    );
+
+    let stats = run_n.stats;
+    if bench::obs_session::active() {
+        bench::obs_session::record_event(&stats.to_event(0));
+        for s in &run_n.shard_stats {
+            bench::obs_session::record_event(&s.to_event(0));
+        }
+    }
+    let workers = (run_n.shard_stats.len())
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .max(1);
+    let point = ScalePoint {
+        nodes,
+        gateways: gws,
+        mode: "streamed".to_string(),
+        txs: stats.txs,
+        events: stats.events,
+        shards: run_n.shard_stats.len() as u32,
+        workers: workers as u32,
+        candidate_cull_ratio: stats.cull_ratio(),
+        reference_secs: None,
+        fast_secs: None,
+        sharded_secs,
+        speedup: None,
+        events_per_sec: None,
+        sharded_events_per_sec: stats.events as f64 / sharded_secs.max(1e-12),
+        per_core_events_per_sec: stats.events as f64 / sharded_secs.max(1e-12) / workers as f64,
+        peak_live: run_n
+            .shard_stats
+            .iter()
+            .map(|s| s.peak_live)
+            .max()
+            .unwrap_or(0),
+        peak_rss_mb: peak_rss_mb(),
+        records_identical: None,
+        stat_gate_ok: Some(true),
+        stat_pdr_gap: Some(pdr_gap),
+        stat_tv_distance: Some(tv),
+    };
+    println!(
+        "bench simworld/{nodes}n_{gws}gw   streamed {:>8.3}s ({} shards, {} txs)  {:>10.0} ev/s  peak_live {}  rss {:.0} MB  gate ok (pdr gap {:.2e}, tv {:.2e})",
+        sharded_secs,
+        point.shards,
+        point.txs,
+        point.sharded_events_per_sec,
+        point.peak_live,
+        point.peak_rss_mb,
+        pdr_gap,
+        tv
     );
     point
 }
@@ -191,9 +412,11 @@ fn measure(nodes: usize, gws: usize, horizon_us: u64) -> ScalePoint {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var_os("ALPHAWAN_BENCH_QUICK").is_some();
-    // (nodes, gateways, horizon): the 100k point shortens the window so
-    // the reference replica finishes in reasonable wall time.
-    let scales: &[(usize, usize, u64)] = if quick {
+    // (nodes, gateways, horizon) per mode. Exact points shorten the
+    // window as nodes grow so the reference replica finishes in
+    // reasonable wall time; the streamed point keeps a short horizon
+    // because its txs count scales with nodes × horizon.
+    let exact: &[(usize, usize, u64)] = if quick {
         &[(144, 3, 60_000_000)]
     } else {
         &[
@@ -202,11 +425,23 @@ fn main() {
             (100_000, 64, 10_000_000),
         ]
     };
+    let streamed: &[(usize, usize, u64)] = if quick {
+        &[(1_000_000, 64, 2_000_000)]
+    } else {
+        &[(1_000_000, 64, 10_000_000)]
+    };
+
+    let mut scales: Vec<ScalePoint> = exact
+        .iter()
+        .map(|&(n, g, h)| measure_exact(n, g, h))
+        .collect();
+    scales.extend(streamed.iter().map(|&(n, g, h)| measure_streamed(n, g, h)));
 
     let report = BenchReport {
         bench: "sim".to_string(),
+        schema_version: 2,
         quick,
-        scales: scales.iter().map(|&(n, g, h)| measure(n, g, h)).collect(),
+        scales,
     };
 
     let json = serde_json::to_string(&report).expect("bench report serializes");
@@ -217,10 +452,17 @@ fn main() {
     let back: BenchReport =
         serde_json::from_str(&std::fs::read_to_string(&path).expect("artifact readable"))
             .expect("BENCH_sim.json parses");
-    assert_eq!(back.scales.len(), scales.len());
+    assert_eq!(back.schema_version, 2);
+    assert_eq!(back.scales.len(), exact.len() + streamed.len());
     assert!(
-        back.scales.iter().all(|s| s.speedup > 0.0 && s.txs > 0),
-        "speedup and workload must be measured"
+        back.scales
+            .iter()
+            .all(|s| s.sharded_events_per_sec > 0.0 && s.txs > 0 && s.shards > 0),
+        "sharded throughput and workload must be measured"
+    );
+    assert!(
+        back.scales.iter().any(|s| s.mode == "streamed"),
+        "the streamed point must be present"
     );
     println!("wrote {}", path.display());
 }

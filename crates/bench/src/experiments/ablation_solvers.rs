@@ -22,6 +22,8 @@ use std::time::Instant;
 const USERS: usize = 144;
 const GWS: usize = 9;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     solver_comparison();
     seeding_ablation();

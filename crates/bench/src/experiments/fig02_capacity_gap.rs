@@ -9,6 +9,8 @@ use crate::experiments::{band_channels, probe_capacity};
 use crate::report::Table;
 use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder};
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     part_a();
     part_b();

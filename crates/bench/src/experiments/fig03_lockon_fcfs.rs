@@ -15,6 +15,8 @@ use lora_phy::types::DataRate;
 use sim::traffic::{concurrent_burst, BurstScheme};
 use sim::world::SimWorld;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     parts_ab();
     part_c();

@@ -18,6 +18,8 @@ use sim::metrics::RunMetrics;
 
 const HORIZON_US: u64 = 60_000_000; // 60 s of 1% duty traffic
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     part_a();
     part_b();

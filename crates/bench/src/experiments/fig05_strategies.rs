@@ -11,6 +11,8 @@ use crate::scenario::{balanced_orthogonal_assignments, NetworkSpec, WorldBuilder
 use alphawan::strategy::{strategy1_fewer_channels, strategy2_heterogeneous};
 use lora_phy::channel::Channel;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     part_a();
     part_b();

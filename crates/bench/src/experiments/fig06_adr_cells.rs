@@ -11,6 +11,8 @@ use crate::scenario::{adr_data_rate, NetworkSpec, WorldBuilder};
 use lora_phy::snr::demod_snr_floor_db;
 use lora_phy::types::{DataRate, TxPowerDbm};
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let channels = band_channels(4_800_000);
     // Dense deployment: 16 gateways over the full 2.1 km × 1.6 km

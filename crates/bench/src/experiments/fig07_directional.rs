@@ -8,6 +8,8 @@ use lora_phy::antenna::DirectionalAntenna;
 use lora_phy::snr::sensitivity_dbm;
 use lora_phy::types::{Bandwidth, SpreadingFactor};
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let antenna = DirectionalAntenna::default();
     // A node 600 m away at 14 dBm through the default urban model.

@@ -18,6 +18,8 @@ use sim::traffic::TxPlan;
 
 const TRIALS: usize = 200;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let victim_ch = Channel::khz125(BAND_LOW_HZ + 100_000);
     let mut t = Table::new(

@@ -17,6 +17,8 @@ use baselines::standard::standard_gateway_configs;
 const USERS: usize = 144;
 const SPECTRUM: u32 = 4_800_000;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let channels = band_channels(SPECTRUM);
     let mut t = Table::new(

@@ -15,6 +15,8 @@ use baselines::standard::standard_gateway_configs;
 
 const GWS: usize = 15;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut t = Table::new(
         "Fig 12b — capacity vs spectrum (15 GWs); per-MHz in parentheses",

@@ -28,6 +28,8 @@ const GWS: usize = 15;
 const SPECTRUM: u32 = 4_800_000;
 const RUNS: usize = 12;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let channels = band_channels(SPECTRUM);
     let mut std_caps = Vec::new();

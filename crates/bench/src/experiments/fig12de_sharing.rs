@@ -20,6 +20,8 @@ const NODES_PER_NET: usize = 24;
 const GWS_PER_NET: usize = 3;
 const SPECTRUM: u32 = 1_600_000;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut d = Table::new(
         "Fig 12d — per-network user capacity vs coexisting networks",

@@ -53,6 +53,8 @@ const STRATEGIES: [(StrategyKind, &str); 6] = [
     (StrategyKind::AlphaWan, "alphawan"),
 ];
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let scales = [2_000usize, 4_000, 6_000, 8_000, 10_000, 12_000];
 

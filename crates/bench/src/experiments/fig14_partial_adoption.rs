@@ -19,6 +19,8 @@ const NODES_PER_NET: usize = 24;
 const GWS_PER_NET: usize = 3;
 const SPECTRUM: u32 = 1_600_000;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut t = Table::new(
         "Fig 14 — per-network capacity vs number of AlphaWAN adopters",

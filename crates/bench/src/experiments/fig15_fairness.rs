@@ -15,6 +15,8 @@ use lora_phy::types::DataRate;
 
 const SPECTRUM: u32 = 1_600_000;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut t = Table::new(
         "Fig 15 — service ratios under varying network-2 load (40% overlap)",

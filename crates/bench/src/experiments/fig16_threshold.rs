@@ -24,6 +24,8 @@ enum Coex {
     With { intf_dbm: f64, orthogonal: bool },
 }
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let conditions: [(&str, Coex); 5] = [
         ("wo_net2", Coex::None),

@@ -18,6 +18,8 @@ use alphawan::upgrade::CapacityUpgrade;
 use lora_phy::pathloss::PathLossModel;
 use sim::topology::Topology;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     part_a();
     part_b();

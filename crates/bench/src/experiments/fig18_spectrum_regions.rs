@@ -5,6 +5,8 @@
 use crate::report::{pct, Table};
 use lora_phy::region::region_spectrum_dataset;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let data = region_spectrum_dataset();
     let mut t = Table::new(

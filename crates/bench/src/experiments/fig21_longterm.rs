@@ -55,6 +55,8 @@ impl WeekState {
     }
 }
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     // One fixed deployment at maximum size; each week activates a
     // prefix (the synthetic equivalent of the paper's 100k-trace pool

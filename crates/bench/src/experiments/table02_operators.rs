@@ -3,6 +3,8 @@
 use crate::report::Table;
 use alphawan::operators::{mean_nodes_per_gateway, OPERATORS};
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut t = Table::new(
         "Table 2 — status of commercial operational LoRaWANs",

@@ -4,6 +4,8 @@
 use crate::report::Table;
 use alphawan::strategy::STRATEGIES;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut t = Table::new(
         "Table 3 — operational strategy differences",

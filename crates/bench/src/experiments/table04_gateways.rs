@@ -15,6 +15,8 @@ use sim::topology::Topology;
 use sim::traffic::{concurrent_burst, BurstScheme};
 use sim::world::SimWorld;
 
+/// Run this experiment: build its scenario, measure, and emit the
+/// table/CSV outputs (plus obs events when a session is active).
 pub fn run() {
     let mut t = Table::new(
         "Table 4 — COTS gateway concurrent-packet capacity",

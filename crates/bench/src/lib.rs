@@ -17,6 +17,8 @@
 //! stream and per-experiment [`obs::RunReport`]s (see [`obs_session`]
 //! and `docs/OBSERVABILITY.md`).
 
+#![deny(missing_docs)]
+
 pub mod experiments;
 pub mod obs_session;
 pub mod report;

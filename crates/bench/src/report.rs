@@ -7,12 +7,16 @@ use std::path::PathBuf;
 /// A printable results table.
 #[derive(Debug, Clone)]
 pub struct Table {
+    /// Caption printed above the table.
     pub title: String,
+    /// Column headers, left to right.
     pub headers: Vec<String>,
+    /// Data rows (stringified cells).
     pub rows: Vec<Vec<String>>,
 }
 
 impl Table {
+    /// Start an empty table with a caption and column headers.
     pub fn new(title: &str, headers: &[&str]) -> Table {
         Table {
             title: title.to_string(),

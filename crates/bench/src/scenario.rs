@@ -19,7 +19,9 @@ pub const PAYLOAD_LEN: usize = 23;
 /// One operator's deployment inside a shared area.
 #[derive(Debug, Clone)]
 pub struct NetworkSpec {
+    /// Operator id stamped on this network's nodes and gateways.
     pub network_id: u32,
+    /// How many end devices the operator deploys.
     pub n_nodes: usize,
     /// Channel configuration per gateway (defines the gateway count).
     pub gw_channels: Vec<Vec<Channel>>,
@@ -28,8 +30,11 @@ pub struct NetworkSpec {
 /// Builds a multi-network [`SimWorld`] over one urban area.
 #[derive(Debug, Clone)]
 pub struct WorldBuilder {
+    /// Deployment area, metres.
     pub area_m: (f64, f64),
+    /// Seed for placement and frozen shadowing.
     pub seed: u64,
+    /// Log-normal shadowing sigma, dB.
     pub shadowing_db: f64,
     /// Minimum link loss (dense-urban clutter floor). No node enjoys a
     /// free-space link to a rooftop gateway; this bounds the received
@@ -42,6 +47,7 @@ pub struct WorldBuilder {
     /// hears every node, §3.2's identical-reception condition) set a
     /// finite cap.
     pub max_link_loss_db: f64,
+    /// The coexisting operator deployments.
     pub networks: Vec<NetworkSpec>,
 }
 
@@ -60,6 +66,7 @@ impl WorldBuilder {
         }
     }
 
+    /// Add one operator's deployment.
     pub fn network(mut self, spec: NetworkSpec) -> WorldBuilder {
         self.networks.push(spec);
         self

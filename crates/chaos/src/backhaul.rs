@@ -17,8 +17,11 @@ pub enum DatagramFate {
     /// Delivered after `delay_us`; `copies > 1` means duplicates follow,
     /// each `copy_lag_us` after the previous copy.
     Deliver {
+        /// Delivery latency of the first copy, µs.
         delay_us: u64,
+        /// Total copies delivered (1 = no duplication).
         copies: u32,
+        /// Gap between consecutive copies, µs.
         copy_lag_us: u64,
     },
 }
@@ -57,6 +60,7 @@ pub struct FaultyLink {
 }
 
 impl FaultyLink {
+    /// Wrap a compiled schedule as one backhaul direction.
     pub fn new(schedule: FaultSchedule) -> FaultyLink {
         FaultyLink {
             schedule,

@@ -32,6 +32,8 @@
 //! | backhaul      | datagram loss, latency/jitter, duplication, reordering | `netserver::udp` ↔ `gateway::forwarder` |
 //! | control plane | Master partition, slow responses           | `alphawan::master` |
 
+#![deny(missing_docs)]
+
 pub mod backhaul;
 pub mod plan;
 pub mod rng;

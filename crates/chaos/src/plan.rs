@@ -14,58 +14,93 @@ pub enum FaultSpec {
     /// Gateway is down (crash + reboot window): detects nothing,
     /// receptions in flight at crash onset are lost.
     GatewayCrash {
+        /// Index of the crashed gateway.
         gateway: usize,
+        /// Crash onset, µs.
         start_us: u64,
+        /// End of the reboot window, µs (exclusive).
         end_us: u64,
     },
     /// `decoders` of the gateway's pool are stuck (partial hardware
     /// failure): the gateway stays up with reduced admission capacity.
     DecoderLockup {
+        /// Index of the affected gateway.
         gateway: usize,
+        /// How many decoders are stuck for the window.
         decoders: usize,
+        /// Lockup onset, µs.
         start_us: u64,
+        /// End of the lockup, µs (exclusive).
         end_us: u64,
     },
     /// The gateway's timestamp counter drifts by `ppm` parts-per-million
     /// (positive = fast clock). Perturbs reported `tmst` values, not
     /// radio reception.
-    ClockDrift { gateway: usize, ppm: f64 },
+    ClockDrift {
+        /// Index of the drifting gateway.
+        gateway: usize,
+        /// Drift rate, parts-per-million (positive = fast clock).
+        ppm: f64,
+    },
     /// Backhaul datagrams are independently lost with `probability`.
     BackhaulLoss {
+        /// Per-datagram loss probability in `[0, 1]`.
         probability: f64,
+        /// Window start, µs.
         start_us: u64,
+        /// Window end, µs (exclusive).
         end_us: u64,
     },
     /// Backhaul datagrams are delayed `base_us` plus uniform jitter in
     /// `[0, jitter_us)`.
     BackhaulDelay {
+        /// Fixed delay component, µs.
         base_us: u64,
+        /// Uniform jitter bound, µs (delay ∈ `base..base+jitter`).
         jitter_us: u64,
+        /// Window start, µs.
         start_us: u64,
+        /// Window end, µs (exclusive).
         end_us: u64,
     },
     /// Backhaul datagrams are duplicated with `probability` (the copy
     /// trails the original by `lag_us`).
     BackhaulDuplicate {
+        /// Per-datagram duplication probability in `[0, 1]`.
         probability: f64,
+        /// How far the duplicate trails the original, µs.
         lag_us: u64,
+        /// Window start, µs.
         start_us: u64,
+        /// Window end, µs (exclusive).
         end_us: u64,
     },
     /// Backhaul datagrams are held back `hold_us` with `probability`,
     /// letting later datagrams overtake them.
     BackhaulReorder {
+        /// Per-datagram hold-back probability in `[0, 1]`.
         probability: f64,
+        /// How long a held datagram is delayed, µs.
         hold_us: u64,
+        /// Window start, µs.
         start_us: u64,
+        /// Window end, µs (exclusive).
         end_us: u64,
     },
     /// The Master is unreachable: connections are refused/cut.
-    MasterPartition { start_us: u64, end_us: u64 },
+    MasterPartition {
+        /// Partition onset, µs.
+        start_us: u64,
+        /// Partition heal time, µs (exclusive).
+        end_us: u64,
+    },
     /// Master responses are delayed by `extra_us`.
     MasterSlowResponse {
+        /// Extra response latency, µs.
         extra_us: u64,
+        /// Window start, µs.
         start_us: u64,
+        /// Window end, µs (exclusive).
         end_us: u64,
     },
 }
@@ -116,6 +151,7 @@ pub struct FaultPlan {
     /// Seed for all per-event fault decisions. Two runs with the same
     /// plan (seed included) make identical decisions.
     pub seed: u64,
+    /// The faults to inject, in no particular order.
     pub faults: Vec<FaultSpec>,
 }
 
@@ -125,7 +161,12 @@ pub enum PlanError {
     /// A probability outside `[0, 1]`.
     BadProbability(f64),
     /// A window with `start_us > end_us`.
-    BadWindow { start_us: u64, end_us: u64 },
+    BadWindow {
+        /// The offending window start, µs.
+        start_us: u64,
+        /// The offending window end, µs.
+        end_us: u64,
+    },
     /// Clock drift beyond ±100 000 ppm (10%) — almost certainly a
     /// units mistake.
     BadDrift(f64),

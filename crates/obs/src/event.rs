@@ -335,6 +335,28 @@ pub enum ObsEvent {
         /// Host wall-clock duration of the run, µs.
         wall_us: u64,
     },
+    /// One shard of a sharded simulation run finished (the per-shard
+    /// roll-up under an aggregate [`ObsEvent::SimRunStats`]). Emitted
+    /// by the run's caller, like `SimRunStats`, because `wall_us` is
+    /// host wall-clock.
+    SimShardStats {
+        /// Trace of the run (0 = untraced).
+        #[serde(default)]
+        trace: u64,
+        /// Shard index within the run.
+        shard: u32,
+        /// Transmissions routed to this shard.
+        txs: u64,
+        /// Events this shard processed (3 × its txs).
+        events: u64,
+        /// (transmission, gateway) admission pairs visited at lock-on.
+        candidate_visits: u64,
+        /// Peak simultaneously-live transmission slots (the streaming
+        /// loop's working-set bound).
+        peak_live: u64,
+        /// Host wall-clock duration of the shard's event loop, µs.
+        wall_us: u64,
+    },
     /// A service daemon accepted a new peer. Control-plane: `wall_us`
     /// is host wall-clock time since daemon start, not simulation
     /// time.
@@ -396,6 +418,7 @@ impl ObsEvent {
             | ObsEvent::MasterPlanServed { .. }
             | ObsEvent::SolverRun { .. }
             | ObsEvent::SimRunStats { .. }
+            | ObsEvent::SimShardStats { .. }
             | ObsEvent::SvcAccept { .. }
             | ObsEvent::SvcIngest { .. }
             | ObsEvent::FaultActivated { .. } => None,
@@ -419,6 +442,7 @@ impl ObsEvent {
             | ObsEvent::MasterPlanServed { trace, .. }
             | ObsEvent::SolverRun { trace, .. }
             | ObsEvent::SimRunStats { trace, .. }
+            | ObsEvent::SimShardStats { trace, .. }
             | ObsEvent::SvcIngest { trace, .. } => trace,
             ObsEvent::GatewayInfo { .. }
             | ObsEvent::SvcAccept { .. }
@@ -445,6 +469,7 @@ impl ObsEvent {
             ObsEvent::MasterPlanServed { .. } => "master_plan_served",
             ObsEvent::SolverRun { .. } => "solver_run",
             ObsEvent::SimRunStats { .. } => "sim_run_stats",
+            ObsEvent::SimShardStats { .. } => "sim_shard_stats",
             ObsEvent::SvcAccept { .. } => "svc_accept",
             ObsEvent::SvcIngest { .. } => "svc_ingest",
             ObsEvent::FaultActivated { .. } => "fault_activated",

@@ -451,6 +451,20 @@ impl ObsSink for MetricsSink {
                         .set_gauge("sim_events_per_sec", events as f64 / (wall_us as f64 / 1e6));
                 }
             }
+            ObsEvent::SimShardStats {
+                txs,
+                events,
+                candidate_visits,
+                peak_live,
+                ..
+            } => {
+                self.registry.inc("sim_shards", 1);
+                self.registry.inc("sim_shard_txs", txs);
+                self.registry.inc("sim_shard_events", events);
+                self.registry
+                    .inc("sim_shard_candidate_visits", candidate_visits);
+                self.registry.inc("sim_shard_peak_live", peak_live);
+            }
             _ => {}
         }
     }

@@ -630,7 +630,7 @@ impl TraceAnalyzer {
             // aggregates them (`solver_*` counters in MetricsSink).
             ObsEvent::SolverRun { .. } => {}
             // Run-level aggregates carry no packet lifecycle either.
-            ObsEvent::SimRunStats { .. } => {}
+            ObsEvent::SimRunStats { .. } | ObsEvent::SimShardStats { .. } => {}
             // Service transport events are aggregated by the metrics
             // layer; the per-copy Dedup events above carry the
             // packet-lifecycle content.

@@ -108,6 +108,26 @@ impl EventQueue {
         self.heap.pop().map(|s| (s.at_us, s.event))
     }
 
+    /// Pop the earliest event only if it is scheduled *strictly before*
+    /// `frontier_us`.
+    ///
+    /// This is the draining rule for chunk-fed schedules (the streaming
+    /// shard loop): after a producer promises that every future
+    /// transmission starts at or after `frontier_us`, all queued events
+    /// strictly below the frontier are safe to process — no future push
+    /// can precede them. Events *at* the frontier must wait: a future
+    /// TxEnd at the same instant would sort ahead of a queued TxStart
+    /// or LockOn (see [`Event`]'s same-timestamp priorities), so
+    /// popping them early could reorder equal-timestamp events versus
+    /// the full-knowledge [`sort_schedule`] order. The
+    /// `chunked_drain_matches_sort_schedule` proptest pins this.
+    pub fn pop_before(&mut self, frontier_us: u64) -> Option<(u64, Event)> {
+        match self.heap.peek() {
+            Some(s) if s.at_us < frontier_us => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Events still scheduled.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -231,6 +251,63 @@ mod proptests {
                 prop_assert_eq!(q.pop(), Some(entry));
             }
             prop_assert!(q.is_empty());
+        }
+
+        /// Chunked feeding + frontier-gated draining reproduces the
+        /// full-knowledge `sort_schedule` order exactly: the streaming
+        /// shard loop ingests transmissions in start-time chunks and
+        /// drains with [`EventQueue::pop_before`], and no chunk
+        /// boundary may reorder equal-timestamp events versus pop
+        /// order. Start times are drawn from a narrow range so chunk
+        /// frontiers constantly land *on* queued event timestamps.
+        fn chunked_drain_matches_sort_schedule(
+            starts in proptest::collection::vec(0u64..24, 1..200),
+            chunk in 1usize..8,
+        ) {
+            // Transmission i: start, lock-on +0..2, end +0..4 (narrow
+            // offsets force heavy same-instant contention).
+            let mut txs: Vec<(u64, u64, u64)> = starts
+                .iter()
+                .map(|&s| (s, s + s % 3, s + s % 5))
+                .collect();
+            // Chunks are emitted in start order, ids in emission order
+            // (the contract of `ChunkSource`).
+            txs.sort_by_key(|&(s, _, _)| s);
+
+            let mut expected: Vec<(u64, Event)> = Vec::new();
+            for (i, &(s, l, e)) in txs.iter().enumerate() {
+                let id = i as u64;
+                expected.push((s, Event::TxStart { tx_id: id }));
+                expected.push((l, Event::LockOn { tx_id: id }));
+                expected.push((e, Event::TxEnd { tx_id: id }));
+            }
+            sort_schedule(&mut expected);
+
+            let mut q = EventQueue::new();
+            let mut drained: Vec<(u64, Event)> = Vec::new();
+            for (ci, group) in txs.chunks(chunk).enumerate() {
+                q.reserve(3 * group.len());
+                let base = (ci * chunk) as u64;
+                for (k, &(s, l, e)) in group.iter().enumerate() {
+                    let id = base + k as u64;
+                    q.push(s, Event::TxStart { tx_id: id });
+                    q.push(l, Event::LockOn { tx_id: id });
+                    q.push(e, Event::TxEnd { tx_id: id });
+                }
+                // All later transmissions start at or after the next
+                // chunk's first start time.
+                let frontier = txs
+                    .get((ci + 1) * chunk)
+                    .map(|&(s, _, _)| s)
+                    .unwrap_or(u64::MAX);
+                while let Some(entry) = q.pop_before(frontier) {
+                    drained.push(entry);
+                }
+            }
+            while let Some(entry) = q.pop() {
+                drained.push(entry);
+            }
+            prop_assert_eq!(drained, expected);
         }
     }
 }

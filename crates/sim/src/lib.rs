@@ -32,6 +32,7 @@ pub mod faults;
 pub mod metrics;
 pub mod reference;
 mod runctx;
+pub mod shard;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
@@ -40,8 +41,12 @@ pub mod world;
 pub use downlink::{evaluate_downlinks, DownlinkTx};
 pub use engine::{Event, EventQueue};
 pub use faults::{InfraFaults, NoFaults};
-pub use metrics::{LossBreakdown, RunMetrics};
+pub use metrics::{LossBreakdown, NetSummary, RunMetrics, RunSummary};
+pub use shard::{ShardOpts, ShardRunStats, StreamedRun};
 pub use topology::{Pos, Topology};
 pub use trace::{TracePool, TraceRecord};
-pub use traffic::{concurrent_burst, duty_cycled, end_aligned_burst, BurstScheme, TxPlan};
+pub use traffic::{
+    collect_chunks, concurrent_burst, duty_cycled, end_aligned_burst, BurstScheme, ChunkSource,
+    DutyCycleStream, SliceChunks, TxPlan,
+};
 pub use world::{LossCause, PacketRecord, SimRunStats, SimWorld, Transmission};

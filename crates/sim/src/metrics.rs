@@ -152,6 +152,262 @@ impl RunMetrics {
     }
 }
 
+/// Per-network aggregate of a run, foldable one packet at a time —
+/// the record-free outcome the streaming shard loop accumulates so a
+/// million-node run never materializes per-packet [`PacketRecord`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetSummary {
+    /// Packets transmitted.
+    pub sent: u64,
+    /// Packets received by at least one own-network gateway.
+    pub delivered: u64,
+    /// Losses by cause.
+    pub losses: LossBreakdown,
+    /// Delivered application payload, bytes.
+    pub delivered_payload_bytes: u64,
+    /// Earliest transmission start, µs (`u64::MAX` while empty).
+    pub t_min_us: u64,
+    /// Latest transmission end, µs.
+    pub t_max_us: u64,
+}
+
+impl Default for NetSummary {
+    fn default() -> NetSummary {
+        NetSummary {
+            sent: 0,
+            delivered: 0,
+            losses: LossBreakdown::default(),
+            delivered_payload_bytes: 0,
+            t_min_us: u64::MAX,
+            t_max_us: 0,
+        }
+    }
+}
+
+impl NetSummary {
+    /// Fold one packet outcome in.
+    pub fn note(
+        &mut self,
+        start_us: u64,
+        end_us: u64,
+        payload_len: usize,
+        delivered: bool,
+        cause: Option<LossCause>,
+    ) {
+        self.sent += 1;
+        self.t_min_us = self.t_min_us.min(start_us);
+        self.t_max_us = self.t_max_us.max(end_us);
+        if delivered {
+            self.delivered += 1;
+            self.delivered_payload_bytes += payload_len as u64;
+        } else if let Some(c) = cause {
+            self.losses.add(c);
+        }
+    }
+
+    /// Merge another summary in (shard roll-up).
+    pub fn merge(&mut self, other: &NetSummary) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.losses.decoder_intra += other.losses.decoder_intra;
+        self.losses.decoder_inter += other.losses.decoder_inter;
+        self.losses.channel_intra += other.losses.channel_intra;
+        self.losses.channel_inter += other.losses.channel_inter;
+        self.losses.other += other.losses.other;
+        self.losses.infrastructure += other.losses.infrastructure;
+        self.delivered_payload_bytes += other.delivered_payload_bytes;
+        self.t_min_us = self.t_min_us.min(other.t_min_us);
+        self.t_max_us = self.t_max_us.max(other.t_max_us);
+    }
+
+    /// Packet delivery ratio.
+    pub fn pdr(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Run horizon (max end − min start), µs; 0 while empty.
+    pub fn horizon_us(&self) -> u64 {
+        if self.sent == 0 {
+            0
+        } else {
+            self.t_max_us - self.t_min_us
+        }
+    }
+
+    /// Distribution over the seven packet outcomes (delivered + the six
+    /// loss causes), normalized by packets sent. All-zero while empty.
+    pub fn outcome_distribution(&self) -> [f64; 7] {
+        if self.sent == 0 {
+            return [0.0; 7];
+        }
+        let s = self.sent as f64;
+        [
+            self.delivered as f64 / s,
+            self.losses.decoder_intra as f64 / s,
+            self.losses.decoder_inter as f64 / s,
+            self.losses.channel_intra as f64 / s,
+            self.losses.channel_inter as f64 / s,
+            self.losses.other as f64 / s,
+            self.losses.infrastructure as f64 / s,
+        ]
+    }
+}
+
+/// Aggregate outcome of one run: the global fold plus one
+/// [`NetSummary`] per network, keyed deterministically.
+///
+/// This is what sharded/streamed runs return instead of a record list,
+/// and what the **statistical-equivalence gate** compares at scales
+/// where the bit-exact `sim::reference` loop cannot run (see
+/// [`RunSummary::statistically_equivalent`] and `docs/SCALING.md`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Fold over every packet of the run.
+    pub total: NetSummary,
+    /// Fold per network id, ascending in id — so iteration and
+    /// serialization order are deterministic regardless of the order
+    /// outcomes were folded in.
+    pub per_network: Vec<(u32, NetSummary)>,
+}
+
+impl RunSummary {
+    /// The fold for `network_id`, created empty (at its sorted
+    /// position) on first sight.
+    fn net_entry(&mut self, network_id: u32) -> &mut NetSummary {
+        let i = match self.per_network.binary_search_by_key(&network_id, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.per_network
+                    .insert(i, (network_id, NetSummary::default()));
+                i
+            }
+        };
+        &mut self.per_network[i].1
+    }
+
+    /// The fold for `network_id`, if any packet of that network was
+    /// noted.
+    pub fn network(&self, network_id: u32) -> Option<&NetSummary> {
+        self.per_network
+            .binary_search_by_key(&network_id, |e| e.0)
+            .ok()
+            .map(|i| &self.per_network[i].1)
+    }
+
+    /// Fold one packet outcome in.
+    pub fn note(
+        &mut self,
+        network_id: u32,
+        start_us: u64,
+        end_us: u64,
+        payload_len: usize,
+        delivered: bool,
+        cause: Option<LossCause>,
+    ) {
+        self.total
+            .note(start_us, end_us, payload_len, delivered, cause);
+        self.net_entry(network_id)
+            .note(start_us, end_us, payload_len, delivered, cause);
+    }
+
+    /// Merge another summary in (shard roll-up; order-independent).
+    pub fn merge(&mut self, other: &RunSummary) {
+        self.total.merge(&other.total);
+        for (net, s) in &other.per_network {
+            self.net_entry(*net).merge(s);
+        }
+    }
+
+    /// Build a summary from materialized records (the small-scale
+    /// anchor: `RunSummary::from_records(&world.run(..))` must equal
+    /// the streamed fold exactly).
+    pub fn from_records(records: &[PacketRecord]) -> RunSummary {
+        let mut s = RunSummary::default();
+        for r in records {
+            s.note(
+                r.network_id,
+                r.start_us,
+                r.end_us,
+                r.payload_len,
+                r.delivered,
+                r.cause,
+            );
+        }
+        s
+    }
+
+    /// Largest absolute per-network PDR difference versus `other`
+    /// (includes the global fold; a network present on one side only
+    /// compares against an empty fold).
+    pub fn pdr_gap(&self, other: &RunSummary) -> f64 {
+        let mut gap = (self.total.pdr() - other.total.pdr()).abs();
+        let empty = NetSummary::default();
+        let nets = self
+            .per_network
+            .iter()
+            .chain(other.per_network.iter())
+            .map(|e| e.0);
+        for net in nets {
+            let a = self.network(net).unwrap_or(&empty);
+            let b = other.network(net).unwrap_or(&empty);
+            gap = gap.max((a.pdr() - b.pdr()).abs());
+        }
+        gap
+    }
+
+    /// Total-variation distance between the global outcome
+    /// distributions (delivered + six loss causes): `½ Σ |pᵢ − qᵢ|`,
+    /// in `[0, 1]`.
+    pub fn loss_tv_distance(&self, other: &RunSummary) -> f64 {
+        let p = self.total.outcome_distribution();
+        let q = other.total.outcome_distribution();
+        p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0
+    }
+
+    /// The statistical-equivalence gate: per-network PDR within
+    /// `pdr_tol` and outcome-distribution TV distance within `tv_tol`
+    /// of `other`. `Err` carries a human-readable violation report.
+    ///
+    /// Used where the bit-exact reference cannot run (e.g. 1M nodes):
+    /// an N-shard streamed run is compared against a 1-shard streamed
+    /// run of the same workload, which this crate *proves* byte-equal
+    /// at small scale — so a gate failure at large scale means scale
+    /// itself broke determinism (overflow, allocation-order leak, …).
+    pub fn statistically_equivalent(
+        &self,
+        other: &RunSummary,
+        pdr_tol: f64,
+        tv_tol: f64,
+    ) -> Result<(), String> {
+        let mut violations = Vec::new();
+        if self.total.sent != other.total.sent {
+            violations.push(format!(
+                "sent diverged: {} vs {}",
+                self.total.sent, other.total.sent
+            ));
+        }
+        let gap = self.pdr_gap(other);
+        if gap > pdr_tol {
+            violations.push(format!("PDR gap {gap:.6} > tolerance {pdr_tol}"));
+        }
+        let tv = self.loss_tv_distance(other);
+        if tv > tv_tol {
+            violations.push(format!(
+                "loss-distribution TV distance {tv:.6} > tolerance {tv_tol}"
+            ));
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations.join("; "))
+        }
+    }
+}
+
 /// Delivered-count per network.
 pub fn delivered_per_network(records: &[PacketRecord]) -> HashMap<u32, u64> {
     let mut out = HashMap::new();

@@ -122,6 +122,30 @@ impl RunContext {
         }
     }
 
+    /// Intern a channel *universe* directly (first-appearance order),
+    /// for runs whose transmissions are not all materialized up front
+    /// (the sharded / streaming drivers in [`crate::shard`]). Resets
+    /// the per-channel transmission counts to zero; the caller tallies
+    /// them as plans flow through.
+    pub(crate) fn intern_channel_list(&mut self, universe: &[Channel]) {
+        self.chan_ids.clear();
+        self.channels.clear();
+        for &ch in universe {
+            let next = self.channels.len() as u32;
+            let id = *self.chan_ids.entry(ch).or_insert(next);
+            if id == next {
+                self.channels.push(ch);
+            }
+        }
+        self.ch_tx_count.clear();
+        self.ch_tx_count.resize(self.channels.len(), 0);
+    }
+
+    /// Interned id of `ch`, if it is part of the current universe.
+    pub(crate) fn channel_id(&self, ch: &Channel) -> Option<u32> {
+        self.chan_ids.get(ch).copied()
+    }
+
     /// Rebuild the link tables, candidate index and pair classes for
     /// the current node powers and gateway configurations. Call after
     /// [`Self::intern_channels`].
@@ -131,27 +155,46 @@ impl RunContext {
         node_power: &[TxPowerDbm],
         gateways: &[Gateway],
     ) {
-        let n_nodes = topo.nodes.len();
-        let n_gws = gateways.len();
-        self.n_gws = n_gws;
+        self.rebuild_links(topo, node_power);
+        self.rebuild_channels(gateways);
+    }
 
+    /// The flat per-(node, gateway) RSSI/SNR tables — the memory-heavy
+    /// half of [`Self::rebuild`]. The sharded driver skips this and
+    /// builds *compact per-shard* tables instead (`shard_nodes ×
+    /// shard_gateways` rather than `nodes × gateways`), which is what
+    /// keeps million-node runs cache-resident.
+    pub(crate) fn rebuild_links(&mut self, topo: &Topology, node_power: &[TxPowerDbm]) {
+        let n_nodes = topo.nodes.len();
         let floor = noise_floor_dbm(Bandwidth::Khz125);
         self.rssi.clear();
-        self.rssi.reserve(n_nodes * n_gws);
         self.snr.clear();
-        self.snr.reserve(n_nodes * n_gws);
         // Row-wise fill straight from the loss matrix: same arithmetic
         // as `topo.rssi_dbm` / `Topology::snr_db`, minus the per-entry
         // double indexing (the 100k-node table is tens of MB).
         debug_assert_eq!(node_power.len(), n_nodes);
+        if let Some(row) = topo.loss_db.first() {
+            self.rssi.reserve(n_nodes * row.len());
+            self.snr.reserve(n_nodes * row.len());
+        }
         for (power, row) in node_power.iter().zip(&topo.loss_db) {
-            debug_assert_eq!(row.len(), n_gws);
             for &loss in row {
                 let rssi = power.0 - loss;
                 self.rssi.push(rssi);
                 self.snr.push(rssi - floor);
             }
         }
+    }
+
+    /// The channel-indexed half of [`Self::rebuild`]: candidate gateway
+    /// lists, spectral pair classes, overlap adjacency and the hoisted
+    /// noise terms. Cheap (`O(channels × (gateways + channels))`) and
+    /// independent of node count, so the sharded driver can run it
+    /// without touching the global link tables.
+    pub(crate) fn rebuild_channels(&mut self, gateways: &[Gateway]) {
+        let n_gws = gateways.len();
+        self.n_gws = n_gws;
+        let floor = noise_floor_dbm(Bandwidth::Khz125);
         self.noise_lin = 10f64.powf(floor / 10.0);
         self.noise_only_db = 10.0 * self.noise_lin.log10();
 

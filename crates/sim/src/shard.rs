@@ -1,0 +1,1610 @@
+//! Sharded, chunk-fed execution of one simulation run — the
+//! million-node path.
+//!
+//! The monolithic loop in [`crate::world`] materializes every
+//! transmission, a 3n-event timeline and an `nodes × gateways` link
+//! table before processing the first event; at 10⁶ nodes the table
+//! alone stops fitting anywhere near a cache and per-core throughput
+//! collapses. This module runs *the same arithmetic* over independent
+//! **shards** of the spectrum:
+//!
+//! * **Partition.** Channels are grouped into connected components
+//!   under the union of two relations: spectral overlap (any
+//!   `overlap_ratio > 0`, the relation that feeds interference
+//!   gathering) and "some gateway listens to both" (the relation that
+//!   feeds decoder contention). Transmissions in different components
+//!   can never interact — not through capture, leakage, or a shared
+//!   decoder pool — so any grouping of components into shards yields
+//!   results identical to the monolithic run. Each gateway's candidate
+//!   channels all land in one component, so a gateway belongs to
+//!   exactly one shard.
+//! * **Chunked feeding.** A [`ChunkSource`] emits plans in bounded
+//!   chunks together with a *frontier*: a lower bound on every future
+//!   start time. The driver (main thread) routes each chunk's plans to
+//!   shards by channel and assigns global transmission ids in emission
+//!   order; each shard heaps its events and drains strictly below the
+//!   frontier ([`crate::engine::EventQueue::pop_before`]), so the full
+//!   timeline never materializes.
+//! * **Slot recycling.** Per-transmission state lives in reference-
+//!   counted slots, freed once the transmission has ended *and* no
+//!   live transmission still holds it as an interferer. Peak memory is
+//!   bounded by the on-air set plus one chunk, not by the run length.
+//! * **Compact link tables.** Each shard stores RSSI rows only for the
+//!   nodes it has seen, with a stride of *its own* gateway count —
+//!   at 100k nodes × 64 gateways the global table is ~50 MB while a
+//!   per-shard table is well under 1 MB, which is the entire per-core
+//!   speedup at scale (SNR is derived as `rssi - noise_floor`, bitwise
+//!   identical to the monolithic table's entry).
+//! * **Deterministic join.** Shards run under [`std::thread::scope`]
+//!   (one thread per shard); results are joined in shard-id order and
+//!   observability events are buffered per shard keyed by the global
+//!   event order `(t_us, kind priority, tx id)` and k-way merged, so
+//!   the output — records, gateway stats, obs byte stream — is
+//!   invariant under shard count and thread scheduling. The workspace
+//!   `sim_equivalence` proptest pins `run_sharded` byte-identical to
+//!   [`SimWorld::run_with_faults`].
+//!
+//! Faults must be [`Sync`] here ([`InfraFaults`] is pure/read-only by
+//! contract; `chaos::FaultSchedule` is plain data and qualifies).
+
+use crate::faults::{InfraFaults, NoFaults};
+use crate::metrics::RunSummary;
+use crate::runctx::{PairClass, RunContext};
+use crate::topology::Topology;
+use crate::traffic::{ChunkSource, SliceChunks, TxPlan};
+use crate::world::{
+    LossCause, PacketRecord, Seen, SimRunStats, SimWorld, Transmission, Verdict, VerdictScratch,
+};
+use gateway::radio::{Gateway, LockOnOutcome, PacketAtGateway, ReceptionOutcome};
+use lora_phy::airtime::PacketParams;
+use lora_phy::interference::{capture_outcome, CaptureOutcome, CROSS_SF_REJECTION_DB};
+use lora_phy::snr::{decodable, noise_floor_dbm};
+use lora_phy::types::{Bandwidth, TxPowerDbm};
+use obs::{ObsEvent, ObsSink};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Same-timestamp event priorities, mirroring
+/// [`crate::engine::Event`]'s ordering (TxEnd < TxStart < LockOn).
+/// Used as the middle component of the obs merge key.
+const PRIO_TX_END: u8 = 0;
+const PRIO_TX_START: u8 = 1;
+const PRIO_LOCK_ON: u8 = 2;
+
+/// Tuning knobs for sharded / streamed runs.
+#[derive(Debug, Clone)]
+pub struct ShardOpts {
+    /// Upper bound on shards (threads). `0` = auto: one per available
+    /// core. The effective count is also capped by the number of
+    /// independent channel components, so asking for more shards than
+    /// the spectrum supports is harmless.
+    pub max_shards: usize,
+    /// Transmissions per producer chunk when a materialized plan list
+    /// is fed through the streaming machinery
+    /// ([`SimWorld::run_sharded`]).
+    pub chunk_txs: usize,
+}
+
+impl Default for ShardOpts {
+    fn default() -> ShardOpts {
+        ShardOpts {
+            max_shards: 0,
+            chunk_txs: 65_536,
+        }
+    }
+}
+
+impl ShardOpts {
+    /// Defaults overridden by the environment: `ALPHAWAN_SIM_SHARDS`
+    /// sets `max_shards` (0 or unset = auto).
+    pub fn from_env() -> ShardOpts {
+        let mut opts = ShardOpts::default();
+        if let Ok(v) = std::env::var("ALPHAWAN_SIM_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                opts.max_shards = n;
+            }
+        }
+        opts
+    }
+
+    /// The shard-count ceiling before the component cap.
+    fn shard_ceiling(&self) -> usize {
+        if self.max_shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.max_shards
+        }
+    }
+}
+
+/// Per-shard counters from a sharded run, exposed via
+/// [`SimWorld::last_shard_stats`]. Like [`SimRunStats`], these are
+/// never streamed by the world itself (`wall_us` is host wall-clock);
+/// callers emit [`obs::ObsEvent::SimShardStats`] via
+/// [`Self::to_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardRunStats {
+    /// Shard index within the run.
+    pub shard: u32,
+    /// Transmissions routed to this shard.
+    pub txs: u64,
+    /// Events this shard processed (3 × its txs).
+    pub events: u64,
+    /// Gateways owned by this shard.
+    pub gateways: u32,
+    /// (transmission, gateway) admission pairs visited at lock-on.
+    pub candidate_visits: u64,
+    /// Peak simultaneously-live transmission slots — the streaming
+    /// loop's working-set bound (on-air + pending chunk + interference
+    /// holds), independent of total run length.
+    pub peak_live: u64,
+    /// Host wall-clock duration of the shard's event loop, µs.
+    pub wall_us: u64,
+}
+
+impl ShardRunStats {
+    /// The observability event mirroring these counters.
+    pub fn to_event(&self, trace: u64) -> ObsEvent {
+        ObsEvent::SimShardStats {
+            trace,
+            shard: self.shard,
+            txs: self.txs,
+            events: self.events,
+            candidate_visits: self.candidate_visits,
+            peak_live: self.peak_live,
+            wall_us: self.wall_us,
+        }
+    }
+}
+
+/// Result of a streamed (aggregate-only) run: no per-packet records —
+/// a 10⁷-transmission run cannot afford them — but everything the
+/// statistical-equivalence gate and the benchmarks need.
+#[derive(Debug, Clone)]
+pub struct StreamedRun {
+    /// Aggregate per-network outcome summary.
+    pub summary: RunSummary,
+    /// Whole-run counters (also stored as
+    /// [`SimWorld::last_run_stats`]).
+    pub stats: SimRunStats,
+    /// Per-shard counters (also stored as
+    /// [`SimWorld::last_shard_stats`]).
+    pub shard_stats: Vec<ShardRunStats>,
+}
+
+/// A queued shard event: min-ordered by the global event key
+/// `(t_us, kind priority, tx id)` — identical to
+/// [`crate::engine::Event`]'s ordering — with the slot id carried as
+/// payload, so the hot path never needs an id→slot map.
+type ShardEvent = Reverse<(u64, u8, u64, u32)>;
+
+/// One routed plan entry: `(global tx id, interned channel id, plan)`.
+type RoutedPlan = (u64, u32, TxPlan);
+
+/// One producer→shard message: the shard's slice of a chunk plus the
+/// chunk's frontier (a lower bound on all future start times).
+type ChunkMsg = (Vec<RoutedPlan>, u64);
+
+/// How channels and gateways are split into independent shards.
+#[derive(Debug)]
+struct Partition {
+    /// Shards actually used (≤ min(ceiling, components); 0 iff the
+    /// channel universe is empty).
+    n_shards: usize,
+    /// Per interned channel id: owning shard.
+    shard_of_channel: Vec<u32>,
+    /// Per shard: global gateway indexes it owns, ascending.
+    shard_gws: Vec<Vec<u32>>,
+}
+
+/// Union-find `find` with path halving.
+fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+/// Union keeping the smaller root (deterministic representative).
+fn uf_union(parent: &mut [u32], a: u32, b: u32) {
+    let ra = uf_find(parent, a);
+    let rb = uf_find(parent, b);
+    if ra != rb {
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi as usize] = lo;
+    }
+}
+
+/// Group the interned channels into connected components (spectral
+/// overlap ∪ shared listening gateway) and pack components onto at
+/// most `ceiling` shards with a deterministic greedy balance (heaviest
+/// component first, ties by smallest member channel, onto the least
+/// loaded shard, ties by lowest shard id).
+fn partition(ctx: &RunContext, n_gws: usize, ceiling: usize) -> Partition {
+    let n_ch = ctx.n_channels();
+    let mut parent: Vec<u32> = (0..n_ch as u32).collect();
+    for v in 0..n_ch {
+        for &o in &ctx.overlapping[v] {
+            uf_union(&mut parent, v as u32, o);
+        }
+    }
+    for g in 0..n_gws {
+        let mut first: Option<u32> = None;
+        for ci in 0..n_ch {
+            if ctx.is_cand[ci * n_gws + g] {
+                match first {
+                    Some(f) => uf_union(&mut parent, f, ci as u32),
+                    None => first = Some(ci as u32),
+                }
+            }
+        }
+    }
+
+    // Components numbered by first-seen (i.e. smallest) member channel.
+    let mut comp_of_root: HashMap<u32, u32> = HashMap::new();
+    let mut comp_of_channel = vec![0u32; n_ch];
+    let mut comp_min_channel: Vec<u32> = Vec::new();
+    let mut comp_weight: Vec<u64> = Vec::new();
+    for (ci, slot) in comp_of_channel.iter_mut().enumerate() {
+        let root = uf_find(&mut parent, ci as u32);
+        let next = comp_min_channel.len() as u32;
+        let comp = *comp_of_root.entry(root).or_insert(next);
+        if comp == next {
+            comp_min_channel.push(ci as u32);
+            comp_weight.push(0);
+        }
+        *slot = comp;
+        // Weight ∝ expected admission work: the channel plus its
+        // candidate gateways.
+        comp_weight[comp as usize] += 1 + ctx.cand[ci].len() as u64;
+    }
+
+    let n_components = comp_min_channel.len();
+    let n_shards = ceiling.max(1).min(n_components);
+    let mut order: Vec<usize> = (0..n_components).collect();
+    order.sort_by(|&a, &b| {
+        comp_weight[b]
+            .cmp(&comp_weight[a])
+            .then(comp_min_channel[a].cmp(&comp_min_channel[b]))
+    });
+    let mut load = vec![0u64; n_shards];
+    let mut shard_of_comp = vec![0u32; n_components];
+    for &c in &order {
+        let mut s = 0;
+        for k in 1..n_shards {
+            if load[k] < load[s] {
+                s = k;
+            }
+        }
+        shard_of_comp[c] = s as u32;
+        load[s] += comp_weight[c];
+    }
+
+    let shard_of_channel: Vec<u32> = comp_of_channel
+        .iter()
+        .map(|&c| shard_of_comp[c as usize])
+        .collect();
+    let mut shard_gws: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    for g in 0..n_gws {
+        // A gateway's candidate channels are all in one component (the
+        // shared-gateway unions above), so its first is representative.
+        if let Some(ci) = (0..n_ch).find(|&ci| ctx.is_cand[ci * n_gws + g]) {
+            shard_gws[shard_of_channel[ci] as usize].push(g as u32);
+        }
+    }
+
+    Partition {
+        n_shards,
+        shard_of_channel,
+        shard_gws,
+    }
+}
+
+/// An [`ObsSink`] that buffers events together with the global event
+/// order key `(t_us, kind priority, tx id)` of the simulation event
+/// being processed when they were recorded. Within a shard, keys are
+/// emitted in nondecreasing order (events are processed in key order)
+/// and a given key occurs in exactly one shard (ids are globally
+/// unique), so a k-way merge by key reconstructs the exact byte stream
+/// the monolithic run would have produced.
+struct KeyedSink {
+    on: bool,
+    key: (u64, u8, u64),
+    buf: Vec<((u64, u8, u64), ObsEvent)>,
+}
+
+impl ObsSink for KeyedSink {
+    fn enabled(&self) -> bool {
+        self.on
+    }
+
+    fn record(&mut self, ev: &ObsEvent) {
+        self.buf.push((self.key, *ev));
+    }
+}
+
+/// Live per-transmission state. Slots are recycled: freed once the
+/// transmission has ended and its reference count (live transmissions
+/// holding it as an interferer) reaches zero; the inner `Vec`s keep
+/// their capacity across reuses.
+struct Slot {
+    tx: Transmission,
+    /// Interned (global) channel id.
+    ch: u32,
+    /// Row into the shard's compact link table.
+    row: u32,
+    /// Shard-local TxStart sequence number (restores chronological
+    /// order after buckets are permuted by swap-remove).
+    start_seq: u64,
+    /// Index within the channel's on-air bucket.
+    pos_in_bucket: u32,
+    /// Live transmissions whose interferer list names this slot.
+    rc: u32,
+    /// TxEnd processed.
+    ended: bool,
+    /// Overlapping-airtime transmissions, as slot ids, in registration
+    /// order. Only read at this transmission's TxEnd, at which point
+    /// every listed slot is still alive (it holds an `rc` on us and we
+    /// on it).
+    interferers: Vec<u32>,
+    /// (local gateway id, admission outcome), in candidate order.
+    seen: Vec<(u32, Seen)>,
+}
+
+/// One shard's event loop: the [`crate::world`] hot path ported onto
+/// chunk feeding, slot recycling and compact per-shard link tables.
+struct ShardMachine<'e> {
+    // Shared, read-only environment.
+    topo: &'e Topology,
+    node_power: &'e [TxPowerDbm],
+    node_network: &'e [u32],
+    ctx: &'e RunContext,
+    faults: &'e (dyn InfraFaults + Sync),
+    /// Per *global* gateway: can this fault schedule ever crash it.
+    ever_down: &'e [bool],
+    /// Per *global* gateway: can decoders ever lock up.
+    ever_locked: &'e [bool],
+    /// Global gateway ids with `ever_down` set (usually empty).
+    ever_down_list: Vec<u32>,
+    cic: bool,
+    epoch: u64,
+    collect_records: bool,
+
+    // Shard identity.
+    shard: u32,
+    /// Local gateway id → global gateway index (ascending).
+    gw_global: Vec<u32>,
+    /// Per interned channel id: candidate *local* gateway ids
+    /// (ascending in global id; empty for channels of other shards).
+    cand_local: Vec<Vec<u32>>,
+    /// Row stride of `link` (= `gw_global.len()`).
+    n_lg: usize,
+    /// 125 kHz noise floor, dBm (SNR = RSSI − floor).
+    floor: f64,
+
+    // Owned state.
+    gateways: Vec<Gateway>,
+    q: BinaryHeap<ShardEvent>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Per interned channel id: slots currently on air.
+    buckets: Vec<Vec<u32>>,
+    /// Per global node: its row in `link` (`u32::MAX` = unseen).
+    node_row: Vec<u32>,
+    /// Next row to assign.
+    next_row: u32,
+    /// Compact RSSI table, `link[row * n_lg + local_gw]`, dBm.
+    link: Vec<f64>,
+    gathered: Vec<u32>,
+    /// Per local gateway: in-loop not-detected tally (candidate SNR
+    /// misses at an up gateway).
+    undetected: Vec<u64>,
+    /// Per *global* gateway: non-candidate not-detected tally for
+    /// ever-down gateways (must be counted per transmission because it
+    /// depends on the crash window; empty when no gateway can crash).
+    extra_undetected: Vec<u64>,
+    receiving: Vec<usize>,
+    vs: VerdictScratch,
+    sink: KeyedSink,
+    records: Vec<(u64, PacketRecord)>,
+    summary: RunSummary,
+    seq: u64,
+    txs_n: u64,
+    events: u64,
+    candidate_visits: u64,
+    peak_live: usize,
+}
+
+/// Everything a shard thread sends back to the driver.
+struct ShardOutput {
+    gw_global: Vec<u32>,
+    gateways: Vec<Gateway>,
+    undetected: Vec<u64>,
+    extra_undetected: Vec<u64>,
+    records: Vec<(u64, PacketRecord)>,
+    summary: RunSummary,
+    obs: Vec<((u64, u8, u64), ObsEvent)>,
+    stats: ShardRunStats,
+}
+
+impl<'e> ShardMachine<'e> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        topo: &'e Topology,
+        node_power: &'e [TxPowerDbm],
+        node_network: &'e [u32],
+        ctx: &'e RunContext,
+        faults: &'e (dyn InfraFaults + Sync),
+        ever_down: &'e [bool],
+        ever_locked: &'e [bool],
+        cic: bool,
+        epoch: u64,
+        collect_records: bool,
+        obs_on: bool,
+        shard: u32,
+        gw_global: Vec<u32>,
+        cand_local: Vec<Vec<u32>>,
+        gateways: Vec<Gateway>,
+    ) -> ShardMachine<'e> {
+        let n_lg = gw_global.len();
+        let any_down = ever_down.iter().any(|&d| d);
+        ShardMachine {
+            topo,
+            node_power,
+            node_network,
+            ctx,
+            faults,
+            ever_down,
+            ever_locked,
+            ever_down_list: ever_down
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d)
+                .map(|(g, _)| g as u32)
+                .collect(),
+            cic,
+            epoch,
+            collect_records,
+            shard,
+            gw_global,
+            cand_local,
+            n_lg,
+            floor: noise_floor_dbm(Bandwidth::Khz125),
+            gateways,
+            q: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            buckets: vec![Vec::new(); ctx.n_channels()],
+            node_row: vec![u32::MAX; topo.nodes.len()],
+            next_row: 0,
+            link: Vec::new(),
+            gathered: Vec::new(),
+            undetected: vec![0; n_lg],
+            extra_undetected: vec![0; if any_down { ever_down.len() } else { 0 }],
+            receiving: Vec::new(),
+            vs: VerdictScratch::default(),
+            sink: KeyedSink {
+                on: obs_on,
+                key: (0, 0, 0),
+                buf: Vec::new(),
+            },
+            records: Vec::new(),
+            summary: RunSummary::default(),
+            seq: 0,
+            txs_n: 0,
+            events: 0,
+            candidate_visits: 0,
+            peak_live: 0,
+        }
+    }
+
+    /// Materialize one chunk of routed plans into slots and events.
+    fn ingest(&mut self, chunk: &[(u64, u32, TxPlan)]) {
+        self.q.reserve(3 * chunk.len());
+        // (BinaryHeap::reserve on the already-heapified buffer; pushes
+        // below keep the heap invariant incrementally.)
+        for &(id, ch, p) in chunk {
+            self.txs_n += 1;
+            let airtime = PacketParams::lorawan_uplink(
+                p.dr.spreading_factor(),
+                Bandwidth::Khz125,
+                p.payload_len,
+            )
+            .airtime();
+            let tx = Transmission {
+                id,
+                trace: obs::packet_trace(self.epoch, id),
+                node: p.node,
+                network_id: self.node_network[p.node],
+                channel: p.channel,
+                dr: p.dr,
+                start_us: p.start_us,
+                lock_on_us: airtime.lock_on_at(p.start_us),
+                end_us: airtime.end_at(p.start_us),
+                payload_len: p.payload_len,
+            };
+
+            // Assign the node a compact link row on first sight.
+            let mut row = 0u32;
+            if self.n_lg > 0 {
+                row = self.node_row[tx.node];
+                if row == u32::MAX {
+                    row = self.next_row;
+                    self.next_row += 1;
+                    self.node_row[tx.node] = row;
+                    let power = self.node_power[tx.node].0;
+                    let loss_row = &self.topo.loss_db[tx.node];
+                    for &g in &self.gw_global {
+                        self.link.push(power - loss_row[g as usize]);
+                    }
+                }
+            }
+
+            // Non-candidate not-detected tallies for crashable
+            // gateways (the never-down bulk is reconciled by the
+            // driver from per-channel counts).
+            for &g in &self.ever_down_list {
+                let g = g as usize;
+                if !self.ctx.is_cand[ch as usize * self.ever_down.len() + g]
+                    && !self.faults.gateway_down(g, tx.lock_on_us)
+                {
+                    self.extra_undetected[g] += 1;
+                }
+            }
+
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    let sl = &mut self.slots[s as usize];
+                    sl.tx = tx;
+                    sl.ch = ch;
+                    sl.row = row;
+                    sl.start_seq = 0;
+                    sl.pos_in_bucket = 0;
+                    sl.rc = 0;
+                    sl.ended = false;
+                    debug_assert!(sl.interferers.is_empty() && sl.seen.is_empty());
+                    s
+                }
+                None => {
+                    self.slots.push(Slot {
+                        tx,
+                        ch,
+                        row,
+                        start_seq: 0,
+                        pos_in_bucket: 0,
+                        rc: 0,
+                        ended: false,
+                        interferers: Vec::new(),
+                        seen: Vec::new(),
+                    });
+                    (self.slots.len() - 1) as u32
+                }
+            };
+            self.peak_live = self.peak_live.max(self.slots.len() - self.free.len());
+
+            self.q.push(Reverse((tx.start_us, PRIO_TX_START, id, slot)));
+            self.q
+                .push(Reverse((tx.lock_on_us, PRIO_LOCK_ON, id, slot)));
+            self.q.push(Reverse((tx.end_us, PRIO_TX_END, id, slot)));
+        }
+    }
+
+    /// Process every queued event scheduled strictly before `frontier`
+    /// (matching [`crate::engine::EventQueue::pop_before`]: every plan
+    /// of a later chunk starts at or after the frontier, so events at
+    /// the frontier itself may still gain same-key-ordered company).
+    fn drain(&mut self, frontier_us: u64) {
+        while let Some(&Reverse((t, prio, _, slot))) = self.q.peek() {
+            if t >= frontier_us {
+                break;
+            }
+            self.q.pop();
+            self.events += 1;
+            match prio {
+                PRIO_TX_START => self.on_tx_start(slot),
+                PRIO_LOCK_ON => self.on_lock_on(slot),
+                _ => self.on_tx_end(slot),
+            }
+        }
+    }
+
+    fn free_slot(&mut self, s: u32) {
+        let sl = &mut self.slots[s as usize];
+        sl.interferers.clear();
+        sl.seen.clear();
+        self.free.push(s);
+    }
+
+    fn on_tx_start(&mut self, s: u32) {
+        let si = s as usize;
+        let t = self.slots[si].tx;
+        self.sink.key = (t.start_us, PRIO_TX_START, t.id);
+        if self.sink.enabled() {
+            self.sink.record(&ObsEvent::TxStart {
+                t_us: t.start_us,
+                trace: t.trace,
+                tx: t.id,
+                node: t.node as u64,
+                network: t.network_id,
+            });
+        }
+        let c = self.slots[si].ch as usize;
+        {
+            let slots = &self.slots;
+            let buckets = &self.buckets;
+            let gathered = &mut self.gathered;
+            gathered.clear();
+            for &oc in &self.ctx.overlapping[c] {
+                for &o in &buckets[oc as usize] {
+                    if slots[o as usize].tx.node != t.node {
+                        gathered.push(o);
+                    }
+                }
+            }
+            // Buckets are permuted by swap-remove; restore
+            // chronological (TxStart) order before registering —
+            // interferer-list order is part of the determinism
+            // contract with the monolithic loop.
+            gathered.sort_unstable_by_key(|&o| slots[o as usize].start_seq);
+        }
+        let gathered = std::mem::take(&mut self.gathered);
+        for &o in &gathered {
+            // Symmetric registration and refcounts: each side names
+            // the other, each side keeps the other alive.
+            self.slots[si].interferers.push(o);
+            self.slots[si].rc += 1;
+            self.slots[o as usize].interferers.push(s);
+            self.slots[o as usize].rc += 1;
+        }
+        self.gathered = gathered;
+        self.slots[si].start_seq = self.seq;
+        self.seq += 1;
+        self.slots[si].pos_in_bucket = self.buckets[c].len() as u32;
+        self.buckets[c].push(s);
+    }
+
+    fn on_lock_on(&mut self, s: u32) {
+        let si = s as usize;
+        let t = self.slots[si].tx;
+        let now = t.lock_on_us;
+        self.sink.key = (now, PRIO_LOCK_ON, t.id);
+        if self.sink.enabled() {
+            self.sink.record(&ObsEvent::PacketLockOn {
+                t_us: now,
+                trace: t.trace,
+                tx: t.id,
+                node: t.node as u64,
+                network: t.network_id,
+            });
+        }
+        let c = self.slots[si].ch as usize;
+        let row_base = self.slots[si].row as usize * self.n_lg;
+        let sf = t.dr.spreading_factor();
+        let mut seen = std::mem::take(&mut self.slots[si].seen);
+        for k in 0..self.cand_local[c].len() {
+            let lg = self.cand_local[c][k] as usize;
+            self.candidate_visits += 1;
+            let g_idx = self.gw_global[lg] as usize;
+            let rssi = self.link[row_base + lg];
+            let snr = rssi - self.floor;
+            if !decodable(snr, sf, 0.0) {
+                // Below the detection floor: an up gateway counts a
+                // non-detection; a crashed gateway counts nothing.
+                if !self.ever_down[g_idx] || !self.faults.gateway_down(g_idx, now) {
+                    self.undetected[lg] += 1;
+                }
+                continue;
+            }
+            if self.ever_down[g_idx] && self.faults.gateway_down(g_idx, now) {
+                seen.push((lg as u32, Seen::DownAtLockOn));
+                continue;
+            }
+            if self.ever_locked[g_idx] {
+                let locked = self.faults.locked_decoders(g_idx, now);
+                self.gateways[lg].set_locked_decoders(locked);
+            }
+            let pkt = PacketAtGateway {
+                tx_id: t.id,
+                trace: t.trace,
+                network_id: t.network_id,
+                channel: t.channel,
+                sf,
+                rssi_dbm: rssi,
+                snr_db: snr,
+                lock_on_us: t.lock_on_us,
+                end_us: t.end_us,
+            };
+            match self.gateways[lg].admit_detected_obs(pkt, &mut self.sink) {
+                LockOnOutcome::Admitted => {
+                    seen.push((lg as u32, Seen::Admitted));
+                }
+                LockOnOutcome::DroppedNoDecoder => {
+                    let g = &self.gateways[lg];
+                    let foreign = g.foreign_held_decoders() > 0;
+                    let lockup = g.pool().locked() > 0 && g.decoders_in_use() < g.pool().capacity();
+                    seen.push((
+                        lg as u32,
+                        Seen::Dropped {
+                            foreign_held: foreign,
+                            lockup,
+                        },
+                    ));
+                }
+                LockOnOutcome::NotDetected => {
+                    unreachable!("admission precondition verified above")
+                }
+            }
+        }
+        self.slots[si].seen = seen;
+    }
+
+    fn on_tx_end(&mut self, s: u32) {
+        let si = s as usize;
+        let t = self.slots[si].tx;
+        let c = self.slots[si].ch as usize;
+        let pos = self.slots[si].pos_in_bucket as usize;
+        let moved = {
+            let b = &mut self.buckets[c];
+            b.swap_remove(pos);
+            b.get(pos).copied()
+        };
+        if let Some(m) = moved {
+            self.slots[m as usize].pos_in_bucket = pos as u32;
+        }
+
+        self.sink.key = (t.end_us, PRIO_TX_END, t.id);
+        self.finish_tx(s);
+
+        // Release the interference holds; free anything that was only
+        // waiting on us, then ourselves if nobody holds us.
+        let interferers = std::mem::take(&mut self.slots[si].interferers);
+        for &o in &interferers {
+            let oi = o as usize;
+            self.slots[oi].rc -= 1;
+            if self.slots[oi].rc == 0 && self.slots[oi].ended {
+                self.free_slot(o);
+            }
+        }
+        self.slots[si].interferers = interferers;
+        self.slots[si].ended = true;
+        if self.slots[si].rc == 0 {
+            self.free_slot(s);
+        }
+    }
+
+    /// Port of the monolithic `finish_tx`: verdicts, decoder release,
+    /// delivery classification, record/summary emission.
+    fn finish_tx(&mut self, s: u32) {
+        self.batch_verdicts(s);
+        let si = s as usize;
+        let t = self.slots[si].tx;
+        let seen = std::mem::take(&mut self.slots[si].seen);
+
+        self.receiving.clear();
+        let mut decoder_drop: Option<bool> = None;
+        let mut collision_with: Option<u32> = None;
+        let mut own_detected = false;
+        let mut infra_loss = false;
+
+        for (k, &(lg, how)) in seen.iter().enumerate() {
+            let g_idx = self.gw_global[lg as usize] as usize;
+            let own = self.gateways[lg as usize].network_id == t.network_id;
+            let verdict = self.vs.verdicts[k];
+            if how == Seen::Admitted {
+                let crashed_mid_rx = self.ever_down[g_idx]
+                    && self
+                        .faults
+                        .gateway_down_during(g_idx, t.lock_on_us, t.end_us);
+                let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
+                if let Some(ReceptionOutcome::Received) =
+                    self.gateways[lg as usize].on_tx_end_obs(t.id, phy_ok, &mut self.sink)
+                {
+                    self.receiving.push(g_idx);
+                }
+                if own && crashed_mid_rx && verdict == Verdict::Ok {
+                    infra_loss = true;
+                }
+            }
+            if own {
+                own_detected = true;
+                match (how, verdict) {
+                    (Seen::DownAtLockOn, Verdict::Ok) => {
+                        infra_loss = true;
+                    }
+                    (
+                        Seen::Dropped {
+                            foreign_held,
+                            lockup,
+                        },
+                        Verdict::Ok,
+                    ) => {
+                        if lockup {
+                            infra_loss = true;
+                        } else {
+                            let entry = decoder_drop.get_or_insert(false);
+                            *entry = *entry || foreign_held;
+                        }
+                    }
+                    (_, Verdict::Collision { with_network }) => {
+                        collision_with.get_or_insert(with_network);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.slots[si].seen = seen;
+
+        let delivered = !self.receiving.is_empty();
+        let cause = if delivered {
+            None
+        } else if infra_loss {
+            Some(LossCause::Infrastructure)
+        } else if let Some(foreign) = decoder_drop {
+            Some(if foreign {
+                LossCause::DecoderContentionInter
+            } else {
+                LossCause::DecoderContentionIntra
+            })
+        } else if let Some(net) = collision_with {
+            Some(if net == t.network_id {
+                LossCause::ChannelContentionIntra
+            } else {
+                LossCause::ChannelContentionInter
+            })
+        } else {
+            let _ = own_detected;
+            Some(LossCause::Other)
+        };
+
+        if self.sink.enabled() {
+            self.sink.record(&ObsEvent::PacketOutcome {
+                t_us: t.end_us,
+                trace: t.trace,
+                tx: t.id,
+                delivered,
+                cause: cause.map(LossCause::obs_kind),
+            });
+        }
+
+        self.summary.note(
+            t.network_id,
+            t.start_us,
+            t.end_us,
+            t.payload_len,
+            delivered,
+            cause,
+        );
+        if self.collect_records {
+            self.records.push((
+                t.id,
+                PacketRecord {
+                    tx_id: t.id,
+                    node: t.node,
+                    network_id: t.network_id,
+                    channel: t.channel,
+                    dr: t.dr,
+                    start_us: t.start_us,
+                    end_us: t.end_us,
+                    payload_len: t.payload_len,
+                    delivered,
+                    receiving_gateways: self.receiving.clone(),
+                    cause,
+                },
+            ));
+        }
+    }
+
+    /// Port of the monolithic `batch_verdicts` onto slot ids and the
+    /// compact link table. For any fixed gateway the interferers are
+    /// processed in registration order, so every surviving
+    /// floating-point operation matches the monolithic loop bit for
+    /// bit.
+    fn batch_verdicts(&mut self, s: u32) {
+        let slots = &self.slots;
+        let link = &self.link;
+        let ctx = self.ctx;
+        let vs = &mut self.vs;
+        let n_lg = self.n_lg;
+        let n_ch = ctx.n_channels();
+
+        let v = &slots[s as usize];
+        let t = &v.tx;
+        let sf_v = t.dr.spreading_factor();
+        let cv = v.ch as usize;
+        let vrow = v.row as usize * n_lg;
+        let seen = &v.seen;
+        let k = seen.len();
+        vs.intf_lin.clear();
+        vs.intf_lin.resize(k, 0.0);
+        vs.strongest.clear();
+        vs.strongest.resize(k, None);
+        vs.kill.clear();
+        vs.kill.resize(k, false);
+
+        for &o_slot in &v.interferers {
+            let o = &slots[o_slot as usize];
+            let co = o.ch as usize;
+            match ctx.pair[cv * n_ch + co] {
+                PairClass::Disjoint => {}
+                PairClass::Detect => {
+                    let same_sf = o.tx.dr.spreading_factor() == sf_v;
+                    if same_sf && self.cic {
+                        // CIC resolves the collision; both survive.
+                        continue;
+                    }
+                    let orow = o.row as usize * n_lg;
+                    let t_first = t.lock_on_us <= o.tx.lock_on_us;
+                    for (gi, &(lg, _)) in seen.iter().enumerate() {
+                        let lg = lg as usize;
+                        let rssi_o = link[orow + lg];
+                        if same_sf {
+                            // Same settings: the capture effect decides.
+                            let rssi_v = link[vrow + lg];
+                            let (first, second) = if t_first {
+                                (rssi_v, rssi_o)
+                            } else {
+                                (rssi_o, rssi_v)
+                            };
+                            let survives = match capture_outcome(first, second) {
+                                CaptureOutcome::FirstSurvives => t_first,
+                                CaptureOutcome::SecondSurvives => !t_first,
+                                CaptureOutcome::BothLost => false,
+                            };
+                            if !survives {
+                                match vs.strongest[gi] {
+                                    Some((r, _)) if r >= rssi_o => {}
+                                    _ => vs.strongest[gi] = Some((rssi_o, o.tx.network_id)),
+                                }
+                            }
+                        } else {
+                            // Cross-SF quasi-orthogonality.
+                            if link[vrow + lg] - rssi_o < CROSS_SF_REJECTION_DB {
+                                vs.kill[gi] = true;
+                            }
+                        }
+                    }
+                }
+                PairClass::Leak {
+                    gain_same,
+                    gain_orth,
+                } => {
+                    let gain = if o.tx.dr.spreading_factor() != sf_v {
+                        gain_orth
+                    } else {
+                        gain_same
+                    };
+                    if let Some(gain) = gain {
+                        let orow = o.row as usize * n_lg;
+                        for (gi, &(lg, _)) in seen.iter().enumerate() {
+                            let rssi_o = link[orow + lg as usize];
+                            vs.intf_lin[gi] += 10f64.powf((rssi_o + gain) / 10.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        vs.verdicts.clear();
+        for (gi, &(lg, _)) in seen.iter().enumerate() {
+            vs.verdicts.push(if let Some((_, net)) = vs.strongest[gi] {
+                Verdict::Collision { with_network: net }
+            } else {
+                let rssi_v = link[vrow + lg as usize];
+                let sinr = if vs.intf_lin[gi] == 0.0 {
+                    rssi_v - ctx.noise_only_db
+                } else {
+                    rssi_v - 10.0 * (ctx.noise_lin + vs.intf_lin[gi]).log10()
+                };
+                if vs.kill[gi] || !decodable(sinr, sf_v, 0.0) {
+                    Verdict::Interference
+                } else {
+                    Verdict::Ok
+                }
+            });
+        }
+    }
+
+    /// Run the shard to completion over its chunk stream and hand the
+    /// results back.
+    fn run(mut self, rx: mpsc::Receiver<ChunkMsg>) -> ShardOutput {
+        let wall = Instant::now();
+        for (chunk, frontier) in rx.iter() {
+            self.ingest(&chunk);
+            self.drain(frontier);
+        }
+        // The last frontier is u64::MAX by the ChunkSource contract;
+        // this is a belt-and-braces drain for sources that end early.
+        self.drain(u64::MAX);
+        debug_assert!(self.q.is_empty());
+        debug_assert_eq!(self.slots.len(), self.free.len());
+
+        let stats = ShardRunStats {
+            shard: self.shard,
+            txs: self.txs_n,
+            events: self.events,
+            gateways: self.n_lg as u32,
+            candidate_visits: self.candidate_visits,
+            peak_live: self.peak_live as u64,
+            wall_us: wall.elapsed().as_micros() as u64,
+        };
+        ShardOutput {
+            gw_global: self.gw_global,
+            gateways: self.gateways,
+            undetected: self.undetected,
+            extra_undetected: self.extra_undetected,
+            records: self.records,
+            summary: self.summary,
+            obs: self.sink.buf,
+            stats,
+        }
+    }
+}
+
+/// Everything a sharded run produces; trimmed by the public wrappers.
+struct ShardedOutcome {
+    records: Option<Vec<PacketRecord>>,
+    summary: RunSummary,
+    stats: SimRunStats,
+    shard_stats: Vec<ShardRunStats>,
+}
+
+/// The sharded driver: partition, spawn one thread per shard, pump
+/// chunks from `source`, join deterministically.
+fn run_chunked(
+    world: &mut SimWorld,
+    source: &mut dyn ChunkSource,
+    faults: &(dyn InfraFaults + Sync),
+    opts: &ShardOpts,
+    collect_records: bool,
+) -> ShardedOutcome {
+    let wall = Instant::now();
+    let epoch = world.run_epoch;
+    world.run_epoch += 1;
+    let n_gws = world.gateways.len();
+
+    // Channel universe and channel-indexed context only — the big
+    // global link tables are exactly what this path avoids.
+    let mut ctx = RunContext::default();
+    ctx.intern_channel_list(source.channels());
+    ctx.rebuild_channels(&world.gateways);
+    let n_ch = ctx.n_channels();
+
+    let part = partition(&ctx, n_gws, opts.shard_ceiling());
+    let n_shards = part.n_shards;
+
+    let ever_down: Vec<bool> = (0..n_gws).map(|g| faults.gateway_ever_down(g)).collect();
+    let ever_locked: Vec<bool> = (0..n_gws)
+        .map(|g| faults.decoder_lockups_possible(g))
+        .collect();
+    // The admission path only refreshes lock state for gateways the
+    // schedule can actually lock; clear everyone else's up front so
+    // state left by a previous faulted run cannot leak in.
+    for (g, &locked) in ever_locked.iter().enumerate() {
+        if !locked {
+            world.gateways[g].set_locked_decoders(0);
+        }
+    }
+
+    // Take the sink for the run; gateway identities go out first, in
+    // global order, exactly like the monolithic run.
+    let mut taken = world.obs.take();
+    let obs_on = taken.as_deref().map(|s| s.enabled()).unwrap_or(false);
+    if obs_on {
+        let sink = taken.as_deref_mut().expect("sink present when enabled");
+        for g in &world.gateways {
+            sink.record(&ObsEvent::GatewayInfo {
+                gw: g.id as u32,
+                network: g.network_id,
+                capacity: g.pool().capacity() as u32,
+            });
+        }
+    }
+
+    // Move the gateways out to their shards; unassigned ones stay
+    // parked.
+    let mut parked: Vec<Option<Gateway>> = world.gateways.drain(..).map(Some).collect();
+
+    let topo = &world.topo;
+    let node_power = &world.node_power[..];
+    let node_network = &world.node_network[..];
+    let cic = world.cic;
+
+    let mut ch_tx_count = vec![0u64; n_ch];
+    let mut total_txs: u64 = 0;
+
+    let mut outputs: Vec<ShardOutput> = if n_shards == 0 {
+        // Empty channel universe: the source must be empty too.
+        let mut buf = Vec::new();
+        while source.next_chunk(&mut buf).is_some() {
+            assert!(
+                buf.is_empty(),
+                "plan emitted outside the declared channel universe"
+            );
+        }
+        Vec::new()
+    } else {
+        let ctx_ref = &ctx;
+        let part_ref = &part;
+        let ever_down_ref = &ever_down[..];
+        let ever_locked_ref = &ever_locked[..];
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(n_shards);
+            let mut handles = Vec::with_capacity(n_shards);
+            for shard in 0..n_shards {
+                let (tx, rx) = mpsc::sync_channel::<ChunkMsg>(2);
+                let gw_global = part_ref.shard_gws[shard].clone();
+                let gateways: Vec<Gateway> = gw_global
+                    .iter()
+                    .map(|&g| parked[g as usize].take().expect("gateway assigned once"))
+                    .collect();
+                // Candidate lists in local gateway ids (global order is
+                // ascending in both, so candidate order is preserved).
+                let mut cand_local: Vec<Vec<u32>> = vec![Vec::new(); n_ch];
+                for (ci, cl) in cand_local.iter_mut().enumerate() {
+                    if part_ref.shard_of_channel[ci] == shard as u32 {
+                        *cl = ctx_ref.cand[ci]
+                            .iter()
+                            .map(|&g| {
+                                gw_global
+                                    .binary_search(&g)
+                                    .expect("candidate gateway owned by this shard")
+                                    as u32
+                            })
+                            .collect();
+                    }
+                }
+                handles.push(scope.spawn(move || {
+                    ShardMachine::new(
+                        topo,
+                        node_power,
+                        node_network,
+                        ctx_ref,
+                        faults,
+                        ever_down_ref,
+                        ever_locked_ref,
+                        cic,
+                        epoch,
+                        collect_records,
+                        obs_on,
+                        shard as u32,
+                        gw_global,
+                        cand_local,
+                        gateways,
+                    )
+                    .run(rx)
+                }));
+                senders.push(tx);
+            }
+
+            // Producer: route plans to shards by channel, assigning
+            // global ids in emission order; every shard gets every
+            // frontier so it can drain eagerly.
+            let mut buf: Vec<TxPlan> = Vec::new();
+            let mut per_shard: Vec<Vec<RoutedPlan>> = (0..n_shards).map(|_| Vec::new()).collect();
+            while let Some(frontier) = source.next_chunk(&mut buf) {
+                for p in &buf {
+                    let cid = ctx_ref
+                        .channel_id(&p.channel)
+                        .expect("plan channel outside the declared universe")
+                        as usize;
+                    ch_tx_count[cid] += 1;
+                    let shard = part_ref.shard_of_channel[cid] as usize;
+                    per_shard[shard].push((total_txs, cid as u32, *p));
+                    total_txs += 1;
+                }
+                for (shard, sender) in senders.iter().enumerate() {
+                    sender
+                        .send((std::mem::take(&mut per_shard[shard]), frontier))
+                        .expect("shard thread alive");
+                }
+            }
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        })
+    };
+
+    // Restore gateways to global order (unassigned ones never moved).
+    for out in &mut outputs {
+        for (lg, g) in out.gateways.drain(..).enumerate() {
+            let g_idx = out.gw_global[lg] as usize;
+            debug_assert!(parked[g_idx].is_none());
+            parked[g_idx] = Some(g);
+        }
+    }
+    world.gateways = parked
+        .into_iter()
+        .map(|g| g.expect("every gateway restored"))
+        .collect();
+
+    // Not-detected reconciliation, matching the monolithic run: in-loop
+    // SNR-miss tallies (shard-local), per-transmission tallies for
+    // crashable gateways (shard-local, any shard's transmissions), and
+    // the O(1)-per-gateway bulk for never-down gateways.
+    let mut miss = vec![0u64; n_gws];
+    for out in &outputs {
+        for (lg, &u) in out.undetected.iter().enumerate() {
+            miss[out.gw_global[lg] as usize] += u;
+        }
+        for (g, &u) in out.extra_undetected.iter().enumerate() {
+            miss[g] += u;
+        }
+    }
+    for (g, m) in miss.iter_mut().enumerate() {
+        if !ever_down[g] {
+            let mut cand_txs = 0u64;
+            for (c, cnt) in ch_tx_count.iter().enumerate() {
+                if ctx.is_cand[c * n_gws + g] {
+                    cand_txs += *cnt;
+                }
+            }
+            *m += total_txs - cand_txs;
+        }
+    }
+    for (g, &m) in miss.iter().enumerate() {
+        if m > 0 {
+            world.gateways[g].note_undetected(m);
+        }
+    }
+
+    // K-way merge the per-shard obs buffers by global event key. Keys
+    // are unique across shards (each is tagged with its transmission
+    // id), so `<` alone reconstructs the monolithic stream.
+    if obs_on {
+        let sink = taken.as_deref_mut().expect("sink present when enabled");
+        let mut idx = vec![0usize; outputs.len()];
+        loop {
+            let mut best: Option<(usize, (u64, u8, u64))> = None;
+            for (s, out) in outputs.iter().enumerate() {
+                if let Some(&(key, _)) = out.obs.get(idx[s]) {
+                    if best.is_none_or(|(_, bk)| key < bk) {
+                        best = Some((s, key));
+                    }
+                }
+            }
+            match best {
+                Some((s, _)) => {
+                    sink.record(&outputs[s].obs[idx[s]].1);
+                    idx[s] += 1;
+                }
+                None => break,
+            }
+        }
+    }
+    if let Some(sink) = taken.as_deref_mut() {
+        sink.flush();
+    }
+    world.obs = taken;
+
+    // Scatter records back into global id order.
+    let records = if collect_records {
+        let mut slots: Vec<Option<PacketRecord>> = vec![None; total_txs as usize];
+        for out in &mut outputs {
+            for (id, r) in out.records.drain(..) {
+                slots[id as usize] = Some(r);
+            }
+        }
+        Some(
+            slots
+                .into_iter()
+                .map(|r| r.expect("every tx finished"))
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    let mut summary = RunSummary::default();
+    let mut shard_stats = Vec::with_capacity(outputs.len());
+    let mut events = 0u64;
+    let mut candidate_visits = 0u64;
+    for out in &outputs {
+        summary.merge(&out.summary);
+        events += out.stats.events;
+        candidate_visits += out.stats.candidate_visits;
+        shard_stats.push(out.stats);
+    }
+    let stats = SimRunStats {
+        txs: total_txs,
+        events,
+        gateways: n_gws as u32,
+        candidate_visits,
+        candidate_ceiling: total_txs * n_gws as u64,
+        wall_us: wall.elapsed().as_micros() as u64,
+    };
+    world.last_stats = Some(stats);
+    world.last_shard_stats = Some(shard_stats.clone());
+
+    ShardedOutcome {
+        records,
+        summary,
+        stats,
+        shard_stats,
+    }
+}
+
+impl SimWorld {
+    /// [`Self::run`] over the sharded engine: byte-identical records,
+    /// gateway stats and obs stream, computed over independent channel
+    /// shards on up to `opts.max_shards` threads.
+    pub fn run_sharded(&mut self, plans: &[TxPlan], opts: &ShardOpts) -> Vec<PacketRecord> {
+        self.run_sharded_with_faults(plans, &NoFaults, opts)
+    }
+
+    /// [`Self::run_with_faults`] over the sharded engine. `faults`
+    /// must be `Sync` (shards query it concurrently; [`InfraFaults`]
+    /// implementations are pure).
+    pub fn run_sharded_with_faults(
+        &mut self,
+        plans: &[TxPlan],
+        faults: &(dyn InfraFaults + Sync),
+        opts: &ShardOpts,
+    ) -> Vec<PacketRecord> {
+        let mut source = SliceChunks::new(plans, opts.chunk_txs);
+        run_chunked(self, &mut source, faults, opts, true)
+            .records
+            .expect("records collected")
+    }
+
+    /// Run a streamed workload to completion without materializing it:
+    /// plans are generated chunk by chunk, per-packet records are
+    /// folded into an aggregate [`RunSummary`] instead of being kept,
+    /// and peak memory is bounded by the on-air set — the 1M–10M-node
+    /// path.
+    pub fn run_streamed(&mut self, source: &mut dyn ChunkSource, opts: &ShardOpts) -> StreamedRun {
+        self.run_streamed_with_faults(source, &NoFaults, opts)
+    }
+
+    /// [`Self::run_streamed`] under an infrastructure-fault schedule.
+    pub fn run_streamed_with_faults(
+        &mut self,
+        source: &mut dyn ChunkSource,
+        faults: &(dyn InfraFaults + Sync),
+        opts: &ShardOpts,
+    ) -> StreamedRun {
+        let out = run_chunked(self, source, faults, opts, false);
+        StreamedRun {
+            summary: out.summary,
+            stats: out.stats,
+            shard_stats: out.shard_stats,
+        }
+    }
+
+    /// Per-shard counters from the most recent sharded/streamed run;
+    /// `None` before the first, or after a monolithic run.
+    pub fn last_shard_stats(&self) -> Option<&[ShardRunStats]> {
+        self.last_shard_stats.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{concurrent_burst, duty_cycled, BurstScheme};
+    use gateway::config::GatewayConfig;
+    use gateway::profile::GatewayProfile;
+    use lora_phy::channel::Channel;
+    use lora_phy::pathloss::PathLossModel;
+    use lora_phy::region::StandardChannelPlan;
+    use lora_phy::types::DataRate;
+
+    fn two_subband_world(n_nodes: usize) -> SimWorld {
+        let model = PathLossModel {
+            shadowing_sigma_db: 0.0,
+            ..Default::default()
+        };
+        let topo = Topology::new((1_000.0, 1_000.0), n_nodes, 2, model, 7);
+        let profile = GatewayProfile::rak7268cv2();
+        // Two gateways on spectrally disjoint sub-bands: exactly two
+        // independent components.
+        let gateways = vec![
+            Gateway::new(
+                0,
+                1,
+                profile,
+                GatewayConfig::new(profile, StandardChannelPlan::us915_subband(0).channels)
+                    .unwrap(),
+            ),
+            Gateway::new(
+                1,
+                2,
+                profile,
+                GatewayConfig::new(profile, StandardChannelPlan::us915_subband(2).channels)
+                    .unwrap(),
+            ),
+        ];
+        let networks = (0..n_nodes).map(|i| 1 + (i % 2) as u32).collect();
+        SimWorld::new(topo, networks, gateways)
+    }
+
+    fn two_subband_assignments(n: usize) -> Vec<(usize, Channel, DataRate)> {
+        let a = StandardChannelPlan::us915_subband(0).channels;
+        let b = StandardChannelPlan::us915_subband(2).channels;
+        (0..n)
+            .map(|i| {
+                let ch = if i % 2 == 0 {
+                    a[i / 2 % 8]
+                } else {
+                    b[i / 2 % 8]
+                };
+                (i, ch, DataRate::from_index(i % 6).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_separates_disjoint_subbands() {
+        let w = two_subband_world(4);
+        let plans = duty_cycled(&two_subband_assignments(4), 12, 0.01, 60_000_000, 3);
+        let mut ctx = RunContext::default();
+        let chans: Vec<Channel> = {
+            let mut cs = Vec::new();
+            for p in &plans {
+                if !cs.contains(&p.channel) {
+                    cs.push(p.channel);
+                }
+            }
+            cs
+        };
+        ctx.intern_channel_list(&chans);
+        ctx.rebuild_channels(&w.gateways);
+        let part = partition(&ctx, 2, 8);
+        assert_eq!(part.n_shards, 2, "two disjoint sub-bands, two shards");
+        assert_eq!(part.shard_gws.iter().map(Vec::len).sum::<usize>(), 2);
+        // Gateway 0 (sub-band 0) and gateway 1 (sub-band 2) are in
+        // different shards.
+        let s0 = part.shard_gws.iter().position(|g| g.contains(&0)).unwrap();
+        let s1 = part.shard_gws.iter().position(|g| g.contains(&1)).unwrap();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn sharded_matches_monolithic() {
+        let assigns = two_subband_assignments(24);
+        let plans = duty_cycled(&assigns, 12, 0.02, 120_000_000, 11);
+        assert!(!plans.is_empty());
+
+        let mut mono = two_subband_world(24);
+        let recs_mono = mono.run(&plans);
+
+        for shards in [1usize, 2, 4] {
+            let mut sharded = two_subband_world(24);
+            let opts = ShardOpts {
+                max_shards: shards,
+                chunk_txs: 7,
+            };
+            let recs = sharded.run_sharded(&plans, &opts);
+            assert_eq!(recs, recs_mono, "shards={shards}");
+            for (a, b) in sharded.gateways.iter().zip(&mono.gateways) {
+                assert_eq!(a.stats(), b.stats(), "shards={shards}");
+            }
+            let stats = sharded.last_run_stats().unwrap();
+            assert_eq!(stats.txs, plans.len() as u64);
+            assert_eq!(stats.events, 3 * plans.len() as u64);
+            let per_shard = sharded.last_shard_stats().unwrap();
+            assert_eq!(per_shard.iter().map(|s| s.txs).sum::<u64>(), stats.txs);
+            assert!(per_shard.iter().all(|s| s.peak_live <= s.txs));
+        }
+    }
+
+    #[test]
+    fn sharded_run_out_of_order_plans() {
+        // `run` accepts plans in any order (ids = indices); the
+        // chunked path must too.
+        let assigns = two_subband_assignments(8);
+        let mut plans = duty_cycled(&assigns, 12, 0.02, 60_000_000, 5);
+        plans.reverse();
+        let mut mono = two_subband_world(8);
+        let recs_mono = mono.run(&plans);
+        let mut sharded = two_subband_world(8);
+        let opts = ShardOpts {
+            max_shards: 2,
+            chunk_txs: 3,
+        };
+        assert_eq!(sharded.run_sharded(&plans, &opts), recs_mono);
+    }
+
+    #[test]
+    fn streamed_summary_matches_materialized_records() {
+        use crate::traffic::{collect_chunks, DutyCycleStream};
+        let assigns = two_subband_assignments(16);
+        let mut stream = DutyCycleStream::new(&assigns, 12, 0.02, 120_000_000, 9, 10_000_000);
+        let plans = collect_chunks(&mut DutyCycleStream::new(
+            &assigns,
+            12,
+            0.02,
+            120_000_000,
+            9,
+            10_000_000,
+        ));
+        assert!(!plans.is_empty());
+
+        let mut mat = two_subband_world(16);
+        let recs = mat.run(&plans);
+        let expect = RunSummary::from_records(&recs);
+
+        let mut streamed = two_subband_world(16);
+        let opts = ShardOpts {
+            max_shards: 2,
+            chunk_txs: 64,
+        };
+        let run = streamed.run_streamed(&mut stream, &opts);
+        assert_eq!(run.summary, expect);
+        assert_eq!(run.stats.txs, plans.len() as u64);
+        assert!(run
+            .summary
+            .statistically_equivalent(&expect, 0.0, 0.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn concurrent_burst_sharded_equivalence() {
+        // Same-instant-heavy schedule: frontier gating must not
+        // reorder equal-timestamp events.
+        let plan = StandardChannelPlan::us915_subband(0);
+        let assigns: Vec<(usize, Channel, DataRate)> = (0..20)
+            .map(|i| {
+                (
+                    i,
+                    plan.channels[i % 8],
+                    DataRate::from_index(i / 8 % 6).unwrap(),
+                )
+            })
+            .collect();
+        let plans = concurrent_burst(
+            &assigns,
+            10,
+            1_000_000,
+            2_000,
+            BurstScheme::FinalPreambleOrdered,
+        );
+        let mk = || {
+            let model = PathLossModel {
+                shadowing_sigma_db: 0.0,
+                ..Default::default()
+            };
+            let topo = Topology::new((100.0, 100.0), 20, 1, model, 1);
+            let profile = GatewayProfile::rak7268cv2();
+            let gw = Gateway::new(
+                0,
+                1,
+                profile,
+                GatewayConfig::new(profile, plan.channels.clone()).unwrap(),
+            );
+            SimWorld::new(topo, vec![1; 20], vec![gw])
+        };
+        let mut mono = mk();
+        let recs_mono = mono.run(&plans);
+        let mut sharded = mk();
+        let opts = ShardOpts {
+            max_shards: 4,
+            chunk_txs: 3,
+        };
+        assert_eq!(sharded.run_sharded(&plans, &opts), recs_mono);
+    }
+
+    #[test]
+    fn empty_plan_list() {
+        let mut w = two_subband_world(2);
+        let recs = w.run_sharded(&[], &ShardOpts::default());
+        assert!(recs.is_empty());
+        assert_eq!(w.last_run_stats().unwrap().txs, 0);
+    }
+
+    #[test]
+    fn from_env_parses_shards() {
+        // Only exercises the parser default (env mutation is racy in
+        // parallel test runs).
+        let opts = ShardOpts::default();
+        assert_eq!(opts.max_shards, 0);
+        assert!(opts.shard_ceiling() >= 1);
+    }
+}

@@ -153,6 +153,257 @@ pub fn duty_cycled(
     plans
 }
 
+/// A workload delivered in start-time-ordered chunks, so the sharded
+/// event loop never materializes the full 3n-event timeline.
+///
+/// Contract (what [`crate::shard`]'s frontier-gated draining stands
+/// on):
+///
+/// * every plan of a *later* chunk starts at or after the frontier
+///   returned with the current chunk (plans *within* a chunk may be in
+///   any order — the consumer heaps them);
+/// * transmission ids are assigned by the consumer in emission order,
+///   so a chunked run's ids match a materialized run over the same
+///   plans in the same order;
+/// * every emitted channel is in [`Self::channels`] (declared up
+///   front, because the shard partition must be fixed before the
+///   first chunk is processed).
+pub trait ChunkSource {
+    /// The channel universe every emitted plan draws from.
+    fn channels(&self) -> &[Channel];
+
+    /// Clear `out`, fill it with the next chunk (possibly empty), and
+    /// return the frontier: every plan of every later chunk starts at
+    /// or after it. `None` once the workload is exhausted.
+    fn next_chunk(&mut self, out: &mut Vec<TxPlan>) -> Option<u64>;
+}
+
+/// [`ChunkSource`] over an already-materialized plan slice, in slice
+/// order (so consumer-assigned ids equal plan indices): yields
+/// fixed-size windows whose frontier is the minimum start time of the
+/// *remaining* plans (a precomputed suffix minimum, so unsorted slices
+/// — which [`crate::world::SimWorld::run`] accepts — work too). Lets
+/// `SimWorld::run_sharded` reuse the streaming machinery and lets
+/// tests pin chunked == monolithic.
+pub struct SliceChunks<'a> {
+    plans: &'a [TxPlan],
+    channels: Vec<Channel>,
+    /// `suffix_min[i]`: minimum `start_us` over `plans[i..]`
+    /// (`u64::MAX` at `i == plans.len()`).
+    suffix_min: Vec<u64>,
+    cursor: usize,
+    chunk_txs: usize,
+}
+
+impl<'a> SliceChunks<'a> {
+    /// Chunk `plans` into windows of at most `chunk_txs` transmissions.
+    pub fn new(plans: &'a [TxPlan], chunk_txs: usize) -> SliceChunks<'a> {
+        assert!(chunk_txs > 0, "chunk size must be positive");
+        // First-appearance channel universe.
+        let mut channels: Vec<Channel> = Vec::new();
+        for p in plans {
+            if !channels.contains(&p.channel) {
+                channels.push(p.channel);
+            }
+        }
+        let mut suffix_min = vec![u64::MAX; plans.len() + 1];
+        for i in (0..plans.len()).rev() {
+            suffix_min[i] = plans[i].start_us.min(suffix_min[i + 1]);
+        }
+        SliceChunks {
+            plans,
+            channels,
+            suffix_min,
+            cursor: 0,
+            chunk_txs,
+        }
+    }
+}
+
+impl ChunkSource for SliceChunks<'_> {
+    fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TxPlan>) -> Option<u64> {
+        out.clear();
+        if self.cursor >= self.plans.len() {
+            return None;
+        }
+        let end = (self.cursor + self.chunk_txs).min(self.plans.len());
+        out.extend_from_slice(&self.plans[self.cursor..end]);
+        self.cursor = end;
+        Some(self.suffix_min[end])
+    }
+}
+
+/// SplitMix64 step — the per-node PRNG of [`DutyCycleStream`]. 8 bytes
+/// of state per node (versus ~136 for a `StdRng`), so a million-node
+/// generator stays small; statistically fine for exponential
+/// inter-arrival draws.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform f64 in `(0, 1]` from one SplitMix64 draw (53 mantissa
+/// bits; the `+1` keeps `ln` finite).
+fn unit_open(state: &mut u64) -> f64 {
+    (((splitmix64(state) >> 11) + 1) as f64) * (1.0 / 9007199254740992.0)
+}
+
+/// Streaming variant of [`duty_cycled`]: the same Poisson-per-node
+/// traffic model, generated chunk by chunk in `O(nodes + chunk)`
+/// memory instead of materializing (and sorting) every plan.
+///
+/// Each node owns an independent SplitMix64 stream seeded from
+/// `(seed, node index)`, and a binary heap of per-node next-arrival
+/// times yields plans in global start order. Deterministic for a fixed
+/// seed and **independent of chunking** — only how many plans each
+/// `next_chunk` call returns changes, never their content or order.
+/// (Not sample-identical to [`duty_cycled`], which consumes one shared
+/// `StdRng` sequentially per node; this is a different generator with
+/// the same distribution, usable at scales where the materialized one
+/// cannot run.)
+pub struct DutyCycleStream {
+    assignments: Vec<(usize, Channel, DataRate)>,
+    channels: Vec<Channel>,
+    payload_len: usize,
+    horizon_us: u64,
+    chunk_us: u64,
+    cursor_us: u64,
+    /// Per assignment: mean inter-arrival gap (airtime / duty).
+    mean_gap: Vec<f64>,
+    /// Per assignment: PRNG state.
+    rng: Vec<u64>,
+    /// Per assignment: exact next arrival time (µs, f64 to avoid
+    /// accumulating rounding across arrivals).
+    next_t: Vec<f64>,
+    /// Min-heap of (next arrival µs, assignment index); arrival ties
+    /// break by assignment index for determinism.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    done: bool,
+}
+
+impl DutyCycleStream {
+    /// Build the stream; chunks cover `chunk_us` of simulated time
+    /// each.
+    pub fn new(
+        assignments: &[(usize, Channel, DataRate)],
+        payload_len: usize,
+        duty: f64,
+        horizon_us: u64,
+        seed: u64,
+        chunk_us: u64,
+    ) -> DutyCycleStream {
+        assert!(duty > 0.0 && duty <= 1.0);
+        assert!(chunk_us > 0);
+        let mut channels: Vec<Channel> = Vec::new();
+        for &(_, ch, _) in assignments {
+            if !channels.contains(&ch) {
+                channels.push(ch);
+            }
+        }
+        let mut mean_gap = Vec::with_capacity(assignments.len());
+        let mut rng = Vec::with_capacity(assignments.len());
+        let mut next_t = Vec::with_capacity(assignments.len());
+        let mut heap = std::collections::BinaryHeap::with_capacity(assignments.len());
+        for (i, &(_, _, dr)) in assignments.iter().enumerate() {
+            let airtime =
+                PacketParams::lorawan_uplink(dr.spreading_factor(), Bandwidth::Khz125, payload_len)
+                    .airtime()
+                    .total_us();
+            let gap = airtime as f64 / duty;
+            // Independent stream per node: mix the node index into the
+            // seed (SplitMix64 of `seed ^ mix(i)` decorrelates nodes).
+            let mut state = seed ^ (i as u64).wrapping_mul(0xA24BAED4963EE407);
+            splitmix64(&mut state);
+            // Random initial phase in (0, gap], as in `duty_cycled`.
+            let t0 = unit_open(&mut state) * gap;
+            mean_gap.push(gap);
+            rng.push(state);
+            next_t.push(t0);
+            if (t0 as u64) < horizon_us {
+                heap.push(std::cmp::Reverse((t0 as u64, i as u32)));
+            }
+        }
+        DutyCycleStream {
+            assignments: assignments.to_vec(),
+            channels,
+            payload_len,
+            horizon_us,
+            chunk_us,
+            cursor_us: 0,
+            mean_gap,
+            rng,
+            next_t,
+            heap,
+            done: false,
+        }
+    }
+
+    /// Total nodes with an assignment.
+    pub fn n_assignments(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+impl ChunkSource for DutyCycleStream {
+    fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<TxPlan>) -> Option<u64> {
+        out.clear();
+        if self.done {
+            return None;
+        }
+        let window_end = self.cursor_us.saturating_add(self.chunk_us);
+        while let Some(&std::cmp::Reverse((t, idx))) = self.heap.peek() {
+            if t >= window_end {
+                break;
+            }
+            self.heap.pop();
+            let i = idx as usize;
+            let (node, channel, dr) = self.assignments[i];
+            out.push(TxPlan {
+                node,
+                channel,
+                dr,
+                start_us: t,
+                payload_len: self.payload_len,
+            });
+            // Exponential inter-arrival, mean `mean_gap`.
+            let next = self.next_t[i] - unit_open(&mut self.rng[i]).ln() * self.mean_gap[i];
+            self.next_t[i] = next;
+            if (next as u64) < self.horizon_us {
+                self.heap.push(std::cmp::Reverse((next as u64, idx)));
+            }
+        }
+        self.cursor_us = window_end;
+        if self.heap.is_empty() && window_end >= self.horizon_us {
+            self.done = true;
+            Some(u64::MAX)
+        } else {
+            Some(window_end)
+        }
+    }
+}
+
+/// Drain a [`ChunkSource`] into one materialized, ordered plan list —
+/// the small-scale bridge for proving streamed == materialized runs.
+pub fn collect_chunks(source: &mut dyn ChunkSource) -> Vec<TxPlan> {
+    let mut all = Vec::new();
+    let mut buf = Vec::new();
+    while source.next_chunk(&mut buf).is_some() {
+        all.extend_from_slice(&buf);
+    }
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

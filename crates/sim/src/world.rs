@@ -177,13 +177,13 @@ pub(crate) enum Verdict {
 #[derive(Debug, Default)]
 pub(crate) struct VerdictScratch {
     /// Accumulated leaked interference, linear mW relative to dBm.
-    intf_lin: Vec<f64>,
+    pub(crate) intf_lin: Vec<f64>,
     /// Strongest same-settings collider so far (RSSI, network id).
-    strongest: Vec<Option<(f64, u32)>>,
+    pub(crate) strongest: Vec<Option<(f64, u32)>>,
     /// Cross-SF interference kill flag.
-    kill: Vec<bool>,
+    pub(crate) kill: Vec<bool>,
     /// Final verdicts, indexed like the seen slice.
-    verdicts: Vec<Verdict>,
+    pub(crate) verdicts: Vec<Verdict>,
 }
 
 /// Aggregate counters from the most recent run, exposed via
@@ -258,7 +258,10 @@ pub struct SimWorld {
     /// Reusable per-run context and arenas (see [`crate::runctx`]).
     scratch: RunScratch,
     /// Counters from the most recent run.
-    last_stats: Option<SimRunStats>,
+    pub(crate) last_stats: Option<SimRunStats>,
+    /// Per-shard counters from the most recent *sharded* run (see
+    /// [`crate::shard`]); `None` after a monolithic run.
+    pub(crate) last_shard_stats: Option<Vec<crate::shard::ShardRunStats>>,
 }
 
 impl SimWorld {
@@ -276,6 +279,7 @@ impl SimWorld {
             run_epoch: 0,
             scratch: RunScratch::default(),
             last_stats: None,
+            last_shard_stats: None,
         }
     }
 
@@ -330,6 +334,7 @@ impl SimWorld {
         let wall_start = Instant::now();
         let epoch = self.run_epoch;
         self.run_epoch += 1;
+        self.last_shard_stats = None;
         let n_gws = self.gateways.len();
 
         // Scratch is moved out for the run so the event loop can borrow

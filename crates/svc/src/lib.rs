@@ -23,6 +23,8 @@
 //! metrics over a plaintext TCP endpoint ([`endpoint`]) and write the
 //! versioned `BENCH_service.json` artifact ([`report`]).
 
+#![deny(missing_docs)]
+
 pub mod endpoint;
 pub mod loadgen;
 pub mod masterd;

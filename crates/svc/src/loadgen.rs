@@ -112,19 +112,26 @@ impl Default for LoadgenConfig {
 /// counts come from the daemon's own metrics).
 #[derive(Debug)]
 pub struct LoadgenReport {
+    /// PUSH_DATA datagrams sent.
     pub sent_datagrams: u64,
+    /// Individual rxpk packets carried by those datagrams.
     pub sent_pkts: u64,
     /// Epochs actually replayed (clamped when the virtual-time budget
     /// runs out before the requested count).
     pub epochs_run: usize,
+    /// Wall-clock duration of the send loop.
     pub elapsed: Duration,
     /// Client-side send rate, pkts/sec.
     pub offered_pps: f64,
     /// PUSH/PULL ACK datagrams received back.
     pub acks: u64,
+    /// Round-trip latency of sampled PUSH_DATA→ACK pairs, µs.
     pub ack_rtt: Histogram,
+    /// Plan requests that went to the Master daemon.
     pub plan_fetches: u64,
+    /// Plan requests answered from the client-side cache.
     pub plan_cached: u64,
+    /// Latency of Master plan fetches, µs.
     pub plan_latency: Histogram,
 }
 

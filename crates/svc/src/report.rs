@@ -30,8 +30,11 @@ pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 1;
 /// p50/p95/p99 snapshot of a histogram (µs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyQuantiles {
+    /// Median, µs.
     pub p50: u64,
+    /// 95th percentile, µs.
     pub p95: u64,
+    /// 99th percentile, µs.
     pub p99: u64,
 }
 
@@ -61,17 +64,29 @@ pub struct ServiceBench {
     /// Packets the daemon ingested per wall-clock second, measured
     /// over the window from first to last ingest.
     pub sustained_pps: f64,
+    /// Rxpk packets the load generator offered.
     pub sent_pkts: u64,
+    /// Packets the daemon's dedup pipeline actually processed.
     pub ingested_pkts: u64,
+    /// PUSH_DATA datagrams the load generator sent.
     pub sent_datagrams: u64,
+    /// PUSH_ACK responses the load generator got back.
     pub acked_datagrams: u64,
+    /// Socket-receive to dedup-decision latency quantiles.
     pub ingest_latency_us: LatencyQuantiles,
+    /// Client-observed PUSH_DATA→ACK round-trip quantiles.
     pub ack_rtt_us: LatencyQuantiles,
+    /// Master plan-serve latency quantiles.
     pub plan_serve_latency_us: LatencyQuantiles,
+    /// Plan requests served by the Master daemon.
     pub plan_fetches: u64,
+    /// Plan requests answered from the client-side cache.
     pub plan_cached: u64,
+    /// Dedup decisions: first copy of a frame.
     pub dedup_new: u64,
+    /// Dedup decisions: extra copy inside the merge window.
     pub dedup_duplicate: u64,
+    /// Dedup decisions: copy arriving after the window closed.
     pub dedup_late: u64,
     /// Logged decisions whose outcome differed from the in-process
     /// replay — must be 0.

@@ -43,12 +43,17 @@ pub const SERVE_LATENCY_BOUNDS_US: [u64; 8] = [50, 100, 250, 500, 1_000, 5_000, 
 /// One keyed uplink copy extracted from a PUSH_DATA rxpk.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketIn {
+    /// Device address the frame came from.
     pub dev: u32,
+    /// LoRaWAN frame counter.
     pub fcnt: u16,
+    /// Gateway id that heard this copy.
     pub gw: u16,
     /// Reception timestamp (the rxpk `tmst`), µs.
     pub t_us: u64,
+    /// Reported SNR of this copy, dB.
     pub snr_db: f32,
+    /// Distributed trace id threaded through obs events.
     pub trace: u64,
 }
 
@@ -57,17 +62,24 @@ pub struct PacketIn {
 /// so the worker can measure ingest latency.
 #[derive(Debug)]
 pub struct Batch {
+    /// The copies routed to this shard.
     pub pkts: Vec<PacketIn>,
+    /// Socket receive instant of the carrying datagram.
     pub recv: Instant,
 }
 
 /// One dedup decision, in the exact order the owning shard made it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decision {
+    /// Device address of the judged frame.
     pub dev: u32,
+    /// LoRaWAN frame counter of the judged frame.
     pub fcnt: u16,
+    /// Gateway whose copy triggered this decision.
     pub gw: u16,
+    /// Reception timestamp of that copy, µs.
     pub t_us: u64,
+    /// What the dedup state machine decided.
     pub outcome: DedupOutcome,
 }
 

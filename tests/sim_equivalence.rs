@@ -24,9 +24,11 @@ use alphawan_system::lora_phy::pathloss::PathLossModel;
 use alphawan_system::lora_phy::types::{DataRate, TxPowerDbm};
 use alphawan_system::obs::{ObsEvent, SharedSink, VecSink};
 use alphawan_system::sim::faults::{InfraFaults, NoFaults};
+use alphawan_system::sim::metrics::RunSummary;
 use alphawan_system::sim::reference::run_with_faults_reference;
+use alphawan_system::sim::shard::ShardOpts;
 use alphawan_system::sim::topology::Topology;
-use alphawan_system::sim::traffic::TxPlan;
+use alphawan_system::sim::traffic::{SliceChunks, TxPlan};
 use alphawan_system::sim::world::SimWorld;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -225,5 +227,50 @@ proptest! {
         // The runs are non-degenerate often enough to mean something:
         // every plan produced a record.
         prop_assert_eq!(fast_1.len(), sc.plans.len());
+    }
+
+    /// Shard invariance: the sharded engine run over 1, 2 and 5 shards
+    /// (with a scenario-derived chunk size) reproduces the monolithic
+    /// run byte for byte — records, gateway counters and the typed
+    /// observability stream — across two consecutive runs of the same
+    /// world; and the streamed (aggregate-only) path folds the exact
+    /// [`RunSummary`] that the materialized records imply.
+    fn sharded_engine_matches_monolithic(seed in any::<u64>()) {
+        let sc = Scenario::generate(seed);
+        let schedule = sc
+            .fault_plan
+            .as_ref()
+            .map(|p| FaultSchedule::compile(p).unwrap());
+        let faults: &(dyn InfraFaults + Sync) = match &schedule {
+            Some(s) => s,
+            None => &NoFaults,
+        };
+
+        let (mono_1, mono_2, mono_stats, mono_events) =
+            run_twice(&sc, |w| w.run_with_faults(&sc.plans, faults));
+        let chunk_txs = 1 + (seed % 23) as usize;
+
+        for max_shards in [1usize, 2, 5] {
+            let opts = ShardOpts { max_shards, chunk_txs };
+            let (sh_1, sh_2, sh_stats, sh_events) =
+                run_twice(&sc, |w| w.run_sharded_with_faults(&sc.plans, faults, &opts));
+            prop_assert_eq!(&sh_1, &mono_1, "first-run records diverged (shards={})", max_shards);
+            prop_assert_eq!(&sh_2, &mono_2, "second-run records diverged (shards={})", max_shards);
+            prop_assert_eq!(&sh_stats, &mono_stats, "gateway stats diverged (shards={})", max_shards);
+            prop_assert_eq!(&sh_events, &mono_events, "observed event streams diverged (shards={})", max_shards);
+        }
+
+        // Streamed aggregate == fold of the materialized records, and
+        // the statistical gate accepts identical summaries at zero
+        // tolerance.
+        let expect = RunSummary::from_records(&mono_1);
+        let mut w = sc.build_world();
+        let opts = ShardOpts { max_shards: 3, chunk_txs };
+        let mut source = SliceChunks::new(&sc.plans, chunk_txs);
+        let streamed = w.run_streamed_with_faults(&mut source, faults, &opts);
+        prop_assert_eq!(&streamed.summary, &expect, "streamed summary diverged");
+        prop_assert!(streamed.summary.statistically_equivalent(&expect, 0.0, 0.0).is_ok());
+        let per_shard: u64 = streamed.shard_stats.iter().map(|s| s.txs).sum();
+        prop_assert_eq!(per_shard, sc.plans.len() as u64);
     }
 }
