@@ -378,6 +378,7 @@ pub fn score_batch(
     scratches: &mut [Scratch],
     out: &mut [f64],
 ) {
+    let _sp = obs::span::enter(obs::span::SpanId::SolverEval);
     assert_eq!(genomes.len(), out.len());
     assert!(!scratches.is_empty(), "need at least one scratch");
     let workers = scratches.len().min(genomes.len()).max(1);

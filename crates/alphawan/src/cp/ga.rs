@@ -505,6 +505,7 @@ fn crossover_genome(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
 /// [`bernoulli_hits`] so the cost scales with mutations applied rather
 /// than genome length.
 fn mutate_genome(p: &CpProblem, g: &mut Genome, node_rate: f64, gw_rate: f64, rng: &mut StdRng) {
+    let _sp = obs::span::enter(obs::span::SpanId::SolverMutate);
     let n_ch = p.n_channels();
     let n = g.gene.len();
     bernoulli_hits(n, node_rate, rng, |i, rng| {
@@ -550,6 +551,7 @@ pub(crate) fn resample_gw_mask(p: &CpProblem, j: usize, rng: &mut StdRng) -> u64
 /// O(set bits) mask walks instead of a full channels × rings scan.
 /// No heap use.
 fn repair_genome(ctx: &EvalContext, g: &mut Genome, rng: &mut StdRng) {
+    let _sp = obs::span::enter(obs::span::SpanId::SolverRepair);
     let mut listeners = [0u64; 64];
     let mut nch = [0u32; 64];
     for (j, &mask) in g.gw_mask.iter().enumerate() {

@@ -126,17 +126,11 @@ fn workload(nodes: usize, gws: usize, horizon_us: u64, seed: u64) -> Vec<TxPlan>
 }
 
 /// Process peak resident set (VmHWM), MB; 0.0 if unreadable (non-Linux).
+/// Shares the registry-gauge probe (`obs::proc_mem`) so the bench and
+/// the daemons report the same number.
 fn peak_rss_mb() -> f64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace()
-                    .nth(1)
-                    .and_then(|kb| kb.parse::<f64>().ok())
-            })
-        })
-        .map(|kb| kb / 1024.0)
+    obs::proc_mem()
+        .map(|m| m.peak_rss_bytes as f64 / (1024.0 * 1024.0))
         .unwrap_or(0.0)
 }
 
@@ -199,6 +193,11 @@ struct BenchReport {
     schema_version: u32,
     quick: bool,
     scales: Vec<ScalePoint>,
+    /// Span-profiler overhead on the 100k-node indexed core, attached
+    /// vs detached (fractional; full mode only — quick CI runs are too
+    /// noisy to gate on a 2% wall-clock delta).
+    #[serde(default)]
+    span_overhead_frac: Option<f64>,
 }
 
 /// Repetitions per path; each point reports the best run, which damps
@@ -305,6 +304,58 @@ fn measure_exact(nodes: usize, gws: usize, horizon_us: u64) -> ScalePoint {
         reference_secs, fast_secs, sharded_secs, point.shards, point.speedup.unwrap(), point.candidate_cull_ratio
     );
     point
+}
+
+/// Span-profiler overhead gate: the 100k-node indexed core timed with
+/// the profiler detached, then attached at the default stride. Records
+/// must be bit-identical either way (instrumentation cannot perturb the
+/// simulation), and the attached wall time must stay within 2% of
+/// detached — the budget `obs::span` promises at its call sites.
+fn measure_span_overhead(nodes: usize, gws: usize, horizon_us: u64) -> f64 {
+    let seed = 550_000 + nodes as u64;
+    let plans = workload(nodes, gws, horizon_us, seed);
+    let mut world = build_world(nodes, gws, seed);
+
+    let time_path = |world: &mut SimWorld| {
+        let mut best = f64::INFINITY;
+        let mut recs = Vec::new();
+        for _ in 0..REPS {
+            world.reset();
+            let t0 = Instant::now();
+            recs = world.run_with_faults(&plans, &NoFaults);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, recs)
+    };
+
+    obs::span::detach();
+    let (off_secs, recs_off) = time_path(&mut world);
+    obs::span::attach();
+    let (on_secs, recs_on) = time_path(&mut world);
+    let report = obs::span::report();
+    obs::span::detach();
+
+    assert_eq!(
+        recs_on, recs_off,
+        "span profiler must not perturb simulation records"
+    );
+    assert!(
+        report.sites.iter().any(|s| s.site == "sim.event_loop"),
+        "attached run must have profiled the event loop"
+    );
+    let overhead = on_secs / off_secs.max(1e-12) - 1.0;
+    println!(
+        "bench simworld/span_overhead   detached {off_secs:>8.3}s  attached {on_secs:>8.3}s  overhead {:>+6.2}%  (stride {}, self {}ns/call)",
+        overhead * 100.0,
+        report.stride,
+        report.self_ns_per_call
+    );
+    assert!(
+        overhead <= 0.02,
+        "span profiler overhead {:.2}% exceeds the 2% budget",
+        overhead * 100.0
+    );
+    overhead
 }
 
 /// The streamed point: the workload is generated chunk by chunk and
@@ -437,11 +488,16 @@ fn main() {
         .collect();
     scales.extend(streamed.iter().map(|&(n, g, h)| measure_streamed(n, g, h)));
 
+    // Full mode only: quick CI boxes are too noisy for a 2% wall gate
+    // (CI enforces perf floors through `benchctl check` instead).
+    let span_overhead_frac = (!quick).then(|| measure_span_overhead(100_000, 64, 10_000_000));
+
     let report = BenchReport {
         bench: "sim".to_string(),
         schema_version: 2,
         quick,
         scales,
+        span_overhead_frac,
     };
 
     let json = serde_json::to_string(&report).expect("bench report serializes");

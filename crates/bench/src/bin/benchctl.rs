@@ -1,0 +1,110 @@
+//! `benchctl` — the perf-regression gate.
+//!
+//! ```text
+//! benchctl check --baseline BENCH_baseline.json [--dir results/out] [--allow-missing]
+//! benchctl diff  --baseline BENCH_baseline.json [--dir results/out]
+//! ```
+//!
+//! `check` evaluates every floor/ceiling in the committed baseline
+//! against the `BENCH_*.json` artifacts in `--dir` and exits nonzero
+//! on any violation — CI's guard against perf regressions landing
+//! silently. `--allow-missing` skips checks whose artifact file is
+//! absent (CI jobs produce different artifact subsets). `diff` prints
+//! the same table without gating, for eyeballing a local run against
+//! the committed bands.
+
+use bench::ctl::{self, BaselineDoc, BASELINE_SCHEMA_VERSION};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchctl check --baseline FILE [--dir DIR] [--allow-missing]\n       benchctl diff  --baseline FILE [--dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    baseline: PathBuf,
+    dir: PathBuf,
+    allow_missing: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut baseline = None;
+    let mut dir = PathBuf::from("results/out");
+    let mut allow_missing = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--dir" => dir = PathBuf::from(it.next().ok_or("--dir needs a value")?),
+            "--allow-missing" => allow_missing = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Opts {
+        baseline: baseline.ok_or("--baseline is required")?,
+        dir,
+        allow_missing,
+    })
+}
+
+fn load_baseline(path: &PathBuf) -> Result<BaselineDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc: BaselineDoc =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if doc.version != BASELINE_SCHEMA_VERSION {
+        return Err(format!(
+            "{}: baseline schema v{} (this binary speaks v{BASELINE_SCHEMA_VERSION})",
+            path.display(),
+            doc.version
+        ));
+    }
+    Ok(doc)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let gate = match cmd.as_str() {
+        "check" => true,
+        "diff" => false,
+        _ => usage(),
+    };
+    let run = || -> Result<bool, String> {
+        let opts = parse_opts(&args[1..])?;
+        let baseline = load_baseline(&opts.baseline)?;
+        let outcomes = ctl::check_baseline(&baseline, &opts.dir, opts.allow_missing);
+        let (table, ok) = ctl::render_outcomes(&outcomes);
+        print!("{table}");
+        println!(
+            "{} checks, {} failed{}",
+            outcomes.len(),
+            outcomes.iter().filter(|o| !o.ok()).count(),
+            if baseline.checks.len() > outcomes.len() {
+                format!(
+                    " ({} skipped: artifact absent)",
+                    baseline.checks.len() - outcomes.len()
+                )
+            } else {
+                String::new()
+            }
+        );
+        Ok(ok)
+    };
+    match run() {
+        Ok(true) => {}
+        Ok(false) => {
+            if gate {
+                eprintln!("benchctl: perf baseline violated");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("benchctl: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! `obsctl` — live views over the continuous-telemetry surfaces.
+//!
+//! ```text
+//! obsctl tail <heartbeats.jsonl> [--last N] [--follow]
+//! obsctl top <series.json | host:port>
+//! obsctl spans <spans.json | host:port>
+//! ```
+//!
+//! `tail` renders a heartbeat JSONL file (written by a streamed run
+//! with `ALPHAWAN_HEARTBEAT=<path>`); `--follow` keeps polling the
+//! file and prints beats as they land. `top` and `spans` accept either
+//! a file or a daemon metrics address, in which case they fetch
+//! `/series` / `/spans` over HTTP.
+
+use bench::ctl;
+use obs::{SeriesDoc, SpanReport};
+use std::io::{Read, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obsctl tail <file> [--last N] [--follow]\n       obsctl top <file|host:port>\n       obsctl spans <file|host:port>"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal HTTP/1.1 GET returning the response body (the daemons'
+/// endpoint speaks `Connection: close`, so read-to-end terminates).
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    if !head.starts_with("HTTP/1.1 200") && !head.starts_with("HTTP/1.0 200") {
+        return Err(format!(
+            "{addr}{path}: {}",
+            head.lines().next().unwrap_or("no status line")
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// A file path (read it) or a `host:port` (fetch `endpoint` from it).
+fn load_source(source: &str, endpoint: &str) -> Result<String, String> {
+    if std::path::Path::new(source).exists() {
+        std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))
+    } else if source.contains(':') {
+        http_get(source, endpoint)
+    } else {
+        Err(format!("{source}: no such file (and not a host:port)"))
+    }
+}
+
+fn tail(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut last = 20usize;
+    let mut follow = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--last" => {
+                last = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--last needs a number")?
+            }
+            "--follow" => follow = true,
+            _ if file.is_none() => file = Some(a.clone()),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    let file = file.ok_or("tail needs a file")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    let mut beats = ctl::parse_heartbeats(&text);
+    print!("{}", ctl::render_heartbeat_tail(&beats, last));
+    if !follow {
+        return Ok(());
+    }
+    let mut seen = beats.len();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+        beats = ctl::parse_heartbeats(&text);
+        if beats.len() < seen {
+            // The file was truncated (a new run started): reprint.
+            seen = 0;
+        }
+        if beats.len() > seen {
+            let fresh = ctl::render_heartbeat_tail(&beats, beats.len() - seen);
+            // Drop the header when appending to an existing view.
+            let mut lines = fresh.lines();
+            if seen > 0 {
+                lines.next();
+            }
+            for l in lines {
+                println!("{l}");
+            }
+            seen = beats.len();
+        }
+    }
+}
+
+fn top(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("top needs a file or host:port")?;
+    let text = load_source(source, "/series")?;
+    let doc: SeriesDoc = serde_json::from_str(text.trim()).map_err(|e| format!("{source}: {e}"))?;
+    print!("{}", ctl::render_series_top(&doc));
+    Ok(())
+}
+
+fn spans(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("spans needs a file or host:port")?;
+    let text = load_source(source, "/spans")?;
+    let report: SpanReport =
+        serde_json::from_str(text.trim()).map_err(|e| format!("{source}: {e}"))?;
+    print!("{}", ctl::render_spans(&report));
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "tail" => tail(rest),
+        "top" => top(rest),
+        "spans" => spans(rest),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("obsctl: {e}");
+        std::process::exit(1);
+    }
+}

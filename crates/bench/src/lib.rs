@@ -19,6 +19,7 @@
 
 #![deny(missing_docs)]
 
+pub mod ctl;
 pub mod experiments;
 pub mod obs_session;
 pub mod report;

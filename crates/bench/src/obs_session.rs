@@ -57,7 +57,10 @@ fn session() -> Option<&'static Mutex<Session>> {
                 .map(PathBuf::from)
                 .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
                 .unwrap_or_else(|| "experiment".to_string());
-            let jsonl = JsonlSink::create(&dir.join(format!("{bin}.events.jsonl"))).ok()?;
+            // Atomic mode: the stream grows at `<name>.partial` and is
+            // renamed into place on the first report/seal, so readers
+            // polling the directory never see a torn event file.
+            let jsonl = JsonlSink::create_atomic(&dir.join(format!("{bin}.events.jsonl"))).ok()?;
             Some(Mutex::new(Session {
                 dir,
                 jsonl,
@@ -126,9 +129,25 @@ pub(crate) fn write_report(name: &str) {
     let Some(m) = session() else { return };
     let mut s = lock(m);
     s.jsonl.flush();
+    // First report marks the stream consistent: rename it out of its
+    // `.partial` name. The handle stays open (same inode), so later
+    // events keep appending to the final path.
+    s.jsonl.seal();
     let mut report = RunReport::from_metrics(name, &s.metrics);
     report.run_metrics = s.run_metrics.take();
     let _ = report.write(&s.dir.join(format!("{name}.obs.json")));
+}
+
+/// Flush (and seal) the session event stream. Wire this into a
+/// [`obs::FlightRecorder`] snapshot hook so the main stream is on disk
+/// — under its final name — next to every snapshot. No-op when
+/// inactive.
+pub fn flush() {
+    if let Some(m) = session() {
+        let mut s = lock(m);
+        s.jsonl.flush();
+        s.jsonl.seal();
+    }
 }
 
 /// Write a machine-readable bench artifact (e.g. `BENCH_solver.json`).
@@ -148,7 +167,11 @@ pub fn write_bench_artifact(name: &str, json: &str) -> Option<PathBuf> {
     };
     std::fs::create_dir_all(&dir).ok()?;
     let path = dir.join(name);
-    std::fs::write(&path, json).ok()?;
+    // tmp + rename: `benchctl` may read the artifact while a bench
+    // rewrites it, and must never see a torn file.
+    let tmp = dir.join(format!("{name}.partial"));
+    std::fs::write(&tmp, json).ok()?;
+    std::fs::rename(&tmp, &path).ok()?;
     Some(path)
 }
 

@@ -9,22 +9,74 @@
 //!   [`ObsEvent::PoolFullDrop`]s within `window_us` of simulation time,
 //! * an explicit [`FlightRecorder::trigger`] call.
 //!
-//! Snapshots are plain event JSONL — the same format [`JsonlSink`]
-//! writes — so every downstream consumer (`tracectl`, the
-//! `TraceAnalyzer`, a `MetricsSink` refold) reads them unchanged. A
+//! Snapshots are event JSONL — the same format [`JsonlSink`] writes —
+//! prefixed with one [`FlightHeader`] line recording *why* and *when*
+//! (simulation time) the snapshot fired, so post-hoc triage needs no
+//! log correlation. Downstream consumers (`tracectl`, the
+//! `TraceAnalyzer`, a `MetricsSink` refold) skip the header line via
+//! [`FlightHeader::parse_line`] and read the rest unchanged. A
 //! snapshot is a *window*, though: spans cut by its edges legitimately
 //! show up as boundary causality violations when analyzed.
 //!
-//! Determinism: snapshot filenames are `{prefix}-{seq:04}-{reason}.jsonl`
-//! with a monotonic sequence number and no wall-clock anywhere, so a
-//! fixed-seed run produces byte-identical snapshots with identical
-//! names. Disk errors are swallowed (a recorder must never take down
-//! the run it is recording); [`FlightRecorder::io_errors`] counts them.
+//! Determinism: snapshot filenames are
+//! `{prefix}-{seq:04}-{reason}-t{trigger_t_us}.jsonl` with a monotonic
+//! sequence number and the **simulation** time of the most recent
+//! event — no wall-clock anywhere — so a fixed-seed run produces
+//! byte-identical snapshots with identical names. Disk errors are
+//! swallowed (a recorder must never take down the run it is
+//! recording); [`FlightRecorder::io_errors`] counts them.
 
 use crate::event::ObsEvent;
 use crate::sink::{JsonlSink, ObsSink, RingSink};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+
+/// Schema version stamped into [`FlightHeader`].
+pub const FLIGHT_HEADER_VERSION: u32 = 1;
+
+/// First line of every flight snapshot: the trigger context.
+///
+/// Serialized wrapped (`{"flight_header":{…}}`) so it is visibly not
+/// an [`ObsEvent`]; JSONL consumers call
+/// [`FlightHeader::parse_line`] on lines that fail event parsing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightHeader {
+    /// Schema version ([`FLIGHT_HEADER_VERSION`]).
+    pub version: u32,
+    /// Trigger reason (sanitized, as in the filename).
+    pub reason: String,
+    /// Snapshot sequence number within this recorder.
+    pub seq: u32,
+    /// Simulation time (µs) of the most recent event when the trigger
+    /// fired; `None` if no timestamped event had been recorded.
+    pub trigger_t_us: Option<u64>,
+    /// Events in the snapshot window.
+    pub events: usize,
+}
+
+// The vendored serde derive serializes the field name verbatim (no
+// rename support), so the field IS the wire tag — keep it descriptive.
+#[derive(Serialize, Deserialize)]
+struct FlightHeaderLine {
+    flight_header: FlightHeader,
+}
+
+impl FlightHeader {
+    /// Parse a JSONL line as a flight header, if it is one.
+    pub fn parse_line(line: &str) -> Option<FlightHeader> {
+        serde_json::from_str::<FlightHeaderLine>(line)
+            .ok()
+            .map(|l| l.flight_header)
+    }
+
+    fn to_line(&self) -> String {
+        serde_json::to_string(&FlightHeaderLine {
+            flight_header: self.clone(),
+        })
+        .unwrap_or_else(|_| "{}".to_string())
+    }
+}
 
 /// Default number of pool-full drops within the window that counts as
 /// a burst.
@@ -32,10 +84,13 @@ const DEFAULT_BURST_THRESHOLD: usize = 8;
 /// Default burst window, µs of simulation time (1 s).
 const DEFAULT_BURST_WINDOW_US: u64 = 1_000_000;
 
+/// Callback invoked with each snapshot path after the file is sealed
+/// (see [`FlightRecorder::with_snapshot_hook`]).
+pub type SnapshotHook = Box<dyn FnMut(&Path) + Send>;
+
 /// A bounded ring of recent events that snapshots itself to JSONL on
 /// fault activations, drop bursts, or explicit request. See the module
 /// docs for the trigger and determinism contract.
-#[derive(Debug)]
 pub struct FlightRecorder {
     ring: RingSink,
     dir: PathBuf,
@@ -50,8 +105,27 @@ pub struct FlightRecorder {
     /// Minimum events between automatic snapshots, so a sustained storm
     /// produces mostly-disjoint windows instead of near-duplicates.
     cooldown: u64,
+    /// Simulation time of the most recent timestamped event.
+    last_t_us: Option<u64>,
+    /// Called with the snapshot path after each successful write, so
+    /// co-writers (the `ALPHAWAN_OBS_OUT` session stream) can flush to
+    /// disk at the same moment the incident is captured.
+    on_snapshot: Option<SnapshotHook>,
     snapshots: Vec<PathBuf>,
     io_errors: u64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("dir", &self.dir)
+            .field("prefix", &self.prefix)
+            .field("seq", &self.seq)
+            .field("len", &self.ring.len())
+            .field("snapshots", &self.snapshots.len())
+            .field("io_errors", &self.io_errors)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FlightRecorder {
@@ -71,9 +145,19 @@ impl FlightRecorder {
             recent_drops: VecDeque::new(),
             since_snapshot: 0,
             cooldown: capacity as u64,
+            last_t_us: None,
+            on_snapshot: None,
             snapshots: Vec::new(),
             io_errors: 0,
         }
+    }
+
+    /// Install a hook called with the snapshot path after each
+    /// successful write (e.g. to flush a concurrent session writer so
+    /// its stream is on disk at the moment of the incident).
+    pub fn with_snapshot_hook(mut self, hook: SnapshotHook) -> FlightRecorder {
+        self.on_snapshot = Some(hook);
+        self
     }
 
     /// Use `prefix` instead of `"flight"` in snapshot filenames.
@@ -121,15 +205,26 @@ impl FlightRecorder {
     }
 
     /// Write the current ring contents to
-    /// `{dir}/{prefix}-{seq:04}-{reason}.jsonl` immediately. `reason`
-    /// is sanitized to `[a-z0-9-]` for the filename. Returns the path
-    /// when the write succeeded.
+    /// `{dir}/{prefix}-{seq:04}-{reason}-t{trigger_t_us}.jsonl`
+    /// immediately, preceded by a [`FlightHeader`] line. `reason` is
+    /// sanitized to `[a-z0-9-]` for the filename; the timestamp is the
+    /// simulation time of the most recent event (`t0` if none).
+    /// Returns the path when the write succeeded.
     pub fn trigger(&mut self, reason: &str) -> Option<PathBuf> {
+        let reason = sanitize(reason);
+        let header = FlightHeader {
+            version: FLIGHT_HEADER_VERSION,
+            reason: reason.clone(),
+            seq: self.seq,
+            trigger_t_us: self.last_t_us,
+            events: self.ring.len(),
+        };
         let path = self.dir.join(format!(
-            "{}-{:04}-{}.jsonl",
+            "{}-{:04}-{}-t{}.jsonl",
             self.prefix,
             self.seq,
-            sanitize(reason)
+            reason,
+            self.last_t_us.unwrap_or(0)
         ));
         self.seq += 1;
         self.since_snapshot = 0;
@@ -139,11 +234,15 @@ impl FlightRecorder {
                 None
             }
             Ok(mut out) => {
+                out.write_line(&header.to_line());
                 for ev in self.ring.events() {
                     out.record(&ev);
                 }
                 out.flush();
                 self.snapshots.push(path.clone());
+                if let Some(hook) = self.on_snapshot.as_mut() {
+                    hook(&path);
+                }
                 Some(path)
             }
         }
@@ -180,6 +279,9 @@ impl ObsSink for FlightRecorder {
     fn record(&mut self, ev: &ObsEvent) {
         self.ring.record(ev);
         self.since_snapshot += 1;
+        if let Some(t) = ev.t_us() {
+            self.last_t_us = Some(t);
+        }
         match *ev {
             ObsEvent::FaultActivated { .. } => self.auto_trigger("fault"),
             ObsEvent::PoolFullDrop { t_us, .. } => {
@@ -237,13 +339,27 @@ mod tests {
         let path = fr.trigger("User Asked!").expect("snapshot written");
         assert_eq!(
             path.file_name().unwrap().to_str().unwrap(),
-            "flight-0000-user-asked-.jsonl",
-            "sequence + sanitized reason"
+            "flight-0000-user-asked--t5.jsonl",
+            "sequence + sanitized reason + trigger time"
         );
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(text.lines().count(), 4, "ring capacity bounds the window");
-        // Oldest retained first: events 2..6.
-        assert!(text.lines().next().unwrap().contains("\"t_us\":2"));
+        assert_eq!(
+            text.lines().count(),
+            5,
+            "header + ring capacity bounds the window"
+        );
+        let header =
+            FlightHeader::parse_line(text.lines().next().unwrap()).expect("first line is a header");
+        assert_eq!(header.reason, "user-asked-");
+        assert_eq!(header.seq, 0);
+        assert_eq!(header.trigger_t_us, Some(5));
+        assert_eq!(header.events, 4);
+        // Oldest retained event first: events 2..6.
+        assert!(text.lines().nth(1).unwrap().contains("\"t_us\":2"));
+        assert!(
+            FlightHeader::parse_line(text.lines().nth(1).unwrap()).is_none(),
+            "event lines are not headers"
+        );
         assert_eq!(fr.snapshots().len(), 1);
         assert_eq!(fr.io_errors(), 0);
         let _ = std::fs::remove_dir_all(&dir);
@@ -267,7 +383,7 @@ mod tests {
             .unwrap()
             .to_str()
             .unwrap()
-            .ends_with("-fault.jsonl"));
+            .ends_with("-fault-t1.jsonl"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -332,7 +448,22 @@ mod tests {
             .iter()
             .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
             .collect();
-        assert_eq!(names, vec!["fr-0000-a.jsonl", "fr-0001-b.jsonl"]);
+        assert_eq!(names, vec!["fr-0000-a-t1.jsonl", "fr-0001-b-t1.jsonl"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_hook_fires_with_path() {
+        let dir = tmp("hook");
+        let _ = std::fs::remove_dir_all(&dir);
+        let hits = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let hits2 = hits.clone();
+        let mut fr = FlightRecorder::new(&dir, 4).with_snapshot_hook(Box::new(move |p| {
+            hits2.lock().unwrap().push(p.to_path_buf());
+        }));
+        fr.record(&drop_ev(7));
+        let path = fr.trigger("x").expect("written");
+        assert_eq!(hits.lock().unwrap().as_slice(), &[path]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

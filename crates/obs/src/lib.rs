@@ -27,8 +27,19 @@
 //!   decoder-contention attribution (blocker→victim pairs for every
 //!   pool-full drop), and Chrome trace-event export for Perfetto;
 //! * [`flight`] — the [`FlightRecorder`] sink: a bounded ring that
-//!   snapshots the recent past to JSONL on chaos fault activations,
-//!   pool-full drop bursts, or explicit request.
+//!   snapshots the recent past to JSONL (with a trigger-context header)
+//!   on chaos fault activations, pool-full drop bursts, SLO breaches,
+//!   or explicit request;
+//! * [`span`] — a low-overhead hierarchical span profiler (scoped RAII
+//!   timers, exact counts, sampled durations) instrumenting the sim
+//!   engine phases, the CP-solver stages and the svc shard workers —
+//!   free when detached;
+//! * [`tsdb`] — the embedded step-aggregated time-series store:
+//!   fixed-interval delta [`Frame`]s in a bounded ring, windowed rates
+//!   and per-window quantiles, plus per-shard [`Heartbeat`]s for
+//!   streamed runs;
+//! * [`slo`] — burn-rate rules over tsdb frames that trigger the
+//!   [`FlightRecorder`] in-process when violated.
 //!
 //! Events are plain `Copy` data and every sink implementation is
 //! deterministic: a fixed-seed run produces a byte-identical JSONL
@@ -42,19 +53,27 @@ pub mod flight;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod slo;
+pub mod span;
 pub mod trace;
+pub mod tsdb;
 
 pub use event::{DedupKind, FaultKind, LossKind, ObsEvent, PlanServed, SolverKind, SvcConn};
-pub use flight::FlightRecorder;
+pub use flight::{FlightHeader, FlightRecorder, FLIGHT_HEADER_VERSION};
 pub use metrics::{
-    GatewayOccupancy, Histogram, MetricsSink, Registry, DISPATCH_LATENCY_BOUNDS_US,
-    SOLVER_WALL_BOUNDS_US,
+    proc_mem, GatewayOccupancy, Histogram, MetricsSink, ProcMem, Registry,
+    DISPATCH_LATENCY_BOUNDS_US, SOLVER_WALL_BOUNDS_US,
 };
 pub use report::{
     GatewayReport, NamedCount, NamedGauge, NamedHistogram, RunReport, RUN_REPORT_VERSION,
 };
 pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, SharedSink, TeeSink, VecSink};
+pub use slo::{SloBreach, SloRule, SloSet};
+pub use span::{SpanGuard, SpanId, SpanRecord, SpanReport, SpanSiteReport, SPAN_REPORT_VERSION};
 pub use trace::{
     chrome_trace, control_trace, packet_trace, ChromeTrace, ContentionReport, PacketTimeline,
     TraceAnalyzer, TraceId, TraceReport,
+};
+pub use tsdb::{
+    Frame, Heartbeat, HeartbeatWriter, HistWindow, SeriesDoc, Tsdb, TsdbSink, TSDB_SCHEMA_VERSION,
 };

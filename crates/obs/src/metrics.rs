@@ -256,6 +256,49 @@ impl Registry {
     }
 }
 
+/// Point-in-time process memory reading from `/proc/self/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcMem {
+    /// Resident set size, bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// Peak resident set size, bytes (`VmHWM`).
+    pub peak_rss_bytes: u64,
+}
+
+/// Read the current process's RSS and peak RSS from
+/// `/proc/self/status`. Returns `None` on platforms without procfs or
+/// if the fields are missing — callers treat memory telemetry as
+/// best-effort.
+pub fn proc_mem() -> Option<ProcMem> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let field = |key: &str| -> Option<u64> {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))?
+            .split_whitespace()
+            .nth(1)?
+            .parse::<u64>()
+            .ok()
+            .map(|kb| kb * 1024)
+    };
+    Some(ProcMem {
+        rss_bytes: field("VmRSS:")?,
+        peak_rss_bytes: field("VmHWM:")?,
+    })
+}
+
+impl Registry {
+    /// Sample process memory into the `process_rss_bytes` /
+    /// `process_peak_rss_bytes` gauges (no-op where procfs is
+    /// unavailable). Returns the reading.
+    pub fn sample_process_memory(&mut self) -> Option<ProcMem> {
+        let mem = proc_mem()?;
+        self.set_gauge("process_rss_bytes", mem.rss_bytes as f64);
+        self.set_gauge("process_peak_rss_bytes", mem.peak_rss_bytes as f64);
+        Some(mem)
+    }
+}
+
 /// Sanitize a metric name for the Prometheus exposition format.
 fn prom_name(name: &str) -> String {
     let mut out: String = name
@@ -681,6 +724,20 @@ latency_us_count 3
         assert!(text.contains("loss_decoder_inter 1"));
         assert!(text.contains("_9lives 1"), "{text}");
         assert!(!text.contains('/'));
+    }
+
+    #[test]
+    fn process_memory_gauges_on_linux() {
+        // Linux-only assertion; elsewhere proc_mem is allowed to be None.
+        if let Some(mem) = proc_mem() {
+            assert!(mem.rss_bytes > 0);
+            assert!(mem.peak_rss_bytes >= mem.rss_bytes);
+            let mut r = Registry::new();
+            let sampled = r.sample_process_memory().unwrap();
+            assert!(r.gauge("process_rss_bytes").unwrap() > 0.0);
+            let peak = r.gauge("process_peak_rss_bytes").unwrap();
+            assert!(peak >= sampled.rss_bytes as f64 * 0.5, "peak {peak} sane");
+        }
     }
 
     #[test]

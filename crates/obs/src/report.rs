@@ -173,13 +173,20 @@ impl RunReport {
     }
 
     /// Write the report as JSON to `path`, creating parent directories.
+    /// The bytes land in a `.partial` sibling first and are renamed
+    /// into place, so a crash mid-write never leaves a truncated
+    /// report behind.
     pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(path, self.to_json())
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(crate::sink::PARTIAL_SUFFIX);
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
     }
 }
 

@@ -165,11 +165,23 @@ impl ObsSink for VecSink {
 /// timestamps of its own, no map iteration — so two same-seed runs
 /// produce byte-identical files (asserted by the workspace's
 /// `obs_determinism` integration test).
+///
+/// [`JsonlSink::create_atomic`] opens the file at `<path>.partial` and
+/// renames it to the final path on [`JsonlSink::seal`] (or drop): a
+/// crashed or aborted run leaves only the clearly-marked partial file,
+/// never a truncated artifact at the real path. Sealing keeps the file
+/// handle — on POSIX the rename moves the inode, so writes after the
+/// seal still land in the final file.
 #[derive(Debug)]
 pub struct JsonlSink {
     out: BufWriter<File>,
     written: u64,
+    /// `Some((partial, final))` until sealed.
+    pending_rename: Option<(std::path::PathBuf, std::path::PathBuf)>,
 }
+
+/// Suffix appended to a not-yet-sealed atomic file.
+pub const PARTIAL_SUFFIX: &str = ".partial";
 
 impl JsonlSink {
     /// Create (truncate) `path` and stream events into it.
@@ -182,7 +194,51 @@ impl JsonlSink {
         Ok(JsonlSink {
             out: BufWriter::new(File::create(path)?),
             written: 0,
+            pending_rename: None,
         })
+    }
+
+    /// Create the file at `<path>.partial`; it moves to `path` on the
+    /// first [`JsonlSink::seal`] (or on drop). See the type docs.
+    pub fn create_atomic(path: &Path) -> std::io::Result<JsonlSink> {
+        let mut partial = path.as_os_str().to_owned();
+        partial.push(PARTIAL_SUFFIX);
+        let partial = std::path::PathBuf::from(partial);
+        let mut sink = JsonlSink::create(&partial)?;
+        sink.pending_rename = Some((partial, path.to_path_buf()));
+        Ok(sink)
+    }
+
+    /// Flush and atomically move the `.partial` file to its final path.
+    /// Idempotent; a no-op for sinks opened with [`JsonlSink::create`].
+    /// Returns whether the file now exists at its final path.
+    pub fn seal(&mut self) -> bool {
+        let _ = self.out.flush();
+        match self.pending_rename.take() {
+            None => true,
+            Some((partial, final_path)) => match std::fs::rename(&partial, &final_path) {
+                Ok(()) => true,
+                Err(_) => {
+                    self.pending_rename = Some((partial, final_path));
+                    false
+                }
+            },
+        }
+    }
+
+    /// Whether the file has reached its final path (always true for
+    /// [`JsonlSink::create`] sinks).
+    pub fn is_sealed(&self) -> bool {
+        self.pending_rename.is_none()
+    }
+
+    /// Write one pre-serialized JSON line (e.g. a
+    /// [`FlightHeader`](crate::flight::FlightHeader)). The caller is
+    /// responsible for `line` being a single line of valid JSON.
+    pub fn write_line(&mut self, line: &str) {
+        let _ = self.out.write_all(line.as_bytes());
+        let _ = self.out.write_all(b"\n");
+        self.written += 1;
     }
 
     /// Lines written so far.
@@ -209,7 +265,7 @@ impl ObsSink for JsonlSink {
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        let _ = self.out.flush();
+        self.seal();
     }
 }
 
@@ -475,6 +531,58 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with('{')));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_sink_lives_at_partial_until_sealed() {
+        let dir = std::env::temp_dir().join("obs_sink_atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        let mut s = JsonlSink::create_atomic(&path).unwrap();
+        s.record(&ev(1));
+        s.flush();
+        assert!(!s.is_sealed());
+        assert!(!path.exists(), "final path must not exist before seal");
+        assert!(dir.join("events.jsonl.partial").exists());
+        assert!(s.seal());
+        assert!(s.is_sealed());
+        assert!(path.exists());
+        assert!(!dir.join("events.jsonl.partial").exists());
+        // Post-seal writes land in the renamed file (same inode).
+        s.record(&ev(2));
+        s.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_sink_seals_on_drop() {
+        let dir = std::env::temp_dir().join("obs_sink_atomic_drop");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        {
+            let mut s = JsonlSink::create_atomic(&path).unwrap();
+            s.record(&ev(7));
+        }
+        assert!(path.exists(), "drop seals");
+        assert!(!dir.join("events.jsonl.partial").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_line_interleaves_raw_json() {
+        let dir = std::env::temp_dir().join("obs_sink_raw");
+        let path = dir.join("mixed.jsonl");
+        {
+            let mut s = JsonlSink::create(&path).unwrap();
+            s.write_line("{\"Header\":{\"v\":1}}");
+            s.record(&ev(1));
+            assert_eq!(s.written(), 2);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("Header"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,250 @@
+//! In-process SLO burn-rate rules over [`Tsdb`]
+//! frames.
+//!
+//! A rule watches a windowed ratio (`numer / denom` counter deltas,
+//! e.g. dedup-late packets over all packets) or a windowed rate
+//! (`numer` per second, e.g. ingest throughput). When the value crosses
+//! its threshold the rule *breaches*; svc daemons feed breaches into a
+//! [`FlightRecorder`](crate::flight::FlightRecorder) trigger so the
+//! recent event ring is snapshotted with the rule name as the trigger
+//! reason. Rules are serde-loadable (JSON) so deployments can override
+//! the built-in defaults without recompiling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tsdb::Tsdb;
+
+/// One burn-rate rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloRule {
+    /// Rule name: becomes the FlightRecorder trigger reason.
+    pub name: String,
+    /// Counter whose windowed delta (or rate) is watched.
+    pub numer: String,
+    /// Optional denominator counter: present → the rule watches the
+    /// ratio `numer/denom`; absent → it watches `numer` per second.
+    #[serde(default)]
+    pub denom: Option<String>,
+    /// Trailing evaluation window, microseconds.
+    pub window_us: u64,
+    /// Breach threshold (ratio in `[0,1]` or events/sec).
+    pub threshold: f64,
+    /// Breach when the value falls *below* the threshold instead of
+    /// above it (e.g. "ingest rate collapsed").
+    #[serde(default)]
+    pub breach_below: bool,
+    /// Minimum windowed sample count (denominator for ratio rules,
+    /// numerator for rate rules) before an *above*-threshold breach can
+    /// fire — keeps near-empty windows from flapping. Ignored for
+    /// `breach_below` rules (an empty window is exactly the emergency).
+    #[serde(default)]
+    pub min_count: u64,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBreach {
+    /// Breaching rule name.
+    pub rule: String,
+    /// Observed value (ratio or events/sec).
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// End of the evaluation window, microseconds.
+    pub t_us: u64,
+}
+
+/// A set of rules with per-rule refire suppression: after a breach a
+/// rule stays silent until a full window of new frames has closed, so
+/// one incident produces one flight snapshot, not one per sampler tick.
+#[derive(Debug, Clone)]
+pub struct SloSet {
+    rules: Vec<SloRule>,
+    last_fired: Vec<Option<u64>>,
+}
+
+impl SloSet {
+    /// A set evaluating `rules`.
+    pub fn new(rules: Vec<SloRule>) -> SloSet {
+        let n = rules.len();
+        SloSet {
+            rules,
+            last_fired: vec![None; n],
+        }
+    }
+
+    /// Parse a JSON array of rules.
+    pub fn from_json(json: &str) -> Result<SloSet, String> {
+        let rules: Vec<SloRule> = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        Ok(SloSet::new(rules))
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule against the trailing window of `db` and
+    /// return the breaches that fired (post-suppression).
+    pub fn evaluate(&mut self, db: &Tsdb) -> Vec<SloBreach> {
+        let Some(last_end) = db.frames().last().map(|f| f.t_end_us) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let Some(fired) = self.last_fired[i] {
+                if last_end < fired.saturating_add(rule.window_us) {
+                    continue;
+                }
+            }
+            let cutoff = last_end.saturating_sub(rule.window_us);
+            let mut numer = 0u64;
+            let mut denom = 0u64;
+            let mut span_start = last_end;
+            for f in db.frames().rev() {
+                if f.t_end_us <= cutoff {
+                    break;
+                }
+                numer += f.counter(&rule.numer);
+                if let Some(d) = &rule.denom {
+                    denom += f.counter(d);
+                }
+                span_start = f.t_start_us.max(cutoff);
+            }
+            let value = match &rule.denom {
+                Some(_) => {
+                    if denom == 0 {
+                        if rule.breach_below {
+                            0.0
+                        } else {
+                            continue;
+                        }
+                    } else {
+                        numer as f64 / denom as f64
+                    }
+                }
+                None => {
+                    let span = last_end.saturating_sub(span_start);
+                    if span == 0 {
+                        continue;
+                    }
+                    numer as f64 / (span as f64 / 1e6)
+                }
+            };
+            let breached = if rule.breach_below {
+                value < rule.threshold
+            } else {
+                let samples = if rule.denom.is_some() { denom } else { numer };
+                samples >= rule.min_count.max(1) && value > rule.threshold
+            };
+            if breached {
+                self.last_fired[i] = Some(last_end);
+                out.push(SloBreach {
+                    rule: rule.name.clone(),
+                    value,
+                    threshold: rule.threshold,
+                    t_us: last_end,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn db_with(counts: &[(u64, u64)]) -> Tsdb {
+        // counts: (late, total) per 1 s window.
+        let mut db = Tsdb::new(1_000_000, 64);
+        let mut reg = Registry::new();
+        db.advance(0, &reg);
+        for (i, &(late, total)) in counts.iter().enumerate() {
+            reg.inc("dedup_late", late);
+            reg.inc("pkts", total);
+            db.advance((i as u64 + 1) * 1_000_000, &reg);
+        }
+        db
+    }
+
+    fn ratio_rule() -> SloRule {
+        SloRule {
+            name: "dedup-late-burn".into(),
+            numer: "dedup_late".into(),
+            denom: Some("pkts".into()),
+            window_us: 3_000_000,
+            threshold: 0.10,
+            breach_below: false,
+            min_count: 10,
+        }
+    }
+
+    #[test]
+    fn ratio_rule_fires_above_threshold() {
+        let mut set = SloSet::new(vec![ratio_rule()]);
+        let healthy = db_with(&[(1, 100), (2, 100), (1, 100)]);
+        assert!(set.evaluate(&healthy).is_empty());
+        let burning = db_with(&[(1, 100), (30, 100), (25, 100)]);
+        let breaches = set.evaluate(&burning);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].rule, "dedup-late-burn");
+        assert!(breaches[0].value > 0.10);
+    }
+
+    #[test]
+    fn min_count_suppresses_thin_windows() {
+        let mut set = SloSet::new(vec![ratio_rule()]);
+        // 1/2 late is a 50% ratio but only 2 packets — below min_count.
+        let thin = db_with(&[(1, 2)]);
+        assert!(set.evaluate(&thin).is_empty());
+    }
+
+    #[test]
+    fn refire_suppressed_until_window_passes() {
+        let mut set = SloSet::new(vec![ratio_rule()]);
+        let burning = db_with(&[(30, 100), (30, 100), (30, 100)]);
+        assert_eq!(set.evaluate(&burning).len(), 1);
+        assert!(set.evaluate(&burning).is_empty(), "same frames → no refire");
+        // Three more burning windows close (a full window later).
+        let later = db_with(&[(30, 100); 6]);
+        assert_eq!(set.evaluate(&later).len(), 1, "refires after a window");
+    }
+
+    #[test]
+    fn rate_below_rule_detects_collapse() {
+        let mut set = SloSet::new(vec![SloRule {
+            name: "ingest-collapse".into(),
+            numer: "pkts".into(),
+            denom: None,
+            window_us: 2_000_000,
+            threshold: 50.0,
+            breach_below: true,
+            min_count: 0,
+        }]);
+        let healthy = db_with(&[(0, 1_000), (0, 1_000)]);
+        assert!(set.evaluate(&healthy).is_empty());
+        let collapsed = db_with(&[(0, 1_000), (0, 1_000), (0, 1_000), (0, 10)]);
+        // Trailing 2 s: windows 3+4 → (1 000 + 10)/2 s = 505/sec, fine;
+        // make it truly collapse: last two windows nearly empty.
+        let _ = collapsed;
+        let dead = db_with(&[(0, 1_000), (0, 20), (0, 20)]);
+        let breaches = set.evaluate(&dead);
+        assert_eq!(breaches.len(), 1);
+        assert!(breaches[0].value < 50.0, "value {}", breaches[0].value);
+    }
+
+    #[test]
+    fn rules_parse_from_json() {
+        let json = r#"[
+            {"name": "late", "numer": "dedup_late", "denom": "pkts",
+             "window_us": 10000000, "threshold": 0.05, "min_count": 100}
+        ]"#;
+        let set = SloSet::from_json(json).expect("parse");
+        assert_eq!(set.rules().len(), 1);
+        assert_eq!(set.rules()[0].denom.as_deref(), Some("pkts"));
+        assert!(!set.rules()[0].breach_below);
+        assert!(SloSet::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,710 @@
+//! Embedded step-aggregated time-series store.
+//!
+//! Cumulative counters say how a run *ended*; the interesting dynamics
+//! (ingest rate dips, dispatch-latency spikes, dedup-late bursts) are
+//! time-local. [`Tsdb`] closes fixed-interval windows over a
+//! [`Registry`] and stores the *deltas* of every counter and histogram
+//! (plus changed gauges) as bounded ring [`Frame`]s, yielding windowed
+//! rates (`pkts/sec over the last 10 s`) and per-window quantiles
+//! (`p99 dispatch latency this second`) without unbounded memory.
+//!
+//! Two feed modes share the same window/delta machinery:
+//!
+//! * **Event-time driven** ([`TsdbSink`]): an [`ObsSink`] that folds the
+//!   deterministic event stream through a [`MetricsSink`] and closes
+//!   windows **only when simulation time advances past a boundary**.
+//!   Because closes depend solely on the event stream, the resulting
+//!   frames are byte-identical across runs regardless of when (or
+//!   whether) a live viewer polls — [`Tsdb::poll`] is a read-only
+//!   provisional view of the open window and never mutates state. The
+//!   workspace proptest asserts this.
+//! * **Wall-sampled** ([`Tsdb::sample`]): svc daemons call this from a
+//!   sampler thread on a fixed tick against their live registry; the
+//!   delta since the previous tick is attributed to the closing window.
+//!
+//! The module also hosts the per-shard [`Heartbeat`] frame and the
+//! rate-limited JSONL [`HeartbeatWriter`] used by streamed
+//! million-node runs (`ALPHAWAN_HEARTBEAT`), viewable live with
+//! `obsctl tail`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::ObsEvent;
+use crate::metrics::{Histogram, MetricsSink, Registry};
+use crate::sink::ObsSink;
+
+/// Schema version stamped into [`SeriesDoc`].
+pub const TSDB_SCHEMA_VERSION: u32 = 1;
+
+/// Default window length: one second of run time.
+pub const DEFAULT_INTERVAL_US: u64 = 1_000_000;
+
+/// Default frame-ring capacity (~10 minutes at 1 s windows).
+pub const DEFAULT_FRAME_CAP: usize = 600;
+
+/// Windowed histogram summary: delta counts between two registry
+/// snapshots reduced to count/sum and bucket-bound quantile estimates.
+///
+/// `max` is capped by the *run* maximum (histograms do not track a
+/// per-window max), so it is an upper bound for the window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistWindow {
+    /// Samples recorded in this window.
+    pub count: u64,
+    /// Sum of samples in this window (saturating).
+    pub sum: u64,
+    /// Median upper-bound estimate for the window.
+    pub p50: u64,
+    /// 95th-percentile upper-bound estimate for the window.
+    pub p95: u64,
+    /// 99th-percentile upper-bound estimate for the window.
+    pub p99: u64,
+    /// Run-max cap applied to the estimates (see type docs).
+    pub max: u64,
+}
+
+/// One closed aggregation window. Counters and histograms are window
+/// *deltas*; gauges are the values that changed during the window.
+/// Windows in which nothing changed produce no frame (gaps are visible
+/// as jumps in `t_start_us`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Monotonic frame number (increments per emitted frame).
+    pub seq: u64,
+    /// Window start, microseconds (simulation or wall clock per mode).
+    pub t_start_us: u64,
+    /// Window end (exclusive), microseconds.
+    pub t_end_us: u64,
+    /// Nonzero counter deltas, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges whose value changed during the window, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram windows with at least one sample, sorted by name.
+    pub hists: Vec<(String, HistWindow)>,
+}
+
+impl Frame {
+    /// Whether the frame carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Delta of counter `name` in this window (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// Serializable document served by svc `/series` and consumed by
+/// `obsctl top`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesDoc {
+    /// Schema version ([`TSDB_SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Window length, microseconds.
+    pub interval_us: u64,
+    /// Closed frames, oldest first.
+    pub frames: Vec<Frame>,
+}
+
+/// The step-aggregated store: bounded ring of closed [`Frame`]s plus
+/// the open-window baseline.
+#[derive(Debug, Clone)]
+pub struct Tsdb {
+    interval_us: u64,
+    capacity: usize,
+    frames: VecDeque<Frame>,
+    seq: u64,
+    open_start_us: u64,
+    started: bool,
+    prev: Registry,
+}
+
+impl Tsdb {
+    /// A store closing `interval_us`-wide windows, keeping at most
+    /// `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `interval_us` is 0 or `capacity` is 0.
+    pub fn new(interval_us: u64, capacity: usize) -> Tsdb {
+        assert!(interval_us > 0, "tsdb interval must be positive");
+        assert!(capacity > 0, "tsdb capacity must be positive");
+        Tsdb {
+            interval_us,
+            capacity,
+            frames: VecDeque::new(),
+            seq: 0,
+            open_start_us: 0,
+            started: false,
+            prev: Registry::new(),
+        }
+    }
+
+    /// Window length, microseconds.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Closed frames, oldest first.
+    pub fn frames(&self) -> impl DoubleEndedIterator<Item = &Frame> + ExactSizeIterator {
+        self.frames.iter()
+    }
+
+    /// Number of closed frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frame has been closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Advance the clock to `now_us`, closing every window whose end is
+    /// ≤ `now_us` against the current registry state. The accumulated
+    /// delta is attributed to the window that was open when it
+    /// occurred (event-time mode feeds events strictly after advancing,
+    /// so attribution is exact; wall-sampled mode smears by at most one
+    /// sampler tick).
+    pub fn advance(&mut self, now_us: u64, reg: &Registry) {
+        if !self.started {
+            self.started = true;
+            self.open_start_us = now_us - now_us % self.interval_us;
+            return;
+        }
+        if now_us < self.open_start_us + self.interval_us {
+            return;
+        }
+        let frame = self.diff_frame(reg, self.open_start_us + self.interval_us);
+        if !frame.is_empty() {
+            self.frames.push_back(frame);
+            self.seq += 1;
+            while self.frames.len() > self.capacity {
+                self.frames.pop_front();
+            }
+        }
+        self.prev = reg.clone();
+        self.open_start_us = now_us - now_us % self.interval_us;
+    }
+
+    /// Wall-sampled mode: advance to `now_us` and refresh the baseline.
+    /// Call on a fixed tick from a sampler thread.
+    pub fn sample(&mut self, now_us: u64, reg: &Registry) {
+        self.advance(now_us, reg);
+    }
+
+    /// Close the open window unconditionally (end of run) so trailing
+    /// activity is not lost.
+    pub fn finish(&mut self, reg: &Registry) {
+        if !self.started {
+            return;
+        }
+        let frame = self.diff_frame(reg, self.open_start_us + self.interval_us);
+        if !frame.is_empty() {
+            self.frames.push_back(frame);
+            self.seq += 1;
+            while self.frames.len() > self.capacity {
+                self.frames.pop_front();
+            }
+        }
+        self.prev = reg.clone();
+        self.open_start_us += self.interval_us;
+    }
+
+    /// Read-only provisional frame for the currently-open window.
+    /// **Never mutates state** — live viewers may call this at any
+    /// rate without affecting the closed-frame stream.
+    pub fn poll(&self, reg: &Registry) -> Frame {
+        self.diff_frame(reg, self.open_start_us + self.interval_us)
+    }
+
+    fn diff_frame(&self, cur: &Registry, t_end_us: u64) -> Frame {
+        let mut counters = Vec::new();
+        for (name, v) in cur.counters() {
+            let d = v.saturating_sub(self.prev.counter(name));
+            if d > 0 {
+                counters.push((name.to_string(), d));
+            }
+        }
+        let mut gauges = Vec::new();
+        for (name, v) in cur.gauges() {
+            if self.prev.gauge(name) != Some(v) {
+                gauges.push((name.to_string(), v));
+            }
+        }
+        let mut hists = Vec::new();
+        for (name, h) in cur.histograms() {
+            let w = hist_window(h, self.prev.histogram(name));
+            if w.count > 0 {
+                hists.push((name.to_string(), w));
+            }
+        }
+        Frame {
+            seq: self.seq,
+            t_start_us: self.open_start_us,
+            t_end_us,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    /// Windowed rate of counter `name` in events/sec over the trailing
+    /// `window_us` of closed frames. Returns 0 with no frames.
+    pub fn rate(&self, name: &str, window_us: u64) -> f64 {
+        let Some(last) = self.frames.back() else {
+            return 0.0;
+        };
+        let cutoff = last.t_end_us.saturating_sub(window_us);
+        let mut total = 0u64;
+        let mut span_start = last.t_end_us;
+        for f in self.frames.iter().rev() {
+            if f.t_end_us <= cutoff {
+                break;
+            }
+            total += f.counter(name);
+            span_start = f.t_start_us.max(cutoff);
+        }
+        let span = last.t_end_us.saturating_sub(span_start);
+        if span == 0 {
+            0.0
+        } else {
+            total as f64 / (span as f64 / 1e6)
+        }
+    }
+
+    /// Snapshot into a serializable [`SeriesDoc`].
+    pub fn to_doc(&self) -> SeriesDoc {
+        SeriesDoc {
+            version: TSDB_SCHEMA_VERSION,
+            interval_us: self.interval_us,
+            frames: self.frames.iter().cloned().collect(),
+        }
+    }
+}
+
+/// Delta two histogram snapshots into a [`HistWindow`]. `prev` absent
+/// means the histogram first appeared this window.
+fn hist_window(cur: &Histogram, prev: Option<&Histogram>) -> HistWindow {
+    let bounds = cur.bounds();
+    let mut deltas = Vec::with_capacity(cur.counts().len());
+    for (i, &c) in cur.counts().iter().enumerate() {
+        let p = prev
+            .map(|p| p.counts().get(i).copied().unwrap_or(0))
+            .unwrap_or(0);
+        deltas.push(c.saturating_sub(p));
+    }
+    let count: u64 = deltas.iter().sum();
+    let sum = cur.sum().saturating_sub(prev.map(|p| p.sum()).unwrap_or(0));
+    let q = |qv: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((qv * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in deltas.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return match bounds.get(i) {
+                    Some(&b) => b.min(cur.max()),
+                    None => cur.max(),
+                };
+            }
+        }
+        cur.max()
+    };
+    HistWindow {
+        count,
+        sum,
+        p50: q(0.50),
+        p95: q(0.95),
+        p99: q(0.99),
+        max: cur.max(),
+    }
+}
+
+/// An [`ObsSink`] folding the event stream into a [`MetricsSink`] while
+/// closing [`Tsdb`] windows on **event-time** boundaries. Deterministic:
+/// the closed-frame stream depends only on the event stream.
+#[derive(Debug, Clone)]
+pub struct TsdbSink {
+    metrics: MetricsSink,
+    tsdb: Tsdb,
+}
+
+impl TsdbSink {
+    /// A sink with `interval_us` windows and `capacity` retained frames.
+    pub fn new(interval_us: u64, capacity: usize) -> TsdbSink {
+        TsdbSink {
+            metrics: MetricsSink::new(),
+            tsdb: Tsdb::new(interval_us, capacity),
+        }
+    }
+
+    /// The underlying store (closed frames).
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The folded metrics aggregator.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Provisional view of the open window (read-only; see
+    /// [`Tsdb::poll`]).
+    pub fn poll(&self) -> Frame {
+        self.tsdb.poll(self.metrics.registry())
+    }
+
+    /// Close the open window (end of run) and return the store.
+    pub fn finish(mut self) -> Tsdb {
+        self.tsdb.finish(self.metrics.registry());
+        self.tsdb
+    }
+}
+
+impl ObsSink for TsdbSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: &ObsEvent) {
+        if let Some(t) = ev.t_us() {
+            self.tsdb.advance(t, self.metrics.registry());
+        }
+        self.metrics.record(ev);
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// One per-shard liveness frame from a streamed run: how far the shard
+/// has drained, how much work is queued, and its recent throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Shard index.
+    pub shard: u32,
+    /// Per-shard beat number (increments per emitted beat).
+    pub seq: u64,
+    /// Wall milliseconds since the writer was created.
+    pub wall_ms: u64,
+    /// Transmissions fully retired by this shard so far.
+    pub txs: u64,
+    /// Events emitted by this shard so far.
+    pub events: u64,
+    /// Events/sec since this shard's previous beat.
+    pub events_per_sec: f64,
+    /// Shard-local safe frontier, microseconds of simulation time.
+    pub frontier_us: u64,
+    /// Scheduled events currently queued in the shard.
+    pub queue_depth: u64,
+    /// Transmissions currently live (slots in use).
+    pub live_slots: u64,
+}
+
+struct HbShard {
+    seq: u64,
+    last_emit: Option<Instant>,
+    last_events: u64,
+    last_at: Instant,
+}
+
+struct HbInner {
+    out: std::io::BufWriter<std::fs::File>,
+    shards: BTreeMap<u32, HbShard>,
+    lines: u64,
+}
+
+/// Rate-limited JSONL writer for [`Heartbeat`] frames. Shared across
+/// shard threads (`&self` methods, internal mutex); each shard is
+/// limited to one line per `interval` of wall time (interval zero
+/// emits every beat — used by tests). I/O errors are swallowed after
+/// the first: heartbeats are best-effort and must never abort a run.
+pub struct HeartbeatWriter {
+    inner: Mutex<Option<HbInner>>,
+    interval: Duration,
+    started: Instant,
+}
+
+impl HeartbeatWriter {
+    /// Create (append) the JSONL file at `path` with per-shard emit
+    /// interval `interval_ms`.
+    pub fn create(path: &Path, interval_ms: u64) -> std::io::Result<HeartbeatWriter> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(HeartbeatWriter {
+            inner: Mutex::new(Some(HbInner {
+                out: std::io::BufWriter::new(file),
+                shards: BTreeMap::new(),
+                lines: 0,
+            })),
+            interval: Duration::from_millis(interval_ms),
+            started: Instant::now(),
+        })
+    }
+
+    /// Record one beat for `shard`. Emits a JSONL line if the shard's
+    /// rate limit allows; suppressed beats are dropped entirely so
+    /// `events_per_sec` always spans the gap between emitted lines.
+    #[allow(clippy::too_many_arguments)]
+    pub fn beat(
+        &self,
+        shard: u32,
+        txs: u64,
+        events: u64,
+        frontier_us: u64,
+        queue_depth: u64,
+        live_slots: u64,
+    ) {
+        let now = Instant::now();
+        let mut guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let Some(inner) = guard.as_mut() else {
+            return;
+        };
+        let started = self.started;
+        let st = inner.shards.entry(shard).or_insert_with(|| HbShard {
+            seq: 0,
+            last_emit: None,
+            last_events: 0,
+            last_at: started,
+        });
+        if let Some(last) = st.last_emit {
+            if now.duration_since(last) < self.interval {
+                return;
+            }
+        }
+        let dt = now.duration_since(st.last_at).as_secs_f64();
+        let rate = if dt > 0.0 {
+            (events.saturating_sub(st.last_events)) as f64 / dt
+        } else {
+            0.0
+        };
+        let hb = Heartbeat {
+            shard,
+            seq: st.seq,
+            wall_ms: now.duration_since(self.started).as_millis() as u64,
+            txs,
+            events,
+            events_per_sec: rate,
+            frontier_us,
+            queue_depth,
+            live_slots,
+        };
+        st.seq += 1;
+        st.last_emit = Some(now);
+        st.last_events = events;
+        st.last_at = now;
+        let ok = serde_json::to_string(&hb)
+            .ok()
+            .and_then(|line| writeln!(inner.out, "{line}").ok())
+            .is_some();
+        if ok {
+            inner.lines += 1;
+        } else {
+            *guard = None; // first I/O error disables the writer
+        }
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) {
+        let mut guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(inner) = guard.as_mut() {
+            let _ = inner.out.flush();
+        }
+    }
+
+    /// Lines emitted so far (0 after an I/O error disabled the writer).
+    pub fn lines(&self) -> u64 {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.as_ref().map(|i| i.lines).unwrap_or(0)
+    }
+}
+
+impl Drop for HeartbeatWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(t: u64, delivered: bool) -> ObsEvent {
+        ObsEvent::PacketOutcome {
+            t_us: t,
+            trace: 0,
+            tx: t,
+            delivered,
+            cause: None,
+        }
+    }
+
+    #[test]
+    fn windows_close_on_event_time_only() {
+        let mut s = TsdbSink::new(1_000, 16);
+        s.record(&outcome(100, true));
+        s.record(&outcome(200, true));
+        assert_eq!(s.tsdb().len(), 0, "window still open");
+        s.record(&outcome(1_500, true)); // crosses the 1 000 µs boundary
+        assert_eq!(s.tsdb().len(), 1);
+        let f = s.tsdb().frames().next().unwrap().clone();
+        assert_eq!(f.t_start_us, 0);
+        assert_eq!(f.t_end_us, 1_000);
+        assert_eq!(f.counter("delivered"), 2);
+        let db = s.finish();
+        assert_eq!(db.len(), 2, "finish closes the trailing window");
+        let last = db.frames().last().unwrap();
+        assert_eq!(last.counter("delivered"), 1);
+    }
+
+    #[test]
+    fn poll_is_read_only() {
+        let mut s = TsdbSink::new(1_000, 16);
+        s.record(&outcome(100, true));
+        let before = s.tsdb().clone();
+        let prov = s.poll();
+        assert_eq!(prov.counter("packet_outcome"), 1);
+        assert_eq!(s.tsdb().len(), before.len());
+        // Frames after more polling are identical to never polling.
+        for _ in 0..10 {
+            let _ = s.poll();
+        }
+        s.record(&outcome(2_500, false));
+        assert_eq!(s.tsdb().len(), 1);
+    }
+
+    #[test]
+    fn empty_windows_emit_no_frames() {
+        let mut s = TsdbSink::new(1_000, 16);
+        s.record(&outcome(100, true));
+        s.record(&outcome(9_900, true)); // jumps 8 empty windows
+        assert_eq!(s.tsdb().len(), 1, "only the active window emitted");
+        let f = s.tsdb().frames().next().unwrap();
+        assert_eq!((f.t_start_us, f.t_end_us), (0, 1_000));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut s = TsdbSink::new(100, 4);
+        for i in 0..50u64 {
+            s.record(&outcome(i * 100 + 50, true));
+        }
+        assert_eq!(s.tsdb().len(), 4);
+    }
+
+    #[test]
+    fn windowed_rate() {
+        let mut db = Tsdb::new(1_000_000, 64);
+        let mut reg = Registry::new();
+        db.advance(0, &reg);
+        for sec in 1..=5u64 {
+            reg.inc("pkts", 1_000);
+            db.advance(sec * 1_000_000, &reg);
+        }
+        // 1 000 pkts per 1 s window → 1 000/sec over any trailing span.
+        let r = db.rate("pkts", 3_000_000);
+        assert!((r - 1_000.0).abs() < 1e-9, "rate {r}");
+        assert_eq!(db.rate("missing", 3_000_000), 0.0);
+    }
+
+    #[test]
+    fn histogram_windows_are_deltas() {
+        let mut db = Tsdb::new(1_000, 16);
+        let mut reg = Registry::new();
+        db.advance(0, &reg);
+        reg.observe("lat", &[10, 100], 5);
+        reg.observe("lat", &[10, 100], 50);
+        db.advance(1_000, &reg);
+        reg.observe("lat", &[10, 100], 99);
+        db.advance(2_000, &reg);
+        let frames: Vec<&Frame> = db.frames().collect();
+        assert_eq!(frames.len(), 2);
+        let w0 = &frames[0].hists[0].1;
+        assert_eq!(w0.count, 2);
+        assert_eq!(w0.sum, 55);
+        let w1 = &frames[1].hists[0].1;
+        assert_eq!(w1.count, 1);
+        assert_eq!(w1.sum, 99);
+        assert_eq!(w1.p99, 99, "delta quantile capped by run max");
+    }
+
+    #[test]
+    fn series_doc_round_trips() {
+        let mut s = TsdbSink::new(1_000, 16);
+        s.record(&outcome(100, true));
+        let db = s.finish();
+        let doc = db.to_doc();
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: SeriesDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.version, TSDB_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn heartbeat_writer_emits_jsonl() {
+        let dir = std::env::temp_dir().join(format!("hb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let w = HeartbeatWriter::create(&path, 0).unwrap();
+            w.beat(0, 10, 100, 5_000, 3, 2);
+            w.beat(1, 20, 200, 6_000, 0, 1);
+            w.beat(0, 11, 110, 5_500, 2, 1);
+            w.flush();
+            assert_eq!(w.lines(), 3);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let beats: Vec<Heartbeat> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(beats.len(), 3);
+        assert_eq!(beats[0].shard, 0);
+        assert_eq!(beats[0].seq, 0);
+        assert_eq!(beats[2].shard, 0);
+        assert_eq!(beats[2].seq, 1, "per-shard seq");
+        assert_eq!(beats[1].queue_depth, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_rate_limit_suppresses_lines() {
+        let dir = std::env::temp_dir().join(format!("hb-rl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hb.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let w = HeartbeatWriter::create(&path, 60_000).unwrap();
+        for i in 0..100u64 {
+            w.beat(0, i, i * 10, i, 0, 0);
+        }
+        assert_eq!(w.lines(), 1, "only the first beat within the interval");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -412,6 +412,8 @@ struct ShardMachine<'e> {
     receiving: Vec<usize>,
     vs: VerdictScratch,
     sink: KeyedSink,
+    /// Live-run heartbeat writer (`ALPHAWAN_HEARTBEAT`), if attached.
+    hb: Option<&'e obs::HeartbeatWriter>,
     records: Vec<(u64, PacketRecord)>,
     summary: RunSummary,
     seq: u64,
@@ -447,6 +449,7 @@ impl<'e> ShardMachine<'e> {
         epoch: u64,
         collect_records: bool,
         obs_on: bool,
+        hb: Option<&'e obs::HeartbeatWriter>,
         shard: u32,
         gw_global: Vec<u32>,
         cand_local: Vec<Vec<u32>>,
@@ -494,6 +497,7 @@ impl<'e> ShardMachine<'e> {
                 key: (0, 0, 0),
                 buf: Vec::new(),
             },
+            hb,
             records: Vec::new(),
             summary: RunSummary::default(),
             seq: 0,
@@ -1014,15 +1018,38 @@ impl<'e> ShardMachine<'e> {
     /// results back.
     fn run(mut self, rx: mpsc::Receiver<ChunkMsg>) -> ShardOutput {
         let wall = Instant::now();
+        let mut last_frontier = 0u64;
         for (chunk, frontier) in rx.iter() {
-            self.ingest(&chunk);
-            self.drain(frontier);
+            {
+                let _sp = obs::span::enter(obs::span::SpanId::ShardIngest);
+                self.ingest(&chunk);
+            }
+            {
+                let _sp = obs::span::enter(obs::span::SpanId::ShardDrain);
+                self.drain(frontier);
+            }
+            if frontier != u64::MAX {
+                last_frontier = frontier;
+            }
+            if let Some(hb) = self.hb {
+                hb.beat(
+                    self.shard,
+                    self.txs_n,
+                    self.events,
+                    last_frontier,
+                    self.q.len() as u64,
+                    (self.slots.len() - self.free.len()) as u64,
+                );
+            }
         }
         // The last frontier is u64::MAX by the ChunkSource contract;
         // this is a belt-and-braces drain for sources that end early.
         self.drain(u64::MAX);
         debug_assert!(self.q.is_empty());
         debug_assert_eq!(self.slots.len(), self.free.len());
+        if let Some(hb) = self.hb {
+            hb.flush();
+        }
 
         let stats = ShardRunStats {
             shard: self.shard,
@@ -1106,6 +1133,22 @@ fn run_chunked(
         }
     }
 
+    // Live per-shard heartbeats: `ALPHAWAN_HEARTBEAT=<path>` appends
+    // JSONL heartbeat frames (rate-limited per shard by
+    // `ALPHAWAN_HEARTBEAT_MS`, default 500) viewable mid-run with
+    // `obsctl tail`. The stream is wall-clock telemetry in a separate
+    // file; the deterministic event stream is untouched.
+    let hb: Option<obs::HeartbeatWriter> = std::env::var("ALPHAWAN_HEARTBEAT")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .and_then(|p| {
+            let interval_ms = std::env::var("ALPHAWAN_HEARTBEAT_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500);
+            obs::HeartbeatWriter::create(std::path::Path::new(&p), interval_ms).ok()
+        });
+
     // Move the gateways out to their shards; unassigned ones stay
     // parked.
     let mut parked: Vec<Option<Gateway>> = world.gateways.drain(..).map(Some).collect();
@@ -1133,6 +1176,7 @@ fn run_chunked(
         let part_ref = &part;
         let ever_down_ref = &ever_down[..];
         let ever_locked_ref = &ever_locked[..];
+        let hb_ref = hb.as_ref();
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(n_shards);
             let mut handles = Vec::with_capacity(n_shards);
@@ -1172,6 +1216,7 @@ fn run_chunked(
                         epoch,
                         collect_records,
                         obs_on,
+                        hb_ref,
                         shard as u32,
                         gw_global,
                         cand_local,
@@ -1259,6 +1304,7 @@ fn run_chunked(
     // are unique across shards (each is tagged with its transmission
     // id), so `<` alone reconstructs the monolithic stream.
     if obs_on {
+        let _sp = obs::span::enter(obs::span::SpanId::ShardMerge);
         let sink = taken.as_deref_mut().expect("sink present when enabled");
         let mut idx = vec![0usize; outputs.len()];
         loop {

@@ -341,6 +341,7 @@ impl SimWorld {
         // its arenas alongside `self.gateways`.
         let mut s = std::mem::take(&mut self.scratch);
 
+        let sp_plan = obs::span::enter(obs::span::SpanId::SimPlanBuild);
         s.txs.clear();
         s.txs.reserve(plans.len());
         for (i, p) in plans.iter().enumerate() {
@@ -384,7 +385,11 @@ impl SimWorld {
                 .push((t.lock_on_us, Event::LockOn { tx_id: t.id }));
             s.timeline.push((t.end_us, Event::TxEnd { tx_id: t.id }));
         }
-        crate::engine::sort_schedule(&mut s.timeline);
+        drop(sp_plan);
+        {
+            let _sp = obs::span::enter(obs::span::SpanId::SimSortSchedule);
+            crate::engine::sort_schedule(&mut s.timeline);
+        }
 
         // Take the sink out of `self` for the duration of the run so the
         // event loop can borrow gateways mutably alongside it.
@@ -452,6 +457,7 @@ impl SimWorld {
         let mut candidate_visits: u64 = 0;
         let mut seq: u32 = 0;
 
+        let sp_loop = obs::span::enter(obs::span::SpanId::SimEventLoop);
         for &(_, ev) in &timeline {
             events += 1;
             match ev {
@@ -492,6 +498,7 @@ impl SimWorld {
                     s.buckets[c].push(tx_id);
                 }
                 Event::LockOn { tx_id } => {
+                    let _sp = obs::span::enter(obs::span::SpanId::SimLockOn);
                     let txi = tx_id as usize;
                     let t = s.txs[txi];
                     let now = t.lock_on_us;
@@ -571,6 +578,7 @@ impl SimWorld {
                     s.seen_span[txi] = (seen_start, s.seen_buf.len() as u32);
                 }
                 Event::TxEnd { tx_id } => {
+                    let _sp = obs::span::enter(obs::span::SpanId::SimVerdicts);
                     let txi = tx_id as usize;
                     let c = s.ch_of_tx[txi] as usize;
                     let pos = s.pos_in_bucket[txi] as usize;
@@ -602,6 +610,7 @@ impl SimWorld {
                 }
             }
         }
+        drop(sp_loop);
         s.timeline = timeline;
 
         sink.flush();

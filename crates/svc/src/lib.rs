@@ -31,6 +31,7 @@ pub mod masterd;
 pub mod netserverd;
 pub mod report;
 pub mod runtime;
+pub mod telemetry;
 
 pub use endpoint::{http_get, HttpEndpoint, HttpHandler};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
@@ -40,3 +41,4 @@ pub use report::{LatencyQuantiles, ServiceBench, BENCH_SERVICE_SCHEMA_VERSION};
 pub use runtime::{
     render_decisions, replay_decisions, replay_divergence, Decision, ShardPool, ShardRouter,
 };
+pub use telemetry::{FlightTee, Sampler, SharedFlight};

@@ -9,6 +9,7 @@
 use crate::endpoint::{HttpEndpoint, HttpHandler};
 use crate::report::LatencyQuantiles;
 use crate::runtime::{SharedObs, SERVE_LATENCY_BOUNDS_US};
+use crate::telemetry::{self, Sampler};
 use alphawan::master::server::ServerEvent;
 use alphawan::master::{MasterServer, RegionSpec};
 use obs::{ObsEvent, Registry, SvcConn};
@@ -30,6 +31,9 @@ pub struct MasterConfig {
     pub region: RegionSpec,
     /// Lease TTL forwarded to the Master node; 0 disables expiry.
     pub lease_ttl_ms: u64,
+    /// Sampler tick for the embedded time-series store backing
+    /// `/series` (milliseconds; one frame per tick).
+    pub series_interval_ms: u64,
 }
 
 impl Default for MasterConfig {
@@ -43,6 +47,7 @@ impl Default for MasterConfig {
                 expected_networks: 3,
             },
             lease_ttl_ms: 0,
+            series_interval_ms: 1_000,
         }
     }
 }
@@ -52,6 +57,7 @@ pub struct MasterDaemon {
     server: Option<MasterServer>,
     endpoint: HttpEndpoint,
     registry: Arc<Mutex<Registry>>,
+    sampler: Sampler,
 }
 
 impl MasterDaemon {
@@ -87,16 +93,25 @@ impl MasterDaemon {
         if cfg.lease_ttl_ms > 0 {
             server.node().lock().set_lease_ttl_ms(cfg.lease_ttl_ms);
         }
-        let endpoint =
-            HttpEndpoint::start(cfg.metrics_bind, Self::http_handler(Arc::clone(&registry)))?;
+        let sampler = Sampler::start(
+            Arc::clone(&registry),
+            cfg.series_interval_ms,
+            telemetry::master_slo_rules(),
+            None,
+        );
+        let endpoint = HttpEndpoint::start(
+            cfg.metrics_bind,
+            Self::http_handler(Arc::clone(&registry), sampler.tsdb()),
+        )?;
         Ok(MasterDaemon {
             server: Some(server),
             endpoint,
             registry,
+            sampler,
         })
     }
 
-    fn http_handler(registry: Arc<Mutex<Registry>>) -> HttpHandler {
+    fn http_handler(registry: Arc<Mutex<Registry>>, tsdb: Arc<Mutex<obs::Tsdb>>) -> HttpHandler {
         Arc::new(move |path| match path {
             "/metrics" => Some((
                 "text/plain; version=0.0.4",
@@ -118,8 +133,16 @@ impl MasterDaemon {
                 );
                 Some(("application/json", body.into_bytes()))
             }
+            "/series" => Some(("application/json", telemetry::series_body_of(&tsdb))),
+            "/spans" => Some(("application/json", telemetry::spans_body())),
             _ => None,
         })
+    }
+
+    /// Snapshot of the embedded time-series store (what `/series`
+    /// serves).
+    pub fn series(&self) -> obs::SeriesDoc {
+        self.sampler.series_doc()
     }
 
     /// The plan-server address operators connect to.
@@ -151,5 +174,6 @@ impl MasterDaemon {
         if let Some(server) = self.server.take() {
             server.shutdown();
         }
+        self.sampler.shutdown();
     }
 }

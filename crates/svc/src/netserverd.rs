@@ -12,14 +12,16 @@
 use crate::endpoint::{HttpEndpoint, HttpHandler};
 use crate::report::LatencyQuantiles;
 use crate::runtime::{render_decisions, Batch, PacketIn, ShardPool, ShardRouter, SharedObs};
+use crate::telemetry::{self, FlightTee, Sampler, SharedFlight};
 use gateway::forwarder::codec::{Datagram, TxPacket};
 use gateway::forwarder::fast::{parse_push_data, FastRx};
 use netserver::dedup::DedupStats;
-use obs::{ObsEvent, Registry, SvcConn};
+use obs::{FlightRecorder, ObsEvent, ObsSink, Registry, SloRule, SvcConn};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -44,6 +46,17 @@ pub struct NetServerConfig {
     pub dedup_window_us: u64,
     /// Per-shard decision-log cap (the prefix stays replay-exact).
     pub decision_log_cap: usize,
+    /// Sampler tick for the embedded time-series store backing
+    /// `/series` (milliseconds; one frame per tick).
+    pub series_interval_ms: u64,
+    /// When set, a flight recorder rings the last `flight_capacity`
+    /// events and SLO breaches snapshot it into this directory.
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity (events).
+    pub flight_capacity: usize,
+    /// SLO burn-rate rules evaluated each sampler tick; `None` uses
+    /// [`telemetry::netserver_slo_rules`].
+    pub slo_rules: Option<Vec<SloRule>>,
 }
 
 impl Default for NetServerConfig {
@@ -56,6 +69,10 @@ impl Default for NetServerConfig {
             channel_capacity: 256,
             dedup_window_us: 2_000_000,
             decision_log_cap: 4_000_000,
+            series_interval_ms: 1_000,
+            flight_dir: None,
+            flight_capacity: 4_096,
+            slo_rules: None,
         }
     }
 }
@@ -102,6 +119,8 @@ pub struct NetServerDaemon {
     window_us: u64,
     shutdown: Arc<AtomicBool>,
     receivers: Vec<JoinHandle<()>>,
+    sampler: Sampler,
+    flight: Option<SharedFlight>,
 }
 
 impl NetServerDaemon {
@@ -110,6 +129,34 @@ impl NetServerDaemon {
         let socket = UdpSocket::bind(cfg.bind)?;
         let addr = socket.local_addr()?;
         let registry = Arc::new(Mutex::new(Registry::new()));
+        // With a flight dir configured, every daemon event is teed into
+        // the recorder ring so an SLO breach can dump the last moments.
+        let flight: Option<SharedFlight> = match &cfg.flight_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let mut fr = FlightRecorder::new(dir, cfg.flight_capacity).with_prefix("netserver");
+                if let Some(s) = &sink {
+                    // A snapshot marks an incident: force the caller's
+                    // main event stream to disk alongside it.
+                    let s = Arc::clone(s);
+                    fr = fr.with_snapshot_hook(Box::new(move |_| s.lock().flush()));
+                }
+                Some(Arc::new(Mutex::new(fr)))
+            }
+            None => None,
+        };
+        let sink: Option<SharedObs> = match &flight {
+            Some(fr) => Some(Arc::new(Mutex::new(FlightTee::new(sink, Arc::clone(fr))))),
+            None => sink,
+        };
+        let sampler = Sampler::start(
+            Arc::clone(&registry),
+            cfg.series_interval_ms,
+            cfg.slo_rules
+                .clone()
+                .unwrap_or_else(telemetry::netserver_slo_rules),
+            flight.clone(),
+        );
         let pool = ShardPool::new(
             cfg.shards,
             cfg.channel_capacity,
@@ -141,7 +188,7 @@ impl NetServerDaemon {
         }
         let endpoint = HttpEndpoint::start(
             cfg.metrics_bind,
-            Self::http_handler(Arc::clone(&registry), &pool),
+            Self::http_handler(Arc::clone(&registry), &pool, sampler.tsdb()),
         )?;
         Ok(NetServerDaemon {
             addr,
@@ -153,10 +200,16 @@ impl NetServerDaemon {
             window_us: cfg.dedup_window_us,
             shutdown,
             receivers,
+            sampler,
+            flight,
         })
     }
 
-    fn http_handler(registry: Arc<Mutex<Registry>>, pool: &ShardPool) -> HttpHandler {
+    fn http_handler(
+        registry: Arc<Mutex<Registry>>,
+        pool: &ShardPool,
+        tsdb: Arc<Mutex<obs::Tsdb>>,
+    ) -> HttpHandler {
         let decisions = pool.decision_handles();
         let tracked = pool.tracked_handles();
         Arc::new(move |path| match path {
@@ -189,6 +242,8 @@ impl NetServerDaemon {
                     decisions.iter().map(|l| l.lock().clone()).collect();
                 Some(("text/plain", render_decisions(&logs)))
             }
+            "/series" => Some(("application/json", telemetry::series_body_of(&tsdb))),
+            "/spans" => Some(("application/json", telemetry::spans_body())),
             _ => None,
         })
     }
@@ -233,6 +288,25 @@ impl NetServerDaemon {
         self.registry.lock().counter(name)
     }
 
+    /// Snapshot of the embedded time-series store (what `/series`
+    /// serves).
+    pub fn series(&self) -> obs::SeriesDoc {
+        self.sampler.series_doc()
+    }
+
+    /// SLO breaches fired since start (post-suppression).
+    pub fn slo_breaches(&self) -> u64 {
+        self.sampler.breaches()
+    }
+
+    /// Flight snapshots written so far (empty without a `flight_dir`).
+    pub fn flight_snapshots(&self) -> Vec<PathBuf> {
+        self.flight
+            .as_ref()
+            .map(|fr| fr.lock().snapshots().to_vec())
+            .unwrap_or_default()
+    }
+
     /// Clone of the ingest-latency histogram (empty if nothing was
     /// ingested yet).
     pub fn ingest_latency(&self) -> obs::Histogram {
@@ -269,6 +343,10 @@ impl NetServerDaemon {
         // queues and join the workers.
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
+        }
+        self.sampler.shutdown();
+        if let Some(fr) = &self.flight {
+            fr.lock().flush();
         }
     }
 }

@@ -273,6 +273,7 @@ fn shard_worker(
     let mut dedup = Deduplicator::new(window_us);
     let mut local: Vec<Decision> = Vec::with_capacity(128);
     while let Ok(batch) = receiver.recv() {
+        let _sp = obs::span::enter(obs::span::SpanId::SvcBatch);
         let (mut new, mut dup, mut late) = (0u64, 0u64, 0u64);
         for p in &batch.pkts {
             let copy = UplinkCopy {

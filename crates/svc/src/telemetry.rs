@@ -1,0 +1,342 @@
+//! Continuous daemon telemetry.
+//!
+//! Both daemons run one [`Sampler`]: a wall-clock thread that
+//! snapshots the daemon registry (plus process RSS) into an embedded
+//! [`obs::Tsdb`] every tick, evaluates SLO burn-rate rules against the
+//! closed frames, and — on breach — triggers the shared
+//! [`obs::FlightRecorder`] so the last-N event ring lands on disk with
+//! the breaching rule as the snapshot reason. The stored frames back
+//! the `/series` endpoint; [`spans_body`] backs `/spans` from the
+//! process-global span profiler.
+
+use crate::runtime::SharedObs;
+use obs::{FlightRecorder, ObsEvent, ObsSink, Registry, SeriesDoc, SloRule, SloSet, Tsdb};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A flight recorder shared between the daemon's event path (which
+/// feeds its ring) and the sampler (which triggers it on SLO breach).
+pub type SharedFlight = Arc<Mutex<FlightRecorder>>;
+
+/// Tee sink: feeds every daemon event into the flight-recorder ring
+/// while forwarding to the caller's sink (when one is attached). The
+/// recorder ring is bounded, so this stays O(1) per event no matter
+/// how long the daemon soaks.
+pub struct FlightTee {
+    caller: Option<SharedObs>,
+    flight: SharedFlight,
+}
+
+impl FlightTee {
+    /// Wrap `caller` (possibly absent) so `flight` sees every event.
+    pub fn new(caller: Option<SharedObs>, flight: SharedFlight) -> FlightTee {
+        FlightTee { caller, flight }
+    }
+}
+
+impl ObsSink for FlightTee {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: &ObsEvent) {
+        if let Some(c) = &self.caller {
+            let mut c = c.lock();
+            if c.enabled() {
+                c.record(ev);
+            }
+        }
+        self.flight.lock().record(ev);
+    }
+
+    fn flush(&mut self) {
+        if let Some(c) = &self.caller {
+            c.lock().flush();
+        }
+        self.flight.lock().flush();
+    }
+}
+
+/// The sampler thread plus the time-series store it fills.
+pub struct Sampler {
+    tsdb: Arc<Mutex<Tsdb>>,
+    breaches: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start a sampler ticking every `interval_ms` (clamped to ≥ 10ms):
+    /// each tick samples process memory into `registry`, closes tsdb
+    /// windows from a registry snapshot, then evaluates `rules`; every
+    /// breach triggers `flight` (when present) with the rule name as
+    /// the snapshot reason.
+    pub fn start(
+        registry: Arc<Mutex<Registry>>,
+        interval_ms: u64,
+        rules: Vec<SloRule>,
+        flight: Option<SharedFlight>,
+    ) -> Sampler {
+        let interval = Duration::from_millis(interval_ms.max(10));
+        let tsdb = Arc::new(Mutex::new(Tsdb::new(
+            interval.as_micros() as u64,
+            obs::tsdb::DEFAULT_FRAME_CAP,
+        )));
+        let breaches = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_tsdb = Arc::clone(&tsdb);
+        let t_breaches = Arc::clone(&breaches);
+        let t_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("svc-sampler".into())
+            .spawn(move || {
+                let mut slo = SloSet::new(rules);
+                let started = Instant::now();
+                let mut next = started + interval;
+                while !t_stop.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    if now < next {
+                        // Sleep in short steps so shutdown stays prompt
+                        // even with multi-second intervals.
+                        std::thread::sleep((next - now).min(Duration::from_millis(25)));
+                        continue;
+                    }
+                    next += interval;
+                    let snapshot = {
+                        let mut reg = registry.lock();
+                        reg.sample_process_memory();
+                        reg.clone()
+                    };
+                    let now_us = started.elapsed().as_micros() as u64;
+                    let fired = {
+                        let mut db = t_tsdb.lock();
+                        db.sample(now_us, &snapshot);
+                        slo.evaluate(&db)
+                    };
+                    for breach in fired {
+                        t_breaches.fetch_add(1, Ordering::Relaxed);
+                        if let Some(fr) = &flight {
+                            fr.lock().trigger(&format!("slo-{}", breach.rule));
+                        }
+                    }
+                }
+            })
+            .expect("spawn svc-sampler");
+        Sampler {
+            tsdb,
+            breaches,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Snapshot of the stored frames as a serializable document.
+    pub fn series_doc(&self) -> SeriesDoc {
+        self.tsdb.lock().to_doc()
+    }
+
+    /// `/series` response body: the frame document as JSON + newline.
+    pub fn series_body(&self) -> Vec<u8> {
+        let mut body = serde_json::to_string(&self.series_doc()).unwrap_or_else(|_| "{}".into());
+        body.push('\n');
+        body.into_bytes()
+    }
+
+    /// Handle on the store (the HTTP closure clones this).
+    pub fn tsdb(&self) -> Arc<Mutex<Tsdb>> {
+        Arc::clone(&self.tsdb)
+    }
+
+    /// SLO breaches fired since start (post-suppression).
+    pub fn breaches(&self) -> u64 {
+        self.breaches.load(Ordering::Relaxed)
+    }
+
+    /// Stop the tick loop and join the thread. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// `/series` response body straight from a shared store (for closures
+/// that hold the `Arc` rather than the [`Sampler`]).
+pub fn series_body_of(tsdb: &Arc<Mutex<Tsdb>>) -> Vec<u8> {
+    let mut body = serde_json::to_string(&tsdb.lock().to_doc()).unwrap_or_else(|_| "{}".into());
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// `/spans` response body: the process-global span profile as JSON +
+/// newline. Sites report exact call counts even when the profiler is
+/// detached; durations appear once `obs::span::attach` has run.
+pub fn spans_body() -> Vec<u8> {
+    let mut body = obs::span::report().to_json();
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// Default burn-rate rules for the ingest daemon, sized for its
+/// counter names: late-dedup ratio and malformed-datagram ratio over a
+/// 10s trailing window, plus an ingest-stall rule that fires when a
+/// previously busy server stops seeing packets entirely.
+pub fn netserver_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "dedup-late-burn".into(),
+            numer: "dedup_late_total".into(),
+            denom: Some("svc_pkts_total".into()),
+            window_us: 10_000_000,
+            threshold: 0.05,
+            breach_below: false,
+            min_count: 1_000,
+        },
+        SloRule {
+            name: "malformed-burn".into(),
+            numer: "svc_malformed_total".into(),
+            denom: Some("svc_datagrams_total".into()),
+            window_us: 10_000_000,
+            threshold: 0.10,
+            breach_below: false,
+            min_count: 100,
+        },
+    ]
+}
+
+/// Default burn-rate rules for the Master daemon: plan-serve latency
+/// watched via the request-rate collapse rule only (the latency
+/// histogram itself is surfaced per-window in `/series`).
+pub fn master_slo_rules() -> Vec<SloRule> {
+    vec![SloRule {
+        name: "master-conn-burn".into(),
+        numer: "master_conns_total".into(),
+        denom: Some("master_requests_total".into()),
+        window_us: 10_000_000,
+        threshold: 4.0,
+        breach_below: false,
+        min_count: 200,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_fills_frames_and_shuts_down() {
+        let registry = Arc::new(Mutex::new(Registry::new()));
+        let mut sampler = Sampler::start(Arc::clone(&registry), 10, Vec::new(), None);
+        for i in 0..20 {
+            registry.lock().inc("ticks_total", i);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Wait for at least one closed frame (bounded).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sampler.series_doc().frames.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let doc = sampler.series_doc();
+        assert!(!doc.frames.is_empty(), "sampler never closed a frame");
+        assert_eq!(doc.version, obs::TSDB_SCHEMA_VERSION);
+        let total: u64 = doc.frames.iter().map(|f| f.counter("ticks_total")).sum();
+        assert!(total > 0, "counter deltas missing from frames");
+        // RSS gauge rides along on every tick (Linux-only source, but
+        // the gauge sampling is unconditional on success).
+        if obs::proc_mem().is_some() {
+            let has_rss = doc
+                .frames
+                .iter()
+                .any(|f| f.gauges.iter().any(|(k, _)| k == "process_rss_bytes"));
+            assert!(has_rss, "RSS gauge missing from frames");
+        }
+        sampler.shutdown();
+        sampler.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn breach_triggers_flight_snapshot() {
+        let dir = std::env::temp_dir().join(format!("svc-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let flight: SharedFlight =
+            Arc::new(Mutex::new(FlightRecorder::new(&dir, 64).with_prefix("svc")));
+        // Feed one event so the snapshot has a body.
+        flight.lock().record(&ObsEvent::SvcAccept {
+            wall_us: 1,
+            conn: obs::SvcConn::Udp,
+            peer: 7,
+        });
+        let registry = Arc::new(Mutex::new(Registry::new()));
+        let rules = vec![SloRule {
+            name: "late".into(),
+            numer: "dedup_late_total".into(),
+            denom: Some("svc_pkts_total".into()),
+            window_us: 40_000,
+            threshold: 0.05,
+            breach_below: false,
+            min_count: 10,
+        }];
+        let mut sampler =
+            Sampler::start(Arc::clone(&registry), 10, rules, Some(Arc::clone(&flight)));
+        {
+            let mut reg = registry.lock();
+            reg.inc("svc_pkts_total", 1_000);
+            reg.inc("dedup_late_total", 500);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sampler.breaches() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.shutdown();
+        assert!(sampler.breaches() >= 1, "SLO rule never fired");
+        let snaps = flight.lock().snapshots().to_vec();
+        assert!(!snaps.is_empty(), "breach did not trigger a snapshot");
+        let name = snaps[0].file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.contains("slo-late"), "reason missing from {name}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_tee_feeds_ring_and_caller() {
+        let dir = std::env::temp_dir().join(format!("svc-tee-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let flight: SharedFlight = Arc::new(Mutex::new(FlightRecorder::new(&dir, 8)));
+        let caller: SharedObs = Arc::new(Mutex::new(obs::MetricsSink::new()));
+        let mut tee = FlightTee::new(Some(Arc::clone(&caller)), Arc::clone(&flight));
+        tee.record(&ObsEvent::SvcAccept {
+            wall_us: 3,
+            conn: obs::SvcConn::Tcp,
+            peer: 1,
+        });
+        tee.flush();
+        assert_eq!(flight.lock().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_body_is_json() {
+        // Detached spans are free (and uncounted); attach so the site
+        // registers, since zero-call sites are omitted from the report.
+        obs::span::attach_with_stride(0);
+        drop(obs::span::enter(obs::span::SpanId::SvcBatch));
+        let body = spans_body();
+        obs::span::detach();
+        let text = String::from_utf8(body).expect("utf8");
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("\"sites\""), "span report missing sites");
+        assert!(text.contains("svc.batch"), "site names missing");
+    }
+}
