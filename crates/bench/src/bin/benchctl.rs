@@ -85,7 +85,7 @@ fn main() {
             outcomes.iter().filter(|o| !o.ok()).count(),
             if baseline.checks.len() > outcomes.len() {
                 format!(
-                    " ({} skipped: artifact absent)",
+                    " ({} skipped: artifact or point absent)",
                     baseline.checks.len() - outcomes.len()
                 )
             } else {

@@ -38,6 +38,13 @@ pub struct BaselineCheck {
     /// Inclusive ceiling: values above it fail the check.
     #[serde(default)]
     pub max: Option<f64>,
+    /// Skip (rather than fail) when the path does not resolve in the
+    /// artifact — for scale points only the full bench emits (quick
+    /// CI artifacts carry a subset). Band violations still fail; only
+    /// a value that is absent entirely is skipped, so use this for
+    /// checks whose *point* is optional, never to paper over typos.
+    #[serde(default)]
+    pub skip_if_absent: bool,
 }
 
 /// The committed baseline document.
@@ -178,29 +185,57 @@ pub fn check_baseline(
     dir: &Path,
     allow_missing: bool,
 ) -> Vec<CheckOutcome> {
+    /// Per-artifact load result, cached so each file is read once.
+    #[derive(Clone)]
+    enum Loaded {
+        Parsed(Value),
+        /// The file does not exist at the expected path.
+        Missing(String),
+        /// The file exists but is not valid JSON.
+        Unparseable(String),
+    }
     let mut out = Vec::new();
-    let mut cache: Vec<(String, Option<Value>)> = Vec::new();
+    let mut cache: Vec<(String, Loaded)> = Vec::new();
     for check in &baseline.checks {
-        let parsed = match cache.iter().find(|(n, _)| *n == check.artifact) {
+        let loaded = match cache.iter().find(|(n, _)| *n == check.artifact) {
             Some((_, v)) => v.clone(),
             None => {
-                let v = std::fs::read_to_string(dir.join(&check.artifact))
-                    .ok()
-                    .and_then(|text| serde_json::from_str::<Value>(&text).ok());
+                let path = dir.join(&check.artifact);
+                let v = match std::fs::read_to_string(&path) {
+                    Err(_) if !path.exists() => Loaded::Missing(format!(
+                        "artifact {} not found (expected {}; run the bench \
+                         that writes it or pass --allow-missing)",
+                        check.artifact,
+                        path.display()
+                    )),
+                    Err(e) => Loaded::Unparseable(format!("{}: {e}", path.display())),
+                    Ok(text) => match serde_json::from_str::<Value>(&text) {
+                        Ok(value) => Loaded::Parsed(value),
+                        Err(e) => {
+                            Loaded::Unparseable(format!("{}: invalid JSON: {e}", path.display()))
+                        }
+                    },
+                };
                 cache.push((check.artifact.clone(), v.clone()));
                 v
             }
         };
-        match parsed {
-            Some(artifact) => out.push(evaluate(check, &artifact)),
-            None if allow_missing && !dir.join(&check.artifact).exists() => {}
-            None => out.push(CheckOutcome {
+        match loaded {
+            Loaded::Parsed(artifact) => {
+                let outcome = evaluate(check, &artifact);
+                // A lookup failure leaves `value` unset; a band
+                // violation carries the resolved value. Only the
+                // former is skippable.
+                if outcome.value.is_none() && check.skip_if_absent {
+                    continue;
+                }
+                out.push(outcome);
+            }
+            Loaded::Missing(_) if allow_missing => {}
+            Loaded::Missing(msg) | Loaded::Unparseable(msg) => out.push(CheckOutcome {
                 check: check.clone(),
                 value: None,
-                error: Some(format!(
-                    "artifact {} missing or unparseable",
-                    dir.join(&check.artifact).display()
-                )),
+                error: Some(msg),
             }),
         }
     }
@@ -377,6 +412,7 @@ mod tests {
             path: "scales[0].speedup".into(),
             min: Some(1.0),
             max: None,
+            skip_if_absent: false,
         };
         assert!(evaluate(&floor, &a).ok());
         let tight = BaselineCheck {
@@ -389,6 +425,7 @@ mod tests {
             path: "dedup.new".into(),
             min: None,
             max: Some(5.0),
+            skip_if_absent: false,
         };
         assert!(!evaluate(&ceil, &a).ok());
     }
@@ -407,12 +444,14 @@ mod tests {
                     path: "v".into(),
                     min: Some(1.0),
                     max: None,
+                    skip_if_absent: false,
                 },
                 BaselineCheck {
                     artifact: "missing.json".into(),
                     path: "v".into(),
                     min: Some(1.0),
                     max: None,
+                    skip_if_absent: false,
                 },
             ],
         };
@@ -424,6 +463,46 @@ mod tests {
         assert!(lenient[0].ok());
         let (text, ok) = render_outcomes(&strict);
         assert!(!ok && text.contains("FAIL"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skip_if_absent_skips_unresolved_paths_but_not_band_violations() {
+        let dir = std::env::temp_dir().join(format!("benchctl-skip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A quick-mode-shaped artifact: only the small point present.
+        std::fs::write(
+            dir.join("a.json"),
+            r#"{"scales": [{"nodes": 144, "rate": 50.0}]}"#,
+        )
+        .expect("write");
+        let check = |path: &str, min: f64, skip: bool| BaselineCheck {
+            artifact: "a.json".into(),
+            path: path.into(),
+            min: Some(min),
+            max: None,
+            skip_if_absent: skip,
+        };
+        let baseline = BaselineDoc {
+            version: BASELINE_SCHEMA_VERSION,
+            checks: vec![
+                // Full-only point, flagged: skipped, not failed.
+                check("scales[nodes=100000].rate", 1.0, true),
+                // Same absent point unflagged: fails.
+                check("scales[nodes=100000].rate", 1.0, false),
+                // Present point with a violated floor stays a failure
+                // even when flagged — only absence is skippable.
+                check("scales[nodes=144].rate", 100.0, true),
+            ],
+        };
+        let out = check_baseline(&baseline, &dir, false);
+        assert_eq!(out.len(), 2, "flagged absent-path check must be skipped");
+        assert!(!out[0].ok(), "unflagged absent path must fail");
+        assert!(
+            !out[1].ok() && out[1].value == Some(50.0),
+            "band violation must fail despite skip_if_absent"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -46,7 +46,7 @@ fn benchctl_check_passes_on_good_baseline() {
     );
     assert!(stdout.contains("3 checks, 0 failed"), "got: {stdout}");
     assert!(
-        stdout.contains("1 skipped: artifact absent"),
+        stdout.contains("1 skipped: artifact or point absent"),
         "absent-artifact skip not reported: {stdout}"
     );
     assert!(
@@ -100,9 +100,78 @@ fn benchctl_check_fails_on_missing_artifact_without_allow() {
     ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(
-        text(&out.stdout).contains("missing or unparseable"),
+        text(&out.stdout).contains("artifact BENCH_absent.json not found"),
         "got: {}",
         text(&out.stdout)
+    );
+}
+
+#[test]
+fn benchctl_diff_names_missing_artifact_with_expected_path() {
+    // `diff` on a baseline naming an absent artifact must print a
+    // clear "not found" with the path it looked at — not a raw io
+    // error — and still exit zero (diff never gates).
+    let fx = fixtures();
+    let out = benchctl(&[
+        "diff",
+        "--baseline",
+        fx.join("baseline_good.json").to_str().unwrap(),
+        "--dir",
+        fx.to_str().unwrap(),
+    ]);
+    let stdout = text(&out.stdout);
+    assert!(out.status.success(), "diff must never gate: {stdout}");
+    assert!(
+        stdout.contains("artifact BENCH_absent.json not found"),
+        "missing artifact not named: {stdout}"
+    );
+    let expected = fx.join("BENCH_absent.json");
+    assert!(
+        stdout.contains(expected.to_str().unwrap()),
+        "expected path {} not printed: {stdout}",
+        expected.display()
+    );
+    assert!(
+        !stdout.contains("No such file"),
+        "raw io error leaked through: {stdout}"
+    );
+}
+
+#[test]
+fn benchctl_distinguishes_unparseable_from_missing() {
+    let fx = fixtures();
+    let out = benchctl(&[
+        "diff",
+        "--baseline",
+        fx.join("baseline_garbage.json").to_str().unwrap(),
+        "--dir",
+        fx.to_str().unwrap(),
+    ]);
+    let stdout = text(&out.stdout);
+    assert!(
+        stdout.contains("invalid JSON"),
+        "corrupt artifact not reported as unparseable: {stdout}"
+    );
+    assert!(
+        !stdout.contains("not found"),
+        "corrupt artifact misreported as missing: {stdout}"
+    );
+
+    // --allow-missing skips absent artifacts but must NOT skip
+    // corrupt ones: a truncated artifact is a real failure.
+    let gated = benchctl(&[
+        "check",
+        "--baseline",
+        fx.join("baseline_garbage.json").to_str().unwrap(),
+        "--dir",
+        fx.to_str().unwrap(),
+        "--allow-missing",
+    ]);
+    assert_eq!(
+        gated.status.code(),
+        Some(1),
+        "corrupt artifact must gate even with --allow-missing: {}",
+        text(&gated.stdout)
     );
 }
 
@@ -148,6 +217,10 @@ fn obsctl_top_renders_series_fixture() {
     assert!(stdout.contains("decoder_acquired_total"), "got: {stdout}");
     assert!(stdout.contains("tx_attempts_total"));
     assert!(stdout.contains("decoder_occupancy"));
+    // The accumulator-path counters the sim registers mid-soak must
+    // surface in the live view like any other counter.
+    assert!(stdout.contains("sim_accum_updates"), "got: {stdout}");
+    assert!(stdout.contains("sim_accum_undos"), "got: {stdout}");
 }
 
 #[test]

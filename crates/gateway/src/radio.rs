@@ -124,11 +124,17 @@ pub struct Gateway {
     profile: &'static GatewayProfile,
     config: GatewayConfig,
     pool: DecoderPool,
-    /// Admitted packets currently holding a decoder.
+    /// Admitted packets currently holding a decoder (the self-tracked
+    /// admission path; caller-tracked admissions never enter here).
     active: ActiveMap,
-    /// Of `active`, how many packets are foreign-network (maintained
-    /// incrementally so contention-drop classification is O(1)).
+    /// Of all admitted packets, how many are foreign-network
+    /// (maintained incrementally so contention-drop classification is
+    /// O(1)); covers tracked and caller-tracked admissions alike.
     foreign_active: usize,
+    /// Of `foreign_active`, the caller-tracked share — exists so the
+    /// self-check in [`Self::foreign_held_decoders`] stays exact when
+    /// the two admission styles mix.
+    untracked_foreign: usize,
     stats: GatewayStats,
 }
 
@@ -149,6 +155,7 @@ impl Gateway {
             config,
             active: ActiveMap::default(),
             foreign_active: 0,
+            untracked_foreign: 0,
             stats: GatewayStats::default(),
         }
     }
@@ -177,11 +184,12 @@ impl Gateway {
     /// step; in hardware this is the "gateway reboot" of Fig. 17).
     /// Active receptions are aborted, as a real reboot would.
     pub fn reconfigure(&mut self, config: GatewayConfig) {
-        for _ in 0..self.active.len() {
+        for _ in 0..self.pool.in_use() {
             self.pool.release();
         }
         self.active.clear();
         self.foreign_active = 0;
+        self.untracked_foreign = 0;
         self.config = config;
     }
 
@@ -284,6 +292,76 @@ impl Gateway {
         LockOnOutcome::Admitted
     }
 
+    /// [`Self::admit_detected_obs`] where the *caller* keeps the
+    /// packet and promises to hand it back at
+    /// [`Self::on_tx_end_tracked_obs`] — the gateway skips its
+    /// active-map bookkeeping. For drivers (the sharded simulator)
+    /// that already hold per-transmission state, this removes two
+    /// hash-map operations and a packet copy per (transmission,
+    /// gateway). Decoder-pool semantics, stats and foreign-held
+    /// accounting are identical to the self-tracked path.
+    pub fn admit_detected_tracked_obs(
+        &mut self,
+        pkt: &PacketAtGateway,
+        sink: &mut dyn ObsSink,
+    ) -> LockOnOutcome {
+        debug_assert!(self.would_detect(pkt), "caller must verify detection");
+        if !self
+            .pool
+            .try_acquire_obs(pkt.lock_on_us, pkt.trace, self.id as u32, pkt.tx_id, sink)
+        {
+            self.stats.dropped_no_decoder += 1;
+            if sink.enabled() {
+                let foreign_held = self.foreign_held_decoders();
+                if foreign_held > 0 {
+                    sink.record(&ObsEvent::StealRefused {
+                        t_us: pkt.lock_on_us,
+                        trace: pkt.trace,
+                        gw: self.id as u32,
+                        tx: pkt.tx_id,
+                        foreign_held: foreign_held as u32,
+                    });
+                }
+            }
+            return LockOnOutcome::DroppedNoDecoder;
+        }
+        self.stats.admitted += 1;
+        if pkt.network_id != self.network_id {
+            self.foreign_active += 1;
+            self.untracked_foreign += 1;
+        }
+        LockOnOutcome::Admitted
+    }
+
+    /// Transmission-end for a packet admitted with
+    /// [`Self::admit_detected_tracked_obs`]: the caller supplies the
+    /// packet it retained. Must be called exactly once per tracked
+    /// admission — unlike [`Self::on_tx_end_obs`] there is no map to
+    /// detect a packet that was never admitted here.
+    pub fn on_tx_end_tracked_obs(
+        &mut self,
+        pkt: &PacketAtGateway,
+        phy_ok: bool,
+        sink: &mut dyn ObsSink,
+    ) -> ReceptionOutcome {
+        if pkt.network_id != self.network_id {
+            self.foreign_active -= 1;
+            self.untracked_foreign -= 1;
+        }
+        self.pool
+            .release_obs(pkt.end_us, pkt.trace, self.id as u32, pkt.tx_id, sink);
+        if !phy_ok {
+            self.stats.decode_failed += 1;
+            ReceptionOutcome::DecodeFailed
+        } else if pkt.network_id != self.network_id {
+            self.stats.foreign_filtered += 1;
+            ReceptionOutcome::ForeignFiltered
+        } else {
+            self.stats.received += 1;
+            ReceptionOutcome::Received
+        }
+    }
+
     /// Transmission-end event for a packet previously offered at
     /// lock-on. `phy_ok` is the medium's verdict on whether the decode
     /// succeeded (capture/interference outcome, computed by the
@@ -337,11 +415,12 @@ impl Gateway {
     /// Abort all in-flight receptions (a crash/power-cycle): decoders
     /// are released and the packets are lost.
     pub fn abort_active(&mut self) {
-        for _ in 0..self.active.len() {
+        for _ in 0..self.pool.in_use() {
             self.pool.release();
         }
         self.active.clear();
         self.foreign_active = 0;
+        self.untracked_foreign = 0;
     }
 
     /// How many currently held decoders belong to packets from a network
@@ -350,10 +429,12 @@ impl Gateway {
     pub fn foreign_held_decoders(&self) -> usize {
         debug_assert_eq!(
             self.foreign_active,
-            self.active
-                .values()
-                .filter(|p| p.network_id != self.network_id)
-                .count()
+            self.untracked_foreign
+                + self
+                    .active
+                    .values()
+                    .filter(|p| p.network_id != self.network_id)
+                    .count()
         );
         self.foreign_active
     }
@@ -362,6 +443,7 @@ impl Gateway {
     pub fn reset(&mut self) {
         self.active.clear();
         self.foreign_active = 0;
+        self.untracked_foreign = 0;
         self.pool.reset();
         self.stats = GatewayStats::default();
     }

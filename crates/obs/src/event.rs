@@ -332,6 +332,21 @@ pub enum ObsEvent {
         candidate_visits: u64,
         /// `txs × gateways`: the pairs an un-indexed loop would visit.
         candidate_ceiling: u64,
+        /// Accumulator-mode: incremental contributions added at TxStart
+        /// (0 in scan mode).
+        #[serde(default)]
+        accum_updates: u64,
+        /// Accumulator-mode: contributions exactly undone at TxEnd.
+        #[serde(default)]
+        accum_undos: u64,
+        /// Accumulator-mode: stale lazy-max index entries evicted
+        /// during verdict queries.
+        #[serde(default)]
+        accum_evictions: u64,
+        /// Time-wheel level cascades across all shards (0 before the
+        /// wheel scheduler).
+        #[serde(default)]
+        wheel_cascades: u64,
         /// Host wall-clock duration of the run, µs.
         wall_us: u64,
     },
@@ -354,6 +369,20 @@ pub enum ObsEvent {
         /// Peak simultaneously-live transmission slots (the streaming
         /// loop's working-set bound).
         peak_live: u64,
+        /// Accumulator-mode: incremental contributions added at TxStart
+        /// (0 in scan mode).
+        #[serde(default)]
+        accum_updates: u64,
+        /// Accumulator-mode: contributions exactly undone at TxEnd.
+        #[serde(default)]
+        accum_undos: u64,
+        /// Accumulator-mode: stale lazy-max index entries evicted
+        /// during verdict queries.
+        #[serde(default)]
+        accum_evictions: u64,
+        /// Time-wheel level cascades in this shard's scheduler.
+        #[serde(default)]
+        wheel_cascades: u64,
         /// Host wall-clock duration of the shard's event loop, µs.
         wall_us: u64,
     },

@@ -480,6 +480,10 @@ impl ObsSink for MetricsSink {
                 events,
                 candidate_visits,
                 candidate_ceiling,
+                accum_updates,
+                accum_undos,
+                accum_evictions,
+                wheel_cascades,
                 wall_us,
                 ..
             } => {
@@ -489,6 +493,14 @@ impl ObsSink for MetricsSink {
                 self.registry.inc("sim_candidate_visits", candidate_visits);
                 self.registry
                     .inc("sim_candidate_ceiling", candidate_ceiling);
+                // Accumulator-path counters (see `sim::shard` accum
+                // mode); all 0 for scan-mode runs, so soak dashboards
+                // can tell which hot path a run exercised.
+                self.registry.inc("sim_accum_updates", accum_updates);
+                self.registry.inc("sim_accum_undos", accum_undos);
+                self.registry.inc("sim_accum_evictions", accum_evictions);
+                self.registry
+                    .inc("sim_accum_wheel_cascades", wheel_cascades);
                 if wall_us > 0 {
                     self.registry
                         .set_gauge("sim_events_per_sec", events as f64 / (wall_us as f64 / 1e6));

@@ -1,0 +1,838 @@
+//! Incremental per-(channel, SF, gateway) interference accumulators —
+//! the O(Δ)-per-event replacement for the O(on-air × gateways) verdict
+//! scan.
+//!
+//! # What gets accumulated
+//!
+//! The quantity that decides a PHY verdict at a gateway is a small
+//! per-gateway aggregate over every transmission whose airtime
+//! overlapped the victim's:
+//!
+//! * the **leaked interference sum** (partial-overlap channels below
+//!   the detection threshold) entering the SINR denominator,
+//! * the **strongest same-SF collider** (capture arbitration — the
+//!   victim survives iff `rssi_v − rssi_o ≥ 6 dB` against *every*
+//!   collider, i.e. against the strongest), and
+//! * the **strongest cross-SF interferer** (quasi-orthogonality — the
+//!   victim is killed iff `rssi_v − rssi_o < −25 dB` for *any*
+//!   interferer, i.e. for the strongest).
+//!
+//! # The exact-undo trick
+//!
+//! A verdict must count every transmission that *ever* overlapped the
+//! victim — including ones that ended mid-flight — so contributions
+//! cannot simply be removed at the interferer's TxEnd. Instead two
+//! monotone sums are kept per (victim channel, interferer SF, gateway):
+//! `S`, everything that ever **started**, and `E`, everything that has
+//! **ended**. A victim snapshots `E` at its own TxStart and reads `S`
+//! at its TxEnd; by event order, `S_end − E_start` is *exactly* the sum
+//! over the overlap set (started-before-my-end minus
+//! ended-before-my-start). Both sums are **fixed-point integers**
+//! (linear power × 2⁹⁶, wrapping), so addition is associative, the
+//! difference is order-independent, and an interferer's exit undoes its
+//! entry bit for bit — the PR-4 `IncrementalEval` exact-undo pattern,
+//! here stretched across the S/E pair.
+//!
+//! The max aggregates live in per-(channel, SF, gateway) max indexes
+//! — vectors kept sorted strongest-first — with **lazy deletion**:
+//! entries are never removed at TxEnd (an older on-air victim may
+//! still need them) and are dropped only when their slot is recycled,
+//! which the shard loop defers until no live transmission can have
+//! overlapped them. A query walks the prefix in order, compacting out
+//! recycled entries in place and stepping over entries invisible to
+//! *this* victim (same node, or ended before the victim started) —
+//! skipped entries stay where they are, so repeated queries pay a few
+//! sequential reads, never a heap rebalance.
+//!
+//! # Determinism and the statistical gate
+//!
+//! The fixed-point sum is summation-order independent — shard count
+//! and event interleaving cannot change it — but it is *not* bitwise
+//! the f64 left-to-right sum of the scan path, so accumulator-mode
+//! runs are gated by [`crate::metrics::RunSummary::statistically_equivalent`]
+//! rather than record identity; the scan stays the proptest oracle.
+//! The capture and cross-SF decisions compare the same two f64s the
+//! scan compares and are bit-exact. See `docs/SCALING.md` for the cost
+//! model and `docs/ARCHITECTURE.md` for the determinism contract.
+
+use crate::runctx::{PairClass, RunContext};
+
+/// Binary point of the fixed-point linear-power representation.
+/// Linear powers span roughly 1e-18 (a −140 dBm leak under a −40 dB
+/// gain) to 1e2 mW; scaled by 2⁹⁶ the largest single contribution is
+/// ~2¹⁰³, leaving 24 bits of headroom for the wrapping sums while the
+/// smallest keeps ~40 significant bits — far below the thermal noise
+/// floor the sum is added to.
+const FIXED_SHIFT: u32 = 96;
+
+/// Convert a linear power to fixed point. Multiplying by a power of
+/// two is exact in f64; the truncation to integer is deterministic, so
+/// equal inputs convert identically everywhere.
+#[inline]
+pub(crate) fn to_fixed(lin: f64) -> u128 {
+    (lin * (2f64).powi(FIXED_SHIFT as i32)) as u128
+}
+
+/// Convert a (wrapping-difference) fixed-point sum back to linear f64.
+#[inline]
+fn from_fixed(fx: u128) -> f64 {
+    fx as f64 / (2f64).powi(FIXED_SHIFT as i32)
+}
+
+/// Spreading-factor slots per channel (SF7..SF12).
+pub(crate) const N_SF: usize = 6;
+
+/// Counters for the accumulator hot path, surfaced through
+/// [`crate::shard::ShardRunStats`] and the obs registry.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct AccumStats {
+    /// Contributions added at TxStart (leak sums + max-index inserts).
+    pub updates: u64,
+    /// Contributions undone at TxEnd (additions to the ended sums).
+    pub undos: u64,
+    /// Stale max-index entries dropped during queries (lazy deletion).
+    pub evictions: u64,
+}
+
+/// One max-index entry: an interferer's RSSI at one gateway, plus
+/// everything needed to validate it against a particular victim.
+#[derive(Debug, Clone, Copy)]
+struct MaxEntry {
+    rssi: f64,
+    /// Shard-global TxStart sequence — the tie-break: among equal-RSSI
+    /// colliders the scan keeps the first registered, and registration
+    /// order is start order.
+    start_seq: u64,
+    network: u32,
+    node: u32,
+    slot: u32,
+    gen: u32,
+}
+
+impl MaxEntry {
+    /// Strongest-first index order: higher RSSI first, earliest start
+    /// on ties (the RSSIs are finite link-table entries, so total_cmp
+    /// is a plain numeric order).
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        match self.rssi.total_cmp(&other.rssi) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => self.start_seq < other.start_seq,
+        }
+    }
+}
+
+/// Per-victim snapshot of the ended-sums at its TxStart, plus the
+/// exact same-node correction accumulated while it was on air. One per
+/// candidate gateway of the victim's channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LeakSnap {
+    /// `E_same[cv][sf_v][lg]` at victim start.
+    e_same: u128,
+    /// `E_orth_total[cv][lg]` at victim start.
+    e_orth_tot: u128,
+    /// `E_orth[cv][sf_v][lg]` at victim start.
+    e_orth_sfv: u128,
+    /// Leak contributions from the victim's own node's overlapping
+    /// transmissions — the scan never counts a node against itself, so
+    /// these are subtracted back out exactly.
+    own_corr: u128,
+}
+
+impl LeakSnap {
+    /// Add an own-node leak contribution to subtract at verdict time.
+    #[inline]
+    pub(crate) fn add_own(&mut self, fx: u128) {
+        self.own_corr = self.own_corr.wrapping_add(fx);
+    }
+}
+
+/// Slot liveness arrays the queries validate entries against (the
+/// shard machine's SoA columns).
+pub(crate) struct SlotView<'a> {
+    /// Per slot: recycling generation (bumped on free).
+    pub gen: &'a [u32],
+    /// Per slot: event sequence of its TxEnd (`u64::MAX` while live).
+    pub end_evseq: &'a [u64],
+}
+
+/// Identity of a transmission contributing to the accumulators.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TxKey {
+    /// Slot id in the shard machine.
+    pub slot: u32,
+    /// Slot generation at registration.
+    pub gen: u32,
+    /// Sending node.
+    pub node: u32,
+    /// Sender's network (collision attribution).
+    pub network: u32,
+    /// Shard-global TxStart sequence.
+    pub start_seq: u64,
+}
+
+/// The accumulator state for one shard: fixed-point leak sums and
+/// lazy-deletion sorted max indexes, indexed `[cv][sf][lg]` flat.
+pub(crate) struct AccumState {
+    n_lg: usize,
+    /// Per interferer channel: the victim channels it affects, with
+    /// the precomputed pair class (inverted `RunContext::pair` rows).
+    effects: Vec<Vec<(u32, PairClass)>>,
+    /// Started-sum, same-SF leak gain, `[cv*6*n_lg + sf_o*n_lg + lg]`.
+    s_same: Vec<u128>,
+    /// Started-sum, cross-SF leak gain.
+    s_orth: Vec<u128>,
+    /// Started-sum, cross-SF gain, totalled over `sf_o`, `[cv*n_lg+lg]`.
+    s_orth_tot: Vec<u128>,
+    /// Ended-sums mirroring the three above.
+    e_same: Vec<u128>,
+    e_orth: Vec<u128>,
+    e_orth_tot: Vec<u128>,
+    /// Max index per `[cv*6*n_lg + sf_o*n_lg + lg]`: kept sorted
+    /// strongest-first so a query is a short in-order prefix walk.
+    maxes: Vec<Vec<MaxEntry>>,
+    /// Hot-path counters.
+    pub(crate) stats: AccumStats,
+}
+
+impl AccumState {
+    /// Build the accumulator index for a shard with `n_lg` local
+    /// gateways over `ctx`'s channel universe.
+    pub(crate) fn new(ctx: &RunContext, n_lg: usize) -> AccumState {
+        let n_ch = ctx.n_channels();
+        let mut effects: Vec<Vec<(u32, PairClass)>> = vec![Vec::new(); n_ch];
+        for cv in 0..n_ch {
+            for &co in &ctx.overlapping[cv] {
+                effects[co as usize].push((cv as u32, ctx.pair[cv * n_ch + co as usize]));
+            }
+        }
+        let sums = n_ch * N_SF * n_lg;
+        let tots = n_ch * n_lg;
+        AccumState {
+            n_lg,
+            effects,
+            s_same: vec![0; sums],
+            s_orth: vec![0; sums],
+            s_orth_tot: vec![0; tots],
+            e_same: vec![0; sums],
+            e_orth: vec![0; sums],
+            e_orth_tot: vec![0; tots],
+            maxes: vec![Vec::new(); sums],
+            stats: AccumStats::default(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, cv: usize, sf: usize, lg: usize) -> usize {
+        (cv * N_SF + sf) * self.n_lg + lg
+    }
+
+    /// Register a transmission entering the air on channel `co` with
+    /// SF index `sf_o`: one leaked-RSSI row into the started-sums and
+    /// one max-index insert per affected (victim channel, candidate
+    /// gateway).
+    pub(crate) fn register(
+        &mut self,
+        co: usize,
+        sf_o: usize,
+        link_row: &[f64],
+        cand_local: &[Vec<u32>],
+        key: TxKey,
+    ) {
+        self.apply(co, sf_o, link_row, cand_local, Some(key));
+    }
+
+    /// Undo a transmission leaving the air: the identical contributions
+    /// enter the ended-sums, cancelling exactly for every future
+    /// victim. Max-index entries stay for lazy deletion.
+    pub(crate) fn retire(
+        &mut self,
+        co: usize,
+        sf_o: usize,
+        link_row: &[f64],
+        cand_local: &[Vec<u32>],
+    ) {
+        self.apply(co, sf_o, link_row, cand_local, None);
+    }
+
+    fn apply(
+        &mut self,
+        co: usize,
+        sf_o: usize,
+        link_row: &[f64],
+        cand_local: &[Vec<u32>],
+        key: Option<TxKey>,
+    ) {
+        let effects = std::mem::take(&mut self.effects[co]);
+        let mut touched = 0u64;
+        for &(cv, class) in &effects {
+            let cv = cv as usize;
+            match class {
+                PairClass::Disjoint => {}
+                PairClass::Detect => {
+                    if let Some(key) = key {
+                        for &lg in &cand_local[cv] {
+                            let i = self.idx(cv, sf_o, lg as usize);
+                            let e = MaxEntry {
+                                rssi: link_row[lg as usize],
+                                start_seq: key.start_seq,
+                                network: key.network,
+                                node: key.node,
+                                slot: key.slot,
+                                gen: key.gen,
+                            };
+                            let v = &mut self.maxes[i];
+                            let pos = v.partition_point(|x| x.before(&e));
+                            v.insert(pos, e);
+                            touched += 1;
+                        }
+                    }
+                }
+                PairClass::Leak {
+                    gain_same,
+                    gain_orth,
+                } => {
+                    for &lg in &cand_local[cv] {
+                        let rssi_o = link_row[lg as usize];
+                        let lg = lg as usize;
+                        if let Some(g) = gain_same {
+                            let fx = to_fixed(10f64.powf((rssi_o + g) / 10.0));
+                            let i = self.idx(cv, sf_o, lg);
+                            let tgt = if key.is_some() {
+                                &mut self.s_same[i]
+                            } else {
+                                &mut self.e_same[i]
+                            };
+                            *tgt = tgt.wrapping_add(fx);
+                            touched += 1;
+                        }
+                        if let Some(g) = gain_orth {
+                            let fx = to_fixed(10f64.powf((rssi_o + g) / 10.0));
+                            let i = self.idx(cv, sf_o, lg);
+                            let j = cv * self.n_lg + lg;
+                            let (o, t) = if key.is_some() {
+                                (&mut self.s_orth[i], &mut self.s_orth_tot[j])
+                            } else {
+                                (&mut self.e_orth[i], &mut self.e_orth_tot[j])
+                            };
+                            *o = o.wrapping_add(fx);
+                            *t = t.wrapping_add(fx);
+                            touched += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.effects[co] = effects;
+        if key.is_some() {
+            self.stats.updates += touched;
+        } else {
+            self.stats.undos += touched;
+        }
+    }
+
+    /// Snapshot the ended-sums for a victim starting on channel `cv`
+    /// with SF index `sf_v`, one [`LeakSnap`] per candidate gateway,
+    /// appended to `out` (cleared first).
+    pub(crate) fn snapshot(&self, cv: usize, sf_v: usize, cand: &[u32], out: &mut Vec<LeakSnap>) {
+        out.clear();
+        for &lg in cand {
+            let lg = lg as usize;
+            out.push(LeakSnap {
+                e_same: self.e_same[self.idx(cv, sf_v, lg)],
+                e_orth_tot: self.e_orth_tot[cv * self.n_lg + lg],
+                e_orth_sfv: self.e_orth[self.idx(cv, sf_v, lg)],
+                own_corr: 0,
+            });
+        }
+    }
+
+    /// The victim's accumulated leaked interference, linear power: the
+    /// wrapping S−E differences (same-SF gain at its own SF, cross-SF
+    /// gain at every other SF) minus the own-node correction.
+    pub(crate) fn leak_lin(&self, cv: usize, sf_v: usize, lg: usize, snap: &LeakSnap) -> f64 {
+        let same = self.s_same[self.idx(cv, sf_v, lg)].wrapping_sub(snap.e_same);
+        let orth_tot = self.s_orth_tot[cv * self.n_lg + lg].wrapping_sub(snap.e_orth_tot);
+        let orth_sfv = self.s_orth[self.idx(cv, sf_v, lg)].wrapping_sub(snap.e_orth_sfv);
+        let fx = same
+            .wrapping_add(orth_tot)
+            .wrapping_sub(orth_sfv)
+            .wrapping_sub(snap.own_corr);
+        from_fixed(fx)
+    }
+
+    /// Walk-validate-skip loop shared by the two max queries: the
+    /// index is sorted strongest-first, so the first entry this victim
+    /// can see is the answer. Recycled entries met on the way are
+    /// compacted out in place (order is preserved); entries merely
+    /// invisible to *this* victim (same node, or ended before the
+    /// victim started) are stepped over and stay put.
+    fn query(
+        &mut self,
+        idx: usize,
+        victim_node: u32,
+        victim_start_evseq: u64,
+        slots: &SlotView<'_>,
+    ) -> Option<(f64, u32)> {
+        let v = &mut self.maxes[idx];
+        let mut found = None;
+        let mut w = 0usize;
+        let mut r = 0usize;
+        while r < v.len() {
+            let e = v[r];
+            if slots.gen[e.slot as usize] != e.gen {
+                r += 1;
+                self.stats.evictions += 1;
+                continue;
+            }
+            if e.node == victim_node || slots.end_evseq[e.slot as usize] <= victim_start_evseq {
+                if w != r {
+                    v[w] = e;
+                }
+                w += 1;
+                r += 1;
+                continue;
+            }
+            found = Some((e.rssi, e.network));
+            break;
+        }
+        if w != r {
+            // Close the gap left by the recycled entries: shift the
+            // unread tail (including the found entry, if any) down.
+            v.copy_within(r.., w);
+            let n = v.len() - (r - w);
+            v.truncate(n);
+        }
+        found
+    }
+
+    /// Strongest same-SF collider visible to the victim at one
+    /// gateway: `(rssi, network)` of the max-RSSI (earliest-start on
+    /// ties) on-air-overlapping transmission with the victim's SF on
+    /// its channel's detect class — exactly the entry the scan's
+    /// registration-order max would keep.
+    pub(crate) fn strongest_same_sf(
+        &mut self,
+        cv: usize,
+        sf_v: usize,
+        lg: usize,
+        victim_node: u32,
+        victim_start_evseq: u64,
+        slots: &SlotView<'_>,
+    ) -> Option<(f64, u32)> {
+        let i = self.idx(cv, sf_v, lg);
+        self.query(i, victim_node, victim_start_evseq, slots)
+    }
+
+    /// Strongest cross-SF detect-class interferer visible to the
+    /// victim at one gateway (max over the five other SF indexes). The
+    /// caller applies the scan's own comparison
+    /// (`rssi_v − rssi_o < CROSS_SF_REJECTION_DB`), which is monotone
+    /// in `rssi_o`, so testing the max is bit-equivalent to testing
+    /// every interferer.
+    pub(crate) fn strongest_cross_sf(
+        &mut self,
+        cv: usize,
+        sf_v: usize,
+        lg: usize,
+        victim_node: u32,
+        victim_start_evseq: u64,
+        slots: &SlotView<'_>,
+    ) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for sf in 0..N_SF {
+            if sf == sf_v {
+                continue;
+            }
+            let i = self.idx(cv, sf, lg);
+            if let Some((rssi, _)) = self.query(i, victim_node, victim_start_evseq, slots) {
+                best = Some(match best {
+                    Some(b) if b >= rssi => b,
+                    _ => rssi,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runctx::RunContext;
+    use lora_phy::channel::ChannelGrid;
+    use proptest::prelude::*;
+    use std::collections::{HashMap, VecDeque};
+
+    const N_CH: usize = 3;
+    const N_LG: usize = 2;
+    const N_NODES: usize = 4;
+
+    /// RSSI rows per node — nodes 0 and 1 tie at gateway 0 on purpose,
+    /// so the start-order tie-break in the max index is exercised.
+    const LINK: [[f64; N_LG]; N_NODES] = [
+        [-60.0, -70.0],
+        [-60.0, -75.0],
+        [-80.0, -70.0],
+        [-55.0, -66.0],
+    ];
+
+    /// A transmission in a test schedule:
+    /// `(node, channel, sf index, start µs, duration µs)`. This is the
+    /// type proptest shrinks, so a failure prints the minimal schedule
+    /// verbatim.
+    type Sched = (u8, u8, u8, u64, u64);
+
+    /// A hand-rolled adversarial channel universe: self-Detect on every
+    /// channel, cross-channel Detect between 1 and 2, asymmetric Leak
+    /// between 0 and 1 (including a `None` orthogonal gain), channel 2
+    /// disjoint from 0.
+    fn test_ctx() -> RunContext {
+        let mut ctx = RunContext::default();
+        ctx.channels = ChannelGrid::standard(916_800_000, 1_600_000)
+            .channels()
+            .into_iter()
+            .take(N_CH)
+            .collect();
+        ctx.overlapping = vec![vec![0, 1], vec![0, 1, 2], vec![1, 2]];
+        ctx.pair = vec![PairClass::Disjoint; N_CH * N_CH];
+        for c in 0..N_CH {
+            ctx.pair[c * N_CH + c] = PairClass::Detect;
+        }
+        ctx.pair[1] = PairClass::Leak {
+            gain_same: Some(-12.0),
+            gain_orth: Some(-18.0),
+        };
+        ctx.pair[N_CH] = PairClass::Leak {
+            gain_same: Some(-9.0),
+            gain_orth: None,
+        };
+        ctx.pair[N_CH + 2] = PairClass::Detect;
+        ctx.pair[2 * N_CH + 1] = PairClass::Detect;
+        ctx
+    }
+
+    /// Candidate gateways per channel (channel 2 is single-gateway so
+    /// snapshot alignment with a shorter candidate list is covered).
+    fn cand_local() -> Vec<Vec<u32>> {
+        vec![vec![0, 1], vec![0, 1], vec![0]]
+    }
+
+    /// Oracle-side record of one scheduled transmission.
+    struct TxRec {
+        node: usize,
+        network: u32,
+        ch: usize,
+        sf: usize,
+        start_seq: u64,
+        start_evseq: u64,
+        /// `u64::MAX` until its TxEnd is processed.
+        end_evseq: u64,
+        registered: bool,
+        snap: Vec<LeakSnap>,
+    }
+
+    /// Whether interferer `o` is visible to victim `v` under the scan's
+    /// rules: on air at some instant of `v`'s airtime (did not end
+    /// before `v` started) and not `v`'s own node.
+    fn visible(o: &TxRec, v: &TxRec) -> bool {
+        o.registered && o.node != v.node && o.end_evseq > v.start_evseq
+    }
+
+    /// Brute-force recompute every accumulated quantity for victim `v`
+    /// from the full transmission history and compare bit-for-bit with
+    /// the accumulator's answers.
+    fn check_victim(
+        ac: &mut AccumState,
+        txs: &[TxRec],
+        v: usize,
+        ctx: &RunContext,
+        cand: &[Vec<u32>],
+        slot_gen: &[u32],
+        slot_end: &[u64],
+    ) -> Result<(), TestCaseError> {
+        let vic = &txs[v];
+        let view = SlotView {
+            gen: slot_gen,
+            end_evseq: slot_end,
+        };
+        for (k, &lg) in cand[vic.ch].iter().enumerate() {
+            let lg = lg as usize;
+
+            // Leak sum: every visible Leak-class interferer's leaked
+            // power, summed in fixed point in schedule order (the
+            // representation is order-independent, so any order is the
+            // same integer).
+            let mut fx = 0u128;
+            for o in txs.iter() {
+                if !visible(o, vic) {
+                    continue;
+                }
+                if let PairClass::Leak {
+                    gain_same,
+                    gain_orth,
+                } = ctx.pair[vic.ch * N_CH + o.ch]
+                {
+                    let g = if o.sf == vic.sf { gain_same } else { gain_orth };
+                    if let Some(g) = g {
+                        fx = fx.wrapping_add(to_fixed(10f64.powf((LINK[o.node][lg] + g) / 10.0)));
+                    }
+                }
+            }
+            let got = ac.leak_lin(vic.ch, vic.sf, lg, &vic.snap[k]);
+            prop_assert_eq!(
+                got.to_bits(),
+                from_fixed(fx).to_bits(),
+                "leak mismatch for victim {} at gw {}: got {}, want {}",
+                v,
+                lg,
+                got,
+                from_fixed(fx)
+            );
+
+            // Strongest same-SF collider: max RSSI, first-started wins
+            // ties — exactly the scan's registration-order max.
+            let mut same: Option<(f64, u64, u32)> = None;
+            let mut cross: Option<f64> = None;
+            for o in txs.iter() {
+                if !visible(o, vic) || !matches!(ctx.pair[vic.ch * N_CH + o.ch], PairClass::Detect)
+                {
+                    continue;
+                }
+                let rssi = LINK[o.node][lg];
+                if o.sf == vic.sf {
+                    same = Some(match same {
+                        Some(b) if b.0 > rssi || (b.0 == rssi && b.1 < o.start_seq) => b,
+                        _ => (rssi, o.start_seq, o.network),
+                    });
+                } else {
+                    cross = Some(match cross {
+                        Some(b) if b >= rssi => b,
+                        _ => rssi,
+                    });
+                }
+            }
+            let got_same =
+                ac.strongest_same_sf(vic.ch, vic.sf, lg, vic.node as u32, vic.start_evseq, &view);
+            prop_assert_eq!(
+                got_same,
+                same.map(|(r, _, n)| (r, n)),
+                "same-SF max mismatch for victim {} at gw {}",
+                v,
+                lg
+            );
+            let got_cross =
+                ac.strongest_cross_sf(vic.ch, vic.sf, lg, vic.node as u32, vic.start_evseq, &view);
+            prop_assert_eq!(
+                got_cross,
+                cross,
+                "cross-SF max mismatch for victim {} at gw {}",
+                v,
+                lg
+            );
+        }
+        Ok(())
+    }
+
+    /// Drive a schedule through the accumulator exactly as the shard
+    /// machine would — same event order, evseq discipline, slot
+    /// recycling and own-node corrections — checking every live victim
+    /// against the brute-force oracle after every event, plus the
+    /// ending victim at its verdict point (end recorded, before its
+    /// own retire), which is the read the shard actually performs.
+    fn run_schedule(sched: &[Sched]) -> Result<(), TestCaseError> {
+        let ctx = test_ctx();
+        let cand = cand_local();
+        let mut ac = AccumState::new(&ctx, N_LG);
+
+        let mut txs: Vec<TxRec> = sched
+            .iter()
+            .map(|&(node, ch, sf, _, _)| TxRec {
+                node: node as usize % N_NODES,
+                network: (node as u32) % 2,
+                ch: ch as usize % N_CH,
+                sf: sf as usize % N_SF,
+                start_seq: 0,
+                start_evseq: 0,
+                end_evseq: u64::MAX,
+                registered: false,
+                snap: Vec::new(),
+            })
+            .collect();
+        // (t, prio, tx index): TxEnd (0) sorts before TxStart (1) at
+        // the same instant, as in the event queue — a transmission
+        // ending exactly when another starts is not an overlap.
+        let mut events: Vec<(u64, u8, usize)> = Vec::new();
+        for (i, &(_, _, _, start, dur)) in sched.iter().enumerate() {
+            events.push((start, 1, i));
+            events.push((start + dur.max(1), 0, i));
+        }
+        events.sort_unstable();
+
+        // Mirror of the shard machine's slot columns and queues.
+        let mut slot_gen: Vec<u32> = Vec::new();
+        let mut slot_end: Vec<u64> = Vec::new();
+        let mut slot_of_tx: Vec<u32> = vec![u32::MAX; txs.len()];
+        let mut free: Vec<u32> = Vec::new();
+        let mut live_q: VecDeque<(u64, u32, u32)> = VecDeque::new();
+        let mut pending_free: VecDeque<(u64, u32)> = VecDeque::new();
+        let mut node_live: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut evseq = 0u64;
+        let mut seq = 0u64;
+
+        for &(_, prio, i) in &events {
+            evseq += 1;
+            if prio == 1 {
+                // TxStart: allocate (or recycle) a slot, register,
+                // snapshot, record same-node corrections both ways.
+                let s = free.pop().unwrap_or_else(|| {
+                    slot_gen.push(0);
+                    slot_end.push(u64::MAX);
+                    (slot_gen.len() - 1) as u32
+                });
+                let si = s as usize;
+                slot_end[si] = u64::MAX;
+                slot_of_tx[i] = s;
+                let (node, c, sf_i) = (txs[i].node, txs[i].ch, txs[i].sf);
+                txs[i].start_seq = seq;
+                seq += 1;
+                txs[i].start_evseq = evseq;
+                txs[i].registered = true;
+                let key = TxKey {
+                    slot: s,
+                    gen: slot_gen[si],
+                    node: node as u32,
+                    network: txs[i].network,
+                    start_seq: txs[i].start_seq,
+                };
+                ac.register(c, sf_i, &LINK[node], &cand, key);
+                let mut snap = std::mem::take(&mut txs[i].snap);
+                ac.snapshot(c, sf_i, &cand[c], &mut snap);
+                txs[i].snap = snap;
+                let own: Vec<usize> = node_live.get(&node).cloned().unwrap_or_default();
+                for &o in &own {
+                    let (co, sf_o) = (txs[o].ch, txs[o].sf);
+                    if let PairClass::Leak {
+                        gain_same,
+                        gain_orth,
+                    } = ctx.pair[c * N_CH + co]
+                    {
+                        let gain = if sf_o != sf_i { gain_orth } else { gain_same };
+                        if let Some(g) = gain {
+                            for (k, &lg) in cand[c].iter().enumerate() {
+                                txs[i].snap[k].add_own(to_fixed(
+                                    10f64.powf((LINK[node][lg as usize] + g) / 10.0),
+                                ));
+                            }
+                        }
+                    }
+                    if let PairClass::Leak {
+                        gain_same,
+                        gain_orth,
+                    } = ctx.pair[co * N_CH + c]
+                    {
+                        let gain = if sf_i != sf_o { gain_orth } else { gain_same };
+                        if let Some(g) = gain {
+                            for (k, &lg) in cand[co].iter().enumerate() {
+                                txs[o].snap[k].add_own(to_fixed(
+                                    10f64.powf((LINK[node][lg as usize] + g) / 10.0),
+                                ));
+                            }
+                        }
+                    }
+                }
+                node_live.entry(node).or_default().push(i);
+                live_q.push_back((evseq, s, slot_gen[si]));
+            } else {
+                // TxEnd: record the end, take the verdict-point reads
+                // (before retire, as the shard does), then undo and
+                // run the reclamation queues.
+                let s = slot_of_tx[i];
+                let si = s as usize;
+                slot_end[si] = evseq;
+                txs[i].end_evseq = evseq;
+                check_victim(&mut ac, &txs, i, &ctx, &cand, &slot_gen, &slot_end)?;
+                let (node, c, sf_i) = (txs[i].node, txs[i].ch, txs[i].sf);
+                ac.retire(c, sf_i, &LINK[node], &cand);
+                if let Some(live) = node_live.get_mut(&node) {
+                    if let Some(p) = live.iter().position(|&x| x == i) {
+                        live.swap_remove(p);
+                    }
+                    if live.is_empty() {
+                        node_live.remove(&node);
+                    }
+                }
+                while let Some(&(_, sl, g)) = live_q.front() {
+                    let sli = sl as usize;
+                    if slot_gen[sli] != g || slot_end[sli] != u64::MAX {
+                        live_q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                pending_free.push_back((evseq, s));
+                let min_live = live_q.front().map(|&(se, _, _)| se).unwrap_or(u64::MAX);
+                while let Some(&(ee, sl)) = pending_free.front() {
+                    if ee < min_live {
+                        pending_free.pop_front();
+                        slot_gen[sl as usize] = slot_gen[sl as usize].wrapping_add(1);
+                        free.push(sl);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // After every event, every still-live victim's accumulated
+            // state must equal a fresh scan of the history.
+            for v in 0..txs.len() {
+                if txs[v].registered && txs[v].end_evseq == u64::MAX {
+                    check_victim(&mut ac, &txs, v, &ctx, &cand, &slot_gen, &slot_end)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn end_at_start_boundary_is_not_an_overlap() {
+        // Node 0 on channel 0 ends at t=10 exactly as node 1 starts on
+        // channel 1: TxEnd's lower priority means the accumulator must
+        // not count the leak — and the same-instant reverse (node 2
+        // starting at node 1's end) must count nothing either.
+        run_schedule(&[(0, 0, 2, 0, 10), (1, 1, 2, 10, 5), (2, 1, 2, 15, 5)]).unwrap();
+    }
+
+    #[test]
+    fn same_node_overlap_is_excluded_exactly() {
+        // One node with three overlapping transmissions across the
+        // Leak pair: the own-node corrections must cancel its own
+        // contributions bit-for-bit while another node's leak stands.
+        run_schedule(&[
+            (0, 0, 1, 0, 20),
+            (0, 1, 1, 5, 20),
+            (0, 1, 3, 10, 20),
+            (1, 0, 1, 12, 20),
+        ])
+        .unwrap();
+    }
+
+    proptest! {
+        /// Satellite 3: adversarial TxStart/TxEnd sequences — narrow
+        /// time ranges force many simultaneous ends and zero-duration
+        /// gaps at event boundaries; duplicate nodes force own-node
+        /// corrections; slot recycling is driven by the same queues
+        /// the shard uses. After every event the accumulator must
+        /// equal a fresh scan. On failure proptest shrinks and prints
+        /// the minimal `(node, ch, sf, start, dur)` schedule.
+        #[test]
+        fn accum_matches_fresh_scan_after_every_event(
+            sched in proptest::collection::vec(
+                (0u8..N_NODES as u8, 0u8..N_CH as u8, 0u8..N_SF as u8, 0u64..12, 1u64..5),
+                1..24,
+            ),
+        ) {
+            run_schedule(&sched)?;
+        }
+    }
+}

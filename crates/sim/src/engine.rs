@@ -139,6 +139,257 @@ impl EventQueue {
     }
 }
 
+/// One event queued in a [`TimeWheel`]: `(t_us, kind priority, tx id,
+/// payload)`. The payload rides along untouched (the sharded engine
+/// stores the slot id there so the hot path never needs an id→slot
+/// map); ordering ignores it.
+pub type WheelEntry = (u64, u8, u64, u32);
+
+/// Log2 of the level-0 bucket width in µs (1024 µs ≈ one LoRa symbol
+/// at SF10/125 kHz — fine-grained enough that a bucket rarely holds
+/// more than a handful of events at realistic duty cycles).
+const WHEEL_BASE_SHIFT: u32 = 10;
+/// Log2 of the slots per wheel level.
+const WHEEL_BITS: u32 = 8;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Wheel levels before the unsorted overflow list. Three levels span
+/// `2^(10+8·3)` µs ≈ 4.8 hours, comfortably past every simulated
+/// horizon; overflow exists for correctness, not for the hot path.
+const WHEEL_LEVELS: usize = 3;
+
+/// A hierarchical timer wheel that reproduces [`EventQueue`]'s exact
+/// pop order — `(t_us, kind priority, tx id)` ascending — under the
+/// monotone frontier-drain discipline of [`EventQueue::pop_before`].
+///
+/// Inserts are O(1): an entry lands in the finest wheel level whose
+/// current rotation can address its timestamp, or in the overflow
+/// list. Draining advances a cursor bucket by bucket, cascading
+/// coarser-level buckets down as their windows open, and sorts each
+/// level-0 bucket's handful of events on arrival — O(1) amortized per
+/// event versus the `O(log n)` sift of a binary heap, which is the
+/// entire point at million-event queue depths.
+///
+/// Two contract differences from a general priority queue, both
+/// inherited from the chunk-fed shard loop that owns it:
+///
+/// * pushes must be at or after every timestamp already drained
+///   (`ChunkSource` promises all future starts are at or after the
+///   last frontier), and
+/// * successive [`Self::pop_before`] frontiers must be nondecreasing.
+///
+/// Both are debug-asserted. The `wheel_matches_event_queue` proptest
+/// pins the pop order to [`EventQueue`] under adversarial same-instant
+/// schedules.
+#[derive(Debug)]
+pub struct TimeWheel {
+    /// `levels[l][slot]`: entries with `t >> (BASE + 8l)` equal to the
+    /// slot's current rotation tick.
+    levels: Vec<Vec<Vec<WheelEntry>>>,
+    /// Entries beyond the top level's span, unsorted.
+    overflow: Vec<WheelEntry>,
+    /// The sorted run currently being served (all entries `< cur`).
+    ready: Vec<WheelEntry>,
+    ready_idx: usize,
+    /// Every entry strictly before `cur` has been moved to `ready`.
+    cur: u64,
+    /// Entries still in `levels` + `overflow`.
+    pending: usize,
+    /// Level-(l+1) tick `cur` was last cascaded at, per level.
+    last_tick: [u64; WHEEL_LEVELS],
+    /// Entries re-filed from a coarser level (or overflow) to a finer
+    /// one — the wheel's only non-O(1) motion, surfaced for telemetry.
+    cascades: u64,
+}
+
+impl Default for TimeWheel {
+    fn default() -> TimeWheel {
+        TimeWheel::new()
+    }
+}
+
+impl TimeWheel {
+    /// An empty wheel with its cursor at time 0.
+    pub fn new() -> TimeWheel {
+        TimeWheel {
+            levels: (0..WHEEL_LEVELS)
+                .map(|_| (0..WHEEL_SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            ready: Vec::new(),
+            ready_idx: 0,
+            cur: 0,
+            pending: 0,
+            last_tick: [0; WHEEL_LEVELS],
+            cascades: 0,
+        }
+    }
+
+    /// An empty wheel pre-sized from an expected event count `n` (size
+    /// it from the chunk hint: a chunk schedules three events per
+    /// transmission).
+    ///
+    /// The ready run only ever serves one level-0 bucket at a time, so
+    /// its useful capacity is bounded by bucket occupancy, not by `n`;
+    /// the reservation is capped accordingly to keep the streamed
+    /// path's heap ceiling at the on-air working set (see the
+    /// `sim_streaming_mem` audit) while still skipping the early
+    /// doubling reallocations a cold `Vec` would pay.
+    pub fn with_capacity(n: usize) -> TimeWheel {
+        let mut w = TimeWheel::new();
+        w.ready.reserve(n.min(4 * WHEEL_SLOTS));
+        w
+    }
+
+    /// Entries still queued.
+    pub fn len(&self) -> usize {
+        self.pending + (self.ready.len() - self.ready_idx)
+    }
+
+    /// Whether no entry remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries moved down a level by cursor advancement so far.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    /// File `e` into the finest level that can address its timestamp.
+    fn place(&mut self, e: WheelEntry) {
+        let t = e.0;
+        for l in 0..WHEEL_LEVELS {
+            let shift = WHEEL_BASE_SHIFT + WHEEL_BITS * l as u32;
+            if (t >> shift) - (self.cur >> shift) < WHEEL_SLOTS as u64 {
+                self.levels[l][(t >> shift) as usize & (WHEEL_SLOTS - 1)].push(e);
+                return;
+            }
+        }
+        self.overflow.push(e);
+    }
+
+    /// Schedule an entry. Must not precede any already-drained time.
+    pub fn push(&mut self, e: WheelEntry) {
+        debug_assert!(
+            e.0 >= self.cur,
+            "push at {} behind wheel cursor {}",
+            e.0,
+            self.cur
+        );
+        self.pending += 1;
+        self.place(e);
+    }
+
+    /// Cascade coarser levels whose tick the cursor has entered, then
+    /// overflow entries that now fit somewhere.
+    fn cascade_at_cursor(&mut self) {
+        for l in (0..WHEEL_LEVELS).rev() {
+            let shift = WHEEL_BASE_SHIFT + WHEEL_BITS * (l as u32 + 1);
+            let tick = self.cur >> shift;
+            if tick == self.last_tick[l] {
+                continue;
+            }
+            self.last_tick[l] = tick;
+            if l + 1 < WHEEL_LEVELS {
+                let slot = tick as usize & (WHEEL_SLOTS - 1);
+                let moved = std::mem::take(&mut self.levels[l + 1][slot]);
+                self.cascades += moved.len() as u64;
+                for e in moved {
+                    self.place(e);
+                }
+            } else {
+                // Top level rolled a tick: any overflow entry the wheels
+                // can now address moves down.
+                let mut i = 0;
+                while i < self.overflow.len() {
+                    let t = self.overflow[i].0;
+                    let top_shift = WHEEL_BASE_SHIFT + WHEEL_BITS * (WHEEL_LEVELS as u32 - 1);
+                    if (t >> top_shift) - (self.cur >> top_shift) < WHEEL_SLOTS as u64 {
+                        let e = self.overflow.swap_remove(i);
+                        self.cascades += 1;
+                        self.place(e);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move every entry strictly before `frontier` toward `ready`,
+    /// stopping as soon as the ready run is non-empty (later buckets
+    /// hold strictly later times, so serving the current run first is
+    /// exact).
+    fn advance(&mut self, frontier: u64) {
+        self.ready.clear();
+        self.ready_idx = 0;
+        while self.pending > 0 && self.cur < frontier {
+            self.cascade_at_cursor();
+            let slot = (self.cur >> WHEEL_BASE_SHIFT) as usize & (WHEEL_SLOTS - 1);
+            let bucket_end = ((self.cur >> WHEEL_BASE_SHIFT) + 1) << WHEEL_BASE_SHIFT;
+            if bucket_end <= frontier {
+                // `append` empties the bucket but keeps its capacity
+                // for the next rotation.
+                let bucket = &mut self.levels[0][slot];
+                self.pending -= bucket.len();
+                self.ready.append(bucket);
+                self.cur = bucket_end;
+            } else {
+                // The frontier splits this bucket: serve what is due,
+                // keep the rest filed (the cursor stays inside the
+                // bucket, so the slot remains addressable).
+                let bucket = &mut self.levels[0][slot];
+                let mut i = 0;
+                while i < bucket.len() {
+                    if bucket[i].0 < frontier {
+                        self.ready.push(bucket.swap_remove(i));
+                        self.pending -= 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.cur = frontier;
+            }
+            if !self.ready.is_empty() {
+                break;
+            }
+        }
+        if self.pending == 0 && self.cur < frontier {
+            // Nothing left to walk toward: jump the cursor (and the
+            // cascade ticks, which have nothing left to move).
+            self.cur = frontier;
+            for l in 0..WHEEL_LEVELS {
+                self.last_tick[l] = self.cur >> (WHEEL_BASE_SHIFT + WHEEL_BITS * (l as u32 + 1));
+            }
+        }
+        self.ready.sort_unstable_by_key(|e| (e.0, e.1, e.2));
+    }
+
+    /// Pop the earliest entry scheduled strictly before `frontier_us` —
+    /// [`EventQueue::pop_before`]'s contract, including the "events at
+    /// the frontier must wait" rule. Frontiers must be nondecreasing
+    /// across calls.
+    pub fn pop_before(&mut self, frontier_us: u64) -> Option<WheelEntry> {
+        loop {
+            if self.ready_idx < self.ready.len() {
+                let e = self.ready[self.ready_idx];
+                if e.0 < frontier_us {
+                    self.ready_idx += 1;
+                    return Some(e);
+                }
+                // Only possible after a frontier regression, which the
+                // shard loop never performs.
+                debug_assert!(false, "frontier regressed below served run");
+                return None;
+            }
+            if self.pending == 0 || self.cur >= frontier_us {
+                return None;
+            }
+            self.advance(frontier_us);
+        }
+    }
+}
+
 /// Sort a batch of `(at_us, event)` entries into exactly the order
 /// [`EventQueue`] would pop them: timestamp, then kind priority, then
 /// transmission id.
@@ -308,6 +559,71 @@ mod proptests {
                 drained.push(entry);
             }
             prop_assert_eq!(drained, expected);
+        }
+
+        /// The hierarchical [`TimeWheel`] reproduces the binary-heap
+        /// drain order exactly under the same chunked feeding and
+        /// frontier gating as `chunked_drain_matches_sort_schedule` —
+        /// same-instant priority and id tie-breaks included. Time
+        /// offsets are stretched across bucket and cascade boundaries
+        /// so level transitions are exercised, not just bucket 0.
+        #[test]
+        fn wheel_matches_event_queue(
+            starts in proptest::collection::vec(0u64..40, 1..200),
+            // Index into a stretch table spanning bucket, cascade and
+            // overflow boundaries (the last entry is past the top
+            // level's span, so overflow entries cascade in).
+            stretch_i in 0usize..5,
+            chunk in 1usize..8,
+        ) {
+            let stretch = [1u64, 1_000, 300_000, 80_000_000, 600_000_000][stretch_i];
+            let mut txs: Vec<(u64, u64, u64)> = starts
+                .iter()
+                .map(|&s| {
+                    let s = s * stretch;
+                    (s, s + s % 3, s + s % 5)
+                })
+                .collect();
+            txs.sort_by_key(|&(s, _, _)| s);
+
+            let mut expected: Vec<(u64, Event)> = Vec::new();
+            for (i, &(s, l, e)) in txs.iter().enumerate() {
+                let id = i as u64;
+                expected.push((s, Event::TxStart { tx_id: id }));
+                expected.push((l, Event::LockOn { tx_id: id }));
+                expected.push((e, Event::TxEnd { tx_id: id }));
+            }
+            sort_schedule(&mut expected);
+
+            let mut w = TimeWheel::with_capacity(8);
+            let mut drained: Vec<(u64, u8, u64, u32)> = Vec::new();
+            for (ci, group) in txs.chunks(chunk).enumerate() {
+                let base = (ci * chunk) as u64;
+                for (k, &(s, l, e)) in group.iter().enumerate() {
+                    let id = base + k as u64;
+                    w.push((s, 1, id, id as u32));
+                    w.push((l, 2, id, id as u32));
+                    w.push((e, 0, id, id as u32));
+                }
+                let frontier = txs
+                    .get((ci + 1) * chunk)
+                    .map(|&(s, _, _)| s)
+                    .unwrap_or(u64::MAX);
+                while let Some(entry) = w.pop_before(frontier) {
+                    drained.push(entry);
+                }
+            }
+            prop_assert!(w.is_empty());
+            prop_assert_eq!(drained.len(), expected.len());
+            for (got, want) in drained.iter().zip(&expected) {
+                let prio = match want.1 {
+                    Event::TxEnd { .. } => 0u8,
+                    Event::TxStart { .. } => 1,
+                    Event::LockOn { .. } => 2,
+                };
+                prop_assert_eq!((got.0, got.1, got.2), (want.0, prio, want.1.tx_id()));
+                prop_assert_eq!(got.3 as u64, want.1.tx_id());
+            }
         }
     }
 }

@@ -26,6 +26,7 @@
 
 #![deny(missing_docs)]
 
+mod accum;
 pub mod downlink;
 pub mod engine;
 pub mod faults;

@@ -47,6 +47,8 @@
 //! Faults must be [`Sync`] here ([`InfraFaults`] is pure/read-only by
 //! contract; `chaos::FaultSchedule` is plain data and qualifies).
 
+use crate::accum::{to_fixed, AccumState, LeakSnap, SlotView, TxKey};
+use crate::engine::TimeWheel;
 use crate::faults::{InfraFaults, NoFaults};
 use crate::metrics::RunSummary;
 use crate::runctx::{PairClass, RunContext};
@@ -62,8 +64,7 @@ use lora_phy::snr::{decodable, noise_floor_dbm};
 use lora_phy::types::{Bandwidth, TxPowerDbm};
 use obs::{ObsEvent, ObsSink};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::time::Instant;
 
@@ -86,6 +87,15 @@ pub struct ShardOpts {
     /// is fed through the streaming machinery
     /// ([`SimWorld::run_sharded`]).
     pub chunk_txs: usize,
+    /// Use the incremental interference accumulators instead of the
+    /// per-TxEnd interferer scan. Same physics, O(Δ) per event instead
+    /// of O(on-air × gateways) per transmission — but the leaked-
+    /// interference sum is accumulated in order-canonical fixed point
+    /// rather than the scan's left-to-right f64 order, so results are
+    /// gated by [`RunSummary::statistically_equivalent`] against the
+    /// scan path instead of asserted bitwise identical (capture and
+    /// cross-SF decisions remain bit-exact). See `docs/SCALING.md`.
+    pub accum: bool,
 }
 
 impl Default for ShardOpts {
@@ -93,19 +103,25 @@ impl Default for ShardOpts {
         ShardOpts {
             max_shards: 0,
             chunk_txs: 65_536,
+            accum: false,
         }
     }
 }
 
 impl ShardOpts {
     /// Defaults overridden by the environment: `ALPHAWAN_SIM_SHARDS`
-    /// sets `max_shards` (0 or unset = auto).
+    /// sets `max_shards` (0 or unset = auto); `ALPHAWAN_SIM_ACCUM=1`
+    /// turns on the incremental accumulator path.
     pub fn from_env() -> ShardOpts {
         let mut opts = ShardOpts::default();
         if let Ok(v) = std::env::var("ALPHAWAN_SIM_SHARDS") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 opts.max_shards = n;
             }
+        }
+        if let Ok(v) = std::env::var("ALPHAWAN_SIM_ACCUM") {
+            let v = v.trim();
+            opts.accum = v == "1" || v.eq_ignore_ascii_case("true");
         }
         opts
     }
@@ -143,6 +159,20 @@ pub struct ShardRunStats {
     /// loop's working-set bound (on-air + pending chunk + interference
     /// holds), independent of total run length.
     pub peak_live: u64,
+    /// Accumulator-mode incremental contributions added at TxStart;
+    /// 0 for scan-mode runs.
+    #[serde(default)]
+    pub accum_updates: u64,
+    /// Accumulator-mode contributions exactly undone at TxEnd.
+    #[serde(default)]
+    pub accum_undos: u64,
+    /// Stale lazy-max index entries evicted during accumulator-mode
+    /// verdict queries.
+    #[serde(default)]
+    pub accum_evictions: u64,
+    /// Time-wheel level cascades in this shard's event scheduler.
+    #[serde(default)]
+    pub wheel_cascades: u64,
     /// Host wall-clock duration of the shard's event loop, µs.
     pub wall_us: u64,
 }
@@ -157,6 +187,10 @@ impl ShardRunStats {
             events: self.events,
             candidate_visits: self.candidate_visits,
             peak_live: self.peak_live,
+            accum_updates: self.accum_updates,
+            accum_undos: self.accum_undos,
+            accum_evictions: self.accum_evictions,
+            wheel_cascades: self.wheel_cascades,
             wall_us: self.wall_us,
         }
     }
@@ -176,12 +210,6 @@ pub struct StreamedRun {
     /// [`SimWorld::last_shard_stats`]).
     pub shard_stats: Vec<ShardRunStats>,
 }
-
-/// A queued shard event: min-ordered by the global event key
-/// `(t_us, kind priority, tx id)` — identical to
-/// [`crate::engine::Event`]'s ordering — with the slot id carried as
-/// payload, so the hot path never needs an id→slot map.
-type ShardEvent = Reverse<(u64, u8, u64, u32)>;
 
 /// One routed plan entry: `(global tx id, interned channel id, plan)`.
 type RoutedPlan = (u64, u32, TxPlan);
@@ -339,22 +367,23 @@ struct Slot {
     ch: u32,
     /// Row into the shard's compact link table.
     row: u32,
-    /// Shard-local TxStart sequence number (restores chronological
-    /// order after buckets are permuted by swap-remove).
-    start_seq: u64,
-    /// Index within the channel's on-air bucket.
+    /// Index within the channel's on-air bucket (scan mode only).
     pos_in_bucket: u32,
-    /// Live transmissions whose interferer list names this slot.
+    /// Live transmissions whose interferer list names this slot (scan
+    /// mode only; accumulator mode has no holds).
     rc: u32,
     /// TxEnd processed.
     ended: bool,
     /// Overlapping-airtime transmissions, as slot ids, in registration
-    /// order. Only read at this transmission's TxEnd, at which point
-    /// every listed slot is still alive (it holds an `rc` on us and we
-    /// on it).
+    /// order (scan mode only). Only read at this transmission's TxEnd,
+    /// at which point every listed slot is still alive (it holds an
+    /// `rc` on us and we on it).
     interferers: Vec<u32>,
     /// (local gateway id, admission outcome), in candidate order.
     seen: Vec<(u32, Seen)>,
+    /// Accumulator mode: ended-sum snapshot per candidate gateway,
+    /// taken at TxStart, aligned with `cand_local[ch]`.
+    snap: Vec<LeakSnap>,
 }
 
 /// One shard's event loop: the [`crate::world`] hot path ported onto
@@ -390,10 +419,63 @@ struct ShardMachine<'e> {
 
     // Owned state.
     gateways: Vec<Gateway>,
-    q: BinaryHeap<ShardEvent>,
+    /// Hierarchical time-wheel event scheduler: O(1) amortized
+    /// insert/pop under the nondecreasing-frontier drain discipline
+    /// (replaces the former per-shard `BinaryHeap`). Entries are the
+    /// global event key plus the slot id payload.
+    q: TimeWheel,
     slots: Vec<Slot>,
     free: Vec<u32>,
-    /// Per interned channel id: slots currently on air.
+
+    // SoA mirrors of the slot hot fields, indexed by slot id, so the
+    // verdict scan and the accumulator updates stream parallel arrays
+    // instead of chasing `Transmission` structs.
+    /// Interned channel id.
+    sa_ch: Vec<u32>,
+    /// Compact link-table row.
+    sa_row: Vec<u32>,
+    /// Sending node.
+    sa_node: Vec<u32>,
+    /// Sender's network id.
+    sa_network: Vec<u32>,
+    /// Spreading-factor index (SF7 = 0 … SF12 = 5).
+    sa_sf: Vec<u8>,
+    /// Lock-on instant, µs.
+    sa_lock_on: Vec<u64>,
+    /// Shard-local TxStart sequence number (restores chronological
+    /// order after buckets are permuted by swap-remove; also the
+    /// accumulator max-index tie-break).
+    sa_start_seq: Vec<u64>,
+    /// Recycling generation (bumped on free) — validates lazy-max
+    /// index entries.
+    sa_gen: Vec<u32>,
+    /// Event sequence of the slot's TxStart (accumulator-mode overlap
+    /// arbitration).
+    sa_start_evseq: Vec<u64>,
+    /// Event sequence of the slot's TxEnd; `u64::MAX` while on air.
+    sa_end_evseq: Vec<u64>,
+
+    // Accumulator mode (None = scan mode).
+    accum: Option<AccumState>,
+    /// Per node with live transmissions: their slot ids (the exact
+    /// same-node exclusion; almost always a single entry). Maintained
+    /// only when `has_leak` — the map exists solely to feed the
+    /// own-node leak corrections.
+    node_live: HashMap<u32, Vec<u32>>,
+    /// Whether any channel pair in the universe is `PairClass::Leak`.
+    /// When false, accumulator mode skips the own-correction
+    /// bookkeeping entirely (max queries exclude own entries by node
+    /// id, not through `node_live`).
+    has_leak: bool,
+    /// Live slots in TxStart order: `(start evseq, slot, gen)`. The
+    /// front is the oldest live start — the reclamation horizon.
+    live_q: VecDeque<(u64, u32, u32)>,
+    /// Ended slots in TxEnd order: `(end evseq, slot)`, freed once no
+    /// live transmission can have overlapped them.
+    pending_free: VecDeque<(u64, u32)>,
+
+    /// Per interned channel id: slots currently on air (scan mode
+    /// only; the accumulator replaces bucket gathering).
     buckets: Vec<Vec<u32>>,
     /// Per global node: its row in `link` (`u32::MAX` = unseen).
     node_row: Vec<u32>,
@@ -454,6 +536,8 @@ impl<'e> ShardMachine<'e> {
         gw_global: Vec<u32>,
         cand_local: Vec<Vec<u32>>,
         gateways: Vec<Gateway>,
+        accum: bool,
+        chunk_hint: usize,
     ) -> ShardMachine<'e> {
         let n_lg = gw_global.len();
         let any_down = ever_down.iter().any(|&d| d);
@@ -480,9 +564,30 @@ impl<'e> ShardMachine<'e> {
             n_lg,
             floor: noise_floor_dbm(Bandwidth::Khz125),
             gateways,
-            q: BinaryHeap::new(),
+            // Pre-sized from the chunk hint: one chunk contributes at
+            // most 3 events per transmission to the ready run.
+            q: TimeWheel::with_capacity(3 * chunk_hint),
             slots: Vec::new(),
             free: Vec::new(),
+            sa_ch: Vec::new(),
+            sa_row: Vec::new(),
+            sa_node: Vec::new(),
+            sa_network: Vec::new(),
+            sa_sf: Vec::new(),
+            sa_lock_on: Vec::new(),
+            sa_start_seq: Vec::new(),
+            sa_gen: Vec::new(),
+            sa_start_evseq: Vec::new(),
+            sa_end_evseq: Vec::new(),
+            accum: if accum {
+                Some(AccumState::new(ctx, n_lg))
+            } else {
+                None
+            },
+            node_live: HashMap::new(),
+            has_leak: ctx.pair.iter().any(|p| matches!(p, PairClass::Leak { .. })),
+            live_q: VecDeque::new(),
+            pending_free: VecDeque::new(),
             buckets: vec![Vec::new(); ctx.n_channels()],
             node_row: vec![u32::MAX; topo.nodes.len()],
             next_row: 0,
@@ -510,9 +615,6 @@ impl<'e> ShardMachine<'e> {
 
     /// Materialize one chunk of routed plans into slots and events.
     fn ingest(&mut self, chunk: &[(u64, u32, TxPlan)]) {
-        self.q.reserve(3 * chunk.len());
-        // (BinaryHeap::reserve on the already-heapified buffer; pushes
-        // below keep the heap invariant incrementally.)
         for &(id, ch, p) in chunk {
             self.txs_n += 1;
             let airtime = PacketParams::lorawan_uplink(
@@ -562,17 +664,27 @@ impl<'e> ShardMachine<'e> {
                 }
             }
 
+            let sf_i = (tx.dr.spreading_factor().value() - 7) as u8;
             let slot = match self.free.pop() {
                 Some(s) => {
                     let sl = &mut self.slots[s as usize];
                     sl.tx = tx;
                     sl.ch = ch;
                     sl.row = row;
-                    sl.start_seq = 0;
                     sl.pos_in_bucket = 0;
                     sl.rc = 0;
                     sl.ended = false;
                     debug_assert!(sl.interferers.is_empty() && sl.seen.is_empty());
+                    let si = s as usize;
+                    self.sa_ch[si] = ch;
+                    self.sa_row[si] = row;
+                    self.sa_node[si] = tx.node as u32;
+                    self.sa_network[si] = tx.network_id;
+                    self.sa_sf[si] = sf_i;
+                    self.sa_lock_on[si] = tx.lock_on_us;
+                    self.sa_start_seq[si] = 0;
+                    self.sa_start_evseq[si] = 0;
+                    self.sa_end_evseq[si] = u64::MAX;
                     s
                 }
                 None => {
@@ -580,22 +692,31 @@ impl<'e> ShardMachine<'e> {
                         tx,
                         ch,
                         row,
-                        start_seq: 0,
                         pos_in_bucket: 0,
                         rc: 0,
                         ended: false,
                         interferers: Vec::new(),
                         seen: Vec::new(),
+                        snap: Vec::new(),
                     });
+                    self.sa_ch.push(ch);
+                    self.sa_row.push(row);
+                    self.sa_node.push(tx.node as u32);
+                    self.sa_network.push(tx.network_id);
+                    self.sa_sf.push(sf_i);
+                    self.sa_lock_on.push(tx.lock_on_us);
+                    self.sa_start_seq.push(0);
+                    self.sa_gen.push(0);
+                    self.sa_start_evseq.push(0);
+                    self.sa_end_evseq.push(u64::MAX);
                     (self.slots.len() - 1) as u32
                 }
             };
             self.peak_live = self.peak_live.max(self.slots.len() - self.free.len());
 
-            self.q.push(Reverse((tx.start_us, PRIO_TX_START, id, slot)));
-            self.q
-                .push(Reverse((tx.lock_on_us, PRIO_LOCK_ON, id, slot)));
-            self.q.push(Reverse((tx.end_us, PRIO_TX_END, id, slot)));
+            self.q.push((tx.start_us, PRIO_TX_START, id, slot));
+            self.q.push((tx.lock_on_us, PRIO_LOCK_ON, id, slot));
+            self.q.push((tx.end_us, PRIO_TX_END, id, slot));
         }
     }
 
@@ -604,11 +725,7 @@ impl<'e> ShardMachine<'e> {
     /// of a later chunk starts at or after the frontier, so events at
     /// the frontier itself may still gain same-key-ordered company).
     fn drain(&mut self, frontier_us: u64) {
-        while let Some(&Reverse((t, prio, _, slot))) = self.q.peek() {
-            if t >= frontier_us {
-                break;
-            }
-            self.q.pop();
+        while let Some((_, prio, _, slot)) = self.q.pop_before(frontier_us) {
             self.events += 1;
             match prio {
                 PRIO_TX_START => self.on_tx_start(slot),
@@ -622,6 +739,8 @@ impl<'e> ShardMachine<'e> {
         let sl = &mut self.slots[s as usize];
         sl.interferers.clear();
         sl.seen.clear();
+        // Invalidate any lazy-max index entries naming this slot.
+        self.sa_gen[s as usize] = self.sa_gen[s as usize].wrapping_add(1);
         self.free.push(s);
     }
 
@@ -639,14 +758,21 @@ impl<'e> ShardMachine<'e> {
             });
         }
         let c = self.slots[si].ch as usize;
+        self.sa_start_seq[si] = self.seq;
+        self.seq += 1;
+        if self.accum.is_some() {
+            self.on_tx_start_accum(s, c);
+            return;
+        }
         {
-            let slots = &self.slots;
+            let sa_node = &self.sa_node;
+            let sa_start_seq = &self.sa_start_seq;
             let buckets = &self.buckets;
             let gathered = &mut self.gathered;
             gathered.clear();
             for &oc in &self.ctx.overlapping[c] {
                 for &o in &buckets[oc as usize] {
-                    if slots[o as usize].tx.node != t.node {
+                    if sa_node[o as usize] != t.node as u32 {
                         gathered.push(o);
                     }
                 }
@@ -655,7 +781,7 @@ impl<'e> ShardMachine<'e> {
             // chronological (TxStart) order before registering —
             // interferer-list order is part of the determinism
             // contract with the monolithic loop.
-            gathered.sort_unstable_by_key(|&o| slots[o as usize].start_seq);
+            gathered.sort_unstable_by_key(|&o| sa_start_seq[o as usize]);
         }
         let gathered = std::mem::take(&mut self.gathered);
         for &o in &gathered {
@@ -667,10 +793,89 @@ impl<'e> ShardMachine<'e> {
             self.slots[o as usize].rc += 1;
         }
         self.gathered = gathered;
-        self.slots[si].start_seq = self.seq;
-        self.seq += 1;
         self.slots[si].pos_in_bucket = self.buckets[c].len() as u32;
         self.buckets[c].push(s);
+    }
+
+    /// Accumulator-mode TxStart: contribute this transmission's
+    /// leaked-RSSI row once (O(affected channels × candidate
+    /// gateways), independent of the on-air population), snapshot the
+    /// ended-sums for its own future verdict, and record the exact
+    /// same-node corrections. No bucket, no interferer list, no holds.
+    fn on_tx_start_accum(&mut self, s: u32, c: usize) {
+        let si = s as usize;
+        let evseq = self.events;
+        self.sa_start_evseq[si] = evseq;
+        let node = self.sa_node[si];
+        let sf_i = self.sa_sf[si] as usize;
+        let row_base = self.sa_row[si] as usize * self.n_lg;
+        let key = TxKey {
+            slot: s,
+            gen: self.sa_gen[si],
+            node,
+            network: self.sa_network[si],
+            start_seq: self.sa_start_seq[si],
+        };
+        let ac = self.accum.as_mut().expect("accum mode");
+        ac.register(
+            c,
+            sf_i,
+            &self.link[row_base..row_base + self.n_lg],
+            &self.cand_local,
+            key,
+        );
+        let mut snap = std::mem::take(&mut self.slots[si].snap);
+        ac.snapshot(c, sf_i, &self.cand_local[c], &mut snap);
+        self.slots[si].snap = snap;
+
+        // Exact same-node exclusion: the scan never arbitrates a node
+        // against its own transmissions, so for each of this node's
+        // live transmissions record the reciprocal leak contributions
+        // to subtract at verdict time (bit-identical to the sums the
+        // global registration added). Max-index queries exclude own
+        // entries by node id directly — so in a leak-free channel
+        // universe none of this bookkeeping is needed.
+        if !self.has_leak {
+            self.live_q.push_back((evseq, s, self.sa_gen[si]));
+            return;
+        }
+        let own: Vec<u32> = self.node_live.get(&node).cloned().unwrap_or_default();
+        let n_ch = self.ctx.n_channels();
+        for &o in &own {
+            let oi = o as usize;
+            let co = self.sa_ch[oi] as usize;
+            let sf_o = self.sa_sf[oi] as usize;
+            if let PairClass::Leak {
+                gain_same,
+                gain_orth,
+            } = self.ctx.pair[c * n_ch + co]
+            {
+                let gain = if sf_o != sf_i { gain_orth } else { gain_same };
+                if let Some(g) = gain {
+                    let orow = self.sa_row[oi] as usize * self.n_lg;
+                    for (k, &lg) in self.cand_local[c].iter().enumerate() {
+                        let fx = to_fixed(10f64.powf((self.link[orow + lg as usize] + g) / 10.0));
+                        self.slots[si].snap[k].add_own(fx);
+                    }
+                }
+            }
+            if let PairClass::Leak {
+                gain_same,
+                gain_orth,
+            } = self.ctx.pair[co * n_ch + c]
+            {
+                let gain = if sf_i != sf_o { gain_orth } else { gain_same };
+                if let Some(g) = gain {
+                    for (k, &lg) in self.cand_local[co].iter().enumerate() {
+                        let fx =
+                            to_fixed(10f64.powf((self.link[row_base + lg as usize] + g) / 10.0));
+                        self.slots[oi].snap[k].add_own(fx);
+                    }
+                }
+            }
+        }
+        self.node_live.entry(node).or_default().push(s);
+        self.live_q.push_back((evseq, s, self.sa_gen[si]));
     }
 
     fn on_lock_on(&mut self, s: u32) {
@@ -724,7 +929,7 @@ impl<'e> ShardMachine<'e> {
                 lock_on_us: t.lock_on_us,
                 end_us: t.end_us,
             };
-            match self.gateways[lg].admit_detected_obs(pkt, &mut self.sink) {
+            match self.gateways[lg].admit_detected_tracked_obs(&pkt, &mut self.sink) {
                 LockOnOutcome::Admitted => {
                     seen.push((lg as u32, Seen::Admitted));
                 }
@@ -749,6 +954,10 @@ impl<'e> ShardMachine<'e> {
     }
 
     fn on_tx_end(&mut self, s: u32) {
+        if self.accum.is_some() {
+            self.on_tx_end_accum(s);
+            return;
+        }
         let si = s as usize;
         let t = self.slots[si].tx;
         let c = self.slots[si].ch as usize;
@@ -763,6 +972,7 @@ impl<'e> ShardMachine<'e> {
         }
 
         self.sink.key = (t.end_us, PRIO_TX_END, t.id);
+        self.batch_verdicts(s);
         self.finish_tx(s);
 
         // Release the interference holds; free anything that was only
@@ -782,13 +992,81 @@ impl<'e> ShardMachine<'e> {
         }
     }
 
-    /// Port of the monolithic `finish_tx`: verdicts, decoder release,
-    /// delivery classification, record/summary emission.
+    /// Accumulator-mode TxEnd: resolve verdicts from the accumulators,
+    /// undo this transmission's contributions exactly, and recycle
+    /// slots whose entries no live transmission can still query.
+    fn on_tx_end_accum(&mut self, s: u32) {
+        let si = s as usize;
+        let t = self.slots[si].tx;
+        let evseq = self.events;
+        self.sa_end_evseq[si] = evseq;
+        self.sink.key = (t.end_us, PRIO_TX_END, t.id);
+        self.batch_verdicts_accum(s);
+        self.finish_tx(s);
+
+        let c = self.slots[si].ch as usize;
+        let sf_i = self.sa_sf[si] as usize;
+        let row_base = self.sa_row[si] as usize * self.n_lg;
+        let ac = self.accum.as_mut().expect("accum mode");
+        ac.retire(
+            c,
+            sf_i,
+            &self.link[row_base..row_base + self.n_lg],
+            &self.cand_local,
+        );
+
+        if self.has_leak {
+            let node = self.sa_node[si];
+            if let Some(live) = self.node_live.get_mut(&node) {
+                if let Some(p) = live.iter().position(|&x| x == s) {
+                    live.swap_remove(p);
+                }
+                if live.is_empty() {
+                    self.node_live.remove(&node);
+                }
+            }
+        }
+
+        // Reclamation: a slot's max-index entries are visible only to
+        // victims that started before it ended, so once the oldest
+        // live start is past a slot's end, the slot can be recycled.
+        // Both queues are naturally ordered (starts and ends are
+        // processed in event order).
+        self.slots[si].ended = true;
+        while let Some(&(_, sl, g)) = self.live_q.front() {
+            let sli = sl as usize;
+            if self.sa_gen[sli] != g || self.sa_end_evseq[sli] != u64::MAX {
+                self.live_q.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.pending_free.push_back((evseq, s));
+        let min_live_start = self
+            .live_q
+            .front()
+            .map(|&(se, _, _)| se)
+            .unwrap_or(u64::MAX);
+        while let Some(&(end_evseq, sl)) = self.pending_free.front() {
+            if end_evseq < min_live_start {
+                self.pending_free.pop_front();
+                self.free_slot(sl);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Port of the monolithic `finish_tx`: decoder release, delivery
+    /// classification, record/summary emission. The caller resolves
+    /// PHY verdicts into `self.vs.verdicts` first ([`Self::batch_verdicts`]
+    /// or [`Self::batch_verdicts_accum`]).
     fn finish_tx(&mut self, s: u32) {
-        self.batch_verdicts(s);
         let si = s as usize;
         let t = self.slots[si].tx;
         let seen = std::mem::take(&mut self.slots[si].seen);
+        let row_base = self.sa_row[si] as usize * self.n_lg;
+        let sf = t.dr.spreading_factor();
 
         self.receiving.clear();
         let mut decoder_drop: Option<bool> = None;
@@ -806,8 +1084,20 @@ impl<'e> ShardMachine<'e> {
                         .faults
                         .gateway_down_during(g_idx, t.lock_on_us, t.end_us);
                 let phy_ok = verdict == Verdict::Ok && !crashed_mid_rx;
-                if let Some(ReceptionOutcome::Received) =
-                    self.gateways[lg as usize].on_tx_end_obs(t.id, phy_ok, &mut self.sink)
+                let rssi = self.link[row_base + lg as usize];
+                let pkt = PacketAtGateway {
+                    tx_id: t.id,
+                    trace: t.trace,
+                    network_id: t.network_id,
+                    channel: t.channel,
+                    sf,
+                    rssi_dbm: rssi,
+                    snr_db: rssi - self.floor,
+                    lock_on_us: t.lock_on_us,
+                    end_us: t.end_us,
+                };
+                if let ReceptionOutcome::Received =
+                    self.gateways[lg as usize].on_tx_end_tracked_obs(&pkt, phy_ok, &mut self.sink)
                 {
                     self.receiving.push(g_idx);
                 }
@@ -910,40 +1200,35 @@ impl<'e> ShardMachine<'e> {
     /// floating-point operation matches the monolithic loop bit for
     /// bit.
     fn batch_verdicts(&mut self, s: u32) {
-        let slots = &self.slots;
+        let si = s as usize;
         let link = &self.link;
         let ctx = self.ctx;
         let vs = &mut self.vs;
         let n_lg = self.n_lg;
         let n_ch = ctx.n_channels();
 
-        let v = &slots[s as usize];
-        let t = &v.tx;
-        let sf_v = t.dr.spreading_factor();
-        let cv = v.ch as usize;
-        let vrow = v.row as usize * n_lg;
+        let v = &self.slots[si];
+        let sf_v = v.tx.dr.spreading_factor();
+        let sfv_i = self.sa_sf[si];
+        let cv = self.sa_ch[si] as usize;
+        let vrow = self.sa_row[si] as usize * n_lg;
+        let v_lock_on = self.sa_lock_on[si];
         let seen = &v.seen;
-        let k = seen.len();
-        vs.intf_lin.clear();
-        vs.intf_lin.resize(k, 0.0);
-        vs.strongest.clear();
-        vs.strongest.resize(k, None);
-        vs.kill.clear();
-        vs.kill.resize(k, false);
+        vs.prepare(seen.len());
 
         for &o_slot in &v.interferers {
-            let o = &slots[o_slot as usize];
-            let co = o.ch as usize;
+            let oi = o_slot as usize;
+            let co = self.sa_ch[oi] as usize;
             match ctx.pair[cv * n_ch + co] {
                 PairClass::Disjoint => {}
                 PairClass::Detect => {
-                    let same_sf = o.tx.dr.spreading_factor() == sf_v;
+                    let same_sf = self.sa_sf[oi] == sfv_i;
                     if same_sf && self.cic {
                         // CIC resolves the collision; both survive.
                         continue;
                     }
-                    let orow = o.row as usize * n_lg;
-                    let t_first = t.lock_on_us <= o.tx.lock_on_us;
+                    let orow = self.sa_row[oi] as usize * n_lg;
+                    let t_first = v_lock_on <= self.sa_lock_on[oi];
                     for (gi, &(lg, _)) in seen.iter().enumerate() {
                         let lg = lg as usize;
                         let rssi_o = link[orow + lg];
@@ -961,15 +1246,12 @@ impl<'e> ShardMachine<'e> {
                                 CaptureOutcome::BothLost => false,
                             };
                             if !survives {
-                                match vs.strongest[gi] {
-                                    Some((r, _)) if r >= rssi_o => {}
-                                    _ => vs.strongest[gi] = Some((rssi_o, o.tx.network_id)),
-                                }
+                                vs.note_collider(gi, rssi_o, self.sa_network[oi]);
                             }
                         } else {
                             // Cross-SF quasi-orthogonality.
                             if link[vrow + lg] - rssi_o < CROSS_SF_REJECTION_DB {
-                                vs.kill[gi] = true;
+                                vs.set_kill(gi);
                             }
                         }
                     }
@@ -978,40 +1260,129 @@ impl<'e> ShardMachine<'e> {
                     gain_same,
                     gain_orth,
                 } => {
-                    let gain = if o.tx.dr.spreading_factor() != sf_v {
+                    let gain = if self.sa_sf[oi] != sfv_i {
                         gain_orth
                     } else {
                         gain_same
                     };
                     if let Some(gain) = gain {
-                        let orow = o.row as usize * n_lg;
+                        let orow = self.sa_row[oi] as usize * n_lg;
                         for (gi, &(lg, _)) in seen.iter().enumerate() {
                             let rssi_o = link[orow + lg as usize];
-                            vs.intf_lin[gi] += 10f64.powf((rssi_o + gain) / 10.0);
+                            vs.add_intf(gi, 10f64.powf((rssi_o + gain) / 10.0));
                         }
                     }
                 }
             }
         }
 
-        vs.verdicts.clear();
         for (gi, &(lg, _)) in seen.iter().enumerate() {
-            vs.verdicts.push(if let Some((_, net)) = vs.strongest[gi] {
+            let (intf_lin, strongest, kill) = vs.state(gi);
+            vs.verdicts.push(if let Some((_, net)) = strongest {
                 Verdict::Collision { with_network: net }
             } else {
                 let rssi_v = link[vrow + lg as usize];
-                let sinr = if vs.intf_lin[gi] == 0.0 {
+                let sinr = if intf_lin == 0.0 {
                     rssi_v - ctx.noise_only_db
                 } else {
-                    rssi_v - 10.0 * (ctx.noise_lin + vs.intf_lin[gi]).log10()
+                    rssi_v - 10.0 * (ctx.noise_lin + intf_lin).log10()
                 };
-                if vs.kill[gi] || !decodable(sinr, sf_v, 0.0) {
+                if kill || !decodable(sinr, sf_v, 0.0) {
                     Verdict::Interference
                 } else {
                     Verdict::Ok
                 }
             });
         }
+    }
+
+    /// Accumulator-mode verdicts: each (victim, gateway) pair resolves
+    /// in O(1) queries against the shard's accumulators — strongest
+    /// same-SF collider (capture, bit-exact with the scan), strongest
+    /// cross-SF interferer (kill threshold, bit-exact), and the
+    /// order-canonical fixed-point leak sum (scan-equivalent up to f64
+    /// summation order; see the module docs of [`crate::accum`]).
+    fn batch_verdicts_accum(&mut self, s: u32) {
+        let si = s as usize;
+        let mut ac = self.accum.take().expect("accum mode");
+        let link = &self.link;
+        let ctx = self.ctx;
+        let n_lg = self.n_lg;
+        let sf_v = self.slots[si].tx.dr.spreading_factor();
+        let sfv_i = self.sa_sf[si] as usize;
+        let cv = self.sa_ch[si] as usize;
+        let vrow = self.sa_row[si] as usize * n_lg;
+        let node = self.sa_node[si];
+        let v_start = self.sa_start_evseq[si];
+        let view = SlotView {
+            gen: &self.sa_gen,
+            end_evseq: &self.sa_end_evseq,
+        };
+        let cand = &self.cand_local[cv];
+        let seen = &self.slots[si].seen;
+        let snap = &self.slots[si].snap;
+        let vs = &mut self.vs;
+        vs.prepare(seen.len());
+
+        // `seen` holds the admitted subsequence of the candidate list;
+        // walk both with one cursor to pair each seen gateway with its
+        // snapshot (aligned with `cand`).
+        let mut ci = 0usize;
+        for &(lg, _) in seen.iter() {
+            while cand[ci] != lg {
+                ci += 1;
+            }
+            let sn = &snap[ci];
+            ci += 1;
+            let lg = lg as usize;
+            let rssi_v = link[vrow + lg];
+
+            let collision = if self.cic {
+                // CIC resolves same-SF collisions; both survive.
+                None
+            } else {
+                match ac.strongest_same_sf(cv, sfv_i, lg, node, v_start, &view) {
+                    Some((rssi_o, net)) => {
+                        // The scan's survival test reduces to
+                        // `rssi_v − rssi_o ≥ capture threshold`
+                        // whichever transmission locked on first, and
+                        // it is monotone in `rssi_o`: surviving the
+                        // strongest collider means surviving them all.
+                        let survives = matches!(
+                            capture_outcome(rssi_v, rssi_o),
+                            CaptureOutcome::FirstSurvives
+                        );
+                        if survives {
+                            None
+                        } else {
+                            Some(net)
+                        }
+                    }
+                    None => None,
+                }
+            };
+
+            vs.verdicts.push(if let Some(net) = collision {
+                Verdict::Collision { with_network: net }
+            } else {
+                let intf_lin = ac.leak_lin(cv, sfv_i, lg, sn);
+                let sinr = if intf_lin == 0.0 {
+                    rssi_v - ctx.noise_only_db
+                } else {
+                    rssi_v - 10.0 * (ctx.noise_lin + intf_lin).log10()
+                };
+                let kill = match ac.strongest_cross_sf(cv, sfv_i, lg, node, v_start, &view) {
+                    Some(rssi_o) => rssi_v - rssi_o < CROSS_SF_REJECTION_DB,
+                    None => false,
+                };
+                if kill || !decodable(sinr, sf_v, 0.0) {
+                    Verdict::Interference
+                } else {
+                    Verdict::Ok
+                }
+            });
+        }
+        self.accum = Some(ac);
     }
 
     /// Run the shard to completion over its chunk stream and hand the
@@ -1051,6 +1422,11 @@ impl<'e> ShardMachine<'e> {
             hb.flush();
         }
 
+        let (accum_updates, accum_undos, accum_evictions) = self
+            .accum
+            .as_ref()
+            .map(|a| (a.stats.updates, a.stats.undos, a.stats.evictions))
+            .unwrap_or((0, 0, 0));
         let stats = ShardRunStats {
             shard: self.shard,
             txs: self.txs_n,
@@ -1058,6 +1434,10 @@ impl<'e> ShardMachine<'e> {
             gateways: self.n_lg as u32,
             candidate_visits: self.candidate_visits,
             peak_live: self.peak_live as u64,
+            accum_updates,
+            accum_undos,
+            accum_evictions,
+            wheel_cascades: self.q.cascades(),
             wall_us: wall.elapsed().as_micros() as u64,
         };
         ShardOutput {
@@ -1177,6 +1557,8 @@ fn run_chunked(
         let ever_down_ref = &ever_down[..];
         let ever_locked_ref = &ever_locked[..];
         let hb_ref = hb.as_ref();
+        let accum_on = opts.accum;
+        let chunk_hint = opts.chunk_txs;
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(n_shards);
             let mut handles = Vec::with_capacity(n_shards);
@@ -1221,6 +1603,8 @@ fn run_chunked(
                         gw_global,
                         cand_local,
                         gateways,
+                        accum_on,
+                        chunk_hint,
                     )
                     .run(rx)
                 }));
@@ -1352,10 +1736,18 @@ fn run_chunked(
     let mut shard_stats = Vec::with_capacity(outputs.len());
     let mut events = 0u64;
     let mut candidate_visits = 0u64;
+    let mut accum_updates = 0u64;
+    let mut accum_undos = 0u64;
+    let mut accum_evictions = 0u64;
+    let mut wheel_cascades = 0u64;
     for out in &outputs {
         summary.merge(&out.summary);
         events += out.stats.events;
         candidate_visits += out.stats.candidate_visits;
+        accum_updates += out.stats.accum_updates;
+        accum_undos += out.stats.accum_undos;
+        accum_evictions += out.stats.accum_evictions;
+        wheel_cascades += out.stats.wheel_cascades;
         shard_stats.push(out.stats);
     }
     let stats = SimRunStats {
@@ -1364,6 +1756,10 @@ fn run_chunked(
         gateways: n_gws as u32,
         candidate_visits,
         candidate_ceiling: total_txs * n_gws as u64,
+        accum_updates,
+        accum_undos,
+        accum_evictions,
+        wheel_cascades,
         wall_us: wall.elapsed().as_micros() as u64,
     };
     world.last_stats = Some(stats);
@@ -1526,6 +1922,7 @@ mod tests {
             let opts = ShardOpts {
                 max_shards: shards,
                 chunk_txs: 7,
+                accum: false,
             };
             let recs = sharded.run_sharded(&plans, &opts);
             assert_eq!(recs, recs_mono, "shards={shards}");
@@ -1554,6 +1951,7 @@ mod tests {
         let opts = ShardOpts {
             max_shards: 2,
             chunk_txs: 3,
+            accum: false,
         };
         assert_eq!(sharded.run_sharded(&plans, &opts), recs_mono);
     }
@@ -1581,6 +1979,7 @@ mod tests {
         let opts = ShardOpts {
             max_shards: 2,
             chunk_txs: 64,
+            accum: false,
         };
         let run = streamed.run_streamed(&mut stream, &opts);
         assert_eq!(run.summary, expect);
@@ -1633,8 +2032,88 @@ mod tests {
         let opts = ShardOpts {
             max_shards: 4,
             chunk_txs: 3,
+            accum: false,
         };
         assert_eq!(sharded.run_sharded(&plans, &opts), recs_mono);
+    }
+
+    #[test]
+    fn accum_mode_statistically_matches_scan() {
+        use lora_phy::channel::ChannelGrid;
+        // Overlapping-channel world: gateway 1 listens on 50 kHz-
+        // shifted channels so partial-overlap leak accumulators are
+        // exercised end to end, not just the detect-class maxes.
+        let base = ChannelGrid::standard(916_800_000, 1_600_000).channels();
+        let shifted: Vec<Channel> = base
+            .iter()
+            .take(4)
+            .map(|ch| Channel::khz125(ch.center_hz + 50_000))
+            .collect();
+        let mk = || {
+            let model = PathLossModel {
+                shadowing_sigma_db: 0.0,
+                ..Default::default()
+            };
+            let topo = Topology::new((2_000.0, 2_000.0), 24, 2, model, 17);
+            let profile = GatewayProfile::rak7268cv2();
+            let gw0 = Gateway::new(
+                0,
+                1,
+                profile,
+                GatewayConfig::new(profile, base.clone()).unwrap(),
+            );
+            let mut both = shifted.clone();
+            both.extend(base.iter().take(4).copied());
+            let gw1 = Gateway::new(1, 2, profile, GatewayConfig::new(profile, both).unwrap());
+            let networks = (0..24).map(|i| 1 + (i % 2) as u32).collect();
+            SimWorld::new(topo, networks, vec![gw0, gw1])
+        };
+        let pool: Vec<Channel> = base.iter().chain(shifted.iter()).copied().collect();
+        let assigns: Vec<(usize, Channel, DataRate)> = (0..24)
+            .map(|i| {
+                (
+                    i,
+                    pool[i % pool.len()],
+                    DataRate::from_index(i % 6).unwrap(),
+                )
+            })
+            .collect();
+        let plans = duty_cycled(&assigns, 16, 0.05, 120_000_000, 11);
+        assert!(!plans.is_empty());
+
+        let mut scan_w = mk();
+        let scan_opts = ShardOpts {
+            max_shards: 1,
+            chunk_txs: 32,
+            accum: false,
+        };
+        let mut source = crate::traffic::SliceChunks::new(&plans, 32);
+        let scan = scan_w.run_streamed(&mut source, &scan_opts);
+        assert_eq!(scan.stats.accum_updates, 0, "scan mode must not count");
+
+        for shards in [1usize, 2, 3] {
+            let mut w = mk();
+            let opts = ShardOpts {
+                max_shards: shards,
+                chunk_txs: 32,
+                accum: true,
+            };
+            let mut source = crate::traffic::SliceChunks::new(&plans, 32);
+            let run = w.run_streamed(&mut source, &opts);
+            assert_eq!(run.stats.txs, plans.len() as u64);
+            // Statistical gate: capture / cross-SF decisions are
+            // bit-exact, the leak sum differs only in summation
+            // representation, so the verdict distributions must agree
+            // within the documented gate tolerances.
+            let gate = run
+                .summary
+                .statistically_equivalent(&scan.summary, 0.02, 0.02);
+            assert!(gate.is_ok(), "shards={shards}: {}", gate.unwrap_err());
+            assert!(
+                run.stats.accum_updates > 0 && run.stats.accum_undos > 0,
+                "accumulator counters not recorded (shards={shards})"
+            );
+        }
     }
 
     #[test]

@@ -173,17 +173,86 @@ pub(crate) enum Verdict {
 
 /// Reusable buffers for the batched per-TxEnd verdict computation
 /// ([`batch_verdicts`]): one slot per seen gateway, aligned with the
-/// transmission's admission span.
+/// transmission's admission span. Slots are invalidated by a
+/// generation stamp instead of a `clear()+resize()` re-zero, so
+/// [`Self::prepare`] is O(1) over the retained capacity.
 #[derive(Debug, Default)]
 pub(crate) struct VerdictScratch {
     /// Accumulated leaked interference, linear mW relative to dBm.
-    pub(crate) intf_lin: Vec<f64>,
+    intf_lin: Vec<f64>,
     /// Strongest same-settings collider so far (RSSI, network id).
-    pub(crate) strongest: Vec<Option<(f64, u32)>>,
+    strongest: Vec<Option<(f64, u32)>>,
     /// Cross-SF interference kill flag.
-    pub(crate) kill: Vec<bool>,
+    kill: Vec<bool>,
+    /// Per-slot validity stamp; a slot holds live data iff its stamp
+    /// equals the current generation.
+    stamp: Vec<u64>,
+    /// Current batch generation (bumped by [`Self::prepare`]).
+    gen: u64,
     /// Final verdicts, indexed like the seen slice.
     pub(crate) verdicts: Vec<Verdict>,
+}
+
+impl VerdictScratch {
+    /// Begin a batch over `k` gateways. Existing capacity is reused and
+    /// stale slots are left in place — they read as empty until first
+    /// touched, because their stamp no longer matches.
+    pub(crate) fn prepare(&mut self, k: usize) {
+        self.gen += 1;
+        if self.stamp.len() < k {
+            self.stamp.resize(k, 0);
+            self.intf_lin.resize(k, 0.0);
+            self.strongest.resize(k, None);
+            self.kill.resize(k, false);
+        }
+        self.verdicts.clear();
+    }
+
+    /// Reset slot `i` to the empty state on its first touch this batch.
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.intf_lin[i] = 0.0;
+            self.strongest[i] = None;
+            self.kill[i] = false;
+        }
+    }
+
+    /// Add leaked interference (linear power) at slot `i`.
+    #[inline]
+    pub(crate) fn add_intf(&mut self, i: usize, lin: f64) {
+        self.touch(i);
+        self.intf_lin[i] += lin;
+    }
+
+    /// Mark slot `i` killed by cross-SF interference.
+    #[inline]
+    pub(crate) fn set_kill(&mut self, i: usize) {
+        self.touch(i);
+        self.kill[i] = true;
+    }
+
+    /// Offer a same-SF collider at slot `i`; keeps the strongest seen
+    /// (first registered wins ties, matching the reference loop).
+    #[inline]
+    pub(crate) fn note_collider(&mut self, i: usize, rssi: f64, network: u32) {
+        self.touch(i);
+        match self.strongest[i] {
+            Some((r, _)) if r >= rssi => {}
+            _ => self.strongest[i] = Some((rssi, network)),
+        }
+    }
+
+    /// Read slot `i`: `(leaked linear power, strongest collider, kill)`.
+    #[inline]
+    pub(crate) fn state(&self, i: usize) -> (f64, Option<(f64, u32)>, bool) {
+        if self.stamp.get(i) == Some(&self.gen) {
+            (self.intf_lin[i], self.strongest[i], self.kill[i])
+        } else {
+            (0.0, None, false)
+        }
+    }
 }
 
 /// Aggregate counters from the most recent run, exposed via
@@ -204,6 +273,21 @@ pub struct SimRunStats {
     pub candidate_visits: u64,
     /// `txs × gateways`: the pairs the un-indexed loop would visit.
     pub candidate_ceiling: u64,
+    /// Accumulator-mode incremental contributions added at TxStart
+    /// (leak-sum adds + max-index inserts); 0 for scan-mode runs.
+    #[serde(default)]
+    pub accum_updates: u64,
+    /// Accumulator-mode contributions exactly undone at TxEnd.
+    #[serde(default)]
+    pub accum_undos: u64,
+    /// Stale lazy-max index entries evicted during accumulator-mode
+    /// verdict queries.
+    #[serde(default)]
+    pub accum_evictions: u64,
+    /// Time-wheel level cascades across all shards (0 for monolithic
+    /// runs, which keep the binary-heap queue).
+    #[serde(default)]
+    pub wheel_cascades: u64,
     /// Host wall-clock duration of the run, µs.
     pub wall_us: u64,
 }
@@ -228,6 +312,10 @@ impl SimRunStats {
             gateways: self.gateways,
             candidate_visits: self.candidate_visits,
             candidate_ceiling: self.candidate_ceiling,
+            accum_updates: self.accum_updates,
+            accum_undos: self.accum_undos,
+            accum_evictions: self.accum_evictions,
+            wheel_cascades: self.wheel_cascades,
             wall_us: self.wall_us,
         }
     }
@@ -660,6 +748,10 @@ impl SimWorld {
             gateways: n_gws as u32,
             candidate_visits,
             candidate_ceiling: n as u64 * n_gws as u64,
+            accum_updates: 0,
+            accum_undos: 0,
+            accum_evictions: 0,
+            wheel_cascades: 0,
             wall_us: wall_start.elapsed().as_micros() as u64,
         });
         out
@@ -819,13 +911,7 @@ fn batch_verdicts(
     let sf_v = t.dr.spreading_factor();
     let cv = ch_of_tx[t.id as usize] as usize;
     let vrow = t.node * n_gws;
-    let k = seen.len();
-    vs.intf_lin.clear();
-    vs.intf_lin.resize(k, 0.0);
-    vs.strongest.clear();
-    vs.strongest.resize(k, None);
-    vs.kill.clear();
-    vs.kill.resize(k, false);
+    vs.prepare(seen.len());
 
     for &o_id in intf {
         let o = &txs[o_id as usize];
@@ -857,15 +943,12 @@ fn batch_verdicts(
                             CaptureOutcome::BothLost => false,
                         };
                         if !survives {
-                            match vs.strongest[gi] {
-                                Some((r, _)) if r >= rssi_o => {}
-                                _ => vs.strongest[gi] = Some((rssi_o, o.network_id)),
-                            }
+                            vs.note_collider(gi, rssi_o, o.network_id);
                         }
                     } else {
                         // Cross-SF quasi-orthogonality.
                         if ctx.rssi[vrow + g_idx] - rssi_o < CROSS_SF_REJECTION_DB {
-                            vs.kill[gi] = true;
+                            vs.set_kill(gi);
                         }
                     }
                 }
@@ -883,28 +966,28 @@ fn batch_verdicts(
                     let orow = o.node * n_gws;
                     for (gi, &(gq, _)) in seen.iter().enumerate() {
                         let rssi_o = ctx.rssi[orow + gq as usize];
-                        vs.intf_lin[gi] += 10f64.powf((rssi_o + gain) / 10.0);
+                        vs.add_intf(gi, 10f64.powf((rssi_o + gain) / 10.0));
                     }
                 }
             }
         }
     }
 
-    vs.verdicts.clear();
     for (gi, &(gq, _)) in seen.iter().enumerate() {
-        vs.verdicts.push(if let Some((_, net)) = vs.strongest[gi] {
+        let (intf_lin, strongest, kill) = vs.state(gi);
+        vs.verdicts.push(if let Some((_, net)) = strongest {
             Verdict::Collision { with_network: net }
         } else {
             let rssi_v = ctx.rssi[vrow + gq as usize];
             // SINR over thermal noise plus leaked foreign energy. With
             // no leak the precomputed noise-only term is exact
             // (`x + 0.0` is bitwise `x` for the positive noise power).
-            let sinr = if vs.intf_lin[gi] == 0.0 {
+            let sinr = if intf_lin == 0.0 {
                 rssi_v - ctx.noise_only_db
             } else {
-                rssi_v - 10.0 * (ctx.noise_lin + vs.intf_lin[gi]).log10()
+                rssi_v - 10.0 * (ctx.noise_lin + intf_lin).log10()
             };
-            if vs.kill[gi] || !decodable(sinr, sf_v, 0.0) {
+            if kill || !decodable(sinr, sf_v, 0.0) {
                 Verdict::Interference
             } else {
                 Verdict::Ok
